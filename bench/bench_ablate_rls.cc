@@ -1,0 +1,68 @@
+// Ablation A3: RLS remote lookup + forwarding overhead vs local
+// registration.
+//
+// The same single-table query served three ways: from a locally
+// registered mart, from a remote server discovered through the RLS
+// (whole-query forwarding), and the RLS lookup in isolation. Quantifies
+// the §4.8 trade-off: hosting fewer databases per server distributes
+// load, at the price of RLS + forwarding on cache-miss queries.
+#include <cstdio>
+
+#include "bench/testbed.h"
+
+using namespace griddb;
+
+int main() {
+  std::printf("=== Ablation A3: local vs RLS-mediated remote access ===\n");
+  bench::TestbedOptions options;
+  options.main_table_rows = 12000;
+  options.chunk_tables = 60;
+  auto bed = bench::Testbed::Build(options);
+
+  // Local: chunk on server A queried at server A.
+  core::QueryStats local_stats;
+  auto local = bed->server_a->service().Query(
+      "SELECT id, value FROM chunk_my_a1_0", &local_stats);
+  if (!local.ok()) {
+    std::fprintf(stderr, "local query failed: %s\n",
+                 local.status().ToString().c_str());
+    return 1;
+  }
+
+  // Remote: chunk hosted on server B, queried at server A.
+  core::QueryStats remote_stats;
+  auto remote = bed->server_a->service().Query(
+      "SELECT id, value FROM chunk_my_b1_0", &remote_stats);
+  if (!remote.ok()) {
+    std::fprintf(stderr, "remote query failed: %s\n",
+                 remote.status().ToString().c_str());
+    return 1;
+  }
+
+  // RLS lookup alone.
+  rls::RlsClient rls_client(&bed->transport, "pentium4-a",
+                            "rls://rls-host:39281/rls");
+  net::Cost lookup_cost;
+  auto urls = rls_client.Lookup("chunk_my_b1_0", &lookup_cost);
+  if (!urls.ok() || urls->empty()) {
+    std::fprintf(stderr, "RLS lookup failed\n");
+    return 1;
+  }
+
+  std::printf("%-28s %14s\n", "path", "simulated (ms)");
+  std::printf("%-28s %14.1f\n", "local mart", local_stats.simulated_ms);
+  std::printf("%-28s %14.1f\n", "RLS lookup only",
+              lookup_cost.total_ms());
+  std::printf("%-28s %14.1f\n", "RLS + forward to remote",
+              remote_stats.simulated_ms);
+  std::printf("\nremote/local overhead: %.1fx; RLS share of remote cost: "
+              "%.0f%%\n",
+              remote_stats.simulated_ms / local_stats.simulated_ms,
+              100.0 * lookup_cost.total_ms() / remote_stats.simulated_ms);
+
+  bool shape_ok = remote_stats.simulated_ms > 3 * local_stats.simulated_ms &&
+                  lookup_cost.total_ms() < remote_stats.simulated_ms;
+  std::printf("shape check: remote >> local and lookup < total: %s\n",
+              shape_ok ? "yes" : "NO");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Ablation A5: schema-tracker cost (real CPU time, google-benchmark).
+//
+// §4.9's tracker periodically regenerates each database's XSpec and
+// compares size, then MD5. This measures the per-check cost as the
+// schema grows, plus the MD5 hashing alone, so an operator can pick a
+// sensible tracking interval for a 1700-table federation.
+#include <benchmark/benchmark.h>
+
+#include "griddb/unity/xspec.h"
+#include "griddb/util/md5.h"
+
+using namespace griddb;
+
+namespace {
+
+std::unique_ptr<engine::Database> MakeWideDb(int tables) {
+  auto db = std::make_unique<engine::Database>("tracked",
+                                               sql::Vendor::kMySql);
+  for (int t = 0; t < tables; ++t) {
+    storage::TableSchema schema(
+        "table_" + std::to_string(t),
+        {{"id", storage::DataType::kInt64, true, true},
+         {"payload", storage::DataType::kString, false, false},
+         {"value", storage::DataType::kDouble, false, false}});
+    if (!db->CreateTable(std::move(schema)).ok()) std::abort();
+  }
+  return db;
+}
+
+void BM_XSpecGeneration(benchmark::State& state) {
+  auto db = MakeWideDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    unity::LowerXSpec spec = unity::GenerateXSpec(*db);
+    benchmark::DoNotOptimize(spec.tables.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XSpecGeneration)->Arg(10)->Arg(100)->Arg(300)->Arg(1000);
+
+void BM_FullCheck_GenerateSerializeHash(benchmark::State& state) {
+  auto db = MakeWideDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    unity::LowerXSpec spec = unity::GenerateXSpec(*db);
+    std::string xml = spec.ToXml();
+    std::string digest = Md5Hex(xml);
+    benchmark::DoNotOptimize(digest.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullCheck_GenerateSerializeHash)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(300)
+    ->Arg(1000);
+
+void BM_Md5OfXSpec(benchmark::State& state) {
+  auto db = MakeWideDb(static_cast<int>(state.range(0)));
+  std::string xml = unity::GenerateXSpec(*db).ToXml();
+  for (auto _ : state) {
+    std::string digest = Md5Hex(xml);
+    benchmark::DoNotOptimize(digest.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(
+                              unity::GenerateXSpec(*db).ToXml().size()));
+}
+BENCHMARK(BM_Md5OfXSpec)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Shared setup for the Figure 4/5 ETL benches: normalized ntuple sources,
+// an Oracle warehouse with the denormalized star schema, and the
+// denormalizing row transform the extraction applies.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/warehouse/etl.h"
+#include "griddb/warehouse/materialize.h"
+#include "griddb/warehouse/warehouse.h"
+
+namespace griddb::bench {
+
+struct EtlWorkload {
+  std::unique_ptr<engine::Database> source;     // normalized MySQL source
+  std::unique_ptr<warehouse::DataWarehouse> wh; // Oracle star schema
+  ntuple::Ntuple nt{std::vector<std::string>{}};
+  std::vector<ntuple::RunInfo> runs;
+
+  /// Denormalizing transform: (event_id, run_id) -> the wide fact row,
+  /// looking the variables and detector up in memory (the T of ETL).
+  warehouse::RowTransform MakeDenormalizer() const {
+    std::map<int64_t, const ntuple::NtupleEvent*> by_id;
+    for (const ntuple::NtupleEvent& event : nt.events()) {
+      by_id[event.event_id] = &event;
+    }
+    std::map<int64_t, std::string> detector;
+    for (const ntuple::RunInfo& run : runs) detector[run.run_id] = run.detector;
+    return [by_id, detector](const storage::Row& row)
+               -> Result<storage::Row> {
+      GRIDDB_ASSIGN_OR_RETURN(int64_t event_id, row[0].AsInt64());
+      GRIDDB_ASSIGN_OR_RETURN(int64_t run_id, row[1].AsInt64());
+      auto it = by_id.find(event_id);
+      if (it == by_id.end()) {
+        return NotFound("event " + std::to_string(event_id) +
+                        " missing from ntuple");
+      }
+      storage::Row out;
+      out.reserve(3 + it->second->values.size());
+      out.push_back(storage::Value(event_id));
+      out.push_back(storage::Value(run_id));
+      auto det = detector.find(run_id);
+      out.push_back(det == detector.end()
+                        ? storage::Value::Null()
+                        : storage::Value(det->second));
+      for (double v : it->second->values) out.push_back(storage::Value(v));
+      return out;
+    };
+  }
+};
+
+inline EtlWorkload MakeEtlWorkload(size_t num_events, uint64_t seed = 2005) {
+  EtlWorkload w;
+  ntuple::GeneratorOptions gen;
+  gen.num_events = num_events;
+  gen.nvar = 8;
+  gen.seed = seed;
+  w.nt = ntuple::GenerateNtuple(gen);
+  w.runs = ntuple::GenerateRuns(gen);
+  w.source = std::make_unique<engine::Database>("src_mysql",
+                                                sql::Vendor::kMySql);
+  if (!ntuple::CreateNormalizedSchema(*w.source).ok()) std::abort();
+  if (!ntuple::LoadNormalized(w.nt, w.runs, *w.source).ok()) std::abort();
+  w.wh = std::make_unique<warehouse::DataWarehouse>("warehouse", "cern-tier1");
+  warehouse::StarSchemaSpec star;
+  star.fact = ntuple::DenormalizedSchema(w.nt, "fact_event");
+  star.dimensions.push_back(
+      {storage::TableSchema(
+           "dim_run", {{"run_id", storage::DataType::kInt64, true, true},
+                       {"detector", storage::DataType::kString, true, false}}),
+       "run_id"});
+  if (!w.wh->DefineStarSchema(star).ok()) std::abort();
+  return w;
+}
+
+}  // namespace griddb::bench

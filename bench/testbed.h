@@ -1,0 +1,189 @@
+// The paper's §5.2 testbed, reproduced on the simulated network.
+//
+// "The tests were carried out on a 100 Mbps Ethernet LAN over two
+//  single-processor Intel Pentium IV machines ... A Clarens server (with
+//  the data access service installed) was installed on each of the
+//  machines. The two servers were configured to host a total of 6
+//  databases, with a total of nearly 80,000 rows and 1700 tables. The
+//  databases were equally shared between a Microsoft SQL Server on
+//  Windows 2000, and a MySQL database server."
+//
+// Testbed::Build creates exactly that: hosts "pentium4-a" (1.8 GHz box)
+// and "pentium4-b" (2.4 GHz box) on a 100 Mbps LAN, six databases (3
+// MySQL + 3 MS-SQL, split across the two hosts), ~1700 small ntuple
+// chunk tables plus the main ntuple tables totalling ~80,000 rows, one
+// JClarens server per host, and a central RLS.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/core/schema_tracker.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/util/rng.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::bench {
+
+struct TestbedOptions {
+  size_t main_table_rows = 70000;  ///< Rows in the six main ntuple tables.
+  size_t chunk_tables = 1694;      ///< Small per-chunk tables (6 main tables
+                                   ///< bring the total to ~1700).
+  size_t chunk_rows = 6;           ///< Rows per chunk table (~80k total).
+  bool enhanced_driver = true;
+  bool parallel_subqueries = true;
+  uint64_t seed = 2005;
+};
+
+class Testbed {
+ public:
+  static std::unique_ptr<Testbed> Build(const TestbedOptions& options = {});
+
+  net::Network network;
+  rpc::Transport transport{&network, net::ServiceCosts::Default()};
+  ral::DatabaseCatalog catalog;
+  core::XSpecRepository xspec_repo;
+  std::unique_ptr<rls::RlsServer> rls;
+  std::vector<std::unique_ptr<engine::Database>> databases;
+  std::unique_ptr<core::JClarensServer> server_a;  // pentium4-a
+  std::unique_ptr<core::JClarensServer> server_b;  // pentium4-b
+
+  size_t total_rows = 0;
+  size_t total_tables = 0;
+
+ private:
+  Testbed() = default;
+};
+
+inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
+  std::unique_ptr<Testbed> bed(new Testbed());
+  bed->network.AddHost("pentium4-a");
+  bed->network.AddHost("pentium4-b");
+  bed->network.AddHost("rls-host");
+  bed->network.AddHost("client");
+  bed->network.SetDefaultLink(net::LinkSpec::Lan100Mbps());
+  bed->rls = std::make_unique<rls::RlsServer>("rls://rls-host:39281/rls",
+                                              &bed->transport);
+
+  // Six databases: my_a1, my_a2, ms_a1 on host A; my_b1, ms_b1, ms_b2 on
+  // host B (3 MySQL + 3 MS-SQL overall, "equally shared").
+  struct DbSpec {
+    const char* name;
+    sql::Vendor vendor;
+    const char* host;
+  };
+  const DbSpec specs[6] = {
+      {"my_a1", sql::Vendor::kMySql, "pentium4-a"},
+      {"my_a2", sql::Vendor::kMySql, "pentium4-a"},
+      {"ms_a1", sql::Vendor::kMsSql, "pentium4-a"},
+      {"my_b1", sql::Vendor::kMySql, "pentium4-b"},
+      {"ms_b1", sql::Vendor::kMsSql, "pentium4-b"},
+      {"ms_b2", sql::Vendor::kMsSql, "pentium4-b"},
+  };
+
+  // Main ntuple tables: one per database, sharing the generated dataset
+  // split six ways. Table i is named ntuple_<db>.
+  ntuple::GeneratorOptions gen;
+  gen.num_events = options.main_table_rows;
+  gen.nvar = 8;
+  gen.seed = options.seed;
+  ntuple::Ntuple nt = ntuple::GenerateNtuple(gen);
+  std::vector<ntuple::RunInfo> runs = ntuple::GenerateRuns(gen);
+  std::vector<storage::Row> all_rows = ntuple::DenormalizedRows(nt, runs);
+
+  Rng rng(options.seed ^ 0xabcdef);
+  for (size_t d = 0; d < 6; ++d) {
+    auto db = std::make_unique<engine::Database>(specs[d].name,
+                                                 specs[d].vendor);
+    std::string table_name = std::string("ntuple_") + specs[d].name;
+    storage::TableSchema schema = ntuple::DenormalizedSchema(nt, table_name);
+    if (!db->CreateTable(schema).ok()) std::abort();
+    std::vector<storage::Row> slice;
+    for (size_t r = d; r < all_rows.size(); r += 6) {
+      slice.push_back(all_rows[r]);
+    }
+    bed->total_rows += slice.size();
+    if (!db->InsertRows(table_name, std::move(slice)).ok()) std::abort();
+    ++bed->total_tables;
+
+    // A runs dimension in one MS-SQL database per host, so a same-host
+    // cross-database (and cross-vendor) join is possible: runs_a lives in
+    // ms_a1, runs_b in ms_b1.
+    if (d == 2 || d == 4) {
+      storage::TableSchema run_schema(
+          d == 2 ? "runs_a" : "runs_b",
+          {{"run_id", storage::DataType::kInt64, true, true},
+           {"detector", storage::DataType::kString, true, false}});
+      if (!db->CreateTable(run_schema).ok()) std::abort();
+      std::vector<storage::Row> run_rows;
+      for (const ntuple::RunInfo& run : runs) {
+        run_rows.push_back({storage::Value(run.run_id),
+                            storage::Value(run.detector)});
+        ++bed->total_rows;
+      }
+      if (!db->InsertRows(run_schema.name(), std::move(run_rows)).ok()) {
+        std::abort();
+      }
+      ++bed->total_tables;
+    }
+
+    // Chunk tables: the bulk of the "1700 tables" — small per-dataset
+    // calibration chunks spread over the six databases.
+    size_t chunks_here = options.chunk_tables / 6 +
+                         (d < options.chunk_tables % 6 ? 1 : 0);
+    for (size_t c = 0; c < chunks_here; ++c) {
+      std::string chunk_name =
+          "chunk_" + std::string(specs[d].name) + "_" + std::to_string(c);
+      storage::TableSchema chunk_schema(
+          chunk_name, {{"id", storage::DataType::kInt64, true, true},
+                       {"value", storage::DataType::kDouble, false, false}});
+      if (!db->CreateTable(chunk_schema).ok()) std::abort();
+      std::vector<storage::Row> chunk_rows;
+      for (size_t r = 0; r < options.chunk_rows; ++r) {
+        chunk_rows.push_back({storage::Value(static_cast<int64_t>(r)),
+                              storage::Value(rng.Gaussian())});
+      }
+      bed->total_rows += chunk_rows.size();
+      if (!db->InsertRows(chunk_name, std::move(chunk_rows)).ok()) {
+        std::abort();
+      }
+      ++bed->total_tables;
+    }
+
+    std::string conn = std::string(sql::VendorName(specs[d].vendor)) + "://" +
+                       specs[d].host + "/" + specs[d].name;
+    if (!bed->catalog.Add({conn, db.get(), specs[d].host, "", ""}).ok()) {
+      std::abort();
+    }
+    bed->databases.push_back(std::move(db));
+  }
+
+  auto make_server = [&](const char* name, const char* host) {
+    core::DataAccessConfig config;
+    config.server_name = name;
+    config.host = host;
+    config.server_url = std::string("clarens://") + host + ":8080/clarens";
+    config.rls_url = "rls://rls-host:39281/rls";
+    config.enhanced_driver = options.enhanced_driver;
+    config.parallel_subqueries = options.parallel_subqueries;
+    return std::make_unique<core::JClarensServer>(config, &bed->catalog,
+                                                  &bed->transport,
+                                                  &bed->xspec_repo);
+  };
+  bed->server_a = make_server("jclarens-a", "pentium4-a");
+  bed->server_b = make_server("jclarens-b", "pentium4-b");
+
+  for (size_t d = 0; d < 6; ++d) {
+    std::string conn = std::string(sql::VendorName(specs[d].vendor)) + "://" +
+                       specs[d].host + "/" + specs[d].name;
+    core::JClarensServer* server =
+        std::string(specs[d].host) == "pentium4-a" ? bed->server_a.get()
+                                                   : bed->server_b.get();
+    if (!server->service().RegisterLiveDatabase(conn, "").ok()) std::abort();
+  }
+  return bed;
+}
+
+}  // namespace griddb::bench

@@ -1,0 +1,210 @@
+// gridsql: an interactive shell over the federation — the command-line
+// counterpart of the paper's JAS plug-in. Reads logical-schema SQL from
+// stdin, sends it to a JClarens server over XML-RPC, and pretty-prints
+// the merged result with the per-query statistics.
+//
+// A demo federation (two vendor marts pre-loaded with ntuple data plus a
+// runs dimension) is built at startup, so the shell works out of the box:
+//
+//   echo "SELECT tag, COUNT(*) FROM events GROUP BY tag" |
+//       ./build/examples/gridsql_shell
+//
+// Shell commands: \tables   list logical tables
+//                 \describe <table>
+//                 \explain <sql>   show the federated plan
+//                 \quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/util/strings.h"
+
+using namespace griddb;
+
+namespace {
+
+struct DemoGrid {
+  net::Network network;
+  std::unique_ptr<rpc::Transport> transport;
+  std::unique_ptr<rls::RlsServer> rls;
+  std::unique_ptr<engine::Database> events_db;
+  std::unique_ptr<engine::Database> runs_db;
+  ral::DatabaseCatalog catalog;
+  std::unique_ptr<core::JClarensServer> server;
+
+  static std::unique_ptr<DemoGrid> Build() {
+    auto grid = std::make_unique<DemoGrid>();
+    grid->network.AddHost("demo-node");
+    grid->network.AddHost("shell");
+    grid->network.AddHost("rls-host");
+    grid->transport = std::make_unique<rpc::Transport>(
+        &grid->network, net::ServiceCosts::Default());
+    grid->rls = std::make_unique<rls::RlsServer>("rls://rls-host:39281/rls",
+                                                 grid->transport.get());
+
+    // Mart 1: MySQL with 5000 ntuple events (logical table "events").
+    ntuple::GeneratorOptions gen;
+    gen.num_events = 5000;
+    gen.nvar = 8;
+    ntuple::Ntuple nt = ntuple::GenerateNtuple(gen);
+    std::vector<ntuple::RunInfo> runs = ntuple::GenerateRuns(gen);
+    grid->events_db = std::make_unique<engine::Database>(
+        "events_mart", sql::Vendor::kMySql);
+    if (!grid->events_db->CreateTable(ntuple::DenormalizedSchema(nt, "events"))
+             .ok() ||
+        !grid->events_db
+             ->InsertRows("events", ntuple::DenormalizedRows(nt, runs))
+             .ok()) {
+      return nullptr;
+    }
+
+    // Mart 2: MS-SQL with the runs dimension.
+    grid->runs_db = std::make_unique<engine::Database>("runs_mart",
+                                                       sql::Vendor::kMsSql);
+    storage::TableSchema run_schema(
+        "runs", {{"run_id", storage::DataType::kInt64, true, true},
+                 {"detector", storage::DataType::kString, true, false}});
+    if (!grid->runs_db->CreateTable(run_schema).ok()) return nullptr;
+    for (const ntuple::RunInfo& run : runs) {
+      if (!grid->runs_db
+               ->InsertRows("runs", {{storage::Value(run.run_id),
+                                      storage::Value(run.detector)}})
+               .ok()) {
+        return nullptr;
+      }
+    }
+
+    if (!grid->catalog
+             .Add({"mysql://demo-node/events_mart", grid->events_db.get(),
+                   "demo-node", "", ""})
+             .ok() ||
+        !grid->catalog
+             .Add({"mssql://demo-node/runs_mart", grid->runs_db.get(),
+                   "demo-node", "", ""})
+             .ok()) {
+      return nullptr;
+    }
+
+    core::DataAccessConfig config;
+    config.server_name = "gridsql-demo";
+    config.host = "demo-node";
+    config.server_url = "clarens://demo-node:8080/clarens";
+    config.rls_url = "rls://rls-host:39281/rls";
+    grid->server = std::make_unique<core::JClarensServer>(
+        config, &grid->catalog, grid->transport.get());
+    if (!grid->server->service()
+             .RegisterLiveDatabase("mysql://demo-node/events_mart", "")
+             .ok() ||
+        !grid->server->service()
+             .RegisterLiveDatabase("mssql://demo-node/runs_mart", "")
+             .ok()) {
+      return nullptr;
+    }
+    return grid;
+  }
+};
+
+}  // namespace
+
+int main() {
+  auto grid = DemoGrid::Build();
+  if (!grid) {
+    std::fprintf(stderr, "failed to build the demo federation\n");
+    return 1;
+  }
+  rpc::RpcClient client(grid->transport.get(), "shell",
+                        "clarens://demo-node:8080/clarens");
+
+  bool interactive = isatty(fileno(stdin));
+  if (interactive) {
+    std::printf("gridsql — federated SQL over 2 marts "
+                "(MySQL: events, MS-SQL: runs)\n"
+                "type \\tables, \\describe <t>, \\explain <sql>, \\quit, "
+                "or SQL ending with ';'\n");
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) std::printf(buffer.empty() ? "gridsql> " : "   ...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+
+    if (trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\tables") {
+        auto tables = client.Call("dataaccess.listTables", {}, nullptr);
+        if (!tables.ok()) {
+          std::printf("error: %s\n", tables.status().ToString().c_str());
+          continue;
+        }
+        for (const rpc::XmlRpcValue& t : *tables->AsArray().value()) {
+          std::printf("  %s\n", t.AsString().value().c_str());
+        }
+        continue;
+      }
+      if (StartsWith(trimmed, "\\explain ")) {
+        rpc::XmlRpcArray params;
+        params.emplace_back(std::string(Trim(trimmed.substr(9))));
+        auto plan = client.Call("dataaccess.explain", std::move(params),
+                                nullptr);
+        if (!plan.ok()) {
+          std::printf("error: %s\n", plan.status().ToString().c_str());
+        } else {
+          std::printf("%s", plan->AsString().value().c_str());
+        }
+        continue;
+      }
+      if (StartsWith(trimmed, "\\describe ")) {
+        rpc::XmlRpcArray params;
+        params.emplace_back(std::string(Trim(trimmed.substr(10))));
+        auto description = client.Call("dataaccess.describeTable",
+                                       std::move(params), nullptr);
+        if (!description.ok()) {
+          std::printf("error: %s\n", description.status().ToString().c_str());
+          continue;
+        }
+        auto columns = description->Member("columns");
+        if (columns.ok()) {
+          for (const rpc::XmlRpcValue& col : *(*columns)->AsArray().value()) {
+            std::printf("  %-20s %s\n",
+                        (*col.Member("name"))->AsString().value().c_str(),
+                        (*col.Member("type"))->AsString().value().c_str());
+          }
+        }
+        continue;
+      }
+      std::printf("unknown command\n");
+      continue;
+    }
+
+    buffer += std::string(trimmed) + " ";
+    if (trimmed.back() != ';') continue;  // accumulate multi-line SQL
+
+    std::string sql = buffer;
+    buffer.clear();
+    rpc::XmlRpcArray params;
+    params.emplace_back(sql);
+    net::Cost cost;
+    auto response = client.Call("dataaccess.query", std::move(params), &cost);
+    if (!response.ok()) {
+      std::printf("error: %s\n", response.status().ToString().c_str());
+      continue;
+    }
+    auto rs = rpc::RpcToResultSet(**response->Member("result"));
+    if (!rs.ok()) {
+      std::printf("decode error: %s\n", rs.status().ToString().c_str());
+      continue;
+    }
+    core::QueryStats stats = core::StatsFromRpc(**response->Member("stats"));
+    std::printf("%s", rs->ToText(40).c_str());
+    std::printf("(%zu rows; %.1f ms simulated; %zu database%s%s)\n\n",
+                stats.rows, cost.total_ms(), stats.databases,
+                stats.databases == 1 ? "" : "s",
+                stats.distributed ? ", distributed" : "");
+  }
+  return 0;
+}

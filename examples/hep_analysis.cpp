@@ -1,0 +1,137 @@
+// End-to-end HEP analysis session — the scenario the paper's introduction
+// motivates: a physicist's client (the Java Analysis Studio plug-in
+// analogue) submits logical-schema queries to a JClarens server, which
+// federates data marts spread over two sites, and the returned rows are
+// filled into HBOOK-style histograms.
+//
+// Run: ./build/examples/hep_analysis
+#include <cstdio>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/ntuple/histogram.h"
+#include "griddb/ntuple/ntuple.h"
+
+using namespace griddb;
+
+int main() {
+  // --- grid fabric: two tiers + RLS -------------------------------------
+  net::Network network;
+  for (const char* host : {"cern-tier1", "caltech-tier2", "rls-host",
+                           "physicist"}) {
+    network.AddHost(host);
+  }
+  (void)network.SetLink("cern-tier1", "caltech-tier2", net::LinkSpec::Wan());
+  rpc::Transport transport(&network, net::ServiceCosts::Default());
+  rls::RlsServer rls("rls://rls-host:39281/rls", &transport);
+
+  // --- data: one ntuple dataset split into two marts --------------------
+  ntuple::GeneratorOptions gen;
+  gen.num_events = 30000;
+  gen.nvar = 8;
+  ntuple::Ntuple nt = ntuple::GenerateNtuple(gen);
+  std::vector<ntuple::RunInfo> runs = ntuple::GenerateRuns(gen);
+  std::vector<storage::Row> rows = ntuple::DenormalizedRows(nt, runs);
+
+  engine::Database cern_mart("cern_mart", sql::Vendor::kOracle);
+  engine::Database caltech_mart("caltech_mart", sql::Vendor::kMySql);
+  storage::TableSchema cern_schema = ntuple::DenormalizedSchema(nt, "ntuple_cern");
+  storage::TableSchema caltech_schema =
+      ntuple::DenormalizedSchema(nt, "ntuple_caltech");
+  if (!cern_mart.CreateTable(cern_schema).ok() ||
+      !caltech_mart.CreateTable(caltech_schema).ok()) {
+    return 1;
+  }
+  std::vector<storage::Row> cern_rows, caltech_rows;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    (i % 2 == 0 ? cern_rows : caltech_rows).push_back(rows[i]);
+  }
+  if (!cern_mart.InsertRows("ntuple_cern", std::move(cern_rows)).ok() ||
+      !caltech_mart.InsertRows("ntuple_caltech", std::move(caltech_rows))
+           .ok()) {
+    return 1;
+  }
+  // Run metadata lives only at CERN.
+  storage::TableSchema run_schema(
+      "runs", {{"run_id", storage::DataType::kInt64, true, true},
+               {"detector", storage::DataType::kString, true, false}});
+  if (!cern_mart.CreateTable(run_schema).ok()) return 1;
+  for (const ntuple::RunInfo& run : runs) {
+    if (!cern_mart
+             .InsertRows("runs", {{storage::Value(run.run_id),
+                                   storage::Value(run.detector)}})
+             .ok()) {
+      return 1;
+    }
+  }
+
+  ral::DatabaseCatalog catalog;
+  (void)catalog.Add({"oracle://cern-tier1/cern_mart", &cern_mart,
+                     "cern-tier1", "", ""});
+  (void)catalog.Add({"mysql://caltech-tier2/caltech_mart", &caltech_mart,
+                     "caltech-tier2", "", ""});
+
+  // --- one JClarens server per site --------------------------------------
+  auto make_server = [&](const char* name, const char* host) {
+    core::DataAccessConfig config;
+    config.server_name = name;
+    config.host = host;
+    config.server_url = std::string("clarens://") + host + ":8080/clarens";
+    config.rls_url = "rls://rls-host:39281/rls";
+    return std::make_unique<core::JClarensServer>(config, &catalog,
+                                                  &transport);
+  };
+  auto cern_server = make_server("jclarens-cern", "cern-tier1");
+  auto caltech_server = make_server("jclarens-caltech", "caltech-tier2");
+  (void)cern_server->service().RegisterLiveDatabase(
+      "oracle://cern-tier1/cern_mart", "oracle-oci");
+  (void)caltech_server->service().RegisterLiveDatabase(
+      "mysql://caltech-tier2/caltech_mart", "mysql-jdbc");
+
+  // --- the physicist works against the *nearest* server -----------------
+  rpc::RpcClient jas(&transport, "physicist",
+                     "clarens://caltech-tier2:8080/clarens");
+  auto query = [&](const std::string& sql) -> storage::ResultSet {
+    rpc::XmlRpcArray params;
+    params.emplace_back(sql);
+    net::Cost cost;
+    auto response = jas.Call("dataaccess.query", std::move(params), &cost);
+    if (!response.ok()) {
+      std::printf("query failed: %s\n", response.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto rs = rpc::RpcToResultSet(**response->Member("result"));
+    core::QueryStats stats = core::StatsFromRpc(**response->Member("stats"));
+    std::printf("  -> %zu rows in %.0f ms (servers=%zu, rls=%s)\n",
+                stats.rows, cost.total_ms(), stats.servers_contacted,
+                stats.used_rls ? "yes" : "no");
+    return std::move(*rs);
+  };
+
+  // Local-mart histogram: the Caltech slice of the dataset.
+  std::printf("1) pT spectrum from the local (Caltech) mart:\n");
+  storage::ResultSet local = query(
+      "SELECT pt FROM ntuple_caltech WHERE pt < 80");
+  ntuple::Histogram1D pt_hist("pT (GeV), local slice", 16, 0.0, 80.0);
+  (void)ntuple::FillFromResultSet(pt_hist, local, "pt");
+  std::printf("%s\n", pt_hist.ToAscii(42).c_str());
+
+  // Remote-table analysis: the CERN slice arrives through RLS discovery.
+  std::printf("2) invariant mass peak from the remote (CERN) slice:\n");
+  storage::ResultSet remote = query(
+      "SELECT mass FROM ntuple_cern WHERE mass BETWEEN 60 AND 120");
+  ntuple::Histogram1D mass_hist("mass (GeV), remote slice", 15, 60.0, 120.0);
+  (void)ntuple::FillFromResultSet(mass_hist, remote, "mass");
+  std::printf("%s\n", mass_hist.ToAscii(42).c_str());
+  std::printf("   peak mean %.1f GeV, rms %.1f GeV\n\n", mass_hist.Mean(),
+              mass_hist.StdDev());
+
+  // Cross-site join: per-detector event counts combine the remote runs
+  // dimension with the local ntuple slice.
+  std::printf("3) per-detector yield (cross-site join):\n");
+  storage::ResultSet yield = query(
+      "SELECT r.detector, COUNT(*) AS n FROM ntuple_caltech e "
+      "JOIN runs r ON e.run_id = r.run_id GROUP BY r.detector ORDER BY n "
+      "DESC");
+  std::printf("%s\n", yield.ToText().c_str());
+  return 0;
+}

@@ -1,0 +1,683 @@
+#include "griddb/core/data_access_service.h"
+
+#include <algorithm>
+#include <future>
+#include <set>
+
+#include "griddb/sql/parser.h"
+#include "griddb/sql/render.h"
+#include "griddb/unity/planner.h"
+#include "griddb/util/logging.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::core {
+
+using storage::ResultSet;
+using unity::LowerXSpec;
+using unity::SubQuery;
+using unity::UpperXSpecEntry;
+
+namespace {
+
+const sql::Dialect& ClientDialect() {
+  return sql::Dialect::For(sql::Vendor::kSqlite);
+}
+
+/// True when a single-database statement fits the POOL-RAL wrapper form:
+/// plain column select items over FROM tables with an optional WHERE.
+bool ExpressibleInRal(const sql::SelectStmt& stmt) {
+  if (stmt.distinct || !stmt.group_by.empty() || stmt.having ||
+      !stmt.order_by.empty() || stmt.limit || stmt.offset ||
+      !stmt.joins.empty()) {
+    return false;
+  }
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->kind != sql::Expr::Kind::kColumn) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DataAccessService::DataAccessService(DataAccessConfig config,
+                                     ral::DatabaseCatalog* catalog,
+                                     rpc::Transport* transport)
+    : config_(std::move(config)),
+      catalog_(catalog),
+      transport_(transport),
+      driver_(catalog, transport->network(), transport->costs(),
+              [&] {
+                unity::UnityDriverOptions options;
+                options.enhanced = config_.enhanced_driver;
+                options.parallel_subqueries = config_.parallel_subqueries;
+                options.projection_pushdown = config_.projection_pushdown;
+                options.predicate_pushdown = config_.predicate_pushdown;
+                options.max_threads = config_.max_threads;
+                options.client_host = config_.host;
+                options.user = config_.db_user;
+                options.password = config_.db_password;
+                return options;
+              }()),
+      pool_(catalog, transport->network(), transport->costs(), config_.host),
+      workers_(config_.max_threads) {
+  if (!config_.rls_url.empty()) {
+    rls_ = std::make_unique<rls::RlsClient>(transport, config_.host,
+                                            config_.rls_url);
+  }
+}
+
+// ---------- registration ----------
+
+Status DataAccessService::RegisterDatabase(const UpperXSpecEntry& upper,
+                                           const LowerXSpec& lower) {
+  GRIDDB_RETURN_IF_ERROR(driver_.AddDatabase(upper, lower));
+  std::vector<std::string> tables;
+  for (const unity::XSpecTable& table : lower.tables) {
+    tables.push_back(ToLower(table.logical_name));
+  }
+  if (rls_ && !config_.server_url.empty()) {
+    Status published = rls_->PublishAll(tables, config_.server_url);
+    if (!published.ok()) {
+      GRIDDB_LOG(Warn) << "RLS publish failed for '" << upper.database_name
+                       << "': " << published.ToString();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registered_[upper.database_name] = upper;
+    published_[upper.database_name] = std::move(tables);
+  }
+  // Connect to the database now (§4.10: "the server establishes a
+  // connection with the database"). Registered databases are therefore
+  // warm: a later non-distributed query pays no connect/auth. A failure
+  // here (e.g. credentials) is deferred to query time.
+  auto entry = catalog_->Find(upper.url);
+  if (entry.ok()) {
+    if (ral::IsPoolSupported(entry->database->vendor())) {
+      Status warmed = pool_.InitHandle(upper.url, config_.db_user,
+                                       config_.db_password, nullptr);
+      if (!warmed.ok()) {
+        GRIDDB_LOG(Warn) << "POOL handle init failed for '" << upper.url
+                         << "': " << warmed.ToString();
+      }
+    }
+    Status warmed = driver_.WarmConnection(upper.url);
+    if (!warmed.ok()) {
+      GRIDDB_LOG(Warn) << "JDBC warm-up failed for '" << upper.url
+                       << "': " << warmed.ToString();
+    }
+  }
+  return Status::Ok();
+}
+
+Status DataAccessService::RegisterLiveDatabase(
+    const std::string& connection_string, const std::string& driver_name) {
+  GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
+                          catalog_->Find(connection_string));
+  LowerXSpec lower = unity::GenerateXSpec(*entry.database);
+  UpperXSpecEntry upper;
+  upper.database_name = entry.database->name();
+  upper.url = connection_string;
+  upper.driver = driver_name.empty()
+                     ? std::string(sql::VendorName(entry.database->vendor()))
+                     : driver_name;
+  upper.lower_spec = upper.database_name + ".xspec";
+  return RegisterDatabase(upper, lower);
+}
+
+Status DataAccessService::UnregisterDatabase(const std::string& database_name) {
+  GRIDDB_RETURN_IF_ERROR(driver_.RemoveDatabase(database_name));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rls_ && !config_.server_url.empty()) {
+    auto it = published_.find(database_name);
+    if (it != published_.end()) {
+      for (const std::string& table : it->second) {
+        // Tables may still be published by another local database; only
+        // unpublish when no other local database exports them.
+        if (!driver_.dictionary().HasTable(table)) {
+          (void)rls_->Unpublish(table, config_.server_url);
+        }
+      }
+    }
+  }
+  registered_.erase(database_name);
+  published_.erase(database_name);
+  return Status::Ok();
+}
+
+Status DataAccessService::ReloadDatabase(const UpperXSpecEntry& upper,
+                                         const LowerXSpec& lower) {
+  GRIDDB_RETURN_IF_ERROR(driver_.ReplaceDatabase(upper, lower));
+  std::vector<std::string> tables;
+  for (const unity::XSpecTable& table : lower.tables) {
+    tables.push_back(ToLower(table.logical_name));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (rls_ && !config_.server_url.empty()) {
+    std::vector<std::string>& old_tables = published_[upper.database_name];
+    for (const std::string& old_table : old_tables) {
+      bool still_present =
+          std::find(tables.begin(), tables.end(), old_table) != tables.end();
+      if (!still_present && !driver_.dictionary().HasTable(old_table)) {
+        (void)rls_->Unpublish(old_table, config_.server_url);
+      }
+    }
+    (void)rls_->PublishAll(tables, config_.server_url);
+  }
+  registered_[upper.database_name] = upper;
+  published_[upper.database_name] = std::move(tables);
+  return Status::Ok();
+}
+
+Result<LowerXSpec> DataAccessService::GenerateXSpecFor(
+    const std::string& database_name) {
+  UpperXSpecEntry upper;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = registered_.find(database_name);
+    if (it == registered_.end()) {
+      return NotFound("database '" + database_name + "' is not registered");
+    }
+    upper = it->second;
+  }
+  GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
+                          catalog_->Find(upper.url));
+  return unity::GenerateXSpec(*entry.database);
+}
+
+Result<UpperXSpecEntry> DataAccessService::UpperEntryFor(
+    const std::string& database_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registered_.find(database_name);
+  if (it == registered_.end()) {
+    return NotFound("database '" + database_name + "' is not registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DataAccessService::RegisteredDatabases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(registered_.size());
+  for (const auto& [name, upper] : registered_) {
+    (void)upper;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> DataAccessService::LocalTables() const {
+  return driver_.dictionary().LogicalTables();
+}
+
+Result<unity::TableBinding> DataAccessService::DescribeTable(
+    const std::string& logical) const {
+  std::vector<unity::TableBinding> bindings =
+      driver_.dictionary().Locate(logical);
+  if (bindings.empty()) {
+    return NotFound("table '" + logical + "' is not registered locally");
+  }
+  return bindings.front();
+}
+
+// ---------- query processing ----------
+
+Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(const SubQuery& sub,
+                                                           net::Cost* cost,
+                                                           QueryStats* stats) {
+  GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
+                          catalog_->Find(sub.table.connection));
+  if (ral::IsPoolSupported(entry.database->vendor())) {
+    GRIDDB_RETURN_IF_ERROR(pool_.InitHandle(
+        sub.table.connection, config_.db_user, config_.db_password, cost));
+    const sql::Dialect& dialect = entry.database->dialect();
+    GRIDDB_ASSIGN_OR_RETURN(
+        ResultSet rs,
+        pool_.Execute(sub.table.connection, sub.FieldStrings(dialect),
+                      {dialect.QuoteIdentifier(sub.table.physical)},
+                      sub.WhereString(dialect), cost));
+    if (stats) ++stats->pool_ral_subqueries;
+    return rs;
+  }
+  GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, driver_.ExecuteSubQuery(sub, cost));
+  if (stats) ++stats->jdbc_subqueries;
+  return rs;
+}
+
+Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
+                                                net::Cost* cost,
+                                                QueryStats* stats) {
+  GRIDDB_ASSIGN_OR_RETURN(unity::QueryPlan plan, driver_.Plan(stmt));
+  if (stats) stats->tables = plan.logical_tables.size();
+
+  if (plan.single_database) {
+    if (stats) stats->databases = 1;
+    GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
+                            catalog_->Find(plan.connection));
+    const sql::Dialect& dialect = entry.database->dialect();
+    if (ral::IsPoolSupported(entry.database->vendor()) &&
+        ExpressibleInRal(*plan.direct_stmt)) {
+      GRIDDB_RETURN_IF_ERROR(pool_.InitHandle(
+          plan.connection, config_.db_user, config_.db_password, cost));
+      std::vector<std::string> fields;
+      for (const sql::SelectItem& item : plan.direct_stmt->items) {
+        std::string field = sql::RenderExpr(*item.expr, dialect);
+        if (!item.alias.empty()) {
+          field += " AS " + dialect.QuoteIdentifier(item.alias);
+        }
+        fields.push_back(std::move(field));
+      }
+      std::vector<std::string> tables;
+      for (const sql::TableRef& ref : plan.direct_stmt->from) {
+        std::string table = dialect.QuoteIdentifier(ref.table);
+        if (!ref.alias.empty()) {
+          table += " " + dialect.QuoteIdentifier(ref.alias);
+        }
+        tables.push_back(std::move(table));
+      }
+      std::string where = plan.direct_stmt->where
+                              ? sql::RenderExpr(*plan.direct_stmt->where, dialect)
+                              : std::string();
+      GRIDDB_ASSIGN_OR_RETURN(
+          ResultSet rs, pool_.Execute(plan.connection, fields, tables, where,
+                                      cost));
+      if (stats) ++stats->pool_ral_subqueries;
+      return rs;
+    }
+    // JDBC path for unsupported vendors or queries beyond the RAL form.
+    net::Cost jdbc_cost;
+    GRIDDB_ASSIGN_OR_RETURN(ResultSet rs,
+                            driver_.ExecuteDirect(plan, &jdbc_cost));
+    if (cost) cost->AddSequential(jdbc_cost);
+    if (stats) ++stats->jdbc_subqueries;
+    return rs;
+  }
+
+  // Multi-database: route each sub-query, in parallel when enabled.
+  std::set<std::string> connections;
+  for (const SubQuery& sub : plan.subqueries) {
+    connections.insert(sub.table.connection);
+  }
+  if (stats) {
+    stats->databases = connections.size();
+    stats->distributed = true;
+  }
+  if (cost) {
+    // Decomposition overhead, then per-database connect/auth. The
+    // decomposed path opens fresh connections each time (no pooling in
+    // the prototype's driver), and connection setup is serialized by the
+    // driver manager even when fetches run in parallel.
+    cost->AddMs(transport_->costs().distribution_overhead_ms);
+    cost->AddMs(transport_->costs().connect_auth_ms *
+                static_cast<double>(connections.size()));
+  }
+
+  std::vector<std::pair<std::string, ResultSet>> partials(
+      plan.subqueries.size());
+  std::vector<net::Cost> branch_costs(plan.subqueries.size());
+  std::vector<QueryStats> branch_stats(plan.subqueries.size());
+
+  if (config_.enhanced_driver && config_.parallel_subqueries &&
+      plan.subqueries.size() > 1) {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(plan.subqueries.size());
+    for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      futures.push_back(
+          workers_.Submit([this, &plan, &partials, &branch_costs,
+                           &branch_stats, i]() -> Status {
+            auto rs = ExecuteSubQueryRouted(plan.subqueries[i],
+                                            &branch_costs[i], &branch_stats[i]);
+            if (!rs.ok()) return rs.status();
+            partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+            return Status::Ok();
+          }));
+    }
+    Status first_error = Status::Ok();
+    for (auto& f : futures) {
+      Status s = f.get();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    GRIDDB_RETURN_IF_ERROR(first_error);
+    if (cost) cost->AddParallel(branch_costs);
+  } else {
+    for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      auto rs = ExecuteSubQueryRouted(plan.subqueries[i], &branch_costs[i],
+                                      &branch_stats[i]);
+      GRIDDB_RETURN_IF_ERROR(rs.status());
+      partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+      if (cost) cost->AddSequential(branch_costs[i]);
+    }
+  }
+  if (stats) {
+    for (const QueryStats& branch : branch_stats) {
+      stats->pool_ral_subqueries += branch.pool_ral_subqueries;
+      stats->jdbc_subqueries += branch.jdbc_subqueries;
+    }
+  }
+
+  GRIDDB_ASSIGN_OR_RETURN(ResultSet merged,
+                          unity::MergePartials(*plan.merge_stmt,
+                                               std::move(partials)));
+  if (cost) {
+    cost->AddMs(transport_->costs().integrate_per_row_ms *
+                static_cast<double>(merged.num_rows()));
+  }
+  return merged;
+}
+
+rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = remote_clients_.find(server_url);
+  if (it != remote_clients_.end()) return it->second.get();
+  auto client = std::make_unique<rpc::RpcClient>(transport_, config_.host,
+                                                 server_url);
+  // Distributed queries charge the JClarens connect/auth explicitly per
+  // query (fresh-connection semantics); suppress the client's one-time
+  // charge so it is not double-counted.
+  client->set_connect_cost_ms(0.0);
+  auto [inserted, unused] =
+      remote_clients_.emplace(server_url, std::move(client));
+  (void)unused;
+  return inserted->second.get();
+}
+
+Result<ResultSet> DataAccessService::RemoteQuery(const std::string& server_url,
+                                                 const std::string& sql_text,
+                                                 net::Cost* cost,
+                                                 QueryStats* stats,
+                                                 int forward_depth) {
+  rpc::RpcClient* client = ClientFor(server_url);
+  rpc::XmlRpcArray params;
+  params.emplace_back(sql_text);
+  GRIDDB_ASSIGN_OR_RETURN(
+      rpc::XmlRpcValue response,
+      client->Call("dataaccess.query", std::move(params), cost,
+                   forward_depth + 1));
+  GRIDDB_ASSIGN_OR_RETURN(const rpc::XmlRpcValue* result,
+                          response.Member("result"));
+  GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, rpc::RpcToResultSet(*result));
+  if (stats) {
+    auto remote_stats = response.Member("stats");
+    if (remote_stats.ok()) {
+      QueryStats remote = StatsFromRpc(**remote_stats);
+      stats->pool_ral_subqueries += remote.pool_ral_subqueries;
+      stats->jdbc_subqueries += remote.jdbc_subqueries;
+      stats->databases += remote.databases;
+    }
+  }
+  return rs;
+}
+
+Result<ResultSet> DataAccessService::QueryWithRemote(
+    const sql::SelectStmt& stmt,
+    const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
+    QueryStats* stats, int forward_depth) {
+  if (!rls_) {
+    return NotFound("table '" + missing.front()->table +
+                    "' is not registered locally and no RLS is configured");
+  }
+  if (stats) stats->used_rls = true;
+
+  // Locate every missing table through the RLS. Among the returned
+  // replica servers, prefer one that is actually reachable right now
+  // (RLS entries can be stale: a server may have died after publishing).
+  // Lookup costs are attributed to the remote branch they resolve to
+  // (lookups for server X overlap with fetches from other machines).
+  std::map<std::string, std::string> table_to_server;  // logical -> url
+  std::set<std::string> remote_servers;
+  std::map<std::string, double> lookup_ms_by_server;
+  double total_lookup_ms = 0;
+  for (const sql::TableRef* ref : missing) {
+    net::Cost lookup_cost;
+    GRIDDB_ASSIGN_OR_RETURN(std::vector<std::string> urls,
+                            rls_->Lookup(ToLower(ref->table), &lookup_cost));
+    // Never forward to ourselves (stale RLS entries).
+    urls.erase(std::remove(urls.begin(), urls.end(), config_.server_url),
+               urls.end());
+    // Failover: drop URLs whose endpoint no longer resolves, keeping the
+    // RLS-returned order among the live ones.
+    std::string chosen;
+    for (const std::string& url : urls) {
+      if (transport_->Resolve(url).ok()) {
+        chosen = url;
+        break;
+      }
+    }
+    if (chosen.empty() && !urls.empty()) chosen = urls.front();  // report the
+                                                                 // stale one
+    if (chosen.empty()) {
+      if (cost) cost->AddMs(lookup_cost.total_ms());
+      return NotFound("table '" + ref->table +
+                      "' is not registered with any JClarens server");
+    }
+    table_to_server[ToLower(ref->table)] = chosen;
+    remote_servers.insert(chosen);
+    lookup_ms_by_server[chosen] += lookup_cost.total_ms();
+    total_lookup_ms += lookup_cost.total_ms();
+  }
+  if (stats) stats->servers_contacted = 1 + remote_servers.size();
+
+  std::vector<const sql::TableRef*> all_tables = stmt.AllTables();
+  bool any_local = false;
+  for (const sql::TableRef* ref : all_tables) {
+    if (driver_.dictionary().HasTable(ref->table)) any_local = true;
+  }
+
+  // Whole-query forwarding: every table lives on one remote server.
+  if (!any_local && remote_servers.size() == 1) {
+    if (stats) {
+      stats->tables = all_tables.size();
+      stats->distributed = true;
+    }
+    if (cost) {
+      cost->AddMs(total_lookup_ms);
+      cost->AddMs(transport_->costs().connect_auth_ms);
+    }
+    std::string text = sql::RenderSelect(stmt, ClientDialect());
+    return RemoteQuery(*remote_servers.begin(), text, cost, stats,
+                       forward_depth);
+  }
+
+  // Mixed: fetch a partial per table reference (local tables through the
+  // local driver, remote ones from their hosting server), merge here.
+  if (stats) {
+    stats->tables = all_tables.size();
+    stats->distributed = true;
+  }
+
+  // Tables on the nullable side of a LEFT JOIN must be fetched whole
+  // (see unity/planner.cc: pushdown there changes NULL-padding at merge).
+  std::set<std::string> nullable_sides;
+  for (const sql::Join& join : stmt.joins) {
+    if (join.type == sql::JoinType::kLeft) {
+      nullable_sides.insert(ToLower(join.table.EffectiveName()));
+    }
+  }
+
+  // Pushable conjuncts: qualified entirely with one effective name.
+  auto pushed_for = [&](const std::string& effective) -> sql::ExprPtr {
+    if (nullable_sides.count(ToLower(effective))) return nullptr;
+    std::vector<sql::ExprPtr> kept;
+    for (const sql::Expr* conjunct : sql::SplitConjuncts(stmt.where.get())) {
+      std::vector<const sql::ColumnRef*> refs;
+      sql::CollectColumnRefs(*conjunct, refs);
+      if (refs.empty()) continue;
+      bool all_this_table = true;
+      for (const sql::ColumnRef* ref : refs) {
+        if (ref->table.empty() || !EqualsIgnoreCase(ref->table, effective)) {
+          all_this_table = false;
+          break;
+        }
+      }
+      if (!all_this_table) continue;
+      sql::ExprPtr copy = conjunct->Clone();
+      // Strip the qualifier: the partial fetch addresses a single table.
+      std::function<void(sql::Expr&)> strip = [&](sql::Expr& e) {
+        if (e.kind == sql::Expr::Kind::kColumn) e.column_ref.table.clear();
+        for (sql::ExprPtr& child : e.children) strip(*child);
+      };
+      strip(*copy);
+      kept.push_back(std::move(copy));
+    }
+    return sql::ConjunctionOf(std::move(kept));
+  };
+
+  // One fetch per table reference, grouped by where it executes: the
+  // local group plus one group per remote server. Groups run as parallel
+  // branches (they hit different machines); within a group the fetches
+  // are serial, and each group pays the fresh connect/auth of the
+  // distributed path once per database/server.
+  struct Fetch {
+    std::string effective;
+    std::string sql;
+    bool local = false;
+    std::string url;  // remote server when !local
+  };
+  std::vector<Fetch> local_group;
+  std::map<std::string, std::vector<Fetch>> remote_groups;  // by server url
+  std::set<std::string> local_connections;
+  for (const sql::TableRef* ref : all_tables) {
+    Fetch fetch;
+    fetch.effective = ref->EffectiveName();
+    sql::ExprPtr pushed = stmt.where ? pushed_for(fetch.effective) : nullptr;
+    fetch.sql = "SELECT * FROM " + ToLower(ref->table);
+    if (pushed) {
+      fetch.sql += " WHERE " + sql::RenderExpr(*pushed, ClientDialect());
+    }
+    if (driver_.dictionary().HasTable(ref->table)) {
+      fetch.local = true;
+      for (const unity::TableBinding& b :
+           driver_.dictionary().Locate(ref->table)) {
+        local_connections.insert(b.connection);
+        break;  // fresh connect charged for the replica actually used
+      }
+      local_group.push_back(std::move(fetch));
+    } else {
+      fetch.url = table_to_server[ToLower(ref->table)];
+      remote_groups[fetch.url].push_back(std::move(fetch));
+    }
+  }
+  if (cost) cost->AddMs(transport_->costs().distribution_overhead_ms);
+
+  std::vector<std::pair<std::string, ResultSet>> partials;
+  std::vector<net::Cost> branch_costs;
+
+  if (!local_group.empty()) {
+    net::Cost branch;
+    branch.AddMs(transport_->costs().connect_auth_ms *
+                 static_cast<double>(local_connections.size()));
+    for (const Fetch& fetch : local_group) {
+      GRIDDB_ASSIGN_OR_RETURN(ResultSet partial,
+                              driver_.Query(fetch.sql, &branch));
+      partials.emplace_back(fetch.effective, std::move(partial));
+    }
+    branch_costs.push_back(branch);
+  }
+  for (const auto& [url, fetches] : remote_groups) {
+    net::Cost branch;
+    branch.AddMs(lookup_ms_by_server[url]);
+    branch.AddMs(transport_->costs().connect_auth_ms);
+    for (const Fetch& fetch : fetches) {
+      GRIDDB_ASSIGN_OR_RETURN(
+          ResultSet partial,
+          RemoteQuery(url, fetch.sql, &branch, stats, forward_depth));
+      partials.emplace_back(fetch.effective, std::move(partial));
+    }
+    branch_costs.push_back(branch);
+  }
+  if (cost) cost->AddParallel(branch_costs);
+
+  // Merge statement: original with table refs renamed to effective names.
+  std::unique_ptr<sql::SelectStmt> merge_stmt = stmt.Clone();
+  for (sql::TableRef& ref : merge_stmt->from) {
+    ref.table = ref.EffectiveName();
+    ref.alias.clear();
+  }
+  for (sql::Join& join : merge_stmt->joins) {
+    join.table.table = join.table.EffectiveName();
+    join.table.alias.clear();
+  }
+  GRIDDB_ASSIGN_OR_RETURN(
+      ResultSet merged, unity::MergePartials(*merge_stmt, std::move(partials)));
+  if (cost) {
+    cost->AddMs(transport_->costs().integrate_per_row_ms *
+                static_cast<double>(merged.num_rows()));
+  }
+  return merged;
+}
+
+Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
+                                           QueryStats* stats,
+                                           int forward_depth) {
+  net::Cost cost;
+  cost.AddMs(transport_->costs().query_parse_ms);
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                          sql::ParseSelect(sql_text, ClientDialect()));
+
+  std::vector<const sql::TableRef*> missing;
+  for (const sql::TableRef* ref : stmt->AllTables()) {
+    if (!driver_.dictionary().HasTable(ref->table)) missing.push_back(ref);
+  }
+
+  Result<ResultSet> result =
+      missing.empty()
+          ? QueryLocal(*stmt, &cost, stats)
+          : QueryWithRemote(*stmt, missing, &cost, stats, forward_depth);
+  if (!result.ok()) return result.status();
+  if (stats) {
+    stats->rows = result->num_rows();
+    stats->simulated_ms = cost.total_ms();
+  }
+  return result;
+}
+
+// ---------- stats <-> RPC ----------
+
+rpc::XmlRpcValue StatsToRpc(const QueryStats& stats) {
+  rpc::XmlRpcStruct out;
+  out["simulated_ms"] = stats.simulated_ms;
+  out["distributed"] = stats.distributed;
+  out["used_rls"] = stats.used_rls;
+  out["servers_contacted"] = static_cast<int64_t>(stats.servers_contacted);
+  out["databases"] = static_cast<int64_t>(stats.databases);
+  out["tables"] = static_cast<int64_t>(stats.tables);
+  out["rows"] = static_cast<int64_t>(stats.rows);
+  out["pool_ral_subqueries"] = static_cast<int64_t>(stats.pool_ral_subqueries);
+  out["jdbc_subqueries"] = static_cast<int64_t>(stats.jdbc_subqueries);
+  return out;
+}
+
+QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
+  QueryStats stats;
+  auto get_int = [&](const char* key, size_t* out) {
+    auto member = value.Member(key);
+    if (member.ok()) {
+      auto v = (*member)->AsInt();
+      if (v.ok()) *out = static_cast<size_t>(*v);
+    }
+  };
+  auto member = value.Member("simulated_ms");
+  if (member.ok()) {
+    auto v = (*member)->AsDouble();
+    if (v.ok()) stats.simulated_ms = *v;
+  }
+  auto distributed = value.Member("distributed");
+  if (distributed.ok()) {
+    auto v = (*distributed)->AsBool();
+    if (v.ok()) stats.distributed = *v;
+  }
+  auto used_rls = value.Member("used_rls");
+  if (used_rls.ok()) {
+    auto v = (*used_rls)->AsBool();
+    if (v.ok()) stats.used_rls = *v;
+  }
+  get_int("servers_contacted", &stats.servers_contacted);
+  get_int("databases", &stats.databases);
+  get_int("tables", &stats.tables);
+  get_int("rows", &stats.rows);
+  get_int("pool_ral_subqueries", &stats.pool_ral_subqueries);
+  get_int("jdbc_subqueries", &stats.jdbc_subqueries);
+  return stats;
+}
+
+}  // namespace griddb::core

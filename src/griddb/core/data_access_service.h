@@ -1,0 +1,147 @@
+// The data access layer (paper §4.5) — the system's core contribution.
+//
+// One instance runs inside each JClarens server. It:
+//  - registers databases (XSpec pairs) into the Unity data dictionary;
+//  - answers SQL queries over the *logical* schema: queries whose tables
+//    are all locally registered are decomposed into per-mart sub-queries,
+//    routed to the POOL-RAL wrapper (POOL-supported vendors) or the
+//    JDBC/Unity path (everything else), executed in parallel, and merged
+//    (cross-database joins included) into a single 2-D result;
+//  - falls back to the Replica Location Service for tables that are NOT
+//    locally registered, forwarding (sub-)queries to the remote JClarens
+//    servers that host them and integrating the returned rows.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "griddb/ral/catalog.h"
+#include "griddb/ral/pool_ral.h"
+#include "griddb/rls/rls.h"
+#include "griddb/rpc/server.h"
+#include "griddb/unity/driver.h"
+#include "griddb/util/thread_pool.h"
+
+namespace griddb::core {
+
+struct DataAccessConfig {
+  std::string server_name = "jclarens";
+  std::string host = "localhost";
+  std::string server_url;  ///< This service's public URL.
+  std::string rls_url;     ///< Empty = no RLS (lookups fail as NotFound).
+
+  // Driver behaviour (the paper's enhancements; switch off for baselines).
+  bool enhanced_driver = true;
+  bool parallel_subqueries = true;
+  bool projection_pushdown = true;
+  bool predicate_pushdown = true;
+  size_t max_threads = 8;
+
+  std::string db_user;  ///< Credentials presented to backend databases.
+  std::string db_password;
+};
+
+/// Per-query measurements surfaced to clients and benches.
+struct QueryStats {
+  double simulated_ms = 0;   ///< Virtual-clock response time.
+  bool distributed = false;  ///< Data fetched from more than one database.
+  bool used_rls = false;     ///< RLS lookup was needed.
+  size_t servers_contacted = 1;  ///< JClarens servers involved (incl. this).
+  size_t databases = 0;
+  size_t tables = 0;
+  size_t rows = 0;
+  size_t pool_ral_subqueries = 0;
+  size_t jdbc_subqueries = 0;
+};
+
+class DataAccessService {
+ public:
+  DataAccessService(DataAccessConfig config, ral::DatabaseCatalog* catalog,
+                    rpc::Transport* transport);
+
+  const DataAccessConfig& config() const { return config_; }
+
+  // ---- database registration ----
+
+  /// Registers a database from an XSpec pair; publishes its logical
+  /// tables to the RLS when one is configured.
+  Status RegisterDatabase(const unity::UpperXSpecEntry& upper,
+                          const unity::LowerXSpec& lower);
+  /// Generates the lower XSpec from the live database behind
+  /// `connection_string` and registers it (plug-in path, §4.10).
+  Status RegisterLiveDatabase(const std::string& connection_string,
+                              const std::string& driver_name);
+  Status UnregisterDatabase(const std::string& database_name);
+
+  /// Swaps a database's schema after a change (schema tracker, §4.9):
+  /// dictionary entries are replaced and RLS publications reconciled.
+  Status ReloadDatabase(const unity::UpperXSpecEntry& upper,
+                        const unity::LowerXSpec& lower);
+
+  /// Regenerates the lower XSpec for a registered database from the live
+  /// engine (what the tracker thread runs periodically).
+  Result<unity::LowerXSpec> GenerateXSpecFor(const std::string& database_name);
+  Result<unity::UpperXSpecEntry> UpperEntryFor(
+      const std::string& database_name);
+  std::vector<std::string> RegisteredDatabases() const;
+
+  /// Sorted logical tables registered locally.
+  std::vector<std::string> LocalTables() const;
+  /// Schema (logical names) of a locally registered table.
+  Result<unity::TableBinding> DescribeTable(const std::string& logical) const;
+
+  // ---- query processing ----
+
+  /// `forward_depth` counts how many times this query has already been
+  /// forwarded between JClarens servers (loop guard).
+  Result<storage::ResultSet> Query(const std::string& sql_text,
+                                   QueryStats* stats = nullptr,
+                                   int forward_depth = 0);
+
+  unity::UnityDriver& driver() { return driver_; }
+  ral::PoolRal& pool_ral() { return pool_; }
+
+ private:
+  Result<storage::ResultSet> QueryLocal(const sql::SelectStmt& stmt,
+                                        net::Cost* cost, QueryStats* stats);
+  Result<storage::ResultSet> QueryWithRemote(
+      const sql::SelectStmt& stmt,
+      const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
+      QueryStats* stats, int forward_depth);
+
+  /// Routes one planned sub-query: POOL-RAL for supported vendors, JDBC
+  /// otherwise (paper §4.6/§4.7).
+  Result<storage::ResultSet> ExecuteSubQueryRouted(const unity::SubQuery& sub,
+                                                   net::Cost* cost,
+                                                   QueryStats* stats);
+
+  /// Runs a query on a remote JClarens server over RPC.
+  Result<storage::ResultSet> RemoteQuery(const std::string& server_url,
+                                         const std::string& sql_text,
+                                         net::Cost* cost, QueryStats* stats,
+                                         int forward_depth);
+
+  rpc::RpcClient* ClientFor(const std::string& server_url);
+
+  DataAccessConfig config_;
+  ral::DatabaseCatalog* catalog_;
+  rpc::Transport* transport_;
+  unity::UnityDriver driver_;
+  ral::PoolRal pool_;
+  std::unique_ptr<rls::RlsClient> rls_;
+  ThreadPool workers_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, unity::UpperXSpecEntry> registered_;  // by db name
+  std::map<std::string, std::vector<std::string>> published_;  // db -> tables
+  std::map<std::string, std::unique_ptr<rpc::RpcClient>> remote_clients_;
+};
+
+/// Converts a service QueryStats to/from the RPC struct form.
+rpc::XmlRpcValue StatsToRpc(const QueryStats& stats);
+QueryStats StatsFromRpc(const rpc::XmlRpcValue& value);
+
+}  // namespace griddb::core

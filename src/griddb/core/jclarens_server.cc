@@ -1,0 +1,150 @@
+#include "griddb/core/jclarens_server.h"
+
+#include "griddb/unity/xspec.h"
+
+namespace griddb::core {
+
+using rpc::XmlRpcArray;
+using rpc::XmlRpcStruct;
+using rpc::XmlRpcValue;
+
+namespace {
+constexpr int kMaxForwardDepth = 3;
+
+Result<std::string> StringParam(const XmlRpcArray& params, size_t index) {
+  if (index >= params.size()) {
+    return InvalidArgument("missing parameter " + std::to_string(index));
+  }
+  return params[index].AsString();
+}
+}  // namespace
+
+JClarensServer::JClarensServer(DataAccessConfig config,
+                               ral::DatabaseCatalog* catalog,
+                               rpc::Transport* transport,
+                               XSpecRepository* xspec_repo)
+    : service_(std::move(config), catalog, transport),
+      xspec_repo_(xspec_repo),
+      server_(service_.config().server_url, transport) {
+  RegisterMethods();
+}
+
+void JClarensServer::RegisterMethods() {
+  (void)server_.RegisterMethod(
+      "dataaccess.query",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        GRIDDB_ASSIGN_OR_RETURN(std::string sql, StringParam(params, 0));
+        if (ctx.forward_depth >= kMaxForwardDepth) {
+          return Unavailable("query forwarding depth exceeded (RLS mapping "
+                             "loop?)");
+        }
+        QueryStats stats;
+        GRIDDB_ASSIGN_OR_RETURN(
+            storage::ResultSet rs,
+            service_.Query(sql, &stats, ctx.forward_depth));
+        // The service's simulated processing time becomes server-side cost
+        // so callers (local clients and forwarding servers) account for it.
+        ctx.cost.AddMs(stats.simulated_ms);
+        XmlRpcStruct out;
+        out["result"] = rpc::ResultSetToRpc(rs);
+        out["stats"] = StatsToRpc(stats);
+        return XmlRpcValue(std::move(out));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.explain",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        GRIDDB_ASSIGN_OR_RETURN(std::string sql, StringParam(params, 0));
+        auto plan = service_.driver().Plan(sql);
+        if (!plan.ok()) {
+          if (plan.status().code() == StatusCode::kNotFound) {
+            return XmlRpcValue(
+                "plan involves tables not registered locally; execution "
+                "would consult the RLS (" +
+                plan.status().message() + ")");
+          }
+          return plan.status();
+        }
+        return XmlRpcValue(unity::DescribePlan(*plan));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.listTables",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)params;
+        (void)ctx;
+        XmlRpcArray names;
+        for (const std::string& name : service_.LocalTables()) {
+          names.emplace_back(name);
+        }
+        return XmlRpcValue(std::move(names));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.describeTable",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        GRIDDB_ASSIGN_OR_RETURN(std::string logical, StringParam(params, 0));
+        GRIDDB_ASSIGN_OR_RETURN(unity::TableBinding binding,
+                                service_.DescribeTable(logical));
+        XmlRpcArray columns;
+        for (const unity::ColumnBinding& col : binding.columns) {
+          XmlRpcStruct column;
+          column["name"] = col.logical;
+          column["type"] = std::string(storage::DataTypeName(col.type));
+          columns.emplace_back(std::move(column));
+        }
+        XmlRpcStruct out;
+        out["table"] = binding.logical;
+        out["database"] = binding.database_name;
+        out["columns"] = std::move(columns);
+        return XmlRpcValue(std::move(out));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.registerDatabase",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        GRIDDB_ASSIGN_OR_RETURN(std::string connection, StringParam(params, 0));
+        std::string driver;
+        if (params.size() > 1) {
+          GRIDDB_ASSIGN_OR_RETURN(driver, params[1].AsString());
+        }
+        GRIDDB_RETURN_IF_ERROR(
+            service_.RegisterLiveDatabase(connection, driver));
+        return XmlRpcValue(true);
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.pluginDatabase",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        GRIDDB_ASSIGN_OR_RETURN(std::string xspec_url, StringParam(params, 0));
+        GRIDDB_ASSIGN_OR_RETURN(std::string driver, StringParam(params, 1));
+        GRIDDB_ASSIGN_OR_RETURN(std::string connection, StringParam(params, 2));
+        if (!xspec_repo_) {
+          return Unavailable("no XSpec repository configured on this server");
+        }
+        // Download, parse, connect, update (paper §4.10).
+        GRIDDB_ASSIGN_OR_RETURN(std::string content,
+                                xspec_repo_->Fetch(xspec_url));
+        GRIDDB_ASSIGN_OR_RETURN(unity::LowerXSpec lower,
+                                unity::LowerXSpec::FromXml(content));
+        unity::UpperXSpecEntry upper;
+        upper.database_name = lower.database_name;
+        upper.url = connection;
+        upper.driver = driver;
+        upper.lower_spec = xspec_url;
+        GRIDDB_RETURN_IF_ERROR(service_.RegisterDatabase(upper, lower));
+        return XmlRpcValue(true);
+      });
+}
+
+}  // namespace griddb::core

@@ -1,0 +1,42 @@
+// JClarens server: the Clarens-style web-service host for the data access
+// service (paper §4, figure 1 upper half).
+//
+// Exposes the data access layer's methods over XML-RPC:
+//   dataaccess.query(sql)                  -> {result, stats}
+//   dataaccess.listTables()                -> [logical names]
+//   dataaccess.describeTable(name)         -> {columns: [{name, type}]}
+//   dataaccess.registerDatabase(conn, drv) -> true     (live registration)
+//   dataaccess.pluginDatabase(xspecUrl, driver, conn) -> true   (§4.10)
+//   system.login(user, pass)               -> session token
+#pragma once
+
+#include <memory>
+
+#include "griddb/core/data_access_service.h"
+#include "griddb/core/xspec_repository.h"
+#include "griddb/rpc/server.h"
+
+namespace griddb::core {
+
+class JClarensServer {
+ public:
+  /// Binds at config.server_url. `xspec_repo` (optional) resolves XSpec
+  /// URLs for the plug-in method.
+  JClarensServer(DataAccessConfig config, ral::DatabaseCatalog* catalog,
+                 rpc::Transport* transport,
+                 XSpecRepository* xspec_repo = nullptr);
+
+  DataAccessService& service() { return service_; }
+  rpc::RpcServer& rpc() { return server_; }
+  const std::string& url() const { return server_.url(); }
+  const std::string& host() const { return server_.host(); }
+
+ private:
+  void RegisterMethods();
+
+  DataAccessService service_;
+  XSpecRepository* xspec_repo_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace griddb::core

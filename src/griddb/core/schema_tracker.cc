@@ -1,0 +1,89 @@
+#include "griddb/core/schema_tracker.h"
+
+#include "griddb/util/md5.h"
+
+namespace griddb::core {
+
+SchemaTracker::SchemaTracker(DataAccessService* service) : service_(service) {}
+
+SchemaTracker::~SchemaTracker() { Stop(); }
+
+Result<bool> SchemaTracker::CheckOnce(const std::string& database_name) {
+  checks_run_.fetch_add(1);
+  GRIDDB_ASSIGN_OR_RETURN(unity::LowerXSpec lower,
+                          service_->GenerateXSpecFor(database_name));
+  std::string xml = lower.ToXml();
+
+  // Size first, md5 only on size match — the paper's exact comparison
+  // order (cheap check first).
+  Snapshot fresh;
+  fresh.size = xml.size();
+  bool changed;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = snapshots_.find(database_name);
+    if (it == snapshots_.end()) {
+      fresh.md5 = Md5Hex(xml);
+      snapshots_[database_name] = fresh;
+      return false;  // first observation establishes the baseline
+    }
+    if (it->second.size != fresh.size) {
+      changed = true;
+      fresh.md5 = Md5Hex(xml);
+    } else {
+      fresh.md5 = Md5Hex(xml);
+      changed = fresh.md5 != it->second.md5;
+    }
+    if (changed) it->second = fresh;
+  }
+  if (!changed) return false;
+
+  GRIDDB_ASSIGN_OR_RETURN(unity::UpperXSpecEntry upper,
+                          service_->UpperEntryFor(database_name));
+  GRIDDB_RETURN_IF_ERROR(service_->ReloadDatabase(upper, lower));
+  changes_applied_.fetch_add(1);
+  return true;
+}
+
+size_t SchemaTracker::RunOnceAll() {
+  size_t changed = 0;
+  for (const std::string& name : service_->RegisteredDatabases()) {
+    auto result = CheckOnce(name);
+    if (result.ok() && *result) ++changed;
+  }
+  return changed;
+}
+
+void SchemaTracker::Start(std::chrono::milliseconds interval) {
+  Stop();
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true);
+  thread_ = std::thread([this, interval] { Loop(interval); });
+}
+
+void SchemaTracker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void SchemaTracker::Loop(std::chrono::milliseconds interval) {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    RunOnceAll();
+    lock.lock();
+  }
+}
+
+}  // namespace griddb::core

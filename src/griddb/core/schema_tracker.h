@@ -1,0 +1,72 @@
+// Schema-change tracking (paper §4.9).
+//
+// "After a fixed interval of time, a thread is run against the back-end
+// databases to generate a new XSpec for each database. The size of the
+// newly created XSpec is compared against the size of the older XSpec
+// file. If the sizes are equal, the files are compared using their md5
+// sums. If there is any change ... the older version of the XSpec is
+// replaced by the new one [and] the server then uses the new XSpec file."
+//
+// CheckOnce/RunOnceAll expose the same logic deterministically for tests
+// and benches; Start spawns the periodic background thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "griddb/core/data_access_service.h"
+
+namespace griddb::core {
+
+class SchemaTracker {
+ public:
+  explicit SchemaTracker(DataAccessService* service);
+  ~SchemaTracker();
+
+  SchemaTracker(const SchemaTracker&) = delete;
+  SchemaTracker& operator=(const SchemaTracker&) = delete;
+
+  /// Regenerates the XSpec for one registered database and applies it if
+  /// the size-then-md5 comparison detects a change. Returns true when a
+  /// change was applied.
+  Result<bool> CheckOnce(const std::string& database_name);
+
+  /// Runs CheckOnce over every registered database; returns how many
+  /// schemas changed.
+  size_t RunOnceAll();
+
+  /// Starts the periodic thread; Stop (or destruction) joins it.
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  /// How many change-applications have happened since construction.
+  size_t changes_applied() const { return changes_applied_.load(); }
+  size_t checks_run() const { return checks_run_.load(); }
+
+ private:
+  void Loop(std::chrono::milliseconds interval);
+
+  DataAccessService* service_;
+  std::mutex cache_mu_;
+  struct Snapshot {
+    size_t size = 0;
+    std::string md5;
+  };
+  std::map<std::string, Snapshot> snapshots_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> changes_applied_{0};
+  std::atomic<size_t> checks_run_{0};
+  std::mutex thread_mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace griddb::core

@@ -1,0 +1,37 @@
+#include "griddb/core/xspec_repository.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::core {
+
+void XSpecRepository::Put(const std::string& url, std::string content) {
+  std::lock_guard<std::mutex> lock(mu_);
+  documents_[url] = std::move(content);
+}
+
+bool XSpecRepository::Has(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return documents_.count(url) > 0;
+}
+
+Result<std::string> XSpecRepository::Fetch(const std::string& url) const {
+  if (StartsWith(url, "file://")) {
+    std::string path = url.substr(7);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Unavailable("cannot read XSpec file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = documents_.find(url);
+  if (it == documents_.end()) {
+    return NotFound("no XSpec document at '" + url + "'");
+  }
+  return it->second;
+}
+
+}  // namespace griddb::core

@@ -1,0 +1,33 @@
+// XSpec file repository (supports the plug-in database feature, §4.10).
+//
+// "The server is provided the URL of the databases' XSpec file ... The
+// server then downloads the file, parses it, and retrieves the metadata."
+// In the prototype those URLs point at a web server; here the repository
+// serves registered in-memory documents for http(s):// URLs — simulating
+// that web server — and reads the local filesystem for file:// URLs.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "griddb/util/status.h"
+
+namespace griddb::core {
+
+class XSpecRepository {
+ public:
+  /// Publishes a document at an http(s) URL (tooling side).
+  void Put(const std::string& url, std::string content);
+  bool Has(const std::string& url) const;
+
+  /// "Downloads" a URL: registered content for http(s)://, filesystem
+  /// reads for file:///path.
+  Result<std::string> Fetch(const std::string& url) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> documents_;
+};
+
+}  // namespace griddb::core

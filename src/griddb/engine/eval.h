@@ -1,0 +1,68 @@
+// Expression evaluation over scoped rows.
+//
+// A Scope names the columns of a (possibly joined) working row; Eval walks
+// an sql::Expr and produces a Value with SQL three-valued-logic-lite
+// semantics: any NULL operand propagates NULL through arithmetic and
+// comparisons, and WHERE treats NULL as false.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "griddb/sql/ast.h"
+#include "griddb/storage/result_set.h"
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::engine {
+
+/// Column name table for a working row: each entry is (qualifier, column).
+/// Qualifier is the table alias (or name) the column came from; several
+/// tables' columns concatenate into one flat row during joins.
+class Scope {
+ public:
+  void Add(std::string qualifier, std::string column) {
+    entries_.push_back({std::move(qualifier), std::move(column)});
+  }
+
+  /// Appends every column of `rs` under `qualifier`.
+  void AddResultSet(const std::string& qualifier,
+                    const storage::ResultSet& rs);
+
+  size_t size() const { return entries_.size(); }
+  const std::string& qualifier(size_t i) const { return entries_[i].qualifier; }
+  const std::string& column(size_t i) const { return entries_[i].column; }
+
+  /// Resolves a column reference. Unqualified names must be unambiguous.
+  Result<size_t> Resolve(const sql::ColumnRef& ref) const;
+
+  /// Indexes of all columns with the given qualifier.
+  std::vector<size_t> ColumnsOf(const std::string& qualifier) const;
+
+ private:
+  struct Entry {
+    std::string qualifier;
+    std::string column;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Evaluates a scalar expression (no aggregate functions) against one row.
+Result<storage::Value> Eval(const sql::Expr& expr, const Scope& scope,
+                            const storage::Row& row);
+
+/// True when the expression contains an aggregate function call.
+bool ContainsAggregate(const sql::Expr& expr);
+
+/// True when `name` is one of COUNT/SUM/AVG/MIN/MAX.
+bool IsAggregateFunction(const std::string& upper_name);
+
+/// Evaluates an expression in grouped context: aggregate calls are computed
+/// over `group_rows`; bare columns evaluate against the group's first row.
+Result<storage::Value> EvalGrouped(const sql::Expr& expr, const Scope& scope,
+                                   const std::vector<const storage::Row*>& group_rows);
+
+/// SQL LIKE with % and _ wildcards (case-sensitive, no escape clause).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace griddb::engine

@@ -1,0 +1,450 @@
+#include "griddb/engine/select_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "griddb/engine/eval.h"
+#include "griddb/sql/render.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::engine {
+
+using storage::ResultSet;
+using storage::Row;
+using storage::Value;
+
+void MapTableSource::Add(std::string name, ResultSet rs) {
+  tables_.emplace_back(std::move(name), std::move(rs));
+}
+
+Result<ResultSet> MapTableSource::GetTable(const std::string& name) const {
+  for (const auto& [table_name, rs] : tables_) {
+    if (EqualsIgnoreCase(table_name, name)) return rs;
+  }
+  return NotFound("table '" + name + "' not found");
+}
+
+namespace {
+
+/// The working set during FROM/JOIN processing: a scope describing the
+/// concatenated columns and the joined rows.
+struct WorkingSet {
+  Scope scope;
+  std::vector<Row> rows;
+};
+
+/// Detects "a.x = b.y" where exactly one side references `new_qualifier`
+/// (the table being joined in) and the other resolves in the existing
+/// scope. Returns {existing_index, new_index} on success.
+struct EquiJoinKey {
+  size_t left_index;   // column index in the existing working row
+  size_t new_index;    // column index in the new table's row
+};
+
+std::optional<EquiJoinKey> DetectEquiJoin(const sql::Expr* on,
+                                          const Scope& existing,
+                                          const Scope& incoming) {
+  if (!on || on->kind != sql::Expr::Kind::kBinary ||
+      on->binary_op != sql::BinaryOp::kEq) {
+    return std::nullopt;
+  }
+  const sql::Expr& lhs = *on->children[0];
+  const sql::Expr& rhs = *on->children[1];
+  if (lhs.kind != sql::Expr::Kind::kColumn ||
+      rhs.kind != sql::Expr::Kind::kColumn) {
+    return std::nullopt;
+  }
+  auto l_existing = existing.Resolve(lhs.column_ref);
+  auto r_existing = existing.Resolve(rhs.column_ref);
+  auto l_incoming = incoming.Resolve(lhs.column_ref);
+  auto r_incoming = incoming.Resolve(rhs.column_ref);
+  if (l_existing.ok() && r_incoming.ok() && !l_incoming.ok() && !r_existing.ok()) {
+    return EquiJoinKey{l_existing.value(), r_incoming.value()};
+  }
+  if (r_existing.ok() && l_incoming.ok() && !r_incoming.ok() && !l_existing.ok()) {
+    return EquiJoinKey{r_existing.value(), l_incoming.value()};
+  }
+  return std::nullopt;
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Joins `incoming` (a table's result set under `qualifier`) into `ws`.
+Status JoinInto(WorkingSet& ws, const std::string& qualifier,
+                const ResultSet& incoming, sql::JoinType type,
+                const sql::Expr* on) {
+  Scope incoming_scope;
+  incoming_scope.AddResultSet(qualifier, incoming);
+
+  Scope combined = ws.scope;
+  combined.AddResultSet(qualifier, incoming);
+
+  std::vector<Row> joined;
+
+  // Hash path for single-equality inner/left joins.
+  if (type != sql::JoinType::kCross) {
+    if (auto key = DetectEquiJoin(on, ws.scope, incoming_scope)) {
+      std::unordered_multimap<Value, size_t, storage::ValueHasher> hash;
+      hash.reserve(incoming.rows.size());
+      for (size_t r = 0; r < incoming.rows.size(); ++r) {
+        const Value& v = incoming.rows[r][key->new_index];
+        if (!v.is_null()) hash.emplace(v, r);
+      }
+      size_t incoming_width = incoming.columns.size();
+      for (const Row& left : ws.rows) {
+        const Value& probe = left[key->left_index];
+        bool matched = false;
+        if (!probe.is_null()) {
+          auto [begin, end] = hash.equal_range(probe);
+          for (auto it = begin; it != end; ++it) {
+            joined.push_back(ConcatRows(left, incoming.rows[it->second]));
+            matched = true;
+          }
+        }
+        if (!matched && type == sql::JoinType::kLeft) {
+          joined.push_back(ConcatRows(left, Row(incoming_width)));
+        }
+      }
+      ws.scope = std::move(combined);
+      ws.rows = std::move(joined);
+      return Status::Ok();
+    }
+  }
+
+  // General nested-loop join.
+  size_t incoming_width = incoming.columns.size();
+  for (const Row& left : ws.rows) {
+    bool matched = false;
+    for (const Row& right : incoming.rows) {
+      Row candidate = ConcatRows(left, right);
+      if (on) {
+        GRIDDB_ASSIGN_OR_RETURN(Value keep, Eval(*on, combined, candidate));
+        if (keep.is_null()) continue;
+        GRIDDB_ASSIGN_OR_RETURN(bool b, keep.AsBool());
+        if (!b) continue;
+      }
+      joined.push_back(std::move(candidate));
+      matched = true;
+    }
+    if (!matched && type == sql::JoinType::kLeft) {
+      joined.push_back(ConcatRows(left, Row(incoming_width)));
+    }
+  }
+  ws.scope = std::move(combined);
+  ws.rows = std::move(joined);
+  return Status::Ok();
+}
+
+/// Output column name for a select item.
+std::string OutputName(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == sql::Expr::Kind::kColumn) {
+    return item.expr->column_ref.column;
+  }
+  return sql::RenderExpr(*item.expr, sql::Dialect::For(sql::Vendor::kSqlite));
+}
+
+/// Expands SELECT * / t.* into concrete per-column items.
+Status ExpandStars(const sql::SelectStmt& stmt, const Scope& scope,
+                   std::vector<sql::SelectItem>& items,
+                   std::vector<std::string>& names) {
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->kind != sql::Expr::Kind::kStar) {
+      items.push_back({item.expr->Clone(), item.alias});
+      names.push_back(OutputName(item));
+      continue;
+    }
+    const std::string& qualifier = item.expr->column_ref.table;
+    if (qualifier.empty()) {
+      for (size_t i = 0; i < scope.size(); ++i) {
+        items.push_back(
+            {sql::MakeColumn(scope.qualifier(i), scope.column(i)), ""});
+        names.push_back(scope.column(i));
+      }
+    } else {
+      std::vector<size_t> columns = scope.ColumnsOf(qualifier);
+      if (columns.empty()) {
+        return NotFound("unknown table '" + qualifier + "' in " + qualifier +
+                        ".*");
+      }
+      for (size_t i : columns) {
+        items.push_back({sql::MakeColumn(qualifier, scope.column(i)), ""});
+        names.push_back(scope.column(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                const TableSource& source) {
+  if (stmt.from.empty()) return InvalidArgument("SELECT requires FROM");
+
+  // Reject duplicate effective table names (t join t without aliases).
+  {
+    std::vector<const sql::TableRef*> tables = stmt.AllTables();
+    for (size_t i = 0; i < tables.size(); ++i) {
+      for (size_t j = i + 1; j < tables.size(); ++j) {
+        if (EqualsIgnoreCase(tables[i]->EffectiveName(),
+                             tables[j]->EffectiveName())) {
+          return InvalidArgument("duplicate table name/alias '" +
+                                 tables[i]->EffectiveName() +
+                                 "'; use aliases to disambiguate");
+        }
+      }
+    }
+  }
+
+  // FROM list: first table seeds the working set, remaining are cross joins.
+  WorkingSet ws;
+  {
+    GRIDDB_ASSIGN_OR_RETURN(ResultSet first,
+                            source.GetTable(stmt.from[0].table));
+    ws.scope.AddResultSet(stmt.from[0].EffectiveName(), first);
+    ws.rows = std::move(first.rows);
+  }
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    GRIDDB_ASSIGN_OR_RETURN(ResultSet table,
+                            source.GetTable(stmt.from[i].table));
+    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, stmt.from[i].EffectiveName(), table,
+                                    sql::JoinType::kCross, nullptr));
+  }
+  for (const sql::Join& join : stmt.joins) {
+    GRIDDB_ASSIGN_OR_RETURN(ResultSet table, source.GetTable(join.table.table));
+    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, join.table.EffectiveName(), table,
+                                    join.type, join.on.get()));
+  }
+
+  // WHERE.
+  if (stmt.where) {
+    std::vector<Row> kept;
+    kept.reserve(ws.rows.size());
+    for (Row& row : ws.rows) {
+      GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*stmt.where, ws.scope, row));
+      if (v.is_null()) continue;
+      GRIDDB_ASSIGN_OR_RETURN(bool keep, v.AsBool());
+      if (keep) kept.push_back(std::move(row));
+    }
+    ws.rows = std::move(kept);
+  }
+
+  // Expand stars now that the scope is known.
+  std::vector<sql::SelectItem> items;
+  std::vector<std::string> names;
+  GRIDDB_RETURN_IF_ERROR(ExpandStars(stmt, ws.scope, items, names));
+
+  bool has_aggregate = !stmt.group_by.empty() ||
+                       (stmt.having && ContainsAggregate(*stmt.having));
+  for (const sql::SelectItem& item : items) {
+    if (ContainsAggregate(*item.expr)) has_aggregate = true;
+  }
+
+  ResultSet out;
+  out.columns = names;
+
+  // Order keys computed alongside each output row, sorted before LIMIT.
+  std::vector<std::vector<Value>> order_keys;
+  bool has_order = !stmt.order_by.empty();
+
+  auto eval_order_keys =
+      [&](const std::vector<const Row*>& group, const Row* plain_row,
+          const Row& projected) -> Result<std::vector<Value>> {
+    std::vector<Value> keys;
+    keys.reserve(stmt.order_by.size());
+    for (const sql::OrderItem& item : stmt.order_by) {
+      // ORDER BY may name an output alias or position.
+      if (item.expr->kind == sql::Expr::Kind::kLiteral &&
+          item.expr->literal.type() == storage::DataType::kInt64) {
+        int64_t pos = item.expr->literal.AsInt64Strict();
+        if (pos < 1 || pos > static_cast<int64_t>(projected.size())) {
+          return InvalidArgument("ORDER BY position out of range");
+        }
+        keys.push_back(projected[static_cast<size_t>(pos - 1)]);
+        continue;
+      }
+      if (item.expr->kind == sql::Expr::Kind::kColumn &&
+          item.expr->column_ref.table.empty()) {
+        // Alias match takes precedence over scope columns, per SQL.
+        bool found = false;
+        for (size_t i = 0; i < names.size(); ++i) {
+          if (EqualsIgnoreCase(names[i], item.expr->column_ref.column)) {
+            keys.push_back(projected[i]);
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;
+      }
+      if (has_aggregate) {
+        GRIDDB_ASSIGN_OR_RETURN(Value v, EvalGrouped(*item.expr, ws.scope, group));
+        keys.push_back(std::move(v));
+      } else {
+        GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ws.scope, *plain_row));
+        keys.push_back(std::move(v));
+      }
+    }
+    return keys;
+  };
+
+  if (has_aggregate) {
+    // Group rows by the GROUP BY key vector.
+    std::vector<std::pair<std::vector<Value>, std::vector<const Row*>>> groups;
+    std::unordered_map<size_t, std::vector<size_t>> buckets;  // hash -> group idx
+    for (const Row& row : ws.rows) {
+      std::vector<Value> key;
+      key.reserve(stmt.group_by.size());
+      for (const sql::ExprPtr& g : stmt.group_by) {
+        GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*g, ws.scope, row));
+        key.push_back(std::move(v));
+      }
+      size_t h = storage::RowHasher{}(key);
+      bool placed = false;
+      for (size_t idx : buckets[h]) {
+        if (groups[idx].first.size() == key.size()) {
+          bool equal = true;
+          for (size_t i = 0; i < key.size(); ++i) {
+            const Value& a = groups[idx].first[i];
+            const Value& b = key[i];
+            if (a.is_null() != b.is_null() ||
+                (!a.is_null() && a.Compare(b) != 0)) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            groups[idx].second.push_back(&row);
+            placed = true;
+            break;
+          }
+        }
+      }
+      if (!placed) {
+        buckets[h].push_back(groups.size());
+        groups.emplace_back(std::move(key), std::vector<const Row*>{&row});
+      }
+    }
+    // No GROUP BY but aggregates: one group over everything (even empty).
+    if (stmt.group_by.empty()) {
+      std::vector<const Row*> all;
+      all.reserve(ws.rows.size());
+      for (const Row& row : ws.rows) all.push_back(&row);
+      groups.clear();
+      groups.emplace_back(std::vector<Value>{}, std::move(all));
+    }
+
+    for (auto& [key, group_rows] : groups) {
+      if (stmt.having) {
+        GRIDDB_ASSIGN_OR_RETURN(Value keep,
+                                EvalGrouped(*stmt.having, ws.scope, group_rows));
+        if (keep.is_null()) continue;
+        GRIDDB_ASSIGN_OR_RETURN(bool b, keep.AsBool());
+        if (!b) continue;
+      }
+      Row projected;
+      projected.reserve(items.size());
+      for (const sql::SelectItem& item : items) {
+        GRIDDB_ASSIGN_OR_RETURN(Value v,
+                                EvalGrouped(*item.expr, ws.scope, group_rows));
+        projected.push_back(std::move(v));
+      }
+      if (has_order) {
+        GRIDDB_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                                eval_order_keys(group_rows, nullptr, projected));
+        order_keys.push_back(std::move(keys));
+      }
+      out.rows.push_back(std::move(projected));
+    }
+  } else {
+    if (stmt.having) {
+      return InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    for (const Row& row : ws.rows) {
+      Row projected;
+      projected.reserve(items.size());
+      for (const sql::SelectItem& item : items) {
+        GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, ws.scope, row));
+        projected.push_back(std::move(v));
+      }
+      if (has_order) {
+        GRIDDB_ASSIGN_OR_RETURN(std::vector<Value> keys,
+                                eval_order_keys({}, &row, projected));
+        order_keys.push_back(std::move(keys));
+      }
+      out.rows.push_back(std::move(projected));
+    }
+  }
+
+  // ORDER BY: stable sort on the computed keys.
+  if (has_order) {
+    std::vector<size_t> permutation(out.rows.size());
+    for (size_t i = 0; i < permutation.size(); ++i) permutation[i] = i;
+    std::stable_sort(
+        permutation.begin(), permutation.end(), [&](size_t a, size_t b) {
+          for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+            int cmp = order_keys[a][k].Compare(order_keys[b][k]);
+            if (cmp != 0) {
+              return stmt.order_by[k].ascending ? cmp < 0 : cmp > 0;
+            }
+          }
+          return false;
+        });
+    std::vector<Row> sorted;
+    sorted.reserve(out.rows.size());
+    for (size_t i : permutation) sorted.push_back(std::move(out.rows[i]));
+    out.rows = std::move(sorted);
+  }
+
+  // DISTINCT (preserves the post-sort order of first occurrences).
+  if (stmt.distinct) {
+    std::vector<Row> unique;
+    std::unordered_map<size_t, std::vector<size_t>> seen;
+    for (Row& row : out.rows) {
+      size_t h = storage::RowHasher{}(row);
+      bool duplicate = false;
+      for (size_t idx : seen[h]) {
+        const Row& other = unique[idx];
+        if (other.size() != row.size()) continue;
+        bool equal = true;
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (row[i].is_null() != other[i].is_null() ||
+              (!row[i].is_null() && row[i].Compare(other[i]) != 0)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        seen[h].push_back(unique.size());
+        unique.push_back(std::move(row));
+      }
+    }
+    out.rows = std::move(unique);
+  }
+
+  // OFFSET / LIMIT.
+  if (stmt.offset && *stmt.offset > 0) {
+    size_t skip = std::min<size_t>(out.rows.size(),
+                                   static_cast<size_t>(*stmt.offset));
+    out.rows.erase(out.rows.begin(), out.rows.begin() + static_cast<long>(skip));
+  }
+  if (stmt.limit && *stmt.limit >= 0 &&
+      out.rows.size() > static_cast<size_t>(*stmt.limit)) {
+    out.rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+
+  return out;
+}
+
+}  // namespace griddb::engine

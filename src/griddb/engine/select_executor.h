@@ -1,0 +1,40 @@
+// SELECT execution over an abstract table source.
+//
+// The executor is deliberately decoupled from Database so that the same
+// code runs in three places: inside each vendor engine, inside the Unity
+// driver's middleware-side join of per-mart partial results, and inside
+// warehouse view materialization.
+#pragma once
+
+#include <string>
+
+#include "griddb/sql/ast.h"
+#include "griddb/storage/result_set.h"
+#include "griddb/util/status.h"
+
+namespace griddb::engine {
+
+/// Provides the rows of a named table (or view) to the executor.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+  virtual Result<storage::ResultSet> GetTable(const std::string& name) const = 0;
+};
+
+/// Simple TableSource over pre-materialized result sets keyed by name
+/// (case-insensitive). Used by the federated merge step.
+class MapTableSource : public TableSource {
+ public:
+  void Add(std::string name, storage::ResultSet rs);
+  Result<storage::ResultSet> GetTable(const std::string& name) const override;
+
+ private:
+  std::vector<std::pair<std::string, storage::ResultSet>> tables_;
+};
+
+/// Executes a SELECT against `source`. Joins, WHERE, GROUP BY/HAVING,
+/// aggregates, DISTINCT, ORDER BY and LIMIT/OFFSET are all evaluated here.
+Result<storage::ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                         const TableSource& source);
+
+}  // namespace griddb::engine

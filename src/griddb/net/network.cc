@@ -1,0 +1,70 @@
+#include "griddb/net/network.h"
+
+#include <mutex>
+
+namespace griddb::net {
+
+void Network::AddHost(const std::string& name) {
+  std::unique_lock lock(mu_);
+  hosts_[name] = true;
+}
+
+bool Network::HasHost(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return hosts_.count(name) > 0;
+}
+
+std::vector<std::string> Network::Hosts() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(hosts_.size());
+  for (const auto& [name, unused] : hosts_) {
+    (void)unused;
+    out.push_back(name);
+  }
+  return out;
+}
+
+Status Network::SetLink(const std::string& a, const std::string& b,
+                        LinkSpec spec) {
+  std::unique_lock lock(mu_);
+  if (!hosts_.count(a)) return NotFound("unknown host '" + a + "'");
+  if (!hosts_.count(b)) return NotFound("unknown host '" + b + "'");
+  links_[PairKey(a, b)] = spec;
+  return Status::Ok();
+}
+
+void Network::SetDefaultLink(LinkSpec spec) {
+  std::unique_lock lock(mu_);
+  default_link_ = spec;
+}
+
+Result<LinkSpec> Network::GetLink(const std::string& a,
+                                  const std::string& b) const {
+  std::shared_lock lock(mu_);
+  if (!hosts_.count(a)) return NotFound("unknown host '" + a + "'");
+  if (!hosts_.count(b)) return NotFound("unknown host '" + b + "'");
+  if (a == b) return loopback_;
+  auto it = links_.find(PairKey(a, b));
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Result<double> Network::TransferMs(const std::string& a, const std::string& b,
+                                   size_t bytes) const {
+  GRIDDB_ASSIGN_OR_RETURN(LinkSpec link, GetLink(a, b));
+  return link.TransferMs(bytes);
+}
+
+Result<double> Network::RoundTripMs(const std::string& a, const std::string& b,
+                                    size_t request_bytes,
+                                    size_t response_bytes) const {
+  GRIDDB_ASSIGN_OR_RETURN(LinkSpec link, GetLink(a, b));
+  return link.TransferMs(request_bytes) + link.TransferMs(response_bytes);
+}
+
+const ServiceCosts& ServiceCosts::Default() {
+  static const ServiceCosts costs;
+  return costs;
+}
+
+}  // namespace griddb::net

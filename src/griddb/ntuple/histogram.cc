@@ -1,0 +1,117 @@
+#include "griddb/ntuple/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace griddb::ntuple {
+
+Histogram1D::Histogram1D(std::string title, int nbins, double lo, double hi)
+    : title_(std::move(title)), lo_(lo), hi_(hi) {
+  assert(nbins > 0 && hi > lo);
+  bins_.assign(static_cast<size_t>(nbins), 0.0);
+  bin_width_ = (hi_ - lo_) / nbins;
+}
+
+void Histogram1D::Fill(double x, double weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  size_t bin = static_cast<size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, bins_.size() - 1);
+  bins_[bin] += weight;
+  entries_ += weight;
+  sum_ += weight * x;
+  sum_sq_ += weight * x * x;
+}
+
+double Histogram1D::BinCenter(int bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+double Histogram1D::Mean() const {
+  return entries_ > 0 ? sum_ / entries_ : 0.0;
+}
+
+double Histogram1D::StdDev() const {
+  if (entries_ <= 0) return 0.0;
+  double mean = Mean();
+  double var = sum_sq_ / entries_ - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram1D::MaxBinContent() const {
+  double best = 0;
+  for (double b : bins_) best = std::max(best, b);
+  return best;
+}
+
+std::string Histogram1D::ToAscii(int width) const {
+  std::string out = title_ + "  (entries=" + std::to_string(entries_) +
+                    ", mean=" + std::to_string(Mean()) +
+                    ", rms=" + std::to_string(StdDev()) + ")\n";
+  double max = MaxBinContent();
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%10.3f | ",
+                  BinCenter(static_cast<int>(i)));
+    out += label;
+    int bar = max > 0 ? static_cast<int>(bins_[i] / max * width) : 0;
+    out.append(static_cast<size_t>(bar), '#');
+    out += "  " + std::to_string(static_cast<long long>(bins_[i]));
+    out += '\n';
+  }
+  return out;
+}
+
+Histogram2D::Histogram2D(std::string title, int nx, double xlo, double xhi,
+                         int ny, double ylo, double yhi)
+    : title_(std::move(title)),
+      nx_(nx),
+      ny_(ny),
+      xlo_(xlo),
+      xhi_(xhi),
+      ylo_(ylo),
+      yhi_(yhi) {
+  assert(nx > 0 && ny > 0 && xhi > xlo && yhi > ylo);
+  bins_.assign(static_cast<size_t>(nx) * static_cast<size_t>(ny), 0.0);
+}
+
+void Histogram2D::Fill(double x, double y, double weight) {
+  if (x < xlo_ || x >= xhi_ || y < ylo_ || y >= yhi_) return;
+  size_t ix = std::min(static_cast<size_t>((x - xlo_) / (xhi_ - xlo_) *
+                                           static_cast<double>(nx_)),
+                       static_cast<size_t>(nx_ - 1));
+  size_t iy = std::min(static_cast<size_t>((y - ylo_) / (yhi_ - ylo_) *
+                                           static_cast<double>(ny_)),
+                       static_cast<size_t>(ny_ - 1));
+  bins_[iy * static_cast<size_t>(nx_) + ix] += weight;
+  entries_ += weight;
+}
+
+double Histogram2D::BinContent(int ix, int iy) const {
+  return bins_[static_cast<size_t>(iy) * static_cast<size_t>(nx_) +
+               static_cast<size_t>(ix)];
+}
+
+Status FillFromResultSet(Histogram1D& hist, const storage::ResultSet& rs,
+                         const std::string& column) {
+  int idx = rs.ColumnIndex(column);
+  if (idx < 0) {
+    return NotFound("result set has no column '" + column + "'");
+  }
+  for (const storage::Row& row : rs.rows) {
+    const storage::Value& cell = row[static_cast<size_t>(idx)];
+    if (cell.is_null()) continue;
+    GRIDDB_ASSIGN_OR_RETURN(double v, cell.AsDouble());
+    hist.Fill(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace griddb::ntuple

@@ -1,0 +1,73 @@
+// HBOOK-style histograms (paper ref [11]) and the JAS-plug-in bridge.
+//
+// The prototype ships a Java Analysis Studio plug-in that submits queries
+// through the web service and visualizes the returned rows as histograms
+// (paper §6). Histogram1D/2D provide the booking/filling/statistics
+// surface; FillFromResultSet is the bridge from a query result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "griddb/storage/result_set.h"
+#include "griddb/util/status.h"
+
+namespace griddb::ntuple {
+
+class Histogram1D {
+ public:
+  Histogram1D(std::string title, int nbins, double lo, double hi);
+
+  void Fill(double x, double weight = 1.0);
+
+  const std::string& title() const { return title_; }
+  int nbins() const { return static_cast<int>(bins_.size()); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double BinContent(int bin) const { return bins_[static_cast<size_t>(bin)]; }
+  double BinCenter(int bin) const;
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// Weighted entry count inside the axis range.
+  double entries() const { return entries_; }
+  double Mean() const;
+  double StdDev() const;
+  double MaxBinContent() const;
+
+  /// Simple terminal rendering (bar per bin).
+  std::string ToAscii(int width = 50) const;
+
+ private:
+  std::string title_;
+  double lo_, hi_, bin_width_;
+  std::vector<double> bins_;
+  double underflow_ = 0, overflow_ = 0;
+  double entries_ = 0, sum_ = 0, sum_sq_ = 0;
+};
+
+class Histogram2D {
+ public:
+  Histogram2D(std::string title, int nx, double xlo, double xhi, int ny,
+              double ylo, double yhi);
+
+  void Fill(double x, double y, double weight = 1.0);
+  double BinContent(int ix, int iy) const;
+  double entries() const { return entries_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+ private:
+  std::string title_;
+  int nx_, ny_;
+  double xlo_, xhi_, ylo_, yhi_;
+  std::vector<double> bins_;  // row-major [iy * nx + ix]
+  double entries_ = 0;
+};
+
+/// Fills `hist` from a named numeric column of a query result — what the
+/// JAS plug-in does with rows returned by the data access service.
+Status FillFromResultSet(Histogram1D& hist, const storage::ResultSet& rs,
+                         const std::string& column);
+
+}  // namespace griddb::ntuple

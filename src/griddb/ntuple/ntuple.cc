@@ -1,0 +1,176 @@
+#include "griddb/ntuple/ntuple.h"
+
+#include <cmath>
+
+#include "griddb/util/rng.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::ntuple {
+
+using storage::DataType;
+using storage::Row;
+using storage::TableSchema;
+using storage::Value;
+
+Status Ntuple::Append(int64_t run_id, std::vector<double> values) {
+  if (values.size() != variables_.size()) {
+    return InvalidArgument("event has " + std::to_string(values.size()) +
+                           " values, ntuple declares " +
+                           std::to_string(variables_.size()) + " variables");
+  }
+  NtupleEvent event;
+  event.event_id = next_id_++;
+  event.run_id = run_id;
+  event.values = std::move(values);
+  events_.push_back(std::move(event));
+  return Status::Ok();
+}
+
+int Ntuple::VariableIndex(std::string_view name) const {
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (EqualsIgnoreCase(variables_[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+const char* kPhysicsVars[8] = {"e_total", "pt",     "eta",  "phi",
+                               "nhits",   "charge", "chi2", "mass"};
+const char* kDetectors[] = {"ECAL", "HCAL", "TRACKER", "MUON_CH"};
+}  // namespace
+
+std::vector<RunInfo> GenerateRuns(const GeneratorOptions& options) {
+  std::vector<RunInfo> runs;
+  size_t n = std::max<size_t>(1, options.num_runs);
+  runs.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    runs.push_back({static_cast<int64_t>(r + 1),
+                    kDetectors[r % (sizeof(kDetectors) / sizeof(*kDetectors))]});
+  }
+  return runs;
+}
+
+Ntuple GenerateNtuple(const GeneratorOptions& options) {
+  size_t nvar = std::max<size_t>(8, options.nvar);
+  std::vector<std::string> names;
+  names.reserve(nvar);
+  for (size_t i = 0; i < nvar; ++i) {
+    names.push_back(i < 8 ? kPhysicsVars[i] : "var_" + std::to_string(i));
+  }
+  Ntuple nt(std::move(names), options.first_event_id);
+
+  Rng rng(options.seed);
+  size_t num_runs = std::max<size_t>(1, options.num_runs);
+  for (size_t e = 0; e < options.num_events; ++e) {
+    std::vector<double> v(nvar);
+    double pt = rng.Exponential(1.0 / 18.0);            // ~18 GeV mean
+    double eta = rng.Gaussian(0.0, 1.6);
+    double phi = rng.Uniform(-M_PI, M_PI);
+    double mass = std::fabs(rng.Gaussian(91.0, 6.0));   // Z-ish peak
+    v[0] = pt * std::cosh(eta) + rng.Exponential(0.5);  // e_total
+    v[1] = pt;
+    v[2] = eta;
+    v[3] = phi;
+    v[4] = static_cast<double>(rng.UniformInt(4, 48));  // nhits
+    v[5] = rng.NextDouble() < 0.5 ? -1.0 : 1.0;         // charge
+    v[6] = rng.Exponential(1.0);                        // chi2
+    v[7] = mass;
+    for (size_t i = 8; i < nvar; ++i) v[i] = rng.Gaussian(0.0, 1.0);
+    int64_t run_id = rng.UniformInt(1, static_cast<int64_t>(num_runs));
+    (void)nt.Append(run_id, std::move(v));
+  }
+  return nt;
+}
+
+Status CreateNormalizedSchema(engine::Database& db, const std::string& prefix) {
+  GRIDDB_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      prefix + "runs", {{"run_id", DataType::kInt64, true, true},
+                        {"detector", DataType::kString, true, false}})));
+  GRIDDB_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      prefix + "events", {{"event_id", DataType::kInt64, true, true},
+                          {"run_id", DataType::kInt64, true, false}},
+      {{{"run_id"}, prefix + "runs", {"run_id"}}})));
+  GRIDDB_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      prefix + "variables", {{"var_id", DataType::kInt64, true, true},
+                             {"name", DataType::kString, true, false}})));
+  GRIDDB_RETURN_IF_ERROR(db.CreateTable(TableSchema(
+      prefix + "event_values",
+      {{"event_id", DataType::kInt64, true, false},
+       {"var_id", DataType::kInt64, true, false},
+       {"value", DataType::kDouble, false, false}},
+      {{{"event_id"}, prefix + "events", {"event_id"}},
+       {{"var_id"}, prefix + "variables", {"var_id"}}})));
+  return Status::Ok();
+}
+
+Status LoadNormalized(const Ntuple& nt, const std::vector<RunInfo>& runs,
+                      engine::Database& db, const std::string& prefix) {
+  std::vector<Row> run_rows;
+  run_rows.reserve(runs.size());
+  for (const RunInfo& run : runs) {
+    run_rows.push_back({Value(run.run_id), Value(run.detector)});
+  }
+  GRIDDB_RETURN_IF_ERROR(db.InsertRows(prefix + "runs", std::move(run_rows)));
+
+  std::vector<Row> var_rows;
+  var_rows.reserve(nt.nvar());
+  for (size_t i = 0; i < nt.nvar(); ++i) {
+    var_rows.push_back(
+        {Value(static_cast<int64_t>(i)), Value(nt.variables()[i])});
+  }
+  GRIDDB_RETURN_IF_ERROR(
+      db.InsertRows(prefix + "variables", std::move(var_rows)));
+
+  std::vector<Row> event_rows;
+  std::vector<Row> value_rows;
+  event_rows.reserve(nt.num_events());
+  value_rows.reserve(nt.num_events() * nt.nvar());
+  for (const NtupleEvent& event : nt.events()) {
+    event_rows.push_back({Value(event.event_id), Value(event.run_id)});
+    for (size_t i = 0; i < event.values.size(); ++i) {
+      value_rows.push_back({Value(event.event_id),
+                            Value(static_cast<int64_t>(i)),
+                            Value(event.values[i])});
+    }
+  }
+  GRIDDB_RETURN_IF_ERROR(
+      db.InsertRows(prefix + "events", std::move(event_rows)));
+  return db.InsertRows(prefix + "event_values", std::move(value_rows));
+}
+
+TableSchema DenormalizedSchema(const Ntuple& nt,
+                               const std::string& table_name) {
+  std::vector<storage::ColumnDef> columns = {
+      {"event_id", DataType::kInt64, true, true},
+      {"run_id", DataType::kInt64, true, false},
+      {"detector", DataType::kString, false, false}};
+  for (const std::string& var : nt.variables()) {
+    columns.push_back({var, DataType::kDouble, false, false});
+  }
+  return TableSchema(table_name, std::move(columns));
+}
+
+std::vector<Row> DenormalizedRows(const Ntuple& nt,
+                                  const std::vector<RunInfo>& runs) {
+  std::vector<Row> out;
+  out.reserve(nt.num_events());
+  for (const NtupleEvent& event : nt.events()) {
+    Row row;
+    row.reserve(3 + event.values.size());
+    row.push_back(Value(event.event_id));
+    row.push_back(Value(event.run_id));
+    std::string detector;
+    for (const RunInfo& run : runs) {
+      if (run.run_id == event.run_id) {
+        detector = run.detector;
+        break;
+      }
+    }
+    row.push_back(detector.empty() ? Value::Null() : Value(detector));
+    for (double v : event.values) row.push_back(Value(v));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace griddb::ntuple

@@ -1,0 +1,93 @@
+// HBOOK-style ntuples (paper §4.1) and their relational loading.
+//
+// "Suppose that a dataset contains 10000 events and each event consists
+// of many variables (say NVAR=200), then an Ntuple is like a table where
+// these 200 variables are the columns and each event is a row."
+//
+// The generator produces physics-flavoured synthetic events (the paper's
+// CMS test data is not public); LoadNormalized writes them into the
+// normalized source-database schema, and DenormalizedRows produces the
+// wide star-schema fact rows the ETL transform emits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griddb/engine/database.h"
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::ntuple {
+
+struct NtupleEvent {
+  int64_t event_id = 0;
+  int64_t run_id = 0;
+  std::vector<double> values;  ///< One per variable.
+};
+
+class Ntuple {
+ public:
+  Ntuple(std::vector<std::string> variable_names, int64_t first_event_id = 1)
+      : variables_(std::move(variable_names)), next_id_(first_event_id) {}
+
+  const std::vector<std::string>& variables() const { return variables_; }
+  size_t nvar() const { return variables_.size(); }
+  const std::vector<NtupleEvent>& events() const { return events_; }
+  size_t num_events() const { return events_.size(); }
+
+  /// Appends an event; `values` must have nvar entries.
+  Status Append(int64_t run_id, std::vector<double> values);
+
+  /// Index of a variable by name, or -1.
+  int VariableIndex(std::string_view name) const;
+
+ private:
+  std::vector<std::string> variables_;
+  std::vector<NtupleEvent> events_;
+  int64_t next_id_;
+};
+
+struct GeneratorOptions {
+  size_t num_events = 1000;
+  size_t nvar = 8;       ///< >= 8; extra variables are Gaussian "var_N".
+  size_t num_runs = 4;
+  uint64_t seed = 2005;  ///< Deterministic workloads for benches.
+  int64_t first_event_id = 1;
+};
+
+/// Synthesizes an ntuple. The first eight variables are physics-flavoured
+/// (e_total, pt, eta, phi, nhits, charge, chi2, mass) with plausible
+/// distributions; the remainder are var_8, var_9, ... Gaussians.
+Ntuple GenerateNtuple(const GeneratorOptions& options);
+
+/// The run metadata that accompanies generated events.
+struct RunInfo {
+  int64_t run_id;
+  std::string detector;
+};
+std::vector<RunInfo> GenerateRuns(const GeneratorOptions& options);
+
+// ---- relational loading ----
+
+/// Creates the normalized source schema (runs / events / variables /
+/// event_values) in `db`, using the dialect-appropriate DDL, with an
+/// optional table-name prefix for hosting several datasets side by side.
+Status CreateNormalizedSchema(engine::Database& db,
+                              const std::string& prefix = "");
+
+/// Loads an ntuple into the normalized schema. One row per (event,
+/// variable) lands in event_values — the shape the ETL must denormalize.
+Status LoadNormalized(const Ntuple& nt, const std::vector<RunInfo>& runs,
+                      engine::Database& db, const std::string& prefix = "");
+
+/// The denormalized (star fact) schema matching this ntuple: one column
+/// per variable plus event_id / run_id / detector.
+storage::TableSchema DenormalizedSchema(const Ntuple& nt,
+                                        const std::string& table_name);
+
+/// Wide fact rows for the warehouse (the ETL transform's output shape).
+std::vector<storage::Row> DenormalizedRows(const Ntuple& nt,
+                                           const std::vector<RunInfo>& runs);
+
+}  // namespace griddb::ntuple

@@ -1,0 +1,108 @@
+#include "griddb/ral/catalog.h"
+
+#include <mutex>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::ral {
+
+Result<ConnectionString> ConnectionString::Parse(std::string_view text) {
+  ConnectionString out;
+  out.raw = std::string(text);
+  size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return ParseError("connection string '" + out.raw +
+                      "' missing '<vendor>://'");
+  }
+  GRIDDB_ASSIGN_OR_RETURN(out.vendor,
+                          sql::VendorFromName(text.substr(0, scheme_end)));
+  std::string_view rest = text.substr(scheme_end + 3);
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash + 1 >= rest.size()) {
+    return ParseError("connection string '" + out.raw +
+                      "' missing '/<database>'");
+  }
+  out.host = std::string(rest.substr(0, slash));
+  out.database = std::string(rest.substr(slash + 1));
+  if (out.host.empty()) {
+    return ParseError("connection string '" + out.raw + "' missing host");
+  }
+  return out;
+}
+
+bool IsPoolSupported(sql::Vendor vendor) {
+  switch (vendor) {
+    case sql::Vendor::kOracle:
+    case sql::Vendor::kMySql:
+    case sql::Vendor::kSqlite:
+      return true;
+    case sql::Vendor::kMsSql:
+      return false;
+  }
+  return false;
+}
+
+Status DatabaseCatalog::Add(Entry entry) {
+  GRIDDB_ASSIGN_OR_RETURN(ConnectionString parsed,
+                          ConnectionString::Parse(entry.connection_string));
+  if (entry.database == nullptr) {
+    return InvalidArgument("catalog entry without a database");
+  }
+  if (parsed.vendor != entry.database->vendor()) {
+    return InvalidArgument(
+        "connection string vendor '" + std::string(sql::VendorName(parsed.vendor)) +
+        "' does not match database vendor '" +
+        sql::VendorName(entry.database->vendor()) + "'");
+  }
+  if (entry.host.empty()) entry.host = parsed.host;
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = entries_.emplace(entry.connection_string, entry);
+  (void)it;
+  if (!inserted) {
+    return AlreadyExists("'" + entry.connection_string +
+                         "' already registered");
+  }
+  return Status::Ok();
+}
+
+Status DatabaseCatalog::Remove(const std::string& connection_string) {
+  std::unique_lock lock(mu_);
+  if (entries_.erase(connection_string) == 0) {
+    return NotFound("'" + connection_string + "' not registered");
+  }
+  return Status::Ok();
+}
+
+Result<DatabaseCatalog::Entry> DatabaseCatalog::Find(
+    const std::string& connection_string) const {
+  std::shared_lock lock(mu_);
+  auto it = entries_.find(connection_string);
+  if (it == entries_.end()) {
+    return NotFound("no database at '" + connection_string + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> DatabaseCatalog::ConnectionStrings() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [conn, entry] : entries_) {
+    (void)entry;
+    out.push_back(conn);
+  }
+  return out;
+}
+
+Status DatabaseCatalog::Authenticate(const Entry& entry,
+                                     const std::string& user,
+                                     const std::string& password) const {
+  if (entry.user.empty()) return Status::Ok();
+  if (entry.user != user || entry.password != password) {
+    return PermissionDenied("invalid credentials for '" +
+                            entry.connection_string + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace griddb::ral

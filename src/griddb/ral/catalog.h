@@ -1,0 +1,62 @@
+// Grid-wide database catalog: connection strings -> database servers.
+//
+// Stands in for the DNS + listener + credential infrastructure that lets
+// the prototype reach its backends. A connection string has the form
+//   <vendor>://<host>/<database>        e.g. oracle://cern-tier1/warehouse
+// and resolves to an embedded engine::Database plus the credentials a
+// client must present and the network host the server lives on.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "griddb/engine/database.h"
+#include "griddb/util/status.h"
+
+namespace griddb::ral {
+
+/// Parsed "<vendor>://<host>/<database>".
+struct ConnectionString {
+  sql::Vendor vendor = sql::Vendor::kSqlite;
+  std::string host;
+  std::string database;
+  std::string raw;
+
+  static Result<ConnectionString> Parse(std::string_view text);
+};
+
+/// The vendors the real POOL-RAL libraries supported (Oracle, MySQL,
+/// SQLite); MS-SQL goes through the JDBC/Unity path instead (paper §4.3).
+bool IsPoolSupported(sql::Vendor vendor);
+
+class DatabaseCatalog {
+ public:
+  struct Entry {
+    std::string connection_string;
+    engine::Database* database = nullptr;
+    std::string host;          ///< Network host the server runs on.
+    std::string user;          ///< Empty = no authentication required.
+    std::string password;
+  };
+
+  /// Registers a database server. The connection string must parse, and
+  /// its vendor must match the database's vendor.
+  Status Add(Entry entry);
+  Status Remove(const std::string& connection_string);
+
+  Result<Entry> Find(const std::string& connection_string) const;
+  std::vector<std::string> ConnectionStrings() const;
+
+  /// Credential check used by drivers when opening a connection.
+  Status Authenticate(const Entry& entry, const std::string& user,
+                      const std::string& password) const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace griddb::ral

@@ -1,0 +1,262 @@
+#include "griddb/rpc/server.h"
+
+#include <mutex>
+
+#include "griddb/util/logging.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::rpc {
+
+// ---------- Url ----------
+
+std::string Url::ToString() const {
+  return scheme + "://" + host + ":" + std::to_string(port) + path;
+}
+
+Result<Url> Url::Parse(std::string_view text) {
+  Url url;
+  size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return ParseError("URL '" + std::string(text) + "' missing scheme");
+  }
+  url.scheme = std::string(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+  size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  url.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+  size_t colon = authority.find(':');
+  if (colon == std::string_view::npos) {
+    url.host = std::string(authority);
+  } else {
+    url.host = std::string(authority.substr(0, colon));
+    int64_t port = 0;
+    if (!ParseInt64(authority.substr(colon + 1), &port) || port <= 0 ||
+        port > 65535) {
+      return ParseError("bad port in URL '" + std::string(text) + "'");
+    }
+    url.port = static_cast<int>(port);
+  }
+  if (url.host.empty()) {
+    return ParseError("URL '" + std::string(text) + "' missing host");
+  }
+  return url;
+}
+
+// ---------- Transport ----------
+
+namespace {
+/// Endpoints are keyed by normalized URL (explicit port, no trailing '/').
+Result<std::string> NormalizeUrl(const std::string& url) {
+  GRIDDB_ASSIGN_OR_RETURN(Url parsed, Url::Parse(url));
+  std::string path = parsed.path;
+  while (path.size() > 1 && path.back() == '/') path.pop_back();
+  parsed.path = path;
+  return parsed.ToString();
+}
+}  // namespace
+
+Status Transport::Bind(const std::string& url, RpcServer* server) {
+  GRIDDB_ASSIGN_OR_RETURN(std::string key, NormalizeUrl(url));
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = endpoints_.emplace(key, server);
+  (void)it;
+  if (!inserted) return AlreadyExists("endpoint '" + key + "' already bound");
+  return Status::Ok();
+}
+
+void Transport::Unbind(const std::string& url) {
+  auto key = NormalizeUrl(url);
+  if (!key.ok()) return;
+  std::unique_lock lock(mu_);
+  endpoints_.erase(*key);
+}
+
+Result<RpcServer*> Transport::Resolve(const std::string& url) const {
+  GRIDDB_ASSIGN_OR_RETURN(std::string key, NormalizeUrl(url));
+  std::shared_lock lock(mu_);
+  auto it = endpoints_.find(key);
+  if (it == endpoints_.end()) {
+    return Unavailable("no server bound at '" + key + "'");
+  }
+  return it->second;
+}
+
+// ---------- RpcServer ----------
+
+RpcServer::RpcServer(std::string url, Transport* transport)
+    : url_(std::move(url)), transport_(transport) {
+  auto parsed = Url::Parse(url_);
+  host_ = parsed.ok() ? parsed->host : "unknown-host";
+  Status bound = transport_->Bind(url_, this);
+  if (!bound.ok()) {
+    GRIDDB_LOG(Error) << "RpcServer bind failed: " << bound.ToString();
+  }
+}
+
+RpcServer::~RpcServer() { transport_->Unbind(url_); }
+
+Status RpcServer::RegisterMethod(const std::string& name,
+                                 MethodHandler handler) {
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = methods_.emplace(name, std::move(handler));
+  (void)it;
+  if (!inserted) return AlreadyExists("method '" + name + "' already registered");
+  return Status::Ok();
+}
+
+std::vector<std::string> RpcServer::MethodNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(methods_.size());
+  for (const auto& [name, handler] : methods_) {
+    (void)handler;
+    names.push_back(name);
+  }
+  return names;
+}
+
+void RpcServer::AddUser(const std::string& user, const std::string& password) {
+  std::unique_lock lock(mu_);
+  users_[user] = password;
+}
+
+bool RpcServer::auth_required() const {
+  std::shared_lock lock(mu_);
+  return !users_.empty();
+}
+
+Result<std::string> RpcServer::Login(const std::string& user,
+                                     const std::string& password) {
+  std::unique_lock lock(mu_);
+  auto it = users_.find(user);
+  if (it == users_.end() || it->second != password) {
+    return PermissionDenied("invalid credentials for user '" + user + "'");
+  }
+  std::string token =
+      "sess-" + std::to_string(next_session_++) + "-" + user;
+  sessions_[token] = user;
+  return token;
+}
+
+std::string RpcServer::HandleRaw(std::string_view raw_request,
+                                 const std::string& client_host,
+                                 net::Cost* cost, int forward_depth) {
+  CallContext ctx;
+  ctx.client_host = client_host;
+  ctx.server_host = host_;
+  ctx.transport = transport_;
+  ctx.forward_depth = forward_depth;
+  ctx.cost.AddMs(transport_->costs().query_parse_ms);
+
+  auto respond = [&](const Result<XmlRpcValue>& result) {
+    if (cost) cost->AddSequential(ctx.cost);
+    return result.ok() ? EncodeResponse(*result) : EncodeFault(result.status());
+  };
+
+  auto request = DecodeRequest(raw_request);
+  if (!request.ok()) return respond(request.status());
+
+  // Built-in session login.
+  if (request->method == "system.login") {
+    if (request->params.size() != 2) {
+      return respond(InvalidArgument("system.login expects (user, password)"));
+    }
+    auto user = request->params[0].AsString();
+    auto password = request->params[1].AsString();
+    if (!user.ok() || !password.ok()) {
+      return respond(InvalidArgument("system.login expects string params"));
+    }
+    auto token = Login(*user, *password);
+    if (!token.ok()) return respond(token.status());
+    return respond(XmlRpcValue(*token));
+  }
+  if (request->method == "system.listMethods") {
+    XmlRpcArray names;
+    for (const std::string& name : MethodNames()) names.emplace_back(name);
+    return respond(XmlRpcValue(std::move(names)));
+  }
+
+  // Session check.
+  if (auth_required()) {
+    std::shared_lock lock(mu_);
+    auto it = sessions_.find(request->session_token);
+    if (it == sessions_.end()) {
+      return respond(
+          PermissionDenied("missing or invalid session token; call "
+                           "system.login first"));
+    }
+    ctx.authenticated_user = it->second;
+  }
+
+  MethodHandler handler;
+  {
+    std::shared_lock lock(mu_);
+    auto it = methods_.find(request->method);
+    if (it == methods_.end()) {
+      return respond(
+          NotFound("no such method '" + request->method + "'"));
+    }
+    handler = it->second;
+  }
+  return respond(handler(request->params, ctx));
+}
+
+// ---------- RpcClient ----------
+
+RpcClient::RpcClient(Transport* transport, std::string client_host,
+                     std::string server_url, std::string user,
+                     std::string password)
+    : transport_(transport),
+      client_host_(std::move(client_host)),
+      server_url_(std::move(server_url)),
+      user_(std::move(user)),
+      password_(std::move(password)) {}
+
+Status RpcClient::Connect(net::Cost* cost) {
+  std::lock_guard<std::mutex> lock(connect_mu_);
+  if (connected_) return Status::Ok();
+  GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
+                          transport_->Resolve(server_url_));
+  // TCP + service handshake, then authentication when the server needs it.
+  double connect_ms = connect_cost_ms_ >= 0 ? connect_cost_ms_
+                                            : transport_->costs().connect_auth_ms;
+  if (cost) cost->AddMs(connect_ms);
+  if (server->auth_required()) {
+    GRIDDB_ASSIGN_OR_RETURN(std::string token, server->Login(user_, password_));
+    session_token_ = token;
+  }
+  connected_ = true;
+  return Status::Ok();
+}
+
+Result<XmlRpcValue> RpcClient::Call(const std::string& method,
+                                    XmlRpcArray params, net::Cost* cost,
+                                    int forward_depth) {
+  GRIDDB_RETURN_IF_ERROR(Connect(cost));
+  GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
+                          transport_->Resolve(server_url_));
+
+  RpcRequest request;
+  request.method = method;
+  request.params = std::move(params);
+  request.session_token = session_token_;
+  std::string raw_request = EncodeRequest(request);
+
+  net::Cost server_cost;
+  std::string raw_response =
+      server->HandleRaw(raw_request, client_host_, &server_cost, forward_depth);
+
+  if (cost) {
+    auto rtt = transport_->network()->RoundTripMs(
+        client_host_, server->host(), raw_request.size(), raw_response.size());
+    if (!rtt.ok()) return rtt.status();
+    cost->AddMs(*rtt);
+    cost->AddSequential(server_cost);
+  }
+  return DecodeResponse(raw_response);
+}
+
+}  // namespace griddb::rpc

@@ -1,0 +1,154 @@
+// Clarens-style RPC endpoint: transport registry, server, call context.
+//
+// Servers bind to URLs ("clarens://cern-tier1:8080/clarens") on a shared
+// Transport; clients resolve a URL and exchange encoded XML-RPC messages.
+// The Transport charges the simulated network for every message by its
+// actual encoded byte size, and the server charges per-operation service
+// costs into the call's Cost accumulator. Authentication follows the
+// Clarens session model: a login handshake issues a session token that
+// subsequent calls carry.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "griddb/net/network.h"
+#include "griddb/rpc/xmlrpc_value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::rpc {
+
+/// Parsed service URL: scheme://host[:port]/path
+struct Url {
+  std::string scheme;
+  std::string host;
+  int port = 8080;
+  std::string path;
+
+  std::string ToString() const;
+  static Result<Url> Parse(std::string_view text);
+};
+
+class RpcServer;
+
+/// Shared endpoint registry over the simulated network.
+class Transport {
+ public:
+  Transport(net::Network* network, net::ServiceCosts costs)
+      : network_(network), costs_(costs) {}
+
+  Status Bind(const std::string& url, RpcServer* server);
+  void Unbind(const std::string& url);
+  Result<RpcServer*> Resolve(const std::string& url) const;
+
+  net::Network* network() const { return network_; }
+  const net::ServiceCosts& costs() const { return costs_; }
+
+ private:
+  net::Network* network_;
+  net::ServiceCosts costs_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, RpcServer*> endpoints_;
+};
+
+/// Per-call state threaded through method handlers.
+struct CallContext {
+  std::string client_host;
+  std::string server_host;
+  std::string authenticated_user;  ///< Empty for anonymous calls.
+  net::Cost cost;                  ///< Server-side simulated cost.
+  Transport* transport = nullptr;  ///< For handlers that call out (RLS,
+                                   ///< remote JClarens forwarding).
+  int forward_depth = 0;           ///< Guards against forwarding loops.
+};
+
+using MethodHandler =
+    std::function<Result<XmlRpcValue>(const XmlRpcArray&, CallContext&)>;
+
+class RpcServer {
+ public:
+  /// Binds the server to `url` on `transport`. The URL's host must exist
+  /// in the transport's network.
+  RpcServer(std::string url, Transport* transport);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  const std::string& url() const { return url_; }
+  const std::string& host() const { return host_; }
+  Transport* transport() const { return transport_; }
+
+  Status RegisterMethod(const std::string& name, MethodHandler handler);
+  std::vector<std::string> MethodNames() const;
+
+  /// Adds a credential; once any credential exists, non-login calls
+  /// require a valid session token.
+  void AddUser(const std::string& user, const std::string& password);
+  bool auth_required() const;
+
+  /// Validates credentials and issues a session token ("system.login" is
+  /// also exposed as an RPC method).
+  Result<std::string> Login(const std::string& user,
+                            const std::string& password);
+
+  /// Server side of one exchange: decode, authenticate, dispatch, encode.
+  /// Service costs (parse/dispatch + handler-added) accumulate into `cost`.
+  std::string HandleRaw(std::string_view raw_request,
+                        const std::string& client_host, net::Cost* cost,
+                        int forward_depth = 0);
+
+ private:
+  std::string url_;
+  std::string host_;
+  Transport* transport_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, MethodHandler> methods_;
+  std::map<std::string, std::string> users_;     // user -> password
+  std::map<std::string, std::string> sessions_;  // token -> user
+  int next_session_ = 1;
+};
+
+/// Client-side proxy. Connection setup (resolve + authenticate) happens
+/// lazily on the first call and its cost is charged once, mirroring the
+/// paper's "connecting and authenticating with several databases or
+/// servers" penalty; later calls reuse the session. Thread-safe: parallel
+/// sub-query fan-out may share one cached client per remote server.
+class RpcClient {
+ public:
+  RpcClient(Transport* transport, std::string client_host,
+            std::string server_url, std::string user = "",
+            std::string password = "");
+
+  /// Explicit connect (optional; Call connects on demand).
+  Status Connect(net::Cost* cost);
+  bool connected() const { return connected_; }
+
+  /// Overrides the one-time connection-setup charge. The RLS client sets
+  /// this to 0: Globus RLS is a lightweight connectionless catalog
+  /// protocol, so only the per-lookup cost applies.
+  void set_connect_cost_ms(double ms) { connect_cost_ms_ = ms; }
+
+  /// One RPC. Network transfer both ways + server-side handler cost are
+  /// added to `cost` (which may be null when the caller doesn't account).
+  Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params,
+                           net::Cost* cost, int forward_depth = 0);
+
+  const std::string& server_url() const { return server_url_; }
+
+ private:
+  Transport* transport_;
+  std::string client_host_;
+  std::string server_url_;
+  std::string user_;
+  std::string password_;
+  std::mutex connect_mu_;          ///< Serializes the connect handshake.
+  bool connected_ = false;
+  double connect_cost_ms_ = -1.0;  ///< <0 = use transport default.
+  std::string session_token_;
+};
+
+}  // namespace griddb::rpc

@@ -1,0 +1,298 @@
+#include "griddb/rpc/xmlrpc_value.h"
+
+#include "griddb/util/strings.h"
+
+namespace griddb::rpc {
+
+using storage::DataType;
+using storage::Value;
+
+Result<int64_t> XmlRpcValue::AsInt() const {
+  if (const auto* v = std::get_if<int64_t>(&data_)) return *v;
+  return TypeError("XML-RPC value is not an int");
+}
+
+Result<double> XmlRpcValue::AsDouble() const {
+  if (const auto* v = std::get_if<double>(&data_)) return *v;
+  if (const auto* v = std::get_if<int64_t>(&data_)) {
+    return static_cast<double>(*v);
+  }
+  return TypeError("XML-RPC value is not a double");
+}
+
+Result<bool> XmlRpcValue::AsBool() const {
+  if (const auto* v = std::get_if<bool>(&data_)) return *v;
+  return TypeError("XML-RPC value is not a boolean");
+}
+
+Result<std::string> XmlRpcValue::AsString() const {
+  if (const auto* v = std::get_if<std::string>(&data_)) return *v;
+  return TypeError("XML-RPC value is not a string");
+}
+
+Result<const XmlRpcArray*> XmlRpcValue::AsArray() const {
+  if (const auto* v = std::get_if<XmlRpcArray>(&data_)) return v;
+  return TypeError("XML-RPC value is not an array");
+}
+
+Result<const XmlRpcStruct*> XmlRpcValue::AsStruct() const {
+  if (const auto* v = std::get_if<XmlRpcStruct>(&data_)) return v;
+  return TypeError("XML-RPC value is not a struct");
+}
+
+Result<const XmlRpcValue*> XmlRpcValue::Member(const std::string& key) const {
+  GRIDDB_ASSIGN_OR_RETURN(const XmlRpcStruct* s, AsStruct());
+  auto it = s->find(key);
+  if (it == s->end()) return NotFound("struct member '" + key + "' absent");
+  return &it->second;
+}
+
+xml::Node XmlRpcValue::ToXml() const {
+  xml::Node value_node("value");
+  if (is_empty()) {
+    value_node.AddChild("nil");
+  } else if (const auto* i = std::get_if<int64_t>(&data_)) {
+    value_node.AddTextChild("i4", std::to_string(*i));
+  } else if (const auto* d = std::get_if<double>(&data_)) {
+    value_node.AddTextChild("double", StrFormat("%.17g", *d));
+  } else if (const auto* b = std::get_if<bool>(&data_)) {
+    value_node.AddTextChild("boolean", *b ? "1" : "0");
+  } else if (const auto* s = std::get_if<std::string>(&data_)) {
+    value_node.AddTextChild("string", *s);
+  } else if (const auto* array = std::get_if<XmlRpcArray>(&data_)) {
+    xml::Node& data = value_node.AddChild("array").AddChild("data");
+    for (const XmlRpcValue& item : *array) {
+      data.children.push_back(
+          std::make_unique<xml::Node>(item.ToXml()));
+    }
+  } else if (const auto* record = std::get_if<XmlRpcStruct>(&data_)) {
+    xml::Node& struct_node = value_node.AddChild("struct");
+    for (const auto& [key, member] : *record) {
+      xml::Node& member_node = struct_node.AddChild("member");
+      member_node.AddTextChild("name", key);
+      member_node.children.push_back(
+          std::make_unique<xml::Node>(member.ToXml()));
+    }
+  }
+  return value_node;
+}
+
+Result<XmlRpcValue> XmlRpcValue::FromXml(const xml::Node& value_node) {
+  if (value_node.name != "value") {
+    return ParseError("expected <value> element, got <" + value_node.name + ">");
+  }
+  // Bare text inside <value> is a string per the XML-RPC spec.
+  if (value_node.children.empty()) return XmlRpcValue(value_node.text);
+
+  const xml::Node& type_node = *value_node.children[0];
+  const std::string& tag = type_node.name;
+  if (tag == "nil") return XmlRpcValue();
+  if (tag == "i4" || tag == "int") {
+    int64_t v = 0;
+    if (!ParseInt64(type_node.text, &v)) {
+      return ParseError("bad XML-RPC int '" + type_node.text + "'");
+    }
+    return XmlRpcValue(v);
+  }
+  if (tag == "double") {
+    double v = 0;
+    if (!ParseDouble(type_node.text, &v)) {
+      return ParseError("bad XML-RPC double '" + type_node.text + "'");
+    }
+    return XmlRpcValue(v);
+  }
+  if (tag == "boolean") {
+    if (type_node.text == "1") return XmlRpcValue(true);
+    if (type_node.text == "0") return XmlRpcValue(false);
+    return ParseError("bad XML-RPC boolean '" + type_node.text + "'");
+  }
+  if (tag == "string") return XmlRpcValue(type_node.text);
+  if (tag == "array") {
+    const xml::Node* data = type_node.Child("data");
+    if (!data) return ParseError("<array> without <data>");
+    XmlRpcArray array;
+    array.reserve(data->children.size());
+    for (const auto& child : data->children) {
+      GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue item, FromXml(*child));
+      array.push_back(std::move(item));
+    }
+    return XmlRpcValue(std::move(array));
+  }
+  if (tag == "struct") {
+    XmlRpcStruct record;
+    for (const auto& member : type_node.children) {
+      if (member->name != "member") {
+        return ParseError("<struct> child is not <member>");
+      }
+      const xml::Node* name = member->Child("name");
+      const xml::Node* value = member->Child("value");
+      if (!name || !value) return ParseError("<member> missing name/value");
+      GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue item, FromXml(*value));
+      record[name->text] = std::move(item);
+    }
+    return XmlRpcValue(std::move(record));
+  }
+  return ParseError("unknown XML-RPC type <" + tag + ">");
+}
+
+size_t XmlRpcValue::WireSize() const {
+  xml::WriteOptions options;
+  options.pretty = false;
+  options.declaration = false;
+  return xml::Write(ToXml(), options).size();
+}
+
+// ---- ResultSet interop ----
+
+XmlRpcValue ResultSetToRpc(const storage::ResultSet& rs) {
+  XmlRpcArray columns;
+  columns.reserve(rs.columns.size());
+  for (const std::string& c : rs.columns) columns.emplace_back(c);
+
+  XmlRpcArray rows;
+  rows.reserve(rs.rows.size());
+  for (const storage::Row& row : rs.rows) {
+    XmlRpcArray cells;
+    cells.reserve(row.size());
+    for (const Value& cell : row) {
+      switch (cell.type()) {
+        case DataType::kNull: cells.emplace_back(); break;
+        case DataType::kInt64: cells.emplace_back(cell.AsInt64Strict()); break;
+        case DataType::kDouble: cells.emplace_back(cell.AsDoubleStrict()); break;
+        case DataType::kBool: cells.emplace_back(cell.AsBoolStrict()); break;
+        case DataType::kString: cells.emplace_back(cell.AsStringStrict()); break;
+      }
+    }
+    rows.emplace_back(std::move(cells));
+  }
+  XmlRpcStruct out;
+  out["columns"] = std::move(columns);
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+Result<storage::ResultSet> RpcToResultSet(const XmlRpcValue& value) {
+  storage::ResultSet rs;
+  GRIDDB_ASSIGN_OR_RETURN(const XmlRpcValue* columns, value.Member("columns"));
+  GRIDDB_ASSIGN_OR_RETURN(const XmlRpcArray* column_items, columns->AsArray());
+  for (const XmlRpcValue& c : *column_items) {
+    GRIDDB_ASSIGN_OR_RETURN(std::string name, c.AsString());
+    rs.columns.push_back(std::move(name));
+  }
+  GRIDDB_ASSIGN_OR_RETURN(const XmlRpcValue* rows, value.Member("rows"));
+  GRIDDB_ASSIGN_OR_RETURN(const XmlRpcArray* row_items, rows->AsArray());
+  for (const XmlRpcValue& row_value : *row_items) {
+    GRIDDB_ASSIGN_OR_RETURN(const XmlRpcArray* cells, row_value.AsArray());
+    storage::Row row;
+    row.reserve(cells->size());
+    for (const XmlRpcValue& cell : *cells) {
+      if (cell.is_empty()) row.push_back(Value::Null());
+      else if (cell.is_int()) row.push_back(Value(cell.AsInt().value()));
+      else if (cell.is_double()) row.push_back(Value(cell.AsDouble().value()));
+      else if (cell.is_bool()) row.push_back(Value(cell.AsBool().value()));
+      else if (cell.is_string()) row.push_back(Value(cell.AsString().value()));
+      else return TypeError("unsupported cell type in result set");
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  return rs;
+}
+
+// ---- message codec ----
+
+namespace {
+xml::WriteOptions CompactXml() {
+  xml::WriteOptions options;
+  options.pretty = false;
+  return options;
+}
+}  // namespace
+
+std::string EncodeRequest(const RpcRequest& request) {
+  xml::Node root("methodCall");
+  root.AddTextChild("methodName", request.method);
+  if (!request.session_token.empty()) {
+    root.AddTextChild("sessionToken", request.session_token);
+  }
+  xml::Node& params = root.AddChild("params");
+  for (const XmlRpcValue& param : request.params) {
+    xml::Node& param_node = params.AddChild("param");
+    param_node.children.push_back(std::make_unique<xml::Node>(param.ToXml()));
+  }
+  return xml::Write(root, CompactXml());
+}
+
+Result<RpcRequest> DecodeRequest(std::string_view raw) {
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> doc, xml::Parse(raw));
+  if (doc->name != "methodCall") {
+    return ParseError("expected <methodCall> document");
+  }
+  RpcRequest request;
+  request.method = doc->ChildText("methodName");
+  if (request.method.empty()) return ParseError("missing <methodName>");
+  request.session_token = doc->ChildText("sessionToken");
+  if (const xml::Node* params = doc->Child("params")) {
+    for (const auto& param : params->children) {
+      if (param->name != "param" || param->children.empty()) {
+        return ParseError("malformed <param>");
+      }
+      GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue value,
+                              XmlRpcValue::FromXml(*param->children[0]));
+      request.params.push_back(std::move(value));
+    }
+  }
+  return request;
+}
+
+std::string EncodeResponse(const XmlRpcValue& value) {
+  xml::Node root("methodResponse");
+  xml::Node& param = root.AddChild("params").AddChild("param");
+  param.children.push_back(std::make_unique<xml::Node>(value.ToXml()));
+  return xml::Write(root, CompactXml());
+}
+
+std::string EncodeFault(const Status& status) {
+  xml::Node root("methodResponse");
+  xml::Node& fault = root.AddChild("fault");
+  XmlRpcStruct detail;
+  detail["faultCode"] = static_cast<int64_t>(status.code());
+  detail["faultString"] = std::string(StatusCodeName(status.code())) + ": " +
+                          status.message();
+  fault.children.push_back(
+      std::make_unique<xml::Node>(XmlRpcValue(detail).ToXml()));
+  return xml::Write(root, CompactXml());
+}
+
+Result<XmlRpcValue> DecodeResponse(std::string_view raw) {
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> doc, xml::Parse(raw));
+  if (doc->name != "methodResponse") {
+    return ParseError("expected <methodResponse> document");
+  }
+  if (const xml::Node* fault = doc->Child("fault")) {
+    if (fault->children.empty()) return ParseError("empty <fault>");
+    GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue detail,
+                            XmlRpcValue::FromXml(*fault->children[0]));
+    auto code_member = detail.Member("faultCode");
+    auto text_member = detail.Member("faultString");
+    StatusCode code = StatusCode::kInternal;
+    std::string message = "remote fault";
+    if (code_member.ok()) {
+      auto code_value = (*code_member)->AsInt();
+      if (code_value.ok()) code = static_cast<StatusCode>(*code_value);
+    }
+    if (text_member.ok()) {
+      auto text = (*text_member)->AsString();
+      if (text.ok()) message = *text;
+    }
+    if (code == StatusCode::kOk) code = StatusCode::kInternal;
+    return Status(code, message);
+  }
+  const xml::Node* params = doc->Child("params");
+  if (!params || params->children.empty() ||
+      params->children[0]->children.empty()) {
+    return ParseError("response missing <params>");
+  }
+  return XmlRpcValue::FromXml(*params->children[0]->children[0]);
+}
+
+}  // namespace griddb::rpc

@@ -1,0 +1,94 @@
+// XML-RPC value model and wire codec.
+//
+// Clarens exposes its services over XML-RPC; JClarens (the Java server the
+// paper builds on) keeps the same wire format. We implement the classic
+// <methodCall>/<methodResponse> vocabulary: i4/int, double, boolean,
+// string, array and struct. (dateTime and base64 are not needed by any of
+// the services in the prototype.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "griddb/storage/result_set.h"
+#include "griddb/util/status.h"
+#include "griddb/xml/xml.h"
+
+namespace griddb::rpc {
+
+class XmlRpcValue;
+using XmlRpcArray = std::vector<XmlRpcValue>;
+using XmlRpcStruct = std::map<std::string, XmlRpcValue>;
+
+class XmlRpcValue {
+ public:
+  XmlRpcValue() : data_(std::monostate{}) {}
+  XmlRpcValue(int64_t v) : data_(v) {}  // NOLINT(google-explicit-constructor)
+  XmlRpcValue(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  XmlRpcValue(double v) : data_(v) {}   // NOLINT
+  XmlRpcValue(bool v) : data_(v) {}     // NOLINT
+  XmlRpcValue(std::string v) : data_(std::move(v)) {}  // NOLINT
+  XmlRpcValue(const char* v) : data_(std::string(v)) {}  // NOLINT
+  XmlRpcValue(XmlRpcArray v) : data_(std::move(v)) {}    // NOLINT
+  XmlRpcValue(XmlRpcStruct v) : data_(std::move(v)) {}   // NOLINT
+
+  bool is_empty() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<XmlRpcArray>(data_); }
+  bool is_struct() const { return std::holds_alternative<XmlRpcStruct>(data_); }
+
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;  ///< ints widen to double
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+  Result<const XmlRpcArray*> AsArray() const;
+  Result<const XmlRpcStruct*> AsStruct() const;
+
+  /// Struct member access; error when not a struct or key absent.
+  Result<const XmlRpcValue*> Member(const std::string& key) const;
+
+  /// Serializes this value as a <value>...</value> element.
+  xml::Node ToXml() const;
+  static Result<XmlRpcValue> FromXml(const xml::Node& value_node);
+
+  /// Approximate wire footprint: the serialized XML size.
+  size_t WireSize() const;
+
+  bool operator==(const XmlRpcValue& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, XmlRpcArray,
+               XmlRpcStruct>
+      data_;
+};
+
+// ---- storage interop: result sets cross the wire as struct{columns,rows}.
+
+XmlRpcValue ResultSetToRpc(const storage::ResultSet& rs);
+Result<storage::ResultSet> RpcToResultSet(const XmlRpcValue& value);
+
+// ---- message codec ----
+
+struct RpcRequest {
+  std::string method;
+  XmlRpcArray params;
+  std::string session_token;  ///< Carried as a header param; empty = none.
+};
+
+std::string EncodeRequest(const RpcRequest& request);
+Result<RpcRequest> DecodeRequest(std::string_view raw);
+
+/// Successful response payload.
+std::string EncodeResponse(const XmlRpcValue& value);
+/// Fault response (code derived from StatusCode).
+std::string EncodeFault(const Status& status);
+/// Decodes either form; faults come back as error Status.
+Result<XmlRpcValue> DecodeResponse(std::string_view raw);
+
+}  // namespace griddb::rpc

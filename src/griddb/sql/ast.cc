@@ -1,0 +1,153 @@
+#include "griddb/sql/ast.h"
+
+namespace griddb::sql {
+
+const char* BinaryOpSymbol(BinaryOp op) noexcept {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->literal = literal;
+  copy->column_ref = column_ref;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  copy->function_name = function_name;
+  copy->distinct_arg = distinct_arg;
+  copy->negated = negated;
+  copy->case_has_operand = case_has_operand;
+  copy->case_has_else = case_has_else;
+  copy->children.reserve(children.size());
+  for (const ExprPtr& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+ExprPtr MakeLiteral(storage::Value value) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr MakeColumn(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kColumn;
+  e->column_ref = {std::move(table), std::move(column)};
+  return e;
+}
+
+ExprPtr MakeStar(std::string table) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kStar;
+  e->column_ref.table = std::move(table);
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args,
+                     bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kFunction;
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  e->distinct_arg = distinct;
+  return e;
+}
+
+ExprPtr ConjunctionOf(std::vector<ExprPtr> predicates) {
+  ExprPtr result;
+  for (ExprPtr& pred : predicates) {
+    if (!result) {
+      result = std::move(pred);
+    } else {
+      result = MakeBinary(BinaryOp::kAnd, std::move(result), std::move(pred));
+    }
+  }
+  return result;
+}
+
+std::vector<const Expr*> SplitConjuncts(const Expr* expr) {
+  std::vector<const Expr*> out;
+  if (!expr) return out;
+  if (expr->kind == Expr::Kind::kBinary && expr->binary_op == BinaryOp::kAnd) {
+    auto left = SplitConjuncts(expr->children[0].get());
+    auto right = SplitConjuncts(expr->children[1].get());
+    out.insert(out.end(), left.begin(), left.end());
+    out.insert(out.end(), right.begin(), right.end());
+    return out;
+  }
+  out.push_back(expr);
+  return out;
+}
+
+void CollectColumnRefs(const Expr& expr, std::vector<const ColumnRef*>& out) {
+  if (expr.kind == Expr::Kind::kColumn) out.push_back(&expr.column_ref);
+  for (const ExprPtr& child : expr.children) CollectColumnRefs(*child, out);
+}
+
+std::vector<const TableRef*> SelectStmt::AllTables() const {
+  std::vector<const TableRef*> out;
+  for (const TableRef& t : from) out.push_back(&t);
+  for (const Join& j : joins) out.push_back(&j.table);
+  return out;
+}
+
+std::unique_ptr<SelectStmt> SelectStmt::Clone() const {
+  auto copy = std::make_unique<SelectStmt>();
+  copy->distinct = distinct;
+  for (const SelectItem& item : items) {
+    copy->items.push_back({item.expr->Clone(), item.alias});
+  }
+  copy->from = from;
+  for (const Join& j : joins) {
+    Join join_copy;
+    join_copy.type = j.type;
+    join_copy.table = j.table;
+    join_copy.on = j.on ? j.on->Clone() : nullptr;
+    copy->joins.push_back(std::move(join_copy));
+  }
+  copy->where = where ? where->Clone() : nullptr;
+  for (const ExprPtr& g : group_by) copy->group_by.push_back(g->Clone());
+  copy->having = having ? having->Clone() : nullptr;
+  for (const OrderItem& o : order_by) {
+    copy->order_by.push_back({o.expr->Clone(), o.ascending});
+  }
+  copy->limit = limit;
+  copy->offset = offset;
+  return copy;
+}
+
+}  // namespace griddb::sql

@@ -1,0 +1,196 @@
+// SQL abstract syntax tree.
+//
+// One AST serves every vendor dialect; dialect differences are confined to
+// the lexer/parser surface (accepted syntax) and the renderer (emitted
+// syntax). This is what lets the middleware parse a client query once,
+// decompose it, and re-render each sub-query in the dialect of the mart it
+// is destined for.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "griddb/storage/value.h"
+
+namespace griddb::sql {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kConcat,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+const char* BinaryOpSymbol(BinaryOp op) noexcept;
+
+/// A column reference, optionally qualified: "t.x" or "x".
+struct ColumnRef {
+  std::string table;   ///< Alias or table name; empty when unqualified.
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+struct Expr {
+  enum class Kind {
+    kLiteral,    ///< value
+    kColumn,     ///< column_ref
+    kStar,       ///< COUNT(*) argument or SELECT *; table qualifier optional
+    kUnary,      ///< op + children[0]
+    kBinary,     ///< op + children[0..1]
+    kFunction,   ///< function_name(children...), distinct_arg for COUNT(DISTINCT x)
+    kIn,         ///< children[0] IN (children[1..]); negated
+    kBetween,    ///< children[0] BETWEEN children[1] AND children[2]; negated
+    kLike,       ///< children[0] LIKE children[1]; negated
+    kIsNull,     ///< children[0] IS [NOT] NULL; negated
+    kCase,       ///< CASE [operand] WHEN..THEN.. [ELSE..] END; layout:
+                 ///< children = [operand?] (when,then)* [else?], flags in
+                 ///< case_has_operand / case_has_else.
+  };
+
+  Kind kind = Kind::kLiteral;
+  storage::Value literal;
+  ColumnRef column_ref;
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kEq;
+  std::string function_name;       // upper-cased
+  bool distinct_arg = false;
+  bool negated = false;
+  bool case_has_operand = false;   // simple CASE (operand present)
+  bool case_has_else = false;
+  std::vector<ExprPtr> children;
+
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeLiteral(storage::Value value);
+ExprPtr MakeColumn(std::string table, std::string column);
+ExprPtr MakeStar(std::string table = "");
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args,
+                     bool distinct = false);
+
+/// AND-combines a list of predicates; nullptr for an empty list.
+ExprPtr ConjunctionOf(std::vector<ExprPtr> predicates);
+
+/// Splits an expression tree into its top-level AND conjuncts.
+std::vector<const Expr*> SplitConjuncts(const Expr* expr);
+
+/// Appends every column reference in the tree to `out`.
+void CollectColumnRefs(const Expr& expr, std::vector<const ColumnRef*>& out);
+
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< Empty when none; effective name = alias or table.
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+enum class JoinType { kInner, kLeft, kCross };
+
+struct Join {
+  JoinType type = JoinType::kInner;
+  TableRef table;
+  ExprPtr on;  ///< Null for CROSS joins.
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  ///< Output column name override.
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;   ///< Comma-list; entries past the first are
+                                ///< implicit cross joins.
+  std::vector<Join> joins;      ///< Explicit JOIN ... ON clauses.
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+
+  /// Every table referenced (FROM list + JOINs), in appearance order.
+  std::vector<const TableRef*> AllTables() const;
+
+  std::unique_ptr<SelectStmt> Clone() const;
+};
+
+struct ColumnDefClause {
+  std::string name;
+  std::string type_name;  ///< Vendor type name as written (resolved by dialect).
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+struct ForeignKeyClause {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  bool if_not_exists = false;
+  std::vector<ColumnDefClause> columns;
+  std::vector<std::string> primary_key;  ///< Table-level PRIMARY KEY(...).
+  std::vector<ForeignKeyClause> foreign_keys;
+};
+
+struct CreateViewStmt {
+  std::string view;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;           ///< Empty = all, in order.
+  std::vector<std::vector<ExprPtr>> rows;     ///< VALUES lists.
+  std::unique_ptr<SelectStmt> select;         ///< INSERT ... SELECT form.
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;
+};
+
+struct DropStmt {
+  enum class Target { kTable, kView };
+  Target target = Target::kTable;
+  std::string name;
+  bool if_exists = false;
+};
+
+using Statement =
+    std::variant<std::unique_ptr<SelectStmt>, std::unique_ptr<CreateTableStmt>,
+                 std::unique_ptr<CreateViewStmt>, std::unique_ptr<InsertStmt>,
+                 std::unique_ptr<UpdateStmt>, std::unique_ptr<DeleteStmt>,
+                 std::unique_ptr<DropStmt>>;
+
+}  // namespace griddb::sql

@@ -1,0 +1,189 @@
+#include "griddb/sql/dialect.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::sql {
+
+const char* VendorName(Vendor vendor) noexcept {
+  switch (vendor) {
+    case Vendor::kOracle: return "oracle";
+    case Vendor::kMySql: return "mysql";
+    case Vendor::kMsSql: return "mssql";
+    case Vendor::kSqlite: return "sqlite";
+  }
+  return "?";
+}
+
+Result<Vendor> VendorFromName(std::string_view name) {
+  if (EqualsIgnoreCase(name, "oracle")) return Vendor::kOracle;
+  if (EqualsIgnoreCase(name, "mysql")) return Vendor::kMySql;
+  if (EqualsIgnoreCase(name, "mssql") || EqualsIgnoreCase(name, "sqlserver")) {
+    return Vendor::kMsSql;
+  }
+  if (EqualsIgnoreCase(name, "sqlite")) return Vendor::kSqlite;
+  return NotFound("unknown database vendor '" + std::string(name) + "'");
+}
+
+bool Dialect::AcceptsQuote(QuoteStyle style) const {
+  if (style == QuoteStyle::kNone) return true;
+  return std::find(accepted_quotes_.begin(), accepted_quotes_.end(), style) !=
+         accepted_quotes_.end();
+}
+
+std::string Dialect::QuoteIdentifier(std::string_view ident) const {
+  bool needs_quote = ident.empty();
+  for (char c : ident) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote && !ident.empty() &&
+      std::isdigit(static_cast<unsigned char>(ident[0]))) {
+    needs_quote = true;
+  }
+  if (!needs_quote && IsSqlKeyword(ToUpper(ident))) needs_quote = true;
+  if (!needs_quote) return std::string(ident);
+  switch (preferred_quote_) {
+    case QuoteStyle::kBacktick:
+      return "`" + std::string(ident) + "`";
+    case QuoteStyle::kBracket:
+      return "[" + std::string(ident) + "]";
+    default:
+      return "\"" + std::string(ident) + "\"";
+  }
+}
+
+std::string Dialect::TypeNameFor(storage::DataType type) const {
+  switch (type) {
+    case storage::DataType::kInt64: return int_name_;
+    case storage::DataType::kDouble: return double_name_;
+    case storage::DataType::kString: return string_name_;
+    case storage::DataType::kBool: return bool_name_;
+    case storage::DataType::kNull: return "NULL";
+  }
+  return "?";
+}
+
+Result<storage::DataType> Dialect::TypeFromName(
+    std::string_view type_name) const {
+  // Strip a parenthesized size: VARCHAR(255) -> VARCHAR.
+  std::string base(type_name);
+  size_t paren = base.find('(');
+  if (paren != std::string::npos) base.resize(paren);
+  std::string upper = ToUpper(Trim(base));
+  for (const auto& [name, type] : type_vocabulary_) {
+    if (name == upper) return type;
+  }
+  return TypeError("dialect '" + name_ + "' does not recognize type '" +
+                   std::string(type_name) + "'");
+}
+
+namespace {
+
+using storage::DataType;
+
+}  // namespace
+
+// Friend of Dialect (declared in the header); builds the four dialect
+// singletons on first use.
+const Dialect& MakeDialects(Vendor vendor) {
+  static std::array<Dialect, 4> dialects = [] {
+    std::array<Dialect, 4> d;
+
+    const std::vector<std::pair<std::string, DataType>> kCommon = {
+        {"INT", DataType::kInt64},      {"INTEGER", DataType::kInt64},
+        {"BIGINT", DataType::kInt64},   {"SMALLINT", DataType::kInt64},
+        {"DOUBLE", DataType::kDouble},  {"FLOAT", DataType::kDouble},
+        {"REAL", DataType::kDouble},    {"VARCHAR", DataType::kString},
+        {"CHAR", DataType::kString},    {"TEXT", DataType::kString},
+        {"BOOLEAN", DataType::kBool},
+    };
+    auto with = [&](std::initializer_list<std::pair<std::string, DataType>>
+                        extra) {
+      std::vector<std::pair<std::string, DataType>> v = kCommon;
+      v.insert(v.end(), extra.begin(), extra.end());
+      return v;
+    };
+
+    // Oracle: NUMBER / VARCHAR2, double-quote identifiers, ROWNUM limits.
+    Dialect& oracle = d[0];
+    oracle.vendor_ = Vendor::kOracle;
+    oracle.name_ = "oracle";
+    oracle.limit_style_ = LimitStyle::kRownum;
+    oracle.preferred_quote_ = QuoteStyle::kDouble;
+    oracle.accepted_quotes_ = {QuoteStyle::kDouble};
+    oracle.type_vocabulary_ = with({{"NUMBER", DataType::kInt64},
+                                    {"VARCHAR2", DataType::kString},
+                                    {"BINARY_DOUBLE", DataType::kDouble},
+                                    {"CLOB", DataType::kString}});
+    oracle.int_name_ = "NUMBER(19)";
+    oracle.double_name_ = "BINARY_DOUBLE";
+    oracle.string_name_ = "VARCHAR2(4000)";
+    oracle.bool_name_ = "NUMBER(1)";
+
+    // MySQL: backtick identifiers, LIMIT/OFFSET.
+    Dialect& mysql = d[1];
+    mysql.vendor_ = Vendor::kMySql;
+    mysql.name_ = "mysql";
+    mysql.limit_style_ = LimitStyle::kLimitOffset;
+    mysql.preferred_quote_ = QuoteStyle::kBacktick;
+    mysql.accepted_quotes_ = {QuoteStyle::kBacktick, QuoteStyle::kDouble};
+    mysql.type_vocabulary_ = with({{"TINYINT", DataType::kInt64},
+                                   {"MEDIUMINT", DataType::kInt64},
+                                   {"LONGTEXT", DataType::kString},
+                                   {"BOOL", DataType::kBool}});
+    mysql.int_name_ = "BIGINT";
+    mysql.double_name_ = "DOUBLE";
+    mysql.string_name_ = "VARCHAR(255)";
+    mysql.bool_name_ = "TINYINT(1)";
+
+    // MS-SQL: bracket identifiers, TOP n.
+    Dialect& mssql = d[2];
+    mssql.vendor_ = Vendor::kMsSql;
+    mssql.name_ = "mssql";
+    mssql.limit_style_ = LimitStyle::kTop;
+    mssql.preferred_quote_ = QuoteStyle::kBracket;
+    mssql.accepted_quotes_ = {QuoteStyle::kBracket, QuoteStyle::kDouble};
+    mssql.type_vocabulary_ = with({{"BIT", DataType::kBool},
+                                   {"NVARCHAR", DataType::kString},
+                                   {"NTEXT", DataType::kString},
+                                   {"DECIMAL", DataType::kDouble}});
+    mssql.int_name_ = "BIGINT";
+    mssql.double_name_ = "FLOAT";
+    mssql.string_name_ = "NVARCHAR(255)";
+    mssql.bool_name_ = "BIT";
+
+    // SQLite: accepts everything, LIMIT/OFFSET.
+    Dialect& sqlite = d[3];
+    sqlite.vendor_ = Vendor::kSqlite;
+    sqlite.name_ = "sqlite";
+    sqlite.limit_style_ = LimitStyle::kLimitOffset;
+    sqlite.preferred_quote_ = QuoteStyle::kDouble;
+    sqlite.accepted_quotes_ = {QuoteStyle::kDouble, QuoteStyle::kBacktick,
+                               QuoteStyle::kBracket};
+    sqlite.type_vocabulary_ = with({{"NUMERIC", DataType::kDouble},
+                                    {"BLOB", DataType::kString}});
+    sqlite.int_name_ = "INTEGER";
+    sqlite.double_name_ = "REAL";
+    sqlite.string_name_ = "TEXT";
+    sqlite.bool_name_ = "BOOLEAN";
+    return d;
+  }();
+
+  switch (vendor) {
+    case Vendor::kOracle: return dialects[0];
+    case Vendor::kMySql: return dialects[1];
+    case Vendor::kMsSql: return dialects[2];
+    case Vendor::kSqlite: return dialects[3];
+  }
+  return dialects[3];
+}
+
+const Dialect& Dialect::For(Vendor vendor) { return MakeDialects(vendor); }
+
+}  // namespace griddb::sql

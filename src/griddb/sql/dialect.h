@@ -1,0 +1,71 @@
+// Vendor dialect descriptions.
+//
+// The four personalities match the vendors in the paper's testbed
+// (§2, §4.1, §4.3): Oracle at Tier-0/1, MySQL and MS-SQL at Tier-2/3, and
+// SQLite for disconnected analysis. The differences modelled are the ones
+// the federation layer actually has to bridge: identifier quoting, row-
+// limiting syntax, and the type-name vocabulary. A parser bound to a
+// dialect *rejects* foreign syntax, so tests can demonstrate that raw
+// query forwarding across vendors fails where the middleware succeeds.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/sql/lexer.h"
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::sql {
+
+enum class Vendor { kOracle, kMySql, kMsSql, kSqlite };
+
+const char* VendorName(Vendor vendor) noexcept;
+Result<Vendor> VendorFromName(std::string_view name);
+
+enum class LimitStyle {
+  kLimitOffset,  ///< SELECT ... LIMIT n [OFFSET m]      (MySQL, SQLite)
+  kTop,          ///< SELECT TOP n ...                    (MS-SQL)
+  kRownum,       ///< ... WHERE ROWNUM <= n               (Oracle)
+};
+
+class Dialect {
+ public:
+  Vendor vendor() const { return vendor_; }
+  const std::string& name() const { return name_; }
+  LimitStyle limit_style() const { return limit_style_; }
+
+  /// Identifier-quoting style the dialect emits.
+  QuoteStyle preferred_quote() const { return preferred_quote_; }
+  /// Whether the dialect's parser accepts a given quoting style.
+  bool AcceptsQuote(QuoteStyle style) const;
+
+  /// Renders an identifier with the dialect's preferred quoting. Bare
+  /// identifiers that need no quoting are passed through.
+  std::string QuoteIdentifier(std::string_view ident) const;
+
+  /// Vendor type name for a storage type (e.g. kInt64 -> "NUMBER(19)" on
+  /// Oracle, "BIGINT" on MySQL/MS-SQL, "INTEGER" on SQLite).
+  std::string TypeNameFor(storage::DataType type) const;
+
+  /// Resolves a type name as written in DDL. Each dialect accepts its own
+  /// vocabulary plus the portable core (INT/INTEGER/BIGINT, DOUBLE/FLOAT/
+  /// REAL, VARCHAR/TEXT/CHAR, BOOLEAN).
+  Result<storage::DataType> TypeFromName(std::string_view type_name) const;
+
+  /// All four built-in dialects, by vendor.
+  static const Dialect& For(Vendor vendor);
+
+ private:
+  friend const Dialect& MakeDialects(Vendor);
+  Vendor vendor_ = Vendor::kSqlite;
+  std::string name_;
+  LimitStyle limit_style_ = LimitStyle::kLimitOffset;
+  QuoteStyle preferred_quote_ = QuoteStyle::kDouble;
+  std::vector<QuoteStyle> accepted_quotes_;
+  std::vector<std::pair<std::string, storage::DataType>> type_vocabulary_;
+  std::string int_name_, double_name_, string_name_, bool_name_;
+};
+
+}  // namespace griddb::sql

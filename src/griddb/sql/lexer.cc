@@ -1,0 +1,209 @@
+#include "griddb/sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+      "DESC", "LIMIT", "OFFSET", "TOP", "DISTINCT", "ALL", "AS", "JOIN",
+      "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON", "AND", "OR", "NOT",
+      "IN", "BETWEEN", "LIKE", "IS", "NULL", "TRUE", "FALSE", "INSERT",
+      "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "VIEW",
+      "DROP", "IF", "EXISTS", "PRIMARY", "KEY", "FOREIGN", "REFERENCES",
+      "UNIQUE", "DEFAULT", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION",
+      "ROWNUM",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '$' || c == '#';
+}
+
+}  // namespace
+
+bool IsSqlKeyword(std::string_view upper_word) {
+  return Keywords().count(std::string(upper_word)) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t pos = 0;
+  auto error = [&](std::string message) {
+    return ParseError("SQL at offset " + std::to_string(pos) + ": " +
+                      std::move(message));
+  };
+
+  while (pos < input.size()) {
+    char c = input[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    // Comments: -- to end of line, /* ... */.
+    if (c == '-' && pos + 1 < input.size() && input[pos + 1] == '-') {
+      size_t end = input.find('\n', pos);
+      pos = (end == std::string_view::npos) ? input.size() : end + 1;
+      continue;
+    }
+    if (c == '/' && pos + 1 < input.size() && input[pos + 1] == '*') {
+      size_t end = input.find("*/", pos + 2);
+      if (end == std::string_view::npos) return error("unterminated comment");
+      pos = end + 2;
+      continue;
+    }
+
+    Token token;
+    token.position = pos;
+
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < input.size() && IsIdentChar(input[pos])) ++pos;
+      std::string word(input.substr(start, pos - start));
+      std::string upper = ToUpper(word);
+      if (IsSqlKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos + 1 < input.size() &&
+         std::isdigit(static_cast<unsigned char>(input[pos + 1])))) {
+      size_t start = pos;
+      bool is_float = false;
+      while (pos < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[pos]))) {
+        ++pos;
+      }
+      if (pos < input.size() && input[pos] == '.') {
+        is_float = true;
+        ++pos;
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[pos]))) {
+          ++pos;
+        }
+      }
+      if (pos < input.size() && (input[pos] == 'e' || input[pos] == 'E')) {
+        is_float = true;
+        ++pos;
+        if (pos < input.size() && (input[pos] == '+' || input[pos] == '-')) ++pos;
+        if (pos >= input.size() ||
+            !std::isdigit(static_cast<unsigned char>(input[pos]))) {
+          return error("malformed exponent");
+        }
+        while (pos < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[pos]))) {
+          ++pos;
+        }
+      }
+      std::string_view number = input.substr(start, pos - start);
+      if (is_float) {
+        token.type = TokenType::kFloat;
+        if (!ParseDouble(number, &token.float_value)) {
+          return error("malformed number '" + std::string(number) + "'");
+        }
+      } else {
+        token.type = TokenType::kInteger;
+        if (!ParseInt64(number, &token.int_value)) {
+          return error("integer out of range '" + std::string(number) + "'");
+        }
+      }
+      token.text = std::string(number);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    if (c == '\'') {
+      ++pos;
+      std::string text;
+      while (true) {
+        if (pos >= input.size()) return error("unterminated string literal");
+        if (input[pos] == '\'') {
+          if (pos + 1 < input.size() && input[pos + 1] == '\'') {
+            text += '\'';
+            pos += 2;
+            continue;
+          }
+          ++pos;
+          break;
+        }
+        text += input[pos++];
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Quoted identifiers in three vendor styles.
+    if (c == '"' || c == '`' || c == '[') {
+      char close = (c == '[') ? ']' : c;
+      QuoteStyle style = (c == '"')   ? QuoteStyle::kDouble
+                         : (c == '`') ? QuoteStyle::kBacktick
+                                      : QuoteStyle::kBracket;
+      ++pos;
+      size_t start = pos;
+      while (pos < input.size() && input[pos] != close) ++pos;
+      if (pos >= input.size()) return error("unterminated quoted identifier");
+      token.type = TokenType::kQuotedIdentifier;
+      token.text = std::string(input.substr(start, pos - start));
+      token.quote = style;
+      ++pos;
+      if (token.text.empty()) return error("empty quoted identifier");
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    // Multi-char operators first.
+    static constexpr std::string_view kTwoChar[] = {"<>", "<=", ">=", "!=",
+                                                    "||"};
+    bool matched = false;
+    for (std::string_view op : kTwoChar) {
+      if (input.substr(pos, 2) == op) {
+        token.type = TokenType::kOperator;
+        token.text = std::string(op == "!=" ? "<>" : op);
+        pos += 2;
+        tokens.push_back(std::move(token));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    static constexpr std::string_view kSingle = "+-*/%(),.=<>;";
+    if (kSingle.find(c) != std::string_view::npos) {
+      token.type = TokenType::kOperator;
+      token.text = std::string(1, c);
+      ++pos;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = input.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace griddb::sql

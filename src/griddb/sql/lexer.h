@@ -1,0 +1,53 @@
+// SQL tokenizer.
+//
+// Dialect-aware only in identifier quoting: "ident" (standard / Oracle),
+// `ident` (MySQL) and [ident] (MS-SQL) all produce quoted-identifier
+// tokens; which quoting styles a given engine *accepts* is enforced by the
+// parser via Dialect.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/util/status.h"
+
+namespace griddb::sql {
+
+enum class TokenType {
+  kEnd,
+  kIdentifier,        ///< bare identifier (case preserved)
+  kQuotedIdentifier,  ///< "x", `x` or [x]; quote kind recorded
+  kKeyword,           ///< recognized SQL keyword, upper-cased in text
+  kInteger,
+  kFloat,
+  kString,            ///< 'literal' with '' unescaped
+  kOperator,          ///< punctuation and operators: ( ) , . = <> etc.
+};
+
+/// Which identifier-quoting character introduced a quoted identifier.
+enum class QuoteStyle { kNone, kDouble, kBacktick, kBracket };
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        ///< Keywords upper-cased; identifiers as written.
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  QuoteStyle quote = QuoteStyle::kNone;
+  size_t position = 0;     ///< Byte offset in the input, for diagnostics.
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOperator(std::string_view op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+/// Tokenizes a full statement; the final token is kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True when `word` (upper-case) is a recognized SQL keyword.
+bool IsSqlKeyword(std::string_view upper_word);
+
+}  // namespace griddb::sql

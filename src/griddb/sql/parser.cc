@@ -1,0 +1,764 @@
+#include "griddb/sql/parser.h"
+
+#include <utility>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::sql {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Dialect& dialect)
+      : tokens_(std::move(tokens)), dialect_(dialect) {}
+
+  Result<Statement> ParseStatement() {
+    const Token& tok = Peek();
+    Statement stmt = std::unique_ptr<SelectStmt>();
+    if (tok.IsKeyword("SELECT")) {
+      GRIDDB_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+      stmt = std::move(select);
+    } else if (tok.IsKeyword("CREATE")) {
+      GRIDDB_ASSIGN_OR_RETURN(stmt, ParseCreate());
+    } else if (tok.IsKeyword("INSERT")) {
+      GRIDDB_ASSIGN_OR_RETURN(auto insert, ParseInsert());
+      stmt = std::move(insert);
+    } else if (tok.IsKeyword("UPDATE")) {
+      GRIDDB_ASSIGN_OR_RETURN(auto update, ParseUpdate());
+      stmt = std::move(update);
+    } else if (tok.IsKeyword("DELETE")) {
+      GRIDDB_ASSIGN_OR_RETURN(auto del, ParseDelete());
+      stmt = std::move(del);
+    } else if (tok.IsKeyword("DROP")) {
+      GRIDDB_ASSIGN_OR_RETURN(auto drop, ParseDrop());
+      stmt = std::move(drop);
+    } else {
+      return Error("expected a SQL statement");
+    }
+    ConsumeOperator(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectOnly() {
+    GRIDDB_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+    ConsumeOperator(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return select;
+  }
+
+  Result<ExprPtr> ParseExpressionOnly() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens after expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(std::string message) const {
+    return ParseError("SQL (" + dialect_.name() + ") near offset " +
+                      std::to_string(Peek().position) + ": " +
+                      std::move(message));
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeOperator(std::string_view op) {
+    if (Peek().IsOperator(op)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!ConsumeKeyword(kw)) {
+      return Error("expected " + std::string(kw));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectOperator(std::string_view op) {
+    if (!ConsumeOperator(op)) {
+      return Error("expected '" + std::string(op) + "'");
+    }
+    return Status::Ok();
+  }
+
+  /// Identifier or dialect-accepted quoted identifier.
+  Result<std::string> ParseIdentifier() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kIdentifier) {
+      ++pos_;
+      return tok.text;
+    }
+    if (tok.type == TokenType::kQuotedIdentifier) {
+      if (!dialect_.AcceptsQuote(tok.quote)) {
+        const char* style = tok.quote == QuoteStyle::kBacktick ? "`...`"
+                            : tok.quote == QuoteStyle::kBracket ? "[...]"
+                                                                : "\"...\"";
+        return Error(std::string("dialect '") + dialect_.name() +
+                     "' does not accept " + style + " quoted identifiers");
+      }
+      ++pos_;
+      return tok.text;
+    }
+    return Error("expected identifier");
+  }
+
+  // ---- expressions --------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (ConsumeKeyword("OR")) {
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      ++pos_;
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (ConsumeKeyword("NOT")) {
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+    // Comparison operators.
+    static constexpr std::pair<std::string_view, BinaryOp> kComparisons[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt}};
+    for (const auto& [symbol, op] : kComparisons) {
+      if (Peek().IsOperator(symbol)) {
+        ++pos_;
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("IN") || Peek(1).IsKeyword("BETWEEN") ||
+         Peek(1).IsKeyword("LIKE"))) {
+      negated = true;
+      ++pos_;
+    }
+
+    if (ConsumeKeyword("IN")) {
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator("("));
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kIn;
+      expr->negated = negated;
+      expr->children.push_back(std::move(lhs));
+      do {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        expr->children.push_back(std::move(item));
+      } while (ConsumeOperator(","));
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+      return expr;
+    }
+
+    if (ConsumeKeyword("BETWEEN")) {
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kBetween;
+      expr->negated = negated;
+      expr->children.push_back(std::move(lhs));
+      expr->children.push_back(std::move(lo));
+      expr->children.push_back(std::move(hi));
+      return expr;
+    }
+
+    if (ConsumeKeyword("LIKE")) {
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kLike;
+      expr->negated = negated;
+      expr->children.push_back(std::move(lhs));
+      expr->children.push_back(std::move(pattern));
+      return expr;
+    }
+
+    if (negated) return Error("expected IN, BETWEEN or LIKE after NOT");
+
+    if (ConsumeKeyword("IS")) {
+      bool is_negated = ConsumeKeyword("NOT");
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kIsNull;
+      expr->negated = is_negated;
+      expr->children.push_back(std::move(lhs));
+      return expr;
+    }
+
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("+")) op = BinaryOp::kAdd;
+      else if (Peek().IsOperator("-")) op = BinaryOp::kSub;
+      else if (Peek().IsOperator("||")) op = BinaryOp::kConcat;
+      else break;
+      ++pos_;
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GRIDDB_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (Peek().IsOperator("*")) op = BinaryOp::kMul;
+      else if (Peek().IsOperator("/")) op = BinaryOp::kDiv;
+      else if (Peek().IsOperator("%")) op = BinaryOp::kMod;
+      else break;
+      ++pos_;
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeOperator("-")) {
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return MakeUnary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (ConsumeOperator("+")) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+
+    if (tok.type == TokenType::kInteger) {
+      ++pos_;
+      return MakeLiteral(storage::Value(tok.int_value));
+    }
+    if (tok.type == TokenType::kFloat) {
+      ++pos_;
+      return MakeLiteral(storage::Value(tok.float_value));
+    }
+    if (tok.type == TokenType::kString) {
+      ++pos_;
+      return MakeLiteral(storage::Value(tok.text));
+    }
+    if (tok.IsKeyword("NULL")) {
+      ++pos_;
+      return MakeLiteral(storage::Value::Null());
+    }
+    if (tok.IsKeyword("TRUE")) {
+      ++pos_;
+      return MakeLiteral(storage::Value(true));
+    }
+    if (tok.IsKeyword("FALSE")) {
+      ++pos_;
+      return MakeLiteral(storage::Value(false));
+    }
+    if (tok.IsKeyword("ROWNUM")) {
+      if (dialect_.limit_style() != LimitStyle::kRownum) {
+        return Error("ROWNUM is Oracle-specific syntax");
+      }
+      ++pos_;
+      return MakeColumn("", "ROWNUM");
+    }
+    if (tok.IsKeyword("CASE")) {
+      ++pos_;
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kCase;
+      // Simple CASE has an operand before the first WHEN.
+      if (!Peek().IsKeyword("WHEN")) {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+        expr->case_has_operand = true;
+        expr->children.push_back(std::move(operand));
+      }
+      if (!Peek().IsKeyword("WHEN")) {
+        return Error("expected WHEN in CASE expression");
+      }
+      while (ConsumeKeyword("WHEN")) {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        expr->children.push_back(std::move(when));
+        expr->children.push_back(std::move(then));
+      }
+      if (ConsumeKeyword("ELSE")) {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr otherwise, ParseExpr());
+        expr->case_has_else = true;
+        expr->children.push_back(std::move(otherwise));
+      }
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("END"));
+      return expr;
+    }
+    if (tok.IsOperator("(")) {
+      ++pos_;
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+      return inner;
+    }
+    if (tok.IsOperator("*")) {
+      ++pos_;
+      return MakeStar();
+    }
+
+    if (tok.type == TokenType::kIdentifier ||
+        tok.type == TokenType::kQuotedIdentifier) {
+      GRIDDB_ASSIGN_OR_RETURN(std::string first, ParseIdentifier());
+      // Function call?
+      if (Peek().IsOperator("(")) {
+        ++pos_;
+        std::string fname = ToUpper(first);
+        bool distinct = false;
+        std::vector<ExprPtr> args;
+        if (!Peek().IsOperator(")")) {
+          if (ConsumeKeyword("DISTINCT")) distinct = true;
+          do {
+            GRIDDB_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            args.push_back(std::move(arg));
+          } while (ConsumeOperator(","));
+        }
+        GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+        return MakeFunction(std::move(fname), std::move(args), distinct);
+      }
+      // Qualified reference: t.x or t.*
+      if (ConsumeOperator(".")) {
+        if (ConsumeOperator("*")) return MakeStar(first);
+        GRIDDB_ASSIGN_OR_RETURN(std::string column, ParseIdentifier());
+        return MakeColumn(std::move(first), std::move(column));
+      }
+      return MakeColumn("", std::move(first));
+    }
+
+    return Error("expected expression");
+  }
+
+  // ---- SELECT --------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelectStmt() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto select = std::make_unique<SelectStmt>();
+
+    // MS-SQL: SELECT TOP n ...
+    if (Peek().IsKeyword("TOP")) {
+      if (dialect_.limit_style() != LimitStyle::kTop) {
+        return Error("TOP is MS-SQL-specific syntax");
+      }
+      ++pos_;
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after TOP");
+      }
+      select->limit = Advance().int_value;
+    }
+
+    if (ConsumeKeyword("DISTINCT")) select->distinct = true;
+    else ConsumeKeyword("ALL");
+
+    do {
+      SelectItem item;
+      GRIDDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (ConsumeKeyword("AS")) {
+        GRIDDB_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier ||
+                 Peek().type == TokenType::kQuotedIdentifier) {
+        GRIDDB_ASSIGN_OR_RETURN(item.alias, ParseIdentifier());
+      }
+      select->items.push_back(std::move(item));
+    } while (ConsumeOperator(","));
+
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    GRIDDB_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    select->from.push_back(std::move(first));
+    while (ConsumeOperator(",")) {
+      GRIDDB_ASSIGN_OR_RETURN(TableRef t, ParseTableRef());
+      select->from.push_back(std::move(t));
+    }
+
+    // JOIN clauses.
+    while (true) {
+      JoinType type;
+      if (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+        type = JoinType::kInner;
+        ConsumeKeyword("INNER");
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      } else if (Peek().IsKeyword("LEFT")) {
+        type = JoinType::kLeft;
+        ++pos_;
+        ConsumeKeyword("OUTER");
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      } else if (Peek().IsKeyword("CROSS")) {
+        type = JoinType::kCross;
+        ++pos_;
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+      } else {
+        break;
+      }
+      Join join;
+      join.type = type;
+      GRIDDB_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+      if (type != JoinType::kCross) {
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+        GRIDDB_ASSIGN_OR_RETURN(join.on, ParseExpr());
+      }
+      select->joins.push_back(std::move(join));
+    }
+
+    if (ConsumeKeyword("WHERE")) {
+      GRIDDB_ASSIGN_OR_RETURN(select->where, ParseExpr());
+    }
+
+    if (Peek().IsKeyword("GROUP")) {
+      ++pos_;
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        select->group_by.push_back(std::move(g));
+      } while (ConsumeOperator(","));
+    }
+
+    if (ConsumeKeyword("HAVING")) {
+      GRIDDB_ASSIGN_OR_RETURN(select->having, ParseExpr());
+    }
+
+    if (Peek().IsKeyword("ORDER")) {
+      ++pos_;
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderItem item;
+        GRIDDB_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (ConsumeKeyword("DESC")) item.ascending = false;
+        else ConsumeKeyword("ASC");
+        select->order_by.push_back(std::move(item));
+      } while (ConsumeOperator(","));
+    }
+
+    if (Peek().IsKeyword("LIMIT")) {
+      if (dialect_.limit_style() != LimitStyle::kLimitOffset) {
+        return Error("LIMIT is MySQL/SQLite-specific syntax");
+      }
+      ++pos_;
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      select->limit = Advance().int_value;
+      if (ConsumeKeyword("OFFSET")) {
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer after OFFSET");
+        }
+        select->offset = Advance().int_value;
+      }
+    }
+
+    // Oracle: hoist "ROWNUM <= n" conjuncts out of WHERE into limit.
+    if (dialect_.limit_style() == LimitStyle::kRownum && select->where) {
+      GRIDDB_RETURN_IF_ERROR(HoistRownum(*select));
+    }
+
+    return select;
+  }
+
+  static bool IsRownumRef(const Expr& e) {
+    return e.kind == Expr::Kind::kColumn && e.column_ref.table.empty() &&
+           EqualsIgnoreCase(e.column_ref.column, "ROWNUM");
+  }
+
+  Status HoistRownum(SelectStmt& select) {
+    std::vector<const Expr*> conjuncts = SplitConjuncts(select.where.get());
+    std::vector<ExprPtr> kept;
+    std::optional<int64_t> limit;
+    for (const Expr* conjunct : conjuncts) {
+      bool handled = false;
+      if (conjunct->kind == Expr::Kind::kBinary) {
+        const Expr& lhs = *conjunct->children[0];
+        const Expr& rhs = *conjunct->children[1];
+        if (IsRownumRef(lhs) && rhs.kind == Expr::Kind::kLiteral &&
+            rhs.literal.type() == storage::DataType::kInt64) {
+          int64_t n = rhs.literal.AsInt64Strict();
+          if (conjunct->binary_op == BinaryOp::kLe) {
+            limit = n;
+            handled = true;
+          } else if (conjunct->binary_op == BinaryOp::kLt) {
+            limit = n - 1;
+            handled = true;
+          }
+        }
+      }
+      if (!handled) {
+        // Any other ROWNUM usage is unsupported.
+        std::vector<const ColumnRef*> refs;
+        CollectColumnRefs(*conjunct, refs);
+        for (const ColumnRef* ref : refs) {
+          if (ref->table.empty() && EqualsIgnoreCase(ref->column, "ROWNUM")) {
+            return Error("only 'ROWNUM <= n' / 'ROWNUM < n' is supported");
+          }
+        }
+        kept.push_back(conjunct->Clone());
+      }
+    }
+    if (limit) {
+      select.limit = std::max<int64_t>(0, *limit);
+      select.where = ConjunctionOf(std::move(kept));
+    }
+    return Status::Ok();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    GRIDDB_ASSIGN_OR_RETURN(ref.table, ParseIdentifier());
+    if (ConsumeKeyword("AS")) {
+      GRIDDB_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier ||
+               Peek().type == TokenType::kQuotedIdentifier) {
+      GRIDDB_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier());
+    }
+    return ref;
+  }
+
+  // ---- DDL / DML -----------------------------------------------------
+
+  Result<Statement> ParseCreate() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (ConsumeKeyword("TABLE")) {
+      auto stmt = std::make_unique<CreateTableStmt>();
+      if (Peek().IsKeyword("IF")) {
+        ++pos_;
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+        GRIDDB_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+        stmt->if_not_exists = true;
+      }
+      GRIDDB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier());
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator("("));
+      do {
+        if (Peek().IsKeyword("PRIMARY")) {
+          ++pos_;
+          GRIDDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          GRIDDB_RETURN_IF_ERROR(ExpectOperator("("));
+          do {
+            GRIDDB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+            stmt->primary_key.push_back(std::move(col));
+          } while (ConsumeOperator(","));
+          GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+          continue;
+        }
+        if (Peek().IsKeyword("FOREIGN")) {
+          ++pos_;
+          GRIDDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          ForeignKeyClause fk;
+          GRIDDB_RETURN_IF_ERROR(ExpectOperator("("));
+          do {
+            GRIDDB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+            fk.columns.push_back(std::move(col));
+          } while (ConsumeOperator(","));
+          GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+          GRIDDB_RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+          GRIDDB_ASSIGN_OR_RETURN(fk.referenced_table, ParseIdentifier());
+          if (ConsumeOperator("(")) {
+            do {
+              GRIDDB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+              fk.referenced_columns.push_back(std::move(col));
+            } while (ConsumeOperator(","));
+            GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+          }
+          stmt->foreign_keys.push_back(std::move(fk));
+          continue;
+        }
+        ColumnDefClause col;
+        GRIDDB_ASSIGN_OR_RETURN(col.name, ParseIdentifier());
+        GRIDDB_ASSIGN_OR_RETURN(col.type_name, ParseTypeName());
+        while (true) {
+          if (Peek().IsKeyword("PRIMARY")) {
+            ++pos_;
+            GRIDDB_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+            col.primary_key = true;
+          } else if (Peek().IsKeyword("NOT")) {
+            ++pos_;
+            GRIDDB_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+            col.not_null = true;
+          } else {
+            break;
+          }
+        }
+        stmt->columns.push_back(std::move(col));
+      } while (ConsumeOperator(","));
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+      return Statement(std::move(stmt));
+    }
+    if (ConsumeKeyword("VIEW")) {
+      auto stmt = std::make_unique<CreateViewStmt>();
+      GRIDDB_ASSIGN_OR_RETURN(stmt->view, ParseIdentifier());
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("AS"));
+      GRIDDB_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return Statement(std::move(stmt));
+    }
+    return Error("expected TABLE or VIEW after CREATE");
+  }
+
+  /// Type name, possibly with a parenthesized size: VARCHAR(255),
+  /// NUMBER(19), TINYINT(1). Size digits are kept in the text.
+  Result<std::string> ParseTypeName() {
+    GRIDDB_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    if (ConsumeOperator("(")) {
+      name += "(";
+      bool first = true;
+      while (!Peek().IsOperator(")")) {
+        if (Peek().type == TokenType::kEnd) return Error("unterminated type");
+        if (!first) name += ",";
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer in type size");
+        }
+        name += std::to_string(Advance().int_value);
+        first = false;
+        ConsumeOperator(",");
+      }
+      ++pos_;
+      name += ")";
+    }
+    return name;
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto stmt = std::make_unique<InsertStmt>();
+    GRIDDB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier());
+    if (ConsumeOperator("(")) {
+      do {
+        GRIDDB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+        stmt->columns.push_back(std::move(col));
+      } while (ConsumeOperator(","));
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+    }
+    if (Peek().IsKeyword("SELECT")) {
+      GRIDDB_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+      return stmt;
+    }
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator("("));
+      std::vector<ExprPtr> row;
+      do {
+        GRIDDB_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        row.push_back(std::move(v));
+      } while (ConsumeOperator(","));
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator(")"));
+      stmt->rows.push_back(std::move(row));
+    } while (ConsumeOperator(","));
+    return stmt;
+  }
+
+  Result<std::unique_ptr<UpdateStmt>> ParseUpdate() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    auto stmt = std::make_unique<UpdateStmt>();
+    GRIDDB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier());
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      GRIDDB_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+      GRIDDB_RETURN_IF_ERROR(ExpectOperator("="));
+      GRIDDB_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+      stmt->assignments.emplace_back(std::move(col), std::move(value));
+    } while (ConsumeOperator(","));
+    if (ConsumeKeyword("WHERE")) {
+      GRIDDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DeleteStmt>> ParseDelete() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto stmt = std::make_unique<DeleteStmt>();
+    GRIDDB_ASSIGN_OR_RETURN(stmt->table, ParseIdentifier());
+    if (ConsumeKeyword("WHERE")) {
+      GRIDDB_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    return stmt;
+  }
+
+  Result<std::unique_ptr<DropStmt>> ParseDrop() {
+    GRIDDB_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    auto stmt = std::make_unique<DropStmt>();
+    if (ConsumeKeyword("TABLE")) {
+      stmt->target = DropStmt::Target::kTable;
+    } else if (ConsumeKeyword("VIEW")) {
+      stmt->target = DropStmt::Target::kView;
+    } else {
+      return Error("expected TABLE or VIEW after DROP");
+    }
+    if (Peek().IsKeyword("IF")) {
+      ++pos_;
+      GRIDDB_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      stmt->if_exists = true;
+    }
+    GRIDDB_ASSIGN_OR_RETURN(stmt->name, ParseIdentifier());
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  const Dialect& dialect_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view input,
+                                 const Dialect& dialect) {
+  GRIDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens), dialect);
+  return parser.ParseStatement();
+}
+
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view input,
+                                                const Dialect& dialect) {
+  GRIDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens), dialect);
+  return parser.ParseSelectOnly();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input,
+                                const Dialect& dialect) {
+  GRIDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens), dialect);
+  return parser.ParseExpressionOnly();
+}
+
+}  // namespace griddb::sql

@@ -1,0 +1,27 @@
+// Dialect-aware recursive-descent SQL parser.
+//
+// One grammar covers the portable core plus each vendor's row-limiting
+// idiom; the bound Dialect decides which quoting styles and which limit
+// idiom are *accepted*. Parsing "SELECT TOP 5 ..." with the MySQL dialect
+// fails exactly like a real MySQL server would reject T-SQL.
+#pragma once
+
+#include <string_view>
+
+#include "griddb/sql/ast.h"
+#include "griddb/sql/dialect.h"
+#include "griddb/util/status.h"
+
+namespace griddb::sql {
+
+/// Parses one statement (trailing ';' allowed).
+Result<Statement> ParseStatement(std::string_view input, const Dialect& dialect);
+
+/// Parses a statement that must be a SELECT.
+Result<std::unique_ptr<SelectStmt>> ParseSelect(std::string_view input,
+                                                const Dialect& dialect);
+
+/// Parses a scalar expression (used for tests and predicate strings).
+Result<ExprPtr> ParseExpression(std::string_view input, const Dialect& dialect);
+
+}  // namespace griddb::sql

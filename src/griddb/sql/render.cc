@@ -1,0 +1,233 @@
+#include "griddb/sql/render.h"
+
+#include <cassert>
+
+namespace griddb::sql {
+
+namespace {
+
+std::string RenderColumnRef(const ColumnRef& ref, const Dialect& dialect) {
+  if (ref.table.empty()) return dialect.QuoteIdentifier(ref.column);
+  return dialect.QuoteIdentifier(ref.table) + "." +
+         dialect.QuoteIdentifier(ref.column);
+}
+
+std::string RenderTableRef(const TableRef& ref, const Dialect& dialect) {
+  std::string out = dialect.QuoteIdentifier(ref.table);
+  if (!ref.alias.empty()) out += " " + dialect.QuoteIdentifier(ref.alias);
+  return out;
+}
+
+}  // namespace
+
+std::string RenderExpr(const Expr& expr, const Dialect& dialect) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal.ToSqlLiteral();
+    case Expr::Kind::kColumn:
+      return RenderColumnRef(expr.column_ref, dialect);
+    case Expr::Kind::kStar:
+      return expr.column_ref.table.empty()
+                 ? "*"
+                 : dialect.QuoteIdentifier(expr.column_ref.table) + ".*";
+    case Expr::Kind::kUnary: {
+      std::string inner = RenderExpr(*expr.children[0], dialect);
+      return expr.unary_op == UnaryOp::kNeg ? "(-" + inner + ")"
+                                            : "(NOT " + inner + ")";
+    }
+    case Expr::Kind::kBinary: {
+      std::string lhs = RenderExpr(*expr.children[0], dialect);
+      std::string rhs = RenderExpr(*expr.children[1], dialect);
+      return "(" + lhs + " " + BinaryOpSymbol(expr.binary_op) + " " + rhs + ")";
+    }
+    case Expr::Kind::kFunction: {
+      std::string out = expr.function_name + "(";
+      if (expr.distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += RenderExpr(*expr.children[i], dialect);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kIn: {
+      std::string out = RenderExpr(*expr.children[0], dialect);
+      out += expr.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < expr.children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += RenderExpr(*expr.children[i], dialect);
+      }
+      return "(" + out + "))";
+    }
+    case Expr::Kind::kBetween: {
+      std::string out = RenderExpr(*expr.children[0], dialect);
+      out += expr.negated ? " NOT BETWEEN " : " BETWEEN ";
+      out += RenderExpr(*expr.children[1], dialect);
+      out += " AND ";
+      out += RenderExpr(*expr.children[2], dialect);
+      return "(" + out + ")";
+    }
+    case Expr::Kind::kLike: {
+      std::string out = RenderExpr(*expr.children[0], dialect);
+      out += expr.negated ? " NOT LIKE " : " LIKE ";
+      out += RenderExpr(*expr.children[1], dialect);
+      return "(" + out + ")";
+    }
+    case Expr::Kind::kIsNull: {
+      std::string out = RenderExpr(*expr.children[0], dialect);
+      out += expr.negated ? " IS NOT NULL" : " IS NULL";
+      return "(" + out + ")";
+    }
+    case Expr::Kind::kCase: {
+      std::string out = "CASE";
+      size_t index = 0;
+      if (expr.case_has_operand) {
+        out += " " + RenderExpr(*expr.children[index++], dialect);
+      }
+      size_t end = expr.children.size() - (expr.case_has_else ? 1 : 0);
+      while (index < end) {
+        out += " WHEN " + RenderExpr(*expr.children[index], dialect);
+        out += " THEN " + RenderExpr(*expr.children[index + 1], dialect);
+        index += 2;
+      }
+      if (expr.case_has_else) {
+        out += " ELSE " + RenderExpr(*expr.children.back(), dialect);
+      }
+      return out + " END";
+    }
+  }
+  assert(false && "unreachable expression kind");
+  return "";
+}
+
+std::string RenderSelect(const SelectStmt& select, const Dialect& dialect) {
+  std::string out = "SELECT ";
+
+  if (select.limit && dialect.limit_style() == LimitStyle::kTop) {
+    out += "TOP " + std::to_string(*select.limit) + " ";
+  }
+  if (select.distinct) out += "DISTINCT ";
+
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RenderExpr(*select.items[i].expr, dialect);
+    if (!select.items[i].alias.empty()) {
+      out += " AS " + dialect.QuoteIdentifier(select.items[i].alias);
+    }
+  }
+
+  out += " FROM ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RenderTableRef(select.from[i], dialect);
+  }
+  for (const Join& join : select.joins) {
+    switch (join.type) {
+      case JoinType::kInner: out += " JOIN "; break;
+      case JoinType::kLeft: out += " LEFT JOIN "; break;
+      case JoinType::kCross: out += " CROSS JOIN "; break;
+    }
+    out += RenderTableRef(join.table, dialect);
+    if (join.on) out += " ON " + RenderExpr(*join.on, dialect);
+  }
+
+  std::string where_text;
+  if (select.where) where_text = RenderExpr(*select.where, dialect);
+  if (select.limit && dialect.limit_style() == LimitStyle::kRownum) {
+    std::string rownum = "ROWNUM <= " + std::to_string(*select.limit);
+    where_text = where_text.empty() ? rownum : "(" + where_text + " AND " + rownum + ")";
+  }
+  if (!where_text.empty()) out += " WHERE " + where_text;
+
+  if (!select.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < select.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderExpr(*select.group_by[i], dialect);
+    }
+  }
+  if (select.having) out += " HAVING " + RenderExpr(*select.having, dialect);
+
+  if (!select.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < select.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += RenderExpr(*select.order_by[i].expr, dialect);
+      if (!select.order_by[i].ascending) out += " DESC";
+    }
+  }
+
+  if (select.limit && dialect.limit_style() == LimitStyle::kLimitOffset) {
+    out += " LIMIT " + std::to_string(*select.limit);
+    if (select.offset) out += " OFFSET " + std::to_string(*select.offset);
+  }
+  return out;
+}
+
+std::string RenderCreateTable(const CreateTableStmt& stmt,
+                              const Dialect& dialect) {
+  std::string out = "CREATE TABLE ";
+  if (stmt.if_not_exists) out += "IF NOT EXISTS ";
+  out += dialect.QuoteIdentifier(stmt.table) + " (";
+  bool first = true;
+  for (const ColumnDefClause& col : stmt.columns) {
+    if (!first) out += ", ";
+    first = false;
+    out += dialect.QuoteIdentifier(col.name) + " " + col.type_name;
+    if (col.primary_key) out += " PRIMARY KEY";
+    if (col.not_null) out += " NOT NULL";
+  }
+  if (!stmt.primary_key.empty()) {
+    out += ", PRIMARY KEY (";
+    for (size_t i = 0; i < stmt.primary_key.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dialect.QuoteIdentifier(stmt.primary_key[i]);
+    }
+    out += ")";
+  }
+  for (const ForeignKeyClause& fk : stmt.foreign_keys) {
+    out += ", FOREIGN KEY (";
+    for (size_t i = 0; i < fk.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dialect.QuoteIdentifier(fk.columns[i]);
+    }
+    out += ") REFERENCES " + dialect.QuoteIdentifier(fk.referenced_table);
+    if (!fk.referenced_columns.empty()) {
+      out += " (";
+      for (size_t i = 0; i < fk.referenced_columns.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += dialect.QuoteIdentifier(fk.referenced_columns[i]);
+      }
+      out += ")";
+    }
+  }
+  return out + ")";
+}
+
+std::string RenderInsert(const InsertStmt& stmt, const Dialect& dialect) {
+  std::string out = "INSERT INTO " + dialect.QuoteIdentifier(stmt.table);
+  if (!stmt.columns.empty()) {
+    out += " (";
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += dialect.QuoteIdentifier(stmt.columns[i]);
+    }
+    out += ")";
+  }
+  if (stmt.select) {
+    out += " " + RenderSelect(*stmt.select, dialect);
+    return out;
+  }
+  out += " VALUES ";
+  for (size_t r = 0; r < stmt.rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t c = 0; c < stmt.rows[r].size(); ++c) {
+      if (c > 0) out += ", ";
+      out += RenderExpr(*stmt.rows[r][c], dialect);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace griddb::sql

@@ -1,0 +1,21 @@
+// AST -> SQL text in a target dialect.
+//
+// The inverse of the parser; the federated layer uses it to re-emit each
+// decomposed sub-query in the dialect of the data mart that will execute
+// it (identifier quoting and row-limiting idiom translated per vendor).
+#pragma once
+
+#include <string>
+
+#include "griddb/sql/ast.h"
+#include "griddb/sql/dialect.h"
+
+namespace griddb::sql {
+
+std::string RenderExpr(const Expr& expr, const Dialect& dialect);
+std::string RenderSelect(const SelectStmt& select, const Dialect& dialect);
+std::string RenderCreateTable(const CreateTableStmt& stmt,
+                              const Dialect& dialect);
+std::string RenderInsert(const InsertStmt& stmt, const Dialect& dialect);
+
+}  // namespace griddb::sql

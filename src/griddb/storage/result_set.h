@@ -1,0 +1,33 @@
+// ResultSet: the 2-D result the paper's wrapper methods return.
+//
+// Every query path in the system (engine, POOL-RAL wrapper, Unity driver,
+// web-service response) terminates in this shape: a list of column names
+// plus a vector of rows ("a single 2-D vector", paper §4.6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "griddb/storage/value.h"
+
+namespace griddb::storage {
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return columns.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// Index of a column by case-insensitive name, or -1.
+  int ColumnIndex(std::string_view name) const;
+
+  /// Total bytes when serialized on the simulated wire.
+  size_t WireSize() const;
+
+  /// Pretty-prints an ASCII table (for examples and debugging).
+  std::string ToText(size_t max_rows = 25) const;
+};
+
+}  // namespace griddb::storage

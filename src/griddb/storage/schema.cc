@@ -1,0 +1,107 @@
+#include "griddb/storage/schema.h"
+
+#include "griddb/util/strings.h"
+
+namespace griddb::storage {
+
+std::optional<size_t> TableSchema::ColumnIndex(
+    std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column_name)) return i;
+  }
+  return std::nullopt;
+}
+
+const ColumnDef* TableSchema::FindColumn(std::string_view column_name) const {
+  auto idx = ColumnIndex(column_name);
+  return idx ? &columns_[*idx] : nullptr;
+}
+
+std::vector<size_t> TableSchema::PrimaryKeyIndexes() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) out.push_back(i);
+  }
+  return out;
+}
+
+bool TableSchema::HasPrimaryKey() const {
+  for (const ColumnDef& col : columns_) {
+    if (col.primary_key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool TypeAccepts(DataType column, DataType value) {
+  if (value == DataType::kNull) return true;  // NOT NULL checked separately
+  if (column == value) return true;
+  // Numeric flexibility matching typical RDBMS implicit casts.
+  if (column == DataType::kDouble &&
+      (value == DataType::kInt64 || value == DataType::kBool)) {
+    return true;
+  }
+  if (column == DataType::kInt64 &&
+      (value == DataType::kBool || value == DataType::kDouble)) {
+    return true;
+  }
+  if (column == DataType::kBool && value == DataType::kInt64) return true;
+  return false;
+}
+
+}  // namespace
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return InvalidArgument("row arity " + std::to_string(row.size()) +
+                           " does not match table '" + name_ + "' arity " +
+                           std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    if (row[i].is_null()) {
+      if (col.not_null || col.primary_key) {
+        return InvalidArgument("NULL in NOT NULL column '" + col.name +
+                               "' of table '" + name_ + "'");
+      }
+      continue;
+    }
+    if (!TypeAccepts(col.type, row[i].type())) {
+      return TypeError(std::string("value of type ") +
+                       DataTypeName(row[i].type()) + " not accepted by column '" +
+                       col.name + "' (" + DataTypeName(col.type) + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+Status TableSchema::CoerceRow(Row& row) const {
+  GRIDDB_RETURN_IF_ERROR(ValidateRow(row));
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    if (row[i].is_null() || row[i].type() == col.type) continue;
+    switch (col.type) {
+      case DataType::kDouble: {
+        GRIDDB_ASSIGN_OR_RETURN(double v, row[i].AsDouble());
+        row[i] = Value(v);
+        break;
+      }
+      case DataType::kInt64: {
+        GRIDDB_ASSIGN_OR_RETURN(int64_t v, row[i].AsInt64());
+        row[i] = Value(v);
+        break;
+      }
+      case DataType::kBool: {
+        GRIDDB_ASSIGN_OR_RETURN(bool v, row[i].AsBool());
+        row[i] = Value(v);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace griddb::storage

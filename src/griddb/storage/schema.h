@@ -1,0 +1,64 @@
+// Table schemas: column definitions, primary keys, foreign keys.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::storage {
+
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kString;
+  bool not_null = false;
+  bool primary_key = false;
+};
+
+struct ForeignKey {
+  std::vector<std::string> columns;
+  std::string referenced_table;
+  std::vector<std::string> referenced_columns;
+};
+
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns,
+              std::vector<ForeignKey> foreign_keys = {})
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        foreign_keys_(std::move(foreign_keys)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Case-insensitive column lookup; nullopt when absent.
+  std::optional<size_t> ColumnIndex(std::string_view column_name) const;
+  const ColumnDef* FindColumn(std::string_view column_name) const;
+
+  /// Indexes of the primary-key columns, in declaration order.
+  std::vector<size_t> PrimaryKeyIndexes() const;
+  bool HasPrimaryKey() const;
+
+  /// Validates a row against this schema: arity, NOT NULL, type
+  /// compatibility (int64 accepted into double columns and vice versa when
+  /// integral; bool accepted into numeric).
+  Status ValidateRow(const Row& row) const;
+
+  /// Coerces a row in place to the declared column types where a lossless
+  /// coercion exists (e.g. int64 literal into a DOUBLE column).
+  Status CoerceRow(Row& row) const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace griddb::storage

@@ -1,0 +1,198 @@
+#include "griddb/storage/stage_file.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::storage {
+
+namespace {
+constexpr std::string_view kMagic = "# griddb-stage v1";
+
+const char* TypeTag(DataType type) {
+  switch (type) {
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kBool: return "BOOL";
+    case DataType::kNull: return "NULL";
+  }
+  return "?";
+}
+
+Result<DataType> TypeFromTag(std::string_view tag) {
+  if (tag == "INT64") return DataType::kInt64;
+  if (tag == "DOUBLE") return DataType::kDouble;
+  if (tag == "STRING") return DataType::kString;
+  if (tag == "BOOL") return DataType::kBool;
+  return ParseError("unknown stage column type '" + std::string(tag) + "'");
+}
+}  // namespace
+
+std::string EscapeCell(const Value& value) {
+  if (value.is_null()) return "\\N";
+  std::string raw = value.ToString();
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<Value> UnescapeCell(std::string_view cell, DataType type) {
+  if (cell == "\\N") return Value::Null();
+  std::string raw;
+  raw.reserve(cell.size());
+  for (size_t i = 0; i < cell.size(); ++i) {
+    if (cell[i] != '\\') {
+      raw += cell[i];
+      continue;
+    }
+    if (i + 1 >= cell.size()) return ParseError("dangling escape in cell");
+    ++i;
+    switch (cell[i]) {
+      case '\\': raw += '\\'; break;
+      case 't': raw += '\t'; break;
+      case 'n': raw += '\n'; break;
+      case 'r': raw += '\r'; break;
+      case 'N': return ParseError("\\N must be the whole cell");
+      default: return ParseError("unknown escape in cell");
+    }
+  }
+  return Value::FromText(raw, type);
+}
+
+std::string EncodeStage(const TableSchema& schema,
+                        const std::vector<Row>& rows) {
+  std::string out(kMagic);
+  out += "\ntable ";
+  out += schema.name();
+  out += '\n';
+  for (const ColumnDef& col : schema.columns()) {
+    out += "column ";
+    out += col.name;
+    out += ' ';
+    out += TypeTag(col.type);
+    if (col.primary_key) out += " pk";
+    if (col.not_null) out += " notnull";
+    out += '\n';
+  }
+  out += "rows " + std::to_string(rows.size()) + "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '\t';
+      out += EscapeCell(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+size_t StagedData::EncodedSize() const {
+  return EncodeStage(schema, rows).size();
+}
+
+Result<StagedData> DecodeStage(std::string_view buffer) {
+  std::vector<std::string> lines = Split(buffer, '\n');
+  size_t line_no = 0;
+  auto next_line = [&]() -> std::string_view {
+    while (line_no < lines.size()) {
+      return lines[line_no++];
+    }
+    return {};
+  };
+
+  std::string_view magic = next_line();
+  if (magic != kMagic) return ParseError("bad stage file magic");
+
+  std::string_view table_line = next_line();
+  if (!StartsWith(table_line, "table ")) {
+    return ParseError("expected 'table <name>' header");
+  }
+  std::string table_name(Trim(table_line.substr(6)));
+
+  std::vector<ColumnDef> columns;
+  size_t declared_rows = 0;
+  while (true) {
+    if (line_no >= lines.size()) return ParseError("missing 'rows' header");
+    std::string_view line = lines[line_no++];
+    if (StartsWith(line, "column ")) {
+      std::vector<std::string> parts = SplitTrimmed(line.substr(7), ' ');
+      if (parts.size() < 2) return ParseError("malformed column header");
+      ColumnDef col;
+      col.name = parts[0];
+      GRIDDB_ASSIGN_OR_RETURN(col.type, TypeFromTag(parts[1]));
+      for (size_t i = 2; i < parts.size(); ++i) {
+        if (parts[i] == "pk") col.primary_key = true;
+        else if (parts[i] == "notnull") col.not_null = true;
+        else return ParseError("unknown column flag '" + parts[i] + "'");
+      }
+      columns.push_back(std::move(col));
+      continue;
+    }
+    if (StartsWith(line, "rows ")) {
+      int64_t n = 0;
+      if (!ParseInt64(line.substr(5), &n) || n < 0) {
+        return ParseError("malformed rows header");
+      }
+      declared_rows = static_cast<size_t>(n);
+      break;
+    }
+    return ParseError("unexpected header line in stage file");
+  }
+  if (columns.empty()) return ParseError("stage file declares no columns");
+
+  StagedData staged;
+  staged.schema = TableSchema(table_name, columns);
+  staged.rows.reserve(declared_rows);
+  for (size_t r = 0; r < declared_rows; ++r) {
+    if (line_no >= lines.size()) {
+      return ParseError("stage file truncated: expected " +
+                        std::to_string(declared_rows) + " rows, found " +
+                        std::to_string(r));
+    }
+    std::string_view line = lines[line_no++];
+    std::vector<std::string> cells = Split(line, '\t');
+    if (cells.size() != columns.size()) {
+      return ParseError("row " + std::to_string(r) + " has " +
+                        std::to_string(cells.size()) + " cells, expected " +
+                        std::to_string(columns.size()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t c = 0; c < cells.size(); ++c) {
+      GRIDDB_ASSIGN_OR_RETURN(Value v, UnescapeCell(cells[c], columns[c].type));
+      row.push_back(std::move(v));
+    }
+    staged.rows.push_back(std::move(row));
+  }
+  return staged;
+}
+
+Status WriteStageFile(const std::string& path, const TableSchema& schema,
+                      const std::vector<Row>& rows) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Unavailable("cannot open stage file '" + path + "' for write");
+  std::string encoded = EncodeStage(schema, rows);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) return Unavailable("short write to stage file '" + path + "'");
+  return Status::Ok();
+}
+
+Result<StagedData> ReadStageFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Unavailable("cannot open stage file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DecodeStage(buffer.str());
+}
+
+}  // namespace griddb::storage

@@ -1,0 +1,47 @@
+// Temporary staging files for the ETL pipeline.
+//
+// The paper's prototype stages every transfer through a temporary file:
+// "every time data was retrieved from a database it was first placed into
+// a temporary file (data extraction) and then from this temporary file,
+// data was stored into the other databases (data loading)" (§5.1). This
+// module defines that file format: a line-oriented text format carrying
+// the schema header and tab-separated, escaped rows.
+#pragma once
+
+#include <string>
+
+#include "griddb/storage/result_set.h"
+#include "griddb/storage/schema.h"
+#include "griddb/util/status.h"
+
+namespace griddb::storage {
+
+/// A parsed staging file: schema plus rows.
+struct StagedData {
+  TableSchema schema;
+  std::vector<Row> rows;
+
+  /// Bytes the staged representation occupies (what actually crosses the
+  /// disk / simulated wire during extraction and loading).
+  size_t EncodedSize() const;
+};
+
+/// Encodes schema + rows into the staging format.
+std::string EncodeStage(const TableSchema& schema, const std::vector<Row>& rows);
+
+/// Decodes a staging buffer. Fails on malformed headers or cells that do
+/// not parse as their declared column type.
+Result<StagedData> DecodeStage(std::string_view buffer);
+
+/// Writes a staging buffer to `path` (overwrites).
+Status WriteStageFile(const std::string& path, const TableSchema& schema,
+                      const std::vector<Row>& rows);
+
+/// Reads and decodes a staging file.
+Result<StagedData> ReadStageFile(const std::string& path);
+
+/// Escapes one cell: backslash, tab, newline escaped; NULL encoded as \N.
+std::string EscapeCell(const Value& value);
+Result<Value> UnescapeCell(std::string_view cell, DataType type);
+
+}  // namespace griddb::storage

@@ -1,0 +1,139 @@
+#include "griddb/storage/table.h"
+
+#include <algorithm>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::storage {
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  pk_indexes_ = schema_.PrimaryKeyIndexes();
+}
+
+std::string Table::PkKey(const Row& row) const {
+  std::string key;
+  for (size_t idx : pk_indexes_) {
+    key += row[idx].ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+Status Table::CheckPrimaryKeyUnique(const Row& row, size_t ignore_index) const {
+  if (pk_indexes_.empty()) return Status::Ok();
+  auto it = pk_map_.find(PkKey(row));
+  if (it != pk_map_.end() && it->second != ignore_index) {
+    return AlreadyExists("duplicate primary key in table '" + name() + "'");
+  }
+  return Status::Ok();
+}
+
+Status Table::Insert(Row row) {
+  GRIDDB_RETURN_IF_ERROR(schema_.CoerceRow(row));
+  GRIDDB_RETURN_IF_ERROR(CheckPrimaryKeyUnique(row, rows_.size()));
+  size_t new_index = rows_.size();
+  if (!pk_indexes_.empty()) pk_map_[PkKey(row)] = new_index;
+  for (HashIndex& index : indexes_) {
+    index.map.emplace(row[index.column_index], new_index);
+  }
+  rows_.push_back(std::move(row));
+  return Status::Ok();
+}
+
+Status Table::InsertAll(std::vector<Row> new_rows) {
+  for (Row& row : new_rows) {
+    GRIDDB_RETURN_IF_ERROR(Insert(std::move(row)));
+  }
+  return Status::Ok();
+}
+
+Status Table::UpdateRow(size_t index, Row row) {
+  if (index >= rows_.size()) {
+    return InvalidArgument("row index out of range");
+  }
+  GRIDDB_RETURN_IF_ERROR(schema_.CoerceRow(row));
+  GRIDDB_RETURN_IF_ERROR(CheckPrimaryKeyUnique(row, index));
+  rows_[index] = std::move(row);
+  ReindexAll();
+  return Status::Ok();
+}
+
+void Table::DeleteRows(std::vector<size_t> indexes) {
+  if (indexes.empty()) return;
+  std::sort(indexes.begin(), indexes.end());
+  indexes.erase(std::unique(indexes.begin(), indexes.end()), indexes.end());
+  // Erase from the back so earlier indexes stay valid.
+  for (auto it = indexes.rbegin(); it != indexes.rend(); ++it) {
+    if (*it < rows_.size()) rows_.erase(rows_.begin() + static_cast<long>(*it));
+  }
+  ReindexAll();
+}
+
+void Table::Truncate() {
+  rows_.clear();
+  ReindexAll();
+}
+
+void Table::ReindexAll() {
+  pk_map_.clear();
+  for (HashIndex& index : indexes_) index.map.clear();
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (!pk_indexes_.empty()) pk_map_[PkKey(rows_[r])] = r;
+    for (HashIndex& index : indexes_) {
+      index.map.emplace(rows_[r][index.column_index], r);
+    }
+  }
+}
+
+Status Table::CreateIndex(std::string_view column) {
+  auto col = schema_.ColumnIndex(column);
+  if (!col) {
+    return NotFound("no column '" + std::string(column) + "' in table '" +
+                    name() + "'");
+  }
+  if (HasIndexOn(column)) return Status::Ok();
+  HashIndex index;
+  index.column_index = *col;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    index.map.emplace(rows_[r][*col], r);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::Ok();
+}
+
+bool Table::HasIndexOn(std::string_view column) const {
+  auto col = schema_.ColumnIndex(column);
+  if (!col) return false;
+  for (const HashIndex& index : indexes_) {
+    if (index.column_index == *col) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> Table::Lookup(std::string_view column,
+                                  const Value& value) const {
+  std::vector<size_t> out;
+  auto col = schema_.ColumnIndex(column);
+  if (!col) return out;
+  for (const HashIndex& index : indexes_) {
+    if (index.column_index == *col) {
+      auto [begin, end] = index.map.equal_range(value);
+      for (auto it = begin; it != end; ++it) out.push_back(it->second);
+      std::sort(out.begin(), out.end());
+      return out;
+    }
+  }
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Value& cell = rows_[r][*col];
+    if (!cell.is_null() && !value.is_null() && cell == value) out.push_back(r);
+  }
+  return out;
+}
+
+size_t Table::DataWireSize() const {
+  size_t total = 0;
+  for (const Row& row : rows_) total += RowWireSize(row);
+  return total;
+}
+
+}  // namespace griddb::storage

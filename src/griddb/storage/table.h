@@ -1,0 +1,69 @@
+// In-memory table storage with primary-key and secondary hash indexes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "griddb/storage/schema.h"
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::storage {
+
+/// A heap of rows plus optional hash indexes. Not internally synchronized;
+/// the owning engine::Database serializes access.
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Validates, coerces and appends. Enforces primary-key uniqueness.
+  Status Insert(Row row);
+
+  /// Bulk insert; stops at the first failure (already-inserted rows stay).
+  Status InsertAll(std::vector<Row> rows);
+
+  /// Replaces the row at `index` (validated/coerced; PK updates re-indexed).
+  Status UpdateRow(size_t index, Row row);
+
+  /// Deletes the rows at the given indexes (sorted ascending internally).
+  void DeleteRows(std::vector<size_t> indexes);
+
+  /// Drops all rows (keeps schema and index definitions).
+  void Truncate();
+
+  /// Builds a secondary hash index on one column. Idempotent.
+  Status CreateIndex(std::string_view column);
+  bool HasIndexOn(std::string_view column) const;
+
+  /// Row indexes matching `value` in `column`; uses the hash index when
+  /// available, otherwise scans.
+  std::vector<size_t> Lookup(std::string_view column, const Value& value) const;
+
+  /// Approximate in-memory / on-the-wire footprint of the stored rows.
+  size_t DataWireSize() const;
+
+ private:
+  struct HashIndex {
+    size_t column_index;
+    std::unordered_multimap<Value, size_t, ValueHasher> map;
+  };
+
+  Status CheckPrimaryKeyUnique(const Row& row, size_t ignore_index) const;
+  void ReindexAll();
+  std::string PkKey(const Row& row) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<size_t> pk_indexes_;
+  std::unordered_map<std::string, size_t> pk_map_;  // pk key -> row index
+  std::vector<HashIndex> indexes_;
+};
+
+}  // namespace griddb::storage

@@ -1,0 +1,156 @@
+#include "griddb/unity/driver.h"
+
+#include <future>
+
+#include "griddb/sql/parser.h"
+#include "griddb/sql/render.h"
+
+namespace griddb::unity {
+
+using storage::ResultSet;
+
+namespace {
+/// Client queries are written against the virtual (logical) schema; the
+/// permissive SQLite dialect accepts every quoting style plus LIMIT.
+const sql::Dialect& ClientDialect() {
+  return sql::Dialect::For(sql::Vendor::kSqlite);
+}
+}  // namespace
+
+UnityDriver::UnityDriver(const ral::DatabaseCatalog* catalog,
+                         const net::Network* network, net::ServiceCosts costs,
+                         UnityDriverOptions options)
+    : catalog_(catalog),
+      network_(network),
+      costs_(costs),
+      options_(std::move(options)),
+      pool_(options_.max_threads) {}
+
+Status UnityDriver::AddDatabase(const UpperXSpecEntry& upper,
+                                const LowerXSpec& lower) {
+  return dictionary_.AddDatabase(upper, lower);
+}
+
+Status UnityDriver::ReplaceDatabase(const UpperXSpecEntry& upper,
+                                    const LowerXSpec& lower) {
+  return dictionary_.ReplaceDatabase(upper, lower);
+}
+
+Status UnityDriver::RemoveDatabase(const std::string& database_name) {
+  return dictionary_.RemoveDatabase(database_name);
+}
+
+Result<QueryPlan> UnityDriver::Plan(const std::string& sql_text) const {
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                          sql::ParseSelect(sql_text, ClientDialect()));
+  return Plan(*stmt);
+}
+
+Result<QueryPlan> UnityDriver::Plan(const sql::SelectStmt& stmt) const {
+  PlannerOptions planner_options;
+  planner_options.allow_cross_database_joins = options_.enhanced;
+  planner_options.projection_pushdown =
+      options_.enhanced && options_.projection_pushdown;
+  planner_options.predicate_pushdown =
+      options_.enhanced && options_.predicate_pushdown;
+  planner_options.prefer_host = options_.client_host;
+  return PlanSelect(stmt, dictionary_, planner_options);
+}
+
+Result<ral::JdbcConnection*> UnityDriver::ConnectionFor(
+    const std::string& connection, net::Cost* cost) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto it = connections_.find(connection);
+    if (it != connections_.end()) return it->second.get();
+  }
+  GRIDDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<ral::JdbcConnection> conn,
+      ral::JdbcConnection::Open(catalog_, network_, costs_, connection,
+                                options_.user, options_.password,
+                                options_.client_host, cost));
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  auto [it, inserted] = connections_.emplace(connection, std::move(conn));
+  (void)inserted;  // a racing open wins; both connections are equivalent
+  return it->second.get();
+}
+
+Status UnityDriver::WarmConnection(const std::string& connection) {
+  GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
+                          ConnectionFor(connection, nullptr));
+  (void)conn;
+  return Status::Ok();
+}
+
+Result<ResultSet> UnityDriver::ExecuteSubQuery(const SubQuery& sub,
+                                               net::Cost* cost) {
+  GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
+                          ConnectionFor(sub.table.connection, cost));
+  const sql::Dialect& dialect = conn->database()->dialect();
+  return conn->ExecuteQuery(sub.RenderSql(dialect), cost);
+}
+
+Result<ResultSet> UnityDriver::ExecuteDirect(const QueryPlan& plan,
+                                             net::Cost* cost) {
+  if (!plan.single_database || !plan.direct_stmt) {
+    return Internal("ExecuteDirect requires a single-database plan");
+  }
+  GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
+                          ConnectionFor(plan.connection, cost));
+  const sql::Dialect& dialect = conn->database()->dialect();
+  return conn->ExecuteQuery(sql::RenderSelect(*plan.direct_stmt, dialect),
+                            cost);
+}
+
+Result<ResultSet> UnityDriver::Query(const std::string& sql_text,
+                                     net::Cost* cost) {
+  if (cost) cost->AddMs(costs_.query_parse_ms);
+  GRIDDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(sql_text));
+
+  if (plan.single_database) return ExecuteDirect(plan, cost);
+
+  // Multi-database: execute sub-queries, then merge.
+  std::vector<std::pair<std::string, ResultSet>> partials(
+      plan.subqueries.size());
+  std::vector<net::Cost> branch_costs(plan.subqueries.size());
+
+  if (options_.enhanced && options_.parallel_subqueries &&
+      plan.subqueries.size() > 1) {
+    std::vector<std::future<Status>> futures;
+    futures.reserve(plan.subqueries.size());
+    for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      futures.push_back(pool_.Submit([this, &plan, &partials, &branch_costs,
+                                      i]() -> Status {
+        auto rs = ExecuteSubQuery(plan.subqueries[i], &branch_costs[i]);
+        if (!rs.ok()) return rs.status();
+        partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+        return Status::Ok();
+      }));
+    }
+    Status first_error = Status::Ok();
+    for (auto& f : futures) {
+      Status s = f.get();
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+    GRIDDB_RETURN_IF_ERROR(first_error);
+    if (cost) cost->AddParallel(branch_costs);
+  } else {
+    for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      GRIDDB_ASSIGN_OR_RETURN(ResultSet rs,
+                              ExecuteSubQuery(plan.subqueries[i],
+                                              &branch_costs[i]));
+      partials[i] = {plan.subqueries[i].effective_name, std::move(rs)};
+      if (cost) cost->AddSequential(branch_costs[i]);
+    }
+  }
+
+  GRIDDB_ASSIGN_OR_RETURN(ResultSet merged,
+                          MergePartials(*plan.merge_stmt, std::move(partials)));
+  if (cost) {
+    cost->AddMs(costs_.integrate_per_row_ms *
+                static_cast<double>(merged.num_rows()));
+  }
+  return merged;
+}
+
+}  // namespace griddb::unity

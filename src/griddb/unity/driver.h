@@ -1,0 +1,89 @@
+// The Unity federated driver (paper §3, §4.6).
+//
+// Baseline behaviour (the Unity JDBC driver the paper builds on): resolve
+// logical names through XSpec metadata, ship a whole query to the single
+// database that holds its tables, return a 2-D result. No cross-database
+// joins, sub-queries executed serially.
+//
+// Enhanced behaviour (the paper's contribution at the driver level):
+// cross-database joins via decomposition + middleware merge, sub-queries
+// executed in parallel, projection/predicate pushdown.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "griddb/net/network.h"
+#include "griddb/ral/catalog.h"
+#include "griddb/ral/jdbc.h"
+#include "griddb/unity/planner.h"
+#include "griddb/unity/xspec.h"
+#include "griddb/util/thread_pool.h"
+
+namespace griddb::unity {
+
+struct UnityDriverOptions {
+  bool enhanced = true;             ///< Master switch for the paper's driver
+                                    ///< enhancements (joins + parallelism).
+  bool parallel_subqueries = true;  ///< Only meaningful when enhanced.
+  bool projection_pushdown = true;
+  bool predicate_pushdown = true;
+  size_t max_threads = 8;
+  std::string client_host = "localhost";  ///< Host the driver runs on.
+  std::string user;                       ///< Credentials presented to DBs.
+  std::string password;
+};
+
+class UnityDriver {
+ public:
+  UnityDriver(const ral::DatabaseCatalog* catalog, const net::Network* network,
+              net::ServiceCosts costs, UnityDriverOptions options);
+
+  /// Registers a database from its XSpec pair.
+  Status AddDatabase(const UpperXSpecEntry& upper, const LowerXSpec& lower);
+  /// Re-registers after a schema change (swaps the dictionary entries).
+  Status ReplaceDatabase(const UpperXSpecEntry& upper, const LowerXSpec& lower);
+  Status RemoveDatabase(const std::string& database_name);
+
+  const DataDictionary& dictionary() const { return dictionary_; }
+  const UnityDriverOptions& options() const { return options_; }
+
+  /// Parses (permissive dialect) and plans a query without executing it.
+  Result<QueryPlan> Plan(const std::string& sql_text) const;
+  Result<QueryPlan> Plan(const sql::SelectStmt& stmt) const;
+
+  /// Full federated query: plan, execute sub-queries (JDBC), merge.
+  Result<storage::ResultSet> Query(const std::string& sql_text,
+                                   net::Cost* cost = nullptr);
+
+  /// Executes one planned sub-query over JDBC. Public so the data access
+  /// layer can route sub-queries itself (POOL-RAL vs JDBC).
+  Result<storage::ResultSet> ExecuteSubQuery(const SubQuery& sub,
+                                             net::Cost* cost);
+
+  /// Executes a single-database plan directly.
+  Result<storage::ResultSet> ExecuteDirect(const QueryPlan& plan,
+                                           net::Cost* cost);
+
+  /// Opens and caches the JDBC connection without charging simulated cost
+  /// (registration-time connect: the server connects to a database once
+  /// when it is registered/plugged in, paper §4.10).
+  Status WarmConnection(const std::string& connection);
+
+ private:
+  Result<ral::JdbcConnection*> ConnectionFor(const std::string& connection,
+                                             net::Cost* cost);
+
+  const ral::DatabaseCatalog* catalog_;
+  const net::Network* network_;
+  net::ServiceCosts costs_;
+  UnityDriverOptions options_;
+  DataDictionary dictionary_;
+  ThreadPool pool_;
+  std::mutex conn_mu_;
+  std::map<std::string, std::unique_ptr<ral::JdbcConnection>> connections_;
+};
+
+}  // namespace griddb::unity

@@ -1,0 +1,153 @@
+#include "griddb/unity/semantic.h"
+
+#include <algorithm>
+#include <set>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::unity {
+
+double EditSimilarity(std::string_view a_raw, std::string_view b_raw) {
+  std::string a = ToLower(a_raw);
+  std::string b = ToLower(b_raw);
+  if (a.empty() && b.empty()) return 1.0;
+  // Classic DP Levenshtein with two rows.
+  std::vector<size_t> prev(b.size() + 1), current(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitution = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] = std::min({prev[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(prev, current);
+  }
+  double distance = static_cast<double>(prev[b.size()]);
+  double longest = static_cast<double>(std::max(a.size(), b.size()));
+  return 1.0 - distance / longest;
+}
+
+double TokenSimilarity(std::string_view a, std::string_view b) {
+  auto tokens = [](std::string_view s) {
+    std::set<std::string> out;
+    for (const std::string& token : SplitTrimmed(ToLower(s), '_')) {
+      out.insert(token);
+    }
+    return out;
+  };
+  std::set<std::string> ta = tokens(a);
+  std::set<std::string> tb = tokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t intersection = 0;
+  for (const std::string& t : ta) intersection += tb.count(t);
+  size_t union_size = ta.size() + tb.size() - intersection;
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+double NameSimilarity(std::string_view a, std::string_view b) {
+  return std::max(EditSimilarity(a, b), TokenSimilarity(a, b));
+}
+
+namespace {
+
+bool TypesCompatible(storage::DataType a, storage::DataType b) {
+  if (a == b) return true;
+  auto numeric = [](storage::DataType t) {
+    return t == storage::DataType::kInt64 || t == storage::DataType::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+}  // namespace
+
+TableSimilarity SemanticMatcher::Compare(const TableBinding& a,
+                                         const TableBinding& b) const {
+  TableSimilarity out;
+  out.database_a = a.database_name;
+  out.table_a = a.logical;
+  out.database_b = b.database_name;
+  out.table_b = b.logical;
+  out.name_score = NameSimilarity(a.logical, b.logical);
+
+  // Greedy best-first column matching: repeatedly take the highest-scoring
+  // unmatched pair above the threshold.
+  struct Candidate {
+    double score;
+    size_t i, j;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < a.columns.size(); ++i) {
+    for (size_t j = 0; j < b.columns.size(); ++j) {
+      double score = NameSimilarity(a.columns[i].logical,
+                                    b.columns[j].logical);
+      if (score >= weights_.column_match_threshold) {
+        candidates.push_back({score, i, j});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return std::tie(x.i, x.j) < std::tie(y.i, y.j);
+            });
+  std::vector<bool> used_a(a.columns.size()), used_b(b.columns.size());
+  size_t compatible = 0;
+  for (const Candidate& c : candidates) {
+    if (used_a[c.i] || used_b[c.j]) continue;
+    used_a[c.i] = used_b[c.j] = true;
+    ColumnMatch match;
+    match.column_a = a.columns[c.i].logical;
+    match.column_b = b.columns[c.j].logical;
+    match.name_score = c.score;
+    match.types_compatible =
+        TypesCompatible(a.columns[c.i].type, b.columns[c.j].type);
+    if (match.types_compatible) ++compatible;
+    out.matches.push_back(std::move(match));
+  }
+
+  size_t union_size =
+      a.columns.size() + b.columns.size() - out.matches.size();
+  out.column_score = union_size == 0
+                         ? 0.0
+                         : static_cast<double>(out.matches.size()) /
+                               static_cast<double>(union_size);
+  out.type_score = out.matches.empty()
+                       ? 0.0
+                       : static_cast<double>(compatible) /
+                             static_cast<double>(out.matches.size());
+  out.score = weights_.table_name * out.name_score +
+              weights_.columns * out.column_score +
+              weights_.types * out.type_score;
+  return out;
+}
+
+std::vector<TableSimilarity> SemanticMatcher::FindIntegrationCandidates(
+    const DataDictionary& dictionary, double threshold) const {
+  // Gather every binding (each replica counts once per database).
+  std::vector<TableBinding> bindings;
+  for (const std::string& logical : dictionary.LogicalTables()) {
+    for (const TableBinding& binding : dictionary.Locate(logical)) {
+      bindings.push_back(binding);
+    }
+  }
+  std::vector<TableSimilarity> out;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    for (size_t j = i + 1; j < bindings.size(); ++j) {
+      if (bindings[i].database_name == bindings[j].database_name) continue;
+      TableSimilarity similarity = Compare(bindings[i], bindings[j]);
+      if (similarity.score >= threshold) out.push_back(std::move(similarity));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TableSimilarity& x, const TableSimilarity& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return std::tie(x.table_a, x.table_b) <
+                     std::tie(y.table_a, y.table_b);
+            });
+  return out;
+}
+
+}  // namespace griddb::unity

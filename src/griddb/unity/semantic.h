@@ -1,0 +1,81 @@
+// Semantic table integration (paper §6, future work):
+//
+//   "Another interesting extension to the project could be the study of
+//    how tables from databases can be integrated with respect to their
+//    semantic similarity."
+//
+// This module scores how likely two tables from *different* databases
+// describe the same entity, using only the metadata the federation
+// already has (the XSpec-derived data dictionary): logical name
+// similarity (edit distance + token overlap), column-name-set Jaccard
+// similarity with per-column matching, and type compatibility of the
+// matched columns. The output is a ranked list of integration candidates
+// an administrator can turn into replicated-table registrations or view
+// mappings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/unity/dictionary.h"
+
+namespace griddb::unity {
+
+/// Normalized Levenshtein similarity in [0, 1]; 1 = equal strings
+/// (case-insensitive).
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of the '_'-token sets of two identifiers, in [0, 1]
+/// ("run_quality" vs "quality_of_run" share {run, quality}).
+double TokenSimilarity(std::string_view a, std::string_view b);
+
+/// Identifier similarity: max of edit and token similarity.
+double NameSimilarity(std::string_view a, std::string_view b);
+
+/// One matched column pair between two tables.
+struct ColumnMatch {
+  std::string column_a;
+  std::string column_b;
+  double name_score = 0;
+  bool types_compatible = false;
+};
+
+/// The comparison result for a pair of tables.
+struct TableSimilarity {
+  std::string database_a, table_a;
+  std::string database_b, table_b;
+  double name_score = 0;     ///< Table-name similarity.
+  double column_score = 0;   ///< Greedy-matched column-name Jaccard.
+  double type_score = 0;     ///< Fraction of matched columns type-compatible.
+  double score = 0;          ///< Weighted combination.
+  std::vector<ColumnMatch> matches;
+};
+
+struct SemanticWeights {
+  double table_name = 0.35;
+  double columns = 0.45;
+  double types = 0.20;
+  /// A column pair below this name similarity is not matched at all.
+  double column_match_threshold = 0.55;
+};
+
+class SemanticMatcher {
+ public:
+  explicit SemanticMatcher(SemanticWeights weights = {})
+      : weights_(weights) {}
+
+  /// Scores one pair of table bindings.
+  TableSimilarity Compare(const TableBinding& a, const TableBinding& b) const;
+
+  /// All cross-database pairs in the dictionary scoring at or above
+  /// `threshold`, ranked best first. Same-database pairs are skipped: the
+  /// integration question only arises across databases.
+  std::vector<TableSimilarity> FindIntegrationCandidates(
+      const DataDictionary& dictionary, double threshold = 0.6) const;
+
+ private:
+  SemanticWeights weights_;
+};
+
+}  // namespace griddb::unity

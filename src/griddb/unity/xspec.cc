@@ -1,0 +1,182 @@
+#include "griddb/unity/xspec.h"
+
+#include "griddb/util/strings.h"
+#include "griddb/xml/xml.h"
+
+namespace griddb::unity {
+
+namespace {
+
+const char* TypeTag(storage::DataType type) {
+  switch (type) {
+    case storage::DataType::kInt64: return "integer";
+    case storage::DataType::kDouble: return "double";
+    case storage::DataType::kString: return "string";
+    case storage::DataType::kBool: return "boolean";
+    case storage::DataType::kNull: return "null";
+  }
+  return "?";
+}
+
+Result<storage::DataType> TypeFromTag(const std::string& tag) {
+  if (tag == "integer") return storage::DataType::kInt64;
+  if (tag == "double") return storage::DataType::kDouble;
+  if (tag == "string") return storage::DataType::kString;
+  if (tag == "boolean") return storage::DataType::kBool;
+  return ParseError("unknown XSpec column type '" + tag + "'");
+}
+
+}  // namespace
+
+const XSpecTable* LowerXSpec::FindTableByLogical(
+    std::string_view logical) const {
+  for (const XSpecTable& table : tables) {
+    if (EqualsIgnoreCase(table.logical_name, logical)) return &table;
+  }
+  return nullptr;
+}
+
+std::string LowerXSpec::ToXml() const {
+  xml::Node root("xspec");
+  root.attributes["database"] = database_name;
+  root.attributes["vendor"] = vendor;
+  for (const XSpecTable& table : tables) {
+    xml::Node& table_node = root.AddChild("table");
+    table_node.attributes["name"] = table.physical_name;
+    table_node.attributes["logical"] = table.logical_name;
+    for (const XSpecColumn& col : table.columns) {
+      xml::Node& col_node = table_node.AddChild("column");
+      col_node.attributes["name"] = col.physical_name;
+      col_node.attributes["logical"] = col.logical_name;
+      col_node.attributes["type"] = TypeTag(col.type);
+      if (col.primary_key) col_node.attributes["pk"] = "true";
+      if (col.not_null) col_node.attributes["notnull"] = "true";
+    }
+  }
+  for (const XSpecRelationship& rel : relationships) {
+    xml::Node& rel_node = root.AddChild("relationship");
+    rel_node.attributes["fromTable"] = rel.from_table;
+    rel_node.attributes["fromColumn"] = rel.from_column;
+    rel_node.attributes["toTable"] = rel.to_table;
+    rel_node.attributes["toColumn"] = rel.to_column;
+  }
+  return xml::Write(root);
+}
+
+Result<LowerXSpec> LowerXSpec::FromXml(std::string_view text) {
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> doc, xml::Parse(text));
+  if (doc->name != "xspec") return ParseError("expected <xspec> root");
+  LowerXSpec spec;
+  spec.database_name = doc->Attribute("database");
+  spec.vendor = doc->Attribute("vendor");
+  if (spec.database_name.empty()) {
+    return ParseError("<xspec> missing database attribute");
+  }
+  for (const xml::Node* table_node : doc->Children("table")) {
+    XSpecTable table;
+    table.physical_name = table_node->Attribute("name");
+    table.logical_name = table_node->Attribute("logical");
+    if (table.physical_name.empty()) {
+      return ParseError("<table> missing name attribute");
+    }
+    if (table.logical_name.empty()) {
+      table.logical_name = ToLower(table.physical_name);
+    }
+    for (const xml::Node* col_node : table_node->Children("column")) {
+      XSpecColumn col;
+      col.physical_name = col_node->Attribute("name");
+      col.logical_name = col_node->Attribute("logical");
+      if (col.physical_name.empty()) {
+        return ParseError("<column> missing name attribute");
+      }
+      if (col.logical_name.empty()) {
+        col.logical_name = ToLower(col.physical_name);
+      }
+      GRIDDB_ASSIGN_OR_RETURN(col.type, TypeFromTag(col_node->Attribute("type")));
+      col.primary_key = col_node->Attribute("pk") == "true";
+      col.not_null = col_node->Attribute("notnull") == "true";
+      table.columns.push_back(std::move(col));
+    }
+    spec.tables.push_back(std::move(table));
+  }
+  for (const xml::Node* rel_node : doc->Children("relationship")) {
+    spec.relationships.push_back({rel_node->Attribute("fromTable"),
+                                  rel_node->Attribute("fromColumn"),
+                                  rel_node->Attribute("toTable"),
+                                  rel_node->Attribute("toColumn")});
+  }
+  return spec;
+}
+
+std::string UpperXSpec::ToXml() const {
+  xml::Node root("upperXSpec");
+  for (const UpperXSpecEntry& entry : entries) {
+    xml::Node& db_node = root.AddChild("database");
+    db_node.attributes["name"] = entry.database_name;
+    db_node.AddTextChild("url", entry.url);
+    db_node.AddTextChild("driver", entry.driver);
+    db_node.AddTextChild("xspec", entry.lower_spec);
+  }
+  return xml::Write(root);
+}
+
+Result<UpperXSpec> UpperXSpec::FromXml(std::string_view text) {
+  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<xml::Node> doc, xml::Parse(text));
+  if (doc->name != "upperXSpec") return ParseError("expected <upperXSpec> root");
+  UpperXSpec spec;
+  for (const xml::Node* db_node : doc->Children("database")) {
+    UpperXSpecEntry entry;
+    entry.database_name = db_node->Attribute("name");
+    entry.url = db_node->ChildText("url");
+    entry.driver = db_node->ChildText("driver");
+    entry.lower_spec = db_node->ChildText("xspec");
+    if (entry.database_name.empty() || entry.url.empty()) {
+      return ParseError("<database> entry missing name or url");
+    }
+    spec.entries.push_back(std::move(entry));
+  }
+  return spec;
+}
+
+LowerXSpec GenerateXSpec(const engine::Database& db) {
+  LowerXSpec spec;
+  spec.database_name = db.name();
+  spec.vendor = sql::VendorName(db.vendor());
+  for (const std::string& table_name : db.TableNames()) {
+    auto schema = db.GetSchema(table_name);
+    if (!schema.ok()) continue;  // table dropped concurrently
+    XSpecTable table;
+    table.physical_name = table_name;
+    table.logical_name = ToLower(table_name);
+    for (const storage::ColumnDef& col : schema->columns()) {
+      table.columns.push_back({col.name, ToLower(col.name), col.type,
+                               col.primary_key, col.not_null});
+    }
+    spec.tables.push_back(std::move(table));
+    for (const storage::ForeignKey& fk : schema->foreign_keys()) {
+      for (size_t i = 0; i < fk.columns.size(); ++i) {
+        std::string to_column = i < fk.referenced_columns.size()
+                                    ? fk.referenced_columns[i]
+                                    : fk.columns[i];
+        spec.relationships.push_back(
+            {table_name, fk.columns[i], fk.referenced_table, to_column});
+      }
+    }
+  }
+  // Views are exported as tables (read-only access is all Unity needs).
+  for (const std::string& view_name : db.ViewNames()) {
+    auto schema = db.GetSchema(view_name);
+    if (!schema.ok()) continue;
+    XSpecTable table;
+    table.physical_name = view_name;
+    table.logical_name = ToLower(view_name);
+    for (const storage::ColumnDef& col : schema->columns()) {
+      table.columns.push_back({col.name, ToLower(col.name), col.type,
+                               col.primary_key, col.not_null});
+    }
+    spec.tables.push_back(std::move(table));
+  }
+  return spec;
+}
+
+}  // namespace griddb::unity

@@ -1,0 +1,74 @@
+// XSpec ("XML Specification") files, paper §4.4.
+//
+// Lower-level XSpec: one per database, generated from the live database;
+// carries the schema (tables, columns, relationships) plus the logical
+// names that form the data dictionary clients program against.
+//
+// Upper-level XSpec: one per federation, written by the administrator;
+// lists each database's URL (connection string), driver and the name of
+// its lower-level XSpec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "griddb/engine/database.h"
+#include "griddb/storage/value.h"
+#include "griddb/util/status.h"
+
+namespace griddb::unity {
+
+struct XSpecColumn {
+  std::string physical_name;
+  std::string logical_name;
+  storage::DataType type = storage::DataType::kString;
+  bool primary_key = false;
+  bool not_null = false;
+};
+
+struct XSpecTable {
+  std::string physical_name;
+  std::string logical_name;
+  std::vector<XSpecColumn> columns;
+};
+
+/// A foreign-key edge, recorded so the planner can reason about joins.
+struct XSpecRelationship {
+  std::string from_table;   // physical names
+  std::string from_column;
+  std::string to_table;
+  std::string to_column;
+};
+
+struct LowerXSpec {
+  std::string database_name;
+  std::string vendor;  ///< Dialect name: oracle / mysql / mssql / sqlite.
+  std::vector<XSpecTable> tables;
+  std::vector<XSpecRelationship> relationships;
+
+  std::string ToXml() const;
+  static Result<LowerXSpec> FromXml(std::string_view text);
+
+  const XSpecTable* FindTableByLogical(std::string_view logical) const;
+};
+
+struct UpperXSpecEntry {
+  std::string database_name;
+  std::string url;        ///< Connection string, e.g. mysql://caltech/mart1.
+  std::string driver;     ///< Driver name, e.g. "mysql-jdbc".
+  std::string lower_spec; ///< File name / identifier of the lower XSpec.
+};
+
+struct UpperXSpec {
+  std::vector<UpperXSpecEntry> entries;
+
+  std::string ToXml() const;
+  static Result<UpperXSpec> FromXml(std::string_view text);
+};
+
+/// Generates a lower-level XSpec from a live database (the Unity tooling
+/// the paper runs against each data source). Logical names are the
+/// lower-cased physical names by default.
+LowerXSpec GenerateXSpec(const engine::Database& db);
+
+}  // namespace griddb::unity

@@ -1,0 +1,50 @@
+#include "griddb/util/logging.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace griddb {
+
+namespace {
+constexpr size_t kTailCapacity = 256;
+}
+
+const char* LogLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (level < threshold_) return;
+  std::string line = std::string("[") + LogLevelName(level) + "] " + message;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (to_stderr_) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  tail_.push_back(std::move(line));
+  if (tail_.size() > kTailCapacity) {
+    tail_.erase(tail_.begin(), tail_.begin() + (tail_.size() - kTailCapacity));
+  }
+}
+
+std::vector<std::string> Logger::Tail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tail_;
+}
+
+void Logger::ClearTail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tail_.clear();
+}
+
+}  // namespace griddb

@@ -1,0 +1,64 @@
+// Minimal leveled logger. Thread-safe; writes to stderr by default.
+//
+// Usage: GRIDDB_LOG(Info) << "loaded " << n << " rows";
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace griddb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level) noexcept;
+
+/// Global log configuration. Messages below the threshold are dropped.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_threshold(LogLevel level) { threshold_ = level; }
+  LogLevel threshold() const { return threshold_; }
+
+  /// When true (default), messages go to stderr; captured messages are
+  /// always appended to the in-memory tail for tests.
+  void set_to_stderr(bool v) { to_stderr_ = v; }
+
+  void Write(LogLevel level, const std::string& message);
+
+  /// Last few captured messages (for tests); newest last.
+  std::vector<std::string> Tail() const;
+  void ClearTail();
+
+ private:
+  Logger() = default;
+  LogLevel threshold_ = LogLevel::kWarn;
+  bool to_stderr_ = true;
+  mutable std::mutex mu_;
+  std::vector<std::string> tail_;
+};
+
+/// RAII statement builder behind GRIDDB_LOG.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::Instance().Write(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define GRIDDB_LOG(level) ::griddb::LogStatement(::griddb::LogLevel::k##level)
+
+}  // namespace griddb

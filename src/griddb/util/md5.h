@@ -1,0 +1,43 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The schema-change tracker (paper §4.9) compares XSpec files first by size
+// and then by MD5 sum; this is the digest it uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace griddb {
+
+/// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  /// Feeds more bytes into the digest. May be called repeatedly.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 16-byte digest. The hasher must not be
+  /// updated afterwards; construct a fresh Md5 for a new message.
+  std::array<uint8_t, 16> Digest();
+
+  /// Finalizes and returns the digest as 32 lowercase hex characters.
+  std::string HexDigest();
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t bit_count_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: MD5 of a buffer as lowercase hex.
+std::string Md5Hex(std::string_view data);
+
+}  // namespace griddb

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random generator (xoshiro256**) for synthetic data.
+//
+// Benches and tests must be reproducible run-to-run, so all synthetic
+// workloads (ntuple generation, workload sampling) draw from this instead
+// of std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace griddb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given rate (lambda > 0).
+  double Exponential(double lambda);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace griddb

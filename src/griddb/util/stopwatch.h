@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the real-time component of measurements.
+#pragma once
+
+#include <chrono>
+
+namespace griddb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace griddb

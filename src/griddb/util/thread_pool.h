@@ -1,0 +1,57 @@
+// Fixed-size thread pool used for parallel sub-query execution.
+//
+// The enhanced Unity driver and the core data access layer fan a federated
+// query out to every involved data mart concurrently (the improvement the
+// paper makes over the baseline Unity driver, which executes serially).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace griddb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1 enforced).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result. Safe to call from
+  /// multiple threads. Tasks submitted after shutdown began are rejected
+  /// with a broken promise.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!shutting_down_) {
+        queue_.emplace_back([task] { (*task)(); });
+      }
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace griddb

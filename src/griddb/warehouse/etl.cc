@@ -1,0 +1,180 @@
+#include "griddb/warehouse/etl.h"
+
+#include <filesystem>
+
+#include "griddb/util/strings.h"
+
+namespace griddb::warehouse {
+
+using storage::ResultSet;
+using storage::Row;
+using storage::StagedData;
+using storage::TableSchema;
+
+const EtlCosts& EtlCosts::Default() {
+  static const EtlCosts costs;
+  return costs;
+}
+
+namespace {
+
+double DiskMs(size_t bytes, double mbps) {
+  // mbps is megabits/s to match the network units.
+  double bytes_per_ms = mbps * 1e6 / 8.0 / 1000.0;
+  return static_cast<double>(bytes) / bytes_per_ms;
+}
+
+/// Schema for staged rows: declared column types from the source schema
+/// when the extract is a plain SELECT over one table, else inferred from
+/// the data.
+TableSchema InferSchema(const std::string& name, const ResultSet& rs) {
+  std::vector<storage::ColumnDef> columns;
+  columns.reserve(rs.columns.size());
+  for (size_t c = 0; c < rs.columns.size(); ++c) {
+    storage::ColumnDef def;
+    def.name = rs.columns[c];
+    def.type = storage::DataType::kString;
+    for (const Row& row : rs.rows) {
+      if (c < row.size() && !row[c].is_null()) {
+        def.type = row[c].type();
+        break;
+      }
+    }
+    columns.push_back(std::move(def));
+  }
+  return TableSchema(name, std::move(columns));
+}
+
+}  // namespace
+
+EtlPipeline::EtlPipeline(const net::Network* network, net::ServiceCosts costs,
+                         EtlCosts etl_costs, std::string etl_host,
+                         std::string staging_dir)
+    : network_(network),
+      costs_(costs),
+      etl_costs_(etl_costs),
+      etl_host_(std::move(etl_host)),
+      staging_dir_(std::move(staging_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(staging_dir_, ec);
+}
+
+Result<StagedData> EtlPipeline::Extract(const Job& job, EtlStats& stats) {
+  if (!job.source || !job.target) {
+    return InvalidArgument("ETL job requires source and target databases");
+  }
+  GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, job.source->Execute(job.extract_sql));
+
+  // Source-side query + per-row fetch.
+  stats.extract_ms += costs_.db_execute_base_ms;
+  stats.extract_ms +=
+      costs_.db_per_row_ms * static_cast<double>(rs.num_rows());
+
+  // Transform.
+  StagedData staged;
+  std::string schema_name = job.target_schema_name.empty()
+                                ? job.target_table
+                                : job.target_schema_name;
+  staged.rows.reserve(rs.num_rows());
+  if (job.transform) {
+    for (const Row& row : rs.rows) {
+      GRIDDB_ASSIGN_OR_RETURN(Row transformed, job.transform(row));
+      staged.rows.push_back(std::move(transformed));
+    }
+    // The transform may change arity; synthesize names for added columns.
+    ResultSet transformed_view;
+    size_t out_width = staged.rows.empty() ? rs.columns.size()
+                                           : staged.rows.front().size();
+    for (size_t c = 0; c < out_width; ++c) {
+      transformed_view.columns.push_back(
+          c < rs.columns.size() ? rs.columns[c] : "col_" + std::to_string(c));
+    }
+    transformed_view.rows = staged.rows;
+    staged.schema = InferSchema(schema_name, transformed_view);
+    // Prefer the target table's declared schema when available.
+    auto target_schema = job.target->GetSchema(job.target_table);
+    if (target_schema.ok() &&
+        target_schema->num_columns() == staged.schema.num_columns()) {
+      staged.schema = TableSchema(schema_name, target_schema->columns());
+    }
+  } else {
+    staged.rows = std::move(rs.rows);
+    auto target_schema = job.target->GetSchema(job.target_table);
+    if (target_schema.ok() &&
+        target_schema->num_columns() == rs.columns.size()) {
+      staged.schema = TableSchema(schema_name, target_schema->columns());
+    } else {
+      ResultSet view;
+      view.columns = rs.columns;
+      view.rows = staged.rows;
+      staged.schema = InferSchema(schema_name, view);
+    }
+  }
+
+  // Rows travel source -> ETL host, then the stage file is written.
+  stats.rows = staged.rows.size();
+  stats.staged_bytes = staged.EncodedSize();
+  GRIDDB_ASSIGN_OR_RETURN(
+      double transfer,
+      network_->TransferMs(job.source_host, etl_host_, stats.staged_bytes));
+  stats.extract_ms += transfer;
+  stats.extract_ms += DiskMs(stats.staged_bytes, etl_costs_.disk_write_mbps);
+  return staged;
+}
+
+Status EtlPipeline::Load(const Job& job, const StagedData& staged,
+                         EtlStats& stats) {
+  // Read the file back, ship to the target host, insert, commit.
+  stats.load_ms += DiskMs(stats.staged_bytes, etl_costs_.disk_read_mbps);
+  GRIDDB_ASSIGN_OR_RETURN(
+      double transfer,
+      network_->TransferMs(etl_host_, job.target_host, stats.staged_bytes));
+  stats.load_ms += transfer;
+
+  if (!job.target->HasTable(job.target_table)) {
+    if (!job.create_target) {
+      return NotFound("target table '" + job.target_table +
+                      "' does not exist (set create_target to create it)");
+    }
+    TableSchema create_schema(job.target_table, staged.schema.columns(),
+                              staged.schema.foreign_keys());
+    GRIDDB_RETURN_IF_ERROR(job.target->CreateTable(std::move(create_schema)));
+  }
+  GRIDDB_RETURN_IF_ERROR(job.target->InsertRows(
+      job.target_table, std::vector<Row>(staged.rows)));
+  stats.load_ms +=
+      etl_costs_.insert_per_row_ms * static_cast<double>(staged.rows.size());
+  stats.load_ms += etl_costs_.commit_ms;
+  return Status::Ok();
+}
+
+Result<EtlStats> EtlPipeline::Run(const Job& job) {
+  EtlStats stats;
+  GRIDDB_ASSIGN_OR_RETURN(StagedData staged, Extract(job, stats));
+
+  // The staging file genuinely hits the filesystem (round-trip checked),
+  // reproducing the prototype's two-hop behaviour.
+  std::string path = staging_dir_ + "/stage_" +
+                     std::to_string(next_stage_id_++) + ".griddb";
+  GRIDDB_RETURN_IF_ERROR(
+      storage::WriteStageFile(path, staged.schema, staged.rows));
+  GRIDDB_ASSIGN_OR_RETURN(StagedData reloaded, storage::ReadStageFile(path));
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+
+  GRIDDB_RETURN_IF_ERROR(Load(job, reloaded, stats));
+  return stats;
+}
+
+Result<EtlStats> EtlPipeline::RunDirect(const Job& job) {
+  EtlStats stats;
+  GRIDDB_ASSIGN_OR_RETURN(StagedData staged, Extract(job, stats));
+  // No staging file: remove the disk-write charge Extract added and skip
+  // the read-back entirely.
+  stats.extract_ms -= DiskMs(stats.staged_bytes, etl_costs_.disk_write_mbps);
+  GRIDDB_RETURN_IF_ERROR(Load(job, staged, stats));
+  stats.load_ms -= DiskMs(stats.staged_bytes, etl_costs_.disk_read_mbps);
+  return stats;
+}
+
+}  // namespace griddb::warehouse

@@ -1,0 +1,31 @@
+#include "griddb/warehouse/materialize.h"
+
+namespace griddb::warehouse {
+
+Result<EtlStats> MaterializeView(DataWarehouse& warehouse,
+                                 const std::string& view_name, DataMart& mart,
+                                 EtlPipeline& pipeline) {
+  if (!warehouse.db().HasView(view_name)) {
+    return NotFound("warehouse has no view '" + view_name + "'");
+  }
+  EtlPipeline::Job job;
+  job.source = &warehouse.db();
+  job.source_host = warehouse.host();
+  job.extract_sql = "SELECT * FROM " + view_name;
+  job.target = &mart.db();
+  job.target_host = mart.host();
+  job.target_table = view_name;
+  job.create_target = true;
+  return pipeline.Run(job);
+}
+
+Result<EtlStats> RefreshView(DataWarehouse& warehouse,
+                             const std::string& view_name, DataMart& mart,
+                             EtlPipeline& pipeline) {
+  if (mart.db().HasTable(view_name)) {
+    GRIDDB_RETURN_IF_ERROR(mart.db().DropTable(view_name));
+  }
+  return MaterializeView(warehouse, view_name, mart, pipeline);
+}
+
+}  // namespace griddb::warehouse

@@ -1,0 +1,23 @@
+// Stage 2 of the prototype (paper §5, Figure 5): views created over the
+// warehouse are materialized — through the same data-streaming ETL path —
+// into the data marts that applications query locally.
+#pragma once
+
+#include "griddb/warehouse/etl.h"
+#include "griddb/warehouse/warehouse.h"
+
+namespace griddb::warehouse {
+
+/// Materializes warehouse view `view_name` into `mart` as a table of the
+/// same name. The transfer goes through the pipeline's staging file.
+Result<EtlStats> MaterializeView(DataWarehouse& warehouse,
+                                 const std::string& view_name, DataMart& mart,
+                                 EtlPipeline& pipeline);
+
+/// Re-materializes (refresh): truncates the mart copy first by dropping
+/// and re-creating it.
+Result<EtlStats> RefreshView(DataWarehouse& warehouse,
+                             const std::string& view_name, DataMart& mart,
+                             EtlPipeline& pipeline);
+
+}  // namespace griddb::warehouse

@@ -1,0 +1,35 @@
+#include "griddb/warehouse/warehouse.h"
+
+#include "griddb/sql/parser.h"
+
+namespace griddb::warehouse {
+
+Status StarSchemaSpec::Materialize(engine::Database& db) const {
+  for (const DimensionSpec& dim : dimensions) {
+    GRIDDB_RETURN_IF_ERROR(db.CreateTable(dim.schema));
+  }
+  // Record fact -> dimension foreign keys so XSpec generation can export
+  // the relationships.
+  storage::TableSchema fact_schema = fact;
+  std::vector<storage::ForeignKey> fks = fact_schema.foreign_keys();
+  for (const DimensionSpec& dim : dimensions) {
+    std::vector<size_t> pk = dim.schema.PrimaryKeyIndexes();
+    if (pk.empty()) continue;
+    fks.push_back({{dim.fact_key_column},
+                   dim.schema.name(),
+                   {dim.schema.columns()[pk[0]].name}});
+  }
+  storage::TableSchema with_fks(fact_schema.name(), fact_schema.columns(),
+                                std::move(fks));
+  return db.CreateTable(std::move(with_fks));
+}
+
+Status DataWarehouse::CreateAnalysisView(const std::string& name,
+                                         const std::string& select_sql) {
+  GRIDDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<sql::SelectStmt> select,
+      sql::ParseSelect(select_sql, db_.dialect()));
+  return db_.CreateView(name, *select);
+}
+
+}  // namespace griddb::warehouse

@@ -1,0 +1,71 @@
+// Data warehouse, data marts and the star schema (paper §4.2, §4.3).
+//
+// The warehouse is an Oracle-flavoured engine holding a denormalized star
+// schema populated from the normalized sources by the ETL pipeline;
+// read-only views are defined over it for analysis, and materialized into
+// vendor-diverse data marts located near the client applications.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "griddb/engine/database.h"
+#include "griddb/util/status.h"
+
+namespace griddb::warehouse {
+
+/// A dimension table plus the fact-table column that references it.
+struct DimensionSpec {
+  storage::TableSchema schema;
+  std::string fact_key_column;  ///< FK column in the fact table.
+};
+
+/// Denormalized star: one fact table, N dimensions.
+struct StarSchemaSpec {
+  storage::TableSchema fact;
+  std::vector<DimensionSpec> dimensions;
+
+  /// Creates all tables in `db`. Fact FKs to dimensions are recorded.
+  Status Materialize(engine::Database& db) const;
+};
+
+class DataWarehouse {
+ public:
+  DataWarehouse(std::string name, std::string host)
+      : db_(std::move(name), sql::Vendor::kOracle), host_(std::move(host)) {}
+
+  engine::Database& db() { return db_; }
+  const engine::Database& db() const { return db_; }
+  const std::string& host() const { return host_; }
+
+  Status DefineStarSchema(const StarSchemaSpec& spec) {
+    return spec.Materialize(db_);
+  }
+
+  /// Creates a read-only analysis view (Oracle dialect SQL).
+  Status CreateAnalysisView(const std::string& name,
+                            const std::string& select_sql);
+
+ private:
+  engine::Database db_;
+  std::string host_;
+};
+
+/// A mart: a smaller vendor-diverse database holding materialized subsets
+/// of the warehouse, placed on a host near its clients.
+class DataMart {
+ public:
+  DataMart(std::string name, sql::Vendor vendor, std::string host)
+      : db_(std::move(name), vendor), host_(std::move(host)) {}
+
+  engine::Database& db() { return db_; }
+  const engine::Database& db() const { return db_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  engine::Database db_;
+  std::string host_;
+};
+
+}  // namespace griddb::warehouse

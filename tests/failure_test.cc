@@ -1,0 +1,315 @@
+// Failure injection across the stack: wrong credentials, stale RLS
+// mappings, forwarding loops, malformed XSpec plug-ins, vanished servers,
+// and corrupted staging files. The system must fail with a precise
+// Status — never hang, crash or return partial data silently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/warehouse/etl.h"
+
+namespace griddb::core {
+namespace {
+
+using storage::Value;
+
+struct FailureFixture : public ::testing::Test {
+  FailureFixture()
+      : transport(&network, net::ServiceCosts::Default()),
+        open_db("open_db", sql::Vendor::kMySql),
+        locked_db("locked_db", sql::Vendor::kOracle) {
+    for (const char* h : {"server-a", "server-b", "rls-host", "client"}) {
+      network.AddHost(h);
+    }
+    rls = std::make_unique<rls::RlsServer>("rls://rls-host:39281/rls",
+                                           &transport);
+
+    EXPECT_TRUE(open_db
+                    .Execute("CREATE TABLE PUBLIC_DATA (ID INT PRIMARY KEY, "
+                             "V DOUBLE)")
+                    .ok());
+    EXPECT_TRUE(
+        open_db.Execute("INSERT INTO PUBLIC_DATA (ID, V) VALUES (1, 1.5)")
+            .ok());
+    EXPECT_TRUE(locked_db
+                    .Execute("CREATE TABLE SECRET_DATA (ID NUMBER(19) "
+                             "PRIMARY KEY)")
+                    .ok());
+
+    EXPECT_TRUE(
+        catalog.Add({"mysql://server-a/open_db", &open_db, "server-a", "", ""})
+            .ok());
+    EXPECT_TRUE(catalog
+                    .Add({"oracle://server-a/locked_db", &locked_db,
+                          "server-a", "admin", "hunter2"})
+                    .ok());
+
+    DataAccessConfig config;
+    config.server_name = "jclarens-a";
+    config.host = "server-a";
+    config.server_url = "clarens://server-a:8080/clarens";
+    config.rls_url = "rls://rls-host:39281/rls";
+    server_a = std::make_unique<JClarensServer>(config, &catalog, &transport,
+                                                &xspec_repo);
+  }
+
+  net::Network network;
+  rpc::Transport transport;
+  engine::Database open_db;
+  engine::Database locked_db;
+  ral::DatabaseCatalog catalog;
+  XSpecRepository xspec_repo;
+  std::unique_ptr<rls::RlsServer> rls;
+  std::unique_ptr<JClarensServer> server_a;
+};
+
+TEST_F(FailureFixture, WrongDatabaseCredentialsSurfaceAtQueryTime) {
+  // Registration with the wrong (empty) credentials succeeds — the schema
+  // metadata is readable — but the first query must fail cleanly.
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("oracle://server-a/locked_db", "")
+                  .ok());
+  auto rs = server_a->service().Query("SELECT id FROM secret_data", nullptr);
+  EXPECT_EQ(rs.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(FailureFixture, CorrectCredentialsWork) {
+  DataAccessConfig config;
+  config.server_name = "jclarens-auth";
+  config.host = "server-a";
+  config.server_url = "clarens://server-a:9090/clarens";
+  config.db_user = "admin";
+  config.db_password = "hunter2";
+  JClarensServer with_creds(config, &catalog, &transport);
+  ASSERT_TRUE(with_creds.service()
+                  .RegisterLiveDatabase("oracle://server-a/locked_db", "")
+                  .ok());
+  auto rs = with_creds.service().Query("SELECT COUNT(*) FROM secret_data",
+                                       nullptr);
+  EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+}
+
+TEST_F(FailureFixture, StaleRlsMappingToDeadServerIsUnavailable) {
+  // The RLS claims ghost_table lives on a server that no longer exists.
+  ASSERT_TRUE(
+      rls->Publish("ghost_table", "clarens://server-b:8080/clarens").ok());
+  QueryStats stats;
+  auto rs = server_a->service().Query("SELECT x FROM ghost_table", &stats);
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(stats.used_rls);
+}
+
+TEST_F(FailureFixture, FailoverToLiveReplicaWhenFirstServerIsDead) {
+  // ghost_table is published on a dead server AND on a live one hosting
+  // it; the data access layer must skip the dead endpoint and succeed.
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                  .ok());
+  DataAccessConfig config_b;
+  config_b.server_name = "jclarens-b";
+  config_b.host = "server-b";
+  config_b.server_url = "clarens://server-b:8080/clarens";
+  config_b.rls_url = "rls://rls-host:39281/rls";
+  JClarensServer server_b(config_b, &catalog, &transport, &xspec_repo);
+
+  // The dead server sorts first lexicographically, so naive first-URL
+  // selection would hit it.
+  ASSERT_TRUE(
+      rls->Publish("public_data", "clarens://server-a-dead:8080/clarens")
+          .ok());
+
+  QueryStats stats;
+  auto rs = server_b.service().Query("SELECT id FROM public_data", &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), 1u);
+  EXPECT_TRUE(stats.used_rls);
+}
+
+TEST_F(FailureFixture, MutualRlsReferralTerminatesInsteadOfLooping) {
+  // Both servers are told (stale RLS data) that the other one hosts the
+  // table; forwarding must terminate at the depth guard, not ping-pong.
+  DataAccessConfig config_b;
+  config_b.server_name = "jclarens-b";
+  config_b.host = "server-b";
+  config_b.server_url = "clarens://server-b:8080/clarens";
+  config_b.rls_url = "rls://rls-host:39281/rls";
+  JClarensServer server_b(config_b, &catalog, &transport, &xspec_repo);
+
+  ASSERT_TRUE(
+      rls->Publish("phantom", "clarens://server-a:8080/clarens").ok());
+  ASSERT_TRUE(
+      rls->Publish("phantom", "clarens://server-b:8080/clarens").ok());
+
+  auto rs = server_a->service().Query("SELECT x FROM phantom", nullptr);
+  EXPECT_FALSE(rs.ok());
+  // Terminates with either the depth guard or a not-found from the far
+  // end, depending on which server the RLS returns first.
+  EXPECT_TRUE(rs.status().code() == StatusCode::kUnavailable ||
+              rs.status().code() == StatusCode::kNotFound)
+      << rs.status().ToString();
+}
+
+TEST_F(FailureFixture, MalformedXSpecPluginRejected) {
+  xspec_repo.Put("http://bad/xspec", "<xspec database='oops'");  // truncated
+  rpc::RpcClient client(&transport, "client",
+                        "clarens://server-a:8080/clarens");
+  rpc::XmlRpcArray params;
+  params.emplace_back("http://bad/xspec");
+  params.emplace_back("jdbc");
+  params.emplace_back("mysql://server-a/open_db");
+  auto result = client.Call("dataaccess.pluginDatabase", std::move(params),
+                            nullptr);
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(FailureFixture, PluginFromMissingUrlRejected) {
+  rpc::RpcClient client(&transport, "client",
+                        "clarens://server-a:8080/clarens");
+  rpc::XmlRpcArray params;
+  params.emplace_back("http://nowhere/none.xspec");
+  params.emplace_back("jdbc");
+  params.emplace_back("mysql://server-a/open_db");
+  auto result = client.Call("dataaccess.pluginDatabase", std::move(params),
+                            nullptr);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailureFixture, DoubleRegistrationRejected) {
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                  .ok());
+  EXPECT_EQ(server_a->service()
+                .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(FailureFixture, QueryAfterUnregisterFails) {
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                  .ok());
+  ASSERT_TRUE(
+      server_a->service().Query("SELECT id FROM public_data", nullptr).ok());
+  ASSERT_TRUE(server_a->service().UnregisterDatabase("open_db").ok());
+  auto rs = server_a->service().Query("SELECT id FROM public_data", nullptr);
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FailureFixture, UnknownConnectionStringAtRegistration) {
+  EXPECT_EQ(server_a->service()
+                .RegisterLiveDatabase("mysql://server-a/no_such_db", "")
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(FailureFixture, MalformedSqlReturnsParseError) {
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                  .ok());
+  auto rs = server_a->service().Query("SELEC id FRM public_data", nullptr);
+  EXPECT_EQ(rs.status().code(), StatusCode::kParseError);
+  // DML through the read-only query interface is rejected too.
+  auto dml = server_a->service().Query("DELETE FROM public_data", nullptr);
+  EXPECT_FALSE(dml.ok());
+}
+
+TEST_F(FailureFixture, RpcFaultCodesSurviveTheWire) {
+  ASSERT_TRUE(server_a->service()
+                  .RegisterLiveDatabase("mysql://server-a/open_db", "")
+                  .ok());
+  rpc::RpcClient client(&transport, "client",
+                        "clarens://server-a:8080/clarens");
+  rpc::XmlRpcArray params;
+  params.emplace_back("SELECT nope FROM public_data");
+  auto result = client.Call("dataaccess.query", std::move(params), nullptr);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("nope"), std::string::npos);
+}
+
+TEST_F(FailureFixture, ServerDestructionUnbindsEndpoint) {
+  {
+    DataAccessConfig config;
+    config.server_name = "ephemeral";
+    config.host = "server-b";
+    config.server_url = "clarens://server-b:7070/clarens";
+    JClarensServer ephemeral(config, &catalog, &transport);
+    rpc::RpcClient client(&transport, "client",
+                          "clarens://server-b:7070/clarens");
+    EXPECT_TRUE(client.Call("dataaccess.listTables", {}, nullptr).ok());
+  }
+  rpc::RpcClient client(&transport, "client",
+                        "clarens://server-b:7070/clarens");
+  EXPECT_EQ(client.Call("dataaccess.listTables", {}, nullptr).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(EtlFailureTest, CorruptedStageFileDetected) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "griddb_fail_etl").string();
+  std::filesystem::create_directories(dir);
+  std::string path = dir + "/corrupt.griddb";
+  storage::TableSchema schema(
+      "t", {{"a", storage::DataType::kInt64, false, false}});
+  ASSERT_TRUE(
+      storage::WriteStageFile(path, schema, {{Value(int64_t{1})}}).ok());
+  // Flip bytes in the payload area.
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-2, std::ios::end);
+    file.put('x');
+  }
+  auto loaded = storage::ReadStageFile(path);
+  EXPECT_FALSE(loaded.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(EtlFailureTest, TransformErrorAbortsRun) {
+  net::Network network;
+  network.AddHost("h");
+  engine::Database source("s", sql::Vendor::kMySql);
+  engine::Database target("t", sql::Vendor::kMySql);
+  ASSERT_TRUE(source.Execute("CREATE TABLE d (a INT)").ok());
+  ASSERT_TRUE(source.Execute("INSERT INTO d (a) VALUES (1), (2), (3)").ok());
+  warehouse::EtlPipeline pipeline(
+      &network, net::ServiceCosts::Default(), warehouse::EtlCosts::Default(),
+      "h", (std::filesystem::temp_directory_path() / "griddb_fail_t").string());
+  warehouse::EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "h";
+  job.extract_sql = "SELECT a FROM d";
+  job.target = &target;
+  job.target_host = "h";
+  job.target_table = "out";
+  job.create_target = true;
+  job.transform = [](const storage::Row& row) -> Result<storage::Row> {
+    if (row[0].AsInt64Strict() == 2) {
+      return Internal("poison row");
+    }
+    return row;
+  };
+  auto stats = pipeline.Run(job);
+  EXPECT_EQ(stats.status().code(), StatusCode::kInternal);
+  // Nothing was loaded (extraction aborted before the load hop).
+  EXPECT_FALSE(target.HasTable("out"));
+}
+
+TEST(NetworkFailureTest, UnknownHostsFailEverywhere) {
+  net::Network network;
+  network.AddHost("known");
+  rpc::Transport transport(&network, net::ServiceCosts::Default());
+  // Server binds on an unknown host: calls fail at transfer accounting.
+  rpc::RpcServer server("clarens://mystery:8080/x", &transport);
+  (void)server.RegisterMethod(
+      "ping", [](const rpc::XmlRpcArray&, rpc::CallContext&)
+                  -> Result<rpc::XmlRpcValue> { return rpc::XmlRpcValue(1); });
+  rpc::RpcClient client(&transport, "known", "clarens://mystery:8080/x");
+  net::Cost cost;
+  auto result = client.Call("ping", {}, &cost);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace griddb::core

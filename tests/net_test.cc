@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "griddb/net/network.h"
+
+namespace griddb::net {
+namespace {
+
+TEST(LinkSpecTest, TransferScalesWithBytes) {
+  LinkSpec lan = LinkSpec::Lan100Mbps();
+  double one_kb = lan.TransferMs(1024);
+  double one_mb = lan.TransferMs(1024 * 1024);
+  EXPECT_GT(one_mb, one_kb);
+  // 1 MB at ~11.875 MB/s effective is ~88 ms (plus latency).
+  EXPECT_NEAR(one_mb, 0.3 + 1024.0 * 1024.0 / (100e6 * 0.95 / 8 / 1000), 1e-6);
+}
+
+TEST(LinkSpecTest, LatencyDominatesSmallMessages) {
+  LinkSpec wan = LinkSpec::Wan();
+  EXPECT_NEAR(wan.TransferMs(0), 45.0, 1e-9);
+  EXPECT_GT(wan.TransferMs(1), 45.0);
+}
+
+TEST(NetworkTest, HostsAndLinks) {
+  Network net;
+  net.AddHost("cern-tier1");
+  net.AddHost("caltech-tier2");
+  EXPECT_TRUE(net.HasHost("cern-tier1"));
+  EXPECT_FALSE(net.HasHost("fermilab"));
+  EXPECT_EQ(net.Hosts().size(), 2u);
+
+  EXPECT_TRUE(net.SetLink("cern-tier1", "caltech-tier2", LinkSpec::Wan()).ok());
+  auto link = net.GetLink("cern-tier1", "caltech-tier2");
+  ASSERT_TRUE(link.ok());
+  EXPECT_DOUBLE_EQ(link->latency_ms, 45.0);
+  // Symmetric.
+  auto reverse = net.GetLink("caltech-tier2", "cern-tier1");
+  ASSERT_TRUE(reverse.ok());
+  EXPECT_DOUBLE_EQ(reverse->latency_ms, 45.0);
+}
+
+TEST(NetworkTest, DefaultLinkForUnknownPairs) {
+  Network net;
+  net.AddHost("a");
+  net.AddHost("b");
+  auto link = net.GetLink("a", "b");
+  ASSERT_TRUE(link.ok());
+  EXPECT_DOUBLE_EQ(link->bandwidth_mbps, 100.0);  // LAN default
+  net.SetDefaultLink(LinkSpec::Wan());
+  EXPECT_DOUBLE_EQ(net.GetLink("a", "b")->bandwidth_mbps, 10.0);
+}
+
+TEST(NetworkTest, LoopbackForSameHost) {
+  Network net;
+  net.AddHost("a");
+  auto link = net.GetLink("a", "a");
+  ASSERT_TRUE(link.ok());
+  EXPECT_LT(link->latency_ms, 0.1);
+  EXPECT_GT(link->bandwidth_mbps, 1000.0);
+}
+
+TEST(NetworkTest, UnknownHostErrors) {
+  Network net;
+  net.AddHost("a");
+  EXPECT_FALSE(net.GetLink("a", "ghost").ok());
+  EXPECT_FALSE(net.SetLink("a", "ghost", LinkSpec::Wan()).ok());
+  EXPECT_FALSE(net.TransferMs("ghost", "a", 10).ok());
+}
+
+TEST(NetworkTest, RoundTripSumsBothDirections) {
+  Network net;
+  net.AddHost("a");
+  net.AddHost("b");
+  double rtt = net.RoundTripMs("a", "b", 1000, 5000).value();
+  double forward = net.TransferMs("a", "b", 1000).value();
+  double back = net.TransferMs("b", "a", 5000).value();
+  EXPECT_DOUBLE_EQ(rtt, forward + back);
+}
+
+TEST(CostTest, SequentialAdds) {
+  Cost cost;
+  cost.AddMs(10);
+  cost.AddMs(5.5);
+  EXPECT_DOUBLE_EQ(cost.total_ms(), 15.5);
+  Cost other;
+  other.AddMs(4.5);
+  cost.AddSequential(other);
+  EXPECT_DOUBLE_EQ(cost.total_ms(), 20.0);
+}
+
+TEST(CostTest, ParallelTakesMax) {
+  Cost a, b, c;
+  a.AddMs(100);
+  b.AddMs(250);
+  c.AddMs(50);
+  Cost total;
+  total.AddMs(10);
+  total.AddParallel({a, b, c});
+  EXPECT_DOUBLE_EQ(total.total_ms(), 260.0);
+}
+
+TEST(CostTest, NegativeChargesIgnored) {
+  Cost cost;
+  cost.AddMs(-5);
+  EXPECT_DOUBLE_EQ(cost.total_ms(), 0.0);
+}
+
+TEST(ServiceCostsTest, DefaultsCalibratedForTable1) {
+  const ServiceCosts& costs = ServiceCosts::Default();
+  // The distributed-query penalty must be dominated by connect/auth + RLS,
+  // an order of magnitude above the local fast path (38 ms in Table 1).
+  EXPECT_GT(costs.connect_auth_ms, 100.0);
+  EXPECT_GT(costs.rls_lookup_ms, 30.0);
+  EXPECT_LT(costs.db_execute_base_ms + costs.query_parse_ms, 38.0);
+}
+
+}  // namespace
+}  // namespace griddb::net

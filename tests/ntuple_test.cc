@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "griddb/ntuple/histogram.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/util/rng.h"
+
+namespace griddb::ntuple {
+namespace {
+
+using storage::Value;
+
+TEST(NtupleTest, AppendValidatesArity) {
+  Ntuple nt({"a", "b"});
+  EXPECT_TRUE(nt.Append(1, {1.0, 2.0}).ok());
+  EXPECT_FALSE(nt.Append(1, {1.0}).ok());
+  EXPECT_EQ(nt.num_events(), 1u);
+  EXPECT_EQ(nt.events()[0].event_id, 1);
+}
+
+TEST(NtupleTest, VariableIndexCaseInsensitive) {
+  Ntuple nt({"e_total", "PT"});
+  EXPECT_EQ(nt.VariableIndex("E_TOTAL"), 0);
+  EXPECT_EQ(nt.VariableIndex("pt"), 1);
+  EXPECT_EQ(nt.VariableIndex("ghost"), -1);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions options;
+  options.num_events = 50;
+  options.seed = 7;
+  Ntuple a = GenerateNtuple(options);
+  Ntuple b = GenerateNtuple(options);
+  ASSERT_EQ(a.num_events(), b.num_events());
+  for (size_t e = 0; e < a.num_events(); ++e) {
+    EXPECT_EQ(a.events()[e].run_id, b.events()[e].run_id);
+    for (size_t v = 0; v < a.nvar(); ++v) {
+      EXPECT_DOUBLE_EQ(a.events()[e].values[v], b.events()[e].values[v]);
+    }
+  }
+}
+
+TEST(GeneratorTest, PhysicsVariableRanges) {
+  GeneratorOptions options;
+  options.num_events = 5000;
+  options.seed = 11;
+  Ntuple nt = GenerateNtuple(options);
+  int pt_idx = nt.VariableIndex("pt");
+  int phi_idx = nt.VariableIndex("phi");
+  int charge_idx = nt.VariableIndex("charge");
+  int mass_idx = nt.VariableIndex("mass");
+  double mass_sum = 0;
+  for (const NtupleEvent& event : nt.events()) {
+    EXPECT_GE(event.values[static_cast<size_t>(pt_idx)], 0.0);
+    EXPECT_GE(event.values[static_cast<size_t>(phi_idx)], -M_PI);
+    EXPECT_LT(event.values[static_cast<size_t>(phi_idx)], M_PI);
+    double q = event.values[static_cast<size_t>(charge_idx)];
+    EXPECT_TRUE(q == 1.0 || q == -1.0);
+    mass_sum += event.values[static_cast<size_t>(mass_idx)];
+  }
+  EXPECT_NEAR(mass_sum / 5000.0, 91.0, 1.0);  // Z-ish mass peak
+}
+
+TEST(GeneratorTest, NvarExtension) {
+  GeneratorOptions options;
+  options.num_events = 10;
+  options.nvar = 20;
+  Ntuple nt = GenerateNtuple(options);
+  EXPECT_EQ(nt.nvar(), 20u);
+  EXPECT_EQ(nt.variables()[8], "var_8");
+  EXPECT_EQ(nt.variables()[19], "var_19");
+}
+
+TEST(GeneratorTest, RunIdsWithinRange) {
+  GeneratorOptions options;
+  options.num_events = 500;
+  options.num_runs = 3;
+  Ntuple nt = GenerateNtuple(options);
+  for (const NtupleEvent& event : nt.events()) {
+    EXPECT_GE(event.run_id, 1);
+    EXPECT_LE(event.run_id, 3);
+  }
+  EXPECT_EQ(GenerateRuns(options).size(), 3u);
+}
+
+TEST(RelationalTest, NormalizedLoadRowCounts) {
+  GeneratorOptions options;
+  options.num_events = 100;
+  options.nvar = 10;
+  Ntuple nt = GenerateNtuple(options);
+  std::vector<RunInfo> runs = GenerateRuns(options);
+
+  engine::Database db("src", sql::Vendor::kMySql);
+  ASSERT_TRUE(CreateNormalizedSchema(db).ok());
+  ASSERT_TRUE(LoadNormalized(nt, runs, db).ok());
+  EXPECT_EQ(db.RowCount("events"), 100u);
+  EXPECT_EQ(db.RowCount("event_values"), 1000u);
+  EXPECT_EQ(db.RowCount("variables"), 10u);
+  EXPECT_EQ(db.RowCount("runs"), runs.size());
+
+  // The normalized form reconstructs a variable by join.
+  auto rs = db.Execute(
+      "SELECT COUNT(*) FROM event_values ev JOIN variables v "
+      "ON ev.var_id = v.var_id WHERE v.name = 'pt'");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0].AsInt64Strict(), 100);
+}
+
+TEST(RelationalTest, PrefixSupportsMultipleDatasets) {
+  engine::Database db("src", sql::Vendor::kMySql);
+  ASSERT_TRUE(CreateNormalizedSchema(db, "cms_").ok());
+  ASSERT_TRUE(CreateNormalizedSchema(db, "atlas_").ok());
+  EXPECT_TRUE(db.HasTable("cms_events"));
+  EXPECT_TRUE(db.HasTable("atlas_events"));
+}
+
+TEST(RelationalTest, DenormalizedSchemaAndRows) {
+  GeneratorOptions options;
+  options.num_events = 20;
+  Ntuple nt = GenerateNtuple(options);
+  std::vector<RunInfo> runs = GenerateRuns(options);
+
+  storage::TableSchema schema = DenormalizedSchema(nt, "fact_event");
+  EXPECT_EQ(schema.num_columns(), 3 + nt.nvar());
+  EXPECT_TRUE(schema.columns()[0].primary_key);
+
+  std::vector<storage::Row> rows = DenormalizedRows(nt, runs);
+  ASSERT_EQ(rows.size(), 20u);
+  for (const storage::Row& row : rows) {
+    EXPECT_TRUE(schema.ValidateRow(row).ok());
+    EXPECT_FALSE(row[2].is_null());  // detector resolved from run
+  }
+}
+
+// ---------- histograms ----------
+
+TEST(HistogramTest, FillAndStats) {
+  Histogram1D hist("pt", 10, 0.0, 100.0);
+  hist.Fill(5.0);
+  hist.Fill(15.0);
+  hist.Fill(15.5);
+  hist.Fill(-1.0);   // underflow
+  hist.Fill(100.0);  // overflow boundary (>= hi)
+  EXPECT_DOUBLE_EQ(hist.entries(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.BinContent(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.BinContent(1), 2.0);
+  EXPECT_NEAR(hist.Mean(), (5.0 + 15.0 + 15.5) / 3, 1e-9);
+  EXPECT_DOUBLE_EQ(hist.BinCenter(0), 5.0);
+  EXPECT_DOUBLE_EQ(hist.MaxBinContent(), 2.0);
+}
+
+TEST(HistogramTest, WeightedFills) {
+  Histogram1D hist("w", 2, 0.0, 2.0);
+  hist.Fill(0.5, 2.5);
+  hist.Fill(1.5, 0.5);
+  EXPECT_DOUBLE_EQ(hist.BinContent(0), 2.5);
+  EXPECT_DOUBLE_EQ(hist.entries(), 3.0);
+}
+
+TEST(HistogramTest, GaussianMoments) {
+  Histogram1D hist("gauss", 100, -5.0, 5.0);
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) hist.Fill(rng.Gaussian(0.5, 1.0));
+  EXPECT_NEAR(hist.Mean(), 0.5, 0.05);
+  EXPECT_NEAR(hist.StdDev(), 1.0, 0.05);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram1D hist("demo", 3, 0.0, 3.0);
+  hist.Fill(0.5);
+  hist.Fill(1.5);
+  hist.Fill(1.6);
+  std::string text = hist.ToAscii(20);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram2DTest, FillAndRead) {
+  Histogram2D hist("eta_phi", 4, -2.0, 2.0, 4, -2.0, 2.0);
+  hist.Fill(-1.5, -1.5);
+  hist.Fill(1.5, 1.5);
+  hist.Fill(1.5, 1.5);
+  hist.Fill(9.0, 0.0);  // out of range, dropped
+  EXPECT_DOUBLE_EQ(hist.entries(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.BinContent(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.BinContent(3, 3), 2.0);
+}
+
+TEST(HistogramTest, FillFromResultSet) {
+  storage::ResultSet rs;
+  rs.columns = {"event_id", "pt"};
+  rs.rows = {{Value(int64_t{1}), Value(10.0)},
+             {Value(int64_t{2}), Value(20.0)},
+             {Value(int64_t{3}), Value::Null()},
+             {Value(int64_t{4}), Value(int64_t{30})}};
+  Histogram1D hist("pt", 4, 0.0, 40.0);
+  ASSERT_TRUE(FillFromResultSet(hist, rs, "pt").ok());
+  EXPECT_DOUBLE_EQ(hist.entries(), 3.0);  // NULL skipped
+  EXPECT_DOUBLE_EQ(hist.BinContent(1), 1.0);
+  EXPECT_EQ(FillFromResultSet(hist, rs, "ghost").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace griddb::ntuple

@@ -1,0 +1,173 @@
+// Parameterized sweep over every comparison operator × operand-type
+// combination: the engine's WHERE filtering must agree with a reference
+// predicate computed directly over the same data, including NULL rows
+// (which SQL comparison semantics always exclude).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "griddb/engine/database.h"
+#include "griddb/util/rng.h"
+
+namespace griddb::engine {
+namespace {
+
+using storage::DataType;
+using storage::Value;
+
+struct OperatorCase {
+  const char* name;
+  const char* sql_operator;
+  std::function<bool(int)> reference;  // against the int column, rhs = 5
+};
+
+class ComparisonSweep : public ::testing::TestWithParam<OperatorCase> {};
+
+TEST_P(ComparisonSweep, IntColumnAgainstLiteral) {
+  const OperatorCase& oc = GetParam();
+  Database db("d", sql::Vendor::kSqlite);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)").ok());
+  // Values -3..12 plus NULLs (NULL rows never satisfy any comparison).
+  int expected = 0;
+  int key = 0;
+  for (int v = -3; v <= 12; ++v) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t (k, v) VALUES (" +
+                           std::to_string(key++) + ", " + std::to_string(v) +
+                           ")")
+                    .ok());
+    if (oc.reference(v)) ++expected;
+  }
+  for (int n = 0; n < 3; ++n) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t (k, v) VALUES (" +
+                           std::to_string(key++) + ", NULL)")
+                    .ok());
+  }
+  auto rs = db.Execute(std::string("SELECT k FROM t WHERE v ") +
+                       oc.sql_operator + " 5");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), static_cast<size_t>(expected)) << oc.sql_operator;
+}
+
+TEST_P(ComparisonSweep, DoubleColumnCoercesSymmetrically) {
+  const OperatorCase& oc = GetParam();
+  Database db("d", sql::Vendor::kSqlite);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (k INT PRIMARY KEY, v REAL)").ok());
+  int expected = 0;
+  for (int v = -3; v <= 12; ++v) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t (k, v) VALUES (" +
+                           std::to_string(v + 3) + ", " + std::to_string(v) +
+                           ".0)")
+                    .ok());
+    if (oc.reference(v)) ++expected;
+  }
+  // Integer literal against a DOUBLE column: coercion must not change the
+  // predicate's meaning.
+  auto rs = db.Execute(std::string("SELECT k FROM t WHERE v ") +
+                       oc.sql_operator + " 5");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->num_rows(), static_cast<size_t>(expected));
+  // And the float form selects the same rows.
+  auto rs_float = db.Execute(std::string("SELECT k FROM t WHERE v ") +
+                             oc.sql_operator + " 5.0");
+  ASSERT_TRUE(rs_float.ok());
+  EXPECT_EQ(rs_float->num_rows(), rs->num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, ComparisonSweep,
+    ::testing::Values(
+        OperatorCase{"eq", "=", [](int v) { return v == 5; }},
+        OperatorCase{"ne", "<>", [](int v) { return v != 5; }},
+        OperatorCase{"lt", "<", [](int v) { return v < 5; }},
+        OperatorCase{"le", "<=", [](int v) { return v <= 5; }},
+        OperatorCase{"gt", ">", [](int v) { return v > 5; }},
+        OperatorCase{"ge", ">=", [](int v) { return v >= 5; }}),
+    [](const ::testing::TestParamInfo<OperatorCase>& info) {
+      return info.param.name;
+    });
+
+// ---------- aggregate sweep over the same dataset ----------
+
+struct AggregateCase {
+  const char* name;
+  const char* expression;
+  double expected;  // over values 1..10
+};
+
+class AggregateSweep : public ::testing::TestWithParam<AggregateCase> {};
+
+TEST_P(AggregateSweep, MatchesClosedForm) {
+  const AggregateCase& ac = GetParam();
+  Database db("d", sql::Vendor::kSqlite);
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (v INT)").ok());
+  for (int v = 1; v <= 10; ++v) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO t (v) VALUES (" + std::to_string(v) + ")")
+            .ok());
+  }
+  // One NULL that every aggregate except COUNT(*) must skip.
+  ASSERT_TRUE(db.Execute("INSERT INTO t (v) VALUES (NULL)").ok());
+  auto rs = db.Execute(std::string("SELECT ") + ac.expression + " FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_NEAR(rs->rows[0][0].AsDouble().value(), ac.expected, 1e-9)
+      << ac.expression;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAggregates, AggregateSweep,
+    ::testing::Values(
+        AggregateCase{"count_star", "COUNT(*)", 11.0},
+        AggregateCase{"count_v", "COUNT(v)", 10.0},
+        AggregateCase{"count_distinct", "COUNT(DISTINCT v)", 10.0},
+        AggregateCase{"sum", "SUM(v)", 55.0},
+        AggregateCase{"avg", "AVG(v)", 5.5},
+        AggregateCase{"min", "MIN(v)", 1.0},
+        AggregateCase{"max", "MAX(v)", 10.0},
+        AggregateCase{"sum_of_squares", "SUM(v * v)", 385.0},
+        AggregateCase{"conditional_count",
+                      "SUM(CASE WHEN v > 5 THEN 1 ELSE 0 END)", 5.0}),
+    [](const ::testing::TestParamInfo<AggregateCase>& info) {
+      return info.param.name;
+    });
+
+// ---------- cross-vendor DDL sweep ----------
+
+class VendorDdlSweep : public ::testing::TestWithParam<sql::Vendor> {};
+
+TEST_P(VendorDdlSweep, NativeTypeVocabularyRoundTrips) {
+  Database db("d", GetParam());
+  const sql::Dialect& dialect = db.dialect();
+  // Build DDL from the dialect's own preferred type names.
+  std::string ddl = "CREATE TABLE t (i " +
+                    dialect.TypeNameFor(DataType::kInt64) + " PRIMARY KEY, " +
+                    "d " + dialect.TypeNameFor(DataType::kDouble) + ", " +
+                    "s " + dialect.TypeNameFor(DataType::kString) + ", " +
+                    "b " + dialect.TypeNameFor(DataType::kBool) + ")";
+  ASSERT_TRUE(db.Execute(ddl).ok()) << ddl;
+  auto schema = db.GetSchema("t");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->columns()[0].type, DataType::kInt64);
+  EXPECT_EQ(schema->columns()[1].type, DataType::kDouble);
+  EXPECT_EQ(schema->columns()[2].type, DataType::kString);
+  // Oracle has no boolean; NUMBER(1) resolves to integer there.
+  if (GetParam() != sql::Vendor::kOracle &&
+      GetParam() != sql::Vendor::kMySql) {
+    EXPECT_EQ(schema->columns()[3].type, DataType::kBool);
+  }
+  ASSERT_TRUE(
+      db.Execute("INSERT INTO t (i, d, s, b) VALUES (1, 2.5, 'x', TRUE)")
+          .ok());
+  EXPECT_EQ(db.RowCount("t"), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVendors, VendorDdlSweep,
+                         ::testing::Values(sql::Vendor::kOracle,
+                                           sql::Vendor::kMySql,
+                                           sql::Vendor::kMsSql,
+                                           sql::Vendor::kSqlite),
+                         [](const ::testing::TestParamInfo<sql::Vendor>& info) {
+                           return sql::VendorName(info.param);
+                         });
+
+}  // namespace
+}  // namespace griddb::engine

@@ -1,0 +1,285 @@
+// Whole-system integration: the complete figure-1 pipeline, end to end.
+//
+//   normalized sources --ETL--> warehouse --views--> marts
+//   marts --register--> two JClarens servers + RLS
+//   client --XML-RPC--> federated queries
+//
+// Correctness criterion: any analysis query answered by the federation
+// over the materialized marts must equal the same query answered directly
+// by the warehouse (the marts are complete materializations here), and
+// the JAS-style histograms built from both must be identical.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/ntuple/histogram.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/warehouse/materialize.h"
+
+namespace griddb {
+namespace {
+
+using storage::ResultSet;
+using storage::Row;
+using storage::Value;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* h : {"src", "tier1", "tier2a", "tier2b", "rls-host",
+                          "client"}) {
+      network_.AddHost(h);
+    }
+    transport_ = std::make_unique<rpc::Transport>(&network_,
+                                                  net::ServiceCosts::Default());
+    rls_ = std::make_unique<rls::RlsServer>("rls://rls-host:39281/rls",
+                                            transport_.get());
+
+    // ---- stage 0: normalized source -----------------------------------
+    ntuple::GeneratorOptions gen;
+    gen.num_events = 2000;
+    gen.nvar = 8;
+    gen.seed = 77;
+    nt_ = std::make_unique<ntuple::Ntuple>(ntuple::GenerateNtuple(gen));
+    runs_ = ntuple::GenerateRuns(gen);
+    source_ = std::make_unique<engine::Database>("src_db",
+                                                 sql::Vendor::kMySql);
+    ASSERT_TRUE(ntuple::CreateNormalizedSchema(*source_).ok());
+    ASSERT_TRUE(ntuple::LoadNormalized(*nt_, runs_, *source_).ok());
+
+    // ---- stage 1: ETL into the warehouse ------------------------------
+    wh_ = std::make_unique<warehouse::DataWarehouse>("wh", "tier1");
+    warehouse::StarSchemaSpec star;
+    star.fact = ntuple::DenormalizedSchema(*nt_, "fact_event");
+    star.dimensions.push_back(
+        {storage::TableSchema(
+             "dim_run",
+             {{"run_id", storage::DataType::kInt64, true, true},
+              {"detector", storage::DataType::kString, true, false}}),
+         "run_id"});
+    ASSERT_TRUE(wh_->DefineStarSchema(star).ok());
+    for (const ntuple::RunInfo& run : runs_) {
+      ASSERT_TRUE(wh_->db()
+                      .InsertRows("dim_run", {{Value(run.run_id),
+                                               Value(run.detector)}})
+                      .ok());
+    }
+
+    pipeline_ = std::make_unique<warehouse::EtlPipeline>(
+        &network_, net::ServiceCosts::Default(),
+        warehouse::EtlCosts::Default(), "tier1",
+        (std::filesystem::temp_directory_path() / "griddb_pipeline_test")
+            .string());
+
+    std::map<int64_t, const ntuple::NtupleEvent*> by_id;
+    for (const ntuple::NtupleEvent& e : nt_->events()) by_id[e.event_id] = &e;
+    std::map<int64_t, std::string> detector;
+    for (const ntuple::RunInfo& r : runs_) detector[r.run_id] = r.detector;
+
+    warehouse::EtlPipeline::Job job;
+    job.source = source_.get();
+    job.source_host = "src";
+    job.extract_sql = "SELECT event_id, run_id FROM events";
+    job.target = &wh_->db();
+    job.target_host = "tier1";
+    job.target_table = "fact_event";
+    job.transform = [by_id, detector](const Row& row) -> Result<Row> {
+      GRIDDB_ASSIGN_OR_RETURN(int64_t event_id, row[0].AsInt64());
+      GRIDDB_ASSIGN_OR_RETURN(int64_t run_id, row[1].AsInt64());
+      Row out = {Value(event_id), Value(run_id),
+                 Value(detector.at(run_id))};
+      for (double v : by_id.at(event_id)->values) out.push_back(Value(v));
+      return out;
+    };
+    auto stage1 = pipeline_->Run(job);
+    ASSERT_TRUE(stage1.ok()) << stage1.status().ToString();
+    ASSERT_EQ(stage1->rows, 2000u);
+
+    // ---- stage 2: views materialized into two marts --------------------
+    ASSERT_TRUE(wh_->CreateAnalysisView(
+                      "v_events",
+                      "SELECT event_id, run_id, detector, e_total, pt, eta, "
+                      "mass FROM fact_event")
+                    .ok());
+    ASSERT_TRUE(wh_->CreateAnalysisView(
+                      "v_runs", "SELECT run_id, detector FROM dim_run")
+                    .ok());
+
+    mart_a_ = std::make_unique<warehouse::DataMart>("mart_a",
+                                                    sql::Vendor::kMySql,
+                                                    "tier2a");
+    mart_b_ = std::make_unique<warehouse::DataMart>("mart_b",
+                                                    sql::Vendor::kMsSql,
+                                                    "tier2b");
+    ASSERT_TRUE(
+        warehouse::MaterializeView(*wh_, "v_events", *mart_a_, *pipeline_)
+            .ok());
+    ASSERT_TRUE(
+        warehouse::MaterializeView(*wh_, "v_runs", *mart_b_, *pipeline_)
+            .ok());
+
+    // ---- servers: one per tier-2 site ----------------------------------
+    ASSERT_TRUE(catalog_
+                    .Add({"mysql://tier2a/mart_a", &mart_a_->db(), "tier2a",
+                          "", ""})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .Add({"mssql://tier2b/mart_b", &mart_b_->db(), "tier2b",
+                          "", ""})
+                    .ok());
+
+    auto make_server = [&](const char* name, const char* host) {
+      core::DataAccessConfig config;
+      config.server_name = name;
+      config.host = host;
+      config.server_url = std::string("clarens://") + host + ":8080/clarens";
+      config.rls_url = "rls://rls-host:39281/rls";
+      return std::make_unique<core::JClarensServer>(config, &catalog_,
+                                                    transport_.get());
+    };
+    server_a_ = make_server("jc-a", "tier2a");
+    server_b_ = make_server("jc-b", "tier2b");
+    ASSERT_TRUE(server_a_->service()
+                    .RegisterLiveDatabase("mysql://tier2a/mart_a", "")
+                    .ok());
+    ASSERT_TRUE(server_b_->service()
+                    .RegisterLiveDatabase("mssql://tier2b/mart_b", "")
+                    .ok());
+  }
+
+  /// The same query answered by the warehouse directly (fact tables) and
+  /// by the federation (materialized marts, across two servers).
+  void ExpectFederationMatchesWarehouse(const std::string& mart_query,
+                                        const std::string& warehouse_query) {
+    auto expected = wh_->db().Execute(warehouse_query);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    core::QueryStats stats;
+    auto actual = server_a_->service().Query(mart_query, &stats);
+    ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+    ASSERT_EQ(expected->num_rows(), actual->num_rows()) << mart_query;
+    for (size_t r = 0; r < expected->num_rows(); ++r) {
+      for (size_t c = 0; c < expected->num_columns(); ++c) {
+        const Value& e = expected->rows[r][c];
+        const Value& a = actual->rows[r][c];
+        if (e.type() == storage::DataType::kDouble) {
+          ASSERT_NEAR(e.AsDoubleStrict(), a.AsDouble().value(), 1e-9);
+        } else {
+          ASSERT_EQ(e.Compare(a), 0)
+              << mart_query << " row " << r << " col " << c;
+        }
+      }
+    }
+  }
+
+  net::Network network_;
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<rls::RlsServer> rls_;
+  std::unique_ptr<ntuple::Ntuple> nt_;
+  std::vector<ntuple::RunInfo> runs_;
+  std::unique_ptr<engine::Database> source_;
+  std::unique_ptr<warehouse::DataWarehouse> wh_;
+  std::unique_ptr<warehouse::EtlPipeline> pipeline_;
+  std::unique_ptr<warehouse::DataMart> mart_a_;
+  std::unique_ptr<warehouse::DataMart> mart_b_;
+  ral::DatabaseCatalog catalog_;
+  std::unique_ptr<core::JClarensServer> server_a_;
+  std::unique_ptr<core::JClarensServer> server_b_;
+};
+
+TEST_F(PipelineTest, EtlPreservedEveryRow) {
+  EXPECT_EQ(wh_->db().RowCount("fact_event"), 2000u);
+  EXPECT_EQ(mart_a_->db().RowCount("v_events"), 2000u);
+  EXPECT_EQ(mart_b_->db().RowCount("v_runs"), runs_.size());
+  // Spot-check a value survived normalization -> ETL -> materialization.
+  auto original = nt_->events()[42];
+  auto rs = mart_a_->db().Execute(
+      "SELECT e_total FROM v_events WHERE event_id = " +
+      std::to_string(original.event_id));
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_NEAR(rs->rows[0][0].AsDoubleStrict(), original.values[0], 1e-9);
+}
+
+TEST_F(PipelineTest, SingleMartQueriesMatchWarehouse) {
+  ExpectFederationMatchesWarehouse(
+      "SELECT event_id, e_total FROM v_events WHERE e_total > 50 "
+      "ORDER BY event_id",
+      "SELECT event_id, e_total FROM fact_event WHERE e_total > 50 "
+      "ORDER BY event_id");
+}
+
+TEST_F(PipelineTest, CrossServerJoinMatchesWarehouse) {
+  // v_events is on server A, v_runs on server B: RLS + forwarding.
+  ExpectFederationMatchesWarehouse(
+      "SELECT r.detector, COUNT(*) AS n, AVG(e.pt) AS avg_pt "
+      "FROM v_events e JOIN v_runs r ON e.run_id = r.run_id "
+      "GROUP BY r.detector ORDER BY r.detector",
+      "SELECT d.detector, COUNT(*) AS n, AVG(f.pt) AS avg_pt "
+      "FROM fact_event f JOIN dim_run d ON f.run_id = d.run_id "
+      "GROUP BY d.detector ORDER BY d.detector");
+}
+
+TEST_F(PipelineTest, HistogramsIdenticalThroughEitherPath) {
+  auto wh_rows = wh_->db().Execute("SELECT mass FROM fact_event");
+  ASSERT_TRUE(wh_rows.ok());
+  auto fed_rows =
+      server_b_->service().Query("SELECT mass FROM v_events", nullptr);
+  ASSERT_TRUE(fed_rows.ok()) << fed_rows.status().ToString();
+
+  ntuple::Histogram1D direct("mass", 40, 50.0, 130.0);
+  ntuple::Histogram1D federated("mass", 40, 50.0, 130.0);
+  ASSERT_TRUE(ntuple::FillFromResultSet(direct, *wh_rows, "mass").ok());
+  ASSERT_TRUE(ntuple::FillFromResultSet(federated, *fed_rows, "mass").ok());
+  ASSERT_EQ(direct.entries(), federated.entries());
+  for (int bin = 0; bin < direct.nbins(); ++bin) {
+    EXPECT_DOUBLE_EQ(direct.BinContent(bin), federated.BinContent(bin))
+        << "bin " << bin;
+  }
+}
+
+TEST_F(PipelineTest, RefreshPropagatesNewWarehouseRows) {
+  ntuple::GeneratorOptions more;
+  more.num_events = 100;
+  more.seed = 99;
+  more.first_event_id = 100001;
+  ntuple::Ntuple extra = ntuple::GenerateNtuple(more);
+  ASSERT_TRUE(wh_->db()
+                  .InsertRows("fact_event",
+                              ntuple::DenormalizedRows(
+                                  extra, ntuple::GenerateRuns(more)))
+                  .ok());
+  ASSERT_TRUE(
+      warehouse::RefreshView(*wh_, "v_events", *mart_a_, *pipeline_).ok());
+  auto rs = server_a_->service().Query("SELECT COUNT(*) FROM v_events",
+                                       nullptr);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt64Strict(), 2100);
+}
+
+TEST_F(PipelineTest, EndToEndOverTheWire) {
+  rpc::RpcClient client(transport_.get(), "client",
+                        "clarens://tier2a:8080/clarens");
+  rpc::XmlRpcArray params;
+  params.emplace_back(
+      "SELECT e.event_id, r.detector FROM v_events e "
+      "JOIN v_runs r ON e.run_id = r.run_id WHERE e.pt > 60 "
+      "ORDER BY e.event_id");
+  net::Cost cost;
+  auto response = client.Call("dataaccess.query", std::move(params), &cost);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto rs = rpc::RpcToResultSet(**response->Member("result"));
+  ASSERT_TRUE(rs.ok());
+  core::QueryStats stats = core::StatsFromRpc(**response->Member("stats"));
+  EXPECT_TRUE(stats.used_rls);
+  EXPECT_EQ(stats.servers_contacted, 2u);
+  EXPECT_GT(cost.total_ms(), stats.simulated_ms);
+  auto direct = wh_->db().Execute(
+      "SELECT event_id FROM fact_event WHERE pt > 60");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(rs->num_rows(), direct->num_rows());
+}
+
+}  // namespace
+}  // namespace griddb

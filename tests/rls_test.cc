@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "griddb/rls/rls.h"
+
+namespace griddb::rls {
+namespace {
+
+struct RlsFixture : public ::testing::Test {
+  RlsFixture()
+      : transport(&network, net::ServiceCosts::Default()),
+        server("rls://rls-host:39281/rls", &transport) {
+    network.AddHost("rls-host");
+    network.AddHost("tier1");
+    network.AddHost("tier2");
+  }
+
+  net::Network network;
+  rpc::Transport transport;
+  RlsServer server;
+};
+
+TEST_F(RlsFixture, PublishAndLookupDirect) {
+  ASSERT_TRUE(server.Publish("fact_event", "clarens://tier1:8080/c").ok());
+  ASSERT_TRUE(server.Publish("fact_event", "clarens://tier2:8080/c").ok());
+  ASSERT_TRUE(server.Publish("runs", "clarens://tier1:8080/c").ok());
+  auto urls = server.Lookup("fact_event");
+  EXPECT_EQ(urls.size(), 2u);
+  EXPECT_EQ(server.Lookup("ghost").size(), 0u);
+  EXPECT_EQ(server.NumMappings(), 3u);
+}
+
+TEST_F(RlsFixture, LookupIsCaseInsensitive) {
+  ASSERT_TRUE(server.Publish("Fact_Event", "clarens://tier1:8080/c").ok());
+  EXPECT_EQ(server.Lookup("FACT_EVENT").size(), 1u);
+}
+
+TEST_F(RlsFixture, PublishValidatesUrl) {
+  EXPECT_FALSE(server.Publish("t", "not a url").ok());
+  EXPECT_FALSE(server.Publish("", "clarens://tier1:8080/c").ok());
+}
+
+TEST_F(RlsFixture, PublishIsIdempotentPerPair) {
+  ASSERT_TRUE(server.Publish("t", "clarens://tier1:8080/c").ok());
+  ASSERT_TRUE(server.Publish("t", "clarens://tier1:8080/c").ok());
+  EXPECT_EQ(server.Lookup("t").size(), 1u);
+}
+
+TEST_F(RlsFixture, Unpublish) {
+  ASSERT_TRUE(server.Publish("t", "clarens://tier1:8080/c").ok());
+  EXPECT_TRUE(server.Unpublish("t", "clarens://tier1:8080/c").ok());
+  EXPECT_EQ(server.Lookup("t").size(), 0u);
+  EXPECT_EQ(server.Unpublish("t", "clarens://tier1:8080/c").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RlsFixture, ClientPublishLookupOverRpc) {
+  RlsClient client(&transport, "tier1", "rls://rls-host:39281/rls");
+  net::Cost cost;
+  ASSERT_TRUE(
+      client.Publish("fact_event", "clarens://tier1:8080/c", &cost).ok());
+  ASSERT_TRUE(
+      client.PublishAll({"runs", "events"}, "clarens://tier1:8080/c", &cost)
+          .ok());
+
+  auto urls = client.Lookup("runs", &cost);
+  ASSERT_TRUE(urls.ok()) << urls.status().ToString();
+  ASSERT_EQ(urls->size(), 1u);
+  EXPECT_EQ((*urls)[0], "clarens://tier1:8080/c");
+
+  ASSERT_TRUE(client.Unpublish("runs", "clarens://tier1:8080/c", &cost).ok());
+  EXPECT_EQ(client.Lookup("runs", &cost)->size(), 0u);
+}
+
+TEST_F(RlsFixture, LookupChargesRlsCost) {
+  RlsClient client(&transport, "tier1", "rls://rls-host:39281/rls");
+  ASSERT_TRUE(client.Publish("t", "clarens://tier1:8080/c", nullptr).ok());
+  net::Cost cost;
+  ASSERT_TRUE(client.Lookup("t", &cost).ok());
+  EXPECT_GE(cost.total_ms(), transport.costs().rls_lookup_ms);
+}
+
+TEST_F(RlsFixture, DumpListsAllMappings) {
+  ASSERT_TRUE(server.Publish("b", "clarens://tier2:8080/c").ok());
+  ASSERT_TRUE(server.Publish("a", "clarens://tier1:8080/c").ok());
+  auto dump = server.Dump();
+  ASSERT_EQ(dump.size(), 2u);
+  EXPECT_EQ(dump[0].first, "a");  // sorted by logical name
+}
+
+}  // namespace
+}  // namespace griddb::rls

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "griddb/unity/semantic.h"
+
+namespace griddb::unity {
+namespace {
+
+using storage::DataType;
+
+// ---------- string similarity primitives ----------
+
+TEST(EditSimilarityTest, BasicProperties) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("events", "events"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("EVENTS", "events"), 1.0);  // case-blind
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", ""), 0.0);
+  EXPECT_NEAR(EditSimilarity("event", "events"), 1.0 - 1.0 / 6.0, 1e-9);
+  EXPECT_LT(EditSimilarity("events", "calibration"), 0.3);
+}
+
+TEST(EditSimilarityTest, Symmetry) {
+  const char* words[] = {"run", "runs", "run_id", "detector", ""};
+  for (const char* a : words) {
+    for (const char* b : words) {
+      EXPECT_DOUBLE_EQ(EditSimilarity(a, b), EditSimilarity(b, a));
+    }
+  }
+}
+
+TEST(TokenSimilarityTest, TokenOverlap) {
+  EXPECT_DOUBLE_EQ(TokenSimilarity("run_quality", "quality_of_run"), 2.0 / 3);
+  EXPECT_DOUBLE_EQ(TokenSimilarity("event_id", "event_id"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity("alpha_beta", "gamma_delta"), 0.0);
+  EXPECT_DOUBLE_EQ(TokenSimilarity("a_b", "b_a"), 1.0);
+}
+
+TEST(NameSimilarityTest, TakesBestSignal) {
+  // Token reordering is invisible to edit distance but caught by tokens.
+  EXPECT_GT(NameSimilarity("quality_run", "run_quality"), 0.9);
+  // Small typos are caught by edit distance, not tokens.
+  EXPECT_GT(NameSimilarity("detector", "detecter"), 0.8);
+}
+
+// ---------- table comparison ----------
+
+TableBinding MakeBinding(const std::string& db, const std::string& table,
+                         std::vector<ColumnBinding> columns) {
+  TableBinding binding;
+  binding.database_name = db;
+  binding.logical = table;
+  binding.physical = table;
+  binding.connection = "mysql://" + db + "/" + db;
+  binding.columns = std::move(columns);
+  return binding;
+}
+
+TEST(SemanticMatcherTest, IdenticalTablesScoreOne) {
+  SemanticMatcher matcher;
+  TableBinding a = MakeBinding(
+      "db1", "events",
+      {{"event_id", "EVENT_ID", DataType::kInt64},
+       {"energy", "ENERGY", DataType::kDouble}});
+  TableBinding b = MakeBinding(
+      "db2", "events",
+      {{"event_id", "EVT_ID", DataType::kInt64},
+       {"energy", "E", DataType::kDouble}});
+  TableSimilarity sim = matcher.Compare(a, b);
+  EXPECT_DOUBLE_EQ(sim.name_score, 1.0);
+  EXPECT_DOUBLE_EQ(sim.column_score, 1.0);
+  EXPECT_DOUBLE_EQ(sim.type_score, 1.0);
+  EXPECT_DOUBLE_EQ(sim.score, 1.0);
+  ASSERT_EQ(sim.matches.size(), 2u);
+}
+
+TEST(SemanticMatcherTest, RenamedVariantStillMatches) {
+  SemanticMatcher matcher;
+  TableBinding a = MakeBinding(
+      "cern", "run_conditions",
+      {{"run_id", "", DataType::kInt64},
+       {"temperature", "", DataType::kDouble},
+       {"pressure", "", DataType::kDouble}});
+  TableBinding b = MakeBinding(
+      "caltech", "conditions_run",
+      {{"run_id", "", DataType::kInt64},
+       {"temperature", "", DataType::kDouble},
+       {"humidity", "", DataType::kDouble}});
+  TableSimilarity sim = matcher.Compare(a, b);
+  EXPECT_GT(sim.name_score, 0.9);   // token reorder
+  EXPECT_NEAR(sim.column_score, 2.0 / 4.0, 1e-9);  // 2 matched of 4 union
+  EXPECT_GT(sim.score, 0.6);
+}
+
+TEST(SemanticMatcherTest, UnrelatedTablesScoreLow) {
+  SemanticMatcher matcher;
+  TableBinding a = MakeBinding("db1", "events",
+                               {{"event_id", "", DataType::kInt64},
+                                {"energy", "", DataType::kDouble}});
+  TableBinding b = MakeBinding("db2", "shift_notes",
+                               {{"note", "", DataType::kString},
+                                {"author", "", DataType::kString}});
+  TableSimilarity sim = matcher.Compare(a, b);
+  EXPECT_LT(sim.score, 0.3);
+  EXPECT_TRUE(sim.matches.empty());
+}
+
+TEST(SemanticMatcherTest, TypeMismatchLowersScore) {
+  SemanticMatcher matcher;
+  TableBinding a = MakeBinding("db1", "calib",
+                               {{"sensor_id", "", DataType::kInt64},
+                                {"gain", "", DataType::kDouble}});
+  TableBinding numeric_twin = MakeBinding(
+      "db2", "calib", {{"sensor_id", "", DataType::kInt64},
+                       {"gain", "", DataType::kInt64}});  // int vs double ok
+  TableBinding string_twin = MakeBinding(
+      "db3", "calib", {{"sensor_id", "", DataType::kString},
+                       {"gain", "", DataType::kString}});
+  EXPECT_DOUBLE_EQ(matcher.Compare(a, numeric_twin).type_score, 1.0);
+  EXPECT_DOUBLE_EQ(matcher.Compare(a, string_twin).type_score, 0.0);
+  EXPECT_GT(matcher.Compare(a, numeric_twin).score,
+            matcher.Compare(a, string_twin).score);
+}
+
+TEST(SemanticMatcherTest, GreedyMatchingIsOneToOne) {
+  SemanticMatcher matcher;
+  TableBinding a = MakeBinding("db1", "t",
+                               {{"run", "", DataType::kInt64},
+                                {"run_id", "", DataType::kInt64}});
+  TableBinding b = MakeBinding("db2", "t",
+                               {{"run_id", "", DataType::kInt64}});
+  TableSimilarity sim = matcher.Compare(a, b);
+  ASSERT_EQ(sim.matches.size(), 1u);
+  EXPECT_EQ(sim.matches[0].column_a, "run_id");  // exact match wins
+  EXPECT_DOUBLE_EQ(sim.matches[0].name_score, 1.0);
+}
+
+// ---------- dictionary-wide candidate search ----------
+
+TEST(SemanticMatcherTest, FindsCandidatesAcrossDictionary) {
+  DataDictionary dict;
+  LowerXSpec cern;
+  cern.database_name = "cern_db";
+  cern.vendor = "oracle";
+  cern.tables.push_back(
+      {"RUN_CONDITIONS", "run_conditions",
+       {{"RUN_ID", "run_id", DataType::kInt64, true, true},
+        {"TEMP", "temperature", DataType::kDouble, false, false}}});
+  cern.tables.push_back(
+      {"EVENTS", "events",
+       {{"EVENT_ID", "event_id", DataType::kInt64, true, true},
+        {"ENERGY", "energy", DataType::kDouble, false, false}}});
+  LowerXSpec caltech;
+  caltech.database_name = "caltech_db";
+  caltech.vendor = "mysql";
+  caltech.tables.push_back(
+      {"conditions_run", "conditions_run",
+       {{"run_id", "run_id", DataType::kInt64, true, true},
+        {"temperature", "temperature", DataType::kDouble, false, false}}});
+  caltech.tables.push_back(
+      {"shift_notes", "shift_notes",
+       {{"note", "note", DataType::kString, false, false}}});
+
+  ASSERT_TRUE(dict.AddDatabase({"cern_db", "oracle://t0/cern_db", "", ""},
+                               cern)
+                  .ok());
+  ASSERT_TRUE(dict.AddDatabase({"caltech_db", "mysql://t2/caltech_db", "", ""},
+                               caltech)
+                  .ok());
+
+  SemanticMatcher matcher;
+  std::vector<TableSimilarity> candidates =
+      matcher.FindIntegrationCandidates(dict, 0.6);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].table_a, "conditions_run");
+  EXPECT_EQ(candidates[0].table_b, "run_conditions");
+  EXPECT_GT(candidates[0].score, 0.8);
+
+  // Lower threshold admits weaker pairs, still ranked best-first.
+  std::vector<TableSimilarity> loose =
+      matcher.FindIntegrationCandidates(dict, 0.0);
+  ASSERT_GE(loose.size(), 2u);
+  for (size_t i = 1; i < loose.size(); ++i) {
+    EXPECT_GE(loose[i - 1].score, loose[i].score);
+  }
+}
+
+TEST(SemanticMatcherTest, SameDatabasePairsSkipped) {
+  DataDictionary dict;
+  LowerXSpec spec;
+  spec.database_name = "solo";
+  spec.vendor = "mysql";
+  spec.tables.push_back(
+      {"a_events", "a_events",
+       {{"event_id", "event_id", DataType::kInt64, true, true}}});
+  spec.tables.push_back(
+      {"b_events", "b_events",
+       {{"event_id", "event_id", DataType::kInt64, true, true}}});
+  ASSERT_TRUE(
+      dict.AddDatabase({"solo", "mysql://h/solo", "", ""}, spec).ok());
+  SemanticMatcher matcher;
+  EXPECT_TRUE(matcher.FindIntegrationCandidates(dict, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace griddb::unity

@@ -1,0 +1,253 @@
+// Property suites over the SQL layer and supporting utilities:
+//  - render→parse→render reaches a fixpoint in every dialect;
+//  - the LIKE matcher agrees with a naive reference implementation on
+//    randomized inputs;
+//  - Value::Compare is a total preorder consistent with Hash;
+//  - MD5 is invariant under arbitrary chunking of the input.
+#include <gtest/gtest.h>
+
+#include "griddb/engine/database.h"
+#include "griddb/engine/eval.h"
+#include "griddb/sql/parser.h"
+#include "griddb/sql/render.h"
+#include "griddb/util/md5.h"
+#include "griddb/util/rng.h"
+
+namespace griddb {
+namespace {
+
+using sql::Dialect;
+using sql::Vendor;
+using storage::Value;
+
+// ---------- render/parse fixpoint, parameterized over dialects ----------
+
+class DialectFixpoint : public ::testing::TestWithParam<Vendor> {};
+
+TEST_P(DialectFixpoint, RenderParseRenderIsFixpoint) {
+  const Dialect& dialect = Dialect::For(GetParam());
+  // Corpus written in the permissive client dialect.
+  const char* corpus[] = {
+      "SELECT a FROM t",
+      "SELECT DISTINCT a, b AS x FROM t u WHERE a > 1 AND b < 2",
+      "SELECT * FROM t WHERE a IN (1, 2, 3) OR b NOT IN (4)",
+      "SELECT t.a, u.b FROM t JOIN u ON t.id = u.id LEFT JOIN v "
+      "ON u.id = v.id CROSS JOIN w",
+      "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING COUNT(*) > 1 "
+      "ORDER BY n DESC, a",
+      "SELECT a FROM t WHERE b BETWEEN 1 AND 10 AND c LIKE 'x%' "
+      "AND d IS NOT NULL",
+      "SELECT -a, a + b * c - d / e % f FROM t",
+      "SELECT a || '-' || b FROM t WHERE NOT (a = 1)",
+      "SELECT UPPER(a), SUBSTR(b, 1, 3), ROUND(c, 2) FROM t",
+      "SELECT a FROM t ORDER BY 1 DESC LIMIT 10 OFFSET 5",
+      "SELECT COUNT(DISTINCT a) FROM t WHERE 1 = 1",
+      "SELECT CASE WHEN a > 1 THEN 'x' WHEN a > 0 THEN 'y' ELSE 'z' END "
+      "FROM t",
+      "SELECT CASE a WHEN 1 THEN b ELSE c END FROM t",
+  };
+  const Dialect& client = Dialect::For(Vendor::kSqlite);
+  for (const char* query : corpus) {
+    auto parsed = sql::ParseSelect(query, client);
+    ASSERT_TRUE(parsed.ok()) << query << "\n" << parsed.status().ToString();
+    std::string once = sql::RenderSelect(**parsed, dialect);
+    auto reparsed = sql::ParseSelect(once, dialect);
+    ASSERT_TRUE(reparsed.ok())
+        << "dialect " << dialect.name() << " rejected its own rendering:\n"
+        << once << "\n" << reparsed.status().ToString();
+    std::string twice = sql::RenderSelect(**reparsed, dialect);
+    EXPECT_EQ(once, twice) << "not a fixpoint in " << dialect.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, DialectFixpoint,
+                         ::testing::Values(Vendor::kOracle, Vendor::kMySql,
+                                           Vendor::kMsSql, Vendor::kSqlite),
+                         [](const ::testing::TestParamInfo<Vendor>& info) {
+                           return sql::VendorName(info.param);
+                         });
+
+// ---------- LIKE vs reference matcher ----------
+
+// Exponential-time but obviously-correct reference.
+bool LikeReference(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return text.empty();
+  if (pattern[0] == '%') {
+    for (size_t skip = 0; skip <= text.size(); ++skip) {
+      if (LikeReference(text.substr(skip), pattern.substr(1))) return true;
+    }
+    return false;
+  }
+  if (text.empty()) return false;
+  if (pattern[0] == '_' || pattern[0] == text[0]) {
+    return LikeReference(text.substr(1), pattern.substr(1));
+  }
+  return false;
+}
+
+TEST(LikePropertyTest, AgreesWithReferenceOnRandomInputs) {
+  Rng rng(99);
+  const char alphabet[] = {'a', 'b', '%', '_'};
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string text, pattern;
+    int text_len = static_cast<int>(rng.UniformInt(0, 8));
+    int pattern_len = static_cast<int>(rng.UniformInt(0, 6));
+    for (int i = 0; i < text_len; ++i) {
+      text += alphabet[rng.UniformInt(0, 1)];  // text from {a,b}
+    }
+    for (int i = 0; i < pattern_len; ++i) {
+      pattern += alphabet[rng.UniformInt(0, 3)];  // pattern may use %,_
+    }
+    EXPECT_EQ(engine::LikeMatch(text, pattern),
+              LikeReference(text, pattern))
+        << "text='" << text << "' pattern='" << pattern << "'";
+  }
+}
+
+// ---------- Value ordering properties ----------
+
+Value RandomValue(Rng& rng) {
+  switch (rng.UniformInt(0, 4)) {
+    case 0: return Value::Null();
+    case 1: return Value(rng.UniformInt(-5, 5));
+    case 2: return Value(rng.Uniform(-5.0, 5.0));
+    case 3: return Value(rng.NextDouble() < 0.5);
+    default: {
+      std::string s;
+      for (int i = 0; i < rng.UniformInt(0, 4); ++i) {
+        s += static_cast<char>('a' + rng.UniformInt(0, 3));
+      }
+      return Value(s);
+    }
+  }
+}
+
+TEST(ValueOrderPropertyTest, TotalPreorder) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Value a = RandomValue(rng);
+    Value b = RandomValue(rng);
+    Value c = RandomValue(rng);
+    // Antisymmetry of the comparison sign.
+    EXPECT_EQ(a.Compare(b) > 0, b.Compare(a) < 0);
+    EXPECT_EQ(a.Compare(b) == 0, b.Compare(a) == 0);
+    // Reflexivity.
+    EXPECT_EQ(a.Compare(a), 0);
+    // Transitivity (checked on the <= relation).
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0)
+          << a.ToString() << " " << b.ToString() << " " << c.ToString();
+    }
+    // Hash consistency with equality.
+    if (a.Compare(b) == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash())
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValueSqlLiteralPropertyTest, LiteralRoundTripsThroughParser) {
+  Rng rng(21);
+  const Dialect& dialect = Dialect::For(Vendor::kSqlite);
+  for (int trial = 0; trial < 500; ++trial) {
+    Value v = RandomValue(rng);
+    std::string literal = v.ToSqlLiteral();
+    auto expr = sql::ParseExpression(literal, dialect);
+    ASSERT_TRUE(expr.ok()) << literal;
+    // Negative numbers parse as unary minus over a literal; evaluate.
+    static const engine::Scope kEmpty;
+    static const storage::Row kRow;
+    auto value = engine::Eval(**expr, kEmpty, kRow);
+    ASSERT_TRUE(value.ok()) << literal;
+    EXPECT_EQ(value->is_null(), v.is_null()) << literal;
+    if (!v.is_null()) {
+      EXPECT_EQ(value->Compare(v), 0)
+          << literal << " -> " << value->ToString();
+    }
+  }
+}
+
+// ---------- MD5 chunking invariance ----------
+
+TEST(Md5PropertyTest, ChunkingInvariance) {
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t length = static_cast<size_t>(rng.UniformInt(0, 512));
+    std::string data;
+    data.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      data += static_cast<char>(rng.UniformInt(0, 255));
+    }
+    std::string expected = Md5Hex(data);
+    Md5 chunked;
+    size_t position = 0;
+    while (position < data.size()) {
+      size_t take = std::min<size_t>(
+          data.size() - position,
+          static_cast<size_t>(rng.UniformInt(1, 96)));
+      chunked.Update(data.data() + position, take);
+      position += take;
+    }
+    EXPECT_EQ(chunked.HexDigest(), expected) << "length " << length;
+  }
+}
+
+// ---------- engine determinism under dialect round-trip ----------
+
+class CrossDialectExecution : public ::testing::TestWithParam<Vendor> {};
+
+TEST_P(CrossDialectExecution, RoundTrippedQueryGivesSameResult) {
+  // A query executed directly must equal the same query after being
+  // rendered into a dialect and re-parsed — the transformation the
+  // federated driver applies to every sub-query.
+  engine::Database db("d", GetParam());
+  const Dialect& dialect = db.dialect();
+  storage::TableSchema schema(
+      "t", {{"a", storage::DataType::kInt64, true, true},
+            {"b", storage::DataType::kDouble, false, false},
+            {"c", storage::DataType::kString, false, false}});
+  ASSERT_TRUE(db.CreateTable(schema).ok());
+  Rng rng(31);
+  std::vector<storage::Row> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({Value(int64_t{i}), Value(rng.Gaussian()),
+                    Value(std::string(1, static_cast<char>('a' + i % 5)))});
+  }
+  ASSERT_TRUE(db.InsertRows("t", std::move(rows)).ok());
+
+  const char* corpus[] = {
+      "SELECT a, b FROM t WHERE b > 0",
+      "SELECT c, COUNT(*) AS n FROM t GROUP BY c ORDER BY n DESC, c",
+      "SELECT a FROM t WHERE c IN ('a', 'b') ORDER BY a",
+  };
+  const Dialect& client = Dialect::For(Vendor::kSqlite);
+  for (const char* query : corpus) {
+    auto stmt = sql::ParseSelect(query, client);
+    ASSERT_TRUE(stmt.ok());
+    auto direct = db.ExecuteSelect(**stmt);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    std::string rendered = sql::RenderSelect(**stmt, dialect);
+    auto round_tripped = db.Execute(rendered);
+    ASSERT_TRUE(round_tripped.ok())
+        << rendered << "\n" << round_tripped.status().ToString();
+    ASSERT_EQ(direct->num_rows(), round_tripped->num_rows()) << rendered;
+    for (size_t r = 0; r < direct->num_rows(); ++r) {
+      for (size_t col = 0; col < direct->num_columns(); ++col) {
+        EXPECT_EQ(direct->rows[r][col].Compare(round_tripped->rows[r][col]),
+                  0)
+            << rendered;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDialects, CrossDialectExecution,
+                         ::testing::Values(Vendor::kOracle, Vendor::kMySql,
+                                           Vendor::kMsSql, Vendor::kSqlite),
+                         [](const ::testing::TestParamInfo<Vendor>& info) {
+                           return sql::VendorName(info.param);
+                         });
+
+}  // namespace
+}  // namespace griddb

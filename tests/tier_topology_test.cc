@@ -1,0 +1,183 @@
+// The LHC computing-model hierarchy (paper §2, §4.8): "This can also
+// potentially enable us to achieve a hierarchical database hosting
+// service in parallel with the tiered topology of the LHC Computing
+// Model."
+//
+// Three JClarens servers at Tier-0 (CERN), Tier-1 and Tier-2 host
+// disjoint databases; data "flows down" via view materialization; queries
+// issued at the edge are resolved via RLS across tiers, including the
+// depth-2 case where the Tier-2 server's query triggers forwarding that
+// itself fans out.
+#include <gtest/gtest.h>
+
+#include "griddb/core/jclarens_server.h"
+
+namespace griddb::core {
+namespace {
+
+using storage::Value;
+
+class TierTopologyFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (const char* h : {"tier0", "tier1", "tier2", "rls-host", "user"}) {
+      network_.AddHost(h);
+    }
+    // Links degrade down the hierarchy: T0-T1 fast LAN, T1-T2 WAN-ish.
+    network_.SetDefaultLink(net::LinkSpec::Lan100Mbps());
+    transport_ = std::make_unique<rpc::Transport>(&network_,
+                                                  net::ServiceCosts::Default());
+    (void)network_.SetLink("tier1", "tier2", net::LinkSpec::Wan());
+    (void)network_.SetLink("tier0", "tier2", net::LinkSpec::Wan());
+    rls_ = std::make_unique<rls::RlsServer>("rls://rls-host:39281/rls",
+                                            transport_.get());
+
+    // Tier-0: master conditions data (Oracle).
+    t0_db_ = std::make_unique<engine::Database>("t0_cond",
+                                                sql::Vendor::kOracle);
+    ASSERT_TRUE(t0_db_
+                    ->Execute("CREATE TABLE MASTER_RUNS (RUN_ID NUMBER(19) "
+                              "PRIMARY KEY, DETECTOR VARCHAR2(16), "
+                              "YEAR NUMBER(19))")
+                    .ok());
+    ASSERT_TRUE(t0_db_
+                    ->Execute("INSERT INTO MASTER_RUNS (RUN_ID, DETECTOR, "
+                              "YEAR) VALUES (1, 'ECAL', 2005), "
+                              "(2, 'HCAL', 2005), (3, 'TRACKER', 2004)")
+                    .ok());
+
+    // Tier-1: reconstructed event summaries (MySQL).
+    t1_db_ = std::make_unique<engine::Database>("t1_events",
+                                                sql::Vendor::kMySql);
+    ASSERT_TRUE(t1_db_
+                    ->Execute("CREATE TABLE RECO_EVENTS (EVENT_ID INT "
+                              "PRIMARY KEY, RUN_ID INT, QUALITY DOUBLE)")
+                    .ok());
+    ASSERT_TRUE(t1_db_
+                    ->Execute("INSERT INTO RECO_EVENTS (EVENT_ID, RUN_ID, "
+                              "QUALITY) VALUES (10, 1, 0.9), (11, 1, 0.4), "
+                              "(12, 2, 0.8), (13, 3, 0.95)")
+                    .ok());
+
+    // Tier-2: the physicist's local skim (SQLite).
+    t2_db_ = std::make_unique<engine::Database>("t2_skim",
+                                                sql::Vendor::kSqlite);
+    ASSERT_TRUE(
+        t2_db_->Execute("CREATE TABLE MY_SELECTION (EVENT_ID INTEGER "
+                        "PRIMARY KEY, WEIGHT REAL)")
+            .ok());
+    ASSERT_TRUE(t2_db_
+                    ->Execute("INSERT INTO MY_SELECTION (EVENT_ID, WEIGHT) "
+                              "VALUES (10, 1.5), (12, 0.7), (13, 1.1)")
+                    .ok());
+
+    ASSERT_TRUE(
+        catalog_.Add({"oracle://tier0/t0_cond", t0_db_.get(), "tier0", "", ""})
+            .ok());
+    ASSERT_TRUE(
+        catalog_.Add({"mysql://tier1/t1_events", t1_db_.get(), "tier1", "", ""})
+            .ok());
+    ASSERT_TRUE(
+        catalog_.Add({"sqlite://tier2/t2_skim", t2_db_.get(), "tier2", "", ""})
+            .ok());
+
+    auto make_server = [&](const char* name, const char* host) {
+      DataAccessConfig config;
+      config.server_name = name;
+      config.host = host;
+      config.server_url = std::string("clarens://") + host + ":8080/clarens";
+      config.rls_url = "rls://rls-host:39281/rls";
+      return std::make_unique<JClarensServer>(config, &catalog_,
+                                              transport_.get());
+    };
+    t0_ = make_server("jc-tier0", "tier0");
+    t1_ = make_server("jc-tier1", "tier1");
+    t2_ = make_server("jc-tier2", "tier2");
+    ASSERT_TRUE(
+        t0_->service().RegisterLiveDatabase("oracle://tier0/t0_cond", "").ok());
+    ASSERT_TRUE(
+        t1_->service().RegisterLiveDatabase("mysql://tier1/t1_events", "").ok());
+    ASSERT_TRUE(
+        t2_->service().RegisterLiveDatabase("sqlite://tier2/t2_skim", "").ok());
+  }
+
+  net::Network network_;
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<rls::RlsServer> rls_;
+  std::unique_ptr<engine::Database> t0_db_, t1_db_, t2_db_;
+  ral::DatabaseCatalog catalog_;
+  std::unique_ptr<JClarensServer> t0_, t1_, t2_;
+};
+
+TEST_F(TierTopologyFixture, EdgeQuerySpansAllThreeTiers) {
+  // Issued at Tier-2, touching tables on every tier.
+  QueryStats stats;
+  auto rs = t2_->service().Query(
+      "SELECT s.event_id, s.weight, e.quality, r.detector "
+      "FROM my_selection s "
+      "JOIN reco_events e ON s.event_id = e.event_id "
+      "JOIN master_runs r ON e.run_id = r.run_id "
+      "ORDER BY s.event_id",
+      &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->num_rows(), 3u);
+  EXPECT_EQ(rs->rows[0][3].AsStringStrict(), "ECAL");
+  EXPECT_EQ(rs->rows[2][3].AsStringStrict(), "TRACKER");
+  EXPECT_TRUE(stats.used_rls);
+  EXPECT_EQ(stats.servers_contacted, 3u);  // T2 + T1 + T0
+}
+
+TEST_F(TierTopologyFixture, WholeForwardingUpTheHierarchy) {
+  // A Tier-2 query over Tier-0 data only: forwarded wholesale to Tier-0.
+  QueryStats stats;
+  auto rs = t2_->service().Query(
+      "SELECT detector FROM master_runs WHERE year = 2005 ORDER BY detector",
+      &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_EQ(stats.servers_contacted, 2u);
+  EXPECT_TRUE(stats.used_rls);
+}
+
+TEST_F(TierTopologyFixture, WanLinksMakeEdgeQueriesSlower) {
+  // The same Tier-0-only query from Tier-1 (LAN to T0) vs Tier-2 (WAN).
+  QueryStats from_t1, from_t2;
+  ASSERT_TRUE(t1_->service()
+                  .Query("SELECT detector FROM master_runs", &from_t1)
+                  .ok());
+  ASSERT_TRUE(t2_->service()
+                  .Query("SELECT detector FROM master_runs", &from_t2)
+                  .ok());
+  EXPECT_GT(from_t2.simulated_ms, from_t1.simulated_ms);
+}
+
+TEST_F(TierTopologyFixture, MaterializationPullsDataDownTheTiers) {
+  // Tier-2 materializes the events it cares about locally (the paper's
+  // mart philosophy), after which the same join needs one fewer tier.
+  auto event_copy = t1_db_->Execute(
+      "SELECT EVENT_ID, RUN_ID, QUALITY FROM RECO_EVENTS");
+  ASSERT_TRUE(event_copy.ok());
+  ASSERT_TRUE(t2_db_
+                  ->Execute("CREATE TABLE reco_cache (event_id INTEGER, "
+                            "run_id INTEGER, quality REAL)")
+                  .ok());
+  ASSERT_TRUE(
+      t2_db_->InsertRows("reco_cache", std::move(event_copy->rows)).ok());
+  // Re-register so the new table is published (plug-in style refresh).
+  ASSERT_TRUE(t2_->service().UnregisterDatabase("t2_skim").ok());
+  ASSERT_TRUE(
+      t2_->service().RegisterLiveDatabase("sqlite://tier2/t2_skim", "").ok());
+
+  QueryStats stats;
+  auto rs = t2_->service().Query(
+      "SELECT s.event_id, e.quality FROM my_selection s "
+      "JOIN reco_cache e ON s.event_id = e.event_id ORDER BY s.event_id",
+      &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->num_rows(), 3u);
+  EXPECT_FALSE(stats.used_rls);  // fully local now
+  EXPECT_EQ(stats.servers_contacted, 1u);
+}
+
+}  // namespace
+}  // namespace griddb::core

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/warehouse/etl.h"
+#include "griddb/warehouse/materialize.h"
+#include "griddb/warehouse/warehouse.h"
+
+namespace griddb::warehouse {
+namespace {
+
+using storage::DataType;
+using storage::TableSchema;
+using storage::Value;
+
+std::string StagingDir() {
+  return (std::filesystem::temp_directory_path() / "griddb_etl_test").string();
+}
+
+struct EtlFixture : public ::testing::Test {
+  EtlFixture()
+      : source("src_mysql", sql::Vendor::kMySql),
+        wh("warehouse", "cern-tier1"),
+        mart("mart_lite", sql::Vendor::kSqlite, "caltech-tier2"),
+        pipeline(&network, net::ServiceCosts::Default(), EtlCosts::Default(),
+                 "cern-tier1", StagingDir()) {
+    network.AddHost("cern-tier1");
+    network.AddHost("caltech-tier2");
+    network.AddHost("src-host");
+
+    // Normalized ntuple source.
+    ntuple::GeneratorOptions gen;
+    gen.num_events = 200;
+    gen.nvar = 8;
+    gen.seed = 42;
+    nt_ = std::make_unique<ntuple::Ntuple>(
+        ntuple::GenerateNtuple(gen));
+    runs_ = ntuple::GenerateRuns(gen);
+    EXPECT_TRUE(ntuple::CreateNormalizedSchema(source).ok());
+    EXPECT_TRUE(ntuple::LoadNormalized(*nt_, runs_, source).ok());
+
+    // Denormalized star target in the warehouse.
+    StarSchemaSpec star;
+    star.fact = ntuple::DenormalizedSchema(*nt_, "fact_event");
+    star.dimensions.push_back(
+        {TableSchema("dim_run", {{"run_id", DataType::kInt64, true, true},
+                                 {"detector", DataType::kString, true, false}}),
+         "run_id"});
+    EXPECT_TRUE(wh.DefineStarSchema(star).ok());
+  }
+
+  net::Network network;
+  engine::Database source;
+  DataWarehouse wh;
+  DataMart mart;
+  EtlPipeline pipeline;
+  std::unique_ptr<ntuple::Ntuple> nt_;
+  std::vector<ntuple::RunInfo> runs_;
+};
+
+TEST_F(EtlFixture, StarSchemaMaterializesWithForeignKeys) {
+  EXPECT_TRUE(wh.db().HasTable("fact_event"));
+  EXPECT_TRUE(wh.db().HasTable("dim_run"));
+  auto schema = wh.db().GetSchema("fact_event");
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->foreign_keys().size(), 1u);
+  EXPECT_EQ(schema->foreign_keys()[0].referenced_table, "dim_run");
+}
+
+TEST_F(EtlFixture, DirectFactLoadViaDenormalizedRows) {
+  ASSERT_TRUE(wh.db()
+                  .InsertRows("fact_event",
+                              ntuple::DenormalizedRows(*nt_, runs_))
+                  .ok());
+  EXPECT_EQ(wh.db().RowCount("fact_event"), 200u);
+}
+
+TEST_F(EtlFixture, Stage1EtlThroughTempFile) {
+  // The paper's stage 1: extract from the normalized source, denormalize,
+  // stage, load into the warehouse. Here the extract query already does
+  // the denormalization join for one variable subset.
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.extract_sql =
+      "SELECT e.event_id, e.run_id, r.detector FROM events e "
+      "JOIN runs r ON e.run_id = r.run_id";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.target_table = "event_index";
+  job.create_target = true;
+  auto stats = pipeline.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->rows, 200u);
+  EXPECT_GT(stats->staged_bytes, 0u);
+  EXPECT_GT(stats->extract_ms, 0.0);
+  EXPECT_GT(stats->load_ms, 0.0);
+  EXPECT_EQ(wh.db().RowCount("event_index"), 200u);
+}
+
+TEST_F(EtlFixture, LoadCurveSitsAboveExtractCurve) {
+  // Figure 4/5 shape: for the same bytes, loading is slower than
+  // extraction (insert per-row + commit overheads).
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.extract_sql = "SELECT event_id, run_id FROM events";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.target_table = "ids";
+  job.create_target = true;
+  auto stats = pipeline.Run(job);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->load_ms, 0.6 * stats->extract_ms);
+}
+
+TEST_F(EtlFixture, TransformDenormalizesDuringExtraction) {
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.extract_sql = "SELECT event_id, run_id FROM events";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.target_table = "event_flagged";
+  job.create_target = true;
+  job.transform = [](const storage::Row& row) -> Result<storage::Row> {
+    storage::Row out = row;
+    GRIDDB_ASSIGN_OR_RETURN(int64_t run, row[1].AsInt64());
+    out.push_back(Value(run % 2 == 0 ? "even" : "odd"));
+    return out;
+  };
+  auto stats = pipeline.Run(job);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto rs = wh.db().Execute("SELECT COUNT(*) FROM event_flagged "
+                            "WHERE ROWNUM <= 100000");
+  ASSERT_TRUE(rs.ok());
+  auto sample =
+      wh.db().Execute("SELECT * FROM event_flagged WHERE ROWNUM <= 1");
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->num_columns(), 3u);
+}
+
+TEST_F(EtlFixture, MissingTargetTableFailsWithoutCreateFlag) {
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.extract_sql = "SELECT event_id FROM events";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.target_table = "nonexistent";
+  auto stats = pipeline.Run(job);
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EtlFixture, DirectStreamingIsFasterThanStaging) {
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.extract_sql = "SELECT event_id, run_id FROM events";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.target_table = "staged_copy";
+  job.create_target = true;
+  auto staged = pipeline.Run(job);
+  ASSERT_TRUE(staged.ok());
+
+  job.target_table = "direct_copy";
+  auto direct = pipeline.RunDirect(job);
+  ASSERT_TRUE(direct.ok());
+
+  EXPECT_EQ(staged->rows, direct->rows);
+  EXPECT_LT(direct->total_ms(), staged->total_ms());
+  EXPECT_EQ(wh.db().RowCount("direct_copy"), 200u);
+}
+
+TEST_F(EtlFixture, ViewsAndMaterializationIntoMart) {
+  ASSERT_TRUE(wh.db()
+                  .InsertRows("fact_event",
+                              ntuple::DenormalizedRows(*nt_, runs_))
+                  .ok());
+  ASSERT_TRUE(wh.CreateAnalysisView(
+                    "v_high_energy",
+                    "SELECT event_id, run_id, e_total, pt FROM fact_event "
+                    "WHERE e_total > 20")
+                  .ok());
+
+  auto stats = MaterializeView(wh, "v_high_energy", mart, pipeline);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->rows, 0u);
+  EXPECT_TRUE(mart.db().HasTable("v_high_energy"));
+  EXPECT_EQ(mart.db().RowCount("v_high_energy"), stats->rows);
+
+  // The mart copy is queryable in the mart's own dialect (SQLite).
+  auto rs = mart.db().Execute("SELECT COUNT(*) FROM v_high_energy LIMIT 1");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(static_cast<size_t>(rs->rows[0][0].AsInt64Strict()), stats->rows);
+}
+
+TEST_F(EtlFixture, MaterializeUnknownViewFails) {
+  EXPECT_EQ(MaterializeView(wh, "ghost_view", mart, pipeline).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EtlFixture, RefreshReplacesMartCopy) {
+  ASSERT_TRUE(wh.db()
+                  .InsertRows("fact_event",
+                              ntuple::DenormalizedRows(*nt_, runs_))
+                  .ok());
+  ASSERT_TRUE(
+      wh.CreateAnalysisView("v_all", "SELECT event_id FROM fact_event").ok());
+  ASSERT_TRUE(MaterializeView(wh, "v_all", mart, pipeline).ok());
+  size_t before = mart.db().RowCount("v_all");
+
+  // New rows arrive in the warehouse; refresh picks them up.
+  ntuple::GeneratorOptions more;
+  more.num_events = 50;
+  more.seed = 77;
+  more.first_event_id = 10001;
+  ntuple::Ntuple extra = ntuple::GenerateNtuple(more);
+  ASSERT_TRUE(
+      wh.db()
+          .InsertRows("fact_event",
+                      ntuple::DenormalizedRows(extra, ntuple::GenerateRuns(more)))
+          .ok());
+  auto stats = RefreshView(wh, "v_all", mart, pipeline);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(mart.db().RowCount("v_all"), before + 50);
+}
+
+TEST_F(EtlFixture, EtlTimeGrowsWithDataSize) {
+  EtlPipeline::Job job;
+  job.source = &source;
+  job.source_host = "src-host";
+  job.target = &wh.db();
+  job.target_host = "cern-tier1";
+  job.create_target = true;
+
+  job.extract_sql = "SELECT event_id, var_id, value FROM event_values "
+                    "WHERE event_id <= 20";
+  job.target_table = "small_copy";
+  auto small = pipeline.Run(job);
+  ASSERT_TRUE(small.ok());
+
+  job.extract_sql = "SELECT event_id, var_id, value FROM event_values";
+  job.target_table = "large_copy";
+  auto large = pipeline.Run(job);
+  ASSERT_TRUE(large.ok());
+
+  EXPECT_GT(large->staged_bytes, small->staged_bytes);
+  EXPECT_GT(large->extract_ms, small->extract_ms);
+  EXPECT_GT(large->load_ms, small->load_ms);
+}
+
+}  // namespace
+}  // namespace griddb::warehouse
