@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_join.dir/bench_ablate_join.cc.o"
+  "CMakeFiles/bench_ablate_join.dir/bench_ablate_join.cc.o.d"
+  "bench_ablate_join"
+  "bench_ablate_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

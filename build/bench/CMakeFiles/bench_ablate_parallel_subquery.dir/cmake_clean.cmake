@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_parallel_subquery.dir/bench_ablate_parallel_subquery.cc.o"
+  "CMakeFiles/bench_ablate_parallel_subquery.dir/bench_ablate_parallel_subquery.cc.o.d"
+  "bench_ablate_parallel_subquery"
+  "bench_ablate_parallel_subquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_parallel_subquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_pushdown.dir/bench_ablate_pushdown.cc.o"
+  "CMakeFiles/bench_ablate_pushdown.dir/bench_ablate_pushdown.cc.o.d"
+  "bench_ablate_pushdown"
+  "bench_ablate_pushdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_rls.dir/bench_ablate_rls.cc.o"
+  "CMakeFiles/bench_ablate_rls.dir/bench_ablate_rls.cc.o.d"
+  "bench_ablate_rls"
+  "bench_ablate_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_schema_tracker.dir/bench_ablate_schema_tracker.cc.o"
+  "CMakeFiles/bench_ablate_schema_tracker.dir/bench_ablate_schema_tracker.cc.o.d"
+  "bench_ablate_schema_tracker"
+  "bench_ablate_schema_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_schema_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

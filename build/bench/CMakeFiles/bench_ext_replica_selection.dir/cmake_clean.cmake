@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_replica_selection.dir/bench_ext_replica_selection.cc.o"
+  "CMakeFiles/bench_ext_replica_selection.dir/bench_ext_replica_selection.cc.o.d"
+  "bench_ext_replica_selection"
+  "bench_ext_replica_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_replica_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_wan.dir/bench_ext_wan.cc.o"
+  "CMakeFiles/bench_ext_wan.dir/bench_ext_wan.cc.o.d"
+  "bench_ext_wan"
+  "bench_ext_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

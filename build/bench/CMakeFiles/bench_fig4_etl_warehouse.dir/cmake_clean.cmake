@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_etl_warehouse.dir/bench_fig4_etl_warehouse.cc.o"
+  "CMakeFiles/bench_fig4_etl_warehouse.dir/bench_fig4_etl_warehouse.cc.o.d"
+  "bench_fig4_etl_warehouse"
+  "bench_fig4_etl_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_etl_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_materialize_marts.dir/bench_fig5_materialize_marts.cc.o"
+  "CMakeFiles/bench_fig5_materialize_marts.dir/bench_fig5_materialize_marts.cc.o.d"
+  "bench_fig5_materialize_marts"
+  "bench_fig5_materialize_marts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_materialize_marts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etl_to_marts.dir/etl_to_marts.cpp.o"
+  "CMakeFiles/etl_to_marts.dir/etl_to_marts.cpp.o.d"
+  "etl_to_marts"
+  "etl_to_marts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etl_to_marts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_join_tour.dir/federated_join_tour.cpp.o"
+  "CMakeFiles/federated_join_tour.dir/federated_join_tour.cpp.o.d"
+  "federated_join_tour"
+  "federated_join_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_join_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridsql_shell.dir/gridsql_shell.cpp.o"
+  "CMakeFiles/gridsql_shell.dir/gridsql_shell.cpp.o.d"
+  "gridsql_shell"
+  "gridsql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridsql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

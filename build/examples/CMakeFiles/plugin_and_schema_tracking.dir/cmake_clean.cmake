@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_and_schema_tracking.dir/plugin_and_schema_tracking.cpp.o"
+  "CMakeFiles/plugin_and_schema_tracking.dir/plugin_and_schema_tracking.cpp.o.d"
+  "plugin_and_schema_tracking"
+  "plugin_and_schema_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_and_schema_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

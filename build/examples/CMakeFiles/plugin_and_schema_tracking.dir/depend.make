@@ -1,0 +1,2 @@
+# Empty dependencies file for plugin_and_schema_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_integration.dir/semantic_integration.cpp.o"
+  "CMakeFiles/semantic_integration.dir/semantic_integration.cpp.o.d"
+  "semantic_integration"
+  "semantic_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

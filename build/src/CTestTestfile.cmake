@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("griddb/util")
+subdirs("griddb/xml")
+subdirs("griddb/sql")
+subdirs("griddb/storage")
+subdirs("griddb/engine")
+subdirs("griddb/net")
+subdirs("griddb/rpc")
+subdirs("griddb/rls")
+subdirs("griddb/ral")
+subdirs("griddb/unity")
+subdirs("griddb/warehouse")
+subdirs("griddb/ntuple")
+subdirs("griddb/core")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddb/core/data_access_service.cc" "src/griddb/core/CMakeFiles/griddb_core.dir/data_access_service.cc.o" "gcc" "src/griddb/core/CMakeFiles/griddb_core.dir/data_access_service.cc.o.d"
+  "/root/repo/src/griddb/core/jclarens_server.cc" "src/griddb/core/CMakeFiles/griddb_core.dir/jclarens_server.cc.o" "gcc" "src/griddb/core/CMakeFiles/griddb_core.dir/jclarens_server.cc.o.d"
+  "/root/repo/src/griddb/core/schema_tracker.cc" "src/griddb/core/CMakeFiles/griddb_core.dir/schema_tracker.cc.o" "gcc" "src/griddb/core/CMakeFiles/griddb_core.dir/schema_tracker.cc.o.d"
+  "/root/repo/src/griddb/core/xspec_repository.cc" "src/griddb/core/CMakeFiles/griddb_core.dir/xspec_repository.cc.o" "gcc" "src/griddb/core/CMakeFiles/griddb_core.dir/xspec_repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/griddb/unity/CMakeFiles/griddb_unity.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/rls/CMakeFiles/griddb_rls.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/ral/CMakeFiles/griddb_ral.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/rpc/CMakeFiles/griddb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/engine/CMakeFiles/griddb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/sql/CMakeFiles/griddb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/xml/CMakeFiles/griddb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/net/CMakeFiles/griddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/storage/CMakeFiles/griddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/util/CMakeFiles/griddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_core.dir/data_access_service.cc.o"
+  "CMakeFiles/griddb_core.dir/data_access_service.cc.o.d"
+  "CMakeFiles/griddb_core.dir/jclarens_server.cc.o"
+  "CMakeFiles/griddb_core.dir/jclarens_server.cc.o.d"
+  "CMakeFiles/griddb_core.dir/schema_tracker.cc.o"
+  "CMakeFiles/griddb_core.dir/schema_tracker.cc.o.d"
+  "CMakeFiles/griddb_core.dir/xspec_repository.cc.o"
+  "CMakeFiles/griddb_core.dir/xspec_repository.cc.o.d"
+  "libgriddb_core.a"
+  "libgriddb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_engine.dir/database.cc.o"
+  "CMakeFiles/griddb_engine.dir/database.cc.o.d"
+  "CMakeFiles/griddb_engine.dir/eval.cc.o"
+  "CMakeFiles/griddb_engine.dir/eval.cc.o.d"
+  "CMakeFiles/griddb_engine.dir/select_executor.cc.o"
+  "CMakeFiles/griddb_engine.dir/select_executor.cc.o.d"
+  "libgriddb_engine.a"
+  "libgriddb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

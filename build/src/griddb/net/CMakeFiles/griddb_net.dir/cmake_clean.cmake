@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_net.dir/network.cc.o"
+  "CMakeFiles/griddb_net.dir/network.cc.o.d"
+  "libgriddb_net.a"
+  "libgriddb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

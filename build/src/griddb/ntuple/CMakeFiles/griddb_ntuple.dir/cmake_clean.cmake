@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_ntuple.dir/histogram.cc.o"
+  "CMakeFiles/griddb_ntuple.dir/histogram.cc.o.d"
+  "CMakeFiles/griddb_ntuple.dir/ntuple.cc.o"
+  "CMakeFiles/griddb_ntuple.dir/ntuple.cc.o.d"
+  "libgriddb_ntuple.a"
+  "libgriddb_ntuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_ntuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgriddb_ntuple.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for griddb_ntuple.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_ral.dir/catalog.cc.o"
+  "CMakeFiles/griddb_ral.dir/catalog.cc.o.d"
+  "CMakeFiles/griddb_ral.dir/jdbc.cc.o"
+  "CMakeFiles/griddb_ral.dir/jdbc.cc.o.d"
+  "CMakeFiles/griddb_ral.dir/pool_ral.cc.o"
+  "CMakeFiles/griddb_ral.dir/pool_ral.cc.o.d"
+  "libgriddb_ral.a"
+  "libgriddb_ral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_ral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for griddb_ral.
+# This may be replaced when dependencies are built.

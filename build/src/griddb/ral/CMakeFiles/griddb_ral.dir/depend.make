@@ -1,0 +1,2 @@
+# Empty dependencies file for griddb_ral.
+# This may be replaced when dependencies are built.

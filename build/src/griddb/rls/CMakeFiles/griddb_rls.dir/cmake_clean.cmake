@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_rls.dir/rls.cc.o"
+  "CMakeFiles/griddb_rls.dir/rls.cc.o.d"
+  "libgriddb_rls.a"
+  "libgriddb_rls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_rls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_rpc.dir/server.cc.o"
+  "CMakeFiles/griddb_rpc.dir/server.cc.o.d"
+  "CMakeFiles/griddb_rpc.dir/xmlrpc_value.cc.o"
+  "CMakeFiles/griddb_rpc.dir/xmlrpc_value.cc.o.d"
+  "libgriddb_rpc.a"
+  "libgriddb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddb/sql/ast.cc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/ast.cc.o" "gcc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/ast.cc.o.d"
+  "/root/repo/src/griddb/sql/dialect.cc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/dialect.cc.o" "gcc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/dialect.cc.o.d"
+  "/root/repo/src/griddb/sql/lexer.cc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/lexer.cc.o" "gcc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/griddb/sql/parser.cc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/parser.cc.o" "gcc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/parser.cc.o.d"
+  "/root/repo/src/griddb/sql/render.cc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/render.cc.o" "gcc" "src/griddb/sql/CMakeFiles/griddb_sql.dir/render.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/griddb/storage/CMakeFiles/griddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/util/CMakeFiles/griddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

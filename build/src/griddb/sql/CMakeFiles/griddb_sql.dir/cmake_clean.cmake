@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_sql.dir/ast.cc.o"
+  "CMakeFiles/griddb_sql.dir/ast.cc.o.d"
+  "CMakeFiles/griddb_sql.dir/dialect.cc.o"
+  "CMakeFiles/griddb_sql.dir/dialect.cc.o.d"
+  "CMakeFiles/griddb_sql.dir/lexer.cc.o"
+  "CMakeFiles/griddb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/griddb_sql.dir/parser.cc.o"
+  "CMakeFiles/griddb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/griddb_sql.dir/render.cc.o"
+  "CMakeFiles/griddb_sql.dir/render.cc.o.d"
+  "libgriddb_sql.a"
+  "libgriddb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddb/storage/result_set.cc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/result_set.cc.o" "gcc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/result_set.cc.o.d"
+  "/root/repo/src/griddb/storage/schema.cc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/schema.cc.o" "gcc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/schema.cc.o.d"
+  "/root/repo/src/griddb/storage/stage_file.cc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/stage_file.cc.o" "gcc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/stage_file.cc.o.d"
+  "/root/repo/src/griddb/storage/table.cc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/table.cc.o" "gcc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/table.cc.o.d"
+  "/root/repo/src/griddb/storage/value.cc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/value.cc.o" "gcc" "src/griddb/storage/CMakeFiles/griddb_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/griddb/util/CMakeFiles/griddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

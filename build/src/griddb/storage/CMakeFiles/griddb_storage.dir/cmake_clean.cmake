@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_storage.dir/result_set.cc.o"
+  "CMakeFiles/griddb_storage.dir/result_set.cc.o.d"
+  "CMakeFiles/griddb_storage.dir/schema.cc.o"
+  "CMakeFiles/griddb_storage.dir/schema.cc.o.d"
+  "CMakeFiles/griddb_storage.dir/stage_file.cc.o"
+  "CMakeFiles/griddb_storage.dir/stage_file.cc.o.d"
+  "CMakeFiles/griddb_storage.dir/table.cc.o"
+  "CMakeFiles/griddb_storage.dir/table.cc.o.d"
+  "CMakeFiles/griddb_storage.dir/value.cc.o"
+  "CMakeFiles/griddb_storage.dir/value.cc.o.d"
+  "libgriddb_storage.a"
+  "libgriddb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddb/unity/dictionary.cc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/dictionary.cc.o" "gcc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/dictionary.cc.o.d"
+  "/root/repo/src/griddb/unity/driver.cc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/driver.cc.o" "gcc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/driver.cc.o.d"
+  "/root/repo/src/griddb/unity/planner.cc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/planner.cc.o" "gcc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/planner.cc.o.d"
+  "/root/repo/src/griddb/unity/semantic.cc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/semantic.cc.o" "gcc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/semantic.cc.o.d"
+  "/root/repo/src/griddb/unity/xspec.cc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/xspec.cc.o" "gcc" "src/griddb/unity/CMakeFiles/griddb_unity.dir/xspec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/griddb/engine/CMakeFiles/griddb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/ral/CMakeFiles/griddb_ral.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/xml/CMakeFiles/griddb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/sql/CMakeFiles/griddb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/storage/CMakeFiles/griddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/net/CMakeFiles/griddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/util/CMakeFiles/griddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

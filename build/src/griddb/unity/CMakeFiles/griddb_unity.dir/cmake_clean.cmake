@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_unity.dir/dictionary.cc.o"
+  "CMakeFiles/griddb_unity.dir/dictionary.cc.o.d"
+  "CMakeFiles/griddb_unity.dir/driver.cc.o"
+  "CMakeFiles/griddb_unity.dir/driver.cc.o.d"
+  "CMakeFiles/griddb_unity.dir/planner.cc.o"
+  "CMakeFiles/griddb_unity.dir/planner.cc.o.d"
+  "CMakeFiles/griddb_unity.dir/semantic.cc.o"
+  "CMakeFiles/griddb_unity.dir/semantic.cc.o.d"
+  "CMakeFiles/griddb_unity.dir/xspec.cc.o"
+  "CMakeFiles/griddb_unity.dir/xspec.cc.o.d"
+  "libgriddb_unity.a"
+  "libgriddb_unity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_unity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/griddb/util/logging.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/logging.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/logging.cc.o.d"
+  "/root/repo/src/griddb/util/md5.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/md5.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/md5.cc.o.d"
+  "/root/repo/src/griddb/util/rng.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/rng.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/rng.cc.o.d"
+  "/root/repo/src/griddb/util/status.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/status.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/status.cc.o.d"
+  "/root/repo/src/griddb/util/strings.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/strings.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/strings.cc.o.d"
+  "/root/repo/src/griddb/util/thread_pool.cc" "src/griddb/util/CMakeFiles/griddb_util.dir/thread_pool.cc.o" "gcc" "src/griddb/util/CMakeFiles/griddb_util.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

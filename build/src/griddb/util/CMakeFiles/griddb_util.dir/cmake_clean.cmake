@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_util.dir/logging.cc.o"
+  "CMakeFiles/griddb_util.dir/logging.cc.o.d"
+  "CMakeFiles/griddb_util.dir/md5.cc.o"
+  "CMakeFiles/griddb_util.dir/md5.cc.o.d"
+  "CMakeFiles/griddb_util.dir/rng.cc.o"
+  "CMakeFiles/griddb_util.dir/rng.cc.o.d"
+  "CMakeFiles/griddb_util.dir/status.cc.o"
+  "CMakeFiles/griddb_util.dir/status.cc.o.d"
+  "CMakeFiles/griddb_util.dir/strings.cc.o"
+  "CMakeFiles/griddb_util.dir/strings.cc.o.d"
+  "CMakeFiles/griddb_util.dir/thread_pool.cc.o"
+  "CMakeFiles/griddb_util.dir/thread_pool.cc.o.d"
+  "libgriddb_util.a"
+  "libgriddb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

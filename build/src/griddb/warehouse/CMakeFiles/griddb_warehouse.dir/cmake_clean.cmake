@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_warehouse.dir/etl.cc.o"
+  "CMakeFiles/griddb_warehouse.dir/etl.cc.o.d"
+  "CMakeFiles/griddb_warehouse.dir/materialize.cc.o"
+  "CMakeFiles/griddb_warehouse.dir/materialize.cc.o.d"
+  "CMakeFiles/griddb_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/griddb_warehouse.dir/warehouse.cc.o.d"
+  "libgriddb_warehouse.a"
+  "libgriddb_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/griddb_xml.dir/xml.cc.o"
+  "CMakeFiles/griddb_xml.dir/xml.cc.o.d"
+  "libgriddb_xml.a"
+  "libgriddb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/griddb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

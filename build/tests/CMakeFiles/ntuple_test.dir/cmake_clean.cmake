@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntuple_test.dir/ntuple_test.cc.o"
+  "CMakeFiles/ntuple_test.dir/ntuple_test.cc.o.d"
+  "ntuple_test"
+  "ntuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

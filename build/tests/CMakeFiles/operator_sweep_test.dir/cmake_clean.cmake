@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_sweep_test.dir/operator_sweep_test.cc.o"
+  "CMakeFiles/operator_sweep_test.dir/operator_sweep_test.cc.o.d"
+  "operator_sweep_test"
+  "operator_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

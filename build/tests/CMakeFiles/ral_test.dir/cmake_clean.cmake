@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ral_test.dir/ral_test.cc.o"
+  "CMakeFiles/ral_test.dir/ral_test.cc.o.d"
+  "ral_test"
+  "ral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

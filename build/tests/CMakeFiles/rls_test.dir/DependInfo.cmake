@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rls_test.cc" "tests/CMakeFiles/rls_test.dir/rls_test.cc.o" "gcc" "tests/CMakeFiles/rls_test.dir/rls_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/griddb/rls/CMakeFiles/griddb_rls.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/rpc/CMakeFiles/griddb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/xml/CMakeFiles/griddb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/net/CMakeFiles/griddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/storage/CMakeFiles/griddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/griddb/util/CMakeFiles/griddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rls_test.dir/rls_test.cc.o"
+  "CMakeFiles/rls_test.dir/rls_test.cc.o.d"
+  "rls_test"
+  "rls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier_topology_test.dir/tier_topology_test.cc.o"
+  "CMakeFiles/tier_topology_test.dir/tier_topology_test.cc.o.d"
+  "tier_topology_test"
+  "tier_topology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unity_test.dir/unity_test.cc.o"
+  "CMakeFiles/unity_test.dir/unity_test.cc.o.d"
+  "unity_test"
+  "unity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
