@@ -35,6 +35,10 @@ struct TestbedOptions {
   bool enhanced_driver = true;
   bool parallel_subqueries = true;
   uint64_t seed = 2005;
+  /// Fault tolerance knobs applied to both JClarens servers (defaults
+  /// keep the paper-calibrated fail-fast behaviour).
+  rpc::RetryPolicy retry_policy = rpc::RetryPolicy::None();
+  bool partial_results = false;
 };
 
 class Testbed {
@@ -168,6 +172,8 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.rls_url = "rls://rls-host:39281/rls";
     config.enhanced_driver = options.enhanced_driver;
     config.parallel_subqueries = options.parallel_subqueries;
+    config.retry_policy = options.retry_policy;
+    config.partial_results = options.partial_results;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
                                                   &bed->xspec_repo);

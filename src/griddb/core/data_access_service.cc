@@ -37,6 +37,43 @@ bool ExpressibleInRal(const sql::SelectStmt& stmt) {
   return true;
 }
 
+/// Columns of `effective` the statement references (qualified refs only) —
+/// the schema an empty substitute partial needs so the merge still binds.
+std::vector<std::string> ReferencedColumns(const sql::SelectStmt& stmt,
+                                           const std::string& effective) {
+  std::vector<const sql::ColumnRef*> refs;
+  for (const sql::SelectItem& item : stmt.items) {
+    sql::CollectColumnRefs(*item.expr, refs);
+  }
+  if (stmt.where) sql::CollectColumnRefs(*stmt.where, refs);
+  for (const sql::Join& join : stmt.joins) {
+    if (join.on) sql::CollectColumnRefs(*join.on, refs);
+  }
+  for (const sql::ExprPtr& e : stmt.group_by) sql::CollectColumnRefs(*e, refs);
+  if (stmt.having) sql::CollectColumnRefs(*stmt.having, refs);
+  for (const sql::OrderItem& item : stmt.order_by) {
+    sql::CollectColumnRefs(*item.expr, refs);
+  }
+  std::vector<std::string> columns;
+  for (const sql::ColumnRef* ref : refs) {
+    if (!EqualsIgnoreCase(ref->table, effective)) continue;
+    std::string lower = ToLower(ref->column);
+    if (std::find(columns.begin(), columns.end(), lower) == columns.end()) {
+      columns.push_back(std::move(lower));
+    }
+  }
+  return columns;
+}
+
+/// A zero-row ResultSet with the given schema (partial-results substitute
+/// for a failed sub-query; inner joins against it yield no rows, LEFT
+/// JOINs NULL-pad).
+ResultSet EmptyPartial(std::vector<std::string> columns) {
+  ResultSet rs;
+  rs.columns = std::move(columns);
+  return rs;
+}
+
 }  // namespace
 
 DataAccessService::DataAccessService(DataAccessConfig config,
@@ -63,6 +100,8 @@ DataAccessService::DataAccessService(DataAccessConfig config,
   if (!config_.rls_url.empty()) {
     rls_ = std::make_unique<rls::RlsClient>(transport, config_.host,
                                             config_.rls_url);
+    rls_->set_cache_enabled(config_.rls_cache);
+    rls_->set_retry_policy(config_.retry_policy);
   }
 }
 
@@ -316,6 +355,7 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
       plan.subqueries.size());
   std::vector<net::Cost> branch_costs(plan.subqueries.size());
   std::vector<QueryStats> branch_stats(plan.subqueries.size());
+  std::vector<Status> branch_status(plan.subqueries.size(), Status::Ok());
 
   if (config_.enhanced_driver && config_.parallel_subqueries &&
       plan.subqueries.size() > 1) {
@@ -332,20 +372,42 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
             return Status::Ok();
           }));
     }
-    Status first_error = Status::Ok();
-    for (auto& f : futures) {
-      Status s = f.get();
-      if (!s.ok() && first_error.ok()) first_error = s;
+    for (size_t i = 0; i < futures.size(); ++i) {
+      branch_status[i] = futures[i].get();
     }
-    GRIDDB_RETURN_IF_ERROR(first_error);
     if (cost) cost->AddParallel(branch_costs);
   } else {
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
       auto rs = ExecuteSubQueryRouted(plan.subqueries[i], &branch_costs[i],
                                       &branch_stats[i]);
-      GRIDDB_RETURN_IF_ERROR(rs.status());
-      partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+      if (!rs.ok()) {
+        // Fail-fast (seed behaviour) unless partial results are requested.
+        if (!config_.partial_results) return rs.status();
+        branch_status[i] = rs.status();
+      } else {
+        partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+      }
       if (cost) cost->AddSequential(branch_costs[i]);
+    }
+  }
+  // Resolve failed branches: whole-query failure by default, or an empty
+  // substitute partial (schema from the planned field aliases) plus an
+  // error-report line in partial-results mode.
+  for (size_t i = 0; i < branch_status.size(); ++i) {
+    if (branch_status[i].ok()) continue;
+    if (!config_.partial_results) return branch_status[i];
+    const SubQuery& sub = plan.subqueries[i];
+    std::vector<std::string> columns;
+    columns.reserve(sub.fields.size());
+    for (const auto& [physical, logical] : sub.fields) {
+      (void)physical;
+      columns.push_back(ToLower(logical));
+    }
+    partials[i] = {sub.effective_name, EmptyPartial(std::move(columns))};
+    if (stats) {
+      ++stats->subqueries_failed;
+      stats->subquery_errors.push_back(sub.effective_name + ": " +
+                                       branch_status[i].ToString());
     }
   }
   if (stats) {
@@ -375,55 +437,138 @@ rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
   // query (fresh-connection semantics); suppress the client's one-time
   // charge so it is not double-counted.
   client->set_connect_cost_ms(0.0);
+  client->set_retry_policy(config_.retry_policy);
   auto [inserted, unused] =
       remote_clients_.emplace(server_url, std::move(client));
   (void)unused;
   return inserted->second.get();
 }
 
-Result<ResultSet> DataAccessService::RemoteQuery(const std::string& server_url,
-                                                 const std::string& sql_text,
-                                                 net::Cost* cost,
-                                                 QueryStats* stats,
-                                                 int forward_depth) {
+Result<ResultSet> DataAccessService::RemoteQuery(
+    const std::string& server_url, const std::string& sql_text,
+    net::Cost* cost, QueryStats* stats, int forward_depth,
+    const std::string& forward_path) {
   rpc::RpcClient* client = ClientFor(server_url);
   rpc::XmlRpcArray params;
   params.emplace_back(sql_text);
-  GRIDDB_ASSIGN_OR_RETURN(
-      rpc::XmlRpcValue response,
+  // Record ourselves on the forwarding path so a loop names every hop.
+  const std::string path = forward_path.empty()
+                               ? config_.server_url
+                               : forward_path + " -> " + config_.server_url;
+  rpc::CallStats call_stats;
+  Result<rpc::XmlRpcValue> response =
       client->Call("dataaccess.query", std::move(params), cost,
-                   forward_depth + 1));
+                   forward_depth + 1, path, &call_stats);
+  if (stats) stats->retries += static_cast<size_t>(call_stats.retries);
+  GRIDDB_RETURN_IF_ERROR(response.status());
   GRIDDB_ASSIGN_OR_RETURN(const rpc::XmlRpcValue* result,
-                          response.Member("result"));
+                          response->Member("result"));
   GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, rpc::RpcToResultSet(*result));
   if (stats) {
-    auto remote_stats = response.Member("stats");
+    auto remote_stats = response->Member("stats");
     if (remote_stats.ok()) {
       QueryStats remote = StatsFromRpc(**remote_stats);
       stats->pool_ral_subqueries += remote.pool_ral_subqueries;
       stats->jdbc_subqueries += remote.jdbc_subqueries;
       stats->databases += remote.databases;
+      stats->retries += remote.retries;
+      stats->failovers += remote.failovers;
+      stats->subqueries_failed += remote.subqueries_failed;
+      stats->breaker_skips += remote.breaker_skips;
+      for (std::string& line : remote.subquery_errors) {
+        stats->subquery_errors.push_back(std::move(line));
+      }
     }
   }
   return rs;
 }
 
+bool DataAccessService::BreakerAllows(const std::string& server_url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(server_url);
+  if (it == breakers_.end()) return true;
+  const BreakerState& state = it->second;
+  if (state.consecutive_failures < config_.breaker_failure_threshold) {
+    return true;
+  }
+  // Open breaker. Once the virtual-clock cooldown has elapsed, go
+  // half-open: let one probe through; RecordPeerOutcome re-opens it (with
+  // a fresh cooldown) if the probe fails.
+  return transport_->network()->NowMs() >= state.open_until_ms;
+}
+
+void DataAccessService::RecordPeerOutcome(const std::string& server_url,
+                                          bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BreakerState& state = breakers_[server_url];
+  if (success) {
+    state.consecutive_failures = 0;
+    state.open_until_ms = -1;
+    return;
+  }
+  ++state.consecutive_failures;
+  if (state.consecutive_failures >= config_.breaker_failure_threshold) {
+    state.open_until_ms =
+        transport_->network()->NowMs() + config_.breaker_cooldown_ms;
+  }
+}
+
+Result<ResultSet> DataAccessService::RemoteQueryFailover(
+    const std::vector<std::string>& candidates, const std::string& table,
+    const std::string& sql_text, net::Cost* cost, QueryStats* stats,
+    int forward_depth, const std::string& forward_path) {
+  // kNotFound is failover-worthy: it usually means a stale RLS row (the
+  // replica dropped the table, or never had it) and another replica may
+  // still answer. Everything else non-transient is permanent.
+  auto failover_worthy = [](StatusCode code) {
+    return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+           code == StatusCode::kNotFound;
+  };
+  Status last_error = Unavailable("no reachable JClarens replica for table '" +
+                                  table + "'");
+  bool previous_failed = false;
+  for (const std::string& url : candidates) {
+    if (!BreakerAllows(url)) {
+      if (stats) ++stats->breaker_skips;
+      continue;
+    }
+    if (previous_failed && stats) ++stats->failovers;
+    Result<ResultSet> rs =
+        RemoteQuery(url, sql_text, cost, stats, forward_depth, forward_path);
+    if (rs.ok()) {
+      RecordPeerOutcome(url, true);
+      return rs;
+    }
+    last_error = rs.status();
+    RecordPeerOutcome(url, false);
+    // The mapping that sent us here is suspect; make the next query
+    // re-consult the live RLS catalog instead of the cache.
+    if (rls_) rls_->InvalidateCache(ToLower(table));
+    if (!failover_worthy(last_error.code())) return last_error;
+    previous_failed = true;
+  }
+  return last_error;
+}
+
 Result<ResultSet> DataAccessService::QueryWithRemote(
     const sql::SelectStmt& stmt,
     const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
-    QueryStats* stats, int forward_depth) {
+    QueryStats* stats, int forward_depth, const std::string& forward_path) {
   if (!rls_) {
     return NotFound("table '" + missing.front()->table +
                     "' is not registered locally and no RLS is configured");
   }
   if (stats) stats->used_rls = true;
 
-  // Locate every missing table through the RLS. Among the returned
-  // replica servers, prefer one that is actually reachable right now
-  // (RLS entries can be stale: a server may have died after publishing).
-  // Lookup costs are attributed to the remote branch they resolve to
-  // (lookups for server X overlap with fetches from other machines).
-  std::map<std::string, std::string> table_to_server;  // logical -> url
+  // Locate every missing table through the RLS. The returned replicas
+  // become an ordered failover list: servers that are reachable right now
+  // first (RLS entries can be stale: a server may have died after
+  // publishing), the stale ones last — a dead server may come back, and
+  // failing over to it beats dropping it silently. Lookup costs are
+  // attributed to the remote branch they resolve to (lookups for server X
+  // overlap with fetches from other machines).
+  std::map<std::string, std::vector<std::string>> table_candidates;
+  std::map<std::string, std::string> table_to_server;  // logical -> 1st url
   std::set<std::string> remote_servers;
   std::map<std::string, double> lookup_ms_by_server;
   double total_lookup_ms = 0;
@@ -434,26 +579,23 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     // Never forward to ourselves (stale RLS entries).
     urls.erase(std::remove(urls.begin(), urls.end(), config_.server_url),
                urls.end());
-    // Failover: drop URLs whose endpoint no longer resolves, keeping the
-    // RLS-returned order among the live ones.
-    std::string chosen;
+    std::vector<std::string> candidates;
+    std::vector<std::string> stale;
     for (const std::string& url : urls) {
-      if (transport_->Resolve(url).ok()) {
-        chosen = url;
-        break;
-      }
+      (transport_->Resolve(url).ok() ? candidates : stale).push_back(url);
     }
-    if (chosen.empty() && !urls.empty()) chosen = urls.front();  // report the
-                                                                 // stale one
-    if (chosen.empty()) {
+    candidates.insert(candidates.end(), stale.begin(), stale.end());
+    if (candidates.empty()) {
       if (cost) cost->AddMs(lookup_cost.total_ms());
       return NotFound("table '" + ref->table +
                       "' is not registered with any JClarens server");
     }
+    const std::string& chosen = candidates.front();
     table_to_server[ToLower(ref->table)] = chosen;
     remote_servers.insert(chosen);
     lookup_ms_by_server[chosen] += lookup_cost.total_ms();
     total_lookup_ms += lookup_cost.total_ms();
+    table_candidates[ToLower(ref->table)] = std::move(candidates);
   }
   if (stats) stats->servers_contacted = 1 + remote_servers.size();
 
@@ -473,9 +615,25 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
       cost->AddMs(total_lookup_ms);
       cost->AddMs(transport_->costs().connect_auth_ms);
     }
+    // A failover target must host every missing table: intersect the
+    // per-table lists, keeping the first table's order (the preferred
+    // server is in all of them by construction).
+    std::vector<std::string> candidates =
+        table_candidates[ToLower(missing.front()->table)];
+    for (const sql::TableRef* ref : missing) {
+      const std::vector<std::string>& other =
+          table_candidates[ToLower(ref->table)];
+      candidates.erase(
+          std::remove_if(candidates.begin(), candidates.end(),
+                         [&](const std::string& url) {
+                           return std::find(other.begin(), other.end(), url) ==
+                                  other.end();
+                         }),
+          candidates.end());
+    }
     std::string text = sql::RenderSelect(stmt, ClientDialect());
-    return RemoteQuery(*remote_servers.begin(), text, cost, stats,
-                       forward_depth);
+    return RemoteQueryFailover(candidates, missing.front()->table, text, cost,
+                               stats, forward_depth, forward_path);
   }
 
   // Mixed: fetch a partial per table reference (local tables through the
@@ -529,6 +687,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
   // distributed path once per database/server.
   struct Fetch {
     std::string effective;
+    std::string table;  // lower-case logical name
     std::string sql;
     bool local = false;
     std::string url;  // remote server when !local
@@ -539,6 +698,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
   for (const sql::TableRef* ref : all_tables) {
     Fetch fetch;
     fetch.effective = ref->EffectiveName();
+    fetch.table = ToLower(ref->table);
     sql::ExprPtr pushed = stmt.where ? pushed_for(fetch.effective) : nullptr;
     fetch.sql = "SELECT * FROM " + ToLower(ref->table);
     if (pushed) {
@@ -553,7 +713,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
       }
       local_group.push_back(std::move(fetch));
     } else {
-      fetch.url = table_to_server[ToLower(ref->table)];
+      fetch.url = table_to_server[fetch.table];
       remote_groups[fetch.url].push_back(std::move(fetch));
     }
   }
@@ -562,14 +722,44 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
   std::vector<std::pair<std::string, ResultSet>> partials;
   std::vector<net::Cost> branch_costs;
 
+  // Partial-results substitution for a failed fetch: an empty set with a
+  // best-effort schema so the merge still binds (dictionary for local
+  // tables, referenced columns otherwise).
+  auto record_failed_fetch = [&](const Fetch& fetch, const Status& error,
+                                 std::vector<std::pair<std::string, ResultSet>>*
+                                     out) {
+    std::vector<std::string> columns;
+    if (fetch.local) {
+      for (const unity::TableBinding& b :
+           driver_.dictionary().Locate(fetch.table)) {
+        for (const unity::ColumnBinding& col : b.columns) {
+          columns.push_back(ToLower(col.logical));
+        }
+        break;
+      }
+    } else {
+      columns = ReferencedColumns(stmt, fetch.effective);
+    }
+    if (stats) {
+      ++stats->subqueries_failed;
+      stats->subquery_errors.push_back(fetch.effective + ": " +
+                                       error.ToString());
+    }
+    out->emplace_back(fetch.effective, EmptyPartial(std::move(columns)));
+  };
+
   if (!local_group.empty()) {
     net::Cost branch;
     branch.AddMs(transport_->costs().connect_auth_ms *
                  static_cast<double>(local_connections.size()));
     for (const Fetch& fetch : local_group) {
-      GRIDDB_ASSIGN_OR_RETURN(ResultSet partial,
-                              driver_.Query(fetch.sql, &branch));
-      partials.emplace_back(fetch.effective, std::move(partial));
+      Result<ResultSet> partial = driver_.Query(fetch.sql, &branch);
+      if (!partial.ok()) {
+        if (!config_.partial_results) return partial.status();
+        record_failed_fetch(fetch, partial.status(), &partials);
+        continue;
+      }
+      partials.emplace_back(fetch.effective, std::move(*partial));
     }
     branch_costs.push_back(branch);
   }
@@ -578,10 +768,16 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     branch.AddMs(lookup_ms_by_server[url]);
     branch.AddMs(transport_->costs().connect_auth_ms);
     for (const Fetch& fetch : fetches) {
-      GRIDDB_ASSIGN_OR_RETURN(
-          ResultSet partial,
-          RemoteQuery(url, fetch.sql, &branch, stats, forward_depth));
-      partials.emplace_back(fetch.effective, std::move(partial));
+      Result<ResultSet> partial =
+          RemoteQueryFailover(table_candidates[fetch.table], fetch.table,
+                              fetch.sql, &branch, stats, forward_depth,
+                              forward_path);
+      if (!partial.ok()) {
+        if (!config_.partial_results) return partial.status();
+        record_failed_fetch(fetch, partial.status(), &partials);
+        continue;
+      }
+      partials.emplace_back(fetch.effective, std::move(*partial));
     }
     branch_costs.push_back(branch);
   }
@@ -608,7 +804,8 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
 
 Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
                                            QueryStats* stats,
-                                           int forward_depth) {
+                                           int forward_depth,
+                                           const std::string& forward_path) {
   net::Cost cost;
   cost.AddMs(transport_->costs().query_parse_ms);
   GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
@@ -620,9 +817,9 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   }
 
   Result<ResultSet> result =
-      missing.empty()
-          ? QueryLocal(*stmt, &cost, stats)
-          : QueryWithRemote(*stmt, missing, &cost, stats, forward_depth);
+      missing.empty() ? QueryLocal(*stmt, &cost, stats)
+                      : QueryWithRemote(*stmt, missing, &cost, stats,
+                                        forward_depth, forward_path);
   if (!result.ok()) return result.status();
   if (stats) {
     stats->rows = result->num_rows();
@@ -644,6 +841,27 @@ rpc::XmlRpcValue StatsToRpc(const QueryStats& stats) {
   out["rows"] = static_cast<int64_t>(stats.rows);
   out["pool_ral_subqueries"] = static_cast<int64_t>(stats.pool_ral_subqueries);
   out["jdbc_subqueries"] = static_cast<int64_t>(stats.jdbc_subqueries);
+  // Recovery counters are encoded sparsely: a healthy query serializes
+  // exactly as it did before fault tolerance existed, so the simulated
+  // transfer cost of a fault-free response is unchanged (StatsFromRpc
+  // treats missing members as zero).
+  if (stats.retries) out["retries"] = static_cast<int64_t>(stats.retries);
+  if (stats.failovers) {
+    out["failovers"] = static_cast<int64_t>(stats.failovers);
+  }
+  if (stats.subqueries_failed) {
+    out["subqueries_failed"] = static_cast<int64_t>(stats.subqueries_failed);
+  }
+  if (stats.breaker_skips) {
+    out["breaker_skips"] = static_cast<int64_t>(stats.breaker_skips);
+  }
+  if (!stats.subquery_errors.empty()) {
+    rpc::XmlRpcArray errors;
+    for (const std::string& line : stats.subquery_errors) {
+      errors.emplace_back(line);
+    }
+    out["subquery_errors"] = std::move(errors);
+  }
   return out;
 }
 
@@ -677,6 +895,20 @@ QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
   get_int("rows", &stats.rows);
   get_int("pool_ral_subqueries", &stats.pool_ral_subqueries);
   get_int("jdbc_subqueries", &stats.jdbc_subqueries);
+  get_int("retries", &stats.retries);
+  get_int("failovers", &stats.failovers);
+  get_int("subqueries_failed", &stats.subqueries_failed);
+  get_int("breaker_skips", &stats.breaker_skips);
+  auto errors = value.Member("subquery_errors");
+  if (errors.ok()) {
+    auto list = (*errors)->AsArray();
+    if (list.ok()) {
+      for (const rpc::XmlRpcValue& line : **list) {
+        auto s = line.AsString();
+        if (s.ok()) stats.subquery_errors.push_back(*s);
+      }
+    }
+  }
   return stats;
 }
 

@@ -42,6 +42,26 @@ struct DataAccessConfig {
 
   std::string db_user;  ///< Credentials presented to backend databases.
   std::string db_password;
+
+  // Fault tolerance. The defaults preserve the seed's fail-fast behaviour
+  // (and the paper-calibrated measurements): no retries, no RLS caching,
+  // whole-query failure on any sub-query error.
+  /// How many times a query may be forwarded between JClarens servers
+  /// before the loop guard trips with kFailedPrecondition.
+  int max_forward_depth = 3;
+  /// Retry/deadline behaviour of every outbound RPC (remote JClarens
+  /// peers and the RLS).
+  rpc::RetryPolicy retry_policy = rpc::RetryPolicy::None();
+  /// Cache RLS lookups locally; entries are invalidated when the server
+  /// they name fails, forcing a fresh catalog consultation.
+  bool rls_cache = false;
+  /// Return rows from healthy marts plus a per-sub-query error report
+  /// (QueryStats::subquery_errors) instead of failing the whole query.
+  bool partial_results = false;
+  /// Circuit breaker: skip a peer after this many consecutive failures...
+  int breaker_failure_threshold = 3;
+  /// ...until this much virtual time has passed (half-open afterwards).
+  double breaker_cooldown_ms = 5000.0;
 };
 
 /// Per-query measurements surfaced to clients and benches.
@@ -55,6 +75,15 @@ struct QueryStats {
   size_t rows = 0;
   size_t pool_ral_subqueries = 0;
   size_t jdbc_subqueries = 0;
+
+  // Fault-recovery counters (aggregated across forwarding hops).
+  size_t retries = 0;            ///< RPC attempts beyond each first try.
+  size_t failovers = 0;          ///< Replica switches after a peer failed.
+  size_t subqueries_failed = 0;  ///< Sub-queries dropped (partial mode).
+  size_t breaker_skips = 0;      ///< Peers skipped by an open breaker.
+  /// Partial-results error report: one "<subquery>: <status>" line per
+  /// failed sub-query.
+  std::vector<std::string> subquery_errors;
 };
 
 class DataAccessService {
@@ -96,10 +125,12 @@ class DataAccessService {
   // ---- query processing ----
 
   /// `forward_depth` counts how many times this query has already been
-  /// forwarded between JClarens servers (loop guard).
+  /// forwarded between JClarens servers (loop guard); `forward_path`
+  /// carries the visited server URLs for loop diagnostics.
   Result<storage::ResultSet> Query(const std::string& sql_text,
                                    QueryStats* stats = nullptr,
-                                   int forward_depth = 0);
+                                   int forward_depth = 0,
+                                   const std::string& forward_path = "");
 
   unity::UnityDriver& driver() { return driver_; }
   ral::PoolRal& pool_ral() { return pool_; }
@@ -110,7 +141,7 @@ class DataAccessService {
   Result<storage::ResultSet> QueryWithRemote(
       const sql::SelectStmt& stmt,
       const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
-      QueryStats* stats, int forward_depth);
+      QueryStats* stats, int forward_depth, const std::string& forward_path);
 
   /// Routes one planned sub-query: POOL-RAL for supported vendors, JDBC
   /// otherwise (paper §4.6/§4.7).
@@ -122,7 +153,22 @@ class DataAccessService {
   Result<storage::ResultSet> RemoteQuery(const std::string& server_url,
                                          const std::string& sql_text,
                                          net::Cost* cost, QueryStats* stats,
-                                         int forward_depth);
+                                         int forward_depth,
+                                         const std::string& forward_path);
+
+  /// Runs `sql_text` against the first candidate the circuit breaker
+  /// allows; on a transient failure (kUnavailable/kTimeout, or kNotFound
+  /// from a stale mapping) moves on to the next replica, re-consulting
+  /// the RLS cache-invalidation machinery so later queries see fresh
+  /// mappings. Counts breaker skips and failover switches into `stats`.
+  Result<storage::ResultSet> RemoteQueryFailover(
+      const std::vector<std::string>& candidates, const std::string& table,
+      const std::string& sql_text, net::Cost* cost, QueryStats* stats,
+      int forward_depth, const std::string& forward_path);
+
+  /// Circuit breaker bookkeeping (per server URL, virtual-clock cooldown).
+  bool BreakerAllows(const std::string& server_url);
+  void RecordPeerOutcome(const std::string& server_url, bool success);
 
   rpc::RpcClient* ClientFor(const std::string& server_url);
 
@@ -134,10 +180,16 @@ class DataAccessService {
   std::unique_ptr<rls::RlsClient> rls_;
   ThreadPool workers_;
 
+  struct BreakerState {
+    int consecutive_failures = 0;
+    double open_until_ms = -1;  ///< Virtual-clock instant; <0 = closed.
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, unity::UpperXSpecEntry> registered_;  // by db name
   std::map<std::string, std::vector<std::string>> published_;  // db -> tables
   std::map<std::string, std::unique_ptr<rpc::RpcClient>> remote_clients_;
+  std::map<std::string, BreakerState> breakers_;  // by server URL
 };
 
 /// Converts a service QueryStats to/from the RPC struct form.

@@ -9,8 +9,6 @@ using rpc::XmlRpcStruct;
 using rpc::XmlRpcValue;
 
 namespace {
-constexpr int kMaxForwardDepth = 3;
-
 Result<std::string> StringParam(const XmlRpcArray& params, size_t index) {
   if (index >= params.size()) {
     return InvalidArgument("missing parameter " + std::to_string(index));
@@ -35,14 +33,19 @@ void JClarensServer::RegisterMethods() {
       [this](const XmlRpcArray& params,
              rpc::CallContext& ctx) -> Result<XmlRpcValue> {
         GRIDDB_ASSIGN_OR_RETURN(std::string sql, StringParam(params, 0));
-        if (ctx.forward_depth >= kMaxForwardDepth) {
-          return Unavailable("query forwarding depth exceeded (RLS mapping "
-                             "loop?)");
+        if (ctx.forward_depth >= service_.config().max_forward_depth) {
+          std::string path = ctx.forward_path.empty()
+                                 ? service_.config().server_url
+                                 : ctx.forward_path + " -> " +
+                                       service_.config().server_url;
+          return FailedPrecondition(
+              "query forwarding depth exceeded after " + path +
+              " (RLS mapping loop?)");
         }
         QueryStats stats;
         GRIDDB_ASSIGN_OR_RETURN(
             storage::ResultSet rs,
-            service_.Query(sql, &stats, ctx.forward_depth));
+            service_.Query(sql, &stats, ctx.forward_depth, ctx.forward_path));
         // The service's simulated processing time becomes server-side cost
         // so callers (local clients and forwarding servers) account for it.
         ctx.cost.AddMs(stats.simulated_ms);

@@ -62,6 +62,89 @@ Result<double> Network::RoundTripMs(const std::string& a, const std::string& b,
   return link.TransferMs(request_bytes) + link.TransferMs(response_bytes);
 }
 
+// ---------- fault injection ----------
+
+void Network::InstallFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_plan_ = std::move(plan);
+  fault_counters_ = FaultCounters();
+}
+
+bool Network::HasFaultPlan() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_plan_ != nullptr;
+}
+
+FaultCounters Network::fault_counters() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_counters_;
+}
+
+double Network::NowMs() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return clock_ms_;
+}
+
+void Network::AdvanceClockMs(double ms) {
+  if (ms <= 0) return;
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  clock_ms_ += ms;
+}
+
+bool Network::HostDownNow(const std::string& host) const {
+  std::shared_ptr<FaultPlan> plan;
+  double now = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    plan = fault_plan_;
+    now = clock_ms_;
+  }
+  return plan && plan->HostDownAt(host, now);
+}
+
+Result<double> Network::WireTransferMs(const std::string& a,
+                                       const std::string& b,
+                                       size_t bytes) const {
+  GRIDDB_ASSIGN_OR_RETURN(LinkSpec link, GetLink(a, b));
+  std::shared_ptr<FaultPlan> plan;
+  double now = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    plan = fault_plan_;
+    now = clock_ms_;
+  }
+  if (!plan) return link.TransferMs(bytes);
+
+  auto count = [this](size_t FaultCounters::* field) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    ++(fault_counters_.*field);
+  };
+  if (plan->HostDownAt(a, now)) {
+    count(&FaultCounters::host_down);
+    return Unavailable("host '" + a + "' is down");
+  }
+  if (plan->HostDownAt(b, now)) {
+    count(&FaultCounters::host_down);
+    return Unavailable("host '" + b + "' is down");
+  }
+  double delay_ms = 0;
+  switch (plan->DrawMessageFate(a, b, &delay_ms)) {
+    case MessageFate::kDrop:
+      count(&FaultCounters::drops);
+      return Timeout("message " + a + " -> " + b + " lost in transit");
+    case MessageFate::kCorrupt:
+      count(&FaultCounters::corruptions);
+      return Unavailable("message " + a + " -> " + b +
+                         " corrupted in transit (checksum mismatch)");
+    case MessageFate::kDelay:
+      count(&FaultCounters::delays);
+      return link.TransferMs(bytes) + delay_ms;
+    case MessageFate::kDeliver:
+      break;
+  }
+  return link.TransferMs(bytes);
+}
+
 const ServiceCosts& ServiceCosts::Default() {
   static const ServiceCosts costs;
   return costs;

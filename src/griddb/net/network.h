@@ -16,10 +16,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "griddb/net/fault.h"
 #include "griddb/util/status.h"
 
 namespace griddb::net {
@@ -91,6 +93,31 @@ class Network {
   Result<double> RoundTripMs(const std::string& a, const std::string& b,
                              size_t request_bytes, size_t response_bytes) const;
 
+  // ---- fault injection (see fault.h) ----
+
+  /// Installs a fault plan; nullptr clears it. Counters are reset.
+  void InstallFaultPlan(std::shared_ptr<FaultPlan> plan);
+  bool HasFaultPlan() const;
+  FaultCounters fault_counters() const;
+
+  /// Virtual clock in simulated milliseconds. The RPC layer advances it as
+  /// simulated cost accrues (transfers, server work, retry backoff), and
+  /// down-windows are evaluated against it.
+  double NowMs() const;
+  void AdvanceClockMs(double ms);
+
+  /// True when `host` is inside a down-window at the current clock.
+  bool HostDownNow(const std::string& host) const;
+
+  /// TransferMs for one message a -> b with the fault plan applied:
+  /// kNotFound for an unknown host (naming the host), kUnavailable when
+  /// either endpoint is inside a down-window or the message is corrupted
+  /// in transit, kTimeout when it is dropped; injected delays add to the
+  /// returned milliseconds. With no plan installed this is exactly
+  /// TransferMs.
+  Result<double> WireTransferMs(const std::string& a, const std::string& b,
+                                size_t bytes) const;
+
  private:
   static std::string PairKey(const std::string& a, const std::string& b) {
     return a < b ? a + "|" + b : b + "|" + a;
@@ -101,6 +128,13 @@ class Network {
   std::map<std::string, LinkSpec> links_;
   LinkSpec default_link_ = LinkSpec::Lan100Mbps();
   LinkSpec loopback_ = LinkSpec::Loopback();
+
+  // Fault state lives behind its own lock so the read-mostly topology
+  // paths above are untouched when no plan is installed.
+  mutable std::mutex fault_mu_;
+  std::shared_ptr<FaultPlan> fault_plan_;
+  mutable FaultCounters fault_counters_;
+  double clock_ms_ = 0;
 };
 
 /// Fixed per-operation overheads used across the middleware, calibrated so

@@ -19,13 +19,15 @@ Result<storage::ResultSet> JdbcConnection::ExecuteQuery(
     const std::string& sql_text, net::Cost* cost) {
   GRIDDB_ASSIGN_OR_RETURN(storage::ResultSet rs,
                           entry_.database->Execute(sql_text));
+  // Result shipment crosses the wire, so fault injection applies even for
+  // callers that skip cost accounting (a down mart must fail the fetch).
+  GRIDDB_ASSIGN_OR_RETURN(
+      double transfer,
+      network_->WireTransferMs(entry_.host, client_host_, rs.WireSize()));
   if (cost) {
     cost->AddMs(costs_.db_execute_base_ms);
     cost->AddMs(costs_.db_per_row_ms * static_cast<double>(rs.num_rows()));
     cost->AddMs(costs_.per_row_ser_ms * static_cast<double>(rs.num_rows()));
-    GRIDDB_ASSIGN_OR_RETURN(
-        double transfer,
-        network_->TransferMs(entry_.host, client_host_, rs.WireSize()));
     cost->AddMs(transfer);
   }
   return rs;

@@ -83,13 +83,15 @@ Result<ResultSet> PoolRal::Execute(const std::string& connection_string,
                           sql::ParseSelect(text, dialect));
   GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, entry.database->ExecuteSelect(*stmt));
 
+  // Result shipment crosses the wire, so fault injection applies even for
+  // callers that skip cost accounting (a down mart must fail the fetch).
+  GRIDDB_ASSIGN_OR_RETURN(
+      double transfer,
+      network_->WireTransferMs(entry.host, client_host_, rs.WireSize()));
   if (cost) {
     cost->AddMs(costs_.db_execute_base_ms);
     cost->AddMs(costs_.db_per_row_ms * static_cast<double>(rs.num_rows()));
     cost->AddMs(costs_.per_row_ser_ms * static_cast<double>(rs.num_rows()));
-    GRIDDB_ASSIGN_OR_RETURN(
-        double transfer,
-        network_->TransferMs(entry.host, client_host_, rs.WireSize()));
     cost->AddMs(transfer);
   }
   return rs;

@@ -147,6 +147,7 @@ Status RlsClient::Publish(const std::string& logical_name,
   GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue result,
                           client_.Call("rls.publish", std::move(params), cost));
   (void)result;
+  InvalidateCache(logical_name);  // a cached miss/mapping is now stale
   return Status::Ok();
 }
 
@@ -166,11 +167,23 @@ Status RlsClient::Unpublish(const std::string& logical_name,
   GRIDDB_ASSIGN_OR_RETURN(
       XmlRpcValue result, client_.Call("rls.unpublish", std::move(params), cost));
   (void)result;
+  InvalidateCache(logical_name);
   return Status::Ok();
 }
 
 Result<std::vector<std::string>> RlsClient::Lookup(
     const std::string& logical_name, net::Cost* cost) {
+  const std::string key = ToLower(logical_name);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_enabled_) {
+      auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        ++cache_hits_;
+        return it->second;
+      }
+    }
+  }
   XmlRpcArray params;
   params.emplace_back(logical_name);
   GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue result,
@@ -182,7 +195,37 @@ Result<std::vector<std::string>> RlsClient::Lookup(
     GRIDDB_ASSIGN_OR_RETURN(std::string s, url.AsString());
     out.push_back(std::move(s));
   }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    if (cache_enabled_) cache_[key] = out;
+  }
   return out;
+}
+
+void RlsClient::set_cache_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_enabled_ = enabled;
+  if (!enabled) cache_.clear();
+}
+
+bool RlsClient::cache_enabled() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_enabled_;
+}
+
+void RlsClient::InvalidateCache(const std::string& logical_name) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.erase(ToLower(logical_name));
+}
+
+void RlsClient::ClearCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
+
+size_t RlsClient::cache_hits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_hits_;
 }
 
 }  // namespace griddb::rls

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <string>
@@ -64,12 +65,33 @@ class RlsClient {
                    const std::string& server_url, net::Cost* cost = nullptr);
 
   /// Hosting servers for a logical table. Charges the RLS lookup cost the
-  /// paper identifies as part of the distributed-query penalty.
+  /// paper identifies as part of the distributed-query penalty (cache hits
+  /// charge nothing: the answer is local).
   Result<std::vector<std::string>> Lookup(const std::string& logical_name,
                                           net::Cost* cost = nullptr);
 
+  /// Opt-in lookup cache. Off by default so the paper's per-query RLS
+  /// charge stays in the measured numbers; switch on to survive RLS
+  /// outages (served stale) and to cut repeat-lookup cost.
+  void set_cache_enabled(bool enabled);
+  bool cache_enabled() const;
+  /// Drops one cached mapping — called when a server the cache named
+  /// turned out dead, so the next lookup re-consults the live catalog.
+  void InvalidateCache(const std::string& logical_name);
+  void ClearCache();
+  size_t cache_hits() const;
+
+  /// Retry behaviour of the underlying RPC client.
+  void set_retry_policy(const rpc::RetryPolicy& policy) {
+    client_.set_retry_policy(policy);
+  }
+
  private:
   rpc::RpcClient client_;
+  mutable std::mutex cache_mu_;
+  bool cache_enabled_ = false;
+  size_t cache_hits_ = 0;
+  std::map<std::string, std::vector<std::string>> cache_;  // logical -> urls
 };
 
 }  // namespace griddb::rls

@@ -1,11 +1,16 @@
 #include "griddb/rpc/server.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "griddb/util/logging.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::rpc {
+
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+}
 
 // ---------- Url ----------
 
@@ -59,6 +64,9 @@ Result<std::string> NormalizeUrl(const std::string& url) {
 }  // namespace
 
 Status Transport::Bind(const std::string& url, RpcServer* server) {
+  // Binding does not require the host to exist yet (fixtures commonly bind
+  // before topology setup); an unknown host surfaces at call time as a
+  // NotFound from Network::WireTransferMs naming the host.
   GRIDDB_ASSIGN_OR_RETURN(std::string key, NormalizeUrl(url));
   std::unique_lock lock(mu_);
   auto [it, inserted] = endpoints_.emplace(key, server);
@@ -143,12 +151,14 @@ Result<std::string> RpcServer::Login(const std::string& user,
 
 std::string RpcServer::HandleRaw(std::string_view raw_request,
                                  const std::string& client_host,
-                                 net::Cost* cost, int forward_depth) {
+                                 net::Cost* cost, int forward_depth,
+                                 const std::string& forward_path) {
   CallContext ctx;
   ctx.client_host = client_host;
   ctx.server_host = host_;
   ctx.transport = transport_;
   ctx.forward_depth = forward_depth;
+  ctx.forward_path = forward_path;
   ctx.cost.AddMs(transport_->costs().query_parse_ms);
 
   auto respond = [&](const Result<XmlRpcValue>& result) {
@@ -232,31 +242,116 @@ Status RpcClient::Connect(net::Cost* cost) {
   return Status::Ok();
 }
 
-Result<XmlRpcValue> RpcClient::Call(const std::string& method,
-                                    XmlRpcArray params, net::Cost* cost,
-                                    int forward_depth) {
+void RpcClient::set_retry_policy(const RetryPolicy& policy) {
+  std::lock_guard<std::mutex> lock(jitter_mu_);
+  retry_policy_ = policy;
+  jitter_rng_ = Rng(policy.jitter_seed);
+}
+
+void RpcClient::Charge(net::Cost* cost, double ms) {
+  if (ms <= 0) return;
+  if (cost) cost->AddMs(ms);
+  transport_->network()->AdvanceClockMs(ms);
+}
+
+Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
+                                        const XmlRpcArray& params,
+                                        net::Cost* cost, int forward_depth,
+                                        const std::string& forward_path) {
   GRIDDB_RETURN_IF_ERROR(Connect(cost));
   GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
                           transport_->Resolve(server_url_));
 
   RpcRequest request;
   request.method = method;
-  request.params = std::move(params);
+  request.params = params;
   request.session_token = session_token_;
   std::string raw_request = EncodeRequest(request);
 
-  net::Cost server_cost;
-  std::string raw_response =
-      server->HandleRaw(raw_request, client_host_, &server_cost, forward_depth);
+  net::Network* network = transport_->network();
+  const double deadline = retry_policy_.attempt_timeout_ms;
+  double attempt_ms = 0;  // Charged toward this attempt's deadline.
 
-  if (cost) {
-    auto rtt = transport_->network()->RoundTripMs(
-        client_host_, server->host(), raw_request.size(), raw_response.size());
-    if (!rtt.ok()) return rtt.status();
-    cost->AddMs(*rtt);
-    cost->AddSequential(server_cost);
+  // A lost message is only detected by waiting out the attempt budget.
+  auto wait_out = [&](const Status& failure) -> Status {
+    if (failure.code() == StatusCode::kTimeout && deadline > 0) {
+      Charge(cost, deadline - attempt_ms);
+    }
+    return failure;
+  };
+  // The client gives up mid-leg once the budget is spent.
+  auto over_deadline = [&](double next_ms) {
+    return deadline > 0 && attempt_ms + next_ms > deadline;
+  };
+  auto abort_deadline = [&](const char* leg) -> Status {
+    Charge(cost, deadline - attempt_ms);
+    return Timeout(std::string(leg) + " of call '" + method +
+                   "' exceeded the " + std::to_string(deadline) +
+                   " ms attempt deadline");
+  };
+  auto charge_leg = [&](double ms) {
+    attempt_ms += ms;
+    Charge(cost, ms);
+  };
+
+  // Request leg (fault injection applies per message direction).
+  auto request_ms =
+      network->WireTransferMs(client_host_, server->host(), raw_request.size());
+  if (!request_ms.ok()) return wait_out(request_ms.status());
+  if (over_deadline(*request_ms)) return abort_deadline("request transfer");
+  charge_leg(*request_ms);
+
+  net::Cost server_cost;
+  std::string raw_response = server->HandleRaw(
+      raw_request, client_host_, &server_cost, forward_depth, forward_path);
+  if (over_deadline(server_cost.total_ms())) {
+    return abort_deadline("server processing");
   }
+  charge_leg(server_cost.total_ms());
+
+  // Response leg.
+  auto response_ms =
+      network->WireTransferMs(server->host(), client_host_, raw_response.size());
+  if (!response_ms.ok()) return wait_out(response_ms.status());
+  if (over_deadline(*response_ms)) return abort_deadline("response transfer");
+  charge_leg(*response_ms);
+
   return DecodeResponse(raw_response);
+}
+
+Result<XmlRpcValue> RpcClient::Call(const std::string& method,
+                                    XmlRpcArray params, net::Cost* cost,
+                                    int forward_depth,
+                                    const std::string& forward_path,
+                                    CallStats* call_stats) {
+  RetryPolicy policy;
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    policy = retry_policy_;
+  }
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    if (call_stats) ++call_stats->attempts;
+    Result<XmlRpcValue> result =
+        CallOnce(method, params, cost, forward_depth, forward_path);
+    if (result.ok() || !IsRetryable(result.status().code()) ||
+        attempt >= max_attempts) {
+      return result;
+    }
+    if (call_stats) ++call_stats->retries;
+    double jitter = 0;
+    {
+      std::lock_guard<std::mutex> lock(jitter_mu_);
+      jitter = backoff * policy.jitter_fraction *
+               (2.0 * jitter_rng_.NextDouble() - 1.0);
+    }
+    // The backoff wait advances the virtual clock, which is what lets a
+    // retry schedule outlast a host down-window.
+    Charge(cost, std::clamp(backoff + jitter, 0.0, policy.max_backoff_ms));
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff_ms);
+  }
 }
 
 }  // namespace griddb::rpc

@@ -17,9 +17,51 @@
 
 #include "griddb/net/network.h"
 #include "griddb/rpc/xmlrpc_value.h"
+#include "griddb/util/rng.h"
 #include "griddb/util/status.h"
 
 namespace griddb::rpc {
+
+/// True when a failed call may succeed if simply retried: the failure was
+/// a transient transport or availability condition (kUnavailable,
+/// kTimeout) rather than a permanent error such as kNotFound (unknown
+/// host, missing method/table) or kPermissionDenied.
+bool IsRetryable(StatusCode code);
+
+/// Retry behaviour of one RpcClient: bounded attempts with exponential
+/// backoff + deterministic jitter, and a per-attempt deadline on the
+/// virtual clock. Backoff and timeout waits are charged to the call's
+/// Cost and advance the network clock, so retries interact correctly with
+/// host down-windows.
+struct RetryPolicy {
+  int max_attempts = 1;             ///< 1 = never retry.
+  double initial_backoff_ms = 50.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1600.0;
+  double jitter_fraction = 0.2;     ///< +/- fraction of the backoff, seeded.
+  /// Virtual-clock budget for one attempt (transfer + server work +
+  /// injected delays). A dropped message costs the full budget — the
+  /// client waits it out before concluding kTimeout. <= 0 disables the
+  /// deadline (the seed behaviour).
+  double attempt_timeout_ms = 0;
+  uint64_t jitter_seed = 0x5eed;
+
+  /// Seed behaviour: one attempt, no deadline.
+  static RetryPolicy None() { return {}; }
+  /// 4 attempts, 50 ms initial backoff doubling to 1.6 s, 1 s deadline.
+  static RetryPolicy Default() {
+    RetryPolicy policy;
+    policy.max_attempts = 4;
+    policy.attempt_timeout_ms = 1000.0;
+    return policy;
+  }
+};
+
+/// Per-call outcome counters (attempts includes the first try).
+struct CallStats {
+  int attempts = 0;
+  int retries = 0;
+};
 
 /// Parsed service URL: scheme://host[:port]/path
 struct Url {
@@ -63,6 +105,8 @@ struct CallContext {
   Transport* transport = nullptr;  ///< For handlers that call out (RLS,
                                    ///< remote JClarens forwarding).
   int forward_depth = 0;           ///< Guards against forwarding loops.
+  std::string forward_path;        ///< " -> "-separated server URLs already
+                                   ///< visited (loop diagnostics).
 };
 
 using MethodHandler =
@@ -99,7 +143,8 @@ class RpcServer {
   /// Service costs (parse/dispatch + handler-added) accumulate into `cost`.
   std::string HandleRaw(std::string_view raw_request,
                         const std::string& client_host, net::Cost* cost,
-                        int forward_depth = 0);
+                        int forward_depth = 0,
+                        const std::string& forward_path = "");
 
  private:
   std::string url_;
@@ -132,14 +177,33 @@ class RpcClient {
   /// protocol, so only the per-lookup cost applies.
   void set_connect_cost_ms(double ms) { connect_cost_ms_ = ms; }
 
+  /// Retry behaviour for Call. Defaults to RetryPolicy::None(). Reseeds
+  /// the jitter stream from the policy, so retry schedules replay
+  /// deterministically.
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// One RPC. Network transfer both ways + server-side handler cost are
   /// added to `cost` (which may be null when the caller doesn't account).
+  /// Transient failures (see IsRetryable) are retried per the client's
+  /// RetryPolicy; backoff waits are charged to `cost` and advance the
+  /// network's virtual clock. `call_stats`, when given, receives the
+  /// attempt/retry counts of this call.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params,
-                           net::Cost* cost, int forward_depth = 0);
+                           net::Cost* cost, int forward_depth = 0,
+                           const std::string& forward_path = "",
+                           CallStats* call_stats = nullptr);
 
   const std::string& server_url() const { return server_url_; }
 
  private:
+  Result<XmlRpcValue> CallOnce(const std::string& method,
+                               const XmlRpcArray& params, net::Cost* cost,
+                               int forward_depth,
+                               const std::string& forward_path);
+  /// Charges `ms` to `cost` (when non-null) and advances the virtual clock.
+  void Charge(net::Cost* cost, double ms);
+
   Transport* transport_;
   std::string client_host_;
   std::string server_url_;
@@ -149,6 +213,9 @@ class RpcClient {
   bool connected_ = false;
   double connect_cost_ms_ = -1.0;  ///< <0 = use transport default.
   std::string session_token_;
+  RetryPolicy retry_policy_;
+  std::mutex jitter_mu_;           ///< Guards the jitter RNG stream.
+  Rng jitter_rng_{0x5eed};
 };
 
 }  // namespace griddb::rpc

@@ -15,6 +15,7 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kInternal,
   kUnsupported,
   kTimeout,
+  kFailedPrecondition,
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -88,6 +89,9 @@ inline Status Unsupported(std::string msg) {
 }
 inline Status Timeout(std::string msg) {
   return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {StatusCode::kFailedPrecondition, std::move(msg)};
 }
 
 /// Value-or-Status. Access to value() on an error result asserts.

@@ -144,11 +144,12 @@ TEST_F(FailureFixture, MutualRlsReferralTerminatesInsteadOfLooping) {
 
   auto rs = server_a->service().Query("SELECT x FROM phantom", nullptr);
   EXPECT_FALSE(rs.ok());
-  // Terminates with either the depth guard or a not-found from the far
-  // end, depending on which server the RLS returns first.
-  EXPECT_TRUE(rs.status().code() == StatusCode::kUnavailable ||
-              rs.status().code() == StatusCode::kNotFound)
+  // The depth guard trips with a distinct code and names the servers in
+  // the forwarding loop so operators can fix the RLS mapping.
+  EXPECT_EQ(rs.status().code(), StatusCode::kFailedPrecondition)
       << rs.status().ToString();
+  EXPECT_NE(rs.status().message().find("server-a"), std::string::npos);
+  EXPECT_NE(rs.status().message().find("server-b"), std::string::npos);
 }
 
 TEST_F(FailureFixture, MalformedXSpecPluginRejected) {
