@@ -1,0 +1,180 @@
+// Extension: restart-from-zero vs resume-from-checkpoint ETL recovery.
+//
+// A source -> mart transfer is interrupted by a target-host down-window
+// that opens at a swept fraction of the run (early = during staging,
+// late = most chunks already loaded). After the outage the job is rerun
+// two ways: RESTART drops everything (fresh target, fresh run id, full
+// re-stage + re-load), RESUME reruns with the same run id, so the
+// manifest skips already-staged chunks and the target's chunk registry
+// skips already-applied ones. The table reports the simulated cost of
+// the recovery run for both strategies; the later the failure, the more
+// work the checkpoint saves, while restart pays the full price every
+// time.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "bench/etl_common.h"
+#include "griddb/net/fault.h"
+
+using namespace griddb;
+
+namespace {
+
+constexpr char kStagingDir[] = "/tmp/griddb_bench_etl_resume";
+constexpr size_t kEvents = 20000;
+constexpr size_t kChunkRows = 1024;
+
+struct Attempt {
+  bool ok = false;
+  warehouse::EtlStats stats;  ///< Valid when ok.
+};
+
+Attempt RunOnce(warehouse::EtlPipeline& pipeline,
+                const bench::EtlWorkload& w, engine::Database* target,
+                const std::string& run_id) {
+  warehouse::EtlPipeline::Job job;
+  job.source = w.source.get();
+  job.source_host = "src-host";
+  job.extract_sql = "SELECT event_id, run_id FROM events";
+  job.target = target;
+  job.target_host = "caltech-tier2";
+  job.target_table = "fact_copy";
+  job.create_target = true;
+  job.transform = w.MakeDenormalizer();
+  warehouse::EtlPipeline::ResumeOptions opts;
+  opts.run_id = run_id;
+  opts.chunk_rows = kChunkRows;
+  Attempt attempt;
+  auto stats = pipeline.RunResumable(job, opts);
+  attempt.ok = stats.ok();
+  if (stats.ok()) attempt.stats = *stats;
+  return attempt;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: ETL recovery, restart vs resume ===\n");
+  std::printf("(%zu events, %zu rows/chunk, fault = target down-window "
+              "opening at a fraction of the healthy run)\n\n",
+              kEvents, kChunkRows);
+
+  std::filesystem::remove_all(kStagingDir);
+  const bench::EtlWorkload w = bench::MakeEtlWorkload(kEvents);
+
+  // Healthy reference run: fixes the virtual-clock span of the job, which
+  // the sweep's window placement is a fraction of.
+  net::Network probe_net;
+  for (const char* h : {"src-host", "cern-tier1", "caltech-tier2"}) {
+    probe_net.AddHost(h);
+  }
+  probe_net.SetDefaultLink(net::LinkSpec::Lan100Mbps());
+  warehouse::EtlPipeline probe_pipeline(
+      &probe_net, net::ServiceCosts::Default(), warehouse::EtlCosts::Default(),
+      "cern-tier1", kStagingDir);
+  double clock_before = probe_net.NowMs();
+  engine::Database probe_target("mart", sql::Vendor::kSqlite);
+  Attempt healthy = RunOnce(probe_pipeline, w, &probe_target, "probe");
+  if (!healthy.ok) {
+    std::fprintf(stderr, "healthy reference run failed\n");
+    return 1;
+  }
+  const double healthy_span = probe_net.NowMs() - clock_before;
+  const size_t total_chunks = healthy.stats.chunks_total;
+  std::printf("healthy run: %.1f simulated ms, %zu chunks, %.2f MB staged\n\n",
+              healthy.stats.total_ms(), total_chunks,
+              static_cast<double>(healthy.stats.staged_bytes) / 1e6);
+
+  std::printf("%-10s %14s %14s %10s %12s %12s\n", "kill at", "restart (ms)",
+              "resume (ms)", "saved", "recovered", "deduped");
+
+  const double fractions[] = {0.15, 0.35, 0.55, 0.75, 0.85};
+  bool resume_never_worse = true;
+  double prev_resume = -1;
+  bool savings_grow = true;
+  for (double f : fractions) {
+    // --- attempt 1 under fault, once per strategy ---------------------
+    auto attempt_under_fault = [&](net::Network& network,
+                                   warehouse::EtlPipeline& pipeline,
+                                   engine::Database* target,
+                                   const std::string& run_id) {
+      auto plan = std::make_shared<net::FaultPlan>();
+      plan->AddDownWindow("caltech-tier2", network.NowMs() + f * healthy_span,
+                          1e18);
+      network.InstallFaultPlan(plan);
+      Attempt first = RunOnce(pipeline, w, target, run_id);
+      network.InstallFaultPlan(nullptr);
+      return first;
+    };
+
+    // RESTART: recovery discards the partial target and the run's
+    // staging artifacts, then pays for the whole job again.
+    net::Network restart_net;
+    for (const char* h : {"src-host", "cern-tier1", "caltech-tier2"}) {
+      restart_net.AddHost(h);
+    }
+    restart_net.SetDefaultLink(net::LinkSpec::Lan100Mbps());
+    warehouse::EtlPipeline restart_pipeline(
+        &restart_net, net::ServiceCosts::Default(),
+        warehouse::EtlCosts::Default(), "cern-tier1", kStagingDir);
+    auto broken = std::make_unique<engine::Database>("mart",
+                                                     sql::Vendor::kSqlite);
+    Attempt failed = attempt_under_fault(restart_net, restart_pipeline,
+                                         broken.get(), "restart-" +
+                                             std::to_string(int(f * 100)));
+    if (failed.ok) {
+      std::printf("%-10.2f window opened after the run finished; skipped\n",
+                  f);
+      continue;
+    }
+    auto fresh = std::make_unique<engine::Database>("mart",
+                                                    sql::Vendor::kSqlite);
+    Attempt restart = RunOnce(restart_pipeline, w, fresh.get(),
+                              "restart2-" + std::to_string(int(f * 100)));
+
+    // RESUME: same run id, same target; manifest + chunk registry carry
+    // the checkpoint.
+    net::Network resume_net;
+    for (const char* h : {"src-host", "cern-tier1", "caltech-tier2"}) {
+      resume_net.AddHost(h);
+    }
+    resume_net.SetDefaultLink(net::LinkSpec::Lan100Mbps());
+    warehouse::EtlPipeline resume_pipeline(
+        &resume_net, net::ServiceCosts::Default(),
+        warehouse::EtlCosts::Default(), "cern-tier1", kStagingDir);
+    engine::Database resumed_target("mart", sql::Vendor::kSqlite);
+    const std::string resume_id = "resume-" + std::to_string(int(f * 100));
+    Attempt failed2 = attempt_under_fault(resume_net, resume_pipeline,
+                                          &resumed_target, resume_id);
+    Attempt resume = RunOnce(resume_pipeline, w, &resumed_target, resume_id);
+
+    if (!restart.ok || !resume.ok || failed2.ok) {
+      std::fprintf(stderr, "recovery run failed at fraction %.2f\n", f);
+      return 1;
+    }
+    if (resumed_target.RowCount("fact_copy") !=
+        fresh->RowCount("fact_copy")) {
+      std::fprintf(stderr, "row-count divergence at fraction %.2f\n", f);
+      return 1;
+    }
+    double saved = restart.stats.total_ms() - resume.stats.total_ms();
+    std::printf("%-10.2f %14.1f %14.1f %9.1f%% %12zu %12zu\n", f,
+                restart.stats.total_ms(), resume.stats.total_ms(),
+                100.0 * saved / restart.stats.total_ms(),
+                resume.stats.chunks_recovered, resume.stats.chunks_deduped);
+    if (resume.stats.total_ms() > restart.stats.total_ms() * 1.001) {
+      resume_never_worse = false;
+    }
+    if (prev_resume >= 0 && resume.stats.total_ms() > prev_resume * 1.05) {
+      savings_grow = false;  // later kills must not cost more to resume
+    }
+    prev_resume = resume.stats.total_ms();
+  }
+
+  std::filesystem::remove_all(kStagingDir);
+  std::printf("\nshape check: resume never costlier than restart: %s; "
+              "resume cost non-increasing with later kills: %s\n",
+              resume_never_worse ? "yes" : "NO", savings_grow ? "yes" : "NO");
+  return (resume_never_worse && savings_grow) ? 0 : 1;
+}

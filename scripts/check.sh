@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the robustness suites under ASan.
+#
+#   scripts/check.sh            # build + full ctest + asan fault suites
+#   scripts/check.sh --fast     # build + full ctest only
+#
+# The tier-1 contract (ROADMAP.md): `cmake -B build -S . && cmake --build
+# build -j && ctest` must pass. On top of that, the fault-injection and
+# integrity tests exercise enough pointer-heavy recovery paths (manifest
+# rewrites, quarantine swaps, mid-run aborts) that they are worth a
+# second run under AddressSanitizer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" >/dev/null
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "OK (fast mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "== asan: build robustness suites =="
+cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
+cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
+  fault_tolerance_test etl_resume_test integrity_test \
+  stage_property_test >/dev/null
+
+echo "== asan: run =="
+for t in fault_tolerance_test etl_resume_test integrity_test \
+         stage_property_test; do
+  echo "-- $t"
+  /tmp/griddb_asan/tests/"$t" >/dev/null
+done
+
+echo "OK"

@@ -97,6 +97,12 @@ DataAccessService::DataAccessService(DataAccessConfig config,
               }()),
       pool_(catalog, transport->network(), transport->costs(), config_.host),
       workers_(config_.max_threads) {
+  // Quarantined databases are invisible to the planner; with every
+  // replica of a table quarantined, planning fails with "no usable
+  // replica" (kNotFound), which the failover path treats as transient.
+  driver_.SetReplicaFilter([this](const unity::TableBinding& binding) {
+    return !IsQuarantined(binding.database_name);
+  });
   if (!config_.rls_url.empty()) {
     rls_ = std::make_unique<rls::RlsClient>(transport, config_.host,
                                             config_.rls_url);
@@ -259,6 +265,67 @@ Result<unity::TableBinding> DataAccessService::DescribeTable(
   return bindings.front();
 }
 
+// ---------- anti-entropy integrity ----------
+
+Result<storage::TableDigest> DataAccessService::TableDigest(
+    const std::string& logical_table, const std::string& database_name) {
+  std::vector<unity::TableBinding> replicas =
+      driver_.dictionary().Locate(logical_table);
+  if (replicas.empty()) {
+    return NotFound("table '" + logical_table +
+                    "' is not registered locally");
+  }
+  for (const unity::TableBinding& binding : replicas) {
+    if (!database_name.empty() && binding.database_name != database_name) {
+      continue;
+    }
+    GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
+                            catalog_->Find(binding.connection));
+    return entry.database->ContentDigest(binding.physical);
+  }
+  return NotFound("table '" + logical_table + "' has no replica in '" +
+                  database_name + "'");
+}
+
+Status DataAccessService::QuarantineDatabase(const std::string& database_name,
+                                             const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!registered_.count(database_name)) {
+      return NotFound("database '" + database_name + "' is not registered");
+    }
+  }
+  GRIDDB_LOG(Warn) << "quarantining database '" << database_name
+                   << "': " << reason;
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_[database_name] = reason;
+  return Status::Ok();
+}
+
+Status DataAccessService::ReinstateDatabase(const std::string& database_name) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  if (quarantined_.erase(database_name) == 0) {
+    return NotFound("database '" + database_name + "' is not quarantined");
+  }
+  return Status::Ok();
+}
+
+bool DataAccessService::IsQuarantined(const std::string& database_name) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.count(database_name) != 0;
+}
+
+std::vector<std::string> DataAccessService::QuarantinedDatabases() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  std::vector<std::string> names;
+  names.reserve(quarantined_.size());
+  for (const auto& [name, reason] : quarantined_) {
+    (void)reason;
+    names.push_back(name);
+  }
+  return names;
+}
+
 // ---------- query processing ----------
 
 Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(const SubQuery& sub,
@@ -283,11 +350,35 @@ Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(const SubQuery& sub,
   return rs;
 }
 
+namespace {
+constexpr const char* kStaleEpochPrefix = "stale schema epoch";
+}  // namespace
+
+bool IsEpochStale(const Status& status) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().rfind(kStaleEpochPrefix, 0) == 0;
+}
+
+Status DataAccessService::CheckPlanEpoch(const unity::QueryPlan& plan) const {
+  uint64_t now = driver_.dictionary().epoch();
+  if (now == plan.epoch) return Status::Ok();
+  return FailedPrecondition(std::string(kStaleEpochPrefix) +
+                            ": planned at epoch " +
+                            std::to_string(plan.epoch) +
+                            ", dictionary now at " + std::to_string(now) +
+                            "; replan required");
+}
+
 Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
                                                 net::Cost* cost,
                                                 QueryStats* stats) {
   GRIDDB_ASSIGN_OR_RETURN(unity::QueryPlan plan, driver_.Plan(stmt));
   if (stats) stats->tables = plan.logical_tables.size();
+  if (post_plan_hook_) post_plan_hook_();
+  // A schema change between planning and execution invalidates the
+  // physical names the plan baked in; fail cleanly so Query() replans
+  // against the fresh dictionary instead of running a stale plan.
+  GRIDDB_RETURN_IF_ERROR(CheckPlanEpoch(plan));
 
   if (plan.single_database) {
     if (stats) stats->databases = 1;
@@ -395,6 +486,10 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   // error-report line in partial-results mode.
   for (size_t i = 0; i < branch_status.size(); ++i) {
     if (branch_status[i].ok()) continue;
+    // A stale-epoch branch must fail the whole query so it gets
+    // replanned — substituting an empty partial would silently return
+    // rows computed against two different schema versions.
+    if (IsEpochStale(branch_status[i])) return branch_status[i];
     if (!config_.partial_results) return branch_status[i];
     const SubQuery& sub = plan.subqueries[i];
     std::vector<std::string> columns;
@@ -475,6 +570,7 @@ Result<ResultSet> DataAccessService::RemoteQuery(
       stats->failovers += remote.failovers;
       stats->subqueries_failed += remote.subqueries_failed;
       stats->breaker_skips += remote.breaker_skips;
+      stats->replans += remote.replans;
       for (std::string& line : remote.subquery_errors) {
         stats->subquery_errors.push_back(std::move(line));
       }
@@ -519,10 +615,12 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
     int forward_depth, const std::string& forward_path) {
   // kNotFound is failover-worthy: it usually means a stale RLS row (the
   // replica dropped the table, or never had it) and another replica may
-  // still answer. Everything else non-transient is permanent.
+  // still answer. kCorruption likewise — a replica serving corrupt data
+  // (or a corrupted reply) should not sink the query while healthy
+  // replicas remain. Everything else non-transient is permanent.
   auto failover_worthy = [](StatusCode code) {
     return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
-           code == StatusCode::kNotFound;
+           code == StatusCode::kNotFound || code == StatusCode::kCorruption;
   };
   Status last_error = Unavailable("no reachable JClarens replica for table '" +
                                   table + "'");
@@ -820,6 +918,17 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
       missing.empty() ? QueryLocal(*stmt, &cost, stats)
                       : QueryWithRemote(*stmt, missing, &cost, stats,
                                         forward_depth, forward_path);
+  // A plan invalidated by a concurrent schema change is rebuilt against
+  // the fresh dictionary, a bounded number of times (a schema churning
+  // faster than we can plan is a real failure, not a retry candidate).
+  for (int replan = 0;
+       replan < 2 && !result.ok() && IsEpochStale(result.status());
+       ++replan) {
+    if (stats) ++stats->replans;
+    result = missing.empty() ? QueryLocal(*stmt, &cost, stats)
+                             : QueryWithRemote(*stmt, missing, &cost, stats,
+                                               forward_depth, forward_path);
+  }
   if (!result.ok()) return result.status();
   if (stats) {
     stats->rows = result->num_rows();
@@ -855,6 +964,7 @@ rpc::XmlRpcValue StatsToRpc(const QueryStats& stats) {
   if (stats.breaker_skips) {
     out["breaker_skips"] = static_cast<int64_t>(stats.breaker_skips);
   }
+  if (stats.replans) out["replans"] = static_cast<int64_t>(stats.replans);
   if (!stats.subquery_errors.empty()) {
     rpc::XmlRpcArray errors;
     for (const std::string& line : stats.subquery_errors) {
@@ -899,6 +1009,7 @@ QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
   get_int("failovers", &stats.failovers);
   get_int("subqueries_failed", &stats.subqueries_failed);
   get_int("breaker_skips", &stats.breaker_skips);
+  get_int("replans", &stats.replans);
   auto errors = value.Member("subquery_errors");
   if (errors.ok()) {
     auto list = (*errors)->AsArray();

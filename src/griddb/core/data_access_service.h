@@ -22,6 +22,7 @@
 #include "griddb/ral/pool_ral.h"
 #include "griddb/rls/rls.h"
 #include "griddb/rpc/server.h"
+#include "griddb/storage/digest.h"
 #include "griddb/unity/driver.h"
 #include "griddb/util/thread_pool.h"
 
@@ -81,6 +82,8 @@ struct QueryStats {
   size_t failovers = 0;          ///< Replica switches after a peer failed.
   size_t subqueries_failed = 0;  ///< Sub-queries dropped (partial mode).
   size_t breaker_skips = 0;      ///< Peers skipped by an open breaker.
+  size_t replans = 0;            ///< Plans rebuilt after a schema-epoch
+                                 ///< change landed mid-query.
   /// Partial-results error report: one "<subquery>: <status>" line per
   /// failed sub-query.
   std::vector<std::string> subquery_errors;
@@ -122,6 +125,25 @@ class DataAccessService {
   /// Schema (logical names) of a locally registered table.
   Result<unity::TableBinding> DescribeTable(const std::string& logical) const;
 
+  // ---- anti-entropy integrity (core/integrity_monitor) ----
+
+  /// Order-insensitive content digest of a locally registered replica of
+  /// `logical_table`. With an empty `database_name` the first replica
+  /// wins; otherwise only that database's replica is digested. Exposed
+  /// over RPC as dataaccess.tableDigest.
+  Result<storage::TableDigest> TableDigest(const std::string& logical_table,
+                                           const std::string& database_name);
+
+  /// Takes a registered database out of query routing: the planner's
+  /// replica filter hides its bindings, so queries fail over to healthy
+  /// replicas (or fail with "no usable replica" when none remain).
+  Status QuarantineDatabase(const std::string& database_name,
+                            const std::string& reason);
+  /// Puts a repaired database back into routing.
+  Status ReinstateDatabase(const std::string& database_name);
+  bool IsQuarantined(const std::string& database_name) const;
+  std::vector<std::string> QuarantinedDatabases() const;
+
   // ---- query processing ----
 
   /// `forward_depth` counts how many times this query has already been
@@ -135,7 +157,15 @@ class DataAccessService {
   unity::UnityDriver& driver() { return driver_; }
   ral::PoolRal& pool_ral() { return pool_; }
 
+  /// Test seam: runs after a local plan is built and before it executes,
+  /// the window a concurrent schema change races into.
+  void set_post_plan_hook(std::function<void()> hook) {
+    post_plan_hook_ = std::move(hook);
+  }
+
  private:
+  /// kFailedPrecondition when the dictionary moved past `plan`'s epoch.
+  Status CheckPlanEpoch(const unity::QueryPlan& plan) const;
   Result<storage::ResultSet> QueryLocal(const sql::SelectStmt& stmt,
                                         net::Cost* cost, QueryStats* stats);
   Result<storage::ResultSet> QueryWithRemote(
@@ -190,7 +220,18 @@ class DataAccessService {
   std::map<std::string, std::vector<std::string>> published_;  // db -> tables
   std::map<std::string, std::unique_ptr<rpc::RpcClient>> remote_clients_;
   std::map<std::string, BreakerState> breakers_;  // by server URL
+
+  // Quarantine set under its own lock: the planner's replica filter reads
+  // it on every plan, and must never contend with mu_ (held across RPC).
+  mutable std::mutex quarantine_mu_;
+  std::map<std::string, std::string> quarantined_;  // db name -> reason
+
+  std::function<void()> post_plan_hook_;
 };
+
+/// True when `status` is the stale-schema-epoch failure raised between
+/// planning and execution; callers replan (bounded) instead of failing.
+bool IsEpochStale(const Status& status);
 
 /// Converts a service QueryStats to/from the RPC struct form.
 rpc::XmlRpcValue StatsToRpc(const QueryStats& stats);

@@ -1,0 +1,119 @@
+#include "griddb/core/integrity_monitor.h"
+
+#include "griddb/util/logging.h"
+
+namespace griddb::core {
+
+void IntegrityMonitor::RegisterReplica(ReplicaSpec spec) {
+  specs_.push_back(std::move(spec));
+}
+
+Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
+  ++stats_.replicas_checked;
+  GRIDDB_ASSIGN_OR_RETURN(storage::TableDigest reference,
+                          spec.reference_digest());
+  GRIDDB_ASSIGN_OR_RETURN(
+      storage::TableDigest actual,
+      service_->TableDigest(spec.logical_table, spec.database_name));
+  if (actual == reference) {
+    if (service_->IsQuarantined(spec.database_name)) {
+      // Repaired out of band (or a previous repair whose reinstate was
+      // interrupted): it matches again, put it back into routing.
+      GRIDDB_RETURN_IF_ERROR(service_->ReinstateDatabase(spec.database_name));
+      ++stats_.reinstated;
+    }
+    return Status::Ok();
+  }
+
+  ++stats_.divergences;
+  GRIDDB_RETURN_IF_ERROR(service_->QuarantineDatabase(
+      spec.database_name,
+      "anti-entropy: '" + spec.logical_table + "' diverges (replica " +
+          actual.ToString() + " vs reference " + reference.ToString() + ")"));
+  ++stats_.quarantines;
+
+  if (!spec.repair) {
+    return Corruption("replica of '" + spec.logical_table + "' in '" +
+                      spec.database_name +
+                      "' diverges and no repair is registered; it stays "
+                      "quarantined");
+  }
+  Status repaired = spec.repair();
+  if (!repaired.ok()) {
+    ++stats_.repair_failures;
+    return repaired;
+  }
+
+  // Re-verify before reinstating — a repair that produced yet another
+  // divergent copy must not re-enter routing. Both sides are re-read:
+  // the reference may have legitimately moved during the repair.
+  GRIDDB_ASSIGN_OR_RETURN(reference, spec.reference_digest());
+  GRIDDB_ASSIGN_OR_RETURN(
+      actual, service_->TableDigest(spec.logical_table, spec.database_name));
+  if (actual != reference) {
+    ++stats_.repair_failures;
+    return Corruption("replica of '" + spec.logical_table + "' in '" +
+                      spec.database_name + "' still diverges after repair (" +
+                      actual.ToString() + " vs " + reference.ToString() + ")");
+  }
+  ++stats_.repairs;
+  GRIDDB_RETURN_IF_ERROR(service_->ReinstateDatabase(spec.database_name));
+  ++stats_.reinstated;
+  GRIDDB_LOG(Info) << "anti-entropy repaired and reinstated '"
+                   << spec.database_name << "' for table '"
+                   << spec.logical_table << "'";
+  return Status::Ok();
+}
+
+Status IntegrityMonitor::SweepOnce() {
+  ++stats_.sweeps;
+  Status first = Status::Ok();
+  for (const ReplicaSpec& spec : specs_) {
+    Status outcome = CheckReplica(spec);
+    if (!outcome.ok() && first.ok()) first = outcome;
+  }
+  return first;
+}
+
+rpc::XmlRpcValue IntegrityStatsToRpc(const IntegrityStats& stats) {
+  rpc::XmlRpcStruct out;
+  // Sparse like StatsToRpc: an all-healthy sweep report carries only the
+  // sweep and check counters it always carried, nothing fault-related.
+  out["sweeps"] = static_cast<int64_t>(stats.sweeps);
+  out["replicas_checked"] = static_cast<int64_t>(stats.replicas_checked);
+  if (stats.divergences) {
+    out["divergences"] = static_cast<int64_t>(stats.divergences);
+  }
+  if (stats.quarantines) {
+    out["quarantines"] = static_cast<int64_t>(stats.quarantines);
+  }
+  if (stats.repairs) out["repairs"] = static_cast<int64_t>(stats.repairs);
+  if (stats.repair_failures) {
+    out["repair_failures"] = static_cast<int64_t>(stats.repair_failures);
+  }
+  if (stats.reinstated) {
+    out["reinstated"] = static_cast<int64_t>(stats.reinstated);
+  }
+  return out;
+}
+
+IntegrityStats IntegrityStatsFromRpc(const rpc::XmlRpcValue& value) {
+  IntegrityStats stats;
+  auto get_int = [&](const char* key, size_t* out) {
+    auto member = value.Member(key);
+    if (member.ok()) {
+      auto v = (*member)->AsInt();
+      if (v.ok()) *out = static_cast<size_t>(*v);
+    }
+  };
+  get_int("sweeps", &stats.sweeps);
+  get_int("replicas_checked", &stats.replicas_checked);
+  get_int("divergences", &stats.divergences);
+  get_int("quarantines", &stats.quarantines);
+  get_int("repairs", &stats.repairs);
+  get_int("repair_failures", &stats.repair_failures);
+  get_int("reinstated", &stats.reinstated);
+  return stats;
+}
+
+}  // namespace griddb::core

@@ -1,0 +1,87 @@
+// Anti-entropy replica verification (robustness layer over §4.3's
+// warehouse -> mart materialization).
+//
+// Materialized mart replicas drift: a partial load, bit rot, or a writer
+// bypassing the ETL path leaves a mart answering queries with rows that
+// no longer match the warehouse. The monitor sweeps registered replicas,
+// comparing each mart copy's order-insensitive content digest
+// (storage/digest.h) against the warehouse-side reference. A divergent
+// replica is quarantined in the DataAccessService — the planner's
+// replica filter stops routing queries to it, so reads fail over to
+// healthy replicas — then repaired (re-materialized), re-verified and
+// reinstated.
+//
+// The monitor reaches the warehouse through callbacks rather than
+// holding warehouse types itself, so the core layer stays independent of
+// the warehouse module; tests and servers wire the callbacks to
+// warehouse::ViewContentDigest / warehouse::RefreshView.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "griddb/core/data_access_service.h"
+#include "griddb/storage/digest.h"
+#include "griddb/util/status.h"
+
+namespace griddb::core {
+
+/// Sweep counters, surfaced like QueryStats (sparse RPC encoding: only
+/// non-zero counters serialize, so an all-healthy sweep's report is
+/// byte-identical to one from before the monitor existed).
+struct IntegrityStats {
+  size_t sweeps = 0;
+  size_t replicas_checked = 0;
+  size_t divergences = 0;       ///< Digest mismatches found.
+  size_t quarantines = 0;       ///< Replicas pulled out of routing.
+  size_t repairs = 0;           ///< Successful re-materializations.
+  size_t repair_failures = 0;   ///< Repairs that failed or still diverge.
+  size_t reinstated = 0;        ///< Replicas put back into routing.
+};
+
+class IntegrityMonitor {
+ public:
+  /// Produces the authoritative (warehouse-side) digest of a replica's
+  /// source relation.
+  using DigestFn = std::function<Result<storage::TableDigest>()>;
+  /// Repairs a divergent replica (re-materialization).
+  using RepairFn = std::function<Status()>;
+
+  struct ReplicaSpec {
+    std::string logical_table;   ///< Logical name in the data dictionary.
+    std::string database_name;   ///< Mart database holding the replica.
+    DigestFn reference_digest;
+    RepairFn repair;             ///< Optional; divergence without a repair
+                                 ///< leaves the replica quarantined.
+  };
+
+  explicit IntegrityMonitor(DataAccessService* service) : service_(service) {}
+
+  void RegisterReplica(ReplicaSpec spec);
+
+  /// Verifies one replica; on divergence runs the quarantine -> repair ->
+  /// re-verify -> reinstate cycle. A replica found quarantined but now
+  /// matching its reference is reinstated (an operator may have repaired
+  /// it out of band).
+  Status CheckReplica(const ReplicaSpec& spec);
+
+  /// Verifies every registered replica. Divergences do not stop the
+  /// sweep; the first non-OK outcome is returned after all replicas ran.
+  Status SweepOnce();
+
+  const IntegrityStats& stats() const { return stats_; }
+  size_t replica_count() const { return specs_.size(); }
+
+ private:
+  DataAccessService* service_;
+  std::vector<ReplicaSpec> specs_;
+  IntegrityStats stats_;
+};
+
+/// Sparse RPC encoding of IntegrityStats (QueryStats-style: zero-valued
+/// counters are omitted).
+rpc::XmlRpcValue IntegrityStatsToRpc(const IntegrityStats& stats);
+IntegrityStats IntegrityStatsFromRpc(const rpc::XmlRpcValue& value);
+
+}  // namespace griddb::core

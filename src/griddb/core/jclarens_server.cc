@@ -110,6 +110,24 @@ void JClarensServer::RegisterMethods() {
       });
 
   (void)server_.RegisterMethod(
+      "dataaccess.tableDigest",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        GRIDDB_ASSIGN_OR_RETURN(std::string logical, StringParam(params, 0));
+        std::string database_name;
+        if (params.size() > 1) {
+          GRIDDB_ASSIGN_OR_RETURN(database_name, params[1].AsString());
+        }
+        GRIDDB_ASSIGN_OR_RETURN(storage::TableDigest digest,
+                                service_.TableDigest(logical, database_name));
+        XmlRpcStruct out;
+        out["rows"] = static_cast<int64_t>(digest.rows);
+        out["md5"] = digest.md5;
+        return XmlRpcValue(std::move(out));
+      });
+
+  (void)server_.RegisterMethod(
       "dataaccess.registerDatabase",
       [this](const XmlRpcArray& params,
              rpc::CallContext& ctx) -> Result<XmlRpcValue> {

@@ -4,7 +4,9 @@
 
 namespace griddb::core {
 
-SchemaTracker::SchemaTracker(DataAccessService* service) : service_(service) {}
+SchemaTracker::SchemaTracker(DataAccessService* service,
+                             XSpecRepository* repository)
+    : service_(service), repository_(repository) {}
 
 SchemaTracker::~SchemaTracker() { Stop(); }
 
@@ -42,6 +44,12 @@ Result<bool> SchemaTracker::CheckOnce(const std::string& database_name) {
                           service_->UpperEntryFor(database_name));
   GRIDDB_RETURN_IF_ERROR(service_->ReloadDatabase(upper, lower));
   changes_applied_.fetch_add(1);
+  if (repository_ != nullptr) {
+    const std::string url = upper.lower_spec.empty()
+                                ? "xspec://" + database_name
+                                : upper.lower_spec;
+    repository_->Put(url, xml);
+  }
   return true;
 }
 

@@ -20,12 +20,19 @@
 #include <thread>
 
 #include "griddb/core/data_access_service.h"
+#include "griddb/core/xspec_repository.h"
 
 namespace griddb::core {
 
 class SchemaTracker {
  public:
-  explicit SchemaTracker(DataAccessService* service);
+  /// With a repository, every applied schema change re-publishes the
+  /// regenerated lower XSpec (under the upper entry's lower_spec name,
+  /// falling back to "xspec://<database>"), stamping the repository's
+  /// monotonically increasing epoch on it — the durable record of which
+  /// schema version is current.
+  explicit SchemaTracker(DataAccessService* service,
+                         XSpecRepository* repository = nullptr);
   ~SchemaTracker();
 
   SchemaTracker(const SchemaTracker&) = delete;
@@ -53,6 +60,7 @@ class SchemaTracker {
   void Loop(std::chrono::milliseconds interval);
 
   DataAccessService* service_;
+  XSpecRepository* repository_;  ///< Optional; may be null.
   std::mutex cache_mu_;
   struct Snapshot {
     size_t size = 0;

@@ -7,14 +7,30 @@
 
 namespace griddb::core {
 
-void XSpecRepository::Put(const std::string& url, std::string content) {
+uint64_t XSpecRepository::Put(const std::string& url, std::string content) {
   std::lock_guard<std::mutex> lock(mu_);
-  documents_[url] = std::move(content);
+  ++epoch_;
+  documents_[url] = Document{std::move(content), epoch_};
+  return epoch_;
 }
 
 bool XSpecRepository::Has(const std::string& url) const {
   std::lock_guard<std::mutex> lock(mu_);
   return documents_.count(url) > 0;
+}
+
+uint64_t XSpecRepository::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+Result<uint64_t> XSpecRepository::EpochOf(const std::string& url) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = documents_.find(url);
+  if (it == documents_.end()) {
+    return NotFound("no XSpec document at '" + url + "'");
+  }
+  return it->second.epoch;
 }
 
 Result<std::string> XSpecRepository::Fetch(const std::string& url) const {
@@ -31,7 +47,7 @@ Result<std::string> XSpecRepository::Fetch(const std::string& url) const {
   if (it == documents_.end()) {
     return NotFound("no XSpec document at '" + url + "'");
   }
-  return it->second;
+  return it->second.content;
 }
 
 }  // namespace griddb::core

@@ -7,6 +7,7 @@
 // that web server — and reads the local filesystem for file:// URLs.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -17,17 +18,29 @@ namespace griddb::core {
 
 class XSpecRepository {
  public:
-  /// Publishes a document at an http(s) URL (tooling side).
-  void Put(const std::string& url, std::string content);
+  /// Publishes a document at an http(s) URL (tooling side). Each Put
+  /// stamps the repository's monotonically increasing epoch on the
+  /// document and returns it, so consumers can order schema versions.
+  uint64_t Put(const std::string& url, std::string content);
   bool Has(const std::string& url) const;
 
   /// "Downloads" a URL: registered content for http(s)://, filesystem
   /// reads for file:///path.
   Result<std::string> Fetch(const std::string& url) const;
 
+  /// Epoch of the most recent Put; 0 when nothing was ever published.
+  uint64_t epoch() const;
+  /// Epoch stamped on the document at `url` when it was last Put.
+  Result<uint64_t> EpochOf(const std::string& url) const;
+
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::string> documents_;
+  uint64_t epoch_ = 0;
+  struct Document {
+    std::string content;
+    uint64_t epoch = 0;
+  };
+  std::map<std::string, Document> documents_;
 };
 
 }  // namespace griddb::core

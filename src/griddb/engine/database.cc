@@ -501,4 +501,14 @@ size_t Database::RowCount(const std::string& table) const {
   return it == tables_.end() ? 0 : it->second->num_rows();
 }
 
+Result<storage::TableDigest> Database::ContentDigest(
+    const std::string& table) const {
+  std::shared_lock lock(mu_);
+  auto it = tables_.find(ToLower(table));
+  if (it == tables_.end()) {
+    return NotFound("table '" + table + "' does not exist");
+  }
+  return storage::DigestRows(it->second->rows());
+}
+
 }  // namespace griddb::engine

@@ -15,6 +15,7 @@
 
 #include "griddb/sql/dialect.h"
 #include "griddb/sql/parser.h"
+#include "griddb/storage/digest.h"
 #include "griddb/storage/result_set.h"
 #include "griddb/storage/table.h"
 #include "griddb/util/status.h"
@@ -61,6 +62,9 @@ class Database {
   Result<std::string> GetViewDefinition(const std::string& view) const;
   size_t TotalRows() const;
   size_t RowCount(const std::string& table) const;
+  /// Order-insensitive content digest of a base table (anti-entropy
+  /// replica verification; see storage/digest.h).
+  Result<storage::TableDigest> ContentDigest(const std::string& table) const;
 
  private:
   class DatabaseTableSource;

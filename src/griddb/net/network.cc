@@ -134,8 +134,8 @@ Result<double> Network::WireTransferMs(const std::string& a,
       return Timeout("message " + a + " -> " + b + " lost in transit");
     case MessageFate::kCorrupt:
       count(&FaultCounters::corruptions);
-      return Unavailable("message " + a + " -> " + b +
-                         " corrupted in transit (checksum mismatch)");
+      return Corruption("message " + a + " -> " + b +
+                        " corrupted in transit (checksum mismatch)");
     case MessageFate::kDelay:
       count(&FaultCounters::delays);
       return link.TransferMs(bytes) + delay_ms;

@@ -111,10 +111,10 @@ class Network {
 
   /// TransferMs for one message a -> b with the fault plan applied:
   /// kNotFound for an unknown host (naming the host), kUnavailable when
-  /// either endpoint is inside a down-window or the message is corrupted
-  /// in transit, kTimeout when it is dropped; injected delays add to the
-  /// returned milliseconds. With no plan installed this is exactly
-  /// TransferMs.
+  /// either endpoint is inside a down-window, kCorruption when the
+  /// message is corrupted in transit (checksum mismatch), kTimeout when
+  /// it is dropped; injected delays add to the returned milliseconds.
+  /// With no plan installed this is exactly TransferMs.
   Result<double> WireTransferMs(const std::string& a, const std::string& b,
                                 size_t bytes) const;
 

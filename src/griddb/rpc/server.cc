@@ -9,7 +9,11 @@
 namespace griddb::rpc {
 
 bool IsRetryable(StatusCode code) {
-  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout;
+  // Corruption is transient like a drop: the next transmission of the
+  // same message draws a fresh fate, so it is worth retrying rather than
+  // burning the whole call.
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+         code == StatusCode::kCorruption;
 }
 
 // ---------- Url ----------

@@ -24,8 +24,8 @@ namespace griddb::rpc {
 
 /// True when a failed call may succeed if simply retried: the failure was
 /// a transient transport or availability condition (kUnavailable,
-/// kTimeout) rather than a permanent error such as kNotFound (unknown
-/// host, missing method/table) or kPermissionDenied.
+/// kTimeout, kCorruption) rather than a permanent error such as
+/// kNotFound (unknown host, missing method/table) or kPermissionDenied.
 bool IsRetryable(StatusCode code);
 
 /// Retry behaviour of one RpcClient: bounded attempts with exponential

@@ -1,14 +1,20 @@
 #include "griddb/storage/stage_file.h"
 
+#include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
+#include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::storage {
 
 namespace {
 constexpr std::string_view kMagic = "# griddb-stage v1";
+constexpr std::string_view kChunkedMagic = "# griddb-stage v2";
+constexpr std::string_view kManifestMagic = "# griddb-manifest v1";
 
 const char* TypeTag(DataType type) {
   switch (type) {
@@ -193,6 +199,312 @@ Result<StagedData> ReadStageFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return DecodeStage(buffer.str());
+}
+
+// ---------- chunked (v2) stage files ----------
+
+namespace {
+
+std::string EncodeSchemaHeader(const TableSchema& schema) {
+  std::string out = "table ";
+  out += schema.name();
+  out += '\n';
+  for (const ColumnDef& col : schema.columns()) {
+    out += "column ";
+    out += col.name;
+    out += ' ';
+    out += TypeTag(col.type);
+    if (col.primary_key) out += " pk";
+    if (col.not_null) out += " notnull";
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ColumnDef> ParseColumnLine(std::string_view line) {
+  std::vector<std::string> parts = SplitTrimmed(line.substr(7), ' ');
+  if (parts.size() < 2) return ParseError("malformed column header");
+  ColumnDef col;
+  col.name = parts[0];
+  GRIDDB_ASSIGN_OR_RETURN(col.type, TypeFromTag(parts[1]));
+  for (size_t i = 2; i < parts.size(); ++i) {
+    if (parts[i] == "pk") col.primary_key = true;
+    else if (parts[i] == "notnull") col.not_null = true;
+    else return ParseError("unknown column flag '" + parts[i] + "'");
+  }
+  return col;
+}
+
+}  // namespace
+
+std::string EncodeRowBlock(const std::vector<Row>& rows) {
+  std::string out;
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += '\t';
+      out += EscapeCell(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status AppendStageChunk(const std::string& path, const TableSchema& schema,
+                        const StageChunk& chunk,
+                        const std::string& encoded_rows) {
+  bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return Unavailable("cannot open stage file '" + path + "' for append");
+  }
+  std::string frame;
+  if (fresh) {
+    frame += kChunkedMagic;
+    frame += '\n';
+    frame += EncodeSchemaHeader(schema);
+  }
+  frame += "chunk " + std::to_string(chunk.id) + " rows " +
+           std::to_string(chunk.rows) + " md5 " + chunk.md5 + "\n";
+  frame += encoded_rows;
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) return Unavailable("short write to stage file '" + path + "'");
+  return Status::Ok();
+}
+
+namespace {
+
+/// Shared reader: strict mode (corrupt_ids == nullptr) fails on the first
+/// digest mismatch; tolerant mode collects the offending ids instead. An
+/// id counts as corrupt only when its LAST frame fails (a re-staged good
+/// frame supersedes an earlier corrupt one and vice versa).
+Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
+                                     std::vector<size_t>* corrupt_ids) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Unavailable("cannot open stage file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  std::vector<std::string> lines = Split(content, '\n');
+
+  size_t line_no = 0;
+  if (line_no >= lines.size() || lines[line_no++] != kChunkedMagic) {
+    return ParseError("bad chunked stage file magic");
+  }
+  if (line_no >= lines.size() || !StartsWith(lines[line_no], "table ")) {
+    return ParseError("expected 'table <name>' header");
+  }
+  std::string table_name(Trim(std::string_view(lines[line_no++]).substr(6)));
+
+  std::vector<ColumnDef> columns;
+  while (line_no < lines.size() && StartsWith(lines[line_no], "column ")) {
+    GRIDDB_ASSIGN_OR_RETURN(ColumnDef col, ParseColumnLine(lines[line_no++]));
+    columns.push_back(std::move(col));
+  }
+  if (columns.empty()) return ParseError("stage file declares no columns");
+
+  // Frames, in file order; re-staged chunks supersede earlier frames
+  // with the same id.
+  struct Frame {
+    StageChunk chunk;
+    std::vector<Row> rows;
+  };
+  std::map<size_t, Frame> frames;
+  std::set<size_t> corrupt;
+  while (line_no < lines.size()) {
+    std::string_view line = lines[line_no];
+    if (line.empty() && line_no + 1 == lines.size()) break;  // trailing \n
+    ++line_no;
+    if (!StartsWith(line, "chunk ")) {
+      return ParseError("expected chunk frame header, got '" +
+                        std::string(line) + "'");
+    }
+    std::vector<std::string> parts = SplitTrimmed(line, ' ');
+    int64_t id = -1, declared_rows = -1;
+    if (parts.size() != 6 || parts[2] != "rows" || parts[4] != "md5" ||
+        !ParseInt64(parts[1], &id) || !ParseInt64(parts[3], &declared_rows) ||
+        id < 0 || declared_rows < 0) {
+      return ParseError("malformed chunk frame header");
+    }
+    Frame frame;
+    frame.chunk.id = static_cast<size_t>(id);
+    frame.chunk.rows = static_cast<size_t>(declared_rows);
+    frame.chunk.md5 = parts[5];
+
+    // Digest first, cells second: a corrupt block must be detected (and,
+    // in tolerant mode, skipped) before any cell-level parsing runs on
+    // its damaged bytes.
+    std::string block;
+    std::vector<std::string_view> row_lines;
+    row_lines.reserve(frame.chunk.rows);
+    for (size_t r = 0; r < frame.chunk.rows; ++r) {
+      if (line_no >= lines.size()) {
+        return ParseError("chunk " + std::to_string(id) +
+                          " truncated: expected " +
+                          std::to_string(declared_rows) + " rows, found " +
+                          std::to_string(r));
+      }
+      std::string_view row_line = lines[line_no++];
+      block += row_line;
+      block += '\n';
+      row_lines.push_back(row_line);
+    }
+    if (Md5Hex(block) != frame.chunk.md5) {
+      if (corrupt_ids == nullptr) {
+        return Corruption("chunk " + std::to_string(id) + " of '" + path +
+                          "' fails digest verification");
+      }
+      corrupt.insert(frame.chunk.id);
+      frames.erase(frame.chunk.id);
+      continue;
+    }
+    frame.rows.reserve(frame.chunk.rows);
+    for (size_t r = 0; r < row_lines.size(); ++r) {
+      std::vector<std::string> cells = Split(row_lines[r], '\t');
+      if (cells.size() != columns.size()) {
+        return ParseError("chunk " + std::to_string(id) + " row " +
+                          std::to_string(r) + " has " +
+                          std::to_string(cells.size()) + " cells, expected " +
+                          std::to_string(columns.size()));
+      }
+      Row row;
+      row.reserve(cells.size());
+      for (size_t c = 0; c < cells.size(); ++c) {
+        GRIDDB_ASSIGN_OR_RETURN(Value v,
+                                UnescapeCell(cells[c], columns[c].type));
+        row.push_back(std::move(v));
+      }
+      frame.rows.push_back(std::move(row));
+    }
+    corrupt.erase(frame.chunk.id);
+    frames[frame.chunk.id] = std::move(frame);
+  }
+  if (corrupt_ids != nullptr) {
+    corrupt_ids->assign(corrupt.begin(), corrupt.end());
+  }
+
+  ChunkedStage stage;
+  stage.schema = TableSchema(table_name, columns);
+  for (auto& [id, frame] : frames) {
+    (void)id;
+    stage.chunks.push_back(frame.chunk);
+    stage.rows.push_back(std::move(frame.rows));
+  }
+  return stage;
+}
+
+}  // namespace
+
+Result<ChunkedStage> ReadChunkedStageFile(const std::string& path) {
+  return ReadChunkedImpl(path, nullptr);
+}
+
+Result<ChunkedStage> ReadChunkedStageFileTolerant(
+    const std::string& path, std::vector<size_t>* corrupt_ids) {
+  return ReadChunkedImpl(path, corrupt_ids);
+}
+
+// ---------- manifest journal ----------
+
+const StageChunk* StageManifest::FindCommitted(size_t id) const {
+  for (const StageChunk& chunk : committed) {
+    if (chunk.id == id) return &chunk;
+  }
+  return nullptr;
+}
+
+bool StageManifest::IsLoaded(size_t id) const {
+  for (size_t loaded_id : loaded) {
+    if (loaded_id == id) return true;
+  }
+  return false;
+}
+
+std::string EncodeManifest(const StageManifest& manifest) {
+  std::string out(kManifestMagic);
+  out += "\ntotal_chunks " + std::to_string(manifest.total_chunks) + "\n";
+  for (const StageChunk& chunk : manifest.committed) {
+    out += "committed " + std::to_string(chunk.id) + " " +
+           std::to_string(chunk.rows) + " " + chunk.md5 + "\n";
+  }
+  for (size_t id : manifest.loaded) {
+    out += "loaded " + std::to_string(id) + "\n";
+  }
+  return out;
+}
+
+Result<StageManifest> DecodeManifest(std::string_view buffer) {
+  std::vector<std::string> lines = Split(buffer, '\n');
+  size_t line_no = 0;
+  if (line_no >= lines.size() || lines[line_no++] != kManifestMagic) {
+    return ParseError("bad manifest magic");
+  }
+  StageManifest manifest;
+  bool saw_total = false;
+  for (; line_no < lines.size(); ++line_no) {
+    std::string_view line = lines[line_no];
+    if (line.empty()) continue;
+    std::vector<std::string> parts = SplitTrimmed(line, ' ');
+    if (parts[0] == "total_chunks" && parts.size() == 2) {
+      int64_t n = 0;
+      if (!ParseInt64(parts[1], &n) || n < 0) {
+        return ParseError("malformed total_chunks line");
+      }
+      manifest.total_chunks = static_cast<size_t>(n);
+      saw_total = true;
+    } else if (parts[0] == "committed" && parts.size() == 4) {
+      StageChunk chunk;
+      int64_t id = 0, rows = 0;
+      if (!ParseInt64(parts[1], &id) || !ParseInt64(parts[2], &rows) ||
+          id < 0 || rows < 0) {
+        return ParseError("malformed committed line");
+      }
+      chunk.id = static_cast<size_t>(id);
+      chunk.rows = static_cast<size_t>(rows);
+      chunk.md5 = parts[3];
+      manifest.committed.push_back(std::move(chunk));
+    } else if (parts[0] == "loaded" && parts.size() == 2) {
+      int64_t id = 0;
+      if (!ParseInt64(parts[1], &id) || id < 0) {
+        return ParseError("malformed loaded line");
+      }
+      manifest.loaded.push_back(static_cast<size_t>(id));
+    } else {
+      return ParseError("unknown manifest line '" + std::string(line) + "'");
+    }
+  }
+  if (!saw_total) return ParseError("manifest missing total_chunks");
+  return manifest;
+}
+
+Status WriteManifestFile(const std::string& path,
+                         const StageManifest& manifest) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Unavailable("cannot open manifest '" + tmp + "' for write");
+    }
+    std::string encoded = EncodeManifest(manifest);
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) return Unavailable("short write to manifest '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Unavailable("cannot rename manifest '" + tmp + "' into place: " +
+                       ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<StageManifest> ReadManifestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Unavailable("cannot open manifest '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DecodeManifest(buffer.str());
 }
 
 }  // namespace griddb::storage

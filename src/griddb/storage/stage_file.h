@@ -44,4 +44,74 @@ Result<StagedData> ReadStageFile(const std::string& path);
 std::string EscapeCell(const Value& value);
 Result<Value> UnescapeCell(std::string_view cell, DataType type);
 
+// ---------------------------------------------------------------------
+// Chunked (v2) stage files — crash-consistent ETL.
+//
+// A v2 stage file carries the same header as v1 but its rows arrive in
+// framed chunks, each introduced by "chunk <id> rows <n> md5 <hex>"
+// where the digest covers the chunk's encoded row lines. Chunks are
+// appended as they are staged, so a crash mid-extraction leaves a
+// prefix of intact frames. A frame re-staged after corruption is simply
+// appended again: readers take the LAST frame per id, and the sidecar
+// manifest's digest is authoritative.
+//
+// The manifest journal ("<run>.manifest", written via temp+rename so it
+// is atomically either the old or the new version) records which chunks
+// have been committed to the stage file and which have already been
+// loaded into the target, making an interrupted run resumable.
+// ---------------------------------------------------------------------
+
+/// One committed frame of a chunked stage file.
+struct StageChunk {
+  size_t id = 0;     ///< Dense, 0-based chunk index.
+  size_t rows = 0;
+  std::string md5;   ///< MD5 of the chunk's encoded row block.
+};
+
+/// A fully parsed chunked stage file (digests verified).
+struct ChunkedStage {
+  TableSchema schema;
+  std::vector<StageChunk> chunks;      ///< By id, last frame per id.
+  std::vector<std::vector<Row>> rows;  ///< rows[i] belongs to chunks[i].
+};
+
+/// Encodes rows as stage-file row lines (one per row, trailing newline).
+/// This is the byte block a chunk digest covers.
+std::string EncodeRowBlock(const std::vector<Row>& rows);
+
+/// Appends one framed chunk; writes the v2 magic + schema header first
+/// when the file does not exist yet.
+Status AppendStageChunk(const std::string& path, const TableSchema& schema,
+                        const StageChunk& chunk,
+                        const std::string& encoded_rows);
+
+/// Reads a chunked stage file. Each frame's recomputed digest must match
+/// its declared one; a mismatch fails with kCorruption naming the chunk.
+Result<ChunkedStage> ReadChunkedStageFile(const std::string& path);
+
+/// Like ReadChunkedStageFile, but a frame whose digest fails is reported
+/// in `corrupt_ids` (and omitted from the result) instead of failing the
+/// whole read; an id is corrupt iff its LAST frame is. Structural damage
+/// (bad magic, truncated frames) still fails.
+Result<ChunkedStage> ReadChunkedStageFileTolerant(
+    const std::string& path, std::vector<size_t>* corrupt_ids);
+
+/// Sidecar journal of a resumable ETL run.
+struct StageManifest {
+  size_t total_chunks = 0;           ///< Expected chunk count of the run.
+  std::vector<StageChunk> committed; ///< Frames durably in the stage file.
+  std::vector<size_t> loaded;        ///< Chunk ids applied to the target.
+
+  const StageChunk* FindCommitted(size_t id) const;
+  bool IsLoaded(size_t id) const;
+};
+
+std::string EncodeManifest(const StageManifest& manifest);
+Result<StageManifest> DecodeManifest(std::string_view buffer);
+
+/// Writes the manifest via write-temp-then-rename (atomic replace).
+Status WriteManifestFile(const std::string& path,
+                         const StageManifest& manifest);
+Result<StageManifest> ReadManifestFile(const std::string& path);
+
 }  // namespace griddb::storage

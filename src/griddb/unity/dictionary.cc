@@ -31,6 +31,7 @@ Status DataDictionary::AddLocked(const UpperXSpecEntry& upper,
     }
     tables_[binding.logical].push_back(std::move(binding));
   }
+  BumpEpoch();
   return Status::Ok();
 }
 
@@ -75,6 +76,7 @@ Status DataDictionary::RemoveDatabase(const std::string& database_name) {
                     locations.end());
     it = locations.empty() ? tables_.erase(it) : std::next(it);
   }
+  BumpEpoch();
   return Status::Ok();
 }
 

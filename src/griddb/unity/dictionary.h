@@ -7,6 +7,8 @@
 // logical table/column names to (database, physical name) pairs.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -58,9 +60,18 @@ class DataDictionary {
   std::vector<std::string> LogicalTables() const;
   std::vector<std::string> DatabaseNames() const;
 
+  /// Schema epoch: a monotonically increasing counter bumped by every
+  /// Add/Replace/Remove. Plans record the epoch they were made against;
+  /// executing a plan under a newer epoch means the schema changed
+  /// mid-flight and the plan must be rebuilt (§4.9 schema-change
+  /// tracking).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
  private:
   Status AddLocked(const UpperXSpecEntry& upper, const LowerXSpec& lower);
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
+  std::atomic<uint64_t> epoch_{1};
   mutable std::shared_mutex mu_;
   // logical table (lower-case) -> locations
   std::map<std::string, std::vector<TableBinding>> tables_;

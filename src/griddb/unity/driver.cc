@@ -54,6 +54,7 @@ Result<QueryPlan> UnityDriver::Plan(const sql::SelectStmt& stmt) const {
   planner_options.predicate_pushdown =
       options_.enhanced && options_.predicate_pushdown;
   planner_options.prefer_host = options_.client_host;
+  planner_options.replica_filter = replica_filter_;
   return PlanSelect(stmt, dictionary_, planner_options);
 }
 

@@ -54,6 +54,14 @@ class UnityDriver {
   Result<QueryPlan> Plan(const std::string& sql_text) const;
   Result<QueryPlan> Plan(const sql::SelectStmt& stmt) const;
 
+  /// Installs a routing eligibility predicate copied into every plan's
+  /// PlannerOptions (see PlannerOptions::replica_filter). Install once at
+  /// startup; the predicate itself may consult mutable state (e.g. the
+  /// quarantine set) under its own lock.
+  void SetReplicaFilter(std::function<bool(const TableBinding&)> filter) {
+    replica_filter_ = std::move(filter);
+  }
+
   /// Full federated query: plan, execute sub-queries (JDBC), merge.
   Result<storage::ResultSet> Query(const std::string& sql_text,
                                    net::Cost* cost = nullptr);
@@ -80,6 +88,7 @@ class UnityDriver {
   const net::Network* network_;
   net::ServiceCosts costs_;
   UnityDriverOptions options_;
+  std::function<bool(const TableBinding&)> replica_filter_;
   DataDictionary dictionary_;
   ThreadPool pool_;
   std::mutex conn_mu_;

@@ -143,6 +143,9 @@ Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
                              const DataDictionary& dictionary,
                              const PlannerOptions& options) {
   QueryPlan plan;
+  // Captured before any dictionary read so a schema change racing with
+  // planning is detected at execution time, never silently absorbed.
+  plan.epoch = dictionary.epoch();
 
   // ---- bind table references ----
   std::vector<BoundTable> tables;
@@ -152,6 +155,13 @@ Result<QueryPlan> PlanSelect(const SelectStmt& stmt,
     if (replicas.empty()) {
       return NotFound("table '" + ref->table +
                       "' is not registered in the data dictionary");
+    }
+    if (options.replica_filter) {
+      replicas.erase(std::remove_if(replicas.begin(), replicas.end(),
+                                    [&](const TableBinding& b) {
+                                      return !options.replica_filter(b);
+                                    }),
+                     replicas.end());
     }
     const TableBinding* chosen =
         options.selector ? options.selector(replicas)

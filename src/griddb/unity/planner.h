@@ -16,6 +16,7 @@
 //    middleware over the partial results.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -47,6 +48,13 @@ struct PlannerOptions {
   std::string prefer_host;
   /// Custom replica choice; overrides prefer_host when set.
   ReplicaSelector selector;
+  /// Routing eligibility predicate applied BEFORE replica selection;
+  /// bindings for which it returns false (e.g. quarantined replicas, see
+  /// core/integrity_monitor) are invisible to the selector. When every
+  /// replica of a table is filtered out, planning fails with kNotFound
+  /// ("no usable replica"), which the failover path treats as
+  /// failover-worthy.
+  std::function<bool(const TableBinding&)> replica_filter;
 };
 
 /// One per-database sub-query: fetch `fields` of `table`, filtered by
@@ -82,6 +90,10 @@ struct QueryPlan {
 
   /// Logical tables the statement references (for RLS publication checks).
   std::vector<std::string> logical_tables;
+
+  /// Dictionary epoch the plan was made against. Executors compare this
+  /// with the dictionary's current epoch and refuse to run a stale plan.
+  uint64_t epoch = 0;
 };
 
 /// Plans a logical SELECT against the dictionary. Returns kNotFound when a

@@ -16,6 +16,7 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kUnsupported: return "UNSUPPORTED";
     case StatusCode::kTimeout: return "TIMEOUT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kCorruption: return "CORRUPTION";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,9 @@ enum class StatusCode {
   kUnsupported,
   kTimeout,
   kFailedPrecondition,
+  // Appended (not inserted) so the numeric XML-RPC fault codes of older
+  // peers still decode to the same enumerators.
+  kCorruption,
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -92,6 +95,9 @@ inline Status Timeout(std::string msg) {
 }
 inline Status FailedPrecondition(std::string msg) {
   return {StatusCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status Corruption(std::string msg) {
+  return {StatusCode::kCorruption, std::move(msg)};
 }
 
 /// Value-or-Status. Access to value() on an error result asserts.

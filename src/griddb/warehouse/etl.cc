@@ -1,7 +1,10 @@
 #include "griddb/warehouse/etl.h"
 
+#include <algorithm>
 #include <filesystem>
+#include <set>
 
+#include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::warehouse {
@@ -45,9 +48,25 @@ TableSchema InferSchema(const std::string& name, const ResultSet& rs) {
   return TableSchema(name, std::move(columns));
 }
 
+/// Removes a file on destruction: staging files must not outlive their
+/// run, even when it fails between extraction and loading.
+class ScopedFileRemover {
+ public:
+  explicit ScopedFileRemover(std::string path) : path_(std::move(path)) {}
+  ~ScopedFileRemover() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  ScopedFileRemover(const ScopedFileRemover&) = delete;
+  ScopedFileRemover& operator=(const ScopedFileRemover&) = delete;
+
+ private:
+  std::string path_;
+};
+
 }  // namespace
 
-EtlPipeline::EtlPipeline(const net::Network* network, net::ServiceCosts costs,
+EtlPipeline::EtlPipeline(net::Network* network, net::ServiceCosts costs,
                          EtlCosts etl_costs, std::string etl_host,
                          std::string staging_dir)
     : network_(network),
@@ -59,7 +78,7 @@ EtlPipeline::EtlPipeline(const net::Network* network, net::ServiceCosts costs,
   std::filesystem::create_directories(staging_dir_, ec);
 }
 
-Result<StagedData> EtlPipeline::Extract(const Job& job, EtlStats& stats) {
+Result<StagedData> EtlPipeline::ExtractRows(const Job& job, EtlStats& stats) {
   if (!job.source || !job.target) {
     return InvalidArgument("ETL job requires source and target databases");
   }
@@ -110,9 +129,14 @@ Result<StagedData> EtlPipeline::Extract(const Job& job, EtlStats& stats) {
       staged.schema = InferSchema(schema_name, view);
     }
   }
+  stats.rows = staged.rows.size();
+  return staged;
+}
+
+Result<StagedData> EtlPipeline::Extract(const Job& job, EtlStats& stats) {
+  GRIDDB_ASSIGN_OR_RETURN(StagedData staged, ExtractRows(job, stats));
 
   // Rows travel source -> ETL host, then the stage file is written.
-  stats.rows = staged.rows.size();
   stats.staged_bytes = staged.EncodedSize();
   GRIDDB_ASSIGN_OR_RETURN(
       double transfer,
@@ -148,20 +172,34 @@ Status EtlPipeline::Load(const Job& job, const StagedData& staged,
   return Status::Ok();
 }
 
+Status EtlPipeline::ChargeWire(const std::string& from, const std::string& to,
+                               size_t bytes, double* ms) {
+  GRIDDB_ASSIGN_OR_RETURN(double transfer,
+                          network_->WireTransferMs(from, to, bytes));
+  *ms += transfer;
+  network_->AdvanceClockMs(transfer);
+  return Status::Ok();
+}
+
+void EtlPipeline::ChargeDisk(size_t bytes, double mbps, double* ms) {
+  double disk = DiskMs(bytes, mbps);
+  *ms += disk;
+  network_->AdvanceClockMs(disk);
+}
+
 Result<EtlStats> EtlPipeline::Run(const Job& job) {
   EtlStats stats;
   GRIDDB_ASSIGN_OR_RETURN(StagedData staged, Extract(job, stats));
 
   // The staging file genuinely hits the filesystem (round-trip checked),
-  // reproducing the prototype's two-hop behaviour.
+  // reproducing the prototype's two-hop behaviour. The guard removes it
+  // on every exit path — a failed read-back or load must not leak it.
   std::string path = staging_dir_ + "/stage_" +
                      std::to_string(next_stage_id_++) + ".griddb";
+  ScopedFileRemover cleanup(path);
   GRIDDB_RETURN_IF_ERROR(
       storage::WriteStageFile(path, staged.schema, staged.rows));
   GRIDDB_ASSIGN_OR_RETURN(StagedData reloaded, storage::ReadStageFile(path));
-  std::error_code ec;
-  std::filesystem::remove(path, ec);
-
   GRIDDB_RETURN_IF_ERROR(Load(job, reloaded, stats));
   return stats;
 }
@@ -174,6 +212,191 @@ Result<EtlStats> EtlPipeline::RunDirect(const Job& job) {
   stats.extract_ms -= DiskMs(stats.staged_bytes, etl_costs_.disk_write_mbps);
   GRIDDB_RETURN_IF_ERROR(Load(job, staged, stats));
   stats.load_ms -= DiskMs(stats.staged_bytes, etl_costs_.disk_read_mbps);
+  return stats;
+}
+
+Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
+                                           const ResumeOptions& opts) {
+  if (opts.run_id.empty()) {
+    return InvalidArgument("resumable ETL run requires a run_id");
+  }
+  if (opts.chunk_rows == 0) {
+    return InvalidArgument("chunk_rows must be positive");
+  }
+
+  EtlStats stats;
+  const std::string stage_path = staging_dir_ + "/" + opts.run_id + ".stage";
+  const std::string manifest_path =
+      staging_dir_ + "/" + opts.run_id + ".manifest";
+
+  storage::StageManifest manifest;
+  if (std::filesystem::exists(manifest_path)) {
+    GRIDDB_ASSIGN_OR_RETURN(manifest,
+                            storage::ReadManifestFile(manifest_path));
+    stats.resumed = true;
+    stats.chunks_recovered = manifest.committed.size();
+    if (!std::filesystem::exists(stage_path)) {
+      // The stage file vanished out from under the manifest; whatever
+      // was committed but not yet loaded must be re-staged.
+      manifest.committed.clear();
+      stats.chunks_recovered = 0;
+    }
+  }
+
+  // Re-run the extraction query. The engines are deterministic, so a
+  // resume sees the same rows in the same order — and hence the same
+  // chunk boundaries — as the interrupted run.
+  GRIDDB_ASSIGN_OR_RETURN(StagedData staged, ExtractRows(job, stats));
+  stats.staged_bytes = staged.EncodedSize();
+  const size_t total =
+      (staged.rows.size() + opts.chunk_rows - 1) / opts.chunk_rows;
+  if (manifest.total_chunks != 0 && manifest.total_chunks != total) {
+    return FailedPrecondition(
+        "manifest for run '" + opts.run_id + "' expects " +
+        std::to_string(manifest.total_chunks) +
+        " chunks but the source now yields " + std::to_string(total) +
+        "; the source changed between runs");
+  }
+  manifest.total_chunks = total;
+  stats.chunks_total = total;
+
+  // ---- extraction hop: stage every chunk not already durable ----
+  for (size_t c = 0; c < total; ++c) {
+    if (manifest.FindCommitted(c) != nullptr) continue;
+    size_t begin = c * opts.chunk_rows;
+    size_t end = std::min(begin + opts.chunk_rows, staged.rows.size());
+    std::vector<Row> rows(staged.rows.begin() + begin,
+                          staged.rows.begin() + end);
+    std::string block = storage::EncodeRowBlock(rows);
+    storage::StageChunk chunk;
+    chunk.id = c;
+    chunk.rows = rows.size();
+    chunk.md5 = Md5Hex(block);
+    // Wire charge first: a down-window failing the transfer returns here
+    // with the manifest at the last committed chunk (the resume point).
+    GRIDDB_RETURN_IF_ERROR(ChargeWire(job.source_host, etl_host_,
+                                      block.size(), &stats.extract_ms));
+    ChargeDisk(block.size(), etl_costs_.disk_write_mbps, &stats.extract_ms);
+    GRIDDB_RETURN_IF_ERROR(
+        storage::AppendStageChunk(stage_path, staged.schema, chunk, block));
+    manifest.committed.push_back(chunk);
+    GRIDDB_RETURN_IF_ERROR(
+        storage::WriteManifestFile(manifest_path, manifest));
+    ++stats.chunks_committed;
+  }
+
+  // ---- load hop ----
+  // Read the stage back with per-frame digest verification. Corrupt
+  // frames are evicted from the manifest so the next run re-stages them
+  // (an appended frame supersedes the damaged one), then this run fails.
+  storage::ChunkedStage on_disk;
+  if (total > 0) {
+    std::vector<size_t> corrupt;
+    GRIDDB_ASSIGN_OR_RETURN(
+        on_disk, storage::ReadChunkedStageFileTolerant(stage_path, &corrupt));
+    if (!corrupt.empty()) {
+      auto& committed = manifest.committed;
+      committed.erase(
+          std::remove_if(committed.begin(), committed.end(),
+                         [&](const storage::StageChunk& chunk) {
+                           return std::find(corrupt.begin(), corrupt.end(),
+                                            chunk.id) != corrupt.end();
+                         }),
+          committed.end());
+      GRIDDB_RETURN_IF_ERROR(
+          storage::WriteManifestFile(manifest_path, manifest));
+      return Corruption(std::to_string(corrupt.size()) +
+                        " staged chunk(s) of run '" + opts.run_id +
+                        "' fail digest verification; evicted from the "
+                        "manifest for re-staging");
+    }
+  }
+  auto frame_index = [&](size_t id) -> int {
+    for (size_t i = 0; i < on_disk.chunks.size(); ++i) {
+      if (on_disk.chunks[i].id == id) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  if (!job.target->HasTable(job.target_table)) {
+    if (!job.create_target) {
+      return NotFound("target table '" + job.target_table +
+                      "' does not exist (set create_target to create it)");
+    }
+    TableSchema create_schema(job.target_table, staged.schema.columns(),
+                              staged.schema.foreign_keys());
+    GRIDDB_RETURN_IF_ERROR(job.target->CreateTable(std::move(create_schema)));
+  }
+  if (!job.target->HasTable(kEtlChunkRegistry)) {
+    TableSchema registry(
+        kEtlChunkRegistry,
+        {{"run_id", storage::DataType::kString, true, false},
+         {"chunk_id", storage::DataType::kInt64, true, false}});
+    GRIDDB_RETURN_IF_ERROR(job.target->CreateTable(std::move(registry)));
+  }
+
+  // Chunk ids the target itself has recorded as applied for this run: the
+  // dedupe authority that survives even a lost manifest.
+  std::set<size_t> applied;
+  {
+    GRIDDB_ASSIGN_OR_RETURN(
+        ResultSet rs,
+        job.target->Execute(std::string("SELECT run_id, chunk_id FROM ") +
+                            kEtlChunkRegistry));
+    for (const Row& row : rs.rows) {
+      if (row.size() != 2 || row[0].is_null() || row[1].is_null()) continue;
+      if (row[0].type() != storage::DataType::kString ||
+          row[0].AsStringStrict() != opts.run_id) {
+        continue;
+      }
+      GRIDDB_ASSIGN_OR_RETURN(int64_t id, row[1].AsInt64());
+      if (id >= 0) applied.insert(static_cast<size_t>(id));
+    }
+  }
+
+  for (size_t c = 0; c < total; ++c) {
+    if (manifest.IsLoaded(c)) continue;
+    if (applied.count(c) != 0) {
+      // The target already has this chunk (e.g. the manifest update after
+      // its insert was lost): record it, do not insert again.
+      ++stats.chunks_deduped;
+      manifest.loaded.push_back(c);
+      GRIDDB_RETURN_IF_ERROR(
+          storage::WriteManifestFile(manifest_path, manifest));
+      continue;
+    }
+    int fi = frame_index(c);
+    if (fi < 0) {
+      return FailedPrecondition("chunk " + std::to_string(c) + " of run '" +
+                                opts.run_id +
+                                "' is missing from the stage file");
+    }
+    const std::vector<Row>& rows = on_disk.rows[static_cast<size_t>(fi)];
+    size_t bytes = storage::EncodeRowBlock(rows).size();
+    ChargeDisk(bytes, etl_costs_.disk_read_mbps, &stats.load_ms);
+    // As above: on failure the manifest's loaded set is the resume point.
+    GRIDDB_RETURN_IF_ERROR(
+        ChargeWire(etl_host_, job.target_host, bytes, &stats.load_ms));
+    GRIDDB_RETURN_IF_ERROR(
+        job.target->InsertRows(job.target_table, std::vector<Row>(rows)));
+    GRIDDB_RETURN_IF_ERROR(job.target->InsertRows(
+        kEtlChunkRegistry,
+        {{storage::Value(opts.run_id),
+          storage::Value(static_cast<int64_t>(c))}}));
+    stats.load_ms +=
+        etl_costs_.insert_per_row_ms * static_cast<double>(rows.size());
+    manifest.loaded.push_back(c);
+    GRIDDB_RETURN_IF_ERROR(
+        storage::WriteManifestFile(manifest_path, manifest));
+    ++stats.chunks_loaded;
+  }
+  stats.load_ms += etl_costs_.commit_ms;
+  network_->AdvanceClockMs(etl_costs_.commit_ms);
+
+  // Fully applied: the resume artifacts are no longer needed.
+  std::error_code ec;
+  std::filesystem::remove(stage_path, ec);
+  std::filesystem::remove(manifest_path, ec);
   return stats;
 }
 

@@ -39,6 +39,15 @@ struct EtlStats {
   double extract_ms = 0;  ///< Query source + transform + write temp file.
   double load_ms = 0;     ///< Read temp file + ship + insert into target.
   double total_ms() const { return extract_ms + load_ms; }
+
+  // Resumable-run progress (RunResumable only; zero for plain runs).
+  bool resumed = false;        ///< A prior run's manifest was found.
+  size_t chunks_total = 0;
+  size_t chunks_committed = 0; ///< Chunks newly staged by this run.
+  size_t chunks_recovered = 0; ///< Chunks found already staged on entry.
+  size_t chunks_loaded = 0;    ///< Chunks newly inserted by this run.
+  size_t chunks_deduped = 0;   ///< Chunks skipped because the target's
+                               ///< chunk registry already recorded them.
 };
 
 /// Optional per-row transform applied during extraction (normalization ->
@@ -46,10 +55,18 @@ struct EtlStats {
 using RowTransform =
     std::function<Result<storage::Row>(const storage::Row&)>;
 
+/// Name of the per-target bookkeeping table RunResumable uses for
+/// idempotence: one (run_id, chunk_id) row per applied chunk, written in
+/// the same engine operation window as the chunk's rows.
+inline constexpr char kEtlChunkRegistry[] = "etl_chunk_registry";
+
 class EtlPipeline {
  public:
   /// `etl_host` is where the pipeline (and its staging files) run.
-  EtlPipeline(const net::Network* network, net::ServiceCosts costs,
+  /// The network is non-const because the resumable path advances the
+  /// virtual clock as transfer/disk cost accrues (so FaultPlan
+  /// down-windows can open and close mid-run).
+  EtlPipeline(net::Network* network, net::ServiceCosts costs,
               EtlCosts etl_costs, std::string etl_host,
               std::string staging_dir);
 
@@ -74,14 +91,40 @@ class EtlPipeline {
   /// the paper says it is working on; ablation A1).
   Result<EtlStats> RunDirect(const Job& job);
 
+  /// Crash-consistent resumable run.
+  struct ResumeOptions {
+    std::string run_id;      ///< Stable id naming the stage/manifest
+                             ///< files; a rerun with the same id resumes.
+    size_t chunk_rows = 512; ///< Rows per staged chunk.
+  };
+
+  /// Chunked, checkpointed two-hop run. Rows are staged in framed chunks
+  /// (per-chunk MD5, sidecar manifest journal updated via temp+rename
+  /// after every chunk) and loaded chunk-at-a-time with digest
+  /// verification and chunk-id dedupe against the target's
+  /// `etl_chunk_registry` table, so a run interrupted by a fault (the
+  /// network charges go through WireTransferMs and advance the virtual
+  /// clock) resumes from the last committed chunk without duplicating
+  /// rows. On success the stage file and manifest are removed; on
+  /// failure they are kept as the resume point.
+  Result<EtlStats> RunResumable(const Job& job, const ResumeOptions& opts);
+
   const std::string& staging_dir() const { return staging_dir_; }
 
  private:
   Result<storage::StagedData> Extract(const Job& job, EtlStats& stats);
   Status Load(const Job& job, const storage::StagedData& staged,
               EtlStats& stats);
+  /// The query+transform part of Extract: no transfer/disk charges (the
+  /// resumable path charges per chunk instead).
+  Result<storage::StagedData> ExtractRows(const Job& job, EtlStats& stats);
+  /// WireTransferMs + virtual-clock advance, accumulated into `ms`.
+  Status ChargeWire(const std::string& from, const std::string& to,
+                    size_t bytes, double* ms);
+  /// Disk throughput charge that also advances the virtual clock.
+  void ChargeDisk(size_t bytes, double mbps, double* ms);
 
-  const net::Network* network_;
+  net::Network* network_;
   net::ServiceCosts costs_;
   EtlCosts etl_costs_;
   std::string etl_host_;

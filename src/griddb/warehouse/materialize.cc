@@ -28,4 +28,15 @@ Result<EtlStats> RefreshView(DataWarehouse& warehouse,
   return MaterializeView(warehouse, view_name, mart, pipeline);
 }
 
+Result<storage::TableDigest> ViewContentDigest(DataWarehouse& warehouse,
+                                               const std::string& view_name) {
+  if (!warehouse.db().HasView(view_name)) {
+    return NotFound("warehouse has no view '" + view_name + "'");
+  }
+  GRIDDB_ASSIGN_OR_RETURN(
+      storage::ResultSet rs,
+      warehouse.db().Execute("SELECT * FROM " + view_name));
+  return storage::DigestRows(rs.rows);
+}
+
 }  // namespace griddb::warehouse

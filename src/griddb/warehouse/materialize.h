@@ -20,4 +20,10 @@ Result<EtlStats> RefreshView(DataWarehouse& warehouse,
                              const std::string& view_name, DataMart& mart,
                              EtlPipeline& pipeline);
 
+/// Order-insensitive content digest of a warehouse view's current rows —
+/// the anti-entropy reference a mart's materialized copy is verified
+/// against (core/integrity_monitor).
+Result<storage::TableDigest> ViewContentDigest(DataWarehouse& warehouse,
+                                               const std::string& view_name);
+
 }  // namespace griddb::warehouse

@@ -1,0 +1,351 @@
+// Crash-consistent resumable ETL: chunked staging with a manifest
+// journal, resume after a mid-transfer down-window, corrupt-chunk
+// re-staging, chunk-registry dedupe, and the staging-file leak guard.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "griddb/net/fault.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/warehouse/etl.h"
+#include "griddb/warehouse/warehouse.h"
+
+namespace griddb::warehouse {
+namespace {
+
+using storage::DataType;
+using storage::TableSchema;
+using storage::Value;
+
+std::string ResumeStagingDir() {
+  return (std::filesystem::temp_directory_path() / "griddb_etl_resume_test")
+      .string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+double ReadDiskMs(size_t bytes) {
+  // Mirrors EtlCosts::Default().disk_read_mbps (480 megabits/s).
+  return static_cast<double>(bytes) / (480.0 * 1e6 / 8.0 / 1000.0);
+}
+
+struct EtlResumeFixture : public ::testing::Test {
+  EtlResumeFixture()
+      : source("src_mysql", sql::Vendor::kMySql),
+        wh("warehouse", "cern-tier1"),
+        pipeline(&network, net::ServiceCosts::Default(), EtlCosts::Default(),
+                 "cern-tier1", ResumeStagingDir()) {
+    network.AddHost("cern-tier1");
+    network.AddHost("caltech-tier2");
+    network.AddHost("src-host");
+    std::filesystem::remove_all(ResumeStagingDir());
+    std::filesystem::create_directories(ResumeStagingDir());
+
+    ntuple::GeneratorOptions gen;
+    gen.num_events = 200;
+    gen.nvar = 8;
+    gen.seed = 42;
+    nt_ = std::make_unique<ntuple::Ntuple>(ntuple::GenerateNtuple(gen));
+    runs_ = ntuple::GenerateRuns(gen);
+    EXPECT_TRUE(ntuple::CreateNormalizedSchema(source).ok());
+    EXPECT_TRUE(ntuple::LoadNormalized(*nt_, runs_, source).ok());
+  }
+
+  EtlPipeline::Job MakeJob(engine::Database* target,
+                           const std::string& target_host,
+                           const std::string& target_table) {
+    EtlPipeline::Job job;
+    job.source = &source;
+    job.source_host = "src-host";
+    job.extract_sql =
+        "SELECT e.event_id, e.run_id, r.detector FROM events e "
+        "JOIN runs r ON e.run_id = r.run_id";
+    job.target = target;
+    job.target_host = target_host;
+    job.target_table = target_table;
+    job.create_target = true;
+    return job;
+  }
+
+  bool StagingDirEmpty() {
+    return std::filesystem::is_empty(ResumeStagingDir());
+  }
+
+  net::Network network;
+  engine::Database source;
+  DataWarehouse wh;
+  EtlPipeline pipeline;
+  std::unique_ptr<ntuple::Ntuple> nt_;
+  std::vector<ntuple::RunInfo> runs_;
+};
+
+TEST_F(EtlResumeFixture, HealthyResumableRunMatchesPlainRun) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+
+  auto plain = pipeline.Run(MakeJob(&wh.db(), "cern-tier1", "evt_plain"));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  EtlPipeline::ResumeOptions opts;
+  opts.run_id = "run-healthy";
+  opts.chunk_rows = 32;
+  auto stats = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_resumable"), opts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_FALSE(stats->resumed);
+  EXPECT_EQ(stats->chunks_total, 7u);  // ceil(200 / 32)
+  EXPECT_EQ(stats->chunks_committed, 7u);
+  EXPECT_EQ(stats->chunks_loaded, 7u);
+  EXPECT_EQ(stats->chunks_deduped, 0u);
+  EXPECT_EQ(stats->rows, 200u);
+  EXPECT_EQ(mart.RowCount("evt_resumable"), 200u);
+
+  // Same content as the plain two-hop run, order notwithstanding.
+  auto plain_digest = wh.db().ContentDigest("evt_plain");
+  auto resumable_digest = mart.ContentDigest("evt_resumable");
+  ASSERT_TRUE(plain_digest.ok());
+  ASSERT_TRUE(resumable_digest.ok());
+  EXPECT_EQ(*plain_digest, *resumable_digest);
+
+  // Success removes the stage file and manifest.
+  EXPECT_FALSE(std::filesystem::exists(ResumeStagingDir() +
+                                       "/run-healthy.stage"));
+  EXPECT_FALSE(std::filesystem::exists(ResumeStagingDir() +
+                                       "/run-healthy.manifest"));
+}
+
+TEST_F(EtlResumeFixture, ResumesAfterMidLoadDownWindowWithoutDuplicates) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+  EtlPipeline::ResumeOptions opts;
+  opts.run_id = "run-window";
+  opts.chunk_rows = 32;
+  const std::string stage_path = ResumeStagingDir() + "/run-window.stage";
+  const std::string manifest_path =
+      ResumeStagingDir() + "/run-window.manifest";
+
+  // Attempt 1: the target host is down for the whole run. Staging
+  // (source -> etl) completes; the first load transfer fails.
+  auto plan = std::make_shared<net::FaultPlan>();
+  plan->AddDownWindow("caltech-tier2", 0.0, 1e9);
+  network.InstallFaultPlan(plan);
+  auto attempt1 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_win"), opts);
+  ASSERT_FALSE(attempt1.ok());
+  EXPECT_EQ(attempt1.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(std::filesystem::exists(stage_path));
+  ASSERT_TRUE(std::filesystem::exists(manifest_path));
+  auto manifest1 = storage::ReadManifestFile(manifest_path);
+  ASSERT_TRUE(manifest1.ok());
+  EXPECT_EQ(manifest1->total_chunks, 7u);
+  EXPECT_EQ(manifest1->committed.size(), 7u);
+  EXPECT_TRUE(manifest1->loaded.empty());
+
+  // Attempt 2: a down-window opening right after the first chunk's load
+  // transfer interrupts the run mid-load.
+  auto staged = storage::ReadChunkedStageFile(stage_path);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  size_t chunk0_bytes = storage::EncodeRowBlock(staged->rows[0]).size();
+  auto wire = network.TransferMs("cern-tier1", "caltech-tier2", chunk0_bytes);
+  ASSERT_TRUE(wire.ok());
+  double window_start = network.NowMs() + ReadDiskMs(chunk0_bytes) + *wire +
+                        0.001;
+  auto plan2 = std::make_shared<net::FaultPlan>();
+  plan2->AddDownWindow("caltech-tier2", window_start, 1e9);
+  network.InstallFaultPlan(plan2);
+  auto attempt2 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_win"), opts);
+  ASSERT_FALSE(attempt2.ok());
+  EXPECT_EQ(attempt2.status().code(), StatusCode::kUnavailable);
+  auto manifest2 = storage::ReadManifestFile(manifest_path);
+  ASSERT_TRUE(manifest2.ok());
+  ASSERT_EQ(manifest2->loaded.size(), 1u);  // exactly chunk 0 got through
+  EXPECT_EQ(mart.RowCount("evt_win"), 32u);
+
+  // Attempt 3: fault cleared; the run resumes from the manifest, loads
+  // only the remaining chunks, and produces a digest-equal copy with
+  // zero duplicate rows.
+  network.InstallFaultPlan(nullptr);
+  auto attempt3 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_win"), opts);
+  ASSERT_TRUE(attempt3.ok()) << attempt3.status().ToString();
+  EXPECT_TRUE(attempt3->resumed);
+  EXPECT_EQ(attempt3->chunks_recovered, 7u);
+  EXPECT_EQ(attempt3->chunks_committed, 0u);
+  EXPECT_EQ(attempt3->chunks_loaded, 6u);
+  EXPECT_EQ(attempt3->chunks_deduped, 0u);
+  EXPECT_EQ(mart.RowCount("evt_win"), 200u);
+
+  auto reference = pipeline.Run(MakeJob(&wh.db(), "cern-tier1", "evt_ref"));
+  ASSERT_TRUE(reference.ok());
+  auto want = wh.db().ContentDigest("evt_ref");
+  auto got = mart.ContentDigest("evt_win");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+  EXPECT_FALSE(std::filesystem::exists(stage_path));
+  EXPECT_FALSE(std::filesystem::exists(manifest_path));
+}
+
+TEST_F(EtlResumeFixture, CorruptChunkIsEvictedAndRestaged) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+  EtlPipeline::ResumeOptions opts;
+  opts.run_id = "run-corrupt";
+  opts.chunk_rows = 32;
+  const std::string stage_path = ResumeStagingDir() + "/run-corrupt.stage";
+  const std::string manifest_path =
+      ResumeStagingDir() + "/run-corrupt.manifest";
+
+  // Stage everything but load nothing (target down).
+  auto plan = std::make_shared<net::FaultPlan>();
+  plan->AddDownWindow("caltech-tier2", 0.0, 1e9);
+  network.InstallFaultPlan(plan);
+  auto attempt1 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_cor"), opts);
+  ASSERT_FALSE(attempt1.ok());
+  network.InstallFaultPlan(nullptr);
+
+  // Flip one digit inside chunk 1's first row line (structure intact:
+  // no tabs or newlines touched), so its frame digest no longer matches.
+  std::string content = ReadFile(stage_path);
+  size_t frame = content.find("\nchunk 1 ");
+  ASSERT_NE(frame, std::string::npos);
+  size_t line_start = content.find('\n', frame + 1);
+  ASSERT_NE(line_start, std::string::npos);
+  size_t digit = content.find_first_of("0123456789", line_start + 1);
+  ASSERT_NE(digit, std::string::npos);
+  content[digit] = content[digit] == '9' ? '0' : '9';
+  WriteFile(stage_path, content);
+
+  // The next run detects the corruption at load time, evicts the chunk
+  // from the manifest, and fails with kCorruption.
+  auto attempt2 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_cor"), opts);
+  ASSERT_FALSE(attempt2.ok());
+  EXPECT_EQ(attempt2.status().code(), StatusCode::kCorruption);
+  auto manifest = storage::ReadManifestFile(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->committed.size(), 6u);
+  EXPECT_EQ(manifest->FindCommitted(1), nullptr);
+
+  // The run after that re-stages chunk 1 (appended frame supersedes the
+  // damaged one) and completes with the full, correct content.
+  auto attempt3 = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_cor"), opts);
+  ASSERT_TRUE(attempt3.ok()) << attempt3.status().ToString();
+  EXPECT_TRUE(attempt3->resumed);
+  EXPECT_EQ(attempt3->chunks_committed, 1u);
+  EXPECT_EQ(attempt3->chunks_loaded, 7u);
+  EXPECT_EQ(mart.RowCount("evt_cor"), 200u);
+
+  auto reference = pipeline.Run(MakeJob(&wh.db(), "cern-tier1", "evt_ref2"));
+  ASSERT_TRUE(reference.ok());
+  auto want = wh.db().ContentDigest("evt_ref2");
+  auto got = mart.ContentDigest("evt_cor");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+}
+
+TEST_F(EtlResumeFixture, ChunkRegistryDedupesWhenManifestLosesLoadMarks) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+  EtlPipeline::ResumeOptions opts;
+  opts.run_id = "run-dedupe";
+  opts.chunk_rows = 32;
+  const std::string manifest_path =
+      ResumeStagingDir() + "/run-dedupe.manifest";
+
+  // Interrupt mid-load exactly as in the down-window test, then simulate
+  // a crash between the chunk's insert and its manifest update by
+  // erasing the manifest's loaded marks. The target's chunk registry is
+  // the dedupe authority, so the resume must NOT re-insert chunk 0.
+  auto plan = std::make_shared<net::FaultPlan>();
+  plan->AddDownWindow("caltech-tier2", 0.0, 1e9);
+  network.InstallFaultPlan(plan);
+  ASSERT_FALSE(pipeline
+                   .RunResumable(MakeJob(&mart, "caltech-tier2", "evt_dp"),
+                                 opts)
+                   .ok());
+  const std::string stage_path = ResumeStagingDir() + "/run-dedupe.stage";
+  auto staged = storage::ReadChunkedStageFile(stage_path);
+  ASSERT_TRUE(staged.ok());
+  size_t chunk0_bytes = storage::EncodeRowBlock(staged->rows[0]).size();
+  auto wire = network.TransferMs("cern-tier1", "caltech-tier2", chunk0_bytes);
+  ASSERT_TRUE(wire.ok());
+  auto plan2 = std::make_shared<net::FaultPlan>();
+  plan2->AddDownWindow("caltech-tier2",
+                       network.NowMs() + ReadDiskMs(chunk0_bytes) + *wire +
+                           0.001,
+                       1e9);
+  network.InstallFaultPlan(plan2);
+  ASSERT_FALSE(pipeline
+                   .RunResumable(MakeJob(&mart, "caltech-tier2", "evt_dp"),
+                                 opts)
+                   .ok());
+  network.InstallFaultPlan(nullptr);
+  ASSERT_EQ(mart.RowCount("evt_dp"), 32u);
+
+  auto manifest = storage::ReadManifestFile(manifest_path);
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest->loaded.size(), 1u);
+  manifest->loaded.clear();
+  ASSERT_TRUE(storage::WriteManifestFile(manifest_path, *manifest).ok());
+
+  auto resumed = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_dp"), opts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->chunks_deduped, 1u);
+  EXPECT_EQ(resumed->chunks_loaded, 6u);
+  EXPECT_EQ(mart.RowCount("evt_dp"), 200u);  // zero duplicate rows
+}
+
+TEST_F(EtlResumeFixture, FailedPlainRunLeavesNoStagingFileBehind) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+  ASSERT_TRUE(StagingDirEmpty());
+  EtlPipeline::Job job = MakeJob(&mart, "caltech-tier2", "evt_missing");
+  job.create_target = false;  // load fails: target table does not exist
+  auto stats = pipeline.Run(job);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(StagingDirEmpty());  // the leak guard removed the stage file
+}
+
+TEST_F(EtlResumeFixture, SourceRowCountChangeFailsThePendingRun) {
+  engine::Database mart("mart_lite", sql::Vendor::kSqlite);
+  EtlPipeline::ResumeOptions opts;
+  opts.run_id = "run-shifted";
+  opts.chunk_rows = 32;
+  auto plan = std::make_shared<net::FaultPlan>();
+  plan->AddDownWindow("caltech-tier2", 0.0, 1e9);
+  network.InstallFaultPlan(plan);
+  ASSERT_FALSE(pipeline
+                   .RunResumable(MakeJob(&mart, "caltech-tier2", "evt_sh"),
+                                 opts)
+                   .ok());
+  network.InstallFaultPlan(nullptr);
+
+  // The source grows between runs: the chunk boundaries no longer line
+  // up with the manifest, which must be detected, not guessed at.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(source
+                    .Execute("INSERT INTO events (EVENT_ID, RUN_ID) VALUES (" +
+                             std::to_string(100001 + i) + ", 1)")
+                    .ok());
+  }
+  auto resumed = pipeline.RunResumable(
+      MakeJob(&mart, "caltech-tier2", "evt_sh"), opts);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace griddb::warehouse

@@ -1,0 +1,289 @@
+// Anti-entropy replica integrity: divergent mart copies are detected by
+// content digest, quarantined out of query routing, repaired by
+// re-materialization, re-verified and reinstated. Schema epochs make a
+// plan built against a stale dictionary fail cleanly and replan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "griddb/core/integrity_monitor.h"
+#include "griddb/core/jclarens_server.h"
+#include "griddb/ntuple/ntuple.h"
+#include "griddb/warehouse/materialize.h"
+
+namespace griddb::core {
+namespace {
+
+using storage::DataType;
+using storage::TableSchema;
+using warehouse::DataMart;
+using warehouse::DataWarehouse;
+using warehouse::EtlCosts;
+using warehouse::EtlPipeline;
+using warehouse::RefreshView;
+using warehouse::StarSchemaSpec;
+using warehouse::ViewContentDigest;
+
+std::string IntegrityStagingDir() {
+  return (std::filesystem::temp_directory_path() / "griddb_integrity_test")
+      .string();
+}
+
+struct IntegrityFixture : public ::testing::Test {
+  IntegrityFixture()
+      : transport(&network, net::ServiceCosts::Default()),
+        wh("warehouse", "cern-tier1"),
+        mart("mart_lite", sql::Vendor::kSqlite, "caltech-tier2"),
+        pipeline(&network, net::ServiceCosts::Default(), EtlCosts::Default(),
+                 "cern-tier1", IntegrityStagingDir()) {
+    for (const char* h : {"cern-tier1", "caltech-tier2", "client"}) {
+      network.AddHost(h);
+    }
+    std::filesystem::create_directories(IntegrityStagingDir());
+
+    ntuple::GeneratorOptions gen;
+    gen.num_events = 120;
+    gen.nvar = 6;
+    gen.seed = 7;
+    ntuple::Ntuple nt = ntuple::GenerateNtuple(gen);
+    std::vector<ntuple::RunInfo> runs = ntuple::GenerateRuns(gen);
+
+    StarSchemaSpec star;
+    star.fact = ntuple::DenormalizedSchema(nt, "fact_event");
+    star.dimensions.push_back(
+        {TableSchema("dim_run", {{"run_id", DataType::kInt64, true, true},
+                                 {"detector", DataType::kString, true, false}}),
+         "run_id"});
+    EXPECT_TRUE(wh.DefineStarSchema(star).ok());
+    EXPECT_TRUE(
+        wh.db().InsertRows("fact_event", ntuple::DenormalizedRows(nt, runs))
+            .ok());
+    EXPECT_TRUE(
+        wh.CreateAnalysisView("v_all",
+                              "SELECT event_id, run_id FROM fact_event")
+            .ok());
+    auto materialized = MaterializeView(wh, "v_all", mart, pipeline);
+    EXPECT_TRUE(materialized.ok()) << materialized.status().ToString();
+
+    EXPECT_TRUE(catalog
+                    .Add({"sqlite://caltech-tier2/mart_lite", &mart.db(),
+                          "caltech-tier2", "", ""})
+                    .ok());
+    DataAccessConfig config;
+    config.server_name = "jclarens-mart";
+    config.host = "caltech-tier2";
+    config.server_url = "clarens://caltech-tier2:8080/clarens";
+    server = std::make_unique<JClarensServer>(config, &catalog, &transport,
+                                              &xspec_repo);
+    EXPECT_TRUE(
+        server->service()
+            .RegisterLiveDatabase("sqlite://caltech-tier2/mart_lite", "")
+            .ok());
+  }
+
+  IntegrityMonitor::ReplicaSpec MartReplica(bool with_repair) {
+    IntegrityMonitor::ReplicaSpec spec;
+    spec.logical_table = "v_all";
+    spec.database_name = "mart_lite";
+    spec.reference_digest = [this] { return ViewContentDigest(wh, "v_all"); };
+    if (with_repair) {
+      spec.repair = [this]() -> Status {
+        return RefreshView(wh, "v_all", mart, pipeline).status();
+      };
+    }
+    return spec;
+  }
+
+  net::Network network;
+  rpc::Transport transport;
+  DataWarehouse wh;
+  DataMart mart;
+  EtlPipeline pipeline;
+  ral::DatabaseCatalog catalog;
+  XSpecRepository xspec_repo;
+  std::unique_ptr<JClarensServer> server;
+};
+
+TEST_F(IntegrityFixture, HealthyReplicaPassesSweepUntouched) {
+  IntegrityMonitor monitor(&server->service());
+  monitor.RegisterReplica(MartReplica(/*with_repair=*/true));
+  EXPECT_TRUE(monitor.SweepOnce().ok());
+  EXPECT_EQ(monitor.stats().sweeps, 1u);
+  EXPECT_EQ(monitor.stats().replicas_checked, 1u);
+  EXPECT_EQ(monitor.stats().divergences, 0u);
+  EXPECT_EQ(monitor.stats().quarantines, 0u);
+  EXPECT_FALSE(server->service().IsQuarantined("mart_lite"));
+}
+
+TEST_F(IntegrityFixture, QuarantineBlocksRoutingAndReinstateRestores) {
+  auto before = server->service().Query("SELECT event_id FROM v_all", nullptr);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  ASSERT_TRUE(
+      server->service().QuarantineDatabase("mart_lite", "operator hold").ok());
+  EXPECT_TRUE(server->service().IsQuarantined("mart_lite"));
+  ASSERT_EQ(server->service().QuarantinedDatabases().size(), 1u);
+
+  // The planner's replica filter hides the quarantined mart's bindings.
+  auto during = server->service().Query("SELECT event_id FROM v_all", nullptr);
+  ASSERT_FALSE(during.ok());
+  EXPECT_EQ(during.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(during.status().message().find("no usable replica"),
+            std::string::npos);
+
+  ASSERT_TRUE(server->service().ReinstateDatabase("mart_lite").ok());
+  EXPECT_FALSE(server->service().IsQuarantined("mart_lite"));
+  auto after = server->service().Query("SELECT event_id FROM v_all", nullptr);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST_F(IntegrityFixture, DivergentReplicaIsQuarantinedRepairedReinstated) {
+  // A writer bypasses the ETL path and injects a row into the mart copy.
+  ASSERT_TRUE(
+      mart.db()
+          .Execute("INSERT INTO v_all (EVENT_ID, RUN_ID) VALUES (424242, 1)")
+          .ok());
+  ASSERT_EQ(mart.db().RowCount("v_all"), 121u);
+
+  IntegrityMonitor monitor(&server->service());
+  monitor.RegisterReplica(MartReplica(/*with_repair=*/true));
+  auto status = monitor.SweepOnce();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(monitor.stats().divergences, 1u);
+  EXPECT_EQ(monitor.stats().quarantines, 1u);
+  EXPECT_EQ(monitor.stats().repairs, 1u);
+  EXPECT_EQ(monitor.stats().repair_failures, 0u);
+  EXPECT_EQ(monitor.stats().reinstated, 1u);
+
+  // Repaired, back in routing, digest-equal with the warehouse view.
+  EXPECT_FALSE(server->service().IsQuarantined("mart_lite"));
+  EXPECT_EQ(mart.db().RowCount("v_all"), 120u);
+  auto want = ViewContentDigest(wh, "v_all");
+  auto got = mart.db().ContentDigest("v_all");
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*want, *got);
+  EXPECT_TRUE(
+      server->service().Query("SELECT event_id FROM v_all", nullptr).ok());
+}
+
+TEST_F(IntegrityFixture, DivergenceWithoutRepairStaysQuarantined) {
+  ASSERT_TRUE(mart.db().Execute("DELETE FROM v_all WHERE run_id = 1").ok());
+
+  IntegrityMonitor monitor(&server->service());
+  monitor.RegisterReplica(MartReplica(/*with_repair=*/false));
+  auto status = monitor.SweepOnce();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_EQ(monitor.stats().quarantines, 1u);
+  EXPECT_EQ(monitor.stats().repairs, 0u);
+  EXPECT_TRUE(server->service().IsQuarantined("mart_lite"));
+
+  // Queries route away from (here: entirely lose) the divergent replica
+  // rather than silently serving bad rows.
+  auto rs = server->service().Query("SELECT event_id FROM v_all", nullptr);
+  EXPECT_EQ(rs.status().code(), StatusCode::kNotFound);
+
+  // A later sweep that finds the replica healthy again (out-of-band
+  // repair) reinstates it.
+  ASSERT_TRUE(RefreshView(wh, "v_all", mart, pipeline).ok());
+  EXPECT_TRUE(monitor.SweepOnce().ok());
+  EXPECT_EQ(monitor.stats().reinstated, 1u);
+  EXPECT_FALSE(server->service().IsQuarantined("mart_lite"));
+}
+
+TEST_F(IntegrityFixture, TableDigestIsServedOverRpc) {
+  rpc::RpcClient client(&transport, "client",
+                        "clarens://caltech-tier2:8080/clarens");
+  rpc::XmlRpcArray params;
+  params.emplace_back("v_all");
+  params.emplace_back("mart_lite");
+  auto response = client.Call("dataaccess.tableDigest", std::move(params),
+                              nullptr);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  auto want = ViewContentDigest(wh, "v_all");
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ((**response->Member("rows")).AsInt().value(),
+            static_cast<int64_t>(want->rows));
+  EXPECT_EQ((**response->Member("md5")).AsString().value(), want->md5);
+
+  rpc::XmlRpcArray ghost;
+  ghost.emplace_back("ghost_table");
+  auto missing = client.Call("dataaccess.tableDigest", std::move(ghost),
+                             nullptr);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IntegrityFixture, SchemaEpochChangeMidQueryTriggersOneReplan) {
+  // The hook fires in the window between planning and execution — a
+  // concurrent schema change lands exactly there. The query must fail
+  // its stale plan internally, replan once and still succeed.
+  bool fired = false;
+  server->service().set_post_plan_hook([this, &fired] {
+    if (fired) return;
+    fired = true;
+    auto lower = server->service().GenerateXSpecFor("mart_lite");
+    auto upper = server->service().UpperEntryFor("mart_lite");
+    ASSERT_TRUE(lower.ok());
+    ASSERT_TRUE(upper.ok());
+    EXPECT_TRUE(server->service().ReloadDatabase(*upper, *lower).ok());
+  });
+
+  QueryStats stats;
+  auto rs = server->service().Query("SELECT event_id FROM v_all", &stats);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(stats.replans, 1u);
+  EXPECT_EQ(rs->num_rows(), 120u);
+
+  // Stats survive the sparse RPC round-trip.
+  QueryStats round = StatsFromRpc(StatsToRpc(stats));
+  EXPECT_EQ(round.replans, 1u);
+}
+
+TEST_F(IntegrityFixture, XSpecRepositoryEpochAdvancesWithSchemaChanges) {
+  EXPECT_EQ(xspec_repo.epoch(), 0u);
+  (void)xspec_repo.Put("xspec://a", "<spec v=1/>");
+  uint64_t second = xspec_repo.Put("xspec://b", "<spec v=1/>");
+  EXPECT_EQ(second, 2u);
+  EXPECT_EQ(xspec_repo.epoch(), 2u);
+  auto epoch_a = xspec_repo.EpochOf("xspec://a");
+  ASSERT_TRUE(epoch_a.ok());
+  EXPECT_EQ(*epoch_a, 1u);
+  // Re-publishing advances both the repository and the document epoch.
+  (void)xspec_repo.Put("xspec://a", "<spec v=2/>");
+  EXPECT_EQ(xspec_repo.EpochOf("xspec://a").value(), 3u);
+  EXPECT_EQ(xspec_repo.EpochOf("xspec://missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(IntegrityStatsCodec, SparseEncodingOmitsZeroCounters) {
+  IntegrityStats healthy;
+  healthy.sweeps = 3;
+  healthy.replicas_checked = 6;
+  rpc::XmlRpcValue value = IntegrityStatsToRpc(healthy);
+  const rpc::XmlRpcStruct* fields = value.AsStruct().value();
+  // An all-healthy report carries no fault keys at all, so its wire form
+  // is indistinguishable from a build that predates the fault counters.
+  EXPECT_EQ(fields->count("divergences"), 0u);
+  EXPECT_EQ(fields->count("quarantines"), 0u);
+  EXPECT_EQ(fields->count("repairs"), 0u);
+  EXPECT_EQ(fields->count("repair_failures"), 0u);
+  EXPECT_EQ(fields->count("reinstated"), 0u);
+
+  IntegrityStats round = IntegrityStatsFromRpc(value);
+  EXPECT_EQ(round.sweeps, 3u);
+  EXPECT_EQ(round.replicas_checked, 6u);
+  EXPECT_EQ(round.divergences, 0u);
+
+  IntegrityStats faulty = healthy;
+  faulty.divergences = 1;
+  faulty.quarantines = 1;
+  IntegrityStats faulty_round = IntegrityStatsFromRpc(IntegrityStatsToRpc(faulty));
+  EXPECT_EQ(faulty_round.divergences, 1u);
+  EXPECT_EQ(faulty_round.quarantines, 1u);
+}
+
+}  // namespace
+}  // namespace griddb::core

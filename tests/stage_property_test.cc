@@ -1,0 +1,289 @@
+// Property-style tests for the stage-file cell escaping and the chunked
+// (v2) stage format: every string a producer can emit must round-trip
+// byte-exactly, and the NULL marker must never be confusable with data
+// that happens to look like it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "griddb/storage/digest.h"
+#include "griddb/storage/stage_file.h"
+#include "griddb/util/md5.h"
+
+namespace griddb::storage {
+namespace {
+
+Result<Value> RoundTrip(const Value& value, DataType type) {
+  return UnescapeCell(EscapeCell(value), type);
+}
+
+// Deterministic pseudo-random byte stream (xorshift64*); no global
+// entropy so failures reproduce exactly.
+struct Rng {
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dull;
+  }
+};
+
+TEST(StageEscaping, NullMarkerIsDistinctFromLiteralBackslashN) {
+  // A NULL cell encodes as the two bytes \N ...
+  EXPECT_EQ(EscapeCell(Value::Null()), "\\N");
+  // ... while a *string* holding backslash-N escapes its backslash, so
+  // the two are unambiguous on the wire.
+  Value literal(std::string("\\N"));
+  std::string escaped = EscapeCell(literal);
+  EXPECT_NE(escaped, "\\N");
+
+  auto back = RoundTrip(literal, DataType::kString);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->is_null());
+  EXPECT_EQ(back->AsStringStrict(), "\\N");
+
+  auto null_back = UnescapeCell("\\N", DataType::kString);
+  ASSERT_TRUE(null_back.ok());
+  EXPECT_TRUE(null_back->is_null());
+}
+
+TEST(StageEscaping, EmptyStringIsNotNull) {
+  Value empty(std::string(""));
+  std::string escaped = EscapeCell(empty);
+  auto back = UnescapeCell(escaped, DataType::kString);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->is_null());
+  EXPECT_EQ(back->AsStringStrict(), "");
+}
+
+TEST(StageEscaping, StructuralCharactersNeverSurviveEscaping) {
+  // Tabs separate cells and newlines separate rows: an escaped cell must
+  // contain neither, whatever the input.
+  const std::string nasty_inputs[] = {
+      "\t", "\n", "\r", "\r\n", "a\tb", "line1\nline2", "ends with tab\t",
+      "\nstarts with newline", "\\", "\\\\", "\\t", "\\n",
+      std::string("embedded\0null", 13), "mixed\t\n\r\\N\\here",
+  };
+  for (const std::string& input : nasty_inputs) {
+    std::string escaped = EscapeCell(Value(input));
+    EXPECT_EQ(escaped.find('\t'), std::string::npos) << "input: " << input;
+    EXPECT_EQ(escaped.find('\n'), std::string::npos) << "input: " << input;
+    auto back = RoundTrip(Value(input), DataType::kString);
+    ASSERT_TRUE(back.ok()) << "input: " << input;
+    EXPECT_EQ(back->AsStringStrict(), input) << "escaped as: " << escaped;
+  }
+}
+
+TEST(StageEscaping, RandomStringsRoundTripByteExactly) {
+  Rng rng;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string input;
+    size_t length = rng.Next() % 40;
+    for (size_t i = 0; i < length; ++i) {
+      // Bias toward the interesting bytes: separators, backslash, 'N'.
+      const char interesting[] = {'\t', '\n', '\r', '\\', 'N', ' '};
+      uint64_t roll = rng.Next();
+      if (roll % 3 == 0) {
+        input.push_back(interesting[roll % sizeof(interesting)]);
+      } else {
+        input.push_back(static_cast<char>(roll % 256));
+      }
+    }
+    auto back = RoundTrip(Value(input), DataType::kString);
+    ASSERT_TRUE(back.ok()) << "trial " << trial;
+    EXPECT_EQ(back->AsStringStrict(), input) << "trial " << trial;
+  }
+}
+
+TEST(StageEscaping, NonStringTypesRoundTripThroughTheirColumnType) {
+  auto i = RoundTrip(Value(int64_t{-9007199254740993}), DataType::kInt64);
+  ASSERT_TRUE(i.ok());
+  EXPECT_EQ(i->AsInt64Strict(), -9007199254740993);
+
+  auto d = RoundTrip(Value(2.5), DataType::kDouble);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->AsDoubleStrict(), 2.5);
+
+  auto b = RoundTrip(Value(true), DataType::kBool);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->AsBoolStrict());
+
+  // NULL round-trips as NULL under every column type.
+  for (DataType type : {DataType::kInt64, DataType::kDouble,
+                        DataType::kString, DataType::kBool}) {
+    auto n = RoundTrip(Value::Null(), type);
+    ASSERT_TRUE(n.ok());
+    EXPECT_TRUE(n->is_null());
+  }
+}
+
+TEST(StageEscaping, RowsOfHostileStringsSurviveAFullStageFile) {
+  TableSchema schema("hostile",
+                     {{"id", DataType::kInt64, true, true},
+                      {"payload", DataType::kString, false, false}});
+  std::vector<Row> rows;
+  rows.push_back({Value(int64_t{1}), Value(std::string("tab\there"))});
+  rows.push_back({Value(int64_t{2}), Value(std::string("line\nbreak"))});
+  rows.push_back({Value(int64_t{3}), Value(std::string("\\N"))});
+  rows.push_back({Value(int64_t{4}), Value::Null()});
+  rows.push_back({Value(int64_t{5}), Value(std::string(""))});
+  rows.push_back({Value(int64_t{6}), Value(std::string("\r\\\t\n mix"))});
+
+  auto decoded = DecodeStage(EncodeStage(schema, rows));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->rows.size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(decoded->rows[r].size(), 2u);
+    EXPECT_TRUE(decoded->rows[r][1].is_null() == rows[r][1].is_null());
+    if (!rows[r][1].is_null()) {
+      EXPECT_EQ(decoded->rows[r][1].AsStringStrict(),
+                rows[r][1].AsStringStrict())
+          << "row " << r;
+    }
+  }
+}
+
+struct ChunkedStageFile : public ::testing::Test {
+  ChunkedStageFile() {
+    dir_ = (std::filesystem::temp_directory_path() / "griddb_stage_prop_test")
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    schema_ = TableSchema("t", {{"id", DataType::kInt64, true, true},
+                                {"s", DataType::kString, false, false}});
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  Status Append(const std::string& path, size_t id,
+                const std::vector<Row>& rows) {
+    std::string block = EncodeRowBlock(rows);
+    StageChunk chunk;
+    chunk.id = id;
+    chunk.rows = rows.size();
+    chunk.md5 = Md5Hex(block);
+    return AppendStageChunk(path, schema_, chunk, block);
+  }
+
+  std::string dir_;
+  TableSchema schema_;
+};
+
+TEST_F(ChunkedStageFile, LastFrameForAChunkIdWins) {
+  const std::string path = Path("supersede.stage");
+  std::vector<Row> original = {{Value(int64_t{1}), Value("old")}};
+  std::vector<Row> replacement = {{Value(int64_t{1}), Value("new")},
+                                  {Value(int64_t{2}), Value("extra")}};
+  ASSERT_TRUE(Append(path, 0, original).ok());
+  ASSERT_TRUE(Append(path, 1, original).ok());
+  // Chunk 0 is re-staged (e.g. after corruption): appended again.
+  ASSERT_TRUE(Append(path, 0, replacement).ok());
+
+  auto stage = ReadChunkedStageFile(path);
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  ASSERT_EQ(stage->chunks.size(), 2u);
+  ASSERT_EQ(stage->chunks[0].id, 0u);
+  EXPECT_EQ(stage->chunks[0].rows, 2u);
+  EXPECT_EQ(stage->rows[0][0][1].AsStringStrict(), "new");
+}
+
+TEST_F(ChunkedStageFile, TolerantReaderReportsOnlyTheDamagedChunk) {
+  const std::string path = Path("tolerant.stage");
+  ASSERT_TRUE(Append(path, 0, {{Value(int64_t{1}), Value("aaaa")}}).ok());
+  ASSERT_TRUE(Append(path, 1, {{Value(int64_t{2}), Value("bbbb")}}).ok());
+  ASSERT_TRUE(Append(path, 2, {{Value(int64_t{3}), Value("cccc")}}).ok());
+
+  // Flip payload bytes inside chunk 1's row line.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  size_t pos = content.find("bbbb");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 4, "XXXX");
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+
+  // The strict reader refuses the whole file...
+  EXPECT_EQ(ReadChunkedStageFile(path).status().code(),
+            StatusCode::kCorruption);
+
+  // ...the tolerant reader returns the intact chunks and names the bad one.
+  std::vector<size_t> corrupt;
+  auto stage = ReadChunkedStageFileTolerant(path, &corrupt);
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  ASSERT_EQ(corrupt.size(), 1u);
+  EXPECT_EQ(corrupt[0], 1u);
+  ASSERT_EQ(stage->chunks.size(), 2u);
+  EXPECT_EQ(stage->chunks[0].id, 0u);
+  EXPECT_EQ(stage->chunks[1].id, 2u);
+
+  // A re-staged (appended) good frame heals the file: nothing corrupt.
+  ASSERT_TRUE(Append(path, 1, {{Value(int64_t{2}), Value("bbbb")}}).ok());
+  corrupt.clear();
+  auto healed = ReadChunkedStageFileTolerant(path, &corrupt);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_TRUE(corrupt.empty());
+  EXPECT_EQ(healed->chunks.size(), 3u);
+}
+
+TEST_F(ChunkedStageFile, ChunkDigestsComposeWithTheTableDigest) {
+  // Staging rows in chunks and digesting the reassembled rows must agree
+  // with digesting the original rows directly — in any order.
+  std::vector<Row> all = {
+      {Value(int64_t{1}), Value("x")},
+      {Value(int64_t{2}), Value::Null()},
+      {Value(int64_t{3}), Value(std::string("y\tz"))},
+  };
+  const std::string path = Path("digest.stage");
+  ASSERT_TRUE(Append(path, 0, {all[2], all[0]}).ok());
+  ASSERT_TRUE(Append(path, 1, {all[1]}).ok());
+
+  auto stage = ReadChunkedStageFile(path);
+  ASSERT_TRUE(stage.ok());
+  std::vector<Row> reassembled;
+  for (const auto& chunk_rows : stage->rows) {
+    reassembled.insert(reassembled.end(), chunk_rows.begin(),
+                       chunk_rows.end());
+  }
+  EXPECT_EQ(DigestRows(reassembled), DigestRows(all));
+}
+
+TEST_F(ChunkedStageFile, ManifestRoundTripsAndRenameReplaceIsAtomic) {
+  StageManifest manifest;
+  manifest.total_chunks = 4;
+  manifest.committed.push_back({0, 32, "00112233445566778899aabbccddeeff"});
+  manifest.committed.push_back({2, 17, "ffeeddccbbaa99887766554433221100"});
+  manifest.loaded.push_back(0);
+
+  auto decoded = DecodeManifest(EncodeManifest(manifest));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->total_chunks, 4u);
+  ASSERT_EQ(decoded->committed.size(), 2u);
+  EXPECT_EQ(decoded->committed[1].id, 2u);
+  EXPECT_EQ(decoded->committed[1].rows, 17u);
+  EXPECT_NE(decoded->FindCommitted(2), nullptr);
+  EXPECT_EQ(decoded->FindCommitted(1), nullptr);
+  EXPECT_TRUE(decoded->IsLoaded(0));
+  EXPECT_FALSE(decoded->IsLoaded(2));
+
+  // Overwriting an existing manifest goes through temp+rename: the file
+  // is always a complete manifest, and no temp file is left behind.
+  const std::string path = Path("run.manifest");
+  ASSERT_TRUE(WriteManifestFile(path, manifest).ok());
+  manifest.loaded.push_back(2);
+  ASSERT_TRUE(WriteManifestFile(path, manifest).ok());
+  auto reread = ReadManifestFile(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_TRUE(reread->IsLoaded(2));
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // just run.manifest; the temp was renamed away
+}
+
+}  // namespace
+}  // namespace griddb::storage
