@@ -39,6 +39,11 @@ struct TestbedOptions {
   /// keep the paper-calibrated fail-fast behaviour).
   rpc::RetryPolicy retry_policy = rpc::RetryPolicy::None();
   bool partial_results = false;
+  /// Server-side tracing on both JClarens servers (obs/). Off keeps the
+  /// paper benches byte-identical on the wire.
+  bool tracing = false;
+  /// Slow-query span-dump threshold (virtual ms); <= 0 disables.
+  double slow_query_ms = 0;
 };
 
 class Testbed {
@@ -174,6 +179,8 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.parallel_subqueries = options.parallel_subqueries;
     config.retry_policy = options.retry_policy;
     config.partial_results = options.partial_results;
+    config.tracing = options.tracing;
+    config.slow_query_ms = options.slow_query_ms;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
                                                   &bed->xspec_repo);

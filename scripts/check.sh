@@ -12,6 +12,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== docs: metric catalog gate =="
+scripts/check_metrics_docs.sh
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" >/dev/null

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Docs gate: every metric name registered in src/ must be documented in
+# docs/OPERATIONS.md. Registration sites are string literals of the form
+# "griddb.<layer>.<name>" passed to MetricsRegistry::Get{Counter,Gauge,
+# Histogram}, so a grep over src/ is the authoritative inventory.
+#
+# Run directly or via scripts/check.sh. Exits non-zero listing every
+# undocumented metric.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+catalog=docs/OPERATIONS.md
+if [[ ! -f "$catalog" ]]; then
+  echo "FAIL: $catalog does not exist" >&2
+  exit 1
+fi
+
+missing=0
+while IFS= read -r name; do
+  if ! grep -qF "$name" "$catalog"; then
+    echo "FAIL: metric $name is registered in src/ but not documented in $catalog" >&2
+    missing=1
+  fi
+done < <(grep -rhoE '"griddb\.[a-z0-9_.]+"' src | tr -d '"' | sort -u)
+
+if [[ "$missing" -ne 0 ]]; then
+  exit 1
+fi
+echo "metrics docs gate: all registered metric names documented in $catalog"

@@ -1,9 +1,11 @@
 #include "griddb/core/data_access_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <future>
 #include <set>
 
+#include "griddb/obs/metrics.h"
 #include "griddb/sql/parser.h"
 #include "griddb/sql/render.h"
 #include "griddb/unity/planner.h"
@@ -74,6 +76,84 @@ ResultSet EmptyPartial(std::vector<std::string> columns) {
   return rs;
 }
 
+// Per-call-site instrument handles (see rpc/server.cc for the pattern).
+obs::Counter& QueriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.queries");
+  return *c;
+}
+obs::Counter& QueryErrorsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.query_errors");
+  return *c;
+}
+obs::Counter& SlowQueriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.slow_queries");
+  return *c;
+}
+obs::Counter& ReplansCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.replans");
+  return *c;
+}
+obs::Counter& FailoversCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.failovers");
+  return *c;
+}
+obs::Counter& BreakerSkipsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.breaker_skips");
+  return *c;
+}
+obs::Counter& ForwardsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.core.forwards");
+  return *c;
+}
+obs::Histogram& QueryMsHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("griddb.core.query_ms");
+  return *h;
+}
+obs::Histogram& SubqueryMsHistogram() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("griddb.core.subquery_ms");
+  return *h;
+}
+
+/// FNV-1a over the server URL: a deterministic per-server tracer seed so
+/// two servers in one process never mint colliding span ids.
+uint64_t SeedFromUrl(const std::string& url) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : url) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash | 1;  // never 0 (0 would fall back to the tracer default)
+}
+
+std::string SpanHexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t SpanParseHexU64(const std::string& text) {
+  uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return 0;
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  return v;
+}
+
 }  // namespace
 
 DataAccessService::DataAccessService(DataAccessConfig config,
@@ -103,11 +183,22 @@ DataAccessService::DataAccessService(DataAccessConfig config,
   driver_.SetReplicaFilter([this](const unity::TableBinding& binding) {
     return !IsQuarantined(binding.database_name);
   });
+  // Span ids are deterministic (seed + counter) and span durations come
+  // off the virtual clock, so traces replay identically run to run.
+  tracer_.Reseed(config_.trace_seed != 0
+                     ? config_.trace_seed
+                     : SeedFromUrl(config_.server_url.empty()
+                                       ? config_.server_name + "@" + config_.host
+                                       : config_.server_url));
+  tracer_.set_enabled(config_.tracing);
+  net::Network* network = transport_->network();
+  tracer_.set_clock([network] { return network->NowMs(); });
   if (!config_.rls_url.empty()) {
     rls_ = std::make_unique<rls::RlsClient>(transport, config_.host,
                                             config_.rls_url);
     rls_->set_cache_enabled(config_.rls_cache);
     rls_->set_retry_policy(config_.retry_policy);
+    rls_->set_tracer(&tracer_);
   }
 }
 
@@ -372,7 +463,18 @@ Status DataAccessService::CheckPlanEpoch(const unity::QueryPlan& plan) const {
 Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
                                                 net::Cost* cost,
                                                 QueryStats* stats) {
-  GRIDDB_ASSIGN_OR_RETURN(unity::QueryPlan plan, driver_.Plan(stmt));
+  obs::Span plan_span = tracer_.StartSpan("unity.plan");
+  auto planned = driver_.Plan(stmt);
+  if (!planned.ok()) {
+    if (plan_span.active()) plan_span.SetError(planned.status().ToString());
+    return planned.status();
+  }
+  unity::QueryPlan plan = std::move(*planned);
+  if (plan_span.active()) {
+    plan_span.AddAttr("tables", std::to_string(plan.logical_tables.size()));
+    plan_span.AddAttr("subqueries", std::to_string(plan.subqueries.size()));
+  }
+  plan_span.End();
   if (stats) stats->tables = plan.logical_tables.size();
   if (post_plan_hook_) post_plan_hook_();
   // A schema change between planning and execution invalidates the
@@ -448,6 +550,10 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   std::vector<QueryStats> branch_stats(plan.subqueries.size());
   std::vector<Status> branch_status(plan.subqueries.size(), Status::Ok());
 
+  // Pool workers have no TLS span linkage to this thread, so the parent
+  // context is captured here and each branch opens its span under it
+  // explicitly — the same mechanism a remote server uses, minus the wire.
+  const obs::SpanContext fanout_parent = tracer_.CurrentContext();
   if (config_.enhanced_driver && config_.parallel_subqueries &&
       plan.subqueries.size() > 1) {
     std::vector<std::future<Status>> futures;
@@ -455,10 +561,19 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
       futures.push_back(
           workers_.Submit([this, &plan, &partials, &branch_costs,
-                           &branch_stats, i]() -> Status {
+                           &branch_stats, fanout_parent, i]() -> Status {
+            obs::Span sub_span =
+                tracer_.StartSpanUnder("dataaccess.subquery", fanout_parent);
+            sub_span.AddAttr("table", plan.subqueries[i].effective_name);
             auto rs = ExecuteSubQueryRouted(plan.subqueries[i],
                                             &branch_costs[i], &branch_stats[i]);
-            if (!rs.ok()) return rs.status();
+            SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
+            if (!rs.ok()) {
+              if (sub_span.active()) {
+                sub_span.SetError(rs.status().ToString());
+              }
+              return rs.status();
+            }
             partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
             return Status::Ok();
           }));
@@ -469,8 +584,15 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     if (cost) cost->AddParallel(branch_costs);
   } else {
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      obs::Span sub_span = tracer_.StartSpan("dataaccess.subquery");
+      sub_span.AddAttr("table", plan.subqueries[i].effective_name);
       auto rs = ExecuteSubQueryRouted(plan.subqueries[i], &branch_costs[i],
                                       &branch_stats[i]);
+      SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
+      if (!rs.ok() && sub_span.active()) {
+        sub_span.SetError(rs.status().ToString());
+      }
+      sub_span.End();
       if (!rs.ok()) {
         // Fail-fast (seed behaviour) unless partial results are requested.
         if (!config_.partial_results) return rs.status();
@@ -512,14 +634,21 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     }
   }
 
-  GRIDDB_ASSIGN_OR_RETURN(ResultSet merged,
-                          unity::MergePartials(*plan.merge_stmt,
-                                               std::move(partials)));
+  obs::Span merge_span = tracer_.StartSpan("dataaccess.merge");
+  auto merged = unity::MergePartials(*plan.merge_stmt, std::move(partials));
+  if (!merged.ok()) {
+    if (merge_span.active()) merge_span.SetError(merged.status().ToString());
+    return merged.status();
+  }
+  if (merge_span.active()) {
+    merge_span.AddAttr("rows", std::to_string(merged->num_rows()));
+  }
+  merge_span.End();
   if (cost) {
     cost->AddMs(transport_->costs().integrate_per_row_ms *
-                static_cast<double>(merged.num_rows()));
+                static_cast<double>(merged->num_rows()));
   }
-  return merged;
+  return std::move(*merged);
 }
 
 rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
@@ -533,6 +662,7 @@ rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
   // charge so it is not double-counted.
   client->set_connect_cost_ms(0.0);
   client->set_retry_policy(config_.retry_policy);
+  client->set_tracer(&tracer_);
   auto [inserted, unused] =
       remote_clients_.emplace(server_url, std::move(client));
   (void)unused;
@@ -543,6 +673,9 @@ Result<ResultSet> DataAccessService::RemoteQuery(
     const std::string& server_url, const std::string& sql_text,
     net::Cost* cost, QueryStats* stats, int forward_depth,
     const std::string& forward_path) {
+  ForwardsCounter().Add(1);
+  obs::Span span = tracer_.StartSpan("dataaccess.forward");
+  span.AddAttr("url", server_url);
   rpc::RpcClient* client = ClientFor(server_url);
   rpc::XmlRpcArray params;
   params.emplace_back(sql_text);
@@ -555,7 +688,21 @@ Result<ResultSet> DataAccessService::RemoteQuery(
       client->Call("dataaccess.query", std::move(params), cost,
                    forward_depth + 1, path, &call_stats);
   if (stats) stats->retries += static_cast<size_t>(call_stats.retries);
+  if (!response.ok() && span.active()) {
+    span.SetError(response.status().ToString());
+  }
   GRIDDB_RETURN_IF_ERROR(response.status());
+  // Remote child spans ride back in the (sparse) "spans" member; they are
+  // already parented under our wire context, so importing stitches them
+  // into this trace.
+  if (tracer_.enabled()) {
+    auto remote_spans = response->Member("spans");
+    if (remote_spans.ok()) {
+      for (obs::SpanRecord& record : SpansFromRpc(**remote_spans)) {
+        tracer_.Import(std::move(record));
+      }
+    }
+  }
   GRIDDB_ASSIGN_OR_RETURN(const rpc::XmlRpcValue* result,
                           response->Member("result"));
   GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, rpc::RpcToResultSet(*result));
@@ -628,9 +775,13 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
   for (const std::string& url : candidates) {
     if (!BreakerAllows(url)) {
       if (stats) ++stats->breaker_skips;
+      BreakerSkipsCounter().Add(1);
       continue;
     }
-    if (previous_failed && stats) ++stats->failovers;
+    if (previous_failed) {
+      if (stats) ++stats->failovers;
+      FailoversCounter().Add(1);
+    }
     Result<ResultSet> rs =
         RemoteQuery(url, sql_text, cost, stats, forward_depth, forward_path);
     if (rs.ok()) {
@@ -904,10 +1055,40 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
                                            QueryStats* stats,
                                            int forward_depth,
                                            const std::string& forward_path) {
+  QueriesCounter().Add(1);
+  obs::Span span = tracer_.StartSpan("dataaccess.query");
+  span.AddAttr("sql", sql_text);
   net::Cost cost;
   cost.AddMs(transport_->costs().query_parse_ms);
-  GRIDDB_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
-                          sql::ParseSelect(sql_text, ClientDialect()));
+  auto finish = [&](Result<ResultSet> result) -> Result<ResultSet> {
+    QueryMsHistogram().Observe(cost.total_ms());
+    if (!result.ok()) {
+      QueryErrorsCounter().Add(1);
+      if (span.active()) span.SetError(result.status().ToString());
+    } else if (span.active()) {
+      span.AddAttr("rows", std::to_string(result->num_rows()));
+      span.AddAttr("cost_ms", std::to_string(cost.total_ms()));
+    }
+    const uint64_t trace_id = span.context().trace_id;
+    span.End();
+    // Slow-query log: once the root span has ended the whole tree is in
+    // the finished buffer, so the dump shows every stage of this query.
+    if (config_.slow_query_ms > 0 &&
+        cost.total_ms() >= config_.slow_query_ms) {
+      SlowQueriesCounter().Add(1);
+      GRIDDB_LOG(Warn) << "slow query (" << cost.total_ms() << " ms >= "
+                       << config_.slow_query_ms << " ms) on '"
+                       << config_.server_name << "': " << sql_text
+                       << (tracer_.enabled()
+                               ? "\n" + tracer_.FormatTrace(trace_id)
+                               : std::string());
+    }
+    return result;
+  };
+
+  auto parsed = sql::ParseSelect(sql_text, ClientDialect());
+  if (!parsed.ok()) return finish(parsed.status());
+  std::unique_ptr<sql::SelectStmt> stmt = std::move(*parsed);
 
   std::vector<const sql::TableRef*> missing;
   for (const sql::TableRef* ref : stmt->AllTables()) {
@@ -925,16 +1106,17 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
        replan < 2 && !result.ok() && IsEpochStale(result.status());
        ++replan) {
     if (stats) ++stats->replans;
+    ReplansCounter().Add(1);
     result = missing.empty() ? QueryLocal(*stmt, &cost, stats)
                              : QueryWithRemote(*stmt, missing, &cost, stats,
                                                forward_depth, forward_path);
   }
-  if (!result.ok()) return result.status();
+  if (!result.ok()) return finish(result.status());
   if (stats) {
     stats->rows = result->num_rows();
     stats->simulated_ms = cost.total_ms();
   }
-  return result;
+  return finish(std::move(result));
 }
 
 // ---------- stats <-> RPC ----------
@@ -1021,6 +1203,63 @@ QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
     }
   }
   return stats;
+}
+
+// ---------- spans <-> RPC ----------
+
+rpc::XmlRpcValue SpansToRpc(const std::vector<obs::SpanRecord>& spans) {
+  rpc::XmlRpcArray out;
+  out.reserve(spans.size());
+  for (const obs::SpanRecord& span : spans) {
+    rpc::XmlRpcStruct record;
+    record["trace"] = SpanHexU64(span.trace_id);
+    record["span"] = SpanHexU64(span.span_id);
+    record["parent"] = SpanHexU64(span.parent_span_id);
+    record["name"] = span.name;
+    record["host"] = span.host;
+    record["start_ms"] = span.start_ms;
+    record["dur_ms"] = span.duration_ms;
+    if (span.error) record["error"] = span.note;
+    out.emplace_back(std::move(record));
+  }
+  return out;
+}
+
+std::vector<obs::SpanRecord> SpansFromRpc(const rpc::XmlRpcValue& value) {
+  std::vector<obs::SpanRecord> spans;
+  auto list = value.AsArray();
+  if (!list.ok()) return spans;
+  auto get_string = [](const rpc::XmlRpcValue& v, const char* key) {
+    auto member = v.Member(key);
+    if (!member.ok()) return std::string();
+    auto s = (*member)->AsString();
+    return s.ok() ? *s : std::string();
+  };
+  auto get_double = [](const rpc::XmlRpcValue& v, const char* key) {
+    auto member = v.Member(key);
+    if (!member.ok()) return 0.0;
+    auto d = (*member)->AsDouble();
+    return d.ok() ? *d : 0.0;
+  };
+  for (const rpc::XmlRpcValue& entry : **list) {
+    obs::SpanRecord span;
+    span.trace_id = SpanParseHexU64(get_string(entry, "trace"));
+    span.span_id = SpanParseHexU64(get_string(entry, "span"));
+    span.parent_span_id = SpanParseHexU64(get_string(entry, "parent"));
+    span.name = get_string(entry, "name");
+    span.host = get_string(entry, "host");
+    span.start_ms = get_double(entry, "start_ms");
+    span.duration_ms = get_double(entry, "dur_ms");
+    auto error = entry.Member("error");
+    if (error.ok()) {
+      span.error = true;
+      auto note = (*error)->AsString();
+      if (note.ok()) span.note = *note;
+    }
+    if (span.trace_id == 0 || span.span_id == 0) continue;  // malformed
+    spans.push_back(std::move(span));
+  }
+  return spans;
 }
 
 }  // namespace griddb::core

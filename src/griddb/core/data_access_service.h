@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "griddb/obs/trace.h"
 #include "griddb/ral/catalog.h"
 #include "griddb/ral/pool_ral.h"
 #include "griddb/rls/rls.h"
@@ -63,6 +64,19 @@ struct DataAccessConfig {
   int breaker_failure_threshold = 3;
   /// ...until this much virtual time has passed (half-open afterwards).
   double breaker_cooldown_ms = 5000.0;
+
+  // Observability (obs/). Off by default: an untraced request and its
+  // response are byte-identical to the pre-tracing wire format, which
+  // keeps the Table 1 / Fig 4-6 measurements unchanged.
+  /// Emit hierarchical spans for query processing; forwarded queries
+  /// continue the caller's trace and ship their spans back.
+  bool tracing = false;
+  /// Span/trace-id seed. 0 derives a per-server seed from server_url so
+  /// two servers never mint colliding span ids.
+  uint64_t trace_seed = 0;
+  /// Queries whose simulated response time reaches this many ms get their
+  /// span tree dumped to the log (requires tracing). <= 0 disables.
+  double slow_query_ms = 0;
 };
 
 /// Per-query measurements surfaced to clients and benches.
@@ -157,6 +171,10 @@ class DataAccessService {
   unity::UnityDriver& driver() { return driver_; }
   ral::PoolRal& pool_ral() { return pool_; }
 
+  /// This service's tracer (enabled iff config.tracing). The RPC handler
+  /// opens its server-side span here so Query's spans nest under it.
+  obs::Tracer& tracer() { return tracer_; }
+
   /// Test seam: runs after a local plan is built and before it executes,
   /// the window a concurrent schema change races into.
   void set_post_plan_hook(std::function<void()> hook) {
@@ -207,6 +225,7 @@ class DataAccessService {
   rpc::Transport* transport_;
   unity::UnityDriver driver_;
   ral::PoolRal pool_;
+  obs::Tracer tracer_;
   std::unique_ptr<rls::RlsClient> rls_;
   ThreadPool workers_;
 
@@ -236,5 +255,12 @@ bool IsEpochStale(const Status& status);
 /// Converts a service QueryStats to/from the RPC struct form.
 rpc::XmlRpcValue StatsToRpc(const QueryStats& stats);
 QueryStats StatsFromRpc(const rpc::XmlRpcValue& value);
+
+/// Span records cross the wire as an array of structs (ids as hex
+/// strings; the error field is encoded sparsely). Shipped only for
+/// requests that carried trace context, so untraced responses keep the
+/// pre-tracing wire bytes.
+rpc::XmlRpcValue SpansToRpc(const std::vector<obs::SpanRecord>& spans);
+std::vector<obs::SpanRecord> SpansFromRpc(const rpc::XmlRpcValue& value);
 
 }  // namespace griddb::core

@@ -1,8 +1,42 @@
 #include "griddb/core/integrity_monitor.h"
 
+#include "griddb/obs/metrics.h"
 #include "griddb/util/logging.h"
 
 namespace griddb::core {
+
+namespace {
+obs::Counter& SweepsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.sweeps");
+  return *c;
+}
+obs::Counter& ChecksCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.checks");
+  return *c;
+}
+obs::Counter& DivergencesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.divergences");
+  return *c;
+}
+obs::Counter& QuarantinesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.quarantines");
+  return *c;
+}
+obs::Counter& RepairsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.repairs");
+  return *c;
+}
+obs::Counter& ReinstatedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.core.integrity.reinstated");
+  return *c;
+}
+}  // namespace
 
 void IntegrityMonitor::RegisterReplica(ReplicaSpec spec) {
   specs_.push_back(std::move(spec));
@@ -10,6 +44,10 @@ void IntegrityMonitor::RegisterReplica(ReplicaSpec spec) {
 
 Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
   ++stats_.replicas_checked;
+  ChecksCounter().Add(1);
+  obs::Span span = service_->tracer().StartSpan("integrity.check");
+  span.AddAttr("table", spec.logical_table);
+  span.AddAttr("database", spec.database_name);
   GRIDDB_ASSIGN_OR_RETURN(storage::TableDigest reference,
                           spec.reference_digest());
   GRIDDB_ASSIGN_OR_RETURN(
@@ -21,16 +59,20 @@ Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
       // interrupted): it matches again, put it back into routing.
       GRIDDB_RETURN_IF_ERROR(service_->ReinstateDatabase(spec.database_name));
       ++stats_.reinstated;
+      ReinstatedCounter().Add(1);
     }
     return Status::Ok();
   }
 
   ++stats_.divergences;
+  DivergencesCounter().Add(1);
+  if (span.active()) span.AddAttr("divergent", "true");
   GRIDDB_RETURN_IF_ERROR(service_->QuarantineDatabase(
       spec.database_name,
       "anti-entropy: '" + spec.logical_table + "' diverges (replica " +
           actual.ToString() + " vs reference " + reference.ToString() + ")"));
   ++stats_.quarantines;
+  QuarantinesCounter().Add(1);
 
   if (!spec.repair) {
     return Corruption("replica of '" + spec.logical_table + "' in '" +
@@ -57,8 +99,10 @@ Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
                       actual.ToString() + " vs " + reference.ToString() + ")");
   }
   ++stats_.repairs;
+  RepairsCounter().Add(1);
   GRIDDB_RETURN_IF_ERROR(service_->ReinstateDatabase(spec.database_name));
   ++stats_.reinstated;
+  ReinstatedCounter().Add(1);
   GRIDDB_LOG(Info) << "anti-entropy repaired and reinstated '"
                    << spec.database_name << "' for table '"
                    << spec.logical_table << "'";
@@ -67,6 +111,9 @@ Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
 
 Status IntegrityMonitor::SweepOnce() {
   ++stats_.sweeps;
+  SweepsCounter().Add(1);
+  obs::Span span = service_->tracer().StartSpan("integrity.sweep");
+  span.AddAttr("replicas", std::to_string(specs_.size()));
   Status first = Status::Ok();
   for (const ReplicaSpec& spec : specs_) {
     Status outcome = CheckReplica(spec);

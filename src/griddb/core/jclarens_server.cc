@@ -1,5 +1,6 @@
 #include "griddb/core/jclarens_server.h"
 
+#include "griddb/obs/metrics.h"
 #include "griddb/unity/xspec.h"
 
 namespace griddb::core {
@@ -42,16 +43,78 @@ void JClarensServer::RegisterMethods() {
               "query forwarding depth exceeded after " + path +
               " (RLS mapping loop?)");
         }
+        // A request carrying trace context continues the caller's trace:
+        // the handler span parents under the wire context, Query's spans
+        // nest under the handler span (same tracer, same thread), and the
+        // whole finished subtree ships back in the sparse "spans" member.
+        // Untraced requests leave the response byte-identical.
+        obs::Tracer& tracer = service_.tracer();
+        obs::Span span;
+        if (tracer.enabled() && ctx.trace_parent.valid()) {
+          span = tracer.StartSpanUnder("dataaccess.query.remote",
+                                       ctx.trace_parent);
+          span.AddAttr("server", service_.config().server_url);
+        }
         QueryStats stats;
-        GRIDDB_ASSIGN_OR_RETURN(
-            storage::ResultSet rs,
-            service_.Query(sql, &stats, ctx.forward_depth, ctx.forward_path));
+        auto rs = service_.Query(sql, &stats, ctx.forward_depth,
+                                 ctx.forward_path);
+        if (!rs.ok()) {
+          if (span.active()) span.SetError(rs.status().ToString());
+          return rs.status();
+        }
         // The service's simulated processing time becomes server-side cost
         // so callers (local clients and forwarding servers) account for it.
         ctx.cost.AddMs(stats.simulated_ms);
         XmlRpcStruct out;
-        out["result"] = rpc::ResultSetToRpc(rs);
+        out["result"] = rpc::ResultSetToRpc(*rs);
         out["stats"] = StatsToRpc(stats);
+        if (span.active()) {
+          const uint64_t trace_id = span.context().trace_id;
+          span.End();
+          // Destructive take: a client retry that re-runs this handler
+          // ships only the retry's spans, never stale duplicates.
+          std::vector<obs::SpanRecord> spans = tracer.TakeTrace(trace_id);
+          // Stamp the producing host so the caller's rendered trace shows
+          // where the remote work ran ("@pentium4-b" in FormatTrace).
+          for (obs::SpanRecord& record : spans) {
+            if (record.host.empty()) record.host = service_.config().host;
+          }
+          if (!spans.empty()) out["spans"] = SpansToRpc(spans);
+        }
+        return XmlRpcValue(std::move(out));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.metrics",
+      [](const XmlRpcArray& params,
+         rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)params;
+        (void)ctx;
+        // The registry is process-wide (all servers in a simulation share
+        // it), so any JClarens endpoint can serve the full snapshot.
+        obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+        XmlRpcStruct counters;
+        for (const auto& [name, value] : snap.counters) {
+          counters[name] = static_cast<int64_t>(value);
+        }
+        XmlRpcStruct gauges;
+        for (const auto& [name, value] : snap.gauges) gauges[name] = value;
+        XmlRpcStruct histograms;
+        for (const auto& [name, data] : snap.histograms) {
+          XmlRpcStruct h;
+          h["count"] = static_cast<int64_t>(data.count);
+          h["sum"] = data.sum;
+          XmlRpcArray buckets;
+          for (uint64_t bucket : data.buckets) {
+            buckets.emplace_back(static_cast<int64_t>(bucket));
+          }
+          h["buckets"] = std::move(buckets);
+          histograms[name] = std::move(h);
+        }
+        XmlRpcStruct out;
+        out["counters"] = std::move(counters);
+        out["gauges"] = std::move(gauges);
+        out["histograms"] = std::move(histograms);
         return XmlRpcValue(std::move(out));
       });
 

@@ -2,7 +2,29 @@
 
 #include <mutex>
 
+#include "griddb/obs/metrics.h"
+
 namespace griddb::net {
+
+namespace {
+// Process-wide mirrors of the per-Network FaultCounters, so injected
+// faults show up in the dataaccess.metrics snapshot alongside the retry
+// and failover counters they trigger.
+obs::Counter& FaultMetric(size_t FaultCounters::* field) {
+  static obs::Counter* host_down =
+      obs::MetricsRegistry::Default().GetCounter("griddb.net.faults.host_down");
+  static obs::Counter* drops =
+      obs::MetricsRegistry::Default().GetCounter("griddb.net.faults.drops");
+  static obs::Counter* corruptions = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.net.faults.corruptions");
+  static obs::Counter* delays =
+      obs::MetricsRegistry::Default().GetCounter("griddb.net.faults.delays");
+  if (field == &FaultCounters::host_down) return *host_down;
+  if (field == &FaultCounters::drops) return *drops;
+  if (field == &FaultCounters::corruptions) return *corruptions;
+  return *delays;
+}
+}  // namespace
 
 void Network::AddHost(const std::string& name) {
   std::unique_lock lock(mu_);
@@ -116,8 +138,11 @@ Result<double> Network::WireTransferMs(const std::string& a,
   if (!plan) return link.TransferMs(bytes);
 
   auto count = [this](size_t FaultCounters::* field) {
-    std::lock_guard<std::mutex> lock(fault_mu_);
-    ++(fault_counters_.*field);
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      ++(fault_counters_.*field);
+    }
+    FaultMetric(field).Add(1);
   };
   if (plan->HostDownAt(a, now)) {
     count(&FaultCounters::host_down);

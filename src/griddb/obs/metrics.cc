@@ -1,0 +1,130 @@
+#include "griddb/obs/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+
+namespace griddb::obs {
+
+double HistogramData::ApproxQuantileMs(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return kLatencyBucketUpperMs[i];
+  }
+  return kLatencyBucketUpperMs[kLatencyBuckets - 1];
+}
+
+void HistogramData::Merge(const HistogramData& other) {
+  for (size_t i = 0; i < kLatencyBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+HistogramData Histogram::Data() const {
+  HistogramData data;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    data.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  data.count = count_.load(std::memory_order_relaxed);
+  data.sum = sum_.load(std::memory_order_relaxed);
+  return data;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, data] : other.histograms) {
+    histograms[name].Merge(data);
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second.get();
+    if (gauges_.count(name) || histograms_.count(name)) return nullptr;
+  }
+  std::unique_lock lock(mu_);
+  if (gauges_.count(name) || histograms_.count(name)) return nullptr;
+  auto [it, inserted] = counters_.emplace(name, std::make_unique<Counter>());
+  (void)inserted;  // a racing registration wins; both are the same instrument
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return it->second.get();
+    if (counters_.count(name) || histograms_.count(name)) return nullptr;
+  }
+  std::unique_lock lock(mu_);
+  if (counters_.count(name) || histograms_.count(name)) return nullptr;
+  auto [it, inserted] = gauges_.emplace(name, std::make_unique<Gauge>());
+  (void)inserted;
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second.get();
+    if (counters_.count(name) || gauges_.count(name)) return nullptr;
+  }
+  std::unique_lock lock(mu_);
+  if (counters_.count(name) || gauges_.count(name)) return nullptr;
+  auto [it, inserted] = histograms_.emplace(name, std::make_unique<Histogram>());
+  (void)inserted;
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::shared_lock lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Data();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  for (const auto& [name, gauge] : gauges_) names.push_back(name);
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace griddb::obs

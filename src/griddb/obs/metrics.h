@@ -1,0 +1,135 @@
+// Lock-cheap metrics: counters, gauges and fixed-bucket latency
+// histograms behind a name-keyed registry.
+//
+// The fast path (Counter::Add, Gauge::Set, Histogram::Observe) is a
+// handful of relaxed atomic operations — no locks, no allocations — so
+// instrumentation can sit on the per-message and per-row hot paths the
+// benches measure. Registration (GetCounter and friends) takes a lock
+// and may allocate; call sites register once (typically via a
+// function-local static) and keep the returned pointer, which stays
+// valid for the registry's lifetime.
+//
+// Metric names follow `griddb.<layer>.<name>` (see DESIGN.md §10); the
+// full catalog lives in docs/OPERATIONS.md and scripts/check.sh fails
+// when a registered name is missing from it.
+//
+// Snapshots are plain value types that merge: counters and histogram
+// buckets add, gauges take the other side's value. Merging lets an
+// operator aggregate `dataaccess.metrics` responses from a fleet of
+// JClarens servers into one view.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace griddb::obs {
+
+/// Upper bounds (ms) of the fixed latency buckets; the last bucket is
+/// unbounded. Fixed so snapshots from different processes merge without
+/// bucket-boundary negotiation.
+inline constexpr size_t kLatencyBuckets = 14;
+inline constexpr std::array<double, kLatencyBuckets> kLatencyBucketUpperMs = {
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 1e300};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written level (queue depth, clock reading, config knob).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Merged view of one histogram (also the snapshot form).
+struct HistogramData {
+  std::array<uint64_t, kLatencyBuckets> buckets{};
+  uint64_t count = 0;
+  double sum = 0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0; }
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]);
+  /// the usual fixed-bucket estimate, exact enough to spot regressions.
+  double ApproxQuantileMs(double q) const;
+  void Merge(const HistogramData& other);
+};
+
+/// Fixed-bucket latency histogram. Observe is allocation-free.
+class Histogram {
+ public:
+  void Observe(double ms) {
+    size_t bucket = 0;
+    while (bucket + 1 < kLatencyBuckets && ms > kLatencyBucketUpperMs[bucket]) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ms, std::memory_order_relaxed);
+  }
+
+  HistogramData Data() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Point-in-time copy of a registry; mergeable across processes.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Counters and histograms accumulate; gauges take `other`'s value.
+  void Merge(const MetricsSnapshot& other);
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the instrument registered under `name`, creating it on
+  /// first use. The pointer stays valid for the registry's lifetime.
+  /// A name registers as exactly one kind; re-requesting it as another
+  /// kind returns nullptr (callers treat that as a wiring bug).
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered instrument (handles stay valid) — tests
+  /// and the overhead bench isolate runs with this.
+  void Reset();
+  /// Sorted names of every registered instrument.
+  std::vector<std::string> Names() const;
+
+  /// The process-wide registry all built-in instrumentation uses.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace griddb::obs

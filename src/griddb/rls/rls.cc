@@ -2,12 +2,36 @@
 
 #include <mutex>
 
+#include "griddb/obs/metrics.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::rls {
 
 using rpc::XmlRpcArray;
 using rpc::XmlRpcValue;
+
+namespace {
+obs::Counter& LookupCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rls.lookups");
+  return *c;
+}
+obs::Counter& CacheHitCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rls.cache_hits");
+  return *c;
+}
+obs::Counter& CacheInvalidationCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.rls.cache_invalidations");
+  return *c;
+}
+obs::Counter& PublishCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rls.publishes");
+  return *c;
+}
+}  // namespace
 
 RlsServer::RlsServer(const std::string& url, rpc::Transport* transport)
     : server_(url, transport) {
@@ -147,6 +171,7 @@ Status RlsClient::Publish(const std::string& logical_name,
   GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue result,
                           client_.Call("rls.publish", std::move(params), cost));
   (void)result;
+  PublishCounter().Add(1);
   InvalidateCache(logical_name);  // a cached miss/mapping is now stale
   return Status::Ok();
 }
@@ -174,12 +199,14 @@ Status RlsClient::Unpublish(const std::string& logical_name,
 Result<std::vector<std::string>> RlsClient::Lookup(
     const std::string& logical_name, net::Cost* cost) {
   const std::string key = ToLower(logical_name);
+  LookupCounter().Add(1);
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     if (cache_enabled_) {
       auto it = cache_.find(key);
       if (it != cache_.end()) {
         ++cache_hits_;
+        CacheHitCounter().Add(1);
         return it->second;
       }
     }
@@ -215,7 +242,9 @@ bool RlsClient::cache_enabled() const {
 
 void RlsClient::InvalidateCache(const std::string& logical_name) {
   std::lock_guard<std::mutex> lock(cache_mu_);
-  cache_.erase(ToLower(logical_name));
+  if (cache_.erase(ToLower(logical_name)) > 0) {
+    CacheInvalidationCounter().Add(1);
+  }
 }
 
 void RlsClient::ClearCache() {

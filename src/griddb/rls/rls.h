@@ -86,6 +86,10 @@ class RlsClient {
     client_.set_retry_policy(policy);
   }
 
+  /// Tracer for the underlying RPC client (lookups become "rpc.call"
+  /// spans under whatever span is current on the calling thread).
+  void set_tracer(obs::Tracer* tracer) { client_.set_tracer(tracer); }
+
  private:
   rpc::RpcClient client_;
   mutable std::mutex cache_mu_;

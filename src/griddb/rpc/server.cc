@@ -3,10 +3,46 @@
 #include <algorithm>
 #include <mutex>
 
+#include "griddb/obs/metrics.h"
 #include "griddb/util/logging.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::rpc {
+
+namespace {
+// Function-local-static instrument handles keep the hot path allocation-free:
+// the registry lookup happens once per process, later hits are a pointer read.
+obs::Counter& ServerRequests() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rpc.server.requests");
+  return *c;
+}
+obs::Counter& ServerFaults() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rpc.server.faults");
+  return *c;
+}
+obs::Counter& ClientCalls() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rpc.client.calls");
+  return *c;
+}
+obs::Counter& ClientRetries() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rpc.client.retries");
+  return *c;
+}
+obs::Counter& ClientFailures() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.rpc.client.failures");
+  return *c;
+}
+obs::Histogram& ClientCallMs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("griddb.rpc.client.call_ms");
+  return *h;
+}
+}  // namespace
 
 bool IsRetryable(StatusCode code) {
   // Corruption is transient like a drop: the next transmission of the
@@ -164,14 +200,17 @@ std::string RpcServer::HandleRaw(std::string_view raw_request,
   ctx.forward_depth = forward_depth;
   ctx.forward_path = forward_path;
   ctx.cost.AddMs(transport_->costs().query_parse_ms);
+  ServerRequests().Add(1);
 
   auto respond = [&](const Result<XmlRpcValue>& result) {
     if (cost) cost->AddSequential(ctx.cost);
+    if (!result.ok()) ServerFaults().Add(1);
     return result.ok() ? EncodeResponse(*result) : EncodeFault(result.status());
   };
 
   auto request = DecodeRequest(raw_request);
   if (!request.ok()) return respond(request.status());
+  ctx.trace_parent = {request->trace_id, request->parent_span_id};
 
   // Built-in session login.
   if (request->method == "system.login") {
@@ -261,7 +300,8 @@ void RpcClient::Charge(net::Cost* cost, double ms) {
 Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
                                         const XmlRpcArray& params,
                                         net::Cost* cost, int forward_depth,
-                                        const std::string& forward_path) {
+                                        const std::string& forward_path,
+                                        const obs::SpanContext& trace_ctx) {
   GRIDDB_RETURN_IF_ERROR(Connect(cost));
   GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
                           transport_->Resolve(server_url_));
@@ -270,6 +310,8 @@ Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
   request.method = method;
   request.params = params;
   request.session_token = session_token_;
+  request.trace_id = trace_ctx.trace_id;
+  request.parent_span_id = trace_ctx.span_id;
   std::string raw_request = EncodeRequest(request);
 
   net::Network* network = transport_->network();
@@ -333,17 +375,40 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
     std::lock_guard<std::mutex> lock(jitter_mu_);
     policy = retry_policy_;
   }
+  ClientCalls().Add(1);
+  // All charging flows through a local tee so the histogram sees exactly
+  // the simulated ms this call cost, whether or not the caller accounts.
+  net::Cost local_cost;
+  obs::Span span;
+  if (tracer_ && tracer_->enabled()) {
+    span = tracer_->StartSpan("rpc.call");
+    span.AddAttr("method", method);
+    span.AddAttr("server", server_url_);
+  }
+  const obs::SpanContext trace_ctx = span.context();
+  auto finish = [&](Result<XmlRpcValue> result) -> Result<XmlRpcValue> {
+    if (cost) cost->AddSequential(local_cost);
+    ClientCallMs().Observe(local_cost.total_ms());
+    if (!result.ok()) {
+      ClientFailures().Add(1);
+      if (span.active()) span.SetError(result.status().ToString());
+    }
+    span.End();
+    return result;
+  };
   const int max_attempts = std::max(1, policy.max_attempts);
   double backoff = policy.initial_backoff_ms;
   for (int attempt = 1;; ++attempt) {
     if (call_stats) ++call_stats->attempts;
-    Result<XmlRpcValue> result =
-        CallOnce(method, params, cost, forward_depth, forward_path);
+    Result<XmlRpcValue> result = CallOnce(method, params, &local_cost,
+                                          forward_depth, forward_path,
+                                          trace_ctx);
     if (result.ok() || !IsRetryable(result.status().code()) ||
         attempt >= max_attempts) {
-      return result;
+      return finish(std::move(result));
     }
     if (call_stats) ++call_stats->retries;
+    ClientRetries().Add(1);
     double jitter = 0;
     {
       std::lock_guard<std::mutex> lock(jitter_mu_);
@@ -352,7 +417,7 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
     }
     // The backoff wait advances the virtual clock, which is what lets a
     // retry schedule outlast a host down-window.
-    Charge(cost, std::clamp(backoff + jitter, 0.0, policy.max_backoff_ms));
+    Charge(&local_cost, std::clamp(backoff + jitter, 0.0, policy.max_backoff_ms));
     backoff = std::min(backoff * policy.backoff_multiplier,
                        policy.max_backoff_ms);
   }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "griddb/net/network.h"
+#include "griddb/obs/trace.h"
 #include "griddb/rpc/xmlrpc_value.h"
 #include "griddb/util/rng.h"
 #include "griddb/util/status.h"
@@ -107,6 +108,10 @@ struct CallContext {
   int forward_depth = 0;           ///< Guards against forwarding loops.
   std::string forward_path;        ///< " -> "-separated server URLs already
                                    ///< visited (loop diagnostics).
+  /// Caller's distributed-trace context (invalid when the request carried
+  /// none). Handlers that trace open their server-side span under it and
+  /// ship the resulting child spans back in the response.
+  obs::SpanContext trace_parent;
 };
 
 using MethodHandler =
@@ -183,6 +188,12 @@ class RpcClient {
   void set_retry_policy(const RetryPolicy& policy);
   const RetryPolicy& retry_policy() const { return retry_policy_; }
 
+  /// Attaches a tracer: every Call opens an "rpc.call" span (parented to
+  /// the calling thread's current span) and puts its context on the wire
+  /// so the server continues the trace. Null (the default) disables both.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
   /// One RPC. Network transfer both ways + server-side handler cost are
   /// added to `cost` (which may be null when the caller doesn't account).
   /// Transient failures (see IsRetryable) are retried per the client's
@@ -200,7 +211,8 @@ class RpcClient {
   Result<XmlRpcValue> CallOnce(const std::string& method,
                                const XmlRpcArray& params, net::Cost* cost,
                                int forward_depth,
-                               const std::string& forward_path);
+                               const std::string& forward_path,
+                               const obs::SpanContext& trace_ctx);
   /// Charges `ms` to `cost` (when non-null) and advances the virtual clock.
   void Charge(net::Cost* cost, double ms);
 
@@ -214,6 +226,7 @@ class RpcClient {
   double connect_cost_ms_ = -1.0;  ///< <0 = use transport default.
   std::string session_token_;
   RetryPolicy retry_policy_;
+  obs::Tracer* tracer_ = nullptr;
   std::mutex jitter_mu_;           ///< Guards the jitter RNG stream.
   Rng jitter_rng_{0x5eed};
 };

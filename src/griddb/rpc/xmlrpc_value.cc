@@ -1,5 +1,7 @@
 #include "griddb/rpc/xmlrpc_value.h"
 
+#include <cstdio>
+
 #include "griddb/util/strings.h"
 
 namespace griddb::rpc {
@@ -208,11 +210,45 @@ xml::WriteOptions CompactXml() {
 }
 }  // namespace
 
+namespace {
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool ParseHexU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+}  // namespace
+
 std::string EncodeRequest(const RpcRequest& request) {
   xml::Node root("methodCall");
   root.AddTextChild("methodName", request.method);
   if (!request.session_token.empty()) {
     root.AddTextChild("sessionToken", request.session_token);
+  }
+  // Sparse: untraced requests carry no trace element at all.
+  if (request.trace_id != 0) {
+    root.AddTextChild("traceContext", HexU64(request.trace_id) + ":" +
+                                          HexU64(request.parent_span_id));
   }
   xml::Node& params = root.AddChild("params");
   for (const XmlRpcValue& param : request.params) {
@@ -231,6 +267,17 @@ Result<RpcRequest> DecodeRequest(std::string_view raw) {
   request.method = doc->ChildText("methodName");
   if (request.method.empty()) return ParseError("missing <methodName>");
   request.session_token = doc->ChildText("sessionToken");
+  std::string trace = doc->ChildText("traceContext");
+  if (!trace.empty()) {
+    size_t colon = trace.find(':');
+    if (colon == std::string::npos ||
+        !ParseHexU64(std::string_view(trace).substr(0, colon),
+                     &request.trace_id) ||
+        !ParseHexU64(std::string_view(trace).substr(colon + 1),
+                     &request.parent_span_id)) {
+      return ParseError("malformed <traceContext> '" + trace + "'");
+    }
+  }
   if (const xml::Node* params = doc->Child("params")) {
     for (const auto& param : params->children) {
       if (param->name != "param" || param->children.empty()) {

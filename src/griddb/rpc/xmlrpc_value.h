@@ -79,6 +79,12 @@ struct RpcRequest {
   std::string method;
   XmlRpcArray params;
   std::string session_token;  ///< Carried as a header param; empty = none.
+  /// Distributed-trace context (obs/trace.h), carried as a header element
+  /// like the session token. Encoded ONLY when trace_id != 0, so requests
+  /// from untraced clients are byte-identical to the pre-tracing wire
+  /// format (the Table 1 / Fig 4-6 invariant).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 std::string EncodeRequest(const RpcRequest& request);

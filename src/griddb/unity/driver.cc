@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "griddb/obs/metrics.h"
 #include "griddb/sql/parser.h"
 #include "griddb/sql/render.h"
 
@@ -14,6 +15,17 @@ namespace {
 /// permissive SQLite dialect accepts every quoting style plus LIMIT.
 const sql::Dialect& ClientDialect() {
   return sql::Dialect::For(sql::Vendor::kSqlite);
+}
+
+obs::Counter& PlansCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.unity.plans");
+  return *c;
+}
+obs::Counter& SubqueriesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.unity.subqueries");
+  return *c;
 }
 }  // namespace
 
@@ -47,6 +59,7 @@ Result<QueryPlan> UnityDriver::Plan(const std::string& sql_text) const {
 }
 
 Result<QueryPlan> UnityDriver::Plan(const sql::SelectStmt& stmt) const {
+  PlansCounter().Add(1);
   PlannerOptions planner_options;
   planner_options.allow_cross_database_joins = options_.enhanced;
   planner_options.projection_pushdown =
@@ -85,6 +98,7 @@ Status UnityDriver::WarmConnection(const std::string& connection) {
 
 Result<ResultSet> UnityDriver::ExecuteSubQuery(const SubQuery& sub,
                                                net::Cost* cost) {
+  SubqueriesCounter().Add(1);
   GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
                           ConnectionFor(sub.table.connection, cost));
   const sql::Dialect& dialect = conn->database()->dialect();
