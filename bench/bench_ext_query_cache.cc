@@ -1,0 +1,281 @@
+// Extension: multi-tier query cache on the paper's Table 1 query mix.
+//
+// Runs the Table 1 queries (plus the Fig 6-style scan) against a
+// cache-enabled testbed and compares the client-observed virtual-clock
+// latency of the first (cold) pass against repeat (warm) passes served
+// from the result cache. Acceptance (see EXPERIMENTS.md):
+//   - median warm speedup across the mix >= 5x;
+//   - cache-disabled parity: a cache-on cold pass costs the same as a
+//     cache-off server (the cache must be invisible until it hits);
+//   - a content-digest change and a schema-epoch bump each force a miss.
+// Emits machine-readable BENCH_query_cache.json (path = argv[1]) so the
+// perf trajectory is tracked from this PR on.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/testbed.h"
+#include "griddb/util/stopwatch.h"
+
+using namespace griddb;
+
+namespace {
+
+// The three Table 1 queries plus the row-heavy Fig 6-style scan.
+const char* kQueries[4] = {
+    "SELECT id, value FROM chunk_my_a1_0",
+    "SELECT a.id, a.value, b.value FROM chunk_my_a1_0 a "
+    "JOIN chunk_ms_a1_0 b ON a.id = b.id",
+    "SELECT a.id, a.value, b.value, c.value, d.value "
+    "FROM chunk_my_a1_0 a JOIN chunk_ms_a1_0 b ON a.id = b.id "
+    "JOIN chunk_my_b1_0 c ON a.id = c.id "
+    "JOIN chunk_ms_b1_0 d ON a.id = d.id",
+    "SELECT * FROM ntuple_my_a1",
+};
+const char* kQueryLabels[4] = {"chunk_scan", "join_2way", "join_4way",
+                               "ntuple_scan"};
+
+// Warm-up queries: same databases (so connect/auth is paid up front),
+// different tables (so the measured mix still runs cache-cold).
+const char* kWarmupQueries[4] = {
+    "SELECT id FROM chunk_my_a1_1",
+    "SELECT id FROM chunk_ms_a1_1",
+    "SELECT id FROM chunk_my_b1_1",
+    "SELECT id FROM chunk_ms_b1_1",
+};
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  return n % 2 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2;
+}
+
+struct MixCosts {
+  double per_query_ms[4] = {0, 0, 0, 0};
+  double total_ms = 0;
+  double real_ms = 0;
+};
+
+// One pass over the mix through the client RPC path, per-query virtual
+// cost recorded separately.
+MixCosts RunMixOnce(rpc::RpcClient& client) {
+  MixCosts costs;
+  Stopwatch wall;
+  for (int q = 0; q < 4; ++q) {
+    rpc::XmlRpcArray params;
+    params.emplace_back(std::string(kQueries[q]));
+    net::Cost cost;
+    auto response = client.Call("dataaccess.query", std::move(params), &cost);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query '%s' failed: %s\n", kQueryLabels[q],
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+    costs.per_query_ms[q] = cost.total_ms();
+    costs.total_ms += cost.total_ms();
+  }
+  costs.real_ms = wall.ElapsedMs();
+  return costs;
+}
+
+void WarmUp(rpc::RpcClient& client) {
+  (void)client.Call("dataaccess.listTables", {}, nullptr);
+  for (const char* sql : kWarmupQueries) {
+    rpc::XmlRpcArray params;
+    params.emplace_back(std::string(sql));
+    auto response = client.Call("dataaccess.query", std::move(params), nullptr);
+    if (!response.ok()) {
+      std::fprintf(stderr, "warm-up query failed: %s\n",
+                   response.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
+
+// Same wobble bound as bench_ext_trace_overhead: encoded double lengths
+// and the parallel fan-out interleaving move totals by fractions of a
+// millisecond between runs; a real parity break is orders larger.
+constexpr double kParityToleranceMs = 2.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_query_cache.json";
+  constexpr int kWarmIterations = 7;
+
+  std::printf("=== Extension: multi-tier query cache on the Table 1 mix "
+              "===\n");
+
+  bench::TestbedOptions cached_options;
+  cached_options.main_table_rows = 20000;
+  cached_options.query_cache = true;
+  std::printf("building cache-enabled testbed...\n");
+  auto bed = bench::Testbed::Build(cached_options);
+  rpc::RpcClient client(&bed->transport, "client",
+                        "clarens://pentium4-a:8080/clarens");
+  WarmUp(client);
+
+  // Observe digest baselines before anything is cached, mirroring the
+  // integrity monitor's first sweep (a later change then invalidates).
+  core::DataAccessService& service_a = bed->server_a->service();
+  auto baseline = service_a.TableDigest("chunk_my_a1_0", "my_a1");
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "digest failed: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+  service_a.ObserveTableDigest("chunk_my_a1_0", baseline->md5);
+
+  std::printf("running cold pass + %d warm passes...\n", kWarmIterations);
+  MixCosts cold = RunMixOnce(client);
+  std::vector<MixCosts> warm_passes;
+  for (int i = 0; i < kWarmIterations; ++i) {
+    warm_passes.push_back(RunMixOnce(client));
+  }
+
+  double warm_ms[4];
+  double speedup[4];
+  std::vector<double> speedups;
+  std::printf("\n%-12s %14s %14s %10s\n", "query", "cold (ms)", "warm (ms)",
+              "speedup");
+  for (int q = 0; q < 4; ++q) {
+    std::vector<double> samples;
+    for (const MixCosts& pass : warm_passes) {
+      samples.push_back(pass.per_query_ms[q]);
+    }
+    warm_ms[q] = Median(samples);
+    speedup[q] = warm_ms[q] > 0 ? cold.per_query_ms[q] / warm_ms[q]
+                                : std::numeric_limits<double>::infinity();
+    speedups.push_back(speedup[q]);
+    std::printf("%-12s %14.3f %14.3f %9.1fx\n", kQueryLabels[q],
+                cold.per_query_ms[q], warm_ms[q], speedup[q]);
+  }
+  const double median_speedup = Median(speedups);
+  std::printf("%-12s %40.1fx\n", "median", median_speedup);
+
+  // Parity: an identically-seeded cache-off testbed must see the same
+  // cold-pass virtual cost (cache-cold responses are byte-identical, so
+  // costs can differ only by the encoded-double wobble).
+  std::printf("\nbuilding cache-disabled testbed for the parity check...\n");
+  bench::TestbedOptions off_options = cached_options;
+  off_options.query_cache = false;
+  auto off_bed = bench::Testbed::Build(off_options);
+  rpc::RpcClient off_client(&off_bed->transport, "client",
+                            "clarens://pentium4-a:8080/clarens");
+  WarmUp(off_client);
+  MixCosts off_cold = RunMixOnce(off_client);
+  const double parity_delta = std::abs(off_cold.total_ms - cold.total_ms);
+  std::printf("cache-off cold: %.3f ms, cache-on cold: %.3f ms "
+              "(delta %.3f ms)\n",
+              off_cold.total_ms, cold.total_ms, parity_delta);
+
+  // Invalidation: a content-digest change forces the next query to
+  // re-execute and see the new row.
+  core::QueryStats stats;
+  bool digest_miss = false;
+  {
+    engine::Database* my_a1 = bed->databases[0].get();
+    if (!my_a1->Execute("INSERT INTO chunk_my_a1_0 (id, value) "
+                        "VALUES (100, 0.5)")
+             .ok()) {
+      std::fprintf(stderr, "mutation failed\n");
+      return 1;
+    }
+    auto changed = service_a.TableDigest("chunk_my_a1_0", "my_a1");
+    if (!changed.ok() || changed->md5 == baseline->md5) {
+      std::fprintf(stderr, "digest did not change after mutation\n");
+      return 1;
+    }
+    service_a.ObserveTableDigest("chunk_my_a1_0", changed->md5);
+    auto rs = service_a.Query(kQueries[0], &stats);
+    digest_miss = rs.ok() && stats.result_cache_hits == 0 &&
+                  rs->num_rows() == cached_options.chunk_rows + 1;
+    std::printf("digest change: %s (result_cache_hits=%zu, rows=%zu)\n",
+                digest_miss ? "miss as required" : "STILL SERVED FROM CACHE",
+                static_cast<size_t>(stats.result_cache_hits),
+                rs.ok() ? static_cast<size_t>(rs->num_rows()) : 0);
+  }
+
+  // Invalidation: a schema-epoch bump (database re-registration) drops
+  // both the plan and the result tiers.
+  bool epoch_miss = false;
+  {
+    core::QueryStats warm_stats;
+    auto warm_rs = service_a.Query(kQueries[0], &warm_stats);
+    auto lower = service_a.GenerateXSpecFor("my_a1");
+    auto upper = service_a.UpperEntryFor("my_a1");
+    if (!warm_rs.ok() || warm_stats.result_cache_hits != 1 || !lower.ok() ||
+        !upper.ok() || !service_a.ReloadDatabase(*upper, *lower).ok()) {
+      std::fprintf(stderr, "epoch bump setup failed\n");
+      return 1;
+    }
+    core::QueryStats after;
+    auto rs = service_a.Query(kQueries[0], &after);
+    epoch_miss = rs.ok() && after.result_cache_hits == 0 &&
+                 after.plan_cache_hits == 0;
+    std::printf("epoch bump:    %s (result_cache_hits=%zu, "
+                "plan_cache_hits=%zu)\n",
+                epoch_miss ? "miss as required" : "STILL SERVED FROM CACHE",
+                static_cast<size_t>(after.result_cache_hits),
+                static_cast<size_t>(after.plan_cache_hits));
+  }
+
+  bool ok = true;
+  if (median_speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: median warm speedup %.2fx < 5x\n",
+                 median_speedup);
+    ok = false;
+  }
+  if (parity_delta > kParityToleranceMs) {
+    std::fprintf(stderr,
+                 "FAIL: cache-on cold pass differs from cache-off by "
+                 "%.3f ms > %.1f ms — the cold path is no longer "
+                 "invisible\n",
+                 parity_delta, kParityToleranceMs);
+    ok = false;
+  }
+  if (!digest_miss) {
+    std::fprintf(stderr, "FAIL: digest change did not invalidate\n");
+    ok = false;
+  }
+  if (!epoch_miss) {
+    std::fprintf(stderr, "FAIL: epoch bump did not invalidate\n");
+    ok = false;
+  }
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"query_cache\",\n");
+    std::fprintf(f, "  \"queries\": [\n");
+    for (int q = 0; q < 4; ++q) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"cold_ms\": %.6f, "
+                   "\"warm_ms\": %.6f, \"speedup\": %.3f}%s\n",
+                   kQueryLabels[q], cold.per_query_ms[q], warm_ms[q],
+                   speedup[q], q + 1 < 4 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"median_speedup\": %.3f,\n", median_speedup);
+    std::fprintf(f, "  \"cold_total_ms\": %.6f,\n", cold.total_ms);
+    std::fprintf(f, "  \"cache_off_total_ms\": %.6f,\n", off_cold.total_ms);
+    std::fprintf(f, "  \"parity_delta_ms\": %.6f,\n", parity_delta);
+    std::fprintf(f, "  \"cold_real_ms\": %.3f,\n", cold.real_ms);
+    std::fprintf(f, "  \"digest_change_forces_miss\": %s,\n",
+                 digest_miss ? "true" : "false");
+    std::fprintf(f, "  \"epoch_bump_forces_miss\": %s,\n",
+                 epoch_miss ? "true" : "false");
+    std::fprintf(f, "  \"pass\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    ok = false;
+  }
+
+  std::printf(ok ? "\nPASS\n" : "\nFAIL\n");
+  return ok ? 0 : 1;
+}

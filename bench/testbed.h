@@ -44,6 +44,10 @@ struct TestbedOptions {
   bool tracing = false;
   /// Slow-query span-dump threshold (virtual ms); <= 0 disables.
   double slow_query_ms = 0;
+  /// Multi-tier query cache on both JClarens servers. Off keeps the
+  /// paper benches byte-identical on the wire.
+  bool query_cache = false;
+  bool serve_stale_results = false;
 };
 
 class Testbed {
@@ -181,6 +185,8 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.partial_results = options.partial_results;
     config.tracing = options.tracing;
     config.slow_query_ms = options.slow_query_ms;
+    config.query_cache = options.query_cache;
+    config.serve_stale_results = options.serve_stale_results;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
                                                   &bed->xspec_repo);

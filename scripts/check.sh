@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the robustness suites under ASan.
+# Tier-1 gate plus the robustness suites under ASan/TSan and the query
+# cache perf gate.
 #
-#   scripts/check.sh            # build + full ctest + asan fault suites
+#   scripts/check.sh            # build + ctest + sanitizers + cache bench
 #   scripts/check.sh --fast     # build + full ctest only
 #
 # The tier-1 contract (ROADMAP.md): `cmake -B build -S . && cmake --build
 # build -j && ctest` must pass. On top of that, the fault-injection and
 # integrity tests exercise enough pointer-heavy recovery paths (manifest
 # rewrites, quarantine swaps, mid-run aborts) that they are worth a
-# second run under AddressSanitizer.
+# second run under AddressSanitizer, and the query cache is hammered
+# under ThreadSanitizer because it sits on the parallel sub-query
+# fan-out. The cache bench is a perf gate: warm repeat queries must stay
+# >= 5x faster than cold, and the cold path must stay byte-identical to
+# a cache-disabled server (results land in BENCH_query_cache.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,21 +28,33 @@ echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "OK (fast mode: sanitizer pass skipped)"
+  echo "OK (fast mode: sanitizer + bench passes skipped)"
   exit 0
 fi
+
+echo "== perf gate: query cache bench =="
+./build/bench/bench_ext_query_cache BENCH_query_cache.json
 
 echo "== asan: build robustness suites =="
 cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
-  stage_property_test >/dev/null
+  stage_property_test query_cache_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
-         stage_property_test; do
+         stage_property_test query_cache_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
+done
+
+echo "== tsan: build + run cache concurrency suites =="
+cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
+cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
+  query_cache_test concurrency_test >/dev/null
+for t in query_cache_test concurrency_test; do
+  echo "-- $t"
+  /tmp/griddb_tsan/tests/"$t" >/dev/null
 done
 
 echo "OK"

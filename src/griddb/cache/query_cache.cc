@@ -1,0 +1,271 @@
+#include "griddb/cache/query_cache.h"
+
+#include <algorithm>
+
+#include "griddb/obs/metrics.h"
+
+namespace griddb::cache {
+
+namespace {
+// Per-call-site instrument handles (rpc/server.cc pattern). Hits/misses
+// are counted by the data access layer, which knows whether a lookup was
+// a whole-query or per-sub-query probe; the cache itself owns the
+// counters only it can observe.
+obs::Counter& PlanEvictionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.cache.plan.evictions");
+  return *c;
+}
+obs::Counter& ResultEvictionsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.cache.result.evictions");
+  return *c;
+}
+obs::Counter& ResultInvalidationsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.cache.result.invalidations");
+  return *c;
+}
+obs::Counter& StaleServesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.cache.result.stale_serves");
+  return *c;
+}
+obs::Gauge& ResultBytesGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "griddb.cache.result.bytes");
+  return *g;
+}
+obs::Gauge& PlanEntriesGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "griddb.cache.plan.entries");
+  return *g;
+}
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheConfig config) : config_(config) {}
+
+// ---------- text memo ----------
+
+std::optional<QueryCache::TextInfo> QueryCache::LookupText(
+    const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = text_by_sql_.find(text);
+  if (it == text_by_sql_.end()) return std::nullopt;
+  text_lru_.splice(text_lru_.begin(), text_lru_, it->second);
+  return it->second->second;
+}
+
+void QueryCache::InsertText(const std::string& text, TextInfo info) {
+  if (config_.plan_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = text_by_sql_.find(text);
+  if (it != text_by_sql_.end()) {
+    text_lru_.erase(it->second);
+    text_by_sql_.erase(it);
+  }
+  text_lru_.emplace_front(text, std::move(info));
+  text_by_sql_[text] = text_lru_.begin();
+  while (text_lru_.size() > config_.plan_capacity * 4) {
+    text_by_sql_.erase(text_lru_.back().first);
+    text_lru_.pop_back();
+  }
+}
+
+// ---------- plan tier ----------
+
+std::shared_ptr<const CachedPlan> QueryCache::LookupPlan(
+    const std::string& fingerprint, uint64_t epoch, uint64_t routing_gen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plan_by_fp_.find(fingerprint);
+  if (it == plan_by_fp_.end()) return nullptr;
+  if (it->second->epoch != epoch || it->second->routing_gen != routing_gen) {
+    // Schema or routing moved since planning; the plan's physical names /
+    // replica choices are unusable. Evict so the replan replaces it.
+    plan_lru_.erase(it->second);
+    plan_by_fp_.erase(it);
+    PlanEvictionsCounter().Add(1);
+    PlanEntriesGauge().Set(static_cast<double>(plan_lru_.size()));
+    return nullptr;
+  }
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  return it->second->plan;
+}
+
+void QueryCache::InsertPlan(const std::string& fingerprint, uint64_t epoch,
+                            uint64_t routing_gen,
+                            std::shared_ptr<const CachedPlan> plan) {
+  if (config_.plan_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plan_by_fp_.find(fingerprint);
+  if (it != plan_by_fp_.end()) {
+    plan_lru_.erase(it->second);
+    plan_by_fp_.erase(it);
+  }
+  plan_lru_.push_front(PlanNode{fingerprint, epoch, routing_gen,
+                                std::move(plan)});
+  plan_by_fp_[fingerprint] = plan_lru_.begin();
+  while (plan_lru_.size() > config_.plan_capacity) {
+    plan_by_fp_.erase(plan_lru_.back().fingerprint);
+    plan_lru_.pop_back();
+    PlanEvictionsCounter().Add(1);
+  }
+  PlanEntriesGauge().Set(static_cast<double>(plan_lru_.size()));
+}
+
+// ---------- result tier ----------
+
+std::string QueryCache::ResultKey(const std::string& fingerprint,
+                                  uint64_t epoch,
+                                  const std::vector<std::string>& tables) {
+  std::vector<std::string> sorted = tables;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string key = fingerprint;
+  key += "|e";
+  key += std::to_string(epoch);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& table : sorted) {
+    auto it = table_versions_.find(table);
+    key += '|';
+    key += table;
+    key += '@';
+    key += std::to_string(it == table_versions_.end() ? 0 : it->second);
+  }
+  return key;
+}
+
+CachedResult QueryCache::LookupResult(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return {};
+  result_lru_.splice(result_lru_.begin(), result_lru_, it->second);
+  last_good_[it->second->fingerprint] = it->second;
+  return {it->second->result, it->second->meta};
+}
+
+void QueryCache::InsertResult(
+    const std::string& key, const std::string& fingerprint, uint64_t epoch,
+    std::vector<std::string> tables,
+    std::shared_ptr<const storage::ResultSet> result, const ResultMeta& meta) {
+  if (!result) return;
+  const size_t bytes = result->WireSize();
+  if (bytes > config_.result_capacity_bytes) return;  // would evict all
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) EvictResultLocked(it->second);
+  result_lru_.push_front(ResultNode{key, fingerprint, epoch,
+                                    std::move(tables), std::move(result), meta,
+                                    bytes, /*stale_only=*/false});
+  by_key_[key] = result_lru_.begin();
+  last_good_[result_lru_.begin()->fingerprint] = result_lru_.begin();
+  bytes_ += bytes;
+  TrimLocked();
+  ResultBytesGauge().Set(static_cast<double>(bytes_));
+}
+
+CachedResult QueryCache::LastKnownGood(const std::string& fingerprint,
+                                       uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_good_.find(fingerprint);
+  if (it == last_good_.end()) return {};
+  if (it->second->epoch != epoch) return {};  // never span a schema change
+  StaleServesCounter().Add(1);
+  return {it->second->result, it->second->meta};
+}
+
+// ---------- invalidation ----------
+
+void QueryCache::MarkStaleLocked(std::list<ResultNode>::iterator it) {
+  if (it->stale_only) return;
+  by_key_.erase(it->key);
+  it->key.clear();
+  it->stale_only = true;
+  ResultInvalidationsCounter().Add(1);
+}
+
+void QueryCache::EvictResultLocked(std::list<ResultNode>::iterator it) {
+  if (!it->stale_only) by_key_.erase(it->key);
+  auto lg = last_good_.find(it->fingerprint);
+  if (lg != last_good_.end() && lg->second == it) last_good_.erase(lg);
+  bytes_ -= it->bytes;
+  result_lru_.erase(it);
+}
+
+void QueryCache::TrimLocked() {
+  while (bytes_ > config_.result_capacity_bytes && !result_lru_.empty()) {
+    EvictResultLocked(std::prev(result_lru_.end()));
+    ResultEvictionsCounter().Add(1);
+  }
+}
+
+bool QueryCache::ObserveDigest(const std::string& table,
+                               const std::string& md5) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_digests_.find(table);
+  if (it == table_digests_.end()) {
+    // First observation establishes the baseline; nothing cached before
+    // this instant could have been computed from different content.
+    table_digests_[table] = md5;
+    return false;
+  }
+  if (it->second == md5) return false;
+  it->second = md5;
+  ++table_versions_[table];
+  for (auto node = result_lru_.begin(); node != result_lru_.end(); ++node) {
+    if (std::find(node->tables.begin(), node->tables.end(), table) !=
+        node->tables.end()) {
+      MarkStaleLocked(node);
+    }
+  }
+  return true;
+}
+
+size_t QueryCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (auto node = result_lru_.begin(); node != result_lru_.end(); ++node) {
+    if (node->stale_only) continue;
+    if (std::find(node->tables.begin(), node->tables.end(), table) !=
+        node->tables.end()) {
+      MarkStaleLocked(node);
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = plan_lru_.size() + result_lru_.size();
+  plan_lru_.clear();
+  plan_by_fp_.clear();
+  text_lru_.clear();
+  text_by_sql_.clear();
+  result_lru_.clear();
+  by_key_.clear();
+  last_good_.clear();
+  bytes_ = 0;
+  ResultBytesGauge().Set(0);
+  PlanEntriesGauge().Set(0);
+  return count;
+}
+
+// ---------- introspection ----------
+
+size_t QueryCache::result_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t QueryCache::result_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return result_lru_.size();
+}
+
+size_t QueryCache::plan_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_lru_.size();
+}
+
+}  // namespace griddb::cache

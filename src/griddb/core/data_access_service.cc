@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <optional>
 #include <set>
 
 #include "griddb/obs/metrics.h"
+#include "griddb/sql/fingerprint.h"
 #include "griddb/sql/parser.h"
 #include "griddb/sql/render.h"
 #include "griddb/unity/planner.h"
 #include "griddb/util/logging.h"
+#include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
 
 namespace griddb::core {
@@ -122,6 +125,44 @@ obs::Histogram& SubqueryMsHistogram() {
       obs::MetricsRegistry::Default().GetHistogram("griddb.core.subquery_ms");
   return *h;
 }
+obs::Counter& PlanCacheHitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.cache.plan.hits");
+  return *c;
+}
+obs::Counter& PlanCacheMissesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.cache.plan.misses");
+  return *c;
+}
+obs::Counter& ResultCacheHitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.cache.result.hits");
+  return *c;
+}
+obs::Counter& ResultCacheMissesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.cache.result.misses");
+  return *c;
+}
+obs::Counter& SubqueryCacheHitsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.cache.subquery.hits");
+  return *c;
+}
+obs::Counter& SubqueryCacheMissesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.cache.subquery.misses");
+  return *c;
+}
+
+/// Status codes under which an opted-in client would rather see a stale
+/// cached result than an error: the same transient set the replica
+/// failover path treats as retry-worthy.
+bool IsStaleServable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
+         code == StatusCode::kNotFound || code == StatusCode::kCorruption;
+}
 
 /// FNV-1a over the server URL: a deterministic per-server tracer seed so
 /// two servers in one process never mint colliding span ids.
@@ -176,7 +217,13 @@ DataAccessService::DataAccessService(DataAccessConfig config,
                 return options;
               }()),
       pool_(catalog, transport->network(), transport->costs(), config_.host),
-      workers_(config_.max_threads) {
+      workers_(config_.max_threads),
+      cache_([&] {
+        cache::QueryCacheConfig cc;
+        cc.plan_capacity = config_.plan_cache_entries;
+        cc.result_capacity_bytes = config_.result_cache_bytes;
+        return cc;
+      }()) {
   // Quarantined databases are invisible to the planner; with every
   // replica of a table quarantined, planning fails with "no usable
   // replica" (kNotFound), which the failover path treats as transient.
@@ -388,16 +435,34 @@ Status DataAccessService::QuarantineDatabase(const std::string& database_name,
   }
   GRIDDB_LOG(Warn) << "quarantining database '" << database_name
                    << "': " << reason;
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
-  quarantined_[database_name] = reason;
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    quarantined_[database_name] = reason;
+  }
+  // Cached plans may have routed sub-queries to the now-suspect replica,
+  // and cached results may hold rows fetched from it: bump the routing
+  // generation (evicts plans lazily) and invalidate every cached result
+  // over the quarantined database's tables.
+  routing_gen_.fetch_add(1, std::memory_order_acq_rel);
+  std::vector<std::string> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = published_.find(database_name);
+    if (it != published_.end()) tables = it->second;
+  }
+  for (const std::string& table : tables) cache_.InvalidateTable(table);
   return Status::Ok();
 }
 
 Status DataAccessService::ReinstateDatabase(const std::string& database_name) {
-  std::lock_guard<std::mutex> lock(quarantine_mu_);
-  if (quarantined_.erase(database_name) == 0) {
-    return NotFound("database '" + database_name + "' is not quarantined");
+  {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (quarantined_.erase(database_name) == 0) {
+      return NotFound("database '" + database_name + "' is not quarantined");
+    }
   }
+  // Replica eligibility changed again; cached plans must re-route.
+  routing_gen_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -417,16 +482,103 @@ std::vector<std::string> DataAccessService::QuarantinedDatabases() const {
   return names;
 }
 
+// ---------- cache administration ----------
+
+void DataAccessService::ObserveTableDigest(const std::string& logical_table,
+                                           const std::string& md5) {
+  cache_.ObserveDigest(ToLower(logical_table), md5);
+}
+
+size_t DataAccessService::CacheInvalidate(const std::string& logical_table) {
+  if (logical_table.empty()) return cache_.Clear();
+  return cache_.InvalidateTable(ToLower(logical_table));
+}
+
 // ---------- query processing ----------
 
-Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(const SubQuery& sub,
-                                                           net::Cost* cost,
-                                                           QueryStats* stats) {
+std::shared_ptr<const cache::CachedPlan> DataAccessService::PrerenderPlan(
+    unity::QueryPlan plan) const {
+  auto cached = std::make_shared<cache::CachedPlan>();
+  cached->plan = std::move(plan);
+  const unity::QueryPlan& p = cached->plan;
+  if (p.single_database && p.direct_stmt) {
+    auto entry = catalog_->Find(p.connection);
+    // A failed catalog lookup is left unrendered; execution re-runs the
+    // same lookup and surfaces the identical error.
+    if (entry.ok()) {
+      const sql::Dialect& dialect = entry->database->dialect();
+      if (ral::IsPoolSupported(entry->database->vendor()) &&
+          ExpressibleInRal(*p.direct_stmt)) {
+        cached->direct_pool_form = true;
+        for (const sql::SelectItem& item : p.direct_stmt->items) {
+          std::string field = sql::RenderExpr(*item.expr, dialect);
+          if (!item.alias.empty()) {
+            field += " AS " + dialect.QuoteIdentifier(item.alias);
+          }
+          cached->direct_fields.push_back(std::move(field));
+        }
+        for (const sql::TableRef& ref : p.direct_stmt->from) {
+          std::string table = dialect.QuoteIdentifier(ref.table);
+          if (!ref.alias.empty()) {
+            table += " " + dialect.QuoteIdentifier(ref.alias);
+          }
+          cached->direct_tables.push_back(std::move(table));
+        }
+        if (p.direct_stmt->where) {
+          cached->direct_where =
+              sql::RenderExpr(*p.direct_stmt->where, dialect);
+        }
+      } else {
+        cached->direct_sql = sql::RenderSelect(*p.direct_stmt, dialect);
+      }
+    }
+  }
+  cached->subquery_renders.resize(p.subqueries.size());
+  for (size_t i = 0; i < p.subqueries.size(); ++i) {
+    const SubQuery& sub = p.subqueries[i];
+    cache::RenderedSubQuery& render = cached->subquery_renders[i];
+    auto entry = catalog_->Find(sub.table.connection);
+    if (!entry.ok()) continue;  // execution surfaces the same error
+    const sql::Dialect& dialect = entry->database->dialect();
+    render.pool_form = ral::IsPoolSupported(entry->database->vendor());
+    std::string text;
+    if (render.pool_form) {
+      render.field_strings = sub.FieldStrings(dialect);
+      render.quoted_table = dialect.QuoteIdentifier(sub.table.physical);
+      render.where_string = sub.WhereString(dialect);
+      text = render.quoted_table;
+      for (const std::string& field : render.field_strings) {
+        text += '\x1f';
+        text += field;
+      }
+      text += '\x1f';
+      text += render.where_string;
+    } else {
+      render.full_sql = sub.RenderSql(dialect);
+      text = render.full_sql;
+    }
+    render.cache_id = Md5Hex(sub.table.connection + '\x1f' + text);
+  }
+  return cached;
+}
+
+Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(
+    const SubQuery& sub, const cache::RenderedSubQuery& render, net::Cost* cost,
+    QueryStats* stats) {
   GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
                           catalog_->Find(sub.table.connection));
   if (ral::IsPoolSupported(entry.database->vendor())) {
     GRIDDB_RETURN_IF_ERROR(pool_.InitHandle(
         sub.table.connection, config_.db_user, config_.db_password, cost));
+    if (render.pool_form) {
+      GRIDDB_ASSIGN_OR_RETURN(
+          ResultSet rs,
+          pool_.Execute(sub.table.connection, render.field_strings,
+                        {render.quoted_table}, render.where_string, cost));
+      if (stats) ++stats->pool_ral_subqueries;
+      return rs;
+    }
+    // Prerender had no catalog entry yet; render inline (cold path).
     const sql::Dialect& dialect = entry.database->dialect();
     GRIDDB_ASSIGN_OR_RETURN(
         ResultSet rs,
@@ -436,9 +588,13 @@ Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(const SubQuery& sub,
     if (stats) ++stats->pool_ral_subqueries;
     return rs;
   }
-  GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, driver_.ExecuteSubQuery(sub, cost));
+  Result<ResultSet> rs =
+      render.full_sql.empty()
+          ? driver_.ExecuteSubQuery(sub, cost)
+          : driver_.ExecuteSubQueryRendered(sub, render.full_sql, cost);
+  GRIDDB_RETURN_IF_ERROR(rs.status());
   if (stats) ++stats->jdbc_subqueries;
-  return rs;
+  return std::move(*rs);
 }
 
 namespace {
@@ -461,20 +617,45 @@ Status DataAccessService::CheckPlanEpoch(const unity::QueryPlan& plan) const {
 }
 
 Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
+                                                const std::string& fingerprint,
                                                 net::Cost* cost,
                                                 QueryStats* stats) {
-  obs::Span plan_span = tracer_.StartSpan("unity.plan");
-  auto planned = driver_.Plan(stmt);
-  if (!planned.ok()) {
-    if (plan_span.active()) plan_span.SetError(planned.status().ToString());
-    return planned.status();
+  const bool use_cache = config_.query_cache && !fingerprint.empty();
+  // Routing-generation snapshot BEFORE the plan lookup: if a quarantine
+  // lands mid-plan, the entry inserted below is tagged with the older
+  // generation and the next lookup evicts it — conservative, never stale.
+  const uint64_t routing_gen = routing_gen_.load(std::memory_order_acquire);
+  std::shared_ptr<const cache::CachedPlan> cached;
+  if (use_cache) {
+    cached = cache_.LookupPlan(fingerprint, driver_.dictionary().epoch(),
+                               routing_gen);
+    if (cached) {
+      if (stats) ++stats->plan_cache_hits;
+      PlanCacheHitsCounter().Add(1);
+    } else {
+      PlanCacheMissesCounter().Add(1);
+    }
   }
-  unity::QueryPlan plan = std::move(*planned);
-  if (plan_span.active()) {
-    plan_span.AddAttr("tables", std::to_string(plan.logical_tables.size()));
-    plan_span.AddAttr("subqueries", std::to_string(plan.subqueries.size()));
+  if (!cached) {
+    obs::Span plan_span = tracer_.StartSpan("unity.plan");
+    auto planned = driver_.Plan(stmt);
+    if (!planned.ok()) {
+      if (plan_span.active()) plan_span.SetError(planned.status().ToString());
+      return planned.status();
+    }
+    if (plan_span.active()) {
+      plan_span.AddAttr("tables",
+                        std::to_string(planned->logical_tables.size()));
+      plan_span.AddAttr("subqueries",
+                        std::to_string(planned->subqueries.size()));
+    }
+    plan_span.End();
+    cached = PrerenderPlan(std::move(*planned));
+    if (use_cache) {
+      cache_.InsertPlan(fingerprint, cached->plan.epoch, routing_gen, cached);
+    }
   }
-  plan_span.End();
+  const unity::QueryPlan& plan = cached->plan;
   if (stats) stats->tables = plan.logical_tables.size();
   if (post_plan_hook_) post_plan_hook_();
   // A schema change between planning and execution invalidates the
@@ -486,43 +667,28 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     if (stats) stats->databases = 1;
     GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
                             catalog_->Find(plan.connection));
-    const sql::Dialect& dialect = entry.database->dialect();
-    if (ral::IsPoolSupported(entry.database->vendor()) &&
-        ExpressibleInRal(*plan.direct_stmt)) {
+    (void)entry;
+    if (cached->direct_pool_form) {
       GRIDDB_RETURN_IF_ERROR(pool_.InitHandle(
           plan.connection, config_.db_user, config_.db_password, cost));
-      std::vector<std::string> fields;
-      for (const sql::SelectItem& item : plan.direct_stmt->items) {
-        std::string field = sql::RenderExpr(*item.expr, dialect);
-        if (!item.alias.empty()) {
-          field += " AS " + dialect.QuoteIdentifier(item.alias);
-        }
-        fields.push_back(std::move(field));
-      }
-      std::vector<std::string> tables;
-      for (const sql::TableRef& ref : plan.direct_stmt->from) {
-        std::string table = dialect.QuoteIdentifier(ref.table);
-        if (!ref.alias.empty()) {
-          table += " " + dialect.QuoteIdentifier(ref.alias);
-        }
-        tables.push_back(std::move(table));
-      }
-      std::string where = plan.direct_stmt->where
-                              ? sql::RenderExpr(*plan.direct_stmt->where, dialect)
-                              : std::string();
       GRIDDB_ASSIGN_OR_RETURN(
-          ResultSet rs, pool_.Execute(plan.connection, fields, tables, where,
-                                      cost));
+          ResultSet rs,
+          pool_.Execute(plan.connection, cached->direct_fields,
+                        cached->direct_tables, cached->direct_where, cost));
       if (stats) ++stats->pool_ral_subqueries;
       return rs;
     }
     // JDBC path for unsupported vendors or queries beyond the RAL form.
     net::Cost jdbc_cost;
-    GRIDDB_ASSIGN_OR_RETURN(ResultSet rs,
-                            driver_.ExecuteDirect(plan, &jdbc_cost));
+    Result<ResultSet> rs =
+        cached->direct_sql.empty()
+            ? driver_.ExecuteDirect(plan, &jdbc_cost)
+            : driver_.ExecuteDirectRendered(plan, cached->direct_sql,
+                                            &jdbc_cost);
+    GRIDDB_RETURN_IF_ERROR(rs.status());
     if (cost) cost->AddSequential(jdbc_cost);
     if (stats) ++stats->jdbc_subqueries;
-    return rs;
+    return std::move(*rs);
   }
 
   // Multi-database: route each sub-query, in parallel when enabled.
@@ -550,6 +716,40 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   std::vector<QueryStats> branch_stats(plan.subqueries.size());
   std::vector<Status> branch_status(plan.subqueries.size(), Status::Ok());
 
+  // One branch body shared by the parallel and serial paths: probe the
+  // per-sub-query result cache (so the unchanged side of a cross-database
+  // join is served from memory even when the other side misses), execute
+  // on a miss, insert on success. Cache entries are immutable shared rows;
+  // the partial gets a copy because the merge mutates its input.
+  auto run_branch = [&](size_t i) -> Status {
+    const SubQuery& sub = plan.subqueries[i];
+    const cache::RenderedSubQuery& render = cached->subquery_renders[i];
+    std::string sub_key;
+    if (use_cache && !render.cache_id.empty()) {
+      sub_key = cache_.ResultKey(render.cache_id, plan.epoch,
+                                 {ToLower(sub.table.logical)});
+      if (cache::CachedResult hit = cache_.LookupResult(sub_key)) {
+        ++branch_stats[i].subquery_cache_hits;
+        SubqueryCacheHitsCounter().Add(1);
+        partials[i] = {sub.effective_name, ResultSet(*hit.result)};
+        return Status::Ok();
+      }
+      SubqueryCacheMissesCounter().Add(1);
+    }
+    auto rs = ExecuteSubQueryRouted(sub, render, &branch_costs[i],
+                                    &branch_stats[i]);
+    SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
+    if (!rs.ok()) return rs.status();
+    if (!sub_key.empty()) {
+      cache_.InsertResult(sub_key, render.cache_id, plan.epoch,
+                          {ToLower(sub.table.logical)},
+                          std::make_shared<ResultSet>(*rs),
+                          cache::ResultMeta{});
+    }
+    partials[i] = {sub.effective_name, std::move(*rs)};
+    return Status::Ok();
+  };
+
   // Pool workers have no TLS span linkage to this thread, so the parent
   // context is captured here and each branch opens its span under it
   // explicitly — the same mechanism a remote server uses, minus the wire.
@@ -560,22 +760,16 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     futures.reserve(plan.subqueries.size());
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
       futures.push_back(
-          workers_.Submit([this, &plan, &partials, &branch_costs,
-                           &branch_stats, fanout_parent, i]() -> Status {
+          workers_.Submit([this, &plan, &run_branch, fanout_parent,
+                           i]() -> Status {
             obs::Span sub_span =
                 tracer_.StartSpanUnder("dataaccess.subquery", fanout_parent);
             sub_span.AddAttr("table", plan.subqueries[i].effective_name);
-            auto rs = ExecuteSubQueryRouted(plan.subqueries[i],
-                                            &branch_costs[i], &branch_stats[i]);
-            SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
-            if (!rs.ok()) {
-              if (sub_span.active()) {
-                sub_span.SetError(rs.status().ToString());
-              }
-              return rs.status();
+            Status branch = run_branch(i);
+            if (!branch.ok() && sub_span.active()) {
+              sub_span.SetError(branch.ToString());
             }
-            partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
-            return Status::Ok();
+            return branch;
           }));
     }
     for (size_t i = 0; i < futures.size(); ++i) {
@@ -586,19 +780,15 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
       obs::Span sub_span = tracer_.StartSpan("dataaccess.subquery");
       sub_span.AddAttr("table", plan.subqueries[i].effective_name);
-      auto rs = ExecuteSubQueryRouted(plan.subqueries[i], &branch_costs[i],
-                                      &branch_stats[i]);
-      SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
-      if (!rs.ok() && sub_span.active()) {
-        sub_span.SetError(rs.status().ToString());
+      Status branch = run_branch(i);
+      if (!branch.ok() && sub_span.active()) {
+        sub_span.SetError(branch.ToString());
       }
       sub_span.End();
-      if (!rs.ok()) {
+      if (!branch.ok()) {
         // Fail-fast (seed behaviour) unless partial results are requested.
-        if (!config_.partial_results) return rs.status();
-        branch_status[i] = rs.status();
-      } else {
-        partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
+        if (!config_.partial_results) return branch;
+        branch_status[i] = branch;
       }
       if (cost) cost->AddSequential(branch_costs[i]);
     }
@@ -631,6 +821,7 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     for (const QueryStats& branch : branch_stats) {
       stats->pool_ral_subqueries += branch.pool_ral_subqueries;
       stats->jdbc_subqueries += branch.jdbc_subqueries;
+      stats->subquery_cache_hits += branch.subquery_cache_hits;
     }
   }
 
@@ -718,6 +909,10 @@ Result<ResultSet> DataAccessService::RemoteQuery(
       stats->subqueries_failed += remote.subqueries_failed;
       stats->breaker_skips += remote.breaker_skips;
       stats->replans += remote.replans;
+      stats->plan_cache_hits += remote.plan_cache_hits;
+      stats->result_cache_hits += remote.result_cache_hits;
+      stats->subquery_cache_hits += remote.subquery_cache_hits;
+      stats->stale = stats->stale || remote.stale;
       for (std::string& line : remote.subquery_errors) {
         stats->subquery_errors.push_back(std::move(line));
       }
@@ -1086,9 +1281,70 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
     return result;
   };
 
+  // Stats are always collected when the cache is on (the result tier
+  // needs response-shape metadata to replay on a hit).
+  QueryStats local_stats;
+  QueryStats* st = stats ? stats : &local_stats;
+
+  const bool use_cache = config_.query_cache;
+  std::string fingerprint;
+  std::vector<std::string> ref_tables;
+  std::string result_key;
+  uint64_t key_epoch = 0;
+
+  // Whole-query result-cache probe: key = fingerprint + schema epoch +
+  // the current content version of every referenced table. A hit replays
+  // the recorded response shape and skips planning and execution
+  // entirely; a miss leaves `result_key` set for the post-execution
+  // insert.
+  auto try_result_cache = [&]() -> std::optional<Result<ResultSet>> {
+    key_epoch = driver_.dictionary().epoch();
+    result_key = cache_.ResultKey(fingerprint, key_epoch, ref_tables);
+    obs::Span cache_span = tracer_.StartSpan("cache.result.lookup");
+    cache::CachedResult hit = cache_.LookupResult(result_key);
+    if (cache_span.active()) {
+      cache_span.AddAttr("outcome", hit ? "hit" : "miss");
+    }
+    cache_span.End();
+    if (!hit) {
+      ResultCacheMissesCounter().Add(1);
+      return std::nullopt;
+    }
+    ResultCacheHitsCounter().Add(1);
+    ++st->result_cache_hits;
+    st->distributed = hit.meta.distributed;
+    st->databases = hit.meta.databases;
+    st->tables = hit.meta.tables;
+    st->rows = hit.result->num_rows();
+    st->simulated_ms = cost.total_ms();
+    return Result<ResultSet>(ResultSet(*hit.result));
+  };
+
+  if (use_cache) {
+    // Text memo: a byte-identical repeat query resolves its fingerprint
+    // without touching the lexer or parser.
+    if (auto memo = cache_.LookupText(sql_text)) {
+      fingerprint = std::move(memo->fingerprint);
+      ref_tables = std::move(memo->tables);
+      if (auto hit = try_result_cache()) return finish(std::move(*hit));
+    }
+  }
+
   auto parsed = sql::ParseSelect(sql_text, ClientDialect());
   if (!parsed.ok()) return finish(parsed.status());
   std::unique_ptr<sql::SelectStmt> stmt = std::move(*parsed);
+
+  if (use_cache && fingerprint.empty()) {
+    fingerprint = sql::FingerprintSelect(*stmt);
+    for (const sql::TableRef* ref : stmt->AllTables()) {
+      ref_tables.push_back(ToLower(ref->table));
+    }
+    std::sort(ref_tables.begin(), ref_tables.end());
+    ref_tables.erase(std::unique(ref_tables.begin(), ref_tables.end()),
+                     ref_tables.end());
+    cache_.InsertText(sql_text, {fingerprint, ref_tables});
+    if (auto hit = try_result_cache()) return finish(std::move(*hit));
+  }
 
   std::vector<const sql::TableRef*> missing;
   for (const sql::TableRef* ref : stmt->AllTables()) {
@@ -1096,8 +1352,8 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   }
 
   Result<ResultSet> result =
-      missing.empty() ? QueryLocal(*stmt, &cost, stats)
-                      : QueryWithRemote(*stmt, missing, &cost, stats,
+      missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st)
+                      : QueryWithRemote(*stmt, missing, &cost, st,
                                         forward_depth, forward_path);
   // A plan invalidated by a concurrent schema change is rebuilt against
   // the fresh dictionary, a bounded number of times (a schema churning
@@ -1105,17 +1361,48 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   for (int replan = 0;
        replan < 2 && !result.ok() && IsEpochStale(result.status());
        ++replan) {
-    if (stats) ++stats->replans;
+    ++st->replans;
     ReplansCounter().Add(1);
-    result = missing.empty() ? QueryLocal(*stmt, &cost, stats)
-                             : QueryWithRemote(*stmt, missing, &cost, stats,
+    result = missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st)
+                             : QueryWithRemote(*stmt, missing, &cost, st,
                                                forward_depth, forward_path);
   }
-  if (!result.ok()) return finish(result.status());
-  if (stats) {
-    stats->rows = result->num_rows();
-    stats->simulated_ms = cost.total_ms();
+  if (!result.ok()) {
+    // Stale-while-revalidate: with every replica down (or quarantined, or
+    // behind an open breaker) an opted-in deployment serves the last
+    // known good result of this fingerprint — tagged stale=true so the
+    // client can tell — instead of an error. Never spans a schema change.
+    if (use_cache && config_.serve_stale_results &&
+        IsStaleServable(result.status().code())) {
+      if (cache::CachedResult stale =
+              cache_.LastKnownGood(fingerprint, key_epoch)) {
+        GRIDDB_LOG(Warn) << "serving stale cached result for query on '"
+                         << config_.server_name
+                         << "' after: " << result.status().ToString();
+        st->stale = true;
+        st->distributed = stale.meta.distributed;
+        st->databases = stale.meta.databases;
+        st->tables = stale.meta.tables;
+        st->rows = stale.result->num_rows();
+        st->simulated_ms = cost.total_ms();
+        return finish(Result<ResultSet>(ResultSet(*stale.result)));
+      }
+    }
+    return finish(result.status());
   }
+  // Insert under the pre-execution key: if an epoch bump or digest change
+  // landed mid-flight the entry is simply never hit again. Responses
+  // assembled from failed branches (partial results) are not cacheable.
+  if (use_cache && st->subqueries_failed == 0 && !result_key.empty()) {
+    cache::ResultMeta meta;
+    meta.distributed = st->distributed;
+    meta.databases = st->databases;
+    meta.tables = st->tables;
+    cache_.InsertResult(result_key, fingerprint, key_epoch, ref_tables,
+                        std::make_shared<ResultSet>(*result), meta);
+  }
+  st->rows = result->num_rows();
+  st->simulated_ms = cost.total_ms();
   return finish(std::move(result));
 }
 
@@ -1147,6 +1434,19 @@ rpc::XmlRpcValue StatsToRpc(const QueryStats& stats) {
     out["breaker_skips"] = static_cast<int64_t>(stats.breaker_skips);
   }
   if (stats.replans) out["replans"] = static_cast<int64_t>(stats.replans);
+  // Cache counters follow the same sparse rule: a cache-cold (or
+  // cache-disabled) response serializes byte-identically to the seed.
+  if (stats.plan_cache_hits) {
+    out["plan_cache_hits"] = static_cast<int64_t>(stats.plan_cache_hits);
+  }
+  if (stats.result_cache_hits) {
+    out["result_cache_hits"] = static_cast<int64_t>(stats.result_cache_hits);
+  }
+  if (stats.subquery_cache_hits) {
+    out["subquery_cache_hits"] =
+        static_cast<int64_t>(stats.subquery_cache_hits);
+  }
+  if (stats.stale) out["stale"] = true;
   if (!stats.subquery_errors.empty()) {
     rpc::XmlRpcArray errors;
     for (const std::string& line : stats.subquery_errors) {
@@ -1192,6 +1492,14 @@ QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
   get_int("subqueries_failed", &stats.subqueries_failed);
   get_int("breaker_skips", &stats.breaker_skips);
   get_int("replans", &stats.replans);
+  get_int("plan_cache_hits", &stats.plan_cache_hits);
+  get_int("result_cache_hits", &stats.result_cache_hits);
+  get_int("subquery_cache_hits", &stats.subquery_cache_hits);
+  auto stale = value.Member("stale");
+  if (stale.ok()) {
+    auto v = (*stale)->AsBool();
+    if (v.ok()) stats.stale = *v;
+  }
   auto errors = value.Member("subquery_errors");
   if (errors.ok()) {
     auto list = (*errors)->AsArray();

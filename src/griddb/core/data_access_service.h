@@ -12,12 +12,14 @@
 //    servers that host them and integrating the returned rows.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "griddb/cache/query_cache.h"
 #include "griddb/obs/trace.h"
 #include "griddb/ral/catalog.h"
 #include "griddb/ral/pool_ral.h"
@@ -65,6 +67,22 @@ struct DataAccessConfig {
   /// ...until this much virtual time has passed (half-open afterwards).
   double breaker_cooldown_ms = 5000.0;
 
+  // Query caching (cache/). Off by default: cache-cold behaviour, the
+  // wire bytes of every response and the paper-calibrated measurements
+  // are all unchanged until an operator opts in.
+  /// Enable the plan + result cache on this server's read path.
+  bool query_cache = false;
+  /// Plan-cache capacity (entries, LRU).
+  size_t plan_cache_entries = 128;
+  /// Result-cache byte budget (ResultSet wire size, LRU).
+  size_t result_cache_bytes = 8u << 20;
+  /// Stale-while-revalidate: when execution fails with a transient error
+  /// (replicas down, breaker open), serve the last-known-good cached
+  /// result of the same query and schema epoch, tagged stale=true in
+  /// QueryStats. Requires query_cache; off by default like
+  /// partial_results.
+  bool serve_stale_results = false;
+
   // Observability (obs/). Off by default: an untraced request and its
   // response are byte-identical to the pre-tracing wire format, which
   // keeps the Table 1 / Fig 4-6 measurements unchanged.
@@ -101,6 +119,14 @@ struct QueryStats {
   /// Partial-results error report: one "<subquery>: <status>" line per
   /// failed sub-query.
   std::vector<std::string> subquery_errors;
+
+  // Cache counters (sparse on the wire, like the recovery counters: a
+  // cache-cold or cache-off response serializes exactly as before).
+  size_t plan_cache_hits = 0;    ///< Plans reused (parse/plan/render skipped).
+  size_t result_cache_hits = 0;  ///< Whole-query results served from cache.
+  size_t subquery_cache_hits = 0;  ///< Per-sub-query partials reused.
+  /// Result served from the cache past a failure (stale-while-revalidate).
+  bool stale = false;
 };
 
 class DataAccessService {
@@ -158,6 +184,21 @@ class DataAccessService {
   bool IsQuarantined(const std::string& database_name) const;
   std::vector<std::string> QuarantinedDatabases() const;
 
+  // ---- query cache (cache/query_cache) ----
+
+  cache::QueryCache& query_cache() { return cache_; }
+
+  /// Feeds an observed content digest of a logical table into the cache's
+  /// invalidation machinery (IntegrityMonitor calls this on every sweep;
+  /// a digest change marks dependent cached results stale).
+  void ObserveTableDigest(const std::string& logical_table,
+                          const std::string& md5);
+
+  /// Admin invalidation (dataaccess.cacheInvalidate): drops cached
+  /// results for one logical table, or everything (plans included) when
+  /// `logical_table` is empty. Returns the number of entries touched.
+  size_t CacheInvalidate(const std::string& logical_table);
+
   // ---- query processing ----
 
   /// `forward_depth` counts how many times this query has already been
@@ -184,7 +225,13 @@ class DataAccessService {
  private:
   /// kFailedPrecondition when the dictionary moved past `plan`'s epoch.
   Status CheckPlanEpoch(const unity::QueryPlan& plan) const;
+  /// Builds the caching artefact for a fresh plan: takes ownership of the
+  /// plan and pre-renders every per-dialect SQL string execution needs.
+  std::shared_ptr<const cache::CachedPlan> PrerenderPlan(
+      unity::QueryPlan plan) const;
+  /// `fingerprint` is empty when the query cache is off for this query.
   Result<storage::ResultSet> QueryLocal(const sql::SelectStmt& stmt,
+                                        const std::string& fingerprint,
                                         net::Cost* cost, QueryStats* stats);
   Result<storage::ResultSet> QueryWithRemote(
       const sql::SelectStmt& stmt,
@@ -192,10 +239,11 @@ class DataAccessService {
       QueryStats* stats, int forward_depth, const std::string& forward_path);
 
   /// Routes one planned sub-query: POOL-RAL for supported vendors, JDBC
-  /// otherwise (paper §4.6/§4.7).
-  Result<storage::ResultSet> ExecuteSubQueryRouted(const unity::SubQuery& sub,
-                                                   net::Cost* cost,
-                                                   QueryStats* stats);
+  /// otherwise (paper §4.6/§4.7). `render` carries the pre-rendered
+  /// dialect strings from the (possibly cached) plan.
+  Result<storage::ResultSet> ExecuteSubQueryRouted(
+      const unity::SubQuery& sub, const cache::RenderedSubQuery& render,
+      net::Cost* cost, QueryStats* stats);
 
   /// Runs a query on a remote JClarens server over RPC.
   Result<storage::ResultSet> RemoteQuery(const std::string& server_url,
@@ -228,6 +276,11 @@ class DataAccessService {
   obs::Tracer tracer_;
   std::unique_ptr<rls::RlsClient> rls_;
   ThreadPool workers_;
+  cache::QueryCache cache_;
+  /// Bumped whenever replica routing eligibility changes (quarantine /
+  /// reinstate); part of the plan-cache validity token, since cached
+  /// plans bake in a replica choice the epoch alone does not cover.
+  std::atomic<uint64_t> routing_gen_{1};
 
   struct BreakerState {
     int consecutive_failures = 0;

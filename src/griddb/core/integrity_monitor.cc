@@ -53,6 +53,10 @@ Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
   GRIDDB_ASSIGN_OR_RETURN(
       storage::TableDigest actual,
       service_->TableDigest(spec.logical_table, spec.database_name));
+  // Feed the observed content digest to the query cache: a digest that
+  // moved since the last observation bumps the table's version, forcing a
+  // result-cache miss on every query that referenced it.
+  service_->ObserveTableDigest(spec.logical_table, actual.md5);
   if (actual == reference) {
     if (service_->IsQuarantined(spec.database_name)) {
       // Repaired out of band (or a previous repair whose reinstate was
@@ -92,6 +96,7 @@ Status IntegrityMonitor::CheckReplica(const ReplicaSpec& spec) {
   GRIDDB_ASSIGN_OR_RETURN(reference, spec.reference_digest());
   GRIDDB_ASSIGN_OR_RETURN(
       actual, service_->TableDigest(spec.logical_table, spec.database_name));
+  service_->ObserveTableDigest(spec.logical_table, actual.md5);
   if (actual != reference) {
     ++stats_.repair_failures;
     return Corruption("replica of '" + spec.logical_table + "' in '" +

@@ -206,6 +206,21 @@ void JClarensServer::RegisterMethods() {
       });
 
   (void)server_.RegisterMethod(
+      "dataaccess.cacheInvalidate",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)ctx;
+        // Optional param 0: a logical table to invalidate; with no
+        // parameter the whole cache (plans included) is dropped.
+        std::string table;
+        if (!params.empty()) {
+          GRIDDB_ASSIGN_OR_RETURN(table, params[0].AsString());
+        }
+        return XmlRpcValue(
+            static_cast<int64_t>(service_.CacheInvalidate(table)));
+      });
+
+  (void)server_.RegisterMethod(
       "dataaccess.pluginDatabase",
       [this](const XmlRpcArray& params,
              rpc::CallContext& ctx) -> Result<XmlRpcValue> {

@@ -1,6 +1,7 @@
 #include "griddb/engine/select_executor.h"
 
 #include <algorithm>
+#include <list>
 #include <unordered_map>
 
 #include "griddb/engine/eval.h"
@@ -22,6 +23,13 @@ Result<ResultSet> MapTableSource::GetTable(const std::string& name) const {
     if (EqualsIgnoreCase(table_name, name)) return rs;
   }
   return NotFound("table '" + name + "' not found");
+}
+
+const ResultSet* MapTableSource::FindTable(const std::string& name) const {
+  for (const auto& [table_name, rs] : tables_) {
+    if (EqualsIgnoreCase(table_name, name)) return &rs;
+  }
+  return nullptr;
 }
 
 namespace {
@@ -97,18 +105,30 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
         if (!v.is_null()) hash.emplace(v, r);
       }
       size_t incoming_width = incoming.columns.size();
-      for (const Row& left : ws.rows) {
+      joined.reserve(ws.rows.size());  // >= one output row per match/pad
+      for (Row& left : ws.rows) {
         const Value& probe = left[key->left_index];
         bool matched = false;
         if (!probe.is_null()) {
           auto [begin, end] = hash.equal_range(probe);
           for (auto it = begin; it != end; ++it) {
-            joined.push_back(ConcatRows(left, incoming.rows[it->second]));
+            const Row& right = incoming.rows[it->second];
+            if (std::next(it) == end) {
+              // Last use of this probe row: its values move, only the
+              // build side is copied.
+              left.reserve(left.size() + right.size());
+              left.insert(left.end(), right.begin(), right.end());
+              joined.push_back(std::move(left));
+            } else {
+              joined.push_back(ConcatRows(left, right));
+            }
             matched = true;
           }
         }
         if (!matched && type == sql::JoinType::kLeft) {
-          joined.push_back(ConcatRows(left, Row(incoming_width)));
+          // NULL-pad in place (resize appends null Values), then move.
+          left.resize(left.size() + incoming_width);
+          joined.push_back(std::move(left));
         }
       }
       ws.scope = std::move(combined);
@@ -119,7 +139,8 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
 
   // General nested-loop join.
   size_t incoming_width = incoming.columns.size();
-  for (const Row& left : ws.rows) {
+  joined.reserve(ws.rows.size());
+  for (Row& left : ws.rows) {
     bool matched = false;
     for (const Row& right : incoming.rows) {
       Row candidate = ConcatRows(left, right);
@@ -133,7 +154,8 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
       matched = true;
     }
     if (!matched && type == sql::JoinType::kLeft) {
-      joined.push_back(ConcatRows(left, Row(incoming_width)));
+      left.resize(left.size() + incoming_width);
+      joined.push_back(std::move(left));
     }
   }
   ws.scope = std::move(combined);
@@ -203,23 +225,41 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     }
   }
 
+  // Tables are borrowed in place when the source holds them materialized
+  // (the federated merge path), skipping a whole-ResultSet copy per
+  // table; on-demand sources fall back to GetTable, with the returned
+  // copy kept alive in `owned` (a list: growth never invalidates the
+  // borrowed pointers).
+  std::list<ResultSet> owned;
+  auto table_for = [&](const std::string& name) -> Result<const ResultSet*> {
+    if (const ResultSet* borrowed = source.FindTable(name)) return borrowed;
+    GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, source.GetTable(name));
+    owned.push_back(std::move(rs));
+    return &owned.back();
+  };
+
   // FROM list: first table seeds the working set, remaining are cross joins.
   WorkingSet ws;
   {
-    GRIDDB_ASSIGN_OR_RETURN(ResultSet first,
-                            source.GetTable(stmt.from[0].table));
-    ws.scope.AddResultSet(stmt.from[0].EffectiveName(), first);
-    ws.rows = std::move(first.rows);
+    GRIDDB_ASSIGN_OR_RETURN(const ResultSet* first,
+                            table_for(stmt.from[0].table));
+    ws.scope.AddResultSet(stmt.from[0].EffectiveName(), *first);
+    if (!owned.empty() && first == &owned.back()) {
+      ws.rows = std::move(owned.back().rows);  // our copy: move, don't copy
+    } else {
+      ws.rows = first->rows;  // borrowed: the working set mutates rows
+    }
   }
   for (size_t i = 1; i < stmt.from.size(); ++i) {
-    GRIDDB_ASSIGN_OR_RETURN(ResultSet table,
-                            source.GetTable(stmt.from[i].table));
-    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, stmt.from[i].EffectiveName(), table,
+    GRIDDB_ASSIGN_OR_RETURN(const ResultSet* table,
+                            table_for(stmt.from[i].table));
+    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, stmt.from[i].EffectiveName(), *table,
                                     sql::JoinType::kCross, nullptr));
   }
   for (const sql::Join& join : stmt.joins) {
-    GRIDDB_ASSIGN_OR_RETURN(ResultSet table, source.GetTable(join.table.table));
-    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, join.table.EffectiveName(), table,
+    GRIDDB_ASSIGN_OR_RETURN(const ResultSet* table,
+                            table_for(join.table.table));
+    GRIDDB_RETURN_IF_ERROR(JoinInto(ws, join.table.EffectiveName(), *table,
                                     join.type, join.on.get()));
   }
 
@@ -340,6 +380,8 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
       groups.emplace_back(std::vector<Value>{}, std::move(all));
     }
 
+    out.rows.reserve(groups.size());
+    if (has_order) order_keys.reserve(groups.size());
     for (auto& [key, group_rows] : groups) {
       if (stmt.having) {
         GRIDDB_ASSIGN_OR_RETURN(Value keep,
@@ -366,6 +408,8 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     if (stmt.having) {
       return InvalidArgument("HAVING requires GROUP BY or aggregates");
     }
+    out.rows.reserve(ws.rows.size());
+    if (has_order) order_keys.reserve(ws.rows.size());
     for (const Row& row : ws.rows) {
       Row projected;
       projected.reserve(items.size());

@@ -19,6 +19,15 @@ class TableSource {
  public:
   virtual ~TableSource() = default;
   virtual Result<storage::ResultSet> GetTable(const std::string& name) const = 0;
+  /// Borrowing variant: a source holding materialized tables returns a
+  /// pointer (stable for the duration of the ExecuteSelect call) so the
+  /// executor can read rows in place instead of copying the whole
+  /// ResultSet. Default: not available, the executor falls back to
+  /// GetTable.
+  virtual const storage::ResultSet* FindTable(const std::string& name) const {
+    (void)name;
+    return nullptr;
+  }
 };
 
 /// Simple TableSource over pre-materialized result sets keyed by name
@@ -27,6 +36,7 @@ class MapTableSource : public TableSource {
  public:
   void Add(std::string name, storage::ResultSet rs);
   Result<storage::ResultSet> GetTable(const std::string& name) const override;
+  const storage::ResultSet* FindTable(const std::string& name) const override;
 
  private:
   std::vector<std::pair<std::string, storage::ResultSet>> tables_;

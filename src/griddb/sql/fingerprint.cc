@@ -1,0 +1,171 @@
+#include "griddb/sql/fingerprint.h"
+
+#include "griddb/sql/render.h"
+#include "griddb/util/md5.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::sql {
+
+namespace {
+
+/// Output column name of a select item — must mirror the executor's
+/// OutputName (engine/select_executor.cc) so two queries fingerprint
+/// equal only when their response headers are identical too.
+std::string ItemOutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == Expr::Kind::kColumn) {
+    return item.expr->column_ref.column;
+  }
+  return RenderExpr(*item.expr, Dialect::For(Vendor::kSqlite));
+}
+
+void AppendExpr(const Expr& expr, std::string& out);
+
+void AppendChildren(const Expr& expr, std::string& out) {
+  for (const ExprPtr& child : expr.children) {
+    out += ' ';
+    AppendExpr(*child, out);
+  }
+}
+
+void AppendExpr(const Expr& expr, std::string& out) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      // ToSqlLiteral keeps string case and quoting — literals that differ
+      // only in case produce different rows, so they must not collide.
+      out += expr.literal.ToSqlLiteral();
+      return;
+    case Expr::Kind::kColumn:
+      out += ToLower(expr.column_ref.table);
+      out += '.';
+      out += ToLower(expr.column_ref.column);
+      return;
+    case Expr::Kind::kStar:
+      out += ToLower(expr.column_ref.table);
+      out += ".*";
+      return;
+    case Expr::Kind::kUnary:
+      out += expr.unary_op == UnaryOp::kNeg ? "(neg" : "(not";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kBinary:
+      out += '(';
+      out += BinaryOpSymbol(expr.binary_op);
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kFunction:
+      out += "(fn ";
+      out += expr.function_name;  // already upper-cased by the parser
+      if (expr.distinct_arg) out += " distinct";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kIn:
+      out += expr.negated ? "(notin" : "(in";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kBetween:
+      out += expr.negated ? "(notbetween" : "(between";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kLike:
+      out += expr.negated ? "(notlike" : "(like";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kIsNull:
+      out += expr.negated ? "(isnotnull" : "(isnull";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+    case Expr::Kind::kCase:
+      out += "(case";
+      if (expr.case_has_operand) out += " operand";
+      if (expr.case_has_else) out += " else";
+      AppendChildren(expr, out);
+      out += ')';
+      return;
+  }
+}
+
+void AppendTableRef(const TableRef& ref, std::string& out) {
+  out += ToLower(ref.table);
+  if (!ref.alias.empty()) {
+    out += " as ";
+    out += ToLower(ref.alias);
+  }
+}
+
+}  // namespace
+
+std::string CanonicalSelectText(const SelectStmt& stmt) {
+  std::string out = "(select";
+  if (stmt.distinct) out += " distinct";
+  for (const SelectItem& item : stmt.items) {
+    out += " (item |";
+    out += ItemOutputName(item);  // case-sensitive: names the output column
+    out += "| ";
+    AppendExpr(*item.expr, out);
+    out += ')';
+  }
+  out += " (from";
+  for (const TableRef& ref : stmt.from) {
+    out += ' ';
+    AppendTableRef(ref, out);
+  }
+  out += ')';
+  for (const Join& join : stmt.joins) {
+    switch (join.type) {
+      case JoinType::kInner: out += " (join "; break;
+      case JoinType::kLeft: out += " (leftjoin "; break;
+      case JoinType::kCross: out += " (crossjoin "; break;
+    }
+    AppendTableRef(join.table, out);
+    if (join.on) {
+      out += " on ";
+      AppendExpr(*join.on, out);
+    }
+    out += ')';
+  }
+  if (stmt.where) {
+    out += " (where ";
+    AppendExpr(*stmt.where, out);
+    out += ')';
+  }
+  if (!stmt.group_by.empty()) {
+    out += " (groupby";
+    for (const ExprPtr& g : stmt.group_by) {
+      out += ' ';
+      AppendExpr(*g, out);
+    }
+    out += ')';
+  }
+  if (stmt.having) {
+    out += " (having ";
+    AppendExpr(*stmt.having, out);
+    out += ')';
+  }
+  if (!stmt.order_by.empty()) {
+    out += " (orderby";
+    for (const OrderItem& item : stmt.order_by) {
+      out += item.ascending ? " (asc " : " (desc ";
+      AppendExpr(*item.expr, out);
+      out += ')';
+    }
+    out += ')';
+  }
+  if (stmt.limit) out += " (limit " + std::to_string(*stmt.limit) + ')';
+  if (stmt.offset) out += " (offset " + std::to_string(*stmt.offset) + ')';
+  out += ')';
+  return out;
+}
+
+std::string FingerprintSelect(const SelectStmt& stmt) {
+  return Md5Hex(CanonicalSelectText(stmt));
+}
+
+}  // namespace griddb::sql

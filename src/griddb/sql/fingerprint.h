@@ -1,0 +1,27 @@
+// Canonical query fingerprints for the multi-tier query cache.
+//
+// A fingerprint is the MD5 of a canonical serialization of a parsed
+// SELECT: identifiers are lower-cased and the AST is re-emitted with
+// fixed separators, so two texts that differ only in whitespace, keyword
+// case or identifier case produce the same fingerprint. Anything that
+// changes the *response* stays significant: string literals keep their
+// case, and each select item's output column name (alias, bare column
+// name, or rendered expression — exactly what the executor will print in
+// the result header) is folded in verbatim, so "SELECT id AS Total" and
+// "SELECT id AS total" do not collide even though they compute the same
+// rows.
+#pragma once
+
+#include <string>
+
+#include "griddb/sql/ast.h"
+
+namespace griddb::sql {
+
+/// Canonical text form (exposed for tests; the cache keys on the digest).
+std::string CanonicalSelectText(const SelectStmt& stmt);
+
+/// MD5 hex digest of CanonicalSelectText.
+std::string FingerprintSelect(const SelectStmt& stmt);
+
+}  // namespace griddb::sql

@@ -105,6 +105,14 @@ Result<ResultSet> UnityDriver::ExecuteSubQuery(const SubQuery& sub,
   return conn->ExecuteQuery(sub.RenderSql(dialect), cost);
 }
 
+Result<ResultSet> UnityDriver::ExecuteSubQueryRendered(
+    const SubQuery& sub, const std::string& rendered_sql, net::Cost* cost) {
+  SubqueriesCounter().Add(1);
+  GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
+                          ConnectionFor(sub.table.connection, cost));
+  return conn->ExecuteQuery(rendered_sql, cost);
+}
+
 Result<ResultSet> UnityDriver::ExecuteDirect(const QueryPlan& plan,
                                              net::Cost* cost) {
   if (!plan.single_database || !plan.direct_stmt) {
@@ -115,6 +123,16 @@ Result<ResultSet> UnityDriver::ExecuteDirect(const QueryPlan& plan,
   const sql::Dialect& dialect = conn->database()->dialect();
   return conn->ExecuteQuery(sql::RenderSelect(*plan.direct_stmt, dialect),
                             cost);
+}
+
+Result<ResultSet> UnityDriver::ExecuteDirectRendered(
+    const QueryPlan& plan, const std::string& rendered_sql, net::Cost* cost) {
+  if (!plan.single_database || !plan.direct_stmt) {
+    return Internal("ExecuteDirect requires a single-database plan");
+  }
+  GRIDDB_ASSIGN_OR_RETURN(ral::JdbcConnection * conn,
+                          ConnectionFor(plan.connection, cost));
+  return conn->ExecuteQuery(rendered_sql, cost);
 }
 
 Result<ResultSet> UnityDriver::Query(const std::string& sql_text,

@@ -70,10 +70,18 @@ class UnityDriver {
   /// layer can route sub-queries itself (POOL-RAL vs JDBC).
   Result<storage::ResultSet> ExecuteSubQuery(const SubQuery& sub,
                                              net::Cost* cost);
+  /// Same, with the dialect rendering already done (plan-cache path: the
+  /// statement text is memoized per plan, so repeat executions and
+  /// failover re-attempts skip rendering).
+  Result<storage::ResultSet> ExecuteSubQueryRendered(
+      const SubQuery& sub, const std::string& rendered_sql, net::Cost* cost);
 
   /// Executes a single-database plan directly.
   Result<storage::ResultSet> ExecuteDirect(const QueryPlan& plan,
                                            net::Cost* cost);
+  /// Same, with the statement text pre-rendered.
+  Result<storage::ResultSet> ExecuteDirectRendered(
+      const QueryPlan& plan, const std::string& rendered_sql, net::Cost* cost);
 
   /// Opens and caches the JDBC connection without charging simulated cost
   /// (registration-time connect: the server connects to a database once
