@@ -1,0 +1,290 @@
+// Extension: overload protection under an open-loop load sweep.
+//
+// Drives an admission-enabled testbed server (4 execution slots, 4 queue
+// positions) with 4x`m` concurrent clients for m in {1, 2, 4, 8} — offered
+// load from saturation to 8x capacity. Excess arrivals must be shed at
+// the door with retryable kResourceExhausted (clients honour the
+// retry-after hint), so the server keeps serving near capacity instead of
+// convoying every client behind a full queue.
+//
+// Acceptance (see EXPERIMENTS.md):
+//   - goodput at 4x offered load >= 70% of the saturated (1x) goodput —
+//     graceful degradation, not congestion collapse;
+//   - shedding is cheap: the p99 cost of a rejected call is < 5% of the
+//     median cost of a served query (an O(1) decision before any parsing
+//     or planning). Cost is measured as per-thread CPU time: on an
+//     oversubscribed single-core host, wall-clock latency of a
+//     sub-millisecond reject measures the kernel scheduler, not the shed
+//     path, so CPU time is the faithful proxy for "no query work done";
+//   - every non-served call fails precisely with kResourceExhausted
+//     carrying a machine-parseable retry-after hint.
+// Emits machine-readable BENCH_overload.json (path = argv[1]).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/testbed.h"
+#include "griddb/util/stopwatch.h"
+
+using namespace griddb;
+
+namespace {
+
+// An aggregation over a 10,000-row ntuple table: the scan and per-row
+// evaluation burn real CPU inside the admission-ticketed execution
+// window, while the one-row response keeps client-side encode/decode
+// (which admission cannot protect) negligible.
+const char* kWorkload =
+    "SELECT COUNT(*) AS n, AVG(pt) AS avg_pt, MAX(e_total) AS max_e "
+    "FROM ntuple_my_a1 WHERE pt > 0.1";
+
+// Per-thread CPU milliseconds consumed so far (scheduler-independent).
+double ThreadCpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+constexpr size_t kSlots = 4;         // admission.max_concurrent
+constexpr size_t kQueue = 4;         // admission.max_queued
+constexpr int kQueriesPerThread = 40;
+constexpr int kMultipliers[4] = {1, 2, 4, 8};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+struct SweepResult {
+  int multiplier = 0;
+  size_t threads = 0;
+  size_t offered = 0;
+  size_t served = 0;
+  size_t shed = 0;
+  size_t errors = 0;  // anything that is neither served nor properly shed
+  double wall_ms = 0;
+  double goodput_qps = 0;
+  double shed_rate = 0;
+  double serve_real_ms_p50 = 0;
+  double reject_real_ms_p99 = 0;
+  double serve_cpu_ms_p50 = 0;
+  double reject_cpu_ms_p99 = 0;
+  std::vector<double> serve_real_ms;
+  std::vector<double> reject_real_ms;
+  std::vector<double> serve_cpu_ms;
+  std::vector<double> reject_cpu_ms;
+};
+
+SweepResult RunSweep(bench::Testbed& bed, int multiplier) {
+  SweepResult result;
+  result.multiplier = multiplier;
+  result.threads = kSlots * static_cast<size_t>(multiplier);
+  result.offered = result.threads * kQueriesPerThread;
+
+  std::mutex mu;
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> shed{0};
+  std::atomic<size_t> errors{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < result.threads; ++t) {
+    clients.emplace_back([&, t] {
+      rpc::RpcClient client(&bed.transport, "client",
+                            "clarens://pentium4-a:8080/clarens");
+      std::vector<double> serve_real, serve_cpu, reject_real, reject_cpu;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        rpc::XmlRpcArray params;
+        params.emplace_back(std::string(kWorkload));
+        // Odd threads present themselves as scan-class traffic, so the
+        // priority-shedding path is exercised under load too.
+        if (t % 2 == 1) params.emplace_back(std::string("scan"));
+        Stopwatch call;
+        const double cpu_before = ThreadCpuMs();
+        auto response = client.Call("dataaccess.query", std::move(params),
+                                    nullptr);
+        const double cpu_ms = ThreadCpuMs() - cpu_before;
+        const double real_ms = call.ElapsedMs();
+        if (response.ok()) {
+          served.fetch_add(1);
+          serve_real.push_back(real_ms);
+          serve_cpu.push_back(cpu_ms);
+        } else if (response.status().code() == StatusCode::kResourceExhausted &&
+                   rpc::RetryAfterHintMs(response.status().message()) > 0) {
+          shed.fetch_add(1);
+          reject_real.push_back(real_ms);
+          reject_cpu.push_back(cpu_ms);
+          // An open-loop client honours the hint before re-offering; the
+          // virtual hint is scaled down so the bench finishes promptly.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else {
+          errors.fetch_add(1);
+          std::fprintf(stderr, "unexpected failure: %s\n",
+                       response.status().ToString().c_str());
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      auto append = [](std::vector<double>& dst, const std::vector<double>& s) {
+        dst.insert(dst.end(), s.begin(), s.end());
+      };
+      append(result.serve_real_ms, serve_real);
+      append(result.serve_cpu_ms, serve_cpu);
+      append(result.reject_real_ms, reject_real);
+      append(result.reject_cpu_ms, reject_cpu);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  result.wall_ms = wall.ElapsedMs();
+  result.served = served.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  result.goodput_qps =
+      result.wall_ms > 0 ? result.served / (result.wall_ms / 1000.0) : 0;
+  result.shed_rate =
+      result.offered > 0
+          ? static_cast<double>(result.shed) / static_cast<double>(result.offered)
+          : 0;
+  result.serve_real_ms_p50 = Percentile(result.serve_real_ms, 0.50);
+  result.reject_real_ms_p99 = Percentile(result.reject_real_ms, 0.99);
+  result.serve_cpu_ms_p50 = Percentile(result.serve_cpu_ms, 0.50);
+  result.reject_cpu_ms_p99 = Percentile(result.reject_cpu_ms, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_overload.json";
+
+  std::printf("=== Extension: admission control under an open-loop load "
+              "sweep ===\n");
+  bench::TestbedOptions options;
+  options.main_table_rows = 60000;  // 10,000 rows in the aggregated table
+  options.chunk_tables = 60;        // enough for a realistic catalog
+  options.admission.max_concurrent = kSlots;
+  options.admission.max_queued = kQueue;
+  options.admission.interactive_reserve = 1;
+  options.admission.retry_after_ms = 50.0;
+  std::printf("building admission-enabled testbed (%zu slots, %zu queue)...\n",
+              kSlots, kQueue);
+  auto bed = bench::Testbed::Build(options);
+
+  std::printf("sweeping offered load 1x-8x, %d queries per client...\n",
+              kQueriesPerThread);
+  std::vector<SweepResult> sweep;
+  for (int multiplier : kMultipliers) {
+    sweep.push_back(RunSweep(*bed, multiplier));
+    const SweepResult& r = sweep.back();
+    std::printf("%dx: threads=%zu offered=%zu served=%zu shed=%zu "
+                "errors=%zu goodput=%.0f q/s shed_rate=%.2f "
+                "serve_p50=%.3f ms (cpu %.3f) reject_p99=%.3f ms "
+                "(cpu %.3f)\n",
+                r.multiplier, r.threads, r.offered, r.served, r.shed,
+                r.errors, r.goodput_qps, r.shed_rate, r.serve_real_ms_p50,
+                r.serve_cpu_ms_p50, r.reject_real_ms_p99,
+                r.reject_cpu_ms_p99);
+  }
+
+  const SweepResult& saturated = sweep[0];   // 1x
+  const SweepResult& overloaded = sweep[2];  // 4x
+  const double goodput_ratio =
+      saturated.goodput_qps > 0
+          ? overloaded.goodput_qps / saturated.goodput_qps
+          : 0;
+
+  // Reject cost across the whole sweep vs the serve cost at saturation,
+  // both in per-thread CPU time (see the header comment: wall-clock on a
+  // saturated single core measures the scheduler, not the shed path).
+  std::vector<double> all_reject_cpu;
+  size_t total_errors = 0;
+  for (const SweepResult& r : sweep) {
+    all_reject_cpu.insert(all_reject_cpu.end(), r.reject_cpu_ms.begin(),
+                          r.reject_cpu_ms.end());
+    total_errors += r.errors;
+  }
+  const double reject_p99 = Percentile(all_reject_cpu, 0.99);
+  const double serve_p50 = saturated.serve_cpu_ms_p50;
+  const double reject_ratio = serve_p50 > 0 ? reject_p99 / serve_p50 : 1.0;
+
+  std::printf("\ngoodput at 4x = %.0f q/s (%.0f%% of 1x %.0f q/s)\n",
+              overloaded.goodput_qps, goodput_ratio * 100,
+              saturated.goodput_qps);
+  std::printf("reject p99 = %.3f cpu-ms vs serve p50 = %.3f cpu-ms "
+              "(%.1f%%)\n",
+              reject_p99, serve_p50, reject_ratio * 100);
+
+  bool ok = true;
+  if (goodput_ratio < 0.70) {
+    std::fprintf(stderr,
+                 "FAIL: goodput at 4x offered load is %.0f%% of capacity "
+                 "(< 70%%) — overload is collapsing throughput\n",
+                 goodput_ratio * 100);
+    ok = false;
+  }
+  if (reject_ratio >= 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: p99 reject cost %.3f cpu-ms is %.1f%% of a served "
+                 "query (>= 5%%) — shedding is not cheap\n",
+                 reject_p99, reject_ratio * 100);
+    ok = false;
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu calls failed with something other than a "
+                 "hinted kResourceExhausted shed\n",
+                 total_errors);
+    ok = false;
+  }
+  if (sweep.back().shed == 0) {
+    std::fprintf(stderr, "FAIL: 8x offered load shed nothing — admission "
+                         "control is not engaging\n");
+    ok = false;
+  }
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"overload\",\n");
+    std::fprintf(f, "  \"slots\": %zu,\n  \"queue\": %zu,\n", kSlots, kQueue);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const SweepResult& r = sweep[i];
+      std::fprintf(f,
+                   "    {\"multiplier\": %d, \"threads\": %zu, "
+                   "\"offered\": %zu, \"served\": %zu, \"shed\": %zu, "
+                   "\"errors\": %zu, \"goodput_qps\": %.1f, "
+                   "\"shed_rate\": %.4f, \"serve_real_ms_p50\": %.4f, "
+                   "\"serve_cpu_ms_p50\": %.4f, "
+                   "\"reject_real_ms_p99\": %.4f, "
+                   "\"reject_cpu_ms_p99\": %.4f}%s\n",
+                   r.multiplier, r.threads, r.offered, r.served, r.shed,
+                   r.errors, r.goodput_qps, r.shed_rate,
+                   r.serve_real_ms_p50, r.serve_cpu_ms_p50,
+                   r.reject_real_ms_p99, r.reject_cpu_ms_p99,
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"goodput_ratio_4x\": %.4f,\n", goodput_ratio);
+    std::fprintf(f, "  \"reject_p99_cpu_ms\": %.4f,\n", reject_p99);
+    std::fprintf(f, "  \"serve_p50_cpu_ms\": %.4f,\n", serve_p50);
+    std::fprintf(f, "  \"reject_to_serve_ratio\": %.4f,\n", reject_ratio);
+    std::fprintf(f, "  \"pass\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+    ok = false;
+  }
+
+  return ok ? 0 : 1;
+}

@@ -48,6 +48,13 @@ struct TestbedOptions {
   /// paper benches byte-identical on the wire.
   bool query_cache = false;
   bool serve_stale_results = false;
+  /// Overload protection on both JClarens servers: admission bounds,
+  /// per-query entry deadline, bounded fan-out queue. Defaults off — the
+  /// paper benches see the seed behaviour.
+  core::AdmissionConfig admission;
+  double default_deadline_ms = 0;
+  bool partial_on_deadline = false;
+  size_t worker_queue_limit = 0;
 };
 
 class Testbed {
@@ -187,6 +194,10 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.slow_query_ms = options.slow_query_ms;
     config.query_cache = options.query_cache;
     config.serve_stale_results = options.serve_stale_results;
+    config.admission = options.admission;
+    config.default_deadline_ms = options.default_deadline_ms;
+    config.partial_on_deadline = options.partial_on_deadline;
+    config.worker_queue_limit = options.worker_queue_limit;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
                                                   &bed->xspec_repo);

@@ -35,24 +35,27 @@ fi
 echo "== perf gate: query cache bench =="
 ./build/bench/bench_ext_query_cache BENCH_query_cache.json
 
+echo "== perf gate: overload / admission control bench =="
+./build/bench/bench_ext_overload BENCH_overload.json
+
 echo "== asan: build robustness suites =="
 cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
-  stage_property_test query_cache_test >/dev/null
+  stage_property_test query_cache_test overload_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
-         stage_property_test query_cache_test; do
+         stage_property_test query_cache_test overload_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
 
-echo "== tsan: build + run cache concurrency suites =="
+echo "== tsan: build + run cache + overload concurrency suites =="
 cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
-  query_cache_test concurrency_test >/dev/null
-for t in query_cache_test concurrency_test; do
+  query_cache_test concurrency_test overload_test >/dev/null
+for t in query_cache_test concurrency_test overload_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

@@ -149,6 +149,9 @@ void QueryCache::InsertResult(
     std::vector<std::string> tables,
     std::shared_ptr<const storage::ResultSet> result, const ResultMeta& meta) {
   if (!result) return;
+  // Cancelled / deadline-truncated / partial executions never enter the
+  // cache — not even as a last-known-good candidate.
+  if (meta.non_cacheable) return;
   const size_t bytes = result->WireSize();
   if (bytes > config_.result_capacity_bytes) return;  // would evict all
   std::lock_guard<std::mutex> lock(mu_);

@@ -87,6 +87,14 @@ struct ResultMeta {
   bool distributed = false;
   size_t databases = 0;
   size_t tables = 0;
+  /// True when the producing execution did not run to clean completion:
+  /// cancelled, deadline-truncated, or assembled with partial-results
+  /// substitutes. Such a result reflects a moment the operator chose
+  /// availability over completeness — replaying it from cache would turn
+  /// a one-off degradation into a sticky wrong answer, so InsertResult
+  /// refuses to store it (the service also skips the insert; the tag here
+  /// is defence in depth for future call sites).
+  bool non_cacheable = false;
 };
 
 /// A result-tier hit: shared immutable rows plus replay metadata.

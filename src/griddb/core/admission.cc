@@ -1,0 +1,198 @@
+#include "griddb/core/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "griddb/obs/metrics.h"
+
+namespace griddb::core {
+
+namespace {
+obs::Counter& AdmittedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.admission.admitted");
+  return *c;
+}
+obs::Counter& QueuedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.admission.queued");
+  return *c;
+}
+obs::Counter& ShedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.admission.shed");
+  return *c;
+}
+obs::Counter& ShedScanCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.admission.shed_scan");
+  return *c;
+}
+obs::Counter& MergeMemoryShedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.admission.merge_memory_shed");
+  return *c;
+}
+obs::Gauge& InFlightGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default().GetGauge("griddb.admission.in_flight");
+  return *g;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge* g =
+      obs::MetricsRegistry::Default().GetGauge("griddb.admission.queue_depth");
+  return *g;
+}
+obs::Gauge& MergeMemoryGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "griddb.admission.merge_memory_bytes");
+  return *g;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config) {}
+
+AdmissionController::~AdmissionController() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  slot_cv_.notify_all();
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseSlot();
+  controller_ = nullptr;
+}
+
+void AdmissionController::MemoryLease::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseMemory(bytes_);
+  controller_ = nullptr;
+  bytes_ = 0;
+}
+
+Status AdmissionController::Shed(QueryPriority priority,
+                                 const char* why) const {
+  ShedCounter().Add(1);
+  if (priority == QueryPriority::kScan) ShedScanCounter().Add(1);
+  // The hint is machine-parsed by rpc::RetryAfterHintMs on the client.
+  return ResourceExhausted(
+      std::string("server overloaded (") + why + ", " +
+      QueryPriorityName(priority) + " query shed); retry_after_ms=" +
+      std::to_string(static_cast<long long>(config_.retry_after_ms)));
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    QueryPriority priority, const CancelToken* cancel) {
+  if (!config_.enabled()) return Ticket(nullptr);
+
+  // Scans may not eat into the interactive reserve.
+  const size_t reserve =
+      std::min(config_.interactive_reserve, config_.max_concurrent);
+  const size_t slot_limit = priority == QueryPriority::kScan
+                                ? config_.max_concurrent - reserve
+                                : config_.max_concurrent;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (slot_limit == 0) return Shed(priority, "no slots for this priority");
+  if (in_flight_ < slot_limit) {
+    ++in_flight_;
+    AdmittedCounter().Add(1);
+    InFlightGauge().Set(static_cast<double>(in_flight_));
+    return Ticket(this);
+  }
+  if (queued_ >= config_.max_queued) {
+    return Shed(priority, in_flight_ >= config_.max_concurrent
+                              ? "all execution slots busy, queue full"
+                              : "scan slots exhausted");
+  }
+
+  // Bounded-queue backpressure: wait for a slot. The wait polls in short
+  // real-time slices so a cancellation (deadline expiry observed by
+  // another thread advancing the virtual clock) aborts the wait promptly.
+  ++queued_;
+  QueuedCounter().Add(1);
+  QueueDepthGauge().Set(static_cast<double>(queued_));
+  auto done_waiting = [&] {
+    return shutting_down_ || in_flight_ < slot_limit;
+  };
+  Status live = Status::Ok();
+  while (!done_waiting()) {
+    if (cancel != nullptr) {
+      live = cancel->Check();
+      if (!live.ok()) break;
+    }
+    slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
+  --queued_;
+  QueueDepthGauge().Set(static_cast<double>(queued_));
+  if (!live.ok()) return live;
+  if (shutting_down_) return Shed(priority, "server shutting down");
+  ++in_flight_;
+  AdmittedCounter().Add(1);
+  InFlightGauge().Set(static_cast<double>(in_flight_));
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ > 0) --in_flight_;
+    InFlightGauge().Set(static_cast<double>(in_flight_));
+  }
+  slot_cv_.notify_one();
+}
+
+Result<AdmissionController::MemoryLease> AdmissionController::ReserveMergeMemory(
+    size_t bytes) {
+  if (!config_.enabled() || config_.merge_memory_budget_bytes == 0 ||
+      bytes == 0) {
+    return MemoryLease(nullptr, 0);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A lone oversized merge is still served: the budget bounds concurrent
+  // pressure, not the biggest query an operator may run.
+  if (memory_holders_ > 0 &&
+      merge_memory_bytes_ + bytes > config_.merge_memory_budget_bytes) {
+    MergeMemoryShedCounter().Add(1);
+    ShedCounter().Add(1);
+    return ResourceExhausted(
+        "merge memory budget exhausted (" +
+        std::to_string(merge_memory_bytes_) + " of " +
+        std::to_string(config_.merge_memory_budget_bytes) +
+        " bytes held); retry_after_ms=" +
+        std::to_string(static_cast<long long>(config_.retry_after_ms)));
+  }
+  merge_memory_bytes_ += bytes;
+  ++memory_holders_;
+  MergeMemoryGauge().Set(static_cast<double>(merge_memory_bytes_));
+  return MemoryLease(this, bytes);
+}
+
+void AdmissionController::ReleaseMemory(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  merge_memory_bytes_ -= std::min(merge_memory_bytes_, bytes);
+  if (memory_holders_ > 0) --memory_holders_;
+  MergeMemoryGauge().Set(static_cast<double>(merge_memory_bytes_));
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+size_t AdmissionController::merge_memory_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merge_memory_bytes_;
+}
+
+}  // namespace griddb::core

@@ -155,13 +155,24 @@ obs::Counter& SubqueryCacheMissesCounter() {
       "griddb.cache.subquery.misses");
   return *c;
 }
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.admission.deadline_exceeded");
+  return *c;
+}
+obs::Counter& CancelledSubqueriesCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.admission.cancelled_subqueries");
+  return *c;
+}
 
 /// Status codes under which an opted-in client would rather see a stale
 /// cached result than an error: the same transient set the replica
 /// failover path treats as retry-worthy.
 bool IsStaleServable(StatusCode code) {
   return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
-         code == StatusCode::kNotFound || code == StatusCode::kCorruption;
+         code == StatusCode::kNotFound || code == StatusCode::kCorruption ||
+         code == StatusCode::kResourceExhausted;
 }
 
 /// FNV-1a over the server URL: a deterministic per-server tracer seed so
@@ -217,13 +228,24 @@ DataAccessService::DataAccessService(DataAccessConfig config,
                 return options;
               }()),
       pool_(catalog, transport->network(), transport->costs(), config_.host),
-      workers_(config_.max_threads),
+      workers_(config_.max_threads,
+               [&] {
+                 // Overflowing fan-out tasks are rejected, not blocked: the
+                 // submitting thread holds an admission slot, and blocking
+                 // it on queue space would stall the very work that frees
+                 // the queue. The branch surfaces kResourceExhausted.
+                 ThreadPoolOptions options;
+                 options.max_queue = config_.worker_queue_limit;
+                 options.overflow = ThreadPoolOptions::Overflow::kReject;
+                 return options;
+               }()),
       cache_([&] {
         cache::QueryCacheConfig cc;
         cc.plan_capacity = config_.plan_cache_entries;
         cc.result_capacity_bytes = config_.result_cache_bytes;
         return cc;
-      }()) {
+      }()),
+      admission_(config_.admission) {
   // Quarantined databases are invisible to the planner; with every
   // replica of a table quarantined, planning fails with "no usable
   // replica" (kNotFound), which the failover path treats as transient.
@@ -564,7 +586,11 @@ std::shared_ptr<const cache::CachedPlan> DataAccessService::PrerenderPlan(
 
 Result<ResultSet> DataAccessService::ExecuteSubQueryRouted(
     const SubQuery& sub, const cache::RenderedSubQuery& render, net::Cost* cost,
-    QueryStats* stats) {
+    QueryStats* stats, const CancelToken* cancel) {
+  // The fetch itself is one simulated backend round trip; checking once
+  // before it starts is the sub-query-granularity half of cancellation
+  // (the merge join re-checks per row batch).
+  if (cancel != nullptr) GRIDDB_RETURN_IF_ERROR(cancel->Check());
   GRIDDB_ASSIGN_OR_RETURN(ral::DatabaseCatalog::Entry entry,
                           catalog_->Find(sub.table.connection));
   if (ral::IsPoolSupported(entry.database->vendor())) {
@@ -619,7 +645,8 @@ Status DataAccessService::CheckPlanEpoch(const unity::QueryPlan& plan) const {
 Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
                                                 const std::string& fingerprint,
                                                 net::Cost* cost,
-                                                QueryStats* stats) {
+                                                QueryStats* stats,
+                                                const CancelToken* cancel) {
   const bool use_cache = config_.query_cache && !fingerprint.empty();
   // Routing-generation snapshot BEFORE the plan lookup: if a quarantine
   // lands mid-plan, the entry inserted below is tagged with the older
@@ -662,6 +689,8 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   // physical names the plan baked in; fail cleanly so Query() replans
   // against the fresh dictionary instead of running a stale plan.
   GRIDDB_RETURN_IF_ERROR(CheckPlanEpoch(plan));
+  // Last pre-execution cancellation point: from here on, work costs money.
+  if (cancel != nullptr) GRIDDB_RETURN_IF_ERROR(cancel->Check());
 
   if (plan.single_database) {
     if (stats) stats->databases = 1;
@@ -724,6 +753,17 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   auto run_branch = [&](size_t i) -> Status {
     const SubQuery& sub = plan.subqueries[i];
     const cache::RenderedSubQuery& render = cached->subquery_renders[i];
+    // Every branch shares the query's token: the first sibling to observe
+    // a deadline expiry (or client abort) latches it, and the rest fail
+    // here before touching their backend.
+    if (cancel != nullptr) {
+      Status live = cancel->Check();
+      if (!live.ok()) {
+        ++branch_stats[i].cancelled_subqueries;
+        CancelledSubqueriesCounter().Add(1);
+        return live;
+      }
+    }
     std::string sub_key;
     if (use_cache && !render.cache_id.empty()) {
       sub_key = cache_.ResultKey(render.cache_id, plan.epoch,
@@ -737,14 +777,24 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
       SubqueryCacheMissesCounter().Add(1);
     }
     auto rs = ExecuteSubQueryRouted(sub, render, &branch_costs[i],
-                                    &branch_stats[i]);
+                                    &branch_stats[i], cancel);
     SubqueryMsHistogram().Observe(branch_costs[i].total_ms());
-    if (!rs.ok()) return rs.status();
+    if (!rs.ok()) {
+      if (rs.status().code() == StatusCode::kDeadlineExceeded) {
+        ++branch_stats[i].cancelled_subqueries;
+        CancelledSubqueriesCounter().Add(1);
+      }
+      return rs.status();
+    }
     if (!sub_key.empty()) {
+      // A fetch that raced a cancellation may be incomplete upstream;
+      // tag it so the cache refuses it (satellite of the same rule that
+      // keeps truncated whole-query results out).
+      cache::ResultMeta sub_meta;
+      sub_meta.non_cacheable = cancel != nullptr && cancel->cancelled();
       cache_.InsertResult(sub_key, render.cache_id, plan.epoch,
                           {ToLower(sub.table.logical)},
-                          std::make_shared<ResultSet>(*rs),
-                          cache::ResultMeta{});
+                          std::make_shared<ResultSet>(*rs), sub_meta);
     }
     partials[i] = {sub.effective_name, std::move(*rs)};
     return Status::Ok();
@@ -773,7 +823,17 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
           }));
     }
     for (size_t i = 0; i < futures.size(); ++i) {
-      branch_status[i] = futures[i].get();
+      try {
+        branch_status[i] = futures[i].get();
+      } catch (const std::future_error&) {
+        // Bounded worker queue rejected the task (broken promise): the
+        // branch never ran. Shed it the same way admission sheds a whole
+        // query, hint included, so RetryPolicy treats it as retryable.
+        branch_status[i] = ResourceExhausted(
+            "sub-query rejected: worker queue full; retry_after_ms=" +
+            std::to_string(static_cast<long long>(
+                config_.admission.retry_after_ms)));
+      }
     }
     if (cost) cost->AddParallel(branch_costs);
   } else {
@@ -786,8 +846,14 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
       }
       sub_span.End();
       if (!branch.ok()) {
-        // Fail-fast (seed behaviour) unless partial results are requested.
-        if (!config_.partial_results) return branch;
+        // Fail-fast (seed behaviour) unless a partial mode may substitute
+        // for this failure; the resolution loop below decides which.
+        const bool was_cancelled =
+            branch.code() == StatusCode::kDeadlineExceeded;
+        if (was_cancelled ? !config_.partial_on_deadline
+                          : !config_.partial_results) {
+          return branch;
+        }
         branch_status[i] = branch;
       }
       if (cost) cost->AddSequential(branch_costs[i]);
@@ -802,7 +868,15 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
     // replanned — substituting an empty partial would silently return
     // rows computed against two different schema versions.
     if (IsEpochStale(branch_status[i])) return branch_status[i];
-    if (!config_.partial_results) return branch_status[i];
+    // A cancelled branch fails the whole query with kDeadlineExceeded
+    // unless the operator opted into deadline-truncated partials; other
+    // failures follow the ordinary partial-results switch.
+    const bool was_cancelled =
+        branch_status[i].code() == StatusCode::kDeadlineExceeded;
+    if (was_cancelled ? !config_.partial_on_deadline
+                      : !config_.partial_results) {
+      return branch_status[i];
+    }
     const SubQuery& sub = plan.subqueries[i];
     std::vector<std::string> columns;
     columns.reserve(sub.fields.size());
@@ -822,11 +896,22 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
       stats->pool_ral_subqueries += branch.pool_ral_subqueries;
       stats->jdbc_subqueries += branch.jdbc_subqueries;
       stats->subquery_cache_hits += branch.subquery_cache_hits;
+      stats->cancelled_subqueries += branch.cancelled_subqueries;
     }
   }
 
+  // The merge materializes every partial in middleware memory; reserve
+  // that footprint against the byte budget so concurrent cross-database
+  // joins cannot grow the heap without bound. Shed (kResourceExhausted)
+  // beats an OOM-killed server.
+  size_t merge_bytes = 0;
+  for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
+  GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
+                          admission_.ReserveMergeMemory(merge_bytes));
+
   obs::Span merge_span = tracer_.StartSpan("dataaccess.merge");
-  auto merged = unity::MergePartials(*plan.merge_stmt, std::move(partials));
+  auto merged =
+      unity::MergePartials(*plan.merge_stmt, std::move(partials), cancel);
   if (!merged.ok()) {
     if (merge_span.active()) merge_span.SetError(merged.status().ToString());
     return merged.status();
@@ -863,7 +948,7 @@ rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
 Result<ResultSet> DataAccessService::RemoteQuery(
     const std::string& server_url, const std::string& sql_text,
     net::Cost* cost, QueryStats* stats, int forward_depth,
-    const std::string& forward_path) {
+    const std::string& forward_path, const CancelToken* cancel) {
   ForwardsCounter().Add(1);
   obs::Span span = tracer_.StartSpan("dataaccess.forward");
   span.AddAttr("url", server_url);
@@ -875,9 +960,12 @@ Result<ResultSet> DataAccessService::RemoteQuery(
                                ? config_.server_url
                                : forward_path + " -> " + config_.server_url;
   rpc::CallStats call_stats;
+  // The client stamps the token's remaining budget onto the request
+  // (sparse <deadlineMs>) at send time, so the remote server inherits a
+  // budget already shrunk by every hop and retry before it.
   Result<rpc::XmlRpcValue> response =
       client->Call("dataaccess.query", std::move(params), cost,
-                   forward_depth + 1, path, &call_stats);
+                   forward_depth + 1, path, &call_stats, cancel);
   if (stats) stats->retries += static_cast<size_t>(call_stats.retries);
   if (!response.ok() && span.active()) {
     span.SetError(response.status().ToString());
@@ -912,6 +1000,7 @@ Result<ResultSet> DataAccessService::RemoteQuery(
       stats->plan_cache_hits += remote.plan_cache_hits;
       stats->result_cache_hits += remote.result_cache_hits;
       stats->subquery_cache_hits += remote.subquery_cache_hits;
+      stats->cancelled_subqueries += remote.cancelled_subqueries;
       stats->stale = stats->stale || remote.stale;
       for (std::string& line : remote.subquery_errors) {
         stats->subquery_errors.push_back(std::move(line));
@@ -954,20 +1043,28 @@ void DataAccessService::RecordPeerOutcome(const std::string& server_url,
 Result<ResultSet> DataAccessService::RemoteQueryFailover(
     const std::vector<std::string>& candidates, const std::string& table,
     const std::string& sql_text, net::Cost* cost, QueryStats* stats,
-    int forward_depth, const std::string& forward_path) {
+    int forward_depth, const std::string& forward_path,
+    const CancelToken* cancel) {
   // kNotFound is failover-worthy: it usually means a stale RLS row (the
   // replica dropped the table, or never had it) and another replica may
   // still answer. kCorruption likewise — a replica serving corrupt data
   // (or a corrupted reply) should not sink the query while healthy
-  // replicas remain. Everything else non-transient is permanent.
+  // replicas remain. kResourceExhausted too: a shed by one overloaded
+  // replica says nothing about its siblings. kDeadlineExceeded is NOT —
+  // the budget is shared, so another replica cannot do better with less
+  // time. Everything else non-transient is permanent.
   auto failover_worthy = [](StatusCode code) {
     return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
-           code == StatusCode::kNotFound || code == StatusCode::kCorruption;
+           code == StatusCode::kNotFound || code == StatusCode::kCorruption ||
+           code == StatusCode::kResourceExhausted;
   };
   Status last_error = Unavailable("no reachable JClarens replica for table '" +
                                   table + "'");
   bool previous_failed = false;
   for (const std::string& url : candidates) {
+    // A cancelled query stops walking the replica list: every further
+    // attempt would spend wall time the caller already gave up on.
+    if (cancel != nullptr) GRIDDB_RETURN_IF_ERROR(cancel->Check());
     if (!BreakerAllows(url)) {
       if (stats) ++stats->breaker_skips;
       BreakerSkipsCounter().Add(1);
@@ -977,8 +1074,8 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
       if (stats) ++stats->failovers;
       FailoversCounter().Add(1);
     }
-    Result<ResultSet> rs =
-        RemoteQuery(url, sql_text, cost, stats, forward_depth, forward_path);
+    Result<ResultSet> rs = RemoteQuery(url, sql_text, cost, stats,
+                                       forward_depth, forward_path, cancel);
     if (rs.ok()) {
       RecordPeerOutcome(url, true);
       return rs;
@@ -997,7 +1094,8 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
 Result<ResultSet> DataAccessService::QueryWithRemote(
     const sql::SelectStmt& stmt,
     const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
-    QueryStats* stats, int forward_depth, const std::string& forward_path) {
+    QueryStats* stats, int forward_depth, const std::string& forward_path,
+    const CancelToken* cancel) {
   if (!rls_) {
     return NotFound("table '" + missing.front()->table +
                     "' is not registered locally and no RLS is configured");
@@ -1018,8 +1116,9 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
   double total_lookup_ms = 0;
   for (const sql::TableRef* ref : missing) {
     net::Cost lookup_cost;
-    GRIDDB_ASSIGN_OR_RETURN(std::vector<std::string> urls,
-                            rls_->Lookup(ToLower(ref->table), &lookup_cost));
+    GRIDDB_ASSIGN_OR_RETURN(
+        std::vector<std::string> urls,
+        rls_->Lookup(ToLower(ref->table), &lookup_cost, cancel));
     // Never forward to ourselves (stale RLS entries).
     urls.erase(std::remove(urls.begin(), urls.end(), config_.server_url),
                urls.end());
@@ -1077,7 +1176,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     }
     std::string text = sql::RenderSelect(stmt, ClientDialect());
     return RemoteQueryFailover(candidates, missing.front()->table, text, cost,
-                               stats, forward_depth, forward_path);
+                               stats, forward_depth, forward_path, cancel);
   }
 
   // Mixed: fetch a partial per table reference (local tables through the
@@ -1192,14 +1291,27 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     out->emplace_back(fetch.effective, EmptyPartial(std::move(columns)));
   };
 
+  // Failed-fetch policy shared by the local and remote groups: cancelled
+  // fetches follow partial_on_deadline, everything else partial_results
+  // (same split as QueryLocal's branch resolution).
+  auto substitutable = [&](const Status& error) {
+    return error.code() == StatusCode::kDeadlineExceeded
+               ? config_.partial_on_deadline
+               : config_.partial_results;
+  };
+
   if (!local_group.empty()) {
     net::Cost branch;
     branch.AddMs(transport_->costs().connect_auth_ms *
                  static_cast<double>(local_connections.size()));
     for (const Fetch& fetch : local_group) {
-      Result<ResultSet> partial = driver_.Query(fetch.sql, &branch);
+      if (cancel != nullptr) {
+        Status live = cancel->Check();
+        if (!live.ok() && !substitutable(live)) return live;
+      }
+      Result<ResultSet> partial = driver_.Query(fetch.sql, &branch, cancel);
       if (!partial.ok()) {
-        if (!config_.partial_results) return partial.status();
+        if (!substitutable(partial.status())) return partial.status();
         record_failed_fetch(fetch, partial.status(), &partials);
         continue;
       }
@@ -1215,9 +1327,9 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
       Result<ResultSet> partial =
           RemoteQueryFailover(table_candidates[fetch.table], fetch.table,
                               fetch.sql, &branch, stats, forward_depth,
-                              forward_path);
+                              forward_path, cancel);
       if (!partial.ok()) {
-        if (!config_.partial_results) return partial.status();
+        if (!substitutable(partial.status())) return partial.status();
         record_failed_fetch(fetch, partial.status(), &partials);
         continue;
       }
@@ -1237,8 +1349,15 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     join.table.table = join.table.EffectiveName();
     join.table.alias.clear();
   }
+  // Same merge-memory bound as QueryLocal: the integrate step holds every
+  // partial (local rows and remote transfers alike) in middleware memory.
+  size_t merge_bytes = 0;
+  for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
+  GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
+                          admission_.ReserveMergeMemory(merge_bytes));
   GRIDDB_ASSIGN_OR_RETURN(
-      ResultSet merged, unity::MergePartials(*merge_stmt, std::move(partials)));
+      ResultSet merged,
+      unity::MergePartials(*merge_stmt, std::move(partials), cancel));
   if (cost) {
     cost->AddMs(transport_->costs().integrate_per_row_ms *
                 static_cast<double>(merged.num_rows()));
@@ -1249,8 +1368,28 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
 Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
                                            QueryStats* stats,
                                            int forward_depth,
-                                           const std::string& forward_path) {
+                                           const std::string& forward_path,
+                                           QueryContext ctx) {
   QueriesCounter().Add(1);
+  // Entry deadline: the tightest of the budget the caller shipped on the
+  // wire (already in ctx.cancel, minted by the RPC handler) and this
+  // server's own per-query cap.
+  if (config_.default_deadline_ms > 0) {
+    net::Network* network = transport_->network();
+    if (!ctx.cancel.active()) ctx.cancel = CancelToken::Cancellable();
+    ctx.cancel.TightenBudget([network] { return network->NowMs(); },
+                             config_.default_deadline_ms);
+  }
+  const CancelToken* cancel = ctx.cancel.active() ? &ctx.cancel : nullptr;
+  // Admission before any parse or planning work: a shed query costs O(1)
+  // and carries a retry_after_ms hint, which is what keeps rejects orders
+  // of magnitude cheaper than served queries under overload.
+  Result<AdmissionController::Ticket> ticket =
+      admission_.Admit(ctx.priority, cancel);
+  if (!ticket.ok()) {
+    QueryErrorsCounter().Add(1);
+    return ticket.status();
+  }
   obs::Span span = tracer_.StartSpan("dataaccess.query");
   span.AddAttr("sql", sql_text);
   net::Cost cost;
@@ -1259,6 +1398,9 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
     QueryMsHistogram().Observe(cost.total_ms());
     if (!result.ok()) {
       QueryErrorsCounter().Add(1);
+      if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        DeadlineExceededCounter().Add(1);
+      }
       if (span.active()) span.SetError(result.status().ToString());
     } else if (span.active()) {
       span.AddAttr("rows", std::to_string(result->num_rows()));
@@ -1333,6 +1475,10 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   auto parsed = sql::ParseSelect(sql_text, ClientDialect());
   if (!parsed.ok()) return finish(parsed.status());
   std::unique_ptr<sql::SelectStmt> stmt = std::move(*parsed);
+  if (cancel != nullptr) {
+    Status live = cancel->Check();
+    if (!live.ok()) return finish(live);
+  }
 
   if (use_cache && fingerprint.empty()) {
     fingerprint = sql::FingerprintSelect(*stmt);
@@ -1352,9 +1498,9 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   }
 
   Result<ResultSet> result =
-      missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st)
+      missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st, cancel)
                       : QueryWithRemote(*stmt, missing, &cost, st,
-                                        forward_depth, forward_path);
+                                        forward_depth, forward_path, cancel);
   // A plan invalidated by a concurrent schema change is rebuilt against
   // the fresh dictionary, a bounded number of times (a schema churning
   // faster than we can plan is a real failure, not a retry candidate).
@@ -1363,9 +1509,10 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
        ++replan) {
     ++st->replans;
     ReplansCounter().Add(1);
-    result = missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st)
-                             : QueryWithRemote(*stmt, missing, &cost, st,
-                                               forward_depth, forward_path);
+    result = missing.empty()
+                 ? QueryLocal(*stmt, fingerprint, &cost, st, cancel)
+                 : QueryWithRemote(*stmt, missing, &cost, st, forward_depth,
+                                   forward_path, cancel);
   }
   if (!result.ok()) {
     // Stale-while-revalidate: with every replica down (or quarantined, or
@@ -1392,12 +1539,20 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   }
   // Insert under the pre-execution key: if an epoch bump or digest change
   // landed mid-flight the entry is simply never hit again. Responses
-  // assembled from failed branches (partial results) are not cacheable.
-  if (use_cache && st->subqueries_failed == 0 && !result_key.empty()) {
+  // assembled from failed branches (partial results) or truncated by a
+  // cancellation / deadline expiry are not cacheable — replaying them
+  // would turn a one-off degradation into a sticky wrong answer.
+  const bool clean_execution = st->subqueries_failed == 0 &&
+                               st->cancelled_subqueries == 0 &&
+                               !ctx.cancel.cancelled();
+  if (use_cache && !result_key.empty()) {
     cache::ResultMeta meta;
     meta.distributed = st->distributed;
     meta.databases = st->databases;
     meta.tables = st->tables;
+    // InsertResult refuses tagged entries, so an unclean execution never
+    // reaches the LRU — not even as a last-known-good candidate.
+    meta.non_cacheable = !clean_execution;
     cache_.InsertResult(result_key, fingerprint, key_epoch, ref_tables,
                         std::make_shared<ResultSet>(*result), meta);
   }
@@ -1434,6 +1589,10 @@ rpc::XmlRpcValue StatsToRpc(const QueryStats& stats) {
     out["breaker_skips"] = static_cast<int64_t>(stats.breaker_skips);
   }
   if (stats.replans) out["replans"] = static_cast<int64_t>(stats.replans);
+  if (stats.cancelled_subqueries) {
+    out["cancelled_subqueries"] =
+        static_cast<int64_t>(stats.cancelled_subqueries);
+  }
   // Cache counters follow the same sparse rule: a cache-cold (or
   // cache-disabled) response serializes byte-identically to the seed.
   if (stats.plan_cache_hits) {
@@ -1492,6 +1651,7 @@ QueryStats StatsFromRpc(const rpc::XmlRpcValue& value) {
   get_int("subqueries_failed", &stats.subqueries_failed);
   get_int("breaker_skips", &stats.breaker_skips);
   get_int("replans", &stats.replans);
+  get_int("cancelled_subqueries", &stats.cancelled_subqueries);
   get_int("plan_cache_hits", &stats.plan_cache_hits);
   get_int("result_cache_hits", &stats.result_cache_hits);
   get_int("subquery_cache_hits", &stats.subquery_cache_hits);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "griddb/cache/query_cache.h"
+#include "griddb/core/admission.h"
 #include "griddb/obs/trace.h"
 #include "griddb/ral/catalog.h"
 #include "griddb/ral/pool_ral.h"
@@ -95,6 +96,26 @@ struct DataAccessConfig {
   /// Queries whose simulated response time reaches this many ms get their
   /// span tree dumped to the log (requires tracing). <= 0 disables.
   double slow_query_ms = 0;
+
+  // Overload protection (core/admission, util/cancellation). All defaults
+  // off: no deadline, no admission control, unbounded worker queue —
+  // byte-identical seed behaviour until an operator opts in.
+  /// Per-query budget (virtual ms) applied at this server's entry point.
+  /// Combined with any budget the caller sent on the wire by taking the
+  /// minimum; the remaining budget is forwarded on every outbound hop
+  /// (sparse <deadlineMs> request member). <= 0 disables.
+  double default_deadline_ms = 0;
+  /// When a deadline expires (or the client aborts) mid-fan-out, return
+  /// the rows already fetched plus per-sub-query error lines instead of
+  /// kDeadlineExceeded. Reuses the partial_results plumbing; truncated
+  /// responses are never cached. Off = whole-query kDeadlineExceeded.
+  bool partial_on_deadline = false;
+  /// Concurrency / queueing / priority-shedding / merge-memory bounds.
+  AdmissionConfig admission;
+  /// Bounds the fan-out worker pool's task queue; overflow tasks are
+  /// rejected and the sub-query fails with retryable kResourceExhausted.
+  /// 0 = unbounded (seed behaviour).
+  size_t worker_queue_limit = 0;
 };
 
 /// Per-query measurements surfaced to clients and benches.
@@ -127,6 +148,9 @@ struct QueryStats {
   size_t subquery_cache_hits = 0;  ///< Per-sub-query partials reused.
   /// Result served from the cache past a failure (stale-while-revalidate).
   bool stale = false;
+
+  // Overload counters (sparse on the wire, same rule as above).
+  size_t cancelled_subqueries = 0;  ///< Branches stopped by the cancel token.
 };
 
 class DataAccessService {
@@ -203,11 +227,17 @@ class DataAccessService {
 
   /// `forward_depth` counts how many times this query has already been
   /// forwarded between JClarens servers (loop guard); `forward_path`
-  /// carries the visited server URLs for loop diagnostics.
+  /// carries the visited server URLs for loop diagnostics. `ctx` carries
+  /// the caller's cancel token / deadline budget and scheduling priority;
+  /// the default (inert token, interactive) preserves seed behaviour.
   Result<storage::ResultSet> Query(const std::string& sql_text,
                                    QueryStats* stats = nullptr,
                                    int forward_depth = 0,
-                                   const std::string& forward_path = "");
+                                   const std::string& forward_path = "",
+                                   QueryContext ctx = {});
+
+  /// Admission controller (introspection for tests and benches).
+  AdmissionController& admission() { return admission_; }
 
   unity::UnityDriver& driver() { return driver_; }
   ral::PoolRal& pool_ral() { return pool_; }
@@ -230,27 +260,36 @@ class DataAccessService {
   std::shared_ptr<const cache::CachedPlan> PrerenderPlan(
       unity::QueryPlan plan) const;
   /// `fingerprint` is empty when the query cache is off for this query.
+  /// `cancel` (nullable) is the query's shared cancellation token; it is
+  /// checked at row-batch granularity in the executor and before every
+  /// sub-query branch starts work.
   Result<storage::ResultSet> QueryLocal(const sql::SelectStmt& stmt,
                                         const std::string& fingerprint,
-                                        net::Cost* cost, QueryStats* stats);
+                                        net::Cost* cost, QueryStats* stats,
+                                        const CancelToken* cancel);
   Result<storage::ResultSet> QueryWithRemote(
       const sql::SelectStmt& stmt,
       const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
-      QueryStats* stats, int forward_depth, const std::string& forward_path);
+      QueryStats* stats, int forward_depth, const std::string& forward_path,
+      const CancelToken* cancel);
 
   /// Routes one planned sub-query: POOL-RAL for supported vendors, JDBC
   /// otherwise (paper §4.6/§4.7). `render` carries the pre-rendered
   /// dialect strings from the (possibly cached) plan.
   Result<storage::ResultSet> ExecuteSubQueryRouted(
       const unity::SubQuery& sub, const cache::RenderedSubQuery& render,
-      net::Cost* cost, QueryStats* stats);
+      net::Cost* cost, QueryStats* stats, const CancelToken* cancel);
 
-  /// Runs a query on a remote JClarens server over RPC.
+  /// Runs a query on a remote JClarens server over RPC. The remaining
+  /// deadline budget (if `cancel` carries one) rides the request as the
+  /// sparse <deadlineMs> member, so the remote side inherits a budget
+  /// already shrunk by this hop's network latency.
   Result<storage::ResultSet> RemoteQuery(const std::string& server_url,
                                          const std::string& sql_text,
                                          net::Cost* cost, QueryStats* stats,
                                          int forward_depth,
-                                         const std::string& forward_path);
+                                         const std::string& forward_path,
+                                         const CancelToken* cancel);
 
   /// Runs `sql_text` against the first candidate the circuit breaker
   /// allows; on a transient failure (kUnavailable/kTimeout, or kNotFound
@@ -260,7 +299,8 @@ class DataAccessService {
   Result<storage::ResultSet> RemoteQueryFailover(
       const std::vector<std::string>& candidates, const std::string& table,
       const std::string& sql_text, net::Cost* cost, QueryStats* stats,
-      int forward_depth, const std::string& forward_path);
+      int forward_depth, const std::string& forward_path,
+      const CancelToken* cancel);
 
   /// Circuit breaker bookkeeping (per server URL, virtual-clock cooldown).
   bool BreakerAllows(const std::string& server_url);
@@ -277,6 +317,7 @@ class DataAccessService {
   std::unique_ptr<rls::RlsClient> rls_;
   ThreadPool workers_;
   cache::QueryCache cache_;
+  AdmissionController admission_;
   /// Bumped whenever replica routing eligibility changes (quarantine /
   /// reinstate); part of the plan-cache validity token, since cached
   /// plans bake in a replica choice the epoch alone does not cover.

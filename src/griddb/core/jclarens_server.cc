@@ -55,9 +55,27 @@ void JClarensServer::RegisterMethods() {
                                        ctx.trace_parent);
           span.AddAttr("server", service_.config().server_url);
         }
+        // Overload context. A budget shipped on the wire (sparse
+        // <deadlineMs>, already shrunk by upstream hops and latency)
+        // becomes a deadline token on the virtual clock; an optional
+        // second parameter "scan" lowers the scheduling class so admission
+        // control sheds this query before interactive ones. Both are
+        // sparse: requests that carry neither run exactly as before.
+        QueryContext qctx;
+        if (ctx.deadline_budget_ms > 0) {
+          net::Network* network = ctx.transport->network();
+          qctx.cancel = CancelToken::WithBudget(
+              [network] { return network->NowMs(); }, ctx.deadline_budget_ms);
+        }
+        if (params.size() >= 2) {
+          auto priority = params[1].AsString();
+          if (priority.ok() && *priority == "scan") {
+            qctx.priority = QueryPriority::kScan;
+          }
+        }
         QueryStats stats;
         auto rs = service_.Query(sql, &stats, ctx.forward_depth,
-                                 ctx.forward_path);
+                                 ctx.forward_path, std::move(qctx));
         if (!rs.ok()) {
           if (span.active()) span.SetError(rs.status().ToString());
           return rs.status();

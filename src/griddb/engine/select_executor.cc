@@ -34,6 +34,25 @@ const ResultSet* MapTableSource::FindTable(const std::string& name) const {
 
 namespace {
 
+/// Row-batch cancellation probe: every kBatch-th Check() consults the
+/// token, the rest are a counter increment. Keeps the per-row overhead of
+/// cooperative cancellation negligible while still bounding how much work
+/// runs after a deadline expires or a client aborts.
+class BatchCancelCheck {
+ public:
+  explicit BatchCancelCheck(const CancelToken* cancel) : cancel_(cancel) {}
+
+  Status Check() {
+    if (cancel_ == nullptr || ++count_ % kBatch != 0) return Status::Ok();
+    return cancel_->Check();
+  }
+
+ private:
+  static constexpr size_t kBatch = 1024;
+  const CancelToken* cancel_;
+  size_t count_ = 0;
+};
+
 /// The working set during FROM/JOIN processing: a scope describing the
 /// concatenated columns and the joined rows.
 struct WorkingSet {
@@ -86,7 +105,7 @@ Row ConcatRows(const Row& a, const Row& b) {
 /// Joins `incoming` (a table's result set under `qualifier`) into `ws`.
 Status JoinInto(WorkingSet& ws, const std::string& qualifier,
                 const ResultSet& incoming, sql::JoinType type,
-                const sql::Expr* on) {
+                const sql::Expr* on, BatchCancelCheck& cancel) {
   Scope incoming_scope;
   incoming_scope.AddResultSet(qualifier, incoming);
 
@@ -107,6 +126,7 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
       size_t incoming_width = incoming.columns.size();
       joined.reserve(ws.rows.size());  // >= one output row per match/pad
       for (Row& left : ws.rows) {
+        GRIDDB_RETURN_IF_ERROR(cancel.Check());
         const Value& probe = left[key->left_index];
         bool matched = false;
         if (!probe.is_null()) {
@@ -143,6 +163,7 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
   for (Row& left : ws.rows) {
     bool matched = false;
     for (const Row& right : incoming.rows) {
+      GRIDDB_RETURN_IF_ERROR(cancel.Check());
       Row candidate = ConcatRows(left, right);
       if (on) {
         GRIDDB_ASSIGN_OR_RETURN(Value keep, Eval(*on, combined, candidate));
@@ -207,8 +228,10 @@ Status ExpandStars(const sql::SelectStmt& stmt, const Scope& scope,
 }  // namespace
 
 Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
-                                const TableSource& source) {
+                                const TableSource& source,
+                                const CancelToken* cancel) {
   if (stmt.from.empty()) return InvalidArgument("SELECT requires FROM");
+  BatchCancelCheck cancel_check(cancel);
 
   // Reject duplicate effective table names (t join t without aliases).
   {
@@ -254,13 +277,14 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     GRIDDB_ASSIGN_OR_RETURN(const ResultSet* table,
                             table_for(stmt.from[i].table));
     GRIDDB_RETURN_IF_ERROR(JoinInto(ws, stmt.from[i].EffectiveName(), *table,
-                                    sql::JoinType::kCross, nullptr));
+                                    sql::JoinType::kCross, nullptr,
+                                    cancel_check));
   }
   for (const sql::Join& join : stmt.joins) {
     GRIDDB_ASSIGN_OR_RETURN(const ResultSet* table,
                             table_for(join.table.table));
     GRIDDB_RETURN_IF_ERROR(JoinInto(ws, join.table.EffectiveName(), *table,
-                                    join.type, join.on.get()));
+                                    join.type, join.on.get(), cancel_check));
   }
 
   // WHERE.
@@ -268,6 +292,7 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     std::vector<Row> kept;
     kept.reserve(ws.rows.size());
     for (Row& row : ws.rows) {
+      GRIDDB_RETURN_IF_ERROR(cancel_check.Check());
       GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*stmt.where, ws.scope, row));
       if (v.is_null()) continue;
       GRIDDB_ASSIGN_OR_RETURN(bool keep, v.AsBool());
@@ -339,6 +364,7 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     std::vector<std::pair<std::vector<Value>, std::vector<const Row*>>> groups;
     std::unordered_map<size_t, std::vector<size_t>> buckets;  // hash -> group idx
     for (const Row& row : ws.rows) {
+      GRIDDB_RETURN_IF_ERROR(cancel_check.Check());
       std::vector<Value> key;
       key.reserve(stmt.group_by.size());
       for (const sql::ExprPtr& g : stmt.group_by) {
@@ -411,6 +437,7 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
     out.rows.reserve(ws.rows.size());
     if (has_order) order_keys.reserve(ws.rows.size());
     for (const Row& row : ws.rows) {
+      GRIDDB_RETURN_IF_ERROR(cancel_check.Check());
       Row projected;
       projected.reserve(items.size());
       for (const sql::SelectItem& item : items) {

@@ -10,6 +10,7 @@
 
 #include "griddb/sql/ast.h"
 #include "griddb/storage/result_set.h"
+#include "griddb/util/cancellation.h"
 #include "griddb/util/status.h"
 
 namespace griddb::engine {
@@ -44,7 +45,13 @@ class MapTableSource : public TableSource {
 
 /// Executes a SELECT against `source`. Joins, WHERE, GROUP BY/HAVING,
 /// aggregates, DISTINCT, ORDER BY and LIMIT/OFFSET are all evaluated here.
+///
+/// `cancel`, when given, is checked at row-batch granularity inside the
+/// join/filter/group/projection loops: a cancelled token (deadline expiry
+/// or client abort) aborts execution within one batch instead of letting
+/// a runaway join run to completion. Null keeps the loops check-free.
 Result<storage::ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
-                                         const TableSource& source);
+                                         const TableSource& source,
+                                         const CancelToken* cancel = nullptr);
 
 }  // namespace griddb::engine

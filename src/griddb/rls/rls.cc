@@ -197,7 +197,8 @@ Status RlsClient::Unpublish(const std::string& logical_name,
 }
 
 Result<std::vector<std::string>> RlsClient::Lookup(
-    const std::string& logical_name, net::Cost* cost) {
+    const std::string& logical_name, net::Cost* cost,
+    const CancelToken* cancel) {
   const std::string key = ToLower(logical_name);
   LookupCounter().Add(1);
   {
@@ -213,8 +214,10 @@ Result<std::vector<std::string>> RlsClient::Lookup(
   }
   XmlRpcArray params;
   params.emplace_back(logical_name);
-  GRIDDB_ASSIGN_OR_RETURN(XmlRpcValue result,
-                          client_.Call("rls.lookup", std::move(params), cost));
+  GRIDDB_ASSIGN_OR_RETURN(
+      XmlRpcValue result,
+      client_.Call("rls.lookup", std::move(params), cost, /*forward_depth=*/0,
+                   /*forward_path=*/"", /*call_stats=*/nullptr, cancel));
   GRIDDB_ASSIGN_OR_RETURN(const XmlRpcArray* urls, result.AsArray());
   std::vector<std::string> out;
   out.reserve(urls->size());

@@ -1,7 +1,11 @@
 #include "griddb/rpc/server.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
 #include <mutex>
+#include <string_view>
 
 #include "griddb/obs/metrics.h"
 #include "griddb/util/logging.h"
@@ -47,9 +51,31 @@ obs::Histogram& ClientCallMs() {
 bool IsRetryable(StatusCode code) {
   // Corruption is transient like a drop: the next transmission of the
   // same message draws a fresh fate, so it is worth retrying rather than
-  // burning the whole call.
+  // burning the whole call. A shed (kResourceExhausted) is transient by
+  // definition — the server asked the client to come back later.
   return code == StatusCode::kUnavailable || code == StatusCode::kTimeout ||
-         code == StatusCode::kCorruption;
+         code == StatusCode::kCorruption ||
+         code == StatusCode::kResourceExhausted;
+}
+
+double RetryAfterHintMs(const std::string& message) {
+  static constexpr std::string_view kKey = "retry_after_ms=";
+  size_t pos = message.find(kKey);
+  if (pos == std::string::npos) return 0;
+  size_t start = pos + kKey.size();
+  size_t end = start;
+  while (end < message.size() &&
+         (std::isdigit(static_cast<unsigned char>(message[end])) ||
+          message[end] == '.')) {
+    ++end;
+  }
+  double hint = 0;
+  if (!ParseDouble(std::string_view(message).substr(start, end - start),
+                   &hint) ||
+      hint < 0) {
+    return 0;
+  }
+  return hint;
 }
 
 // ---------- Url ----------
@@ -211,6 +237,7 @@ std::string RpcServer::HandleRaw(std::string_view raw_request,
   auto request = DecodeRequest(raw_request);
   if (!request.ok()) return respond(request.status());
   ctx.trace_parent = {request->trace_id, request->parent_span_id};
+  ctx.deadline_budget_ms = request->deadline_ms;
 
   // Built-in session login.
   if (request->method == "system.login") {
@@ -301,7 +328,9 @@ Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
                                         const XmlRpcArray& params,
                                         net::Cost* cost, int forward_depth,
                                         const std::string& forward_path,
-                                        const obs::SpanContext& trace_ctx) {
+                                        const obs::SpanContext& trace_ctx,
+                                        double attempt_budget_ms,
+                                        double wire_deadline_ms) {
   GRIDDB_RETURN_IF_ERROR(Connect(cost));
   GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
                           transport_->Resolve(server_url_));
@@ -312,10 +341,11 @@ Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
   request.session_token = session_token_;
   request.trace_id = trace_ctx.trace_id;
   request.parent_span_id = trace_ctx.span_id;
+  request.deadline_ms = wire_deadline_ms > 0 ? wire_deadline_ms : 0;
   std::string raw_request = EncodeRequest(request);
 
   net::Network* network = transport_->network();
-  const double deadline = retry_policy_.attempt_timeout_ms;
+  const double deadline = attempt_budget_ms;
   double attempt_ms = 0;  // Charged toward this attempt's deadline.
 
   // A lost message is only detected by waiting out the attempt budget.
@@ -369,7 +399,8 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
                                     XmlRpcArray params, net::Cost* cost,
                                     int forward_depth,
                                     const std::string& forward_path,
-                                    CallStats* call_stats) {
+                                    CallStats* call_stats,
+                                    const CancelToken* cancel) {
   RetryPolicy policy;
   {
     std::lock_guard<std::mutex> lock(jitter_mu_);
@@ -396,28 +427,77 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
     span.End();
     return result;
   };
+  // The call's overall budget: the policy's overall deadline, the caller's
+  // cancellation token, or both — whichever is tighter at any moment.
+  // Spent ms accumulate in local_cost; token expiry is re-read each
+  // attempt because other branches of the same query spend it too.
+  const bool has_overall = policy.overall_timeout_ms > 0;
+  const bool has_token =
+      cancel != nullptr && cancel->active() && cancel->has_deadline();
+  auto overall_left = [&]() {
+    double left = std::numeric_limits<double>::infinity();
+    if (has_overall) {
+      left = policy.overall_timeout_ms - local_cost.total_ms();
+    }
+    if (has_token) left = std::min(left, cancel->remaining_ms());
+    return left;
+  };
   const int max_attempts = std::max(1, policy.max_attempts);
   double backoff = policy.initial_backoff_ms;
   for (int attempt = 1;; ++attempt) {
+    if (cancel != nullptr) {
+      Status live = cancel->Check();
+      if (!live.ok()) return finish(live);
+    }
+    double left = overall_left();
+    if (left <= 0) {
+      return finish(has_token && cancel->remaining_ms() <= 0
+                        ? DeadlineExceeded("call '" + method +
+                                           "' ran out of query budget")
+                        : Timeout("call '" + method + "' exceeded the " +
+                                  std::to_string(policy.overall_timeout_ms) +
+                                  " ms overall deadline"));
+    }
+    // The attempt may spend at most the per-attempt deadline, clipped to
+    // what is left of the overall budget.
+    double attempt_budget = policy.attempt_timeout_ms;
+    if (std::isfinite(left) && (attempt_budget <= 0 || left < attempt_budget)) {
+      attempt_budget = left;
+    }
+    double wire_deadline =
+        has_token ? cancel->remaining_ms() : 0;
     if (call_stats) ++call_stats->attempts;
     Result<XmlRpcValue> result = CallOnce(method, params, &local_cost,
                                           forward_depth, forward_path,
-                                          trace_ctx);
+                                          trace_ctx, attempt_budget,
+                                          wire_deadline);
     if (result.ok() || !IsRetryable(result.status().code()) ||
         attempt >= max_attempts) {
       return finish(std::move(result));
     }
-    if (call_stats) ++call_stats->retries;
-    ClientRetries().Add(1);
     double jitter = 0;
     {
       std::lock_guard<std::mutex> lock(jitter_mu_);
       jitter = backoff * policy.jitter_fraction *
                (2.0 * jitter_rng_.NextDouble() - 1.0);
     }
+    double wait = std::clamp(backoff + jitter, 0.0, policy.max_backoff_ms);
+    // An overloaded server's retry-after hint stretches the wait: coming
+    // back sooner than asked would just be shed again.
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      wait = std::max(wait, RetryAfterHintMs(result.status().message()));
+    }
+    // Never let backoff itself blow the budget: if waiting would spend the
+    // rest of it, give up now with the last real failure.
+    double budget_left = overall_left();
+    if (std::isfinite(budget_left) && wait >= budget_left) {
+      return finish(std::move(result));
+    }
+    if (call_stats) ++call_stats->retries;
+    ClientRetries().Add(1);
     // The backoff wait advances the virtual clock, which is what lets a
     // retry schedule outlast a host down-window.
-    Charge(&local_cost, std::clamp(backoff + jitter, 0.0, policy.max_backoff_ms));
+    Charge(&local_cost, wait);
     backoff = std::min(backoff * policy.backoff_multiplier,
                        policy.max_backoff_ms);
   }

@@ -18,6 +18,7 @@
 #include "griddb/net/network.h"
 #include "griddb/obs/trace.h"
 #include "griddb/rpc/xmlrpc_value.h"
+#include "griddb/util/cancellation.h"
 #include "griddb/util/rng.h"
 #include "griddb/util/status.h"
 
@@ -25,9 +26,17 @@ namespace griddb::rpc {
 
 /// True when a failed call may succeed if simply retried: the failure was
 /// a transient transport or availability condition (kUnavailable,
-/// kTimeout, kCorruption) rather than a permanent error such as
-/// kNotFound (unknown host, missing method/table) or kPermissionDenied.
+/// kTimeout, kCorruption) or a shed-under-overload rejection
+/// (kResourceExhausted, which carries a retry-after hint) rather than a
+/// permanent error such as kNotFound (unknown host, missing method/table)
+/// or kPermissionDenied. kDeadlineExceeded is deliberately NOT retryable:
+/// the caller's budget is spent, retrying cannot help.
 bool IsRetryable(StatusCode code);
+
+/// Extracts the "retry_after_ms=<N>" hint an overloaded server embeds in
+/// its kResourceExhausted fault message; 0 when absent/malformed. The
+/// retry loop waits at least this long before the next attempt.
+double RetryAfterHintMs(const std::string& message);
 
 /// Retry behaviour of one RpcClient: bounded attempts with exponential
 /// backoff + deterministic jitter, and a per-attempt deadline on the
@@ -45,6 +54,13 @@ struct RetryPolicy {
   /// client waits it out before concluding kTimeout. <= 0 disables the
   /// deadline (the seed behaviour).
   double attempt_timeout_ms = 0;
+  /// Virtual-clock budget for the whole call: attempts PLUS the backoff
+  /// waits between them. Once spent, the loop stops retrying (returning
+  /// the last failure) and backoff waits are clipped so the call never
+  /// outlives the caller's total budget. <= 0 disables the overall
+  /// deadline (the seed behaviour, where max_attempts * attempt_timeout
+  /// bounded attempts but backoff could still stretch the call).
+  double overall_timeout_ms = 0;
   uint64_t jitter_seed = 0x5eed;
 
   /// Seed behaviour: one attempt, no deadline.
@@ -112,6 +128,10 @@ struct CallContext {
   /// none). Handlers that trace open their server-side span under it and
   /// ship the resulting child spans back in the response.
   obs::SpanContext trace_parent;
+  /// Remaining query budget the request carried (<deadlineMs> header);
+  /// 0 = the caller set no deadline. Handlers that do real work derive a
+  /// CancelToken from it so a forwarded query never outlives its caller.
+  double deadline_budget_ms = 0;
 };
 
 using MethodHandler =
@@ -200,19 +220,31 @@ class RpcClient {
   /// RetryPolicy; backoff waits are charged to `cost` and advance the
   /// network's virtual clock. `call_stats`, when given, receives the
   /// attempt/retry counts of this call.
+  ///
+  /// `cancel`, when given and active, bounds the call end to end: each
+  /// attempt carries the remaining budget on the wire (<deadlineMs>), the
+  /// per-attempt deadline is clipped to what is left, backoff never
+  /// stretches past expiry, and a cancelled token fails the call
+  /// immediately between attempts. Retries and failover re-attempts
+  /// therefore spend the caller's budget rather than extending it.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params,
                            net::Cost* cost, int forward_depth = 0,
                            const std::string& forward_path = "",
-                           CallStats* call_stats = nullptr);
+                           CallStats* call_stats = nullptr,
+                           const CancelToken* cancel = nullptr);
 
   const std::string& server_url() const { return server_url_; }
 
  private:
+  /// `attempt_budget_ms` <= 0 means "no deadline this attempt";
+  /// `wire_deadline_ms` > 0 rides the request as <deadlineMs>.
   Result<XmlRpcValue> CallOnce(const std::string& method,
                                const XmlRpcArray& params, net::Cost* cost,
                                int forward_depth,
                                const std::string& forward_path,
-                               const obs::SpanContext& trace_ctx);
+                               const obs::SpanContext& trace_ctx,
+                               double attempt_budget_ms,
+                               double wire_deadline_ms);
   /// Charges `ms` to `cost` (when non-null) and advances the virtual clock.
   void Charge(net::Cost* cost, double ms);
 

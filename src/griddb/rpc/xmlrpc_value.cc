@@ -250,6 +250,10 @@ std::string EncodeRequest(const RpcRequest& request) {
     root.AddTextChild("traceContext", HexU64(request.trace_id) + ":" +
                                           HexU64(request.parent_span_id));
   }
+  // Sparse: calls without a deadline carry no budget element at all.
+  if (request.deadline_ms > 0) {
+    root.AddTextChild("deadlineMs", StrFormat("%.17g", request.deadline_ms));
+  }
   xml::Node& params = root.AddChild("params");
   for (const XmlRpcValue& param : request.params) {
     xml::Node& param_node = params.AddChild("param");
@@ -276,6 +280,13 @@ Result<RpcRequest> DecodeRequest(std::string_view raw) {
         !ParseHexU64(std::string_view(trace).substr(colon + 1),
                      &request.parent_span_id)) {
       return ParseError("malformed <traceContext> '" + trace + "'");
+    }
+  }
+  std::string deadline = doc->ChildText("deadlineMs");
+  if (!deadline.empty()) {
+    if (!ParseDouble(deadline, &request.deadline_ms) ||
+        request.deadline_ms < 0) {
+      return ParseError("malformed <deadlineMs> '" + deadline + "'");
     }
   }
   if (const xml::Node* params = doc->Child("params")) {

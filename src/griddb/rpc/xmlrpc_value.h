@@ -85,6 +85,13 @@ struct RpcRequest {
   /// format (the Table 1 / Fig 4-6 invariant).
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
+  /// Remaining query budget in virtual ms, carried as a header element
+  /// like the trace context. Encoded ONLY when > 0, so calls without a
+  /// deadline stay byte-identical to the pre-deadline wire format. The
+  /// value is relative (a budget, not an absolute instant): hosts share
+  /// one virtual clock here, but real deployments do not share wall
+  /// clocks, and a relative budget survives clock skew.
+  double deadline_ms = 0;
 };
 
 std::string EncodeRequest(const RpcRequest& request);

@@ -136,8 +136,10 @@ Result<ResultSet> UnityDriver::ExecuteDirectRendered(
 }
 
 Result<ResultSet> UnityDriver::Query(const std::string& sql_text,
-                                     net::Cost* cost) {
+                                     net::Cost* cost,
+                                     const CancelToken* cancel) {
   if (cost) cost->AddMs(costs_.query_parse_ms);
+  if (cancel) GRIDDB_RETURN_IF_ERROR(cancel->Check());
   GRIDDB_ASSIGN_OR_RETURN(QueryPlan plan, Plan(sql_text));
 
   if (plan.single_database) return ExecuteDirect(plan, cost);
@@ -153,7 +155,10 @@ Result<ResultSet> UnityDriver::Query(const std::string& sql_text,
     futures.reserve(plan.subqueries.size());
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
       futures.push_back(pool_.Submit([this, &plan, &partials, &branch_costs,
-                                      i]() -> Status {
+                                      cancel, i]() -> Status {
+        // Every branch shares the query's token: the first sibling to
+        // observe expiry cancels the rest before they start work.
+        if (cancel) GRIDDB_RETURN_IF_ERROR(cancel->Check());
         auto rs = ExecuteSubQuery(plan.subqueries[i], &branch_costs[i]);
         if (!rs.ok()) return rs.status();
         partials[i] = {plan.subqueries[i].effective_name, std::move(*rs)};
@@ -169,6 +174,7 @@ Result<ResultSet> UnityDriver::Query(const std::string& sql_text,
     if (cost) cost->AddParallel(branch_costs);
   } else {
     for (size_t i = 0; i < plan.subqueries.size(); ++i) {
+      if (cancel) GRIDDB_RETURN_IF_ERROR(cancel->Check());
       GRIDDB_ASSIGN_OR_RETURN(ResultSet rs,
                               ExecuteSubQuery(plan.subqueries[i],
                                               &branch_costs[i]));
@@ -178,7 +184,8 @@ Result<ResultSet> UnityDriver::Query(const std::string& sql_text,
   }
 
   GRIDDB_ASSIGN_OR_RETURN(ResultSet merged,
-                          MergePartials(*plan.merge_stmt, std::move(partials)));
+                          MergePartials(*plan.merge_stmt, std::move(partials),
+                                        cancel));
   if (cost) {
     cost->AddMs(costs_.integrate_per_row_ms *
                 static_cast<double>(merged.num_rows()));

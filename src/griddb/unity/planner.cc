@@ -456,12 +456,13 @@ std::string DescribePlan(const QueryPlan& plan) {
 
 Result<storage::ResultSet> MergePartials(
     const SelectStmt& merge_stmt,
-    std::vector<std::pair<std::string, storage::ResultSet>> partials) {
+    std::vector<std::pair<std::string, storage::ResultSet>> partials,
+    const CancelToken* cancel) {
   engine::MapTableSource source;
   for (auto& [name, rs] : partials) {
     source.Add(std::move(name), std::move(rs));
   }
-  return engine::ExecuteSelect(merge_stmt, source);
+  return engine::ExecuteSelect(merge_stmt, source, cancel);
 }
 
 }  // namespace griddb::unity

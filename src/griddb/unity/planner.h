@@ -102,10 +102,13 @@ Result<QueryPlan> PlanSelect(const sql::SelectStmt& stmt,
                              const DataDictionary& dictionary,
                              const PlannerOptions& options);
 
-/// Executes the merge statement over named partial results.
+/// Executes the merge statement over named partial results. `cancel`,
+/// when given, is checked at row-batch granularity inside the merge join
+/// (see engine::ExecuteSelect).
 Result<storage::ResultSet> MergePartials(
     const sql::SelectStmt& merge_stmt,
-    std::vector<std::pair<std::string, storage::ResultSet>> partials);
+    std::vector<std::pair<std::string, storage::ResultSet>> partials,
+    const CancelToken* cancel = nullptr);
 
 /// Human-readable plan description (EXPLAIN-style): the single-database
 /// statement with its target, or every sub-query in its target dialect

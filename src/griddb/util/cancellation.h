@@ -1,0 +1,157 @@
+// Cooperative cancellation and end-to-end query deadlines.
+//
+// A CancelToken is a cheap, copyable handle on shared cancellation state.
+// Every sub-query spawned on behalf of one client query carries a copy of
+// the same token, so a deadline expiry (or client abort) observed by any
+// branch cancels all of its siblings: the first Check() that notices the
+// deadline has passed latches the cancelled state, and every later Check()
+// on any copy fails fast without consulting the clock again.
+//
+// Deadlines are expressed on the simulation's virtual clock. The clock is
+// injected as a callback because util/ sits below net/ in the layering
+// (net::Network owns the virtual clock); a token built without a clock can
+// still be cancelled explicitly but never expires on its own.
+//
+// A default-constructed token is inert: active() is false, Check() is
+// always OK, and no allocation or atomic traffic happens anywhere it is
+// passed. This keeps the seed fast paths byte-for-byte unaffected when no
+// deadline or admission config is set.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "griddb/util/status.h"
+
+namespace griddb {
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, no deadline.
+  CancelToken() = default;
+
+  /// Cancellable token with no deadline (client-abort use case).
+  static CancelToken Cancellable() {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    return token;
+  }
+
+  /// Token that expires `budget_ms` virtual milliseconds from now as told
+  /// by `clock` (a now-in-ms callback, typically net::Network::NowMs).
+  static CancelToken WithBudget(std::function<double()> clock,
+                                double budget_ms) {
+    CancelToken token;
+    token.state_ = std::make_shared<State>();
+    token.state_->clock = std::move(clock);
+    token.state_->deadline_ms.store(token.state_->clock() + budget_ms,
+                                    std::memory_order_relaxed);
+    return token;
+  }
+
+  bool active() const { return state_ != nullptr; }
+
+  bool has_deadline() const {
+    return state_ && std::isfinite(state_->deadline_ms.load(
+                         std::memory_order_relaxed));
+  }
+
+  /// Absolute virtual instant the token expires; +inf when none.
+  double deadline_ms() const {
+    if (!state_) return std::numeric_limits<double>::infinity();
+    return state_->deadline_ms.load(std::memory_order_relaxed);
+  }
+
+  /// Virtual milliseconds left before expiry; +inf when no deadline.
+  /// Never negative: an expired token reports 0.
+  double remaining_ms() const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    double left =
+        state_->deadline_ms.load(std::memory_order_relaxed) - state_->clock();
+    return left > 0 ? left : 0;
+  }
+
+  /// Tightens the deadline to `budget_ms` from now if that is sooner than
+  /// the current deadline (a server applying its own cap to a forwarded
+  /// budget). No-op on an inert token.
+  void TightenBudget(std::function<double()> clock, double budget_ms) {
+    if (!state_) return;
+    if (!state_->clock) state_->clock = std::move(clock);
+    double candidate = state_->clock() + budget_ms;
+    double current = state_->deadline_ms.load(std::memory_order_relaxed);
+    while (candidate < current &&
+           !state_->deadline_ms.compare_exchange_weak(
+               current, candidate, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Latches the cancelled state. Idempotent; the first reason wins.
+  void Cancel(Status reason = Status(StatusCode::kDeadlineExceeded,
+                                     "query cancelled")) const {
+    if (!state_) return;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->reason = std::move(reason);
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return state_ && state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// OK while the query may keep running; the cancellation reason once it
+  /// may not. Observing an expired deadline here cancels the shared state,
+  /// so sibling sub-queries fail fast on their next Check().
+  Status Check() const {
+    if (!state_) return Status::Ok();
+    if (state_->cancelled.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      return state_->reason;
+    }
+    double deadline = state_->deadline_ms.load(std::memory_order_relaxed);
+    if (std::isfinite(deadline) && state_->clock &&
+        state_->clock() >= deadline) {
+      Cancel(DeadlineExceeded("query deadline exceeded"));
+      std::lock_guard<std::mutex> lock(state_->mu);
+      return state_->reason;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  struct State {
+    std::function<double()> clock;  // set once at construction, then read-only
+    std::atomic<double> deadline_ms{std::numeric_limits<double>::infinity()};
+    std::atomic<bool> cancelled{false};
+    std::mutex mu;      // guards `reason`
+    Status reason;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+/// Scheduling class used by admission control: interactive queries keep a
+/// reserved slice of the concurrency budget; scans are shed first.
+enum class QueryPriority {
+  kInteractive = 0,
+  kScan = 1,
+};
+
+inline const char* QueryPriorityName(QueryPriority priority) noexcept {
+  return priority == QueryPriority::kScan ? "scan" : "interactive";
+}
+
+/// Per-query execution context threaded from the service entry point down
+/// through planning, fan-out, remote forwards and the merge join.
+struct QueryContext {
+  CancelToken cancel;
+  QueryPriority priority = QueryPriority::kInteractive;
+};
+
+}  // namespace griddb

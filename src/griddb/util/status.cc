@@ -17,6 +17,8 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kTimeout: return "TIMEOUT";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,8 @@ enum class StatusCode {
   // Appended (not inserted) so the numeric XML-RPC fault codes of older
   // peers still decode to the same enumerators.
   kCorruption,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -98,6 +100,12 @@ inline Status FailedPrecondition(std::string msg) {
 }
 inline Status Corruption(std::string msg) {
   return {StatusCode::kCorruption, std::move(msg)};
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
 }
 
 /// Value-or-Status. Access to value() on an error result asserts.

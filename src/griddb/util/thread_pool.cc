@@ -4,7 +4,8 @@
 
 namespace griddb {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, ThreadPoolOptions options)
+    : options_(options) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -18,7 +19,37 @@ ThreadPool::~ThreadPool() {
     shutting_down_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
+  // Workers drain the queue before exiting (WorkerLoop only returns once the
+  // queue is empty), so every accepted task runs.
   for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::Enqueue(std::function<void()> task) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_queue > 0 &&
+      options_.overflow == ThreadPoolOptions::Overflow::kBlock) {
+    space_cv_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < options_.max_queue;
+    });
+  }
+  if (shutting_down_ ||
+      (options_.max_queue > 0 && queue_.size() >= options_.max_queue)) {
+    ++rejected_;
+    return false;
+  }
+  queue_.push_back(std::move(task));
+  return true;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::rejected_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -34,6 +65,7 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    space_cv_.notify_one();
     task();
   }
 }

@@ -3,6 +3,17 @@
 // The enhanced Unity driver and the core data access layer fan a federated
 // query out to every involved data mart concurrently (the improvement the
 // paper makes over the baseline Unity driver, which executes serially).
+//
+// The queue may be bounded (ThreadPoolOptions::max_queue) so a server under
+// overload exerts backpressure instead of buffering an unbounded backlog:
+// with kBlock the submitting thread waits for a slot (natural backpressure
+// on the fan-out path), with kReject the task is refused immediately and
+// the returned future reports std::future_errc::broken_promise. The default
+// options keep the seed behaviour exactly: unbounded queue, never blocks,
+// never rejects.
+//
+// Shutdown drains: tasks accepted before the destructor ran are guaranteed
+// to execute; only tasks submitted after shutdown began are rejected.
 #pragma once
 
 #include <condition_variable>
@@ -15,42 +26,64 @@
 
 namespace griddb {
 
+struct ThreadPoolOptions {
+  /// Queue overflow behaviour when `max_queue` is reached.
+  enum class Overflow {
+    kBlock,   ///< Submit waits until a slot frees (or shutdown begins).
+    kReject,  ///< Submit returns a broken-promise future immediately.
+  };
+
+  /// Maximum tasks waiting to run (executing tasks do not count);
+  /// 0 = unbounded, the seed behaviour.
+  size_t max_queue = 0;
+  Overflow overflow = Overflow::kBlock;
+};
+
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1 enforced).
-  explicit ThreadPool(size_t num_threads);
+  explicit ThreadPool(size_t num_threads, ThreadPoolOptions options = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Schedules `fn` and returns a future for its result. Safe to call from
-  /// multiple threads. Tasks submitted after shutdown began are rejected
-  /// with a broken promise.
+  /// multiple threads. Tasks submitted after shutdown began, or refused by
+  /// a full kReject queue, are rejected with a broken promise (the future's
+  /// get() throws std::future_error{broken_promise}).
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!shutting_down_) {
-        queue_.emplace_back([task] { (*task)(); });
-      }
-    }
-    cv_.notify_one();
+    if (Enqueue([task] { (*task)(); })) cv_.notify_one();
     return result;
   }
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks currently waiting to run (excludes executing tasks). A
+  /// backpressure signal for metrics/gauges; racy by nature.
+  size_t queue_depth() const;
+
+  /// Tasks refused because the bounded queue was full (kReject policy) or
+  /// shutdown had begun.
+  size_t rejected_count() const;
+
  private:
+  /// Places the task on the queue, honouring the bound; returns false when
+  /// the task was rejected instead.
+  bool Enqueue(std::function<void()> task);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  const ThreadPoolOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // workers wait: work available/shutdown
+  std::condition_variable space_cv_;  // submitters wait: queue slot freed
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  size_t rejected_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -128,7 +128,11 @@ Result<StagedData> EtlPipeline::ExtractRows(const Job& job, EtlStats& stats) {
                                 : job.target_schema_name;
   staged.rows.reserve(rs.num_rows());
   if (job.transform) {
+    size_t row_count = 0;
     for (const Row& row : rs.rows) {
+      if (++row_count % 512 == 0) {
+        GRIDDB_RETURN_IF_ERROR(job.cancel.Check());
+      }
       GRIDDB_ASSIGN_OR_RETURN(Row transformed, job.transform(row));
       staged.rows.push_back(std::move(transformed));
     }
@@ -296,6 +300,9 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
 
   // ---- extraction hop: stage every chunk not already durable ----
   for (size_t c = 0; c < total; ++c) {
+    // Cancellation between chunks leaves the manifest at the last
+    // committed chunk — exactly the crash resume point.
+    GRIDDB_RETURN_IF_ERROR(job.cancel.Check());
     if (manifest.FindCommitted(c) != nullptr) continue;
     size_t begin = c * opts.chunk_rows;
     size_t end = std::min(begin + opts.chunk_rows, staged.rows.size());
@@ -389,6 +396,8 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
   }
 
   for (size_t c = 0; c < total; ++c) {
+    // As with staging: a cancelled load resumes from the manifest.
+    GRIDDB_RETURN_IF_ERROR(job.cancel.Check());
     if (manifest.IsLoaded(c)) continue;
     if (applied.count(c) != 0) {
       // The target already has this chunk (e.g. the manifest update after

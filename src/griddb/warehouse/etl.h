@@ -17,6 +17,7 @@
 #include "griddb/engine/database.h"
 #include "griddb/net/network.h"
 #include "griddb/storage/stage_file.h"
+#include "griddb/util/cancellation.h"
 #include "griddb/util/status.h"
 
 namespace griddb::warehouse {
@@ -82,6 +83,12 @@ class EtlPipeline {
     RowTransform transform;         ///< Optional.
     std::string target_schema_name; ///< Table name recorded in the stage
                                     ///< file; defaults to target_table.
+    /// Cooperative cancellation: checked per transform row-batch and per
+    /// staged/loaded chunk, so a long ETL run can be stopped (deadline or
+    /// operator abort) without waiting for the full scan. The resumable
+    /// path keeps its stage file + manifest on cancellation, so a
+    /// cancelled run resumes like a crashed one. Inert by default.
+    CancelToken cancel;
   };
 
   /// Two-hop run through a staging file (the prototype's behaviour).
