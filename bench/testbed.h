@@ -55,6 +55,9 @@ struct TestbedOptions {
   double default_deadline_ms = 0;
   bool partial_on_deadline = false;
   size_t worker_queue_limit = 0;
+  /// RBAC grant catalog shared by both JClarens servers (one
+  /// federation-wide grant set). Null — the default — disables RBAC.
+  std::shared_ptr<core::RbacCatalog> rbac;
 };
 
 class Testbed {
@@ -198,6 +201,7 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.default_deadline_ms = options.default_deadline_ms;
     config.partial_on_deadline = options.partial_on_deadline;
     config.worker_queue_limit = options.worker_queue_limit;
+    config.rbac = options.rbac;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
                                                   &bed->xspec_repo);

@@ -38,24 +38,31 @@ echo "== perf gate: query cache bench =="
 echo "== perf gate: overload / admission control bench =="
 ./build/bench/bench_ext_overload BENCH_overload.json
 
+echo "== perf gate: tenant isolation bench =="
+./build/bench/bench_ext_tenant_isolation BENCH_tenant_isolation.json
+
 echo "== asan: build robustness suites =="
 cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
-  stage_property_test query_cache_test overload_test >/dev/null
+  stage_property_test query_cache_test overload_test \
+  tenant_isolation_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
-         stage_property_test query_cache_test overload_test; do
+         stage_property_test query_cache_test overload_test \
+         tenant_isolation_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
 
-echo "== tsan: build + run cache + overload concurrency suites =="
+echo "== tsan: build + run cache + overload + tenant concurrency suites =="
 cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
-  query_cache_test concurrency_test overload_test >/dev/null
-for t in query_cache_test concurrency_test overload_test; do
+  query_cache_test concurrency_test overload_test \
+  tenant_isolation_test >/dev/null
+for t in query_cache_test concurrency_test overload_test \
+         tenant_isolation_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

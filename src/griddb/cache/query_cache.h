@@ -33,6 +33,15 @@
 // Thread safety: every public method is safe against the parallel
 // sub-query fan-out; one mutex guards both tiers (entries themselves are
 // immutable shared_ptr<const ...>, so hits copy a pointer, not rows).
+//
+// Multi-tenancy: keys are deliberately tenant-agnostic — all tenants
+// share one cache, so a popular query warms the cache for everyone. The
+// safety contract lives in the service layer: DataAccessService checks
+// the REQUESTING tenant's grants (core/rbac) before every probe of this
+// cache, including the stale-while-revalidate serve, so a result cached
+// under tenant A's request is never replayed to a tenant whose current
+// grants do not cover the referenced tables, and a revocation takes
+// effect on the very next request without touching cached entries.
 #pragma once
 
 #include <cstdint>

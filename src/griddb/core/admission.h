@@ -23,29 +23,67 @@
 //     admitted when nothing else holds memory, so the cap bounds
 //     *concurrent* pressure without making big queries unservable.
 //
-// All admission decisions are O(1) under one mutex and never execute any
-// query work, which is what makes a reject orders of magnitude cheaper
-// than a served query (the bench gate: p99 reject latency < 5% of a
-// served query). A default-constructed config disables everything — the
-// seed behaviour.
+// With `tenant_isolation` on, the controller additionally partitions the
+// shared bounds into per-tenant lanes: each tenant gets its own FIFO wait
+// queue (bounded by `max_queued`), a scheduling weight, an optional
+// min-reserved slot count and an optional merge-memory byte budget. Freed
+// slots are handed out by a deficit-round-robin scheduler over the lanes
+// with waiters, so one tenant's scan storm fills only its own lane while
+// other tenants keep their weighted share (and their reserved slots) of
+// the execution budget. The scheduler is work-conserving: a lane with no
+// demand donates both its share and its reservation — reservations are
+// honoured as next-slot priority for lanes with waiters, never as slots
+// held idle.
+//
+// All admission decisions are O(1)-ish under one mutex (O(#lanes) with
+// isolation on) and never execute any query work, which is what makes a
+// reject orders of magnitude cheaper than a served query (the bench gate:
+// p99 reject latency < 5% of a served query). A default-constructed
+// config disables everything — the seed behaviour.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <condition_variable>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "griddb/util/cancellation.h"
 #include "griddb/util/status.h"
 
 namespace griddb::core {
 
+/// Per-tenant share of the admission budget (tenant_isolation mode).
+/// Tenants without an explicit quota get the defaults below, so every
+/// tenant is still isolated into its own lane.
+struct TenantQuota {
+  std::string tenant;  ///< "" = the default/anonymous lane.
+  /// Deficit-round-robin share: a lane with weight 2 drains twice as
+  /// fast as a lane with weight 1 when both have waiters.
+  double weight = 1.0;
+  /// Slots this tenant may always claim next: other lanes are not
+  /// granted a freed slot while it would leave fewer than this many for
+  /// a tenant that has queued demand below its reservation.
+  size_t min_reserved = 0;
+  /// Per-tenant merge-memory budget (bytes); 0 = only the global budget
+  /// applies. Same lone-oversized-query exemption as the global budget.
+  size_t merge_memory_budget_bytes = 0;
+  /// Per-tenant retry-after hint on sheds; 0 = the global hint.
+  double retry_after_ms = 0;
+};
+
 struct AdmissionConfig {
   /// Queries executing concurrently; 0 disables admission control.
   size_t max_concurrent = 0;
   /// Queries allowed to wait (block) for a slot once `max_concurrent` is
   /// reached; beyond this, arrivals are shed. 0 = shed immediately when
-  /// all slots are busy.
+  /// all slots are busy. With tenant_isolation the bound applies per
+  /// lane, so one tenant's backlog cannot consume another's queue space.
   size_t max_queued = 0;
   /// Slots reserved for interactive queries: scan-priority queries are
   /// shed once fewer than this many slots remain free. Clamped to
@@ -55,8 +93,16 @@ struct AdmissionConfig {
   double retry_after_ms = 250.0;
   /// Byte budget for concurrent join/merge working sets; 0 = unlimited.
   size_t merge_memory_budget_bytes = 0;
+  /// Partition slots/queue/memory into per-tenant lanes drained by a
+  /// deficit-round-robin scheduler (see the header comment). Off = all
+  /// tenants share one FIFO lane (the PR 5 behaviour).
+  bool tenant_isolation = false;
+  /// Explicit per-tenant quotas; tenants not listed get TenantQuota
+  /// defaults (weight 1, no reservation, no private byte budget).
+  std::vector<TenantQuota> tenant_quotas;
 
   bool enabled() const { return max_concurrent > 0; }
+  bool per_tenant() const { return enabled() && tenant_isolation; }
 };
 
 class AdmissionController {
@@ -74,13 +120,15 @@ class AdmissionController {
    public:
     Ticket() = default;
     ~Ticket() { Release(); }
-    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+    Ticket(Ticket&& other) noexcept
+        : controller_(other.controller_), tenant_(std::move(other.tenant_)) {
       other.controller_ = nullptr;
     }
     Ticket& operator=(Ticket&& other) noexcept {
       if (this != &other) {
         Release();
         controller_ = other.controller_;
+        tenant_ = std::move(other.tenant_);
         other.controller_ = nullptr;
       }
       return *this;
@@ -92,9 +140,10 @@ class AdmissionController {
 
    private:
     friend class AdmissionController;
-    explicit Ticket(AdmissionController* controller)
-        : controller_(controller) {}
+    explicit Ticket(AdmissionController* controller, std::string tenant = "")
+        : controller_(controller), tenant_(std::move(tenant)) {}
     AdmissionController* controller_ = nullptr;
+    std::string tenant_;
   };
 
   /// RAII merge-memory reservation.
@@ -103,7 +152,9 @@ class AdmissionController {
     MemoryLease() = default;
     ~MemoryLease() { Release(); }
     MemoryLease(MemoryLease&& other) noexcept
-        : controller_(other.controller_), bytes_(other.bytes_) {
+        : controller_(other.controller_),
+          bytes_(other.bytes_),
+          tenant_(std::move(other.tenant_)) {
       other.controller_ = nullptr;
       other.bytes_ = 0;
     }
@@ -112,6 +163,7 @@ class AdmissionController {
         Release();
         controller_ = other.controller_;
         bytes_ = other.bytes_;
+        tenant_ = std::move(other.tenant_);
         other.controller_ = nullptr;
         other.bytes_ = 0;
       }
@@ -124,34 +176,77 @@ class AdmissionController {
 
    private:
     friend class AdmissionController;
-    MemoryLease(AdmissionController* controller, size_t bytes)
-        : controller_(controller), bytes_(bytes) {}
+    MemoryLease(AdmissionController* controller, size_t bytes,
+                std::string tenant = "")
+        : controller_(controller), bytes_(bytes), tenant_(std::move(tenant)) {}
     AdmissionController* controller_ = nullptr;
     size_t bytes_ = 0;
+    std::string tenant_;
+  };
+
+  /// Per-lane introspection for tests, benches and dataaccess.tenantStats.
+  struct LaneStats {
+    std::string tenant;
+    double weight = 1.0;
+    size_t min_reserved = 0;
+    size_t in_flight = 0;
+    size_t queued = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
   };
 
   /// Admission decision at query entry. Returns a slot ticket, possibly
   /// after waiting in the bounded queue; sheds with kResourceExhausted
   /// (message carries "retry_after_ms=N") when the queue is full, the
-  /// priority's slice is exhausted, or `cancel` fires while queued.
+  /// priority's slice is exhausted, or `cancel` fires while queued. With
+  /// tenant_isolation the decision runs in `tenant`'s lane ("" = the
+  /// default lane); without it `tenant` is ignored.
   Result<Ticket> Admit(QueryPriority priority,
-                       const CancelToken* cancel = nullptr);
+                       const CancelToken* cancel = nullptr,
+                       const std::string& tenant = "");
 
   /// Reserves `bytes` of join/merge working-set budget. Sheds with
-  /// kResourceExhausted when the reservation would overflow the budget
+  /// kResourceExhausted when the reservation would overflow the global
+  /// budget — or, with tenant_isolation, the tenant's own byte budget —
   /// while other queries hold memory; a lone reservation is always
   /// granted.
-  Result<MemoryLease> ReserveMergeMemory(size_t bytes);
+  Result<MemoryLease> ReserveMergeMemory(size_t bytes,
+                                         const std::string& tenant = "");
 
   const AdmissionConfig& config() const { return config_; }
   size_t in_flight() const;
   size_t queued() const;
   size_t merge_memory_bytes() const;
+  /// One entry per lane (tenant_isolation only; empty otherwise).
+  std::vector<LaneStats> lane_stats() const;
 
  private:
-  void ReleaseSlot();
-  void ReleaseMemory(size_t bytes);
+  struct Waiter {
+    QueryPriority priority = QueryPriority::kInteractive;
+    bool granted = false;
+  };
+  struct Lane {
+    TenantQuota quota;
+    size_t in_flight = 0;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    double deficit = 0;  // DRR credit, in slots
+    size_t merge_bytes = 0;
+    size_t merge_holders = 0;
+    std::deque<std::shared_ptr<Waiter>> queue;
+  };
+
+  void ReleaseSlot(const std::string& tenant);
+  void ReleaseMemory(size_t bytes, const std::string& tenant);
   Status Shed(QueryPriority priority, const char* why) const;
+  Status ShedLane(Lane& lane, QueryPriority priority, const char* why);
+  Lane& LaneLocked(const std::string& tenant);
+  bool CanGrantLocked(const Lane& lane, QueryPriority priority) const;
+  void GrantLocked(Lane& lane);
+  /// Deficit-round-robin pass: hands freed slots to queued waiters, one
+  /// slot per unit of accumulated per-lane credit, skipping empty lanes
+  /// (work conservation) and lanes whose head CanGrantLocked refuses.
+  void DispatchLocked();
 
   const AdmissionConfig config_;
   mutable std::mutex mu_;
@@ -161,6 +256,16 @@ class AdmissionController {
   size_t merge_memory_bytes_ = 0;
   size_t memory_holders_ = 0;
   bool shutting_down_ = false;
+  // Tenant lanes (tenant_isolation only). std::map nodes are stable, so
+  // Lane references survive lane creation.
+  std::map<std::string, Lane> lanes_;
+  std::vector<std::string> rr_order_;  // DRR rotation, by lane key
+  size_t rr_cursor_ = 0;
+  /// True when the cursor lane has not been charged its quantum yet this
+  /// visit. Slots free one at a time, so a dispatch pass often stops
+  /// mid-lane with credit left; the next pass must resume that lane
+  /// WITHOUT recharging, or weights degenerate to plain round-robin.
+  bool rr_fresh_ = true;
 };
 
 }  // namespace griddb::core

@@ -646,7 +646,8 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
                                                 const std::string& fingerprint,
                                                 net::Cost* cost,
                                                 QueryStats* stats,
-                                                const CancelToken* cancel) {
+                                                const CancelToken* cancel,
+                                                const std::string& tenant) {
   const bool use_cache = config_.query_cache && !fingerprint.empty();
   // Routing-generation snapshot BEFORE the plan lookup: if a quarantine
   // lands mid-plan, the entry inserted below is tagged with the older
@@ -907,7 +908,7 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   size_t merge_bytes = 0;
   for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
   GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
-                          admission_.ReserveMergeMemory(merge_bytes));
+                          admission_.ReserveMergeMemory(merge_bytes, tenant));
 
   obs::Span merge_span = tracer_.StartSpan("dataaccess.merge");
   auto merged =
@@ -948,7 +949,8 @@ rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
 Result<ResultSet> DataAccessService::RemoteQuery(
     const std::string& server_url, const std::string& sql_text,
     net::Cost* cost, QueryStats* stats, int forward_depth,
-    const std::string& forward_path, const CancelToken* cancel) {
+    const std::string& forward_path, const CancelToken* cancel,
+    const std::string& tenant) {
   ForwardsCounter().Add(1);
   obs::Span span = tracer_.StartSpan("dataaccess.forward");
   span.AddAttr("url", server_url);
@@ -963,9 +965,11 @@ Result<ResultSet> DataAccessService::RemoteQuery(
   // The client stamps the token's remaining budget onto the request
   // (sparse <deadlineMs>) at send time, so the remote server inherits a
   // budget already shrunk by every hop and retry before it.
+  // The tenant rides per call (not via set_tenant) because ClientFor
+  // shares one cached client per remote URL across all tenants.
   Result<rpc::XmlRpcValue> response =
       client->Call("dataaccess.query", std::move(params), cost,
-                   forward_depth + 1, path, &call_stats, cancel);
+                   forward_depth + 1, path, &call_stats, cancel, tenant);
   if (stats) stats->retries += static_cast<size_t>(call_stats.retries);
   if (!response.ok() && span.active()) {
     span.SetError(response.status().ToString());
@@ -1044,7 +1048,7 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
     const std::vector<std::string>& candidates, const std::string& table,
     const std::string& sql_text, net::Cost* cost, QueryStats* stats,
     int forward_depth, const std::string& forward_path,
-    const CancelToken* cancel) {
+    const CancelToken* cancel, const std::string& tenant) {
   // kNotFound is failover-worthy: it usually means a stale RLS row (the
   // replica dropped the table, or never had it) and another replica may
   // still answer. kCorruption likewise — a replica serving corrupt data
@@ -1075,7 +1079,8 @@ Result<ResultSet> DataAccessService::RemoteQueryFailover(
       FailoversCounter().Add(1);
     }
     Result<ResultSet> rs = RemoteQuery(url, sql_text, cost, stats,
-                                       forward_depth, forward_path, cancel);
+                                       forward_depth, forward_path, cancel,
+                                       tenant);
     if (rs.ok()) {
       RecordPeerOutcome(url, true);
       return rs;
@@ -1095,7 +1100,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     const sql::SelectStmt& stmt,
     const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
     QueryStats* stats, int forward_depth, const std::string& forward_path,
-    const CancelToken* cancel) {
+    const CancelToken* cancel, const std::string& tenant) {
   if (!rls_) {
     return NotFound("table '" + missing.front()->table +
                     "' is not registered locally and no RLS is configured");
@@ -1176,7 +1181,8 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     }
     std::string text = sql::RenderSelect(stmt, ClientDialect());
     return RemoteQueryFailover(candidates, missing.front()->table, text, cost,
-                               stats, forward_depth, forward_path, cancel);
+                               stats, forward_depth, forward_path, cancel,
+                               tenant);
   }
 
   // Mixed: fetch a partial per table reference (local tables through the
@@ -1327,7 +1333,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
       Result<ResultSet> partial =
           RemoteQueryFailover(table_candidates[fetch.table], fetch.table,
                               fetch.sql, &branch, stats, forward_depth,
-                              forward_path, cancel);
+                              forward_path, cancel, tenant);
       if (!partial.ok()) {
         if (!substitutable(partial.status())) return partial.status();
         record_failed_fetch(fetch, partial.status(), &partials);
@@ -1354,7 +1360,7 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
   size_t merge_bytes = 0;
   for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
   GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
-                          admission_.ReserveMergeMemory(merge_bytes));
+                          admission_.ReserveMergeMemory(merge_bytes, tenant));
   GRIDDB_ASSIGN_OR_RETURN(
       ResultSet merged,
       unity::MergePartials(*merge_stmt, std::move(partials), cancel));
@@ -1363,6 +1369,23 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
                 static_cast<double>(merged.num_rows()));
   }
   return merged;
+}
+
+Status DataAccessService::CheckTenantGrants(
+    const std::string& tenant, const std::vector<std::string>& tables) const {
+  if (!config_.rbac) return Status::Ok();
+  // Mart grants resolve through the dictionary: a grant on mart M covers
+  // every logical table M hosts locally. Tables not registered here (RLS
+  // fallback) resolve to no marts and need a table or wildcard grant.
+  return config_.rbac->CheckSelect(
+      tenant, tables, [this](const std::string& table) {
+        std::vector<std::string> marts;
+        for (const unity::TableBinding& binding :
+             driver_.dictionary().Locate(table)) {
+          marts.push_back(binding.database_name);
+        }
+        return marts;
+      });
 }
 
 Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
@@ -1385,7 +1408,7 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   // and carries a retry_after_ms hint, which is what keeps rejects orders
   // of magnitude cheaper than served queries under overload.
   Result<AdmissionController::Ticket> ticket =
-      admission_.Admit(ctx.priority, cancel);
+      admission_.Admit(ctx.priority, cancel, ctx.tenant);
   if (!ticket.ok()) {
     QueryErrorsCounter().Add(1);
     return ticket.status();
@@ -1468,6 +1491,14 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
     if (auto memo = cache_.LookupText(sql_text)) {
       fingerprint = std::move(memo->fingerprint);
       ref_tables = std::move(memo->tables);
+      // Grants gate every cache serve: a result cached under tenant A's
+      // request is never replayed to a tenant whose CURRENT grants do not
+      // cover the referenced tables, and a revocation takes effect on the
+      // next request because the check reads the live snapshot.
+      if (Status grants = CheckTenantGrants(ctx.tenant, ref_tables);
+          !grants.ok()) {
+        return finish(grants);
+      }
       if (auto hit = try_result_cache()) return finish(std::move(*hit));
     }
   }
@@ -1478,6 +1509,21 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   if (cancel != nullptr) {
     Status live = cancel->Check();
     if (!live.ok()) return finish(live);
+  }
+
+  // Plan-time grant enforcement: every referenced table must be covered
+  // by the requesting tenant's grants before any result-cache serve, any
+  // plan is built, or any sub-query RPC fans out. A denial is permanent
+  // (kPermissionDenied, never retried) and costs no execution work.
+  if (config_.rbac) {
+    std::vector<std::string> grant_tables;
+    for (const sql::TableRef* ref : stmt->AllTables()) {
+      grant_tables.push_back(ToLower(ref->table));
+    }
+    if (Status grants = CheckTenantGrants(ctx.tenant, grant_tables);
+        !grants.ok()) {
+      return finish(grants);
+    }
   }
 
   if (use_cache && fingerprint.empty()) {
@@ -1498,9 +1544,10 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
   }
 
   Result<ResultSet> result =
-      missing.empty() ? QueryLocal(*stmt, fingerprint, &cost, st, cancel)
-                      : QueryWithRemote(*stmt, missing, &cost, st,
-                                        forward_depth, forward_path, cancel);
+      missing.empty()
+          ? QueryLocal(*stmt, fingerprint, &cost, st, cancel, ctx.tenant)
+          : QueryWithRemote(*stmt, missing, &cost, st, forward_depth,
+                            forward_path, cancel, ctx.tenant);
   // A plan invalidated by a concurrent schema change is rebuilt against
   // the fresh dictionary, a bounded number of times (a schema churning
   // faster than we can plan is a real failure, not a retry candidate).
@@ -1510,9 +1557,10 @@ Result<ResultSet> DataAccessService::Query(const std::string& sql_text,
     ++st->replans;
     ReplansCounter().Add(1);
     result = missing.empty()
-                 ? QueryLocal(*stmt, fingerprint, &cost, st, cancel)
+                 ? QueryLocal(*stmt, fingerprint, &cost, st, cancel,
+                              ctx.tenant)
                  : QueryWithRemote(*stmt, missing, &cost, st, forward_depth,
-                                   forward_path, cancel);
+                                   forward_path, cancel, ctx.tenant);
   }
   if (!result.ok()) {
     // Stale-while-revalidate: with every replica down (or quarantined, or

@@ -21,6 +21,7 @@
 
 #include "griddb/cache/query_cache.h"
 #include "griddb/core/admission.h"
+#include "griddb/core/rbac.h"
 #include "griddb/obs/trace.h"
 #include "griddb/ral/catalog.h"
 #include "griddb/ral/pool_ral.h"
@@ -116,6 +117,15 @@ struct DataAccessConfig {
   /// rejected and the sub-query fails with retryable kResourceExhausted.
   /// 0 = unbounded (seed behaviour).
   size_t worker_queue_limit = 0;
+
+  // Multi-tenant isolation (core/rbac). Null = no RBAC: every tenant may
+  // read every table, the seed behaviour.
+  /// Grant catalog consulted at planning time: every referenced logical
+  /// table must be covered by the requesting tenant's grants BEFORE any
+  /// plan executes or any sub-query RPC fans out; a denied table fails
+  /// fast with non-retryable kPermissionDenied. Shared so one catalog can
+  /// serve several servers (one federation-wide grant set).
+  std::shared_ptr<RbacCatalog> rbac;
 };
 
 /// Per-query measurements surfaced to clients and benches.
@@ -266,12 +276,21 @@ class DataAccessService {
   Result<storage::ResultSet> QueryLocal(const sql::SelectStmt& stmt,
                                         const std::string& fingerprint,
                                         net::Cost* cost, QueryStats* stats,
-                                        const CancelToken* cancel);
+                                        const CancelToken* cancel,
+                                        const std::string& tenant);
   Result<storage::ResultSet> QueryWithRemote(
       const sql::SelectStmt& stmt,
       const std::vector<const sql::TableRef*>& missing, net::Cost* cost,
       QueryStats* stats, int forward_depth, const std::string& forward_path,
-      const CancelToken* cancel);
+      const CancelToken* cancel, const std::string& tenant);
+
+  /// Plan-time grant check: Ok when no RBAC catalog is configured,
+  /// otherwise CheckSelect against `tenant` with mart resolution through
+  /// the Unity dictionary. Runs before cache serves and before any plan
+  /// or RPC fan-out, so a revoked grant takes effect on the next request
+  /// and an unauthorized query costs no sub-query work.
+  Status CheckTenantGrants(const std::string& tenant,
+                           const std::vector<std::string>& tables) const;
 
   /// Routes one planned sub-query: POOL-RAL for supported vendors, JDBC
   /// otherwise (paper §4.6/§4.7). `render` carries the pre-rendered
@@ -289,7 +308,8 @@ class DataAccessService {
                                          net::Cost* cost, QueryStats* stats,
                                          int forward_depth,
                                          const std::string& forward_path,
-                                         const CancelToken* cancel);
+                                         const CancelToken* cancel,
+                                         const std::string& tenant);
 
   /// Runs `sql_text` against the first candidate the circuit breaker
   /// allows; on a transient failure (kUnavailable/kTimeout, or kNotFound
@@ -300,7 +320,7 @@ class DataAccessService {
       const std::vector<std::string>& candidates, const std::string& table,
       const std::string& sql_text, net::Cost* cost, QueryStats* stats,
       int forward_depth, const std::string& forward_path,
-      const CancelToken* cancel);
+      const CancelToken* cancel, const std::string& tenant);
 
   /// Circuit breaker bookkeeping (per server URL, virtual-clock cooldown).
   bool BreakerAllows(const std::string& server_url);

@@ -62,6 +62,11 @@ void JClarensServer::RegisterMethods() {
         // control sheds this query before interactive ones. Both are
         // sparse: requests that carry neither run exactly as before.
         QueryContext qctx;
+        // The tenant identity travels hop-by-hop (sparse <tenant> header):
+        // grant checks and lane accounting on every server along a
+        // forwarding chain see the ORIGINAL requester, not the forwarding
+        // peer.
+        qctx.tenant = ctx.tenant;
         if (ctx.deadline_budget_ms > 0) {
           net::Network* network = ctx.transport->network();
           qctx.cancel = CancelToken::WithBudget(
@@ -134,6 +139,30 @@ void JClarensServer::RegisterMethods() {
         out["gauges"] = std::move(gauges);
         out["histograms"] = std::move(histograms);
         return XmlRpcValue(std::move(out));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.tenantStats",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)params;
+        (void)ctx;
+        // Per-lane admission introspection (the registry's tenant metrics
+        // are aggregates; the per-tenant breakdown lives here).
+        XmlRpcArray lanes;
+        for (const AdmissionController::LaneStats& lane :
+             service_.admission().lane_stats()) {
+          XmlRpcStruct entry;
+          entry["tenant"] = lane.tenant;
+          entry["weight"] = lane.weight;
+          entry["min_reserved"] = static_cast<int64_t>(lane.min_reserved);
+          entry["in_flight"] = static_cast<int64_t>(lane.in_flight);
+          entry["queued"] = static_cast<int64_t>(lane.queued);
+          entry["admitted"] = static_cast<int64_t>(lane.admitted);
+          entry["shed"] = static_cast<int64_t>(lane.shed);
+          lanes.emplace_back(std::move(entry));
+        }
+        return XmlRpcValue(std::move(lanes));
       });
 
   (void)server_.RegisterMethod(

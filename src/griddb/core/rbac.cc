@@ -1,0 +1,263 @@
+#include "griddb/core/rbac.h"
+
+#include <utility>
+
+#include "griddb/obs/metrics.h"
+#include "griddb/util/strings.h"
+
+namespace griddb::core {
+
+namespace {
+obs::Counter& ChecksCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.tenant.checks");
+  return *c;
+}
+obs::Counter& DeniedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.tenant.denied");
+  return *c;
+}
+obs::Counter& GrantDdlCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.tenant.grant_ddl");
+  return *c;
+}
+obs::Counter& SnapshotSwapsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.tenant.snapshot_swaps");
+  return *c;
+}
+}  // namespace
+
+Status RbacCatalog::RequireGranteeLocked(const std::string& grantee) const {
+  if (users_.count(grantee) || roles_.count(grantee)) return Status::Ok();
+  return NotFound("no user or role named '" + grantee + "'");
+}
+
+bool RbacCatalog::ReachesLocked(const std::string& from,
+                                const std::string& target) const {
+  if (from == target) return true;
+  std::vector<const std::string*> frontier{&from};
+  std::set<std::string> seen{from};
+  while (!frontier.empty()) {
+    const std::string* name = frontier.back();
+    frontier.pop_back();
+    auto it = member_of_.find(*name);
+    if (it == member_of_.end()) continue;
+    for (const std::string& parent : it->second) {
+      if (parent == target) return true;
+      if (seen.insert(parent).second) frontier.push_back(&parent);
+    }
+  }
+  return false;
+}
+
+void RbacCatalog::PublishLocked() {
+  auto snap = std::make_shared<Snapshot>();
+  snap->generation = ++generation_;
+  for (const std::string& user : users_) {
+    Effective eff;
+    // Transitive closure over role membership; grants attach to any
+    // grantee on the way up.
+    std::vector<const std::string*> frontier{&user};
+    std::set<std::string> seen{user};
+    while (!frontier.empty()) {
+      const std::string* name = frontier.back();
+      frontier.pop_back();
+      if (auto it = table_grants_.find(*name); it != table_grants_.end()) {
+        for (const std::string& table : it->second) {
+          if (table == kAllTables) {
+            eff.all_tables = true;
+          } else {
+            eff.tables.insert(table);
+          }
+        }
+      }
+      if (auto it = mart_grants_.find(*name); it != mart_grants_.end()) {
+        eff.marts.insert(it->second.begin(), it->second.end());
+      }
+      if (auto it = member_of_.find(*name); it != member_of_.end()) {
+        for (const std::string& parent : it->second) {
+          if (seen.insert(parent).second) frontier.push_back(&parent);
+        }
+      }
+    }
+    snap->users.emplace(user, std::move(eff));
+  }
+  {
+    std::unique_lock lock(snap_mu_);
+    snap_ = std::move(snap);
+  }
+  GrantDdlCounter().Add(1);
+  SnapshotSwapsCounter().Add(1);
+}
+
+Status RbacCatalog::CreateUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  if (user.empty()) return InvalidArgument("user name must not be empty");
+  if (users_.count(user) || roles_.count(user)) {
+    return AlreadyExists("grantee '" + user + "' already exists");
+  }
+  users_.insert(user);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::CreateRole(const std::string& role) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  if (role.empty()) return InvalidArgument("role name must not be empty");
+  if (users_.count(role) || roles_.count(role)) {
+    return AlreadyExists("grantee '" + role + "' already exists");
+  }
+  roles_.insert(role);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::DropUser(const std::string& user) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  if (!users_.erase(user)) return NotFound("no user named '" + user + "'");
+  member_of_.erase(user);
+  table_grants_.erase(user);
+  mart_grants_.erase(user);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::DropRole(const std::string& role) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  if (!roles_.erase(role)) return NotFound("no role named '" + role + "'");
+  member_of_.erase(role);
+  table_grants_.erase(role);
+  mart_grants_.erase(role);
+  for (auto& [grantee, parents] : member_of_) parents.erase(role);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::AssignRole(const std::string& grantee,
+                               const std::string& role) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  GRIDDB_RETURN_IF_ERROR(RequireGranteeLocked(grantee));
+  if (!roles_.count(role)) return NotFound("no role named '" + role + "'");
+  // Membership must stay a DAG: privileges are a transitive union, so a
+  // cycle would make every member of it hold every grant of the others.
+  if (ReachesLocked(role, grantee)) {
+    return InvalidArgument("assigning role '" + role + "' to '" + grantee +
+                           "' would create a membership cycle");
+  }
+  member_of_[grantee].insert(role);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::RevokeRole(const std::string& grantee,
+                               const std::string& role) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  auto it = member_of_.find(grantee);
+  if (it == member_of_.end() || !it->second.erase(role)) {
+    return NotFound("'" + grantee + "' is not a member of role '" + role +
+                    "'");
+  }
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::GrantTable(const std::string& grantee,
+                               const std::string& logical_table) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  GRIDDB_RETURN_IF_ERROR(RequireGranteeLocked(grantee));
+  if (logical_table.empty()) {
+    return InvalidArgument("table name must not be empty");
+  }
+  table_grants_[grantee].insert(logical_table == kAllTables
+                                    ? std::string(kAllTables)
+                                    : ToLower(logical_table));
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::RevokeTable(const std::string& grantee,
+                                const std::string& logical_table) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  auto it = table_grants_.find(grantee);
+  std::string key = logical_table == kAllTables ? std::string(kAllTables)
+                                                : ToLower(logical_table);
+  if (it == table_grants_.end() || !it->second.erase(key)) {
+    return NotFound("'" + grantee + "' holds no grant on table '" +
+                    logical_table + "'");
+  }
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::GrantMart(const std::string& grantee,
+                              const std::string& database_name) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  GRIDDB_RETURN_IF_ERROR(RequireGranteeLocked(grantee));
+  if (database_name.empty()) {
+    return InvalidArgument("mart name must not be empty");
+  }
+  mart_grants_[grantee].insert(database_name);
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::RevokeMart(const std::string& grantee,
+                               const std::string& database_name) {
+  std::lock_guard<std::mutex> lock(ddl_mu_);
+  auto it = mart_grants_.find(grantee);
+  if (it == mart_grants_.end() || !it->second.erase(database_name)) {
+    return NotFound("'" + grantee + "' holds no grant on mart '" +
+                    database_name + "'");
+  }
+  PublishLocked();
+  return Status::Ok();
+}
+
+Status RbacCatalog::CheckSelect(const std::string& tenant,
+                                const std::vector<std::string>& tables,
+                                const MartsOf& marts_of) const {
+  ChecksCounter().Add(1);
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::shared_lock lock(snap_mu_);
+    snap = snap_;
+  }
+  const std::string& who = tenant.empty() ? kAnonymousTenant : tenant;
+  auto deny = [&](std::string message) {
+    DeniedCounter().Add(1);
+    return PermissionDenied(std::move(message));
+  };
+  if (!snap) return deny("tenant '" + who + "' is not a known user");
+  auto it = snap->users.find(who);
+  if (it == snap->users.end()) {
+    return deny("tenant '" + who + "' is not a known user");
+  }
+  const Effective& eff = it->second;
+  for (const std::string& table : tables) {
+    if (eff.all_tables || eff.tables.count(table)) continue;
+    bool covered = false;
+    if (!eff.marts.empty() && marts_of) {
+      for (const std::string& mart : marts_of(table)) {
+        if (eff.marts.count(mart)) {
+          covered = true;
+          break;
+        }
+      }
+    }
+    if (!covered) {
+      return deny("tenant '" + who + "' lacks SELECT on table '" + table +
+                  "'");
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t RbacCatalog::generation() const {
+  std::shared_lock lock(snap_mu_);
+  return snap_ ? snap_->generation : 0;
+}
+
+}  // namespace griddb::core

@@ -1,0 +1,135 @@
+// Multi-tenant RBAC catalog: users, roles, SELECT grants.
+//
+// The paper's JClarens endpoint serves many physics user communities
+// through one federation entry point; this catalog decides which logical
+// tables each community (tenant) may read. Grants follow the classic
+// grantee model: a grant names a *grantee* — a user or a role — and a
+// user's effective privileges are the union of its own grants and those
+// of every role reachable through role membership (roles may be granted
+// to roles, giving inheritance chains like analyst -> cms -> public).
+//
+// Two grant shapes exist, both SELECT-only (the data access layer is a
+// read path):
+//   - a table grant on one logical table ("*" = every table);
+//   - a mart grant on a database (mart) name, covering every logical
+//     table that mart hosts. Mart resolution is supplied by the caller
+//     at check time (the Unity dictionary knows which marts host a
+//     table; this catalog deliberately does not).
+//
+// Concurrency model — copy-on-write snapshots under a two-level
+// (hierarchical) read-write locking scheme, so concurrent grant DDL
+// never blocks the query path:
+//   - DDL is serialized by `ddl_mu_` (the upper, exclusive level). Each
+//     mutation edits the builder state, resolves every user's effective
+//     privilege set into a fresh immutable Snapshot, and publishes it.
+//   - Publication swaps a shared_ptr under `snap_mu_` (the lower
+//     read-write level). The query path takes a shared lock only long
+//     enough to copy the pointer — a handful of instructions — then
+//     evaluates grants against immutable data with no lock held at all.
+// Resolving the transitive role closure at publish time (not per check)
+// keeps CheckSelect O(log n) per table on the hot path.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "griddb/util/status.h"
+
+namespace griddb::core {
+
+class RbacCatalog {
+ public:
+  /// The tenant identity of requests that carry no <tenant> wire header.
+  /// Operators grant it like any other user ("CreateUser(kAnonymousTenant)"
+  /// + grants) to keep legacy anonymous traffic working under RBAC.
+  static constexpr const char* kAnonymousTenant = "anonymous";
+
+  /// Wildcard table grant: SELECT on every logical table.
+  static constexpr const char* kAllTables = "*";
+
+  RbacCatalog() = default;
+  RbacCatalog(const RbacCatalog&) = delete;
+  RbacCatalog& operator=(const RbacCatalog&) = delete;
+
+  // ---- grant DDL (serialized; never blocks CheckSelect) ----
+
+  Status CreateUser(const std::string& user);
+  Status CreateRole(const std::string& role);
+  Status DropUser(const std::string& user);
+  Status DropRole(const std::string& role);
+
+  /// Makes `grantee` (a user or a role) a member of `role`: the grantee
+  /// inherits every privilege the role (transitively) holds. Rejects
+  /// membership cycles with kInvalidArgument.
+  Status AssignRole(const std::string& grantee, const std::string& role);
+  Status RevokeRole(const std::string& grantee, const std::string& role);
+
+  /// SELECT on one logical table (case-insensitive; kAllTables = all).
+  Status GrantTable(const std::string& grantee,
+                    const std::string& logical_table);
+  Status RevokeTable(const std::string& grantee,
+                     const std::string& logical_table);
+
+  /// SELECT on every table hosted by the named mart (database).
+  Status GrantMart(const std::string& grantee,
+                   const std::string& database_name);
+  Status RevokeMart(const std::string& grantee,
+                    const std::string& database_name);
+
+  // ---- query path (lock-free after a pointer copy) ----
+
+  /// Resolves a logical table to the mart (database) names hosting it;
+  /// empty for tables not registered locally.
+  using MartsOf = std::function<std::vector<std::string>(const std::string&)>;
+
+  /// kPermissionDenied naming the first uncovered table unless `tenant`
+  /// (empty = kAnonymousTenant) holds SELECT — directly or through role
+  /// inheritance, by table grant, wildcard, or a mart grant covering a
+  /// mart `marts_of` reports for the table — on every entry of `tables`
+  /// (lower-case logical names). An unknown tenant is denied outright.
+  Status CheckSelect(const std::string& tenant,
+                     const std::vector<std::string>& tables,
+                     const MartsOf& marts_of) const;
+
+  /// Bumped on every successful DDL mutation (snapshot republish).
+  uint64_t generation() const;
+
+ private:
+  /// A user's fully resolved privileges, computed at publish time.
+  struct Effective {
+    bool all_tables = false;
+    std::set<std::string> tables;  // lower-case logical names
+    std::set<std::string> marts;   // database names
+  };
+  struct Snapshot {
+    std::map<std::string, Effective> users;
+    uint64_t generation = 0;
+  };
+
+  /// True when `target` is reachable from `from` via role membership
+  /// (builder state; caller holds ddl_mu_).
+  bool ReachesLocked(const std::string& from, const std::string& target) const;
+  Status RequireGranteeLocked(const std::string& grantee) const;
+  /// Resolves the builder state into a fresh snapshot and publishes it.
+  void PublishLocked();
+
+  mutable std::mutex ddl_mu_;  // upper level: serializes grant DDL
+  // Builder state (guarded by ddl_mu_).
+  std::set<std::string> users_;
+  std::set<std::string> roles_;
+  std::map<std::string, std::set<std::string>> member_of_;
+  std::map<std::string, std::set<std::string>> table_grants_;
+  std::map<std::string, std::set<std::string>> mart_grants_;
+  uint64_t generation_ = 0;
+
+  mutable std::shared_mutex snap_mu_;  // lower level: snapshot publication
+  std::shared_ptr<const Snapshot> snap_;
+};
+
+}  // namespace griddb::core

@@ -238,6 +238,7 @@ std::string RpcServer::HandleRaw(std::string_view raw_request,
   if (!request.ok()) return respond(request.status());
   ctx.trace_parent = {request->trace_id, request->parent_span_id};
   ctx.deadline_budget_ms = request->deadline_ms;
+  ctx.tenant = request->tenant;
 
   // Built-in session login.
   if (request->method == "system.login") {
@@ -330,7 +331,8 @@ Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
                                         const std::string& forward_path,
                                         const obs::SpanContext& trace_ctx,
                                         double attempt_budget_ms,
-                                        double wire_deadline_ms) {
+                                        double wire_deadline_ms,
+                                        const std::string& tenant) {
   GRIDDB_RETURN_IF_ERROR(Connect(cost));
   GRIDDB_ASSIGN_OR_RETURN(RpcServer * server,
                           transport_->Resolve(server_url_));
@@ -342,6 +344,7 @@ Result<XmlRpcValue> RpcClient::CallOnce(const std::string& method,
   request.trace_id = trace_ctx.trace_id;
   request.parent_span_id = trace_ctx.span_id;
   request.deadline_ms = wire_deadline_ms > 0 ? wire_deadline_ms : 0;
+  request.tenant = tenant;
   std::string raw_request = EncodeRequest(request);
 
   net::Network* network = transport_->network();
@@ -400,7 +403,9 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
                                     int forward_depth,
                                     const std::string& forward_path,
                                     CallStats* call_stats,
-                                    const CancelToken* cancel) {
+                                    const CancelToken* cancel,
+                                    const std::string& tenant) {
+  const std::string& wire_tenant = tenant.empty() ? default_tenant_ : tenant;
   RetryPolicy policy;
   {
     std::lock_guard<std::mutex> lock(jitter_mu_);
@@ -470,9 +475,13 @@ Result<XmlRpcValue> RpcClient::Call(const std::string& method,
     Result<XmlRpcValue> result = CallOnce(method, params, &local_cost,
                                           forward_depth, forward_path,
                                           trace_ctx, attempt_budget,
-                                          wire_deadline);
+                                          wire_deadline, wire_tenant);
     if (result.ok() || !IsRetryable(result.status().code()) ||
         attempt >= max_attempts) {
+      if (call_stats && !result.ok() &&
+          !IsRetryable(result.status().code())) {
+        call_stats->non_retryable = true;
+      }
       return finish(std::move(result));
     }
     double jitter = 0;

@@ -78,6 +78,10 @@ struct RetryPolicy {
 struct CallStats {
   int attempts = 0;
   int retries = 0;
+  /// True when the call failed with a permanent (non-retryable) status:
+  /// the retry loop stopped without burning backoff, e.g. on
+  /// kPermissionDenied from a plan-time grant check.
+  bool non_retryable = false;
 };
 
 /// Parsed service URL: scheme://host[:port]/path
@@ -132,6 +136,11 @@ struct CallContext {
   /// 0 = the caller set no deadline. Handlers that do real work derive a
   /// CancelToken from it so a forwarded query never outlives its caller.
   double deadline_budget_ms = 0;
+  /// Tenant identity the request carried (<tenant> header); empty for the
+  /// default anonymous tenant. Handlers thread it into the QueryContext
+  /// so grants and admission lanes follow the original requester across
+  /// forwards.
+  std::string tenant;
 };
 
 using MethodHandler =
@@ -227,11 +236,22 @@ class RpcClient {
   /// stretches past expiry, and a cancelled token fails the call
   /// immediately between attempts. Retries and failover re-attempts
   /// therefore spend the caller's budget rather than extending it.
+  ///
+  /// `tenant`, when non-empty, rides each attempt as the sparse <tenant>
+  /// header (overriding set_tenant's default); empty falls back to the
+  /// client default. Per-call so fan-out paths can share one cached
+  /// client per remote server across tenants.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params,
                            net::Cost* cost, int forward_depth = 0,
                            const std::string& forward_path = "",
                            CallStats* call_stats = nullptr,
-                           const CancelToken* cancel = nullptr);
+                           const CancelToken* cancel = nullptr,
+                           const std::string& tenant = "");
+
+  /// Default tenant identity stamped on every Call without an explicit
+  /// per-call tenant. Empty (the default) sends no <tenant> header.
+  void set_tenant(const std::string& tenant) { default_tenant_ = tenant; }
+  const std::string& tenant() const { return default_tenant_; }
 
   const std::string& server_url() const { return server_url_; }
 
@@ -244,7 +264,8 @@ class RpcClient {
                                const std::string& forward_path,
                                const obs::SpanContext& trace_ctx,
                                double attempt_budget_ms,
-                               double wire_deadline_ms);
+                               double wire_deadline_ms,
+                               const std::string& tenant);
   /// Charges `ms` to `cost` (when non-null) and advances the virtual clock.
   void Charge(net::Cost* cost, double ms);
 
@@ -257,6 +278,7 @@ class RpcClient {
   bool connected_ = false;
   double connect_cost_ms_ = -1.0;  ///< <0 = use transport default.
   std::string session_token_;
+  std::string default_tenant_;
   RetryPolicy retry_policy_;
   obs::Tracer* tracer_ = nullptr;
   std::mutex jitter_mu_;           ///< Guards the jitter RNG stream.

@@ -254,6 +254,10 @@ std::string EncodeRequest(const RpcRequest& request) {
   if (request.deadline_ms > 0) {
     root.AddTextChild("deadlineMs", StrFormat("%.17g", request.deadline_ms));
   }
+  // Sparse: anonymous-tenant calls carry no tenant element at all.
+  if (!request.tenant.empty()) {
+    root.AddTextChild("tenant", request.tenant);
+  }
   xml::Node& params = root.AddChild("params");
   for (const XmlRpcValue& param : request.params) {
     xml::Node& param_node = params.AddChild("param");
@@ -289,6 +293,7 @@ Result<RpcRequest> DecodeRequest(std::string_view raw) {
       return ParseError("malformed <deadlineMs> '" + deadline + "'");
     }
   }
+  request.tenant = doc->ChildText("tenant");
   if (const xml::Node* params = doc->Child("params")) {
     for (const auto& param : params->children) {
       if (param->name != "param" || param->children.empty()) {

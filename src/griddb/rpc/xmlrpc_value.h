@@ -92,6 +92,11 @@ struct RpcRequest {
   /// one virtual clock here, but real deployments do not share wall
   /// clocks, and a relative budget survives clock skew.
   double deadline_ms = 0;
+  /// Requesting tenant identity, carried hop-by-hop as a header element.
+  /// Encoded ONLY when non-empty: the default anonymous tenant sends no
+  /// <tenant> element, so untenanted traffic stays byte-identical to the
+  /// pre-RBAC wire format.
+  std::string tenant;
 };
 
 std::string EncodeRequest(const RpcRequest& request);

@@ -152,6 +152,10 @@ inline const char* QueryPriorityName(QueryPriority priority) noexcept {
 struct QueryContext {
   CancelToken cancel;
   QueryPriority priority = QueryPriority::kInteractive;
+  /// Requesting tenant identity ("" = the default anonymous tenant).
+  /// Checked against the RBAC catalog at plan time and used to pick the
+  /// admission lane; forwarded hop-by-hop in the sparse <tenant> header.
+  std::string tenant;
 };
 
 }  // namespace griddb

@@ -386,11 +386,33 @@ TEST_F(QueryCacheFixture, ColdResponsesAreByteIdenticalToCacheDisabled) {
   // Distinct endpoint so both servers can bind; the wire payloads under
   // comparison never mention the URL.
   on_config.server_url = "clarens://server-a:8081/clarens";
+  // Third variant: RBAC + per-tenant admission on, with the anonymous
+  // tenant granted everything. A request carrying no <tenant> header maps
+  // to the anonymous user and must produce the exact same fault-free
+  // bytes — the tenant machinery is invisible until someone is denied or
+  // identifies themselves.
+  DataAccessConfig tenant_config = CachedConfig();
+  tenant_config.query_cache = false;
+  tenant_config.rls_url.clear();
+  tenant_config.parallel_subqueries = false;
+  tenant_config.server_url = "clarens://server-a:8082/clarens";
+  tenant_config.rbac = std::make_shared<RbacCatalog>();
+  ASSERT_TRUE(tenant_config.rbac->CreateUser(RbacCatalog::kAnonymousTenant)
+                  .ok());
+  ASSERT_TRUE(tenant_config.rbac
+                  ->GrantTable(RbacCatalog::kAnonymousTenant,
+                               RbacCatalog::kAllTables)
+                  .ok());
+  tenant_config.admission.max_concurrent = 8;
+  tenant_config.admission.tenant_isolation = true;
   auto server_off = std::make_unique<JClarensServer>(off_config, &catalog,
                                                      &transport);
   auto server_on = std::make_unique<JClarensServer>(on_config, &catalog,
                                                     &transport);
-  for (JClarensServer* server : {server_off.get(), server_on.get()}) {
+  auto server_tenant = std::make_unique<JClarensServer>(tenant_config,
+                                                        &catalog, &transport);
+  for (JClarensServer* server :
+       {server_off.get(), server_on.get(), server_tenant.get()}) {
     ASSERT_TRUE(
         server->service().RegisterLiveDatabase("mysql://server-a/db_a", "")
             .ok());
@@ -404,11 +426,17 @@ TEST_F(QueryCacheFixture, ColdResponsesAreByteIdenticalToCacheDisabled) {
     request.method = "dataaccess.query";
     request.params.emplace_back(std::string(sql));
     std::string raw = rpc::EncodeRequest(request);
-    net::Cost cost_off, cost_on;
+    // The anonymous request itself carries no <tenant> element.
+    EXPECT_EQ(raw.find("tenant"), std::string::npos);
+    net::Cost cost_off, cost_on, cost_tenant;
     std::string off = server_off->rpc().HandleRaw(raw, "client", &cost_off);
     std::string on = server_on->rpc().HandleRaw(raw, "client", &cost_on);
+    std::string tenant =
+        server_tenant->rpc().HandleRaw(raw, "client", &cost_tenant);
     EXPECT_EQ(off, on) << "cache-cold response differs for: " << sql;
+    EXPECT_EQ(off, tenant) << "tenant-enabled response differs for: " << sql;
     EXPECT_EQ(cost_off.total_ms(), cost_on.total_ms());
+    EXPECT_EQ(cost_off.total_ms(), cost_tenant.total_ms());
   }
 }
 
