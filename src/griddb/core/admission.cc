@@ -144,11 +144,21 @@ AdmissionController::Lane& AdmissionController::LaneLocked(
   if (it != lanes_.end()) return it->second;
   Lane lane;
   lane.quota.tenant = tenant;
+  bool has_quota = false;
   for (const TenantQuota& quota : config_.tenant_quotas) {
     if (quota.tenant == tenant) {
       lane.quota = quota;
+      has_quota = true;
       break;
     }
+  }
+  // Tenants the gate does not recognize share the default lane: lanes are
+  // permanent, so unknown (possibly attacker-minted) tenant strings must
+  // not each grow lanes_ and the DRR rotation. Callers key the released
+  // ticket by the resolved lane (quota.tenant), not the requested name.
+  if (!has_quota && !tenant.empty() && config_.known_tenant &&
+      !config_.known_tenant(tenant)) {
+    return LaneLocked(std::string());
   }
   lane.quota.weight = std::max(lane.quota.weight, kMinWeight);
   it = lanes_.emplace(tenant, std::move(lane)).first;
@@ -199,59 +209,92 @@ void AdmissionController::GrantLocked(Lane& lane) {
 void AdmissionController::DispatchLocked() {
   if (rr_order_.empty()) return;
   bool granted_any = false;
-  // One full rotation without progress means nothing else can be placed
-  // (no waiters, no slots, or every head blocked by priority/reservation).
-  size_t stalled = 0;
-  while (stalled < rr_order_.size()) {
-    Lane& lane = lanes_.at(rr_order_[rr_cursor_]);
-    if (lane.queue.empty()) {
-      // Standard DRR: an emptied lane forfeits its credit, so an idle
-      // tenant cannot bank a burst against the others.
-      lane.deficit = 0;
+  for (;;) {
+    // One full rotation without progress means nothing else can be placed
+    // (no waiters, no slots, or every head blocked by priority/reservation
+    // — or, handled below, by credit alone).
+    size_t stalled = 0;
+    bool slots_full = false;
+    while (stalled < rr_order_.size()) {
+      Lane& lane = lanes_.at(rr_order_[rr_cursor_]);
+      if (lane.queue.empty()) {
+        // Standard DRR: an emptied lane forfeits its credit, so an idle
+        // tenant cannot bank a burst against the others.
+        lane.deficit = 0;
+        rr_fresh_ = true;
+        rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
+        ++stalled;
+        continue;
+      }
+      if (rr_fresh_) {
+        // One quantum (= weight) of credit on entering the lane; the cap
+        // bounds the burst a blocked lane can bank while still letting
+        // weight > 1 lanes carry their full share across rotations.
+        lane.deficit =
+            std::min(lane.deficit + lane.quota.weight, lane.quota.weight + 1.0);
+        rr_fresh_ = false;
+      }
+      bool progressed = false;
+      while (!lane.queue.empty() && lane.deficit >= 1.0 &&
+             CanGrantLocked(lane, lane.queue.front()->priority)) {
+        GrantLocked(lane);
+        progressed = true;
+        granted_any = true;
+      }
+      if (progressed) stalled = 0;
+      if (lane.queue.empty() || lane.deficit < 1.0) {
+        // Demand or credit exhausted: the lane's turn is over.
+        if (lane.queue.empty()) lane.deficit = 0;
+        rr_fresh_ = true;
+        rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
+        if (!progressed) ++stalled;
+        continue;
+      }
+      // Credit and demand remain but the head cannot be granted.
+      if (in_flight_ >= config_.max_concurrent) {
+        // No slot free anywhere: stop mid-turn, keeping the cursor (and the
+        // unspent credit, unrecharged) on this lane so the next freed slot
+        // resumes it. Advancing and recharging on every freed slot would
+        // flatten weights into plain round-robin.
+        slots_full = true;
+        break;
+      }
+      // A slot is free but this head is blocked by the interactive reserve
+      // or by another lane's reservation: rotate on so grantable lanes are
+      // not starved behind it; the unspent credit carries (capped) to the
+      // lane's next turn.
       rr_fresh_ = true;
       rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
       ++stalled;
-      continue;
     }
-    if (rr_fresh_) {
-      // One quantum (= weight) of credit on entering the lane; the cap
-      // bounds the burst a blocked lane can bank while still letting
-      // weight > 1 lanes carry their full share across rotations.
-      lane.deficit =
-          std::min(lane.deficit + lane.quota.weight, lane.quota.weight + 1.0);
-      rr_fresh_ = false;
+    if (slots_full) break;
+    // Fractional-weight liveness: dispatch only runs on admission events,
+    // so a rotation that stalled with a free slot while some backlogged
+    // head was grantable but credit-starved (a weight < 1 lane accrues
+    // less than a slot per visit) must not return and leave that waiter
+    // stranded until unrelated traffic arrives. Recharge every backlogged
+    // lane one quantum (weight ratios preserved, burst caps apply) and
+    // rerun: each pass adds >= kMinWeight to the starved lane, so it
+    // reaches a full slot of credit in a bounded number of passes.
+    bool credit_starved = false;
+    for (const auto& [name, lane] : lanes_) {
+      (void)name;
+      if (lane.queue.empty() || lane.deficit >= 1.0) continue;
+      if (CanGrantLocked(lane, lane.queue.front()->priority)) {
+        credit_starved = true;
+        break;
+      }
     }
-    bool progressed = false;
-    while (!lane.queue.empty() && lane.deficit >= 1.0 &&
-           CanGrantLocked(lane, lane.queue.front()->priority)) {
-      GrantLocked(lane);
-      progressed = true;
-      granted_any = true;
+    if (!credit_starved) break;
+    for (auto& [name, lane] : lanes_) {
+      (void)name;
+      if (lane.queue.empty()) continue;
+      lane.deficit = std::min(lane.deficit + lane.quota.weight,
+                              lane.quota.weight + 1.0);
     }
-    if (progressed) stalled = 0;
-    if (lane.queue.empty() || lane.deficit < 1.0) {
-      // Demand or credit exhausted: the lane's turn is over.
-      if (lane.queue.empty()) lane.deficit = 0;
-      rr_fresh_ = true;
-      rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
-      if (!progressed) ++stalled;
-      continue;
-    }
-    // Credit and demand remain but the head cannot be granted.
-    if (in_flight_ >= config_.max_concurrent) {
-      // No slot free anywhere: stop mid-turn, keeping the cursor (and the
-      // unspent credit, unrecharged) on this lane so the next freed slot
-      // resumes it. Advancing and recharging on every freed slot would
-      // flatten weights into plain round-robin.
-      break;
-    }
-    // A slot is free but this head is blocked by the interactive reserve
-    // or by another lane's reservation: rotate on so grantable lanes are
-    // not starved behind it; the unspent credit carries (capped) to the
-    // lane's next turn.
-    rr_fresh_ = true;
-    rr_cursor_ = (rr_cursor_ + 1) % rr_order_.size();
-    ++stalled;
+    // The cursor lane was recharged with the rest; entering it again on
+    // the rerun must not charge a second quantum.
+    rr_fresh_ = false;
   }
   if (granted_any) slot_cv_.notify_all();
 }
@@ -272,6 +315,9 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
 
   if (config_.per_tenant()) {
     Lane& lane = LaneLocked(tenant);
+    // Unknown tenants resolve to the default lane; the ticket must carry
+    // the lane actually charged so the release balances it.
+    const std::string& lane_key = lane.quota.tenant;
     if (slot_limit == 0) {
       return ShedLane(lane, priority, "no slots for this priority");
     }
@@ -285,7 +331,7 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
       AdmittedCounter().Add(1);
       TenantAdmittedCounter().Add(1);
       InFlightGauge().Set(static_cast<double>(in_flight_));
-      return Ticket(this, tenant);
+      return Ticket(this, lane_key);
     }
     if (lane.queue.size() >= config_.max_queued) {
       return ShedLane(lane, priority,
@@ -304,12 +350,19 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
     // reservation while another lane's head is blocked).
     DispatchLocked();
     Status live = Status::Ok();
-    while (!waiter->granted && !shutting_down_) {
-      if (cancel != nullptr) {
+    if (cancel == nullptr) {
+      // No cancellation to observe: sleep until granted (or shutdown)
+      // instead of burning a 5 ms poll per queued waiter under overload.
+      // Every grant/shutdown path notifies the CV.
+      slot_cv_.wait(lock, [&] { return waiter->granted || shutting_down_; });
+    } else {
+      // The timed poll is what notices a cancellation (deadline expiry
+      // advanced by another thread on the virtual clock).
+      while (!waiter->granted && !shutting_down_) {
         live = cancel->Check();
         if (!live.ok()) break;
+        slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
       }
-      slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
     }
     --queued_;
     QueueDepthGauge().Set(static_cast<double>(queued_));
@@ -326,7 +379,7 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
                    : Result<Ticket>(
                          ShedLane(lane, priority, "server shutting down"));
       }
-      return Ticket(this, tenant);
+      return Ticket(this, lane_key);
     }
     // Never granted: leave the queue, and unblock whatever our queue
     // position was holding back.
@@ -352,9 +405,10 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
                               : "scan slots exhausted");
   }
 
-  // Bounded-queue backpressure: wait for a slot. The wait polls in short
-  // real-time slices so a cancellation (deadline expiry observed by
-  // another thread advancing the virtual clock) aborts the wait promptly.
+  // Bounded-queue backpressure: wait for a slot. A cancellable wait polls
+  // in short real-time slices so a cancellation (deadline expiry observed
+  // by another thread advancing the virtual clock) aborts the wait
+  // promptly; without a token the wait just sleeps until notified.
   ++queued_;
   QueuedCounter().Add(1);
   QueueDepthGauge().Set(static_cast<double>(queued_));
@@ -362,12 +416,14 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
     return shutting_down_ || in_flight_ < slot_limit;
   };
   Status live = Status::Ok();
-  while (!done_waiting()) {
-    if (cancel != nullptr) {
+  if (cancel == nullptr) {
+    slot_cv_.wait(lock, done_waiting);
+  } else {
+    while (!done_waiting()) {
       live = cancel->Check();
       if (!live.ok()) break;
+      slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
     }
-    slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
   }
   --queued_;
   QueueDepthGauge().Set(static_cast<double>(queued_));
@@ -392,7 +448,11 @@ void AdmissionController::ReleaseSlot(const std::string& tenant) {
     InFlightGauge().Set(static_cast<double>(in_flight_));
     if (config_.per_tenant()) DispatchLocked();
   }
-  slot_cv_.notify_one();
+  // notify_all, not notify_one: waiters now block on a plain predicate
+  // wait when uncancellable, and in single-lane mode a scan waiter woken
+  // alone can be unable to take the freed slot (interactive reserve)
+  // while the interactive waiter that could would sleep through it.
+  slot_cv_.notify_all();
 }
 
 Result<AdmissionController::MemoryLease> AdmissionController::ReserveMergeMemory(
@@ -443,7 +503,9 @@ Result<AdmissionController::MemoryLease> AdmissionController::ReserveMergeMemory
     ++lane->merge_holders;
   }
   MergeMemoryGauge().Set(static_cast<double>(merge_memory_bytes_));
-  return MemoryLease(this, bytes, tenant);
+  // Key the lease by the resolved lane (unknown tenants share the default
+  // lane) so the release balances the lane actually charged.
+  return MemoryLease(this, bytes, lane != nullptr ? lane->quota.tenant : tenant);
 }
 
 void AdmissionController::ReleaseMemory(size_t bytes,

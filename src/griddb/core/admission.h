@@ -100,6 +100,15 @@ struct AdmissionConfig {
   /// Explicit per-tenant quotas; tenants not listed get TenantQuota
   /// defaults (weight 1, no reservation, no private byte budget).
   std::vector<TenantQuota> tenant_quotas;
+  /// Gate on dedicated-lane creation for tenants without an explicit
+  /// quota. Lanes (and their DRR rotation slots) live for the life of the
+  /// controller, so minting one per arbitrary client-supplied tenant
+  /// string would let an attacker grow them without bound; when this is
+  /// set, an unlisted tenant it rejects shares the default ("") lane
+  /// instead. DataAccessService wires it to the RBAC catalog's user set
+  /// when both are configured. Null = every tenant name gets a lane
+  /// (trusting callers — test/bench use).
+  std::function<bool(const std::string&)> known_tenant;
 
   bool enabled() const { return max_concurrent > 0; }
   bool per_tenant() const { return enabled() && tenant_isolation; }
@@ -246,6 +255,12 @@ class AdmissionController {
   /// Deficit-round-robin pass: hands freed slots to queued waiters, one
   /// slot per unit of accumulated per-lane credit, skipping empty lanes
   /// (work conservation) and lanes whose head CanGrantLocked refuses.
+  /// Liveness invariant: the pass never returns while a free slot could
+  /// be granted to some queued head — if a rotation stalls only because
+  /// every such lane's credit is below one slot (possible with fractional
+  /// weights), backlogged lanes are recharged a quantum and the rotation
+  /// reruns, so a waiter is never stranded waiting for unrelated traffic
+  /// to trigger the next dispatch.
   void DispatchLocked();
 
   const AdmissionConfig config_;

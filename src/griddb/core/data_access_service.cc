@@ -245,7 +245,22 @@ DataAccessService::DataAccessService(DataAccessConfig config,
         cc.result_capacity_bytes = config_.result_cache_bytes;
         return cc;
       }()),
-      admission_(config_.admission) {
+      admission_([&] {
+        AdmissionConfig admission = config_.admission;
+        // With both RBAC and tenant isolation on, only tenants known to
+        // the grant catalog earn a dedicated lane; arbitrary tenant
+        // strings (whose queries will be denied at plan time anyway)
+        // share the default lane instead of growing permanent per-tenant
+        // scheduler state. The shared_ptr capture keeps the catalog alive
+        // for the controller's lifetime.
+        if (admission.per_tenant() && config_.rbac && !admission.known_tenant) {
+          std::shared_ptr<RbacCatalog> rbac = config_.rbac;
+          admission.known_tenant = [rbac](const std::string& tenant) {
+            return rbac->KnownTenant(tenant);
+          };
+        }
+        return admission;
+      }()) {
   // Quarantined databases are invisible to the planner; with every
   // replica of a table quarantined, planning fails with "no usable
   // replica" (kNotFound), which the failover path treats as transient.

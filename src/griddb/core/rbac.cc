@@ -255,6 +255,16 @@ Status RbacCatalog::CheckSelect(const std::string& tenant,
   return Status::Ok();
 }
 
+bool RbacCatalog::KnownTenant(const std::string& tenant) const {
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::shared_lock lock(snap_mu_);
+    snap = snap_;
+  }
+  const std::string& who = tenant.empty() ? kAnonymousTenant : tenant;
+  return snap && snap->users.count(who) > 0;
+}
+
 uint64_t RbacCatalog::generation() const {
   std::shared_lock lock(snap_mu_);
   return snap_ ? snap_->generation : 0;

@@ -97,6 +97,12 @@ class RbacCatalog {
                      const std::vector<std::string>& tables,
                      const MartsOf& marts_of) const;
 
+  /// True when `tenant` (empty = kAnonymousTenant) is a known user in the
+  /// current snapshot. Same lock-free read path as CheckSelect. The
+  /// admission controller uses this to gate dedicated-lane creation, so
+  /// attacker-minted tenant names cannot grow permanent per-tenant state.
+  bool KnownTenant(const std::string& tenant) const;
+
   /// Bumped on every successful DDL mutation (snapshot republish).
   uint64_t generation() const;
 

@@ -192,9 +192,11 @@ std::vector<std::string> RpcServer::MethodNames() const {
   return names;
 }
 
-void RpcServer::AddUser(const std::string& user, const std::string& password) {
+void RpcServer::AddUser(const std::string& user, const std::string& password,
+                        const std::string& tenant) {
   std::unique_lock lock(mu_);
   users_[user] = password;
+  if (!tenant.empty()) user_tenants_[user] = tenant;
 }
 
 bool RpcServer::auth_required() const {
@@ -260,7 +262,14 @@ std::string RpcServer::HandleRaw(std::string_view raw_request,
     return respond(XmlRpcValue(std::move(names)));
   }
 
-  // Session check.
+  // Session check. On client-facing hops the tenant identity is BOUND to
+  // the authenticated session, never adopted from the wire: a client
+  // writing another community's name into the <tenant> header would
+  // otherwise inherit that tenant's grants and admission lane. Only
+  // server-to-server forwards (forward_depth > 0, which is set in-process
+  // by the forwarding server and never decoded from the wire) relay the
+  // original requester's tenant verbatim, because the peer already
+  // enforced the binding at the edge.
   if (auth_required()) {
     std::shared_lock lock(mu_);
     auto it = sessions_.find(request->session_token);
@@ -270,6 +279,19 @@ std::string RpcServer::HandleRaw(std::string_view raw_request,
                            "system.login first"));
     }
     ctx.authenticated_user = it->second;
+    if (forward_depth == 0) {
+      auto bound = user_tenants_.find(ctx.authenticated_user);
+      const std::string& session_tenant = bound != user_tenants_.end()
+                                              ? bound->second
+                                              : ctx.authenticated_user;
+      if (!request->tenant.empty() && request->tenant != session_tenant) {
+        return respond(PermissionDenied(
+            "tenant '" + request->tenant + "' does not match tenant '" +
+            session_tenant + "' bound to session user '" +
+            ctx.authenticated_user + "'"));
+      }
+      ctx.tenant = session_tenant;
+    }
   }
 
   MethodHandler handler;

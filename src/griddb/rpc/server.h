@@ -136,10 +136,14 @@ struct CallContext {
   /// 0 = the caller set no deadline. Handlers that do real work derive a
   /// CancelToken from it so a forwarded query never outlives its caller.
   double deadline_budget_ms = 0;
-  /// Tenant identity the request carried (<tenant> header); empty for the
-  /// default anonymous tenant. Handlers thread it into the QueryContext
-  /// so grants and admission lanes follow the original requester across
-  /// forwards.
+  /// Tenant identity of the request; empty for the default anonymous
+  /// tenant. On an authenticated client-facing hop this is derived from
+  /// the session user's tenant binding (a <tenant> header that disagrees
+  /// is rejected, so a client cannot impersonate another community); on
+  /// server-to-server forwards (forward_depth > 0) and unauthenticated
+  /// servers the raw <tenant> header is adopted. Handlers thread it into
+  /// the QueryContext so grants and admission lanes follow the original
+  /// requester across forwards.
   std::string tenant;
 };
 
@@ -164,8 +168,12 @@ class RpcServer {
   std::vector<std::string> MethodNames() const;
 
   /// Adds a credential; once any credential exists, non-login calls
-  /// require a valid session token.
-  void AddUser(const std::string& user, const std::string& password);
+  /// require a valid session token. `tenant` binds the login to a tenant
+  /// community: requests on the user's sessions run as that tenant, and a
+  /// <tenant> wire header naming anyone else is rejected (impersonation).
+  /// Empty = the user name doubles as its tenant identity.
+  void AddUser(const std::string& user, const std::string& password,
+               const std::string& tenant = "");
   bool auth_required() const;
 
   /// Validates credentials and issues a session token ("system.login" is
@@ -187,6 +195,7 @@ class RpcServer {
   mutable std::shared_mutex mu_;
   std::map<std::string, MethodHandler> methods_;
   std::map<std::string, std::string> users_;     // user -> password
+  std::map<std::string, std::string> user_tenants_;  // user -> bound tenant
   std::map<std::string, std::string> sessions_;  // token -> user
   int next_session_ = 1;
 };

@@ -202,6 +202,59 @@ TEST(TenantWireTest, PermissionDeniedIsPermanent) {
   EXPECT_FALSE(rpc::IsRetryable(StatusCode::kPermissionDenied));
 }
 
+// On an authenticated server the tenant identity is bound to the session
+// user: the <tenant> wire header cannot impersonate another community.
+TEST(TenantWireTest, SessionBindsTenantAgainstImpersonation) {
+  net::Network network;
+  network.AddHost("auth-host");
+  network.AddHost("client");
+  rpc::Transport transport(&network, net::ServiceCosts::Default());
+  const char* url = "clarens://auth-host:8080/clarens";
+  rpc::RpcServer server(url, &transport);
+  server.AddUser("alice", "pw", "atlas");  // alice acts for tenant atlas
+  server.AddUser("bob", "pw");             // no binding: tenant = user name
+  ASSERT_TRUE(server
+                  .RegisterMethod("echoTenant",
+                                  [](const rpc::XmlRpcArray&,
+                                     rpc::CallContext& ctx)
+                                      -> Result<rpc::XmlRpcValue> {
+                                    return rpc::XmlRpcValue(ctx.tenant);
+                                  })
+                  .ok());
+
+  rpc::RpcClient alice(&transport, "client", url, "alice", "pw");
+  net::Cost cost;
+  // No header: the session's bound tenant is adopted.
+  auto adopted = alice.Call("echoTenant", {}, &cost);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(adopted->AsString().value(), "atlas");
+  // A header agreeing with the binding is fine.
+  auto agreeing =
+      alice.Call("echoTenant", {}, &cost, 0, "", nullptr, nullptr, "atlas");
+  ASSERT_TRUE(agreeing.ok()) << agreeing.status().ToString();
+  EXPECT_EQ(agreeing->AsString().value(), "atlas");
+  // Impersonating another tenant is rejected before dispatch.
+  auto spoofed =
+      alice.Call("echoTenant", {}, &cost, 0, "", nullptr, nullptr, "cms");
+  ASSERT_FALSE(spoofed.ok());
+  EXPECT_EQ(spoofed.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(spoofed.status().message().find("cms"), std::string::npos);
+  EXPECT_NE(spoofed.status().message().find("alice"), std::string::npos);
+  // A server-to-server forward (forward_depth > 0, set in-process by the
+  // forwarding server) relays the original requester's tenant verbatim:
+  // the edge server already enforced the binding.
+  auto forwarded =
+      alice.Call("echoTenant", {}, &cost, 1, "", nullptr, nullptr, "cms");
+  ASSERT_TRUE(forwarded.ok()) << forwarded.status().ToString();
+  EXPECT_EQ(forwarded->AsString().value(), "cms");
+
+  // Without an explicit binding the user name doubles as the tenant.
+  rpc::RpcClient bob(&transport, "client", url, "bob", "pw");
+  auto bob_tenant = bob.Call("echoTenant", {}, &cost);
+  ASSERT_TRUE(bob_tenant.ok()) << bob_tenant.status().ToString();
+  EXPECT_EQ(bob_tenant->AsString().value(), "bob");
+}
+
 // ---------- full-stack fixture ----------
 
 // server-a hosts EVENTS_A (db_a); server-b hosts EVENTS_B. Both servers
@@ -446,6 +499,46 @@ TEST_F(TenantIsolationFixture, CacheHitRechecksGrantsAndRevocationSticks) {
   EXPECT_EQ(revoked.status().code(), StatusCode::kPermissionDenied);
 }
 
+TEST_F(TenantIsolationFixture, RbacGatesLaneCreationForUnknownTenants) {
+  DataAccessConfig config;
+  config.server_name = "gated";
+  config.host = "server-a";
+  config.rls_url = kRlsUrl;
+  config.rbac = rbac;
+  config.admission.max_concurrent = 4;
+  config.admission.tenant_isolation = true;
+  DataAccessService service(config, &catalog, &transport);
+  ASSERT_TRUE(service.RegisterLiveDatabase("mysql://server-a/db_a", "").ok());
+
+  // A flood of distinct made-up tenant names: every query is denied at
+  // plan time, and none of the names earns a permanent admission lane.
+  for (int i = 0; i < 8; ++i) {
+    QueryContext ctx;
+    ctx.tenant = "intruder-" + std::to_string(i);
+    auto denied = service.Query("SELECT id FROM events_a", nullptr, 0, "",
+                                std::move(ctx));
+    ASSERT_FALSE(denied.ok());
+    EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  }
+  // Only the shared default lane materialized for the unknown names.
+  for (const auto& lane : service.admission().lane_stats()) {
+    EXPECT_TRUE(lane.tenant.empty()) << lane.tenant;
+  }
+  EXPECT_LE(service.admission().lane_stats().size(), 1u);
+
+  // A catalog-known tenant still gets its own lane.
+  QueryContext atlas;
+  atlas.tenant = "atlas";
+  auto ok = service.Query("SELECT id FROM events_a", nullptr, 0, "",
+                          std::move(atlas));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  bool atlas_lane = false;
+  for (const auto& lane : service.admission().lane_stats()) {
+    if (lane.tenant == "atlas") atlas_lane = true;
+  }
+  EXPECT_TRUE(atlas_lane);
+}
+
 TEST_F(TenantIsolationFixture, TenantStatsRpcExposesLanes) {
   DataAccessConfig config;
   config.server_name = "jclarens-t";
@@ -686,6 +779,102 @@ TEST(TenantAdmissionTest, DrrDrainsWeightProportionallyWithoutStarvation) {
       EXPECT_EQ(lane.queued, 0u);
     }
   }
+}
+
+// With a known_tenant gate, attacker-minted tenant strings share the
+// default lane instead of each growing permanent scheduler state.
+TEST(TenantAdmissionTest, UnknownTenantsShareTheDefaultLane) {
+  AdmissionConfig config;
+  config.max_concurrent = 4;
+  config.max_queued = 4;
+  config.tenant_isolation = true;
+  TenantQuota atlas;
+  atlas.tenant = "atlas";
+  config.tenant_quotas.push_back(atlas);
+  config.known_tenant = [](const std::string& tenant) {
+    return tenant == "atlas" || tenant == "cms";
+  };
+  AdmissionController controller(config);
+
+  std::vector<AdmissionController::Ticket> held;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket = controller.Admit(QueryPriority::kInteractive, nullptr,
+                                   "rando-" + std::to_string(i));
+    ASSERT_TRUE(ticket.ok());
+    held.push_back(std::move(*ticket));
+  }
+  // Three unknown tenants produced one shared default lane, not three.
+  auto stats = controller.lane_stats();
+  ASSERT_EQ(stats.size(), 2u);  // "" (default) + "atlas" (configured)
+  for (const auto& lane : stats) {
+    if (lane.tenant.empty()) {
+      EXPECT_EQ(lane.in_flight, 3u);
+      EXPECT_EQ(lane.admitted, 3u);
+    } else {
+      EXPECT_EQ(lane.tenant, "atlas");
+    }
+  }
+  // The ticket releases balance the lane actually charged (the default
+  // lane), not the unknown name it was requested under.
+  held.clear();
+  for (const auto& lane : controller.lane_stats()) {
+    EXPECT_EQ(lane.in_flight, 0u) << lane.tenant;
+  }
+  EXPECT_EQ(controller.in_flight(), 0u);
+
+  // A tenant the gate recognizes still earns its own lane on demand.
+  auto cms = controller.Admit(QueryPriority::kInteractive, nullptr, "cms");
+  ASSERT_TRUE(cms.ok());
+  EXPECT_EQ(controller.lane_stats().size(), 3u);
+
+  // The per-tenant merge budget path resolves through the same gate.
+  auto lease = controller.ReserveMergeMemory(100, "rando-99");
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(controller.lane_stats().size(), 3u);
+}
+
+// A lane whose weight is below one slot per rotation must still drain
+// while a slot sits free: the dispatch pass recharges credit-starved
+// backlogged lanes instead of waiting for unrelated traffic to trigger
+// the next dispatch.
+TEST(TenantAdmissionTest, FractionalWeightLaneDrainsBesideFreeSlot) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queued = 4;
+  config.tenant_isolation = true;
+  TenantQuota slow;
+  slow.tenant = "slow";
+  slow.weight = 0.02;  // clamps to kMinWeight = 1/64 of a slot per visit
+  config.tenant_quotas.push_back(slow);
+  AdmissionController controller(config);
+
+  auto held = controller.Admit(QueryPriority::kInteractive, nullptr, "atlas");
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> granted{false};
+  // The waiter carries a cancel token only so a regression cannot hang
+  // the suite; it is never cancelled unless the deadline below trips.
+  CancelToken guard = CancelToken::Cancellable();
+  std::thread waiter([&] {
+    auto ticket = controller.Admit(QueryPriority::kInteractive, &guard,
+                                   "slow");
+    if (ticket.ok()) granted.store(true);
+  });
+  while (controller.queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Releasing the only slot is the LAST admission event: the freed slot
+  // must reach the fractional-weight waiter within this one dispatch.
+  held->Release();
+  for (int i = 0; i < 2000 && !granted.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  guard.Cancel();
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(controller.queued(), 0u);
+  EXPECT_EQ(controller.in_flight(), 0u);
 }
 
 TEST(TenantAdmissionTest, PerTenantMergeMemoryBudget) {
