@@ -1,0 +1,532 @@
+// Extension: crash-safe asynchronous batch-query service (core/batch).
+//
+// Two legs, one acceptance story (see EXPERIMENTS.md):
+//
+//   interactive — the batch lane must be invisible to foreground
+//       traffic. Two "atlas" threads run a closed loop of interactive
+//       aggregations against an admission-enabled testbed server twice:
+//       once with the batch service idle (batch0) and once while a
+//       feeder keeps 8 "cms" full-table batch scans outstanding
+//       (batch8). Batch chunks are admitted strictly out of idle
+//       capacity, so the interactive per-query cost must not move:
+//       gate p99 per-query CPU (batch8 / batch0) <= 1.25x. Like the
+//       overload and tenant benches, CPU time is the scheduler-
+//       independent proxy for added work — the whole federation shares
+//       one process, so wall clock also measures the kernel dividing
+//       cores among bench + batch worker threads; wall p99 is reported
+//       alongside.
+//
+//   recovery — resuming must beat restarting. A 40-chunk scan is
+//       killed at its 20th durable checkpoint (the crash-injection
+//       seam, exactly as a process kill: no further journal or stage
+//       writes). A fresh manager over the same journal directory
+//       replays, resumes at the first missing chunk and completes.
+//       Wasted work is counted from the journal itself: a chunk id
+//       checkpointed more than once was re-executed. Gates: resumed
+//       result byte-identical to an uninterrupted baseline run;
+//       wasted_resume / wasted_restart <= 0.1 where wasted_restart is
+//       the durable chunk count a from-scratch rerun would redo
+//       (resume should waste exactly 0).
+//
+// Emits machine-readable BENCH_batch_service.json (path = argv[1]).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/testbed.h"
+#include "griddb/storage/stage_file.h"
+#include "griddb/util/journal.h"
+#include "griddb/util/stopwatch.h"
+
+using namespace griddb;
+
+namespace {
+
+// Same shape as the tenant bench: a real scan + aggregation inside the
+// ticketed execution window, a one-row response on the wire.
+const char* kInteractiveSql =
+    "SELECT COUNT(*) AS n, AVG(pt) AS avg_pt, MAX(e_total) AS max_e "
+    "FROM ntuple_my_a1 WHERE pt > 0.1";
+// Pageable full-table scan: 10,000 rows / 256-row chunks = 40 durable
+// checkpoints per job.
+const char* kBatchSql = "SELECT * FROM ntuple_my_a2";
+
+constexpr size_t kSlots = 4;   // admission.max_concurrent
+constexpr size_t kQueue = 4;   // admission.max_queued
+constexpr size_t kBatchChunkRows = 256;
+constexpr size_t kBatchOutstanding = 8;
+constexpr size_t kInteractiveThreads = 2;
+constexpr int kInteractiveQueries = 60;  // per thread, retried until served
+constexpr int kMaxRetries = 200;
+constexpr size_t kCrashChunk = 20;  // recovery leg: die at this checkpoint
+constexpr size_t kTotalChunks = 40;
+
+// Per-thread CPU milliseconds consumed so far (scheduler-independent).
+double ThreadCpuMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(values.size()));
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+/// Checkpoint records per chunk id in an on-disk journal, for `job`.
+/// Any chunk counted more than once was sub-query work re-executed.
+std::map<size_t, int> CheckpointCounts(const std::string& journal_dir,
+                                       uint64_t job) {
+  std::map<size_t, int> counts;
+  auto replay = util::ReadJournal(journal_dir + "/batch_jobs.journal");
+  if (!replay.ok()) {
+    std::fprintf(stderr, "journal read failed: %s\n",
+                 replay.status().ToString().c_str());
+    return counts;
+  }
+  for (const std::string& record : replay->records) {
+    std::istringstream in(record);
+    std::string kind;
+    std::getline(in, kind);
+    if (kind != "checkpoint") continue;
+    uint64_t id = 0;
+    size_t chunk = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "id") fields >> id;
+      if (key == "chunk") fields >> chunk;
+    }
+    if (id == job) ++counts[chunk];
+  }
+  return counts;
+}
+
+/// Canonical bytes of a whole materialized result, via the paged fetch
+/// surface (what a client would reassemble).
+std::string FetchAllCanonical(core::BatchJobManager& mgr,
+                              const std::string& tenant, uint64_t id) {
+  std::string out;
+  for (size_t page = 0;; ++page) {
+    auto rs = mgr.Fetch(tenant, id, page);
+    if (!rs.ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   rs.status().ToString().c_str());
+      return "<fetch-error>";
+    }
+    if (page == 0) {
+      for (const std::string& column : rs->columns) out += column + "|";
+      out += "\n";
+    }
+    if (rs->rows.empty()) break;
+    out += storage::EncodeRowBlock(rs->rows);
+  }
+  return out;
+}
+
+struct Scenario {
+  std::string name;
+  size_t served = 0;
+  size_t sheds = 0;   // hinted rejects absorbed by the retry loop
+  size_t errors = 0;  // anything that is not served or properly shed
+  double cpu_ms_p50 = 0;  // per served query, incl. its retries
+  double cpu_ms_p99 = 0;
+  double real_ms_p50 = 0;
+  double real_ms_p99 = 0;
+  double wall_ms = 0;
+  size_t batch_jobs_done = 0;      // feeder-side completions during the run
+  size_t batch_chunks_done = 0;    // durable checkpoints those jobs reached
+};
+
+Scenario RunInteractive(bench::Testbed& bed, const std::string& name,
+                        size_t batch_outstanding) {
+  Scenario out;
+  out.name = name;
+
+  core::BatchJobManager* mgr = bed.server_a->batch();
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> jobs_done{0};
+  std::atomic<size_t> chunks_done{0};
+  std::thread feeder;
+  std::vector<uint64_t> outstanding;
+  std::mutex outstanding_mu;
+  if (batch_outstanding > 0) {
+    feeder = std::thread([&] {
+      std::vector<uint64_t> live;
+      while (!stop.load()) {
+        while (live.size() < batch_outstanding) {
+          auto id = mgr->Submit("cms", kBatchSql);
+          if (!id.ok()) break;
+          live.push_back(*id);
+        }
+        for (size_t i = 0; i < live.size();) {
+          auto info = mgr->Poll("cms", live[i]);
+          if (info.ok() && core::IsTerminal(info->state)) {
+            jobs_done.fetch_add(1);
+            chunks_done.fetch_add(info->chunks_done);
+            live[i] = live.back();
+            live.pop_back();
+          } else {
+            ++i;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // Credit the durable progress of jobs still in flight at stop:
+      // the measurement cares that batch work advanced, not that whole
+      // jobs finished inside the interactive window.
+      for (uint64_t id : live) {
+        auto info = mgr->Poll("cms", id);
+        if (info.ok()) chunks_done.fetch_add(info->chunks_done);
+      }
+      std::lock_guard<std::mutex> lock(outstanding_mu);
+      outstanding = live;
+    });
+  }
+
+  std::mutex mu;
+  std::vector<double> real_ms;
+  std::vector<double> cpu_ms;
+  std::atomic<size_t> served{0};
+  std::atomic<size_t> sheds{0};
+  std::atomic<size_t> errors{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kInteractiveThreads; ++t) {
+    threads.emplace_back([&] {
+      rpc::RpcClient client(&bed.transport, "client",
+                            "clarens://pentium4-a:8080/clarens");
+      client.set_tenant("atlas");
+      std::vector<double> local_real, local_cpu;
+      for (int q = 0; q < kInteractiveQueries; ++q) {
+        // Closed loop with retry-until-served: any shed the batch lane
+        // leaks into the foreground shows up as added latency AND added
+        // CPU on the query that absorbed it.
+        Stopwatch call;
+        const double cpu_before = ThreadCpuMs();
+        bool ok = false;
+        for (int attempt = 0; attempt < kMaxRetries && !ok; ++attempt) {
+          rpc::XmlRpcArray params;
+          params.emplace_back(std::string(kInteractiveSql));
+          auto response =
+              client.Call("dataaccess.query", std::move(params), nullptr);
+          if (response.ok()) {
+            ok = true;
+          } else if (response.status().code() ==
+                         StatusCode::kResourceExhausted &&
+                     rpc::RetryAfterHintMs(response.status().message()) > 0) {
+            sheds.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          } else {
+            errors.fetch_add(1);
+            std::fprintf(stderr, "interactive failure: %s\n",
+                         response.status().ToString().c_str());
+            break;
+          }
+        }
+        if (ok) {
+          served.fetch_add(1);
+          local_real.push_back(call.ElapsedMs());
+          local_cpu.push_back(ThreadCpuMs() - cpu_before);
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      real_ms.insert(real_ms.end(), local_real.begin(), local_real.end());
+      cpu_ms.insert(cpu_ms.end(), local_cpu.begin(), local_cpu.end());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  out.wall_ms = wall.ElapsedMs();
+  stop.store(true);
+  if (feeder.joinable()) {
+    feeder.join();
+    // Quiesce: the measurement is over, so stop paying for scans that
+    // will never be fetched.
+    for (uint64_t id : outstanding) (void)mgr->Cancel("cms", id);
+  }
+
+  out.served = served.load();
+  out.sheds = sheds.load();
+  out.errors = errors.load();
+  out.cpu_ms_p50 = Percentile(cpu_ms, 0.50);
+  out.cpu_ms_p99 = Percentile(cpu_ms, 0.99);
+  out.real_ms_p50 = Percentile(real_ms, 0.50);
+  out.real_ms_p99 = Percentile(real_ms, 0.99);
+  out.batch_jobs_done = jobs_done.load();
+  out.batch_chunks_done = chunks_done.load();
+  return out;
+}
+
+struct RecoveryResult {
+  size_t durable_at_crash = 0;   // chunks a from-scratch rerun would redo
+  size_t wasted_resume = 0;      // re-executed chunks after recovery
+  size_t total_chunks = 0;
+  bool recovered_flag = false;
+  bool byte_identical = false;
+  double ratio = 1.0;
+};
+
+RecoveryResult RunRecoveryLeg(bench::Testbed& bed, const std::string& dir) {
+  RecoveryResult out;
+  core::DataAccessService* service = &bed.server_a->service();
+
+  core::BatchConfig cfg;
+  cfg.chunk_rows = kBatchChunkRows;
+  cfg.workers = 1;
+  cfg.autostart = false;
+
+  // Uninterrupted baseline run (its own tenant, so scratch marts and
+  // result tables never collide with the crashed job's).
+  std::string baseline_bytes;
+  {
+    core::BatchConfig base_cfg = cfg;
+    base_cfg.journal_dir = dir + "/baseline";
+    core::BatchJobManager baseline(service, &bed.catalog, base_cfg);
+    auto id = baseline.Submit("bench_base", kBatchSql);
+    if (!id.ok()) {
+      std::fprintf(stderr, "baseline submit: %s\n",
+                   id.status().ToString().c_str());
+      return out;
+    }
+    baseline.Start();
+    if (!baseline.WaitForTerminal(*id, 120.0)) {
+      std::fprintf(stderr, "baseline run timed out\n");
+      return out;
+    }
+    baseline_bytes = FetchAllCanonical(baseline, "bench_base", *id);
+  }
+
+  const std::string resume_dir = dir + "/resume";
+  cfg.journal_dir = resume_dir;
+  uint64_t job_id = 0;
+  {
+    core::BatchJobManager victim(service, &bed.catalog, cfg);
+    victim.set_crash_hook([&victim](const char* point, uint64_t,
+                                    size_t chunk) {
+      if (std::string(point) == "checkpoint" && chunk == kCrashChunk) {
+        victim.SimulateCrash();
+      }
+    });
+    auto id = victim.Submit("bench_resume", kBatchSql);
+    if (!id.ok()) return out;
+    job_id = *id;
+    victim.Start();
+    for (int i = 0; i < 120000 && !victim.crashed(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!victim.crashed()) {
+      std::fprintf(stderr, "recovery leg: crash point never fired\n");
+      return out;
+    }
+    // Destroying the manager here is the process kill: the crashed
+    // instance can no longer touch the journal or stage files.
+  }
+  out.durable_at_crash = CheckpointCounts(resume_dir, job_id).size();
+
+  core::BatchJobManager resumed(service, &bed.catalog, cfg);
+  Status recover = resumed.Recover();
+  if (!recover.ok()) {
+    std::fprintf(stderr, "recover: %s\n", recover.ToString().c_str());
+    return out;
+  }
+  resumed.Start();
+  if (!resumed.WaitForTerminal(job_id, 120.0)) {
+    std::fprintf(stderr, "resumed run timed out\n");
+    return out;
+  }
+  auto info = resumed.Poll("bench_resume", job_id);
+  if (!info.ok() || info->state != core::BatchJobState::kDone) {
+    std::fprintf(stderr, "resumed job not done: %s\n",
+                 info.ok() ? info->error.c_str()
+                           : info.status().ToString().c_str());
+    return out;
+  }
+  out.recovered_flag = info->recovered;
+  out.total_chunks = info->total_chunks;
+
+  for (const auto& [chunk, count] : CheckpointCounts(resume_dir, job_id)) {
+    (void)chunk;
+    if (count > 1) out.wasted_resume += static_cast<size_t>(count - 1);
+  }
+  out.byte_identical =
+      !baseline_bytes.empty() &&
+      FetchAllCanonical(resumed, "bench_resume", job_id) == baseline_bytes;
+  out.ratio = out.durable_at_crash > 0
+                  ? static_cast<double>(out.wasted_resume) /
+                        static_cast<double>(out.durable_at_crash)
+                  : 1.0;
+  return out;
+}
+
+void PrintScenario(const Scenario& s) {
+  std::printf("%-7s interactive: served=%zu sheds=%zu errors=%zu "
+              "cpu p50=%.3f p99=%.3f ms wall p50=%.2f p99=%.2f ms | "
+              "batch: jobs_done=%zu chunks=%zu\n",
+              s.name.c_str(), s.served, s.sheds, s.errors, s.cpu_ms_p50,
+              s.cpu_ms_p99, s.real_ms_p50, s.real_ms_p99, s.batch_jobs_done,
+              s.batch_chunks_done);
+}
+
+void WriteScenario(FILE* f, const Scenario& s, const char* suffix) {
+  std::fprintf(f,
+               "    {\"scenario\": \"%s\", \"served\": %zu, \"sheds\": %zu, "
+               "\"errors\": %zu, \"cpu_ms_p50\": %.4f, \"cpu_ms_p99\": %.4f, "
+               "\"real_ms_p50\": %.3f, \"real_ms_p99\": %.3f, "
+               "\"wall_ms\": %.1f, \"batch_jobs_done\": %zu, "
+               "\"batch_chunks_done\": %zu}%s\n",
+               s.name.c_str(), s.served, s.sheds, s.errors, s.cpu_ms_p50,
+               s.cpu_ms_p99, s.real_ms_p50, s.real_ms_p99, s.wall_ms,
+               s.batch_jobs_done, s.batch_chunks_done, suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_batch_service.json";
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("griddb_bench_batch_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+
+  std::printf("=== Extension: asynchronous batch service — foreground "
+              "invisibility and crash recovery ===\n");
+  std::printf("building testbed (%zu slots, %zu queue, %zu outstanding "
+              "batch scans, %zu-row chunks)...\n",
+              kSlots, kQueue, kBatchOutstanding, kBatchChunkRows);
+
+  bench::TestbedOptions options;
+  options.main_table_rows = 60000;  // 10,000 rows per per-db ntuple table
+  options.chunk_tables = 60;
+  options.admission.max_concurrent = kSlots;
+  options.admission.max_queued = kQueue;
+  options.admission.retry_after_ms = 50.0;
+  options.batch.journal_dir = dir + "/service";
+  options.batch.chunk_rows = kBatchChunkRows;
+  options.batch.workers = 2;
+  options.batch.autostart = false;  // Build() registers databases last
+  auto bed = bench::Testbed::Build(options);
+  bed->server_a->batch()->Start();
+
+  Scenario batch0 = RunInteractive(*bed, "batch0", 0);
+  PrintScenario(batch0);
+  Scenario batch8 = RunInteractive(*bed, "batch8", kBatchOutstanding);
+  PrintScenario(batch8);
+
+  std::printf("recovery leg: crash at checkpoint %zu of %zu...\n",
+              kCrashChunk, kTotalChunks);
+  RecoveryResult rec = RunRecoveryLeg(*bed, dir);
+  std::printf("recovery: durable_at_crash=%zu wasted_resume=%zu "
+              "total_chunks=%zu recovered=%s byte_identical=%s "
+              "ratio=%.3f\n",
+              rec.durable_at_crash, rec.wasted_resume, rec.total_chunks,
+              rec.recovered_flag ? "true" : "false",
+              rec.byte_identical ? "true" : "false", rec.ratio);
+
+  const double cpu_p99_ratio =
+      batch0.cpu_ms_p99 > 0 ? batch8.cpu_ms_p99 / batch0.cpu_ms_p99 : 0;
+  const double real_p99_ratio =
+      batch0.real_ms_p99 > 0 ? batch8.real_ms_p99 / batch0.real_ms_p99 : 0;
+  std::printf("\ninteractive p99 cpu: batch0=%.3f ms, batch8=%.3f ms "
+              "(%.2fx); wall p99 %.2f -> %.2f ms (%.2fx, informational)\n",
+              batch0.cpu_ms_p99, batch8.cpu_ms_p99, cpu_p99_ratio,
+              batch0.real_ms_p99, batch8.real_ms_p99, real_p99_ratio);
+
+  bool ok = true;
+  if (cpu_p99_ratio > 1.25) {
+    std::fprintf(stderr,
+                 "FAIL: interactive p99 cpu with %zu batch scans is %.2fx "
+                 "the idle baseline (> 1.25x) — the batch lane is not "
+                 "staying inside idle capacity\n",
+                 kBatchOutstanding, cpu_p99_ratio);
+    ok = false;
+  }
+  if (batch0.errors + batch8.errors > 0) {
+    std::fprintf(stderr, "FAIL: interactive queries saw non-shed errors\n");
+    ok = false;
+  }
+  const size_t expected =
+      kInteractiveThreads * static_cast<size_t>(kInteractiveQueries);
+  if (batch0.served < expected || batch8.served < expected) {
+    std::fprintf(stderr,
+                 "FAIL: interactive loop completed %zu/%zu (batch0) and "
+                 "%zu/%zu (batch8) queries — retries exhausted\n",
+                 batch0.served, expected, batch8.served, expected);
+    ok = false;
+  }
+  if (batch8.batch_chunks_done == 0) {
+    std::fprintf(stderr,
+                 "FAIL: batch jobs made no durable progress during the "
+                 "loaded run — the comparison is vacuous\n");
+    ok = false;
+  }
+  if (!rec.byte_identical || !rec.recovered_flag ||
+      rec.total_chunks != kTotalChunks) {
+    std::fprintf(stderr,
+                 "FAIL: recovered job is not a byte-identical, "
+                 "journal-resumed completion (recovered=%d identical=%d "
+                 "chunks=%zu/%zu)\n",
+                 rec.recovered_flag, rec.byte_identical, rec.total_chunks,
+                 kTotalChunks);
+    ok = false;
+  }
+  if (rec.ratio > 0.1) {
+    std::fprintf(stderr,
+                 "FAIL: resume re-executed %zu of %zu durable chunks "
+                 "(ratio %.3f > 0.1) — recovery is redoing checkpointed "
+                 "work\n",
+                 rec.wasted_resume, rec.durable_at_crash, rec.ratio);
+    ok = false;
+  }
+
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"batch_service\",\n");
+    std::fprintf(f, "  \"slots\": %zu,\n  \"queue\": %zu,\n", kSlots, kQueue);
+    std::fprintf(f, "  \"batch_outstanding\": %zu,\n", kBatchOutstanding);
+    std::fprintf(f, "  \"chunk_rows\": %zu,\n", kBatchChunkRows);
+    std::fprintf(f, "  \"scenarios\": [\n");
+    WriteScenario(f, batch0, ",");
+    WriteScenario(f, batch8, "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"interactive_cpu_p99_ratio\": %.4f,\n",
+                 cpu_p99_ratio);
+    std::fprintf(f, "  \"interactive_real_p99_ratio\": %.4f,\n",
+                 real_p99_ratio);
+    std::fprintf(f,
+                 "  \"recovery\": {\"durable_at_crash\": %zu, "
+                 "\"wasted_resume\": %zu, \"total_chunks\": %zu, "
+                 "\"recovered\": %s, \"byte_identical\": %s, "
+                 "\"wasted_ratio\": %.4f},\n",
+                 rec.durable_at_crash, rec.wasted_resume, rec.total_chunks,
+                 rec.recovered_flag ? "true" : "false",
+                 rec.byte_identical ? "true" : "false", rec.ratio);
+    std::fprintf(f, "  \"pass\": %s\n}\n", ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s\n", json_path.c_str());
+    ok = false;
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return ok ? 0 : 1;
+}

@@ -58,6 +58,11 @@ struct TestbedOptions {
   /// RBAC grant catalog shared by both JClarens servers (one
   /// federation-wide grant set). Null — the default — disables RBAC.
   std::shared_ptr<core::RbacCatalog> rbac;
+  /// Batch-query service on server A (core/batch). Disabled — the
+  /// default — unless journal_dir is set. Build() registers databases
+  /// after the servers exist, so benches should set autostart = false
+  /// and call server_a->batch()->Start() once Build() returns.
+  core::BatchConfig batch;
 };
 
 class Testbed {
@@ -202,9 +207,14 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.partial_on_deadline = options.partial_on_deadline;
     config.worker_queue_limit = options.worker_queue_limit;
     config.rbac = options.rbac;
+    // The batch service runs on server A only (one journal per server;
+    // benches drive a single coordinator).
+    core::BatchConfig batch;
+    if (std::string(host) == "pentium4-a") batch = options.batch;
     return std::make_unique<core::JClarensServer>(config, &bed->catalog,
                                                   &bed->transport,
-                                                  &bed->xspec_repo);
+                                                  &bed->xspec_repo,
+                                                  std::move(batch));
   };
   bed->server_a = make_server("jclarens-a", "pentium4-a");
   bed->server_b = make_server("jclarens-b", "pentium4-b");

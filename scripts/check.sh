@@ -41,17 +41,31 @@ echo "== perf gate: overload / admission control bench =="
 echo "== perf gate: tenant isolation bench =="
 ./build/bench/bench_ext_tenant_isolation BENCH_tenant_isolation.json
 
+echo "== perf gate: batch service bench =="
+./build/bench/bench_ext_batch_service BENCH_batch_service.json
+
+echo "== crash injection: batch journal recovery sweep =="
+# Kill the batch coordinator at every named point of its checkpoint
+# protocol (see BatchJobManager::CrashHook) and require restart recovery
+# to complete the job byte-identical with no re-executed checkpoints.
+for point in staged:0 staged:3 checkpoint:0 checkpoint:4 checkpoint:6 \
+             total:7 terminal:7; do
+  echo "-- GRIDDB_CRASH_POINT=$point"
+  GRIDDB_CRASH_POINT="$point" ./build/tests/batch_service_test \
+    --gtest_filter='*EnvDrivenCrashPointSweep*' >/dev/null
+done
+
 echo "== asan: build robustness suites =="
 cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
   stage_property_test query_cache_test overload_test \
-  tenant_isolation_test >/dev/null
+  tenant_isolation_test batch_service_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
          stage_property_test query_cache_test overload_test \
-         tenant_isolation_test; do
+         tenant_isolation_test batch_service_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
@@ -60,9 +74,9 @@ echo "== tsan: build + run cache + overload + tenant concurrency suites =="
 cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
   query_cache_test concurrency_test overload_test \
-  tenant_isolation_test >/dev/null
+  tenant_isolation_test batch_service_test >/dev/null
 for t in query_cache_test concurrency_test overload_test \
-         tenant_isolation_test; do
+         tenant_isolation_test batch_service_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

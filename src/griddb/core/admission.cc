@@ -72,6 +72,21 @@ obs::Gauge& LanesGauge() {
       obs::MetricsRegistry::Default().GetGauge("griddb.admission.lanes");
   return *g;
 }
+obs::Counter& BatchAdmittedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.admission.batch_admitted");
+  return *c;
+}
+obs::Counter& BatchShedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.admission.batch_shed");
+  return *c;
+}
+obs::Gauge& BatchInFlightGauge() {
+  static obs::Gauge* g = obs::MetricsRegistry::Default().GetGauge(
+      "griddb.admission.batch_in_flight");
+  return *g;
+}
 
 // A zero or negative weight would starve the lane in the DRR rotation
 // (its deficit never reaches one slot); clamp to a small positive share.
@@ -99,7 +114,7 @@ AdmissionController::~AdmissionController() {
 
 void AdmissionController::Ticket::Release() {
   if (controller_ == nullptr) return;
-  controller_->ReleaseSlot(tenant_);
+  controller_->ReleaseSlot(tenant_, batch_);
   controller_ = nullptr;
 }
 
@@ -299,10 +314,63 @@ void AdmissionController::DispatchLocked() {
   if (granted_any) slot_cv_.notify_all();
 }
 
+Result<AdmissionController::Ticket> AdmissionController::AdmitBatchLocked(
+    const std::string& tenant) {
+  // Batch work runs strictly out of idle capacity: it is shed (never
+  // queued) unless the slot comes for free — no waiter of any priority is
+  // queued, the interactive reserve stays whole, and the batch cap holds.
+  const size_t reserve =
+      std::min(config_.interactive_reserve, config_.max_concurrent);
+  const size_t slot_limit = config_.max_concurrent - reserve;
+  const size_t batch_limit =
+      config_.batch_slots > 0 ? std::min(config_.batch_slots, slot_limit)
+                              : std::max<size_t>(slot_limit / 2, 1);
+  const char* why = nullptr;
+  if (slot_limit == 0) {
+    why = "no slots outside the interactive reserve";
+  } else if (queued_ > 0) {
+    why = "foreground demand queued";
+  } else if (batch_in_flight_ >= batch_limit) {
+    why = "batch slots exhausted";
+  } else if (in_flight_ >= slot_limit) {
+    why = "no idle capacity";
+  }
+  if (why != nullptr) {
+    BatchShedCounter().Add(1);
+    if (config_.per_tenant()) {
+      return ShedLane(LaneLocked(tenant), QueryPriority::kBatch, why);
+    }
+    return Shed(QueryPriority::kBatch, why);
+  }
+  ++in_flight_;
+  ++batch_in_flight_;
+  AdmittedCounter().Add(1);
+  BatchAdmittedCounter().Add(1);
+  InFlightGauge().Set(static_cast<double>(in_flight_));
+  BatchInFlightGauge().Set(static_cast<double>(batch_in_flight_));
+  std::string lane_key = tenant;
+  if (config_.per_tenant()) {
+    // Charge the tenant's lane so tenantStats sees batch load, but leave
+    // the DRR state alone: batch work never holds a queue position, so it
+    // neither earns nor spends deficit credit.
+    Lane& lane = LaneLocked(tenant);
+    ++lane.in_flight;
+    ++lane.admitted;
+    TenantAdmittedCounter().Add(1);
+    lane_key = lane.quota.tenant;
+  }
+  return Ticket(this, lane_key, /*batch=*/true);
+}
+
 Result<AdmissionController::Ticket> AdmissionController::Admit(
     QueryPriority priority, const CancelToken* cancel,
     const std::string& tenant) {
   if (!config_.enabled()) return Ticket(nullptr);
+
+  if (priority == QueryPriority::kBatch) {
+    std::lock_guard<std::mutex> batch_lock(mu_);
+    return AdmitBatchLocked(tenant);
+  }
 
   // Scans may not eat into the interactive reserve.
   const size_t reserve =
@@ -373,6 +441,13 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
         if (lane.in_flight > 0) --lane.in_flight;
         if (in_flight_ > 0) --in_flight_;
         InFlightGauge().Set(static_cast<double>(in_flight_));
+        // Return the DRR credit GrantLocked charged for a grant the lane
+        // never used — immediately, not on a later dispatch pass, so the
+        // redispatch below already sees the restored credit and the
+        // lane's next waiter is not taxed for the cancellation. Capped at
+        // the same burst bound the recharge path uses.
+        lane.deficit =
+            std::min(lane.deficit + 1.0, lane.quota.weight + 1.0);
         DispatchLocked();
         return !live.ok()
                    ? Result<Ticket>(live)
@@ -435,7 +510,7 @@ Result<AdmissionController::Ticket> AdmissionController::Admit(
   return Ticket(this);
 }
 
-void AdmissionController::ReleaseSlot(const std::string& tenant) {
+void AdmissionController::ReleaseSlot(const std::string& tenant, bool batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (config_.per_tenant()) {
@@ -445,6 +520,10 @@ void AdmissionController::ReleaseSlot(const std::string& tenant) {
       }
     }
     if (in_flight_ > 0) --in_flight_;
+    if (batch && batch_in_flight_ > 0) {
+      --batch_in_flight_;
+      BatchInFlightGauge().Set(static_cast<double>(batch_in_flight_));
+    }
     InFlightGauge().Set(static_cast<double>(in_flight_));
     if (config_.per_tenant()) DispatchLocked();
   }
@@ -526,6 +605,11 @@ void AdmissionController::ReleaseMemory(size_t bytes,
 size_t AdmissionController::in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
+}
+
+size_t AdmissionController::batch_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_in_flight_;
 }
 
 size_t AdmissionController::queued() const {

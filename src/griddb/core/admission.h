@@ -91,6 +91,17 @@ struct AdmissionConfig {
   size_t interactive_reserve = 0;
   /// Retry-after hint (virtual ms) embedded in shed responses.
   double retry_after_ms = 250.0;
+  /// Concurrency cap for batch-priority queries (the asynchronous batch
+  /// service's chunk sub-queries). Batch work is scheduled strictly out
+  /// of idle capacity: a batch query is granted a slot only when no
+  /// waiter of any priority is queued, the interactive reserve stays
+  /// untouched, and fewer than this many batch queries are in flight —
+  /// otherwise it is shed with a retry hint (it never queues, so it can
+  /// never hold a queue position against foreground traffic). Because
+  /// every chunk is a separate admission, running batch work yields its
+  /// slots back within one chunk once foreground load returns. 0 derives
+  /// half the non-reserved slots (at least one).
+  size_t batch_slots = 0;
   /// Byte budget for concurrent join/merge working sets; 0 = unlimited.
   size_t merge_memory_budget_bytes = 0;
   /// Partition slots/queue/memory into per-tenant lanes drained by a
@@ -130,7 +141,9 @@ class AdmissionController {
     Ticket() = default;
     ~Ticket() { Release(); }
     Ticket(Ticket&& other) noexcept
-        : controller_(other.controller_), tenant_(std::move(other.tenant_)) {
+        : controller_(other.controller_),
+          tenant_(std::move(other.tenant_)),
+          batch_(other.batch_) {
       other.controller_ = nullptr;
     }
     Ticket& operator=(Ticket&& other) noexcept {
@@ -138,6 +151,7 @@ class AdmissionController {
         Release();
         controller_ = other.controller_;
         tenant_ = std::move(other.tenant_);
+        batch_ = other.batch_;
         other.controller_ = nullptr;
       }
       return *this;
@@ -149,10 +163,12 @@ class AdmissionController {
 
    private:
     friend class AdmissionController;
-    explicit Ticket(AdmissionController* controller, std::string tenant = "")
-        : controller_(controller), tenant_(std::move(tenant)) {}
+    explicit Ticket(AdmissionController* controller, std::string tenant = "",
+                    bool batch = false)
+        : controller_(controller), tenant_(std::move(tenant)), batch_(batch) {}
     AdmissionController* controller_ = nullptr;
     std::string tenant_;
+    bool batch_ = false;  // releases a batch slot alongside the shared one
   };
 
   /// RAII merge-memory reservation.
@@ -224,6 +240,7 @@ class AdmissionController {
 
   const AdmissionConfig& config() const { return config_; }
   size_t in_flight() const;
+  size_t batch_in_flight() const;
   size_t queued() const;
   size_t merge_memory_bytes() const;
   /// One entry per lane (tenant_isolation only; empty otherwise).
@@ -245,8 +262,11 @@ class AdmissionController {
     std::deque<std::shared_ptr<Waiter>> queue;
   };
 
-  void ReleaseSlot(const std::string& tenant);
+  void ReleaseSlot(const std::string& tenant, bool batch);
   void ReleaseMemory(size_t bytes, const std::string& tenant);
+  /// Idle-capacity-only admission for batch-priority queries (no queue,
+  /// no DRR interaction); see AdmissionConfig::batch_slots.
+  Result<Ticket> AdmitBatchLocked(const std::string& tenant);
   Status Shed(QueryPriority priority, const char* why) const;
   Status ShedLane(Lane& lane, QueryPriority priority, const char* why);
   Lane& LaneLocked(const std::string& tenant);
@@ -267,6 +287,7 @@ class AdmissionController {
   mutable std::mutex mu_;
   std::condition_variable slot_cv_;
   size_t in_flight_ = 0;
+  size_t batch_in_flight_ = 0;  // subset of in_flight_ holding batch tickets
   size_t queued_ = 0;
   size_t merge_memory_bytes_ = 0;
   size_t memory_holders_ = 0;

@@ -405,6 +405,13 @@ Result<LowerXSpec> DataAccessService::GenerateXSpecFor(
   return unity::GenerateXSpec(*entry.database);
 }
 
+Status DataAccessService::RefreshRegisteredDatabase(
+    const std::string& database_name) {
+  GRIDDB_ASSIGN_OR_RETURN(UpperXSpecEntry upper, UpperEntryFor(database_name));
+  GRIDDB_ASSIGN_OR_RETURN(LowerXSpec lower, GenerateXSpecFor(database_name));
+  return ReloadDatabase(upper, lower);
+}
+
 Result<UpperXSpecEntry> DataAccessService::UpperEntryFor(
     const std::string& database_name) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -190,6 +190,11 @@ class DataAccessService {
   /// Regenerates the lower XSpec for a registered database from the live
   /// engine (what the tracker thread runs periodically).
   Result<unity::LowerXSpec> GenerateXSpecFor(const std::string& database_name);
+  /// Re-derives a registered database's XSpec from its live engine and
+  /// reloads it, publishing tables created since registration. The batch
+  /// service calls this when a finished job's result table lands in a
+  /// tenant scratch mart, making it visible to follow-up queries.
+  Status RefreshRegisteredDatabase(const std::string& database_name);
   Result<unity::UpperXSpecEntry> UpperEntryFor(
       const std::string& database_name);
   std::vector<std::string> RegisteredDatabases() const;

@@ -2,6 +2,7 @@
 
 #include "griddb/obs/metrics.h"
 #include "griddb/unity/xspec.h"
+#include "griddb/util/logging.h"
 
 namespace griddb::core {
 
@@ -16,16 +17,56 @@ Result<std::string> StringParam(const XmlRpcArray& params, size_t index) {
   }
   return params[index].AsString();
 }
+
+Result<int64_t> IntParam(const XmlRpcArray& params, size_t index) {
+  if (index >= params.size()) {
+    return InvalidArgument("missing parameter " + std::to_string(index));
+  }
+  return params[index].AsInt();
+}
+
+XmlRpcValue BatchInfoToRpc(const BatchJobInfo& info) {
+  XmlRpcStruct out;
+  out["id"] = static_cast<int64_t>(info.id);
+  out["state"] = std::string(BatchJobStateName(info.state));
+  out["chunksDone"] = static_cast<int64_t>(info.chunks_done);
+  out["totalChunks"] = static_cast<int64_t>(info.total_chunks);
+  out["totalKnown"] = info.total_known;
+  out["rows"] = static_cast<int64_t>(info.rows);
+  out["recovered"] = info.recovered;
+  out["scratchMart"] = info.scratch_mart;
+  out["resultTable"] = info.result_table;
+  if (!info.error.empty()) out["error"] = info.error;
+  return XmlRpcValue(std::move(out));
+}
 }  // namespace
 
 JClarensServer::JClarensServer(DataAccessConfig config,
                                ral::DatabaseCatalog* catalog,
                                rpc::Transport* transport,
-                               XSpecRepository* xspec_repo)
+                               XSpecRepository* xspec_repo,
+                               BatchConfig batch)
     : service_(std::move(config), catalog, transport),
       xspec_repo_(xspec_repo),
       server_(service_.config().server_url, transport) {
+  if (batch.enabled()) {
+    batch_ = std::make_unique<BatchJobManager>(&service_, catalog,
+                                               std::move(batch));
+    // Recovery before the first worker: interrupted jobs resume, done
+    // jobs' scratch tables come back. A damaged journal (bad magic) is
+    // operator-visible but must not keep the server from serving
+    // interactive queries.
+    if (Status recovered = batch_->Recover(); !recovered.ok()) {
+      GRIDDB_LOG(Warn) << "batch journal recovery failed: "
+                       << recovered.ToString();
+    }
+    if (batch_->config().autostart) batch_->Start();
+  }
   RegisterMethods();
+}
+
+JClarensServer::~JClarensServer() {
+  if (batch_) batch_->Stop();
 }
 
 void JClarensServer::RegisterMethods() {
@@ -265,6 +306,73 @@ void JClarensServer::RegisterMethods() {
         }
         return XmlRpcValue(
             static_cast<int64_t>(service_.CacheInvalidate(table)));
+      });
+
+  // ---- batch-query service (always registered; kUnavailable when the
+  // server has no BatchConfig, so clients get a clean capability error
+  // instead of kNotFound method-missing noise). The authenticated tenant
+  // from the call context scopes every operation: jobs are visible only
+  // to their submitter and results land in that tenant's scratch mart.
+  (void)server_.RegisterMethod(
+      "dataaccess.batchSubmit",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        if (!batch_) {
+          return Unavailable("batch service not configured on this server");
+        }
+        GRIDDB_ASSIGN_OR_RETURN(std::string sql, StringParam(params, 0));
+        GRIDDB_ASSIGN_OR_RETURN(uint64_t id, batch_->Submit(ctx.tenant, sql));
+        return XmlRpcValue(static_cast<int64_t>(id));
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.batchPoll",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        if (!batch_) {
+          return Unavailable("batch service not configured on this server");
+        }
+        GRIDDB_ASSIGN_OR_RETURN(int64_t id, IntParam(params, 0));
+        GRIDDB_ASSIGN_OR_RETURN(
+            BatchJobInfo info,
+            batch_->Poll(ctx.tenant, static_cast<uint64_t>(id)));
+        return BatchInfoToRpc(info);
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.batchCancel",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        if (!batch_) {
+          return Unavailable("batch service not configured on this server");
+        }
+        GRIDDB_ASSIGN_OR_RETURN(int64_t id, IntParam(params, 0));
+        GRIDDB_RETURN_IF_ERROR(
+            batch_->Cancel(ctx.tenant, static_cast<uint64_t>(id)));
+        return XmlRpcValue(true);
+      });
+
+  (void)server_.RegisterMethod(
+      "dataaccess.batchFetch",
+      [this](const XmlRpcArray& params,
+             rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        if (!batch_) {
+          return Unavailable("batch service not configured on this server");
+        }
+        GRIDDB_ASSIGN_OR_RETURN(int64_t id, IntParam(params, 0));
+        int64_t page = 0;
+        if (params.size() > 1) {
+          GRIDDB_ASSIGN_OR_RETURN(page, params[1].AsInt());
+        }
+        if (page < 0) return InvalidArgument("page must be >= 0");
+        GRIDDB_ASSIGN_OR_RETURN(
+            storage::ResultSet rs,
+            batch_->Fetch(ctx.tenant, static_cast<uint64_t>(id),
+                          static_cast<size_t>(page)));
+        XmlRpcStruct out;
+        out["result"] = rpc::ResultSetToRpc(rs);
+        out["rows"] = static_cast<int64_t>(rs.rows.size());
+        return XmlRpcValue(std::move(out));
       });
 
   (void)server_.RegisterMethod(

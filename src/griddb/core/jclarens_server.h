@@ -8,10 +8,20 @@
 //   dataaccess.registerDatabase(conn, drv) -> true     (live registration)
 //   dataaccess.pluginDatabase(xspecUrl, driver, conn) -> true   (§4.10)
 //   system.login(user, pass)               -> session token
+//
+// With a BatchConfig (journal_dir set) the server also hosts the
+// crash-safe asynchronous batch-query service (core/batch):
+//   dataaccess.batchSubmit(sql)        -> job id (durable on return)
+//   dataaccess.batchPoll(id)           -> job status struct
+//   dataaccess.batchCancel(id)         -> true
+//   dataaccess.batchFetch(id, page)    -> {result} page of a done job
+// The manager replays its journal (crash recovery) before the first
+// worker starts, so jobs interrupted by a restart resume automatically.
 #pragma once
 
 #include <memory>
 
+#include "griddb/core/batch/batch_service.h"
 #include "griddb/core/data_access_service.h"
 #include "griddb/core/xspec_repository.h"
 #include "griddb/rpc/server.h"
@@ -21,15 +31,21 @@ namespace griddb::core {
 class JClarensServer {
  public:
   /// Binds at config.server_url. `xspec_repo` (optional) resolves XSpec
-  /// URLs for the plug-in method.
+  /// URLs for the plug-in method. `batch` (optional: enabled when its
+  /// journal_dir is set) hosts the asynchronous batch-query service;
+  /// recovery replays the journal before workers start.
   JClarensServer(DataAccessConfig config, ral::DatabaseCatalog* catalog,
                  rpc::Transport* transport,
-                 XSpecRepository* xspec_repo = nullptr);
+                 XSpecRepository* xspec_repo = nullptr,
+                 BatchConfig batch = {});
+  ~JClarensServer();
 
   DataAccessService& service() { return service_; }
   rpc::RpcServer& rpc() { return server_; }
   const std::string& url() const { return server_.url(); }
   const std::string& host() const { return server_.host(); }
+  /// The batch job manager; nullptr when batch is not configured.
+  BatchJobManager* batch() { return batch_.get(); }
 
  private:
   void RegisterMethods();
@@ -37,6 +53,7 @@ class JClarensServer {
   DataAccessService service_;
   XSpecRepository* xspec_repo_;
   rpc::RpcServer server_;
+  std::unique_ptr<BatchJobManager> batch_;
 };
 
 }  // namespace griddb::core

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "griddb/util/journal.h"
 #include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
 
@@ -479,24 +480,9 @@ Result<StageManifest> DecodeManifest(std::string_view buffer) {
 
 Status WriteManifestFile(const std::string& path,
                          const StageManifest& manifest) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Unavailable("cannot open manifest '" + tmp + "' for write");
-    }
-    std::string encoded = EncodeManifest(manifest);
-    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-    out.flush();
-    if (!out) return Unavailable("short write to manifest '" + tmp + "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Unavailable("cannot rename manifest '" + tmp + "' into place: " +
-                       ec.message());
-  }
-  return Status::Ok();
+  // Crash consistency (temp + fsync + rename) lives in util::AtomicWriteFile,
+  // shared with the batch job journal.
+  return util::AtomicWriteFile(path, EncodeManifest(manifest));
 }
 
 Result<StageManifest> ReadManifestFile(const std::string& path) {

@@ -137,14 +137,23 @@ class CancelToken {
 };
 
 /// Scheduling class used by admission control: interactive queries keep a
-/// reserved slice of the concurrency budget; scans are shed first.
+/// reserved slice of the concurrency budget; scans are shed first. Batch
+/// work (the asynchronous batch-query service) runs strictly out of idle
+/// capacity: it never queues and is shed the moment interactive or scan
+/// load wants the slot back.
 enum class QueryPriority {
   kInteractive = 0,
   kScan = 1,
+  kBatch = 2,
 };
 
 inline const char* QueryPriorityName(QueryPriority priority) noexcept {
-  return priority == QueryPriority::kScan ? "scan" : "interactive";
+  switch (priority) {
+    case QueryPriority::kScan: return "scan";
+    case QueryPriority::kBatch: return "batch";
+    case QueryPriority::kInteractive: break;
+  }
+  return "interactive";
 }
 
 /// Per-query execution context threaded from the service entry point down

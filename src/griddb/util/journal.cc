@@ -1,0 +1,154 @@
+#include "griddb/util/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "griddb/util/md5.h"
+
+namespace griddb::util {
+
+namespace {
+
+constexpr std::string_view kMagic = "griddb-journal v1\n";
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Unavailable(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// Writes all of `data` to `fd`, retrying short writes / EINTR.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Best-effort fsync of the directory containing `path`, so a freshly
+/// created or renamed entry survives a crash of the directory itself.
+void SyncParentDir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status st = WriteAll(fd, content, tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", tmp);
+  if (::close(fd) != 0 && st.ok()) st = Errno("close", tmp);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    return Unavailable("cannot rename '" + tmp + "' into place: " +
+                       ec.message());
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status FsyncFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open", path);
+  Status st = Status::Ok();
+  if (::fsync(fd) != 0) st = Errno("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+void JournalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status JournalWriter::Append(std::string_view payload) {
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) return Errno("open", path_);
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
+
+  std::string frame;
+  if (st.st_size == 0) frame.append(kMagic);
+  frame += "rec " + std::to_string(payload.size()) + " md5 " +
+           Md5Hex(payload) + "\n";
+  frame.append(payload);
+  frame += "\n";
+
+  GRIDDB_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  if (st.st_size == 0) SyncParentDir(path_);
+  return Status::Ok();
+}
+
+Result<JournalReplay> ReadJournal(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return replay;  // empty journal
+    return Unavailable("cannot open journal '" + path + "'");
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.empty()) return replay;  // created but never appended
+  if (content.size() < kMagic.size() ||
+      std::string_view(content).substr(0, kMagic.size()) != kMagic) {
+    return Corruption("journal '" + path + "': bad magic header");
+  }
+
+  size_t pos = kMagic.size();
+  while (pos < content.size()) {
+    // Header line: "rec <payload_bytes> md5 <hex>\n". Any decode failure
+    // from here to EOF is a torn tail: keep the intact prefix.
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) break;
+    std::istringstream hdr(content.substr(pos, eol - pos));
+    std::string rec_kw, md5_kw, digest;
+    uint64_t len = 0;
+    hdr >> rec_kw >> len >> md5_kw >> digest;
+    if (rec_kw != "rec" || md5_kw != "md5" || digest.size() != 32) break;
+    size_t body = eol + 1;
+    if (body + len + 1 > content.size()) break;  // short payload
+    if (content[body + len] != '\n') break;
+    std::string_view payload(content.data() + body, len);
+    if (Md5Hex(payload) != digest) break;  // damaged record
+    replay.records.emplace_back(payload);
+    pos = body + len + 1;
+  }
+  replay.truncated = pos < content.size();
+  return replay;
+}
+
+}  // namespace griddb::util

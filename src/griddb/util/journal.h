@@ -1,0 +1,88 @@
+// Crash-consistent file primitives shared by every durable artefact in
+// griddb: the ETL stage manifest (storage/stage_file) and the batch job
+// journal (core/batch) both ride on this one implementation.
+//
+// Two idioms live here:
+//
+//  1. AtomicWriteFile — the write-temp, flush+fsync, rename-into-place
+//     replacement originally embedded in the ETL manifest writer. After
+//     it returns OK the file at `path` is atomically either the old or
+//     the new content, never a torn mixture, even across a crash.
+//
+//  2. JournalWriter / ReadJournal — an append-only record journal with
+//     framed, digest-verified records:
+//
+//         griddb-journal v1\n
+//         rec <payload_bytes> md5 <hex>\n
+//         <payload bytes>\n
+//         rec ...
+//
+//     Append() fsyncs before returning, so a record is durable once the
+//     caller sees OK — the write-ahead contract the batch service's
+//     recovery protocol depends on. A crash mid-append leaves a torn
+//     frame at the tail; ReadJournal stops at the first frame that does
+//     not decode (short header, short payload, digest mismatch), returns
+//     the intact prefix and reports `truncated` — torn tails are an
+//     expected crash artefact, not an error. Payloads are arbitrary
+//     bytes (newlines included): frames are delimited by byte count,
+//     not by line structure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/util/status.h"
+
+namespace griddb::util {
+
+/// Atomically replaces `path` with `content` via temp + fsync + rename.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// fsyncs an existing file in place (used after appends that must be
+/// durable before a dependent journal record is written — e.g. a stage
+/// chunk must hit disk before its checkpoint record does, or recovery
+/// could trust a checkpoint whose data vanished with the page cache).
+Status FsyncFile(const std::string& path);
+
+/// Append-only journal of framed records (see the header comment for the
+/// on-disk format). Not internally synchronized: callers serialize
+/// appends (the batch manager appends under its job mutex).
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one framed record and fsyncs. The record is durable (and
+  /// will be returned by ReadJournal after any later crash) once this
+  /// returns OK. Writes the magic header first on a fresh file.
+  Status Append(std::string_view payload);
+
+  /// Closes the underlying descriptor (reopened lazily by the next
+  /// Append). Used by crash tests to release the file.
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Result of replaying a journal file.
+struct JournalReplay {
+  std::vector<std::string> records;  ///< Intact records, append order.
+  /// True when the file ends in a frame that does not decode (torn or
+  /// truncated by a crash, or externally damaged): the frame and
+  /// everything after it were dropped, `records` is the intact prefix.
+  bool truncated = false;
+};
+
+/// Replays `path`. A missing file is an empty journal (no error); a file
+/// that exists but lacks the magic header fails with kCorruption.
+Result<JournalReplay> ReadJournal(const std::string& path);
+
+}  // namespace griddb::util

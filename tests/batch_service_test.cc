@@ -1,0 +1,603 @@
+// Crash-safe asynchronous batch-query service: a submitted job survives
+// a coordinator kill at ANY point of its checkpoint protocol and, after
+// restart recovery, completes byte-identical to an uninterrupted run
+// with zero duplicated sub-query work past the last durable checkpoint.
+// Also covered: the RPC surface (batchSubmit/Poll/Cancel/Fetch), tenant
+// visibility and scratch-mart RBAC, cancel durability, terminal-state
+// stability across restarts, torn journal tails, and follow-up queries
+// over materialized results.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "griddb/core/jclarens_server.h"
+#include "griddb/core/rbac.h"
+#include "griddb/storage/result_set.h"
+#include "griddb/storage/stage_file.h"
+#include "griddb/util/journal.h"
+#include "griddb/util/rng.h"
+
+namespace griddb::core {
+namespace {
+
+constexpr char kServerUrl[] = "clarens://server-a:8080/clarens";
+constexpr int kEventRows = 200;
+
+/// Canonical bytes of a result set, for byte-identity assertions.
+std::string Canonical(const storage::ResultSet& rs) {
+  std::string out;
+  for (const std::string& column : rs.columns) out += column + "|";
+  out += "\n";
+  out += storage::EncodeRowBlock(rs.rows);
+  return out;
+}
+
+/// Checkpoint records per chunk id in an on-disk journal, for `job`.
+/// The crash-recovery invariant reads straight off this map: every chunk
+/// id appearing EXACTLY once means no durable progress was re-executed
+/// and no lost progress was re-run more than once.
+std::map<size_t, int> CheckpointCounts(const std::string& journal_dir,
+                                       uint64_t job) {
+  std::map<size_t, int> counts;
+  auto replay = util::ReadJournal(journal_dir + "/batch_jobs.journal");
+  EXPECT_TRUE(replay.ok()) << replay.status().ToString();
+  if (!replay.ok()) return counts;
+  for (const std::string& record : replay->records) {
+    std::istringstream in(record);
+    std::string kind;
+    std::getline(in, kind);
+    if (kind != "checkpoint") continue;
+    uint64_t id = 0;
+    size_t chunk = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "id") fields >> id;
+      if (key == "chunk") fields >> chunk;
+    }
+    if (id == job) ++counts[chunk];
+  }
+  return counts;
+}
+
+/// One coordinator plus its source database. MakeServer() destroys the
+/// JClarensServer (killing the batch manager exactly where SimulateCrash
+/// froze it) and builds a fresh one over the same journal directory, so
+/// the new incarnation sees only what a real process restart would: the
+/// on-disk journal and stage files.
+class BatchServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("griddb_batch_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+
+    transport_ = std::make_unique<rpc::Transport>(&network_,
+                                                  net::ServiceCosts::Default());
+    for (const char* h : {"server-a", "client"}) network_.AddHost(h);
+
+    db_ = std::make_unique<engine::Database>("db_a", sql::Vendor::kMySql);
+    ASSERT_TRUE(db_->Execute("CREATE TABLE EVENTS (ID INT PRIMARY KEY, "
+                             "V DOUBLE)")
+                    .ok());
+    for (int i = 1; i <= kEventRows; ++i) {
+      ASSERT_TRUE(db_->Execute("INSERT INTO EVENTS (ID, V) VALUES (" +
+                               std::to_string(i) + ", " +
+                               std::to_string(i * 0.5) + ")")
+                      .ok());
+    }
+    ASSERT_TRUE(
+        catalog_.Add({"mysql://server-a/db_a", db_.get(), "server-a", "", ""})
+            .ok());
+
+    rbac_ = std::make_shared<RbacCatalog>();
+    ASSERT_TRUE(rbac_->CreateUser(RbacCatalog::kAnonymousTenant).ok());
+    ASSERT_TRUE(rbac_->GrantTable(RbacCatalog::kAnonymousTenant,
+                                  RbacCatalog::kAllTables)
+                    .ok());
+    ASSERT_TRUE(rbac_->CreateUser("atlas").ok());
+    ASSERT_TRUE(rbac_->GrantTable("atlas", "events").ok());
+    ASSERT_TRUE(rbac_->CreateUser("cms").ok());
+
+    MakeServer();
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  BatchConfig BatchDefaults() const {
+    BatchConfig batch;
+    batch.journal_dir = (dir_ / "batch").string();
+    batch.chunk_rows = 32;
+    batch.workers = 2;
+    batch.autostart = false;  // registered databases come first
+    return batch;
+  }
+
+  void MakeServer(BatchConfig batch = {}) {
+    if (batch.journal_dir.empty()) batch = BatchDefaults();
+    DataAccessConfig config;
+    config.server_name = "jclarens-a";
+    config.host = "server-a";
+    config.server_url = kServerUrl;
+    config.rbac = rbac_;
+    server_.reset();  // old incarnation dies before the new one opens
+    server_ = std::make_unique<JClarensServer>(config, &catalog_,
+                                               transport_.get(), nullptr,
+                                               std::move(batch));
+    ASSERT_TRUE(
+        server_->service().RegisterLiveDatabase("mysql://server-a/db_a", "")
+            .ok());
+    ASSERT_NE(server_->batch(), nullptr);
+    server_->batch()->Start();
+  }
+
+  void Restart() { MakeServer(); }
+
+  BatchJobManager& batch() { return *server_->batch(); }
+
+  /// All pages of a done job, concatenated.
+  storage::ResultSet FetchAll(const std::string& tenant, uint64_t id) {
+    storage::ResultSet all;
+    for (size_t page = 0;; ++page) {
+      auto rs = batch().Fetch(tenant, id, page);
+      EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+      if (!rs.ok()) break;
+      if (all.columns.empty()) all.columns = rs->columns;
+      if (rs->rows.empty()) break;
+      for (auto& row : rs->rows) all.rows.push_back(std::move(row));
+    }
+    return all;
+  }
+
+  std::string JournalDir() const { return (dir_ / "batch").string(); }
+  std::string JournalPath() const {
+    return JournalDir() + "/batch_jobs.journal";
+  }
+
+  std::filesystem::path dir_;
+  net::Network network_;
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<engine::Database> db_;
+  ral::DatabaseCatalog catalog_;
+  std::shared_ptr<RbacCatalog> rbac_;
+  std::unique_ptr<JClarensServer> server_;
+};
+
+// ---------- happy path ----------
+
+TEST_F(BatchServiceFixture, PageableScanRunsToDoneAndFetchesAllPages) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_EQ(info->rows, static_cast<size_t>(kEventRows));
+  EXPECT_TRUE(info->total_known);
+  // 200 rows at 32/chunk = 7 chunks (6 full + 1 partial).
+  EXPECT_EQ(info->total_chunks, 7u);
+  EXPECT_FALSE(info->recovered);
+  EXPECT_EQ(info->result_table, "batch_" + std::to_string(*id));
+  EXPECT_EQ(info->scratch_mart, "scratch_atlas");
+
+  storage::ResultSet all = FetchAll("atlas", *id);
+  EXPECT_EQ(all.rows.size(), static_cast<size_t>(kEventRows));
+
+  // The materialized result matches the interactive answer bytes.
+  QueryContext ctx;
+  ctx.tenant = "atlas";
+  auto direct = server_->service().Query("SELECT ID, V FROM EVENTS", nullptr,
+                                         0, "", std::move(ctx));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_EQ(storage::EncodeRowBlock(all.rows),
+            storage::EncodeRowBlock(direct->rows));
+
+  // Every chunk checkpointed exactly once on the undisturbed path too.
+  std::map<size_t, int> counts = CheckpointCounts(JournalDir(), *id);
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [chunk, count] : counts) {
+    EXPECT_EQ(count, 1) << "chunk " << chunk;
+  }
+}
+
+TEST_F(BatchServiceFixture, RpcSurfaceSubmitPollFetchRoundTrip) {
+  rpc::RpcClient client(transport_.get(), "client", kServerUrl);
+  client.set_tenant("atlas");
+  net::Cost cost;
+
+  rpc::XmlRpcArray submit_params;
+  submit_params.emplace_back(std::string("SELECT ID, V FROM EVENTS"));
+  auto submitted = client.Call("dataaccess.batchSubmit", submit_params, &cost);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  auto id = submitted->AsInt();
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(static_cast<uint64_t>(*id), 30.0));
+
+  rpc::XmlRpcArray poll_params;
+  poll_params.emplace_back(*id);
+  auto polled = client.Call("dataaccess.batchPoll", poll_params, &cost);
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  auto poll_struct = polled->AsStruct();
+  ASSERT_TRUE(poll_struct.ok());
+  EXPECT_EQ((*poll_struct)->at("state").AsString().value_or(""), "done");
+  EXPECT_EQ((*poll_struct)->at("rows").AsInt().value_or(0), kEventRows);
+
+  rpc::XmlRpcArray fetch_params;
+  fetch_params.emplace_back(*id);
+  fetch_params.emplace_back(int64_t{0});
+  auto fetched = client.Call("dataaccess.batchFetch", fetch_params, &cost);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  auto fetch_struct = fetched->AsStruct();
+  ASSERT_TRUE(fetch_struct.ok());
+  EXPECT_EQ((*fetch_struct)->at("rows").AsInt().value_or(0), kEventRows);
+
+  // A wrong id answers NotFound across the wire, same as in-process.
+  rpc::XmlRpcArray bogus;
+  bogus.emplace_back(int64_t{999});
+  auto missing = client.Call("dataaccess.batchPoll", bogus, &cost);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BatchServiceFixture, NonPageableAggregateMaterializes) {
+  // COUNT() cannot be paged with LIMIT/OFFSET; it runs single-shot and
+  // is chunked only at materialization time.
+  auto id = batch().Submit("atlas", "SELECT COUNT(ID) AS N FROM EVENTS");
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_EQ(info->rows, 1u);
+  storage::ResultSet all = FetchAll("atlas", *id);
+  ASSERT_EQ(all.rows.size(), 1u);
+  ASSERT_EQ(all.rows[0].size(), 1u);
+  EXPECT_EQ(all.rows[0][0].AsInt64().value_or(0), kEventRows);
+}
+
+TEST_F(BatchServiceFixture, EmptyResultStillMaterializesSchema) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS WHERE ID < 0");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_EQ(info->rows, 0u);
+  auto page = batch().Fetch("atlas", *id, 0);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->rows.size(), 0u);
+  EXPECT_EQ(page->columns.size(), 2u);  // schema survived an empty scan
+}
+
+TEST_F(BatchServiceFixture, ResultTableIsQueryableAsSourceTable) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  ASSERT_EQ(batch().Poll("atlas", *id)->state, BatchJobState::kDone);
+
+  // Follow-up interactive query over the scratch table, same tenant.
+  QueryContext ctx;
+  ctx.tenant = "atlas";
+  auto rs = server_->service().Query(
+      "SELECT ID FROM batch_" + std::to_string(*id) + " WHERE ID <= 5",
+      nullptr, 0, "", std::move(ctx));
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 5u);
+
+  // Another tenant holds no grant on the scratch mart.
+  QueryContext other;
+  other.tenant = "cms";
+  auto denied = server_->service().Query(
+      "SELECT ID FROM batch_" + std::to_string(*id), nullptr, 0, "",
+      std::move(other));
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+}
+
+// ---------- tenant visibility / RBAC ----------
+
+TEST_F(BatchServiceFixture, JobsAreInvisibleAcrossTenants) {
+  auto id = batch().Submit("atlas", "SELECT ID FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  // Another tenant's probes behave as if the job does not exist.
+  EXPECT_EQ(batch().Poll("cms", *id).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(batch().Cancel("cms", *id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(batch().Fetch("cms", *id, 0).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+}
+
+TEST_F(BatchServiceFixture, RbacDeniesUngrantedSourceTables) {
+  // "cms" exists but holds no grant on EVENTS: the sub-query fails at
+  // plan time with a permanent denial, which fails the job (permission
+  // errors are not retryable).
+  auto id = batch().Submit("cms", "SELECT ID FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto info = batch().Poll("cms", *id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, BatchJobState::kFailed);
+  EXPECT_NE(info->error.find("PERMISSION_DENIED"), std::string::npos)
+      << info->error;
+}
+
+// ---------- cancel semantics ----------
+
+TEST_F(BatchServiceFixture, CancelIsDurableAndTerminalStatesAreStable) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  Status cancelled = batch().Cancel("atlas", *id);
+  // Either we caught it before/while running (cancel lands) or it had
+  // already finished (terminal stability refuses the cancel).
+  if (cancelled.ok()) {
+    ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+    auto info = batch().Poll("atlas", *id);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->state, BatchJobState::kCancelled);
+    // Cancelling again is a FailedPrecondition, not a state change.
+    EXPECT_EQ(batch().Cancel("atlas", *id).code(),
+              StatusCode::kFailedPrecondition);
+    // Fetch on a cancelled job is refused.
+    EXPECT_EQ(batch().Fetch("atlas", *id, 0).status().code(),
+              StatusCode::kFailedPrecondition);
+    // The cancellation is durable: a restart replays it as cancelled.
+    Restart();
+    auto after = batch().Poll("atlas", *id);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->state, BatchJobState::kCancelled);
+    EXPECT_FALSE(after->recovered);
+  } else {
+    EXPECT_EQ(cancelled.code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST_F(BatchServiceFixture, SubmitRejectsUnparseableSqlWithoutJournaling) {
+  auto id = batch().Submit("atlas", "SELEC nonsense FROM");
+  ASSERT_FALSE(id.ok());
+  // Nothing journaled: a restart sees no trace of the rejected submit.
+  auto replay = util::ReadJournal(JournalPath());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+}
+
+// ---------- crash / restart recovery ----------
+
+struct CrashCase {
+  std::string point;
+  size_t chunk;
+};
+
+class BatchCrashFixture : public BatchServiceFixture {
+ protected:
+  /// Byte-canonical result of an uninterrupted run of `sql` (computed in
+  /// a disposable journal dir so it does not disturb later crash dirs).
+  std::string Baseline(const std::string& sql) {
+    BatchConfig alt = BatchDefaults();
+    alt.journal_dir = (dir_ / "baseline").string();
+    MakeServer(alt);
+    auto id = batch().Submit("atlas", sql);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(batch().WaitForTerminal(*id, 30.0));
+    EXPECT_EQ(batch().Poll("atlas", *id)->state, BatchJobState::kDone);
+    return Canonical(FetchAll("atlas", *id));
+  }
+
+  /// Submits `sql` with a hook that kills the manager at `cc`, and waits
+  /// for the kill to land. Returns the job id (0 on failure).
+  uint64_t SubmitAndCrash(const std::string& sql, const CrashCase& cc) {
+    BatchJobManager* manager = server_->batch();
+    manager->set_crash_hook(
+        [manager, cc](const char* point, uint64_t, size_t chunk) {
+          if (cc.point == point && chunk == cc.chunk) {
+            manager->SimulateCrash();
+          }
+        });
+    auto id = manager->Submit("atlas", sql);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    for (int i = 0; i < 30000 && !manager->crashed(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(manager->crashed())
+        << "crash point never fired: " << cc.point << ":" << cc.chunk;
+    return id.value_or(0);
+  }
+
+  /// The full crash → restart → recover → verify cycle.
+  void CrashAndRecover(const std::string& sql, const CrashCase& cc,
+                       const std::string& baseline) {
+    SCOPED_TRACE("crash at " + cc.point + ":" + std::to_string(cc.chunk));
+    BatchConfig fresh = BatchDefaults();
+    fresh.journal_dir =
+        (dir_ / ("crash_" + cc.point + "_" + std::to_string(cc.chunk)))
+            .string();
+    MakeServer(fresh);
+    const uint64_t id = SubmitAndCrash(sql, cc);
+    ASSERT_NE(id, 0u);
+
+    // How much progress was durable at the kill.
+    std::map<size_t, int> before = CheckpointCounts(fresh.journal_dir, id);
+    for (const auto& [chunk, count] : before) {
+      EXPECT_EQ(count, 1) << "chunk " << chunk << " pre-restart";
+    }
+
+    // "Process restart": tear down, rebuild over the same journal dir.
+    MakeServer(fresh);
+    auto info = batch().Poll("atlas", id);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    if (!IsTerminal(info->state)) {
+      EXPECT_TRUE(info->recovered);
+      ASSERT_TRUE(batch().WaitForTerminal(id, 30.0));
+      info = batch().Poll("atlas", id);
+      ASSERT_TRUE(info.ok());
+    }
+    ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+
+    // 1. Byte-identity with the uninterrupted run.
+    EXPECT_EQ(Canonical(FetchAll("atlas", id)), baseline);
+
+    // 2. Zero duplicated sub-query work after the last durable
+    //    checkpoint: every chunk has EXACTLY one checkpoint record in
+    //    the final journal — durable progress was never re-executed,
+    //    lost progress was re-run exactly once.
+    std::map<size_t, int> after = CheckpointCounts(fresh.journal_dir, id);
+    EXPECT_EQ(after.size(), info->total_chunks);
+    for (const auto& [chunk, count] : after) {
+      EXPECT_EQ(count, 1) << "chunk " << chunk << " checkpointed " << count
+                          << " times";
+    }
+    // The durable prefix is still there, untouched by the re-run.
+    for (const auto& [chunk, count] : before) {
+      (void)count;
+      EXPECT_EQ(after.count(chunk), 1u)
+          << "durable chunk " << chunk << " missing after recovery";
+    }
+
+    // 3. Terminal state is stable across ANOTHER restart, and the
+    //    rebuilt scratch table still serves identical bytes.
+    MakeServer(fresh);
+    auto again = batch().Poll("atlas", id);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->state, BatchJobState::kDone);
+    EXPECT_EQ(Canonical(FetchAll("atlas", id)), baseline);
+  }
+};
+
+TEST_F(BatchCrashFixture, KilledMidScanRecoversByteIdenticalAtEveryPoint) {
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+  ASSERT_FALSE(baseline.empty());
+
+  // Randomized checkpoint boundaries under a deterministic seed (the
+  // scan has 7 chunks, ids 0..6), plus the protocol edges.
+  Rng rng(20260809);
+  std::vector<CrashCase> cases = {
+      {"staged", static_cast<size_t>(rng.UniformInt(0, 6))},
+      {"checkpoint", static_cast<size_t>(rng.UniformInt(0, 6))},
+      {"checkpoint", static_cast<size_t>(rng.UniformInt(0, 6))},
+      {"checkpoint", 0},  // nothing durable but the first chunk
+      {"staged", 6},      // last chunk staged, never journaled
+      {"total", 7},       // scan complete, terminal record lost
+  };
+  for (const CrashCase& cc : cases) {
+    CrashAndRecover(sql, cc, baseline);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST_F(BatchCrashFixture, CrashAfterTerminalRecordKeepsJobDone) {
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+
+  BatchConfig fresh = BatchDefaults();
+  fresh.journal_dir = (dir_ / "crash_terminal").string();
+  MakeServer(fresh);
+  BatchJobManager* manager = server_->batch();
+  manager->set_crash_hook([manager](const char* point, uint64_t, size_t) {
+    if (std::string(point) == "terminal") manager->SimulateCrash();
+  });
+  auto id = manager->Submit("atlas", sql);
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 30000 && !manager->crashed(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(manager->crashed());
+
+  MakeServer(fresh);
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  // The terminal record was durable before the kill: recovery replays
+  // the job as done (not re-enqueued) and rebuilds its scratch table.
+  EXPECT_EQ(info->state, BatchJobState::kDone);
+  EXPECT_FALSE(info->recovered);
+  EXPECT_EQ(Canonical(FetchAll("atlas", *id)), baseline);
+}
+
+TEST_F(BatchCrashFixture, NonPageableCrashMidMaterializationRecovers) {
+  // ORDER BY makes the statement non-pageable: it runs single-shot and
+  // chunks at materialization. A crash mid-materialization re-runs the
+  // (deterministic) query and re-stages from the first missing chunk.
+  const std::string sql = "SELECT ID, V FROM EVENTS ORDER BY ID DESC";
+  const std::string baseline = Baseline(sql);
+  ASSERT_FALSE(baseline.empty());
+  CrashAndRecover(sql, {"checkpoint", 3}, baseline);
+}
+
+TEST_F(BatchCrashFixture, TornJournalTailIsDroppedOnRecovery) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  ASSERT_EQ(batch().Poll("atlas", *id)->state, BatchJobState::kDone);
+  server_.reset();  // close the journal descriptor
+
+  // A crash mid-append leaves a torn frame at the tail; everything
+  // before it must replay. Simulate with a truncated frame header.
+  {
+    std::ofstream out(JournalPath(), std::ios::binary | std::ios::app);
+    out << "rec 9999 md5 0123456";  // torn header, no payload
+  }
+  Restart();
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state, BatchJobState::kDone);
+  EXPECT_EQ(FetchAll("atlas", *id).rows.size(),
+            static_cast<size_t>(kEventRows));
+}
+
+TEST_F(BatchCrashFixture, RecoverIsGuardedAgainstDoubleReplay) {
+  auto id = batch().Submit("atlas", "SELECT ID FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  // Recover() is a construction-time event; replaying over live state
+  // would double every job. The guard refuses.
+  Status again = batch().Recover();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  // State is untouched by the refused replay.
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, BatchJobState::kDone);
+}
+
+// The CI crash sweep: scripts/check.sh sets GRIDDB_CRASH_POINT to
+// "<point>:<chunk>" and reruns just this test, sweeping the kill across
+// protocol points without recompiling. Unset, the test is skipped (the
+// fixed matrix above already runs in-process).
+TEST_F(BatchCrashFixture, EnvDrivenCrashPointSweep) {
+  const char* env = std::getenv("GRIDDB_CRASH_POINT");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "GRIDDB_CRASH_POINT not set";
+  }
+  const std::string spec(env);
+  const size_t colon = spec.find(':');
+  ASSERT_NE(colon, std::string::npos) << "want <point>:<chunk>, got " << spec;
+  CrashCase cc;
+  cc.point = spec.substr(0, colon);
+  cc.chunk = static_cast<size_t>(std::stoul(spec.substr(colon + 1)));
+
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+  ASSERT_FALSE(baseline.empty());
+  CrashAndRecover(sql, cc, baseline);
+}
+
+}  // namespace
+}  // namespace griddb::core

@@ -877,6 +877,157 @@ TEST(TenantAdmissionTest, FractionalWeightLaneDrainsBesideFreeSlot) {
   EXPECT_EQ(controller.in_flight(), 0u);
 }
 
+// The background batch lane: admitted strictly from idle capacity (never
+// queued), capped below the non-reserved slots, shed the moment any
+// foreground demand is waiting, and handing capacity back per release.
+TEST(TenantAdmissionTest, BatchLaneUsesIdleCapacityAndYieldsUnderLoad) {
+  AdmissionConfig config;
+  config.max_concurrent = 4;
+  config.max_queued = 4;
+  config.interactive_reserve = 2;
+  config.batch_slots = 0;  // derive: half of the 2 non-reserved slots = 1
+  AdmissionController controller(config);
+
+  // Idle server: one batch slot available, the second is over the cap.
+  auto batch1 = controller.Admit(QueryPriority::kBatch, nullptr, "night");
+  ASSERT_TRUE(batch1.ok());
+  EXPECT_EQ(controller.batch_in_flight(), 1u);
+  auto batch2 = controller.Admit(QueryPriority::kBatch, nullptr, "night");
+  ASSERT_FALSE(batch2.ok());
+  EXPECT_EQ(batch2.status().code(), StatusCode::kResourceExhausted);
+  // Sheds are hints, not errors: the message carries a retry-after.
+  EXPECT_GT(rpc::RetryAfterHintMs(batch2.status().message()), 0.0);
+
+  // Releasing hands the capacity back immediately.
+  batch1->Release();
+  EXPECT_EQ(controller.batch_in_flight(), 0u);
+  auto batch3 = controller.Admit(QueryPriority::kBatch, nullptr, "night");
+  ASSERT_TRUE(batch3.ok());
+
+  // The interactive reserve is untouchable even while batch runs.
+  std::vector<AdmissionController::Ticket> interactive;
+  for (int i = 0; i < 3; ++i) {
+    auto ticket =
+        controller.Admit(QueryPriority::kInteractive, nullptr, "atlas");
+    ASSERT_TRUE(ticket.ok()) << i;
+    interactive.push_back(std::move(*ticket));
+  }
+  // 3 interactive + 1 batch = max_concurrent; a queued interactive waiter
+  // must make the NEXT batch request shed even after batch capacity
+  // frees, because foreground demand outranks background fill.
+  CancelToken guard = CancelToken::Cancellable();
+  std::thread waiter([&] {
+    auto ticket =
+        controller.Admit(QueryPriority::kInteractive, &guard, "atlas");
+    (void)ticket;
+  });
+  while (controller.queued() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  batch3->Release();
+  auto shed_for_foreground =
+      controller.Admit(QueryPriority::kBatch, nullptr, "night");
+  EXPECT_FALSE(shed_for_foreground.ok());
+  guard.Cancel();
+  waiter.join();
+  for (auto& t : interactive) t.Release();
+  EXPECT_EQ(controller.in_flight(), 0u);
+  EXPECT_EQ(controller.batch_in_flight(), 0u);
+}
+
+// Regression: a cancelled waiter must return any DRR deficit credit its
+// grant charged to the lane IMMEDIATELY (before the redispatch it
+// triggers), not on a later dispatch pass — under backlog a taxed lane
+// would otherwise hand its next slot to the competing lane and drift off
+// its weight. The storm below drives both cancellation exits (cancelled
+// while queued, and the grant/cancel race) while two uncancelled lanes
+// keep the slot contended; afterwards the drain must be complete, the
+// accounting exact, and the uncancelled lanes' shares on weight.
+TEST(TenantAdmissionTest, CancelUnderBacklogKeepsLaneCreditAndFairness) {
+  AdmissionConfig config;
+  config.max_concurrent = 1;
+  config.max_queued = 64;
+  config.tenant_isolation = true;
+  for (const char* tenant : {"atlas", "cms", "storm"}) {
+    TenantQuota quota;
+    quota.tenant = tenant;
+    quota.weight = 1.0;
+    config.tenant_quotas.push_back(quota);
+  }
+  AdmissionController controller(config);
+
+  auto seed = controller.Admit(QueryPriority::kInteractive, nullptr, "seed");
+  ASSERT_TRUE(seed.ok());
+
+  // Two steady lanes, 12 waiters each; one storm lane whose 8 waiters all
+  // share a token that is cancelled while the backlog drains.
+  std::mutex order_mu;
+  std::vector<std::string> order;
+  std::vector<std::thread> steady;
+  for (int i = 0; i < 24; ++i) {
+    const std::string tenant = (i % 2 == 0) ? "atlas" : "cms";
+    steady.emplace_back([&controller, &order_mu, &order, tenant] {
+      auto ticket =
+          controller.Admit(QueryPriority::kInteractive, nullptr, tenant);
+      EXPECT_TRUE(ticket.ok());
+      if (ticket.ok()) {
+        std::lock_guard<std::mutex> lock(order_mu);
+        order.push_back(tenant);
+      }
+    });
+  }
+  CancelToken storm_cancel = CancelToken::Cancellable();
+  std::atomic<int> storm_granted{0};
+  std::vector<std::thread> storm;
+  for (int i = 0; i < 8; ++i) {
+    storm.emplace_back([&controller, &storm_cancel, &storm_granted] {
+      auto ticket = controller.Admit(QueryPriority::kInteractive,
+                                     &storm_cancel, "storm");
+      // A storm waiter either loses the race (cancelled) or wins a grant
+      // before the cancel lands; both are legal, leaks are not.
+      if (ticket.ok()) storm_granted.fetch_add(1);
+    });
+  }
+  while (controller.queued() < 32) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Start the drain, then cancel the storm mid-drain so cancellations
+  // interleave with grants instead of all resolving while queued.
+  seed->Release();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  storm_cancel.Cancel();
+  for (auto& t : storm) t.join();
+  for (auto& t : steady) t.join();
+
+  // Complete drain, exact accounting: nothing queued, nothing in flight,
+  // every steady waiter admitted exactly once.
+  ASSERT_EQ(order.size(), 24u);
+  EXPECT_EQ(controller.queued(), 0u);
+  EXPECT_EQ(controller.in_flight(), 0u);
+  for (const auto& lane : controller.lane_stats()) {
+    if (lane.tenant == "atlas" || lane.tenant == "cms") {
+      EXPECT_EQ(lane.admitted, 12u) << lane.tenant;
+      EXPECT_EQ(lane.queued, 0u) << lane.tenant;
+    }
+    if (lane.tenant == "storm") {
+      EXPECT_EQ(lane.admitted, static_cast<size_t>(storm_granted.load()));
+      EXPECT_EQ(lane.queued, 0u);
+    }
+  }
+  // Equal weights: while both steady lanes were backlogged (the first 20
+  // grants, with 12 waiters each), neither lane's share may collapse. A
+  // leaked credit per storm cancellation would tax whichever lane the
+  // grant had charged and skew this window.
+  size_t atlas_early = 0;
+  const size_t window = std::min<size_t>(order.size(), 20);
+  for (size_t i = 0; i < window; ++i) {
+    if (order[i] == "atlas") ++atlas_early;
+  }
+  EXPECT_GE(atlas_early, window / 2 - 4);
+  EXPECT_LE(atlas_early, window / 2 + 4);
+}
+
 TEST(TenantAdmissionTest, PerTenantMergeMemoryBudget) {
   AdmissionConfig config;
   config.max_concurrent = 4;

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <vector>
 
+#include "griddb/util/journal.h"
 #include "griddb/util/logging.h"
 #include "griddb/util/md5.h"
 #include "griddb/util/rng.h"
@@ -302,6 +306,195 @@ TEST(StopwatchTest, MeasuresElapsed) {
   EXPECT_GE(t0, 0.0);
   // Monotonic.
   EXPECT_GE(sw.ElapsedMs(), t0);
+}
+
+// ---------- journal (crash-consistent append log) ----------
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("griddb_journal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "test.journal").string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string ReadRaw() const {
+    std::ifstream in(path_, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  void WriteRaw(const std::string& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(JournalTest, MissingFileIsEmptyJournal) {
+  auto replay = util::ReadJournal(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->records.empty());
+  EXPECT_FALSE(replay->truncated);
+}
+
+TEST_F(JournalTest, RoundTripsRecordsInOrderIncludingNewlines) {
+  util::JournalWriter writer(path_);
+  std::vector<std::string> payloads = {
+      "submit\nid 1\nsql SELECT 1",  // embedded newlines
+      "",                            // empty payload is a valid record
+      std::string("\0binary\xff", 8),
+      "plain"};
+  for (const std::string& p : payloads) {
+    ASSERT_TRUE(writer.Append(p).ok());
+  }
+  auto replay = util::ReadJournal(path_);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->truncated);
+  ASSERT_EQ(replay->records.size(), payloads.size());
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(replay->records[i], payloads[i]) << "record " << i;
+  }
+}
+
+TEST_F(JournalTest, BadMagicIsCorruption) {
+  WriteRaw("not a journal\nrec 5 md5 x\nhello\n");
+  auto replay = util::ReadJournal(path_);
+  ASSERT_FALSE(replay.ok());
+  EXPECT_EQ(replay.status().code(), StatusCode::kCorruption);
+}
+
+// The core crash property: truncating the file at ANY byte boundary
+// (what a crash mid-append leaves behind) yields the longest intact
+// record prefix, flagged truncated — never an error, never a mangled
+// record, never a record from past the cut.
+TEST_F(JournalTest, EveryTruncationPointYieldsIntactPrefix) {
+  util::JournalWriter writer(path_);
+  std::vector<std::string> payloads;
+  Rng rng(20260809);
+  for (int i = 0; i < 6; ++i) {
+    std::string p = "record " + std::to_string(i) + "\n";
+    const int64_t extra = rng.UniformInt(0, 39);
+    for (int64_t j = 0; j < extra; ++j) {
+      p += static_cast<char>(rng.UniformInt(0, 255));
+    }
+    payloads.push_back(p);
+    ASSERT_TRUE(writer.Append(p).ok());
+  }
+  writer.Close();
+  const std::string full = ReadRaw();
+
+  // Frame boundaries: the byte offsets at which exactly k records are
+  // complete (magic + k frames).
+  std::vector<size_t> boundaries;
+  {
+    size_t off = std::string("griddb-journal v1\n").size();
+    boundaries.push_back(off);
+    for (const std::string& p : payloads) {
+      off += std::string("rec ").size() + std::to_string(p.size()).size() +
+             std::string(" md5 ").size() + 32 + 1 + p.size() + 1;
+      boundaries.push_back(off);
+    }
+    ASSERT_EQ(off, full.size());
+  }
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteRaw(full.substr(0, cut));
+    auto replay = util::ReadJournal(path_);
+    if (cut < boundaries.front()) {
+      // Inside (or before the end of) the magic header: either an empty
+      // file (fine, empty journal) or a bad-magic corruption error.
+      if (cut == 0) {
+        ASSERT_TRUE(replay.ok());
+        EXPECT_TRUE(replay->records.empty());
+      } else {
+        EXPECT_FALSE(replay.ok()) << "cut at " << cut;
+      }
+      continue;
+    }
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": "
+                             << replay.status().ToString();
+    // Number of fully intact records at this cut.
+    size_t intact = 0;
+    while (intact + 1 < boundaries.size() && boundaries[intact + 1] <= cut) {
+      ++intact;
+    }
+    EXPECT_EQ(replay->records.size(), intact) << "cut at " << cut;
+    EXPECT_EQ(replay->truncated, cut != boundaries[intact])
+        << "cut at " << cut;
+    for (size_t i = 0; i < replay->records.size(); ++i) {
+      EXPECT_EQ(replay->records[i], payloads[i]);
+    }
+  }
+}
+
+// Flipping any single byte of the LAST record's frame must not produce a
+// wrong record: the tail is dropped (digest or header mismatch) and the
+// prefix survives. Damage confined to the tail is exactly what a torn
+// append can leave.
+TEST_F(JournalTest, CorruptTailByteDropsOnlyTheTail) {
+  util::JournalWriter writer(path_);
+  ASSERT_TRUE(writer.Append("first record").ok());
+  ASSERT_TRUE(writer.Append("second record").ok());
+  writer.Close();
+  const std::string full = ReadRaw();
+  // Locate the start of the second frame.
+  const std::string needle = "rec 13 md5 ";
+  const size_t second = full.rfind(needle);
+  ASSERT_NE(second, std::string::npos);
+
+  for (size_t i = second; i < full.size(); ++i) {
+    std::string damaged = full;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x5a);
+    WriteRaw(damaged);
+    auto replay = util::ReadJournal(path_);
+    ASSERT_TRUE(replay.ok()) << "flip at " << i;
+    ASSERT_GE(replay->records.size(), 1u) << "flip at " << i;
+    EXPECT_EQ(replay->records[0], "first record");
+    if (replay->records.size() == 2) {
+      // A flip that decodes to a valid record must be byte-identical
+      // (can only happen if the flip landed in trailing framing bytes
+      // that still parse — the digest guarantees payload integrity).
+      EXPECT_EQ(replay->records[1], "second record");
+    } else {
+      EXPECT_TRUE(replay->truncated) << "flip at " << i;
+    }
+  }
+}
+
+TEST_F(JournalTest, AtomicWriteFileReplacesWholeContent) {
+  const std::string target = (dir_ / "manifest.txt").string();
+  ASSERT_TRUE(util::AtomicWriteFile(target, "version 1\n").ok());
+  ASSERT_TRUE(util::AtomicWriteFile(target, "version 2, longer\n").ok());
+  std::ifstream in(target, std::ios::binary);
+  std::string got((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(got, "version 2, longer\n");
+  // No temp file litter.
+  EXPECT_FALSE(std::filesystem::exists(target + ".tmp"));
+}
+
+TEST_F(JournalTest, AppendAfterReopenContinuesTheLog) {
+  {
+    util::JournalWriter writer(path_);
+    ASSERT_TRUE(writer.Append("before restart").ok());
+  }  // destroyed = process exit
+  {
+    util::JournalWriter writer(path_);
+    ASSERT_TRUE(writer.Append("after restart").ok());
+  }
+  auto replay = util::ReadJournal(path_);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0], "before restart");
+  EXPECT_EQ(replay->records[1], "after restart");
 }
 
 }  // namespace
