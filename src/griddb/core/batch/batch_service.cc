@@ -304,7 +304,16 @@ Status BatchJobManager::Recover() {
   if (!config_.enabled()) return Status::Ok();
   GRIDDB_ASSIGN_OR_RETURN(util::JournalReplay replay,
                           util::ReadJournal(journal_.path()));
-  if (replay.truncated) JournalTruncatedCounter().Add(1);
+  if (replay.truncated) {
+    JournalTruncatedCounter().Add(1);
+    // Repair the tear before anything can append: Append is O_APPEND,
+    // so new records would otherwise land after the torn bytes, where
+    // the next replay — which stops at the tear — can never see them.
+    // Acknowledged submits and terminal states written after an
+    // unrepaired tear would silently vanish on the following restart.
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    GRIDDB_RETURN_IF_ERROR(journal_.TruncateTo(replay.intact_bytes));
+  }
 
   std::unique_lock<std::mutex> lock(mu_);
   // Idempotence: replaying over already-recovered state would double
@@ -445,7 +454,16 @@ Result<uint64_t> BatchJobManager::Submit(const std::string& tenant,
     return Unavailable("batch service not configured on this server");
   }
   // Validate before journaling: a statement that cannot parse must not
-  // occupy a durable journal record only to fail at run time.
+  // occupy a durable journal record only to fail at run time. Nor may a
+  // tenant containing control bytes: the submit record carries it on a
+  // newline-delimited field line, and an embedded newline would shift
+  // the record's framing on replay (mis-scoping the job, swallowing the
+  // sql field).
+  for (char c : tenant) {
+    if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+      return InvalidArgument("tenant identity contains control characters");
+    }
+  }
   auto parsed = sql::ParseSelect(sql, ClientDialect());
   if (!parsed.ok()) return parsed.status();
 
@@ -510,6 +528,7 @@ Status BatchJobManager::Cancel(const std::string& tenant, uint64_t id) {
   QueueDepthGauge().Set(static_cast<double>(queue_.size()));
   CancelledCounter().Add(1);
   done_cv_.notify_all();
+  work_cv_.notify_all();  // interrupt the job's shed/retry backoff wait
   return Status::Ok();
 }
 
@@ -517,6 +536,7 @@ Result<ResultSet> BatchJobManager::Fetch(const std::string& tenant,
                                          uint64_t id, size_t page) {
   std::string mart;
   std::string table;
+  size_t total_rows = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = jobs_.find(id);
@@ -531,6 +551,7 @@ Result<ResultSet> BatchJobManager::Fetch(const std::string& tenant,
     }
     mart = job.info.scratch_mart;
     table = job.info.result_table;
+    total_rows = job.info.rows;
   }
   engine::Database* db = nullptr;
   {
@@ -542,9 +563,15 @@ Result<ResultSet> BatchJobManager::Fetch(const std::string& tenant,
     return Unavailable("scratch table '" + table + "' is not materialized");
   }
   const size_t rows = std::max<size_t>(config_.fetch_page_rows, 1);
+  // page * rows can wrap size_t for a hostile client-supplied page and
+  // alias a real offset; any page past the last row IS "past the end",
+  // so clamp to the row count instead of multiplying (page <= max_page
+  // implies page * rows <= total_rows, which cannot overflow).
+  const size_t max_page = total_rows / rows;
+  const size_t offset = page > max_page ? total_rows : page * rows;
   std::string page_sql = "SELECT * FROM " + table + " LIMIT " +
                          std::to_string(rows) + " OFFSET " +
-                         std::to_string(page * rows);
+                         std::to_string(offset);
   FetchPagesCounter().Add(1);
   return db->Execute(page_sql);
 }
@@ -615,6 +642,19 @@ void BatchJobManager::RunJob(uint64_t id) {
       done_cv_.notify_all();
       return;
     }
+    if (!result.ok() && stop_requested()) {
+      // Stop() interrupted the scan (chunk boundary or backoff wait):
+      // no terminal record — the job returns to queued state and a
+      // later Start() or a restart resumes it from its last durable
+      // checkpoint. (A genuine failure racing with Stop() requeues
+      // too; the re-run deterministically re-fails and records the
+      // failure then.)
+      job->info.state = BatchJobState::kQueued;
+      queue_.push_front(id);
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      if (span.active()) span.End();
+      return;
+    }
     if (result.ok()) {
       if (JournalTerminal(id, BatchJobState::kDone, "").ok()) {
         job->info.state = BatchJobState::kDone;
@@ -638,6 +678,15 @@ void BatchJobManager::RunJob(uint64_t id) {
   done_cv_.notify_all();
 }
 
+void BatchJobManager::InterruptibleWait(Job& job, double ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  work_cv_.wait_for(lock, std::chrono::duration<double, std::milli>(ms),
+                    [&] {
+                      return stop_requested() || crashed() ||
+                             !job.cancel.Check().ok();
+                    });
+}
+
 Result<ResultSet> BatchJobManager::RunSubQuery(Job& job,
                                                const std::string& sql) {
   const rpc::RetryPolicy& policy = config_.retry;
@@ -645,6 +694,7 @@ Result<ResultSet> BatchJobManager::RunSubQuery(Job& job,
   int attempts = 0;
   for (;;) {
     if (crashed()) return Unavailable("batch manager crashed (simulated)");
+    if (stop_requested()) return Unavailable("batch service stopping");
     GRIDDB_RETURN_IF_ERROR(job.cancel.Check());
     QueryContext ctx;
     ctx.priority = QueryPriority::kBatch;
@@ -659,19 +709,19 @@ Result<ResultSet> BatchJobManager::RunSubQuery(Job& job,
       // no idle capacity for batch work right now. Wait it out (honouring
       // the shed's retry-after hint as a floor) without consuming the
       // transient-failure retry budget. Workers are real threads below
-      // the virtual clock, so the wait is wall-clock.
+      // the virtual clock, so the wait is wall-clock — and interruptible:
+      // under sustained foreground demand this loop can spin for the rest
+      // of the job's life, and Stop() must not wait behind it.
       ShedWaitsCounter().Add(1);
       double wait_ms = std::max(config_.shed_backoff_ms,
                                 rpc::RetryAfterHintMs(st.message()));
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(wait_ms));
+      InterruptibleWait(job, wait_ms);
       continue;
     }
     if (!rpc::IsRetryable(st.code())) return st;
     if (++attempts >= policy.max_attempts) return st;
     RetriesCounter().Add(1);
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(backoff_ms));
+    InterruptibleWait(job, backoff_ms);
     backoff_ms = std::min(backoff_ms * policy.backoff_multiplier,
                           policy.max_backoff_ms);
   }
@@ -705,6 +755,13 @@ Result<engine::Database*> BatchJobManager::EnsureScratchMart(
     added = catalog_->Add(std::move(entry));
   }
   GRIDDB_RETURN_IF_ERROR(added);
+  // From here the catalog holds a raw pointer into `db`; every error
+  // return must take it back out, or `db` dies with this frame and any
+  // later resolution of the connection string is a use-after-free.
+  auto fail = [&](Status st) {
+    (void)catalog_->Remove(conn);
+    return st;
+  };
   Status registered = service_->RegisterLiveDatabase(conn, "");
   if (registered.code() == StatusCode::kAlreadyExists) {
     // The service outlived the previous manager (embedders rebuild the
@@ -714,7 +771,7 @@ Result<engine::Database*> BatchJobManager::EnsureScratchMart(
     // dictionary from it.
     registered = service_->RefreshRegisteredDatabase(mart);
   }
-  GRIDDB_RETURN_IF_ERROR(registered);
+  if (!registered.ok()) return fail(std::move(registered));
   // The scratch mart belongs to its tenant: a mart grant makes every
   // result table it will ever host readable by follow-up queries without
   // per-table grant churn. Other tenants get nothing.
@@ -724,7 +781,7 @@ Result<engine::Database*> BatchJobManager::EnsureScratchMart(
     (void)rbac->CreateUser(user);  // kAlreadyExists is fine
     Status granted = rbac->GrantMart(user, mart);
     if (!granted.ok() && granted.code() != StatusCode::kAlreadyExists) {
-      return granted;
+      return fail(std::move(granted));
     }
   }
   scratch_.emplace(mart, std::move(db));
@@ -862,6 +919,10 @@ Status BatchJobManager::RunScan(Job& job) {
     // so a resume repeats no sub-query work before `resume`.
     size_t k = resume;
     for (;;) {
+      // Chunk boundary: Stop() waits at most one chunk, not the whole
+      // scan. RunJob sees stop_requested() and requeues without a
+      // terminal record.
+      if (stop_requested()) return Unavailable("batch service stopping");
       GRIDDB_RETURN_IF_ERROR(job.cancel.Check());
       std::unique_ptr<sql::SelectStmt> page = stmt->Clone();
       page->limit = static_cast<int64_t>(chunk_rows);
@@ -889,6 +950,7 @@ Status BatchJobManager::RunScan(Job& job) {
     size_t k = 0;
     size_t offset = 0;
     for (;;) {
+      if (stop_requested()) return Unavailable("batch service stopping");
       const size_t take = std::min(chunk_rows, rs.rows.size() - offset);
       ResultSet slice;
       slice.columns = rs.columns;

@@ -30,7 +30,10 @@
 //    tables rebuilt from the stage files; interrupted jobs are
 //    re-enqueued and resume at the first missing chunk — zero sub-query
 //    work after the last durable checkpoint is repeated. A torn journal
-//    tail (crash mid-append) is dropped silently; replay is idempotent.
+//    tail (crash mid-append) is dropped AND the file is truncated back
+//    to the intact prefix before anything appends again — appends are
+//    O_APPEND, so records written after an unrepaired tear would be
+//    invisible to every later replay. Replay is idempotent.
 //  - Transient sub-query failures retry under rpc::RetryPolicy;
 //    admission sheds (kResourceExhausted: the cluster has no idle
 //    capacity right now) are scheduling waits, not failures — the job
@@ -133,8 +136,11 @@ class BatchJobManager {
   /// Spawns the worker threads. No-op when already started or disabled.
   void Start();
 
-  /// Stops workers (joins them). Running chunks finish; jobs return to
-  /// the queue state they will resume from after a restart.
+  /// Stops workers (joins them) promptly: a running scan finishes its
+  /// current chunk (or abandons its current shed/retry wait) and the
+  /// job returns to queued state — no terminal record is written, so a
+  /// later Start() or a restart resumes it from its last durable
+  /// checkpoint.
   void Stop();
 
   // ---- the RPC surface (tenant = the authenticated caller) ----
@@ -211,6 +217,14 @@ class BatchJobManager {
   /// One sub-query through the service at batch priority, waiting out
   /// admission sheds and retrying transient failures per config.retry.
   Result<storage::ResultSet> RunSubQuery(Job& job, const std::string& sql);
+  /// Wall-clock wait of `ms` used by RunSubQuery's backoff loops,
+  /// interruptible by Stop(), SimulateCrash() and job cancellation so
+  /// shutdown never sits out a full backoff (or a perpetual shed loop).
+  void InterruptibleWait(Job& job, double ms);
+  /// Non-blocking stop probe for scan/wait loops.
+  bool stop_requested() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
 
   /// Ensures the tenant's scratch database exists, is in the catalog and
   /// is registered with the service (+ RBAC mart grant when configured).
@@ -238,7 +252,9 @@ class BatchJobManager {
   std::deque<uint64_t> queue_;
   uint64_t next_id_ = 1;
   bool started_ = false;
-  bool stopping_ = false;
+  /// Atomic so scan loops probe it between chunks without taking mu_;
+  /// writes still happen under mu_ (it gates the worker cv predicate).
+  std::atomic<bool> stopping_{false};
   /// Serializes journal appends (JournalWriter is not internally
   /// synchronized; checkpoint appends run outside mu_). Lock order is
   /// always mu_ → journal_mu_, never the reverse.

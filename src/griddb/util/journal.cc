@@ -91,6 +91,18 @@ void JournalWriter::Close() {
   }
 }
 
+Status JournalWriter::TruncateTo(uint64_t bytes) {
+  // O_APPEND positioning is per-write, so the open descriptor could be
+  // kept; close anyway so the repair path has no interaction with lazy
+  // reopen state.
+  Close();
+  if (::truncate(path_.c_str(), static_cast<off_t>(bytes)) != 0) {
+    if (errno == ENOENT) return Status::Ok();  // nothing to repair
+    return Errno("truncate", path_);
+  }
+  return FsyncFile(path_);
+}
+
 Status JournalWriter::Append(std::string_view payload) {
   if (fd_ < 0) {
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
@@ -125,6 +137,13 @@ Result<JournalReplay> ReadJournal(const std::string& path) {
   if (content.empty()) return replay;  // created but never appended
   if (content.size() < kMagic.size() ||
       std::string_view(content).substr(0, kMagic.size()) != kMagic) {
+    if (kMagic.substr(0, content.size()) == content) {
+      // A strict prefix of the magic: the very first append (which
+      // writes header + frame in one go) was torn by a crash. An empty
+      // journal with a torn tail, not a foreign file.
+      replay.truncated = true;
+      return replay;
+    }
     return Corruption("journal '" + path + "': bad magic header");
   }
 
@@ -148,6 +167,7 @@ Result<JournalReplay> ReadJournal(const std::string& path) {
     pos = body + len + 1;
   }
   replay.truncated = pos < content.size();
+  replay.intact_bytes = pos;
   return replay;
 }
 

@@ -22,10 +22,14 @@
 //     recovery protocol depends on. A crash mid-append leaves a torn
 //     frame at the tail; ReadJournal stops at the first frame that does
 //     not decode (short header, short payload, digest mismatch), returns
-//     the intact prefix and reports `truncated` — torn tails are an
-//     expected crash artefact, not an error. Payloads are arbitrary
-//     bytes (newlines included): frames are delimited by byte count,
-//     not by line structure.
+//     the intact prefix and reports `truncated` plus the byte length of
+//     that prefix — torn tails are an expected crash artefact, not an
+//     error. A torn tail MUST be repaired (JournalWriter::TruncateTo the
+//     intact prefix) before the journal is appended to again: appends
+//     are O_APPEND and would otherwise land after the torn bytes, where
+//     the next replay — which stops at the tear — can never see them.
+//     Payloads are arbitrary bytes (newlines included): frames are
+//     delimited by byte count, not by line structure.
 #pragma once
 
 #include <string>
@@ -65,6 +69,13 @@ class JournalWriter {
   /// Append). Used by crash tests to release the file.
   void Close();
 
+  /// Truncates the journal to its first `bytes` bytes and fsyncs —
+  /// the torn-tail repair step: after a replay reports `truncated`,
+  /// call this with JournalReplay::intact_bytes so the next Append
+  /// lands where the next replay will read it. A missing file is OK
+  /// (nothing to repair).
+  Status TruncateTo(uint64_t bytes);
+
   const std::string& path() const { return path_; }
 
  private:
@@ -79,10 +90,17 @@ struct JournalReplay {
   /// truncated by a crash, or externally damaged): the frame and
   /// everything after it were dropped, `records` is the intact prefix.
   bool truncated = false;
+  /// Byte length of the intact prefix (magic header + decoded frames).
+  /// When `truncated`, pass this to JournalWriter::TruncateTo before
+  /// appending again, or the new records land beyond the tear and are
+  /// invisible to every later replay.
+  uint64_t intact_bytes = 0;
 };
 
 /// Replays `path`. A missing file is an empty journal (no error); a file
-/// that exists but lacks the magic header fails with kCorruption.
+/// holding a strict prefix of the magic header is a first append torn by
+/// a crash (empty journal, `truncated`); a file whose start otherwise
+/// mismatches the magic fails with kCorruption.
 Result<JournalReplay> ReadJournal(const std::string& path);
 
 }  // namespace griddb::util

@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -379,6 +380,92 @@ TEST_F(BatchServiceFixture, SubmitRejectsUnparseableSqlWithoutJournaling) {
   EXPECT_TRUE(replay->records.empty());
 }
 
+TEST_F(BatchServiceFixture, SubmitRejectsTenantWithControlCharacters) {
+  // The submit record carries the tenant on a newline-delimited field
+  // line; an embedded newline would shift the record's framing on
+  // replay (mis-scoping the job, swallowing the sql field). Rejected
+  // before anything reaches the journal.
+  auto id = batch().Submit("atlas\nsql SELECT 1", "SELECT ID FROM EVENTS");
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+  auto replay = util::ReadJournal(JournalPath());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->records.empty());
+}
+
+TEST_F(BatchServiceFixture, FetchPageWhoseOffsetWouldWrapIsEmpty) {
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  ASSERT_EQ(batch().Poll("atlas", *id)->state, BatchJobState::kDone);
+  // A hostile page makes OFFSET = page * fetch_page_rows wrap size_t
+  // and alias a small offset; the contract says any page past the end
+  // returns the empty row set, never real rows.
+  auto page =
+      batch().Fetch("atlas", *id, std::numeric_limits<size_t>::max());
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_TRUE(page->rows.empty());
+}
+
+// ---------- shutdown semantics ----------
+
+TEST_F(BatchServiceFixture, StopReturnsRunningJobToQueueAndResumeCompletes) {
+  // Slow every checkpoint so the scan is provably mid-flight when
+  // Stop() lands; Stop() must return after at most one chunk — not the
+  // rest of the scan — and leave the job queued with no terminal
+  // record, resuming from its durable prefix on the next Start().
+  batch().set_crash_hook([](const char* point, uint64_t, size_t) {
+    if (std::string(point) == "checkpoint") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  auto id = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(id.ok());
+  for (int i = 0; i < 30000; ++i) {
+    auto info = batch().Poll("atlas", *id);
+    ASSERT_TRUE(info.ok());
+    if (info->chunks_done >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto stop_begin = std::chrono::steady_clock::now();
+  batch().Stop();
+  const double stop_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - stop_begin)
+          .count();
+  // 7 chunks at >=100ms each: waiting out the whole scan would take
+  // >=600ms more. One chunk boundary plus join slack is plenty.
+  EXPECT_LT(stop_ms, 400.0) << "Stop() waited out the running scan";
+
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, BatchJobState::kQueued);
+  EXPECT_GE(info->chunks_done, 1u);
+  EXPECT_LT(info->chunks_done, 7u);
+
+  // No terminal record was journaled by the interrupted run.
+  auto replay = util::ReadJournal(JournalPath());
+  ASSERT_TRUE(replay.ok());
+  for (const std::string& record : replay->records) {
+    EXPECT_NE(record.substr(0, 6), "state\n") << record;
+  }
+
+  batch().set_crash_hook({});  // full speed for the resume
+  batch().Start();
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto done = batch().Poll("atlas", *id);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, BatchJobState::kDone) << done->error;
+  EXPECT_EQ(FetchAll("atlas", *id).rows.size(),
+            static_cast<size_t>(kEventRows));
+  // The durable prefix was not re-executed: one checkpoint per chunk.
+  std::map<size_t, int> counts = CheckpointCounts(JournalDir(), *id);
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [chunk, count] : counts) {
+    EXPECT_EQ(count, 1) << "chunk " << chunk;
+  }
+}
+
 // ---------- crash / restart recovery ----------
 
 struct CrashCase {
@@ -560,6 +647,48 @@ TEST_F(BatchCrashFixture, TornJournalTailIsDroppedOnRecovery) {
   EXPECT_EQ(info->state, BatchJobState::kDone);
   EXPECT_EQ(FetchAll("atlas", *id).rows.size(),
             static_cast<size_t>(kEventRows));
+}
+
+TEST_F(BatchCrashFixture, RecordsAppendedAfterTornTailRepairSurviveRestart) {
+  // Recovery must TRUNCATE a torn tail, not merely skip it: the journal
+  // is O_APPEND, so without the repair every record written after the
+  // tear (acknowledged submits, checkpoints, terminal states) lands
+  // beyond it, where the next replay — which stops at the first
+  // undecodable frame — silently drops them. A durable job id must
+  // never vanish after a second crash.
+  auto first = batch().Submit("atlas", "SELECT ID, V FROM EVENTS");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*first, 30.0));
+  ASSERT_EQ(batch().Poll("atlas", *first)->state, BatchJobState::kDone);
+  server_.reset();  // close the journal descriptor
+
+  {
+    std::ofstream out(JournalPath(), std::ios::binary | std::ios::app);
+    out << "rec 9999 md5 0123456";  // crash mid-append: torn frame
+  }
+  Restart();  // recovery truncates the journal back to the intact prefix
+  ASSERT_EQ(batch().Poll("atlas", *first)->state, BatchJobState::kDone);
+
+  // Durable work AFTER the repaired tear.
+  auto second = batch().Submit("atlas", "SELECT ID FROM EVENTS WHERE ID <= 10");
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*second, 30.0));
+  ASSERT_EQ(batch().Poll("atlas", *second)->state, BatchJobState::kDone);
+
+  // The second restart is the regression: pre-repair, job two's every
+  // record sat beyond the tear and the job ceased to exist here.
+  Restart();
+  auto info = batch().Poll("atlas", *second);
+  ASSERT_TRUE(info.ok()) << "durable job vanished after a second restart: "
+                         << info.status().ToString();
+  EXPECT_EQ(info->state, BatchJobState::kDone);
+  EXPECT_EQ(FetchAll("atlas", *second).rows.size(), 10u);
+  EXPECT_EQ(batch().Poll("atlas", *first)->state, BatchJobState::kDone);
+
+  // And the journal itself is whole again: no torn frame left behind.
+  auto replay = util::ReadJournal(JournalPath());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->truncated);
 }
 
 TEST_F(BatchCrashFixture, RecoverIsGuardedAgainstDoubleReplay) {

@@ -409,14 +409,13 @@ TEST_F(JournalTest, EveryTruncationPointYieldsIntactPrefix) {
     WriteRaw(full.substr(0, cut));
     auto replay = util::ReadJournal(path_);
     if (cut < boundaries.front()) {
-      // Inside (or before the end of) the magic header: either an empty
-      // file (fine, empty journal) or a bad-magic corruption error.
-      if (cut == 0) {
-        ASSERT_TRUE(replay.ok());
-        EXPECT_TRUE(replay->records.empty());
-      } else {
-        EXPECT_FALSE(replay.ok()) << "cut at " << cut;
-      }
+      // Inside the magic header: the very first append was torn by a
+      // crash. An empty journal with a torn tail, never an error —
+      // recovery must be able to repair and continue from it.
+      ASSERT_TRUE(replay.ok()) << "cut at " << cut;
+      EXPECT_TRUE(replay->records.empty());
+      EXPECT_EQ(replay->truncated, cut != 0) << "cut at " << cut;
+      EXPECT_EQ(replay->intact_bytes, 0u) << "cut at " << cut;
       continue;
     }
     ASSERT_TRUE(replay.ok()) << "cut at " << cut << ": "
@@ -429,9 +428,48 @@ TEST_F(JournalTest, EveryTruncationPointYieldsIntactPrefix) {
     EXPECT_EQ(replay->records.size(), intact) << "cut at " << cut;
     EXPECT_EQ(replay->truncated, cut != boundaries[intact])
         << "cut at " << cut;
+    // The reported intact prefix is exactly the last frame boundary:
+    // truncating there and appending must yield a journal whose replay
+    // is prefix + the new record (the torn-tail repair contract).
+    EXPECT_EQ(replay->intact_bytes, boundaries[intact]) << "cut at " << cut;
     for (size_t i = 0; i < replay->records.size(); ++i) {
       EXPECT_EQ(replay->records[i], payloads[i]);
     }
+  }
+}
+
+// The repair half of the torn-tail story: truncate to the reported
+// intact prefix, append, and the replay sees prefix + new record — at
+// EVERY cut point, including cuts inside the magic header. Without the
+// repair, an O_APPEND write after the torn bytes is unreachable by
+// replay (it stops at the tear), silently losing the new record.
+TEST_F(JournalTest, TruncateToIntactPrefixMakesAppendsReplayableAgain) {
+  util::JournalWriter writer(path_);
+  ASSERT_TRUE(writer.Append("first").ok());
+  ASSERT_TRUE(writer.Append("second").ok());
+  writer.Close();
+  const std::string full = ReadRaw();
+
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteRaw(full.substr(0, cut));
+    auto torn = util::ReadJournal(path_);
+    ASSERT_TRUE(torn.ok()) << "cut at " << cut;
+    const std::vector<std::string> prefix = torn->records;
+
+    util::JournalWriter repair(path_);
+    ASSERT_TRUE(repair.TruncateTo(torn->intact_bytes).ok())
+        << "cut at " << cut;
+    ASSERT_TRUE(repair.Append("appended after repair").ok());
+    repair.Close();
+
+    auto replay = util::ReadJournal(path_);
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut;
+    EXPECT_FALSE(replay->truncated) << "cut at " << cut;
+    ASSERT_EQ(replay->records.size(), prefix.size() + 1) << "cut at " << cut;
+    for (size_t i = 0; i < prefix.size(); ++i) {
+      EXPECT_EQ(replay->records[i], prefix[i]);
+    }
+    EXPECT_EQ(replay->records.back(), "appended after repair");
   }
 }
 
