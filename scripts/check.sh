@@ -20,6 +20,9 @@ cd "$(dirname "$0")/.."
 echo "== docs: metric catalog gate =="
 scripts/check_metrics_docs.sh
 
+echo "== docs: link + section reference gate =="
+scripts/check_docs_links.sh
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" >/dev/null
@@ -44,6 +47,12 @@ echo "== perf gate: tenant isolation bench =="
 echo "== perf gate: batch service bench =="
 ./build/bench/bench_ext_batch_service BENCH_batch_service.json
 
+echo "== perf gate: vectorized executor bench =="
+# Cold 4-way join and the wide-ntuple scan must stay >= 3x faster than
+# the retained row-at-a-time reference path, with byte-identical output
+# on every shape/batch size (results land in BENCH_vectorized.json).
+./build/bench/bench_ext_vectorized BENCH_vectorized.json
+
 echo "== crash injection: batch journal recovery sweep =="
 # Kill the batch coordinator at every named point of its checkpoint
 # protocol (see BatchJobManager::CrashHook) and require restart recovery
@@ -60,12 +69,14 @@ cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
   stage_property_test query_cache_test overload_test \
-  tenant_isolation_test batch_service_test >/dev/null
+  tenant_isolation_test batch_service_test \
+  vectorized_parity_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
          stage_property_test query_cache_test overload_test \
-         tenant_isolation_test batch_service_test; do
+         tenant_isolation_test batch_service_test \
+         vectorized_parity_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
@@ -74,9 +85,11 @@ echo "== tsan: build + run cache + overload + tenant concurrency suites =="
 cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
   query_cache_test concurrency_test overload_test \
-  tenant_isolation_test batch_service_test >/dev/null
+  tenant_isolation_test batch_service_test \
+  vectorized_parity_test >/dev/null
 for t in query_cache_test concurrency_test overload_test \
-         tenant_isolation_test batch_service_test; do
+         tenant_isolation_test batch_service_test \
+         vectorized_parity_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Docs gate: the prose may not reference code or sections that do not
+# exist. Three checks over README.md, DESIGN.md, EXPERIMENTS.md and
+# docs/*.md:
+#
+#   1. every `src/griddb/...` path resolves — as a file, a directory,
+#      or a source stem (`src/griddb/core/admission` is satisfied by
+#      admission.h/admission.cc);
+#   2. every explicit `DESIGN.md §N` cross-reference points at an
+#      existing `## N.` section of DESIGN.md (bare §N references are
+#      NOT checked: inside DESIGN.md they cite the *paper's* sections);
+#   3. every relative markdown link target exists on disk.
+#
+# Run directly or via scripts/check.sh. Exits non-zero listing every
+# stale reference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md DESIGN.md EXPERIMENTS.md docs/*.md)
+fail=0
+
+# --- 1. src/griddb paths ---------------------------------------------------
+while IFS=: read -r file path; do
+  # Strip sentence-final dots the regex may have swallowed.
+  while [[ "$path" == *. ]]; do path="${path%.}"; done
+  if [[ -e "$path" ]]; then continue; fi
+  # Module-stem reference: src/foo/bar naming bar.{h,cc} or bar/.
+  if compgen -G "${path}.*" >/dev/null; then continue; fi
+  echo "FAIL: $file references $path which does not exist" >&2
+  fail=1
+done < <(grep -oHE 'src/griddb/[A-Za-z0-9_./-]+' "${docs[@]}" | sort -u)
+
+# --- 2. DESIGN.md §N cross-references --------------------------------------
+while IFS=: read -r file ref; do
+  n="${ref##*§}"
+  if ! grep -qE "^## ${n}\." DESIGN.md; then
+    echo "FAIL: $file references DESIGN.md §$n but DESIGN.md has no '## $n.' section" >&2
+    fail=1
+  fi
+done < <(grep -oHE 'DESIGN\.md (§§|§)[0-9]+' "${docs[@]}" | sort -u)
+
+# --- 3. relative markdown links --------------------------------------------
+while IFS=: read -r file target; do
+  target="${target#\](}"
+  target="${target%)}"
+  target="${target%%#*}"              # drop in-page anchors
+  [[ -z "$target" ]] && continue      # pure-anchor link
+  case "$target" in
+    http://*|https://*|mailto:*) continue ;;
+  esac
+  base="$(dirname "$file")"
+  if [[ ! -e "$base/$target" && ! -e "$target" ]]; then
+    echo "FAIL: $file links to $target which does not exist" >&2
+    fail=1
+  fi
+done < <(grep -oHE '\]\([^)[:space:]]+\)' "${docs[@]}" | sort -u)
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "docs links gate: all code paths, section references and links resolve"

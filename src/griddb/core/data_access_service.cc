@@ -926,9 +926,12 @@ Result<ResultSet> DataAccessService::QueryLocal(const sql::SelectStmt& stmt,
   // The merge materializes every partial in middleware memory; reserve
   // that footprint against the byte budget so concurrent cross-database
   // joins cannot grow the heap without bound. Shed (kResourceExhausted)
-  // beats an OOM-killed server.
+  // beats an OOM-killed server. The vectorized merge executor (DESIGN.md
+  // §15) columnarizes the partials into batch buffers that coexist with
+  // the source rows, so the peak is ~2x the wire footprint.
   size_t merge_bytes = 0;
   for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
+  merge_bytes *= 2;
   GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
                           admission_.ReserveMergeMemory(merge_bytes, tenant));
 
@@ -1378,9 +1381,11 @@ Result<ResultSet> DataAccessService::QueryWithRemote(
     join.table.alias.clear();
   }
   // Same merge-memory bound as QueryLocal: the integrate step holds every
-  // partial (local rows and remote transfers alike) in middleware memory.
+  // partial (local rows and remote transfers alike) in middleware memory,
+  // plus the vectorized executor's columnar copy (~2x, see DESIGN.md §15).
   size_t merge_bytes = 0;
   for (const auto& partial : partials) merge_bytes += partial.second.WireSize();
+  merge_bytes *= 2;
   GRIDDB_ASSIGN_OR_RETURN(AdmissionController::MemoryLease merge_lease,
                           admission_.ReserveMergeMemory(merge_bytes, tenant));
   GRIDDB_ASSIGN_OR_RETURN(

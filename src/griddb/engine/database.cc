@@ -52,6 +52,22 @@ class Database::DatabaseTableSource : public TableSource {
     return catalog;
   }
 
+  // Base tables lend their rows in place (the caller holds the database
+  // lock for the whole ExecuteSelect call, so the pointer stays valid);
+  // views and catalog tables must be materialized via GetTable.
+  std::optional<TableView> BorrowTable(const std::string& name) const override {
+    auto table_it = db_.tables_.find(ToLower(name));
+    if (table_it == db_.tables_.end()) return std::nullopt;
+    const storage::Table& table = *table_it->second;
+    TableView view;
+    view.columns.reserve(table.schema().columns().size());
+    for (const storage::ColumnDef& col : table.schema().columns()) {
+      view.columns.push_back(col.name);
+    }
+    view.rows = &table.rows();
+    return view;
+  }
+
  private:
   const Database& db_;
 };

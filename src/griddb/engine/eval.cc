@@ -17,6 +17,11 @@ void Scope::AddResultSet(const std::string& qualifier,
   for (const std::string& col : rs.columns) Add(qualifier, col);
 }
 
+void Scope::AddColumns(const std::string& qualifier,
+                       const std::vector<std::string>& columns) {
+  for (const std::string& col : columns) Add(qualifier, col);
+}
+
 Result<size_t> Scope::Resolve(const sql::ColumnRef& ref) const {
   size_t found = entries_.size();
   size_t matches = 0;
@@ -329,10 +334,25 @@ Result<Value> EvalScalarFunction(const sql::Expr& expr,
   return Unsupported("unknown function " + name);
 }
 
-}  // namespace
+/// Reads the cells of one batch row through the same interface as
+/// storage::Row, so EvalImpl below compiles identically for both.
+class BatchRowView {
+ public:
+  BatchRowView(const RowBatch& batch, size_t row) : batch_(batch), row_(row) {}
+  size_t size() const { return batch_.cols.size(); }
+  Value operator[](size_t i) const { return batch_.cols[i].Get(row_); }
 
-Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
-                   const Row& row) {
+ private:
+  const RowBatch& batch_;
+  size_t row_;
+};
+
+/// The one scalar interpreter, templated over the row representation.
+/// RowT provides size() and operator[](size_t) yielding a Value (by value
+/// or const reference).
+template <typename RowT>
+Result<Value> EvalImpl(const sql::Expr& expr, const Scope& scope,
+                       const RowT& row) {
   switch (expr.kind) {
     case sql::Expr::Kind::kLiteral:
       return expr.literal;
@@ -344,7 +364,7 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
     case sql::Expr::Kind::kStar:
       return InvalidArgument("'*' is only valid in SELECT lists and COUNT(*)");
     case sql::Expr::Kind::kUnary: {
-      GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value v, EvalImpl(*expr.children[0], scope, row));
       if (v.is_null()) return Value::Null();
       if (expr.unary_op == sql::UnaryOp::kNot) {
         GRIDDB_ASSIGN_OR_RETURN(bool b, v.AsBool());
@@ -355,8 +375,8 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
       return Value(-d);
     }
     case sql::Expr::Kind::kBinary: {
-      GRIDDB_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.children[0], scope, row));
-      GRIDDB_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.children[1], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value lhs, EvalImpl(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value rhs, EvalImpl(*expr.children[1], scope, row));
       return EvalBinary(expr, lhs, rhs);
     }
     case sql::Expr::Kind::kFunction: {
@@ -367,17 +387,18 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
       std::vector<Value> args;
       args.reserve(expr.children.size());
       for (const sql::ExprPtr& child : expr.children) {
-        GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*child, scope, row));
+        GRIDDB_ASSIGN_OR_RETURN(Value v, EvalImpl(*child, scope, row));
         args.push_back(std::move(v));
       }
       return EvalScalarFunction(expr, std::move(args));
     }
     case sql::Expr::Kind::kIn: {
-      GRIDDB_ASSIGN_OR_RETURN(Value needle, Eval(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value needle,
+                              EvalImpl(*expr.children[0], scope, row));
       if (needle.is_null()) return Value::Null();
       bool saw_null = false;
       for (size_t i = 1; i < expr.children.size(); ++i) {
-        GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[i], scope, row));
+        GRIDDB_ASSIGN_OR_RETURN(Value v, EvalImpl(*expr.children[i], scope, row));
         if (v.is_null()) {
           saw_null = true;
           continue;
@@ -388,22 +409,23 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
       return Value(expr.negated);
     }
     case sql::Expr::Kind::kBetween: {
-      GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], scope, row));
-      GRIDDB_ASSIGN_OR_RETURN(Value lo, Eval(*expr.children[1], scope, row));
-      GRIDDB_ASSIGN_OR_RETURN(Value hi, Eval(*expr.children[2], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value v, EvalImpl(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value lo, EvalImpl(*expr.children[1], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value hi, EvalImpl(*expr.children[2], scope, row));
       if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
       bool in_range = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
       return Value(expr.negated ? !in_range : in_range);
     }
     case sql::Expr::Kind::kLike: {
-      GRIDDB_ASSIGN_OR_RETURN(Value text, Eval(*expr.children[0], scope, row));
-      GRIDDB_ASSIGN_OR_RETURN(Value pattern, Eval(*expr.children[1], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value text, EvalImpl(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value pattern,
+                              EvalImpl(*expr.children[1], scope, row));
       if (text.is_null() || pattern.is_null()) return Value::Null();
       bool match = LikeMatch(text.ToString(), pattern.ToString());
       return Value(expr.negated ? !match : match);
     }
     case sql::Expr::Kind::kIsNull: {
-      GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*expr.children[0], scope, row));
+      GRIDDB_ASSIGN_OR_RETURN(Value v, EvalImpl(*expr.children[0], scope, row));
       bool is_null = v.is_null();
       return Value(expr.negated ? !is_null : is_null);
     }
@@ -412,12 +434,12 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
       Value operand;
       if (expr.case_has_operand) {
         GRIDDB_ASSIGN_OR_RETURN(operand,
-                                Eval(*expr.children[index++], scope, row));
+                                EvalImpl(*expr.children[index++], scope, row));
       }
       size_t end = expr.children.size() - (expr.case_has_else ? 1 : 0);
       while (index < end) {
         GRIDDB_ASSIGN_OR_RETURN(Value when,
-                                Eval(*expr.children[index], scope, row));
+                                EvalImpl(*expr.children[index], scope, row));
         bool taken;
         if (expr.case_has_operand) {
           // Simple CASE: NULL never matches (SQL semantics).
@@ -430,11 +452,11 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
             GRIDDB_ASSIGN_OR_RETURN(taken, when.AsBool());
           }
         }
-        if (taken) return Eval(*expr.children[index + 1], scope, row);
+        if (taken) return EvalImpl(*expr.children[index + 1], scope, row);
         index += 2;
       }
       if (expr.case_has_else) {
-        return Eval(*expr.children.back(), scope, row);
+        return EvalImpl(*expr.children.back(), scope, row);
       }
       return Value::Null();
     }
@@ -442,31 +464,57 @@ Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
   return Internal("unreachable expression kind");
 }
 
-namespace {
+}  // namespace
 
-Result<Value> ComputeAggregate(const sql::Expr& agg, const Scope& scope,
-                               const std::vector<const Row*>& rows) {
+Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
+                   const Row& row) {
+  return EvalImpl(expr, scope, row);
+}
+
+Result<Value> Eval(const sql::Expr& expr, const Scope& scope,
+                   const RowBatch& batch, size_t row) {
+  return EvalImpl(expr, scope, BatchRowView(batch, row));
+}
+
+Result<Value> CombineScalarNode(const sql::Expr& expr,
+                                std::vector<Value> children) {
+  // Rebuild the node with the child values folded to literals and
+  // re-evaluate. Literal children cannot fail, so the eager combine is
+  // observationally identical to the lazy row evaluator for this node.
+  sql::Expr folded;
+  folded.kind = expr.kind;
+  folded.literal = expr.literal;
+  folded.column_ref = expr.column_ref;
+  folded.unary_op = expr.unary_op;
+  folded.binary_op = expr.binary_op;
+  folded.function_name = expr.function_name;
+  folded.distinct_arg = expr.distinct_arg;
+  folded.negated = expr.negated;
+  folded.case_has_operand = expr.case_has_operand;
+  folded.case_has_else = expr.case_has_else;
+  for (Value& v : children) {
+    folded.children.push_back(sql::MakeLiteral(std::move(v)));
+  }
+  static const Scope kEmptyScope;
+  static const Row kEmptyRow;
+  return Eval(folded, kEmptyScope, kEmptyRow);
+}
+
+Status CheckAggregateShape(const sql::Expr& agg, bool& count_star) {
   const std::string& name = agg.function_name;
-
-  // COUNT(*) counts rows.
-  bool count_star = name == "COUNT" && agg.children.size() == 1 &&
-                    agg.children[0]->kind == sql::Expr::Kind::kStar;
+  count_star = name == "COUNT" && agg.children.size() == 1 &&
+               agg.children[0]->kind == sql::Expr::Kind::kStar;
   if (name == "COUNT" && agg.children.empty()) {
     return InvalidArgument("COUNT requires an argument");
   }
-  if (count_star) {
-    return Value(static_cast<int64_t>(rows.size()));
-  }
-  if (agg.children.size() != 1) {
+  if (!count_star && agg.children.size() != 1) {
     return InvalidArgument(name + " expects exactly one argument");
   }
+  return Status::Ok();
+}
 
-  std::vector<Value> values;
-  values.reserve(rows.size());
-  for (const Row* row : rows) {
-    GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], scope, *row));
-    if (!v.is_null()) values.push_back(std::move(v));
-  }
+Result<Value> AggregateValues(const sql::Expr& agg, std::vector<Value> values) {
+  const std::string& name = agg.function_name;
 
   if (agg.distinct_arg) {
     std::vector<Value> unique;
@@ -527,6 +575,25 @@ Result<Value> ComputeAggregate(const sql::Expr& agg, const Scope& scope,
   return Unsupported("unknown aggregate " + name);
 }
 
+namespace {
+
+Result<Value> ComputeAggregate(const sql::Expr& agg, const Scope& scope,
+                               const std::vector<const Row*>& rows) {
+  bool count_star = false;
+  GRIDDB_RETURN_IF_ERROR(CheckAggregateShape(agg, count_star));
+  if (count_star) {
+    return Value(static_cast<int64_t>(rows.size()));
+  }
+
+  std::vector<Value> values;
+  values.reserve(rows.size());
+  for (const Row* row : rows) {
+    GRIDDB_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], scope, *row));
+    if (!v.is_null()) values.push_back(std::move(v));
+  }
+  return AggregateValues(agg, std::move(values));
+}
+
 }  // namespace
 
 Result<Value> EvalGrouped(const sql::Expr& expr, const Scope& scope,
@@ -539,25 +606,15 @@ Result<Value> EvalGrouped(const sql::Expr& expr, const Scope& scope,
     if (group_rows.empty()) return Value::Null();
     return Eval(expr, scope, *group_rows.front());
   }
-  // Rebuild the node with grouped-evaluated children folded to literals.
-  sql::Expr folded;
-  folded.kind = expr.kind;
-  folded.literal = expr.literal;
-  folded.column_ref = expr.column_ref;
-  folded.unary_op = expr.unary_op;
-  folded.binary_op = expr.binary_op;
-  folded.function_name = expr.function_name;
-  folded.distinct_arg = expr.distinct_arg;
-  folded.negated = expr.negated;
-  folded.case_has_operand = expr.case_has_operand;
-  folded.case_has_else = expr.case_has_else;
+  // Grouped interior nodes are eager: every child (including both CASE
+  // branches) folds to a per-group value first, then the node combines.
+  std::vector<Value> children;
+  children.reserve(expr.children.size());
   for (const sql::ExprPtr& child : expr.children) {
     GRIDDB_ASSIGN_OR_RETURN(Value v, EvalGrouped(*child, scope, group_rows));
-    folded.children.push_back(sql::MakeLiteral(std::move(v)));
+    children.push_back(std::move(v));
   }
-  static const Scope kEmptyScope;
-  static const Row kEmptyRow;
-  return Eval(folded, kEmptyScope, kEmptyRow);
+  return CombineScalarNode(expr, std::move(children));
 }
 
 }  // namespace griddb::engine

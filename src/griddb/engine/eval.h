@@ -4,11 +4,19 @@
 // an sql::Expr and produces a Value with SQL three-valued-logic-lite
 // semantics: any NULL operand propagates NULL through arithmetic and
 // comparisons, and WHERE treats NULL as false.
+//
+// The same scalar kernels back both executors (DESIGN.md §15): the
+// row-at-a-time reference path calls Eval over storage::Row, and the
+// vectorized path calls the RowBatch overload for its elementwise
+// fallback plus CombineScalarNode / AggregateValues when it combines
+// per-group results. Because the kernels are shared, the two executors
+// cannot diverge on scalar semantics.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "griddb/engine/column_vector.h"
 #include "griddb/sql/ast.h"
 #include "griddb/storage/result_set.h"
 #include "griddb/storage/value.h"
@@ -28,6 +36,10 @@ class Scope {
   /// Appends every column of `rs` under `qualifier`.
   void AddResultSet(const std::string& qualifier,
                     const storage::ResultSet& rs);
+
+  /// Appends `columns` under `qualifier`.
+  void AddColumns(const std::string& qualifier,
+                  const std::vector<std::string>& columns);
 
   size_t size() const { return entries_.size(); }
   const std::string& qualifier(size_t i) const { return entries_[i].qualifier; }
@@ -50,6 +62,31 @@ class Scope {
 /// Evaluates a scalar expression (no aggregate functions) against one row.
 Result<storage::Value> Eval(const sql::Expr& expr, const Scope& scope,
                             const storage::Row& row);
+
+/// Same semantics, reading the cells of row `row` from a columnar batch.
+/// This is the vectorized executor's elementwise fallback: it shares every
+/// code path with the Row overload, so laziness (CASE stops at the first
+/// taken WHEN, IN short-circuits) and error behaviour match exactly.
+Result<storage::Value> Eval(const sql::Expr& expr, const Scope& scope,
+                            const RowBatch& batch, size_t row);
+
+/// Combines an interior expression node from already-evaluated child
+/// values, exactly as grouped evaluation does: the children are folded to
+/// literals and the node is re-evaluated. Used by both EvalGrouped and the
+/// vectorized grouped evaluator so their combine step is the same code.
+Result<storage::Value> CombineScalarNode(const sql::Expr& expr,
+                                         std::vector<storage::Value> children);
+
+/// Validates an aggregate call's shape (argument count); sets `count_star`
+/// for COUNT(*). Performed before any argument evaluation.
+Status CheckAggregateShape(const sql::Expr& agg, bool& count_star);
+
+/// Finalizes an aggregate over the non-NULL argument values of one group,
+/// in row order. DISTINCT dedupe, SUM's integer preservation and AVG's
+/// accumulation order all live here so both executors share them.
+/// COUNT(*) never reaches this (the caller answers it from the row count).
+Result<storage::Value> AggregateValues(const sql::Expr& agg,
+                                       std::vector<storage::Value> values);
 
 /// True when the expression contains an aggregate function call.
 bool ContainsAggregate(const sql::Expr& expr);

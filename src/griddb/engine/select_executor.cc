@@ -1,3 +1,7 @@
+// Shared executor helpers, the retained row-at-a-time reference
+// executor, and the ExecuteSelect dispatch. The vectorized default path
+// lives in vector_executor.cc; see DESIGN.md §15 for the contract the
+// two implementations share.
 #include "griddb/engine/select_executor.h"
 
 #include <algorithm>
@@ -5,6 +9,7 @@
 #include <unordered_map>
 
 #include "griddb/engine/eval.h"
+#include "griddb/engine/executor_internal.h"
 #include "griddb/sql/render.h"
 #include "griddb/util/strings.h"
 
@@ -32,41 +37,7 @@ const ResultSet* MapTableSource::FindTable(const std::string& name) const {
   return nullptr;
 }
 
-namespace {
-
-/// Row-batch cancellation probe: every kBatch-th Check() consults the
-/// token, the rest are a counter increment. Keeps the per-row overhead of
-/// cooperative cancellation negligible while still bounding how much work
-/// runs after a deadline expires or a client aborts.
-class BatchCancelCheck {
- public:
-  explicit BatchCancelCheck(const CancelToken* cancel) : cancel_(cancel) {}
-
-  Status Check() {
-    if (cancel_ == nullptr || ++count_ % kBatch != 0) return Status::Ok();
-    return cancel_->Check();
-  }
-
- private:
-  static constexpr size_t kBatch = 1024;
-  const CancelToken* cancel_;
-  size_t count_ = 0;
-};
-
-/// The working set during FROM/JOIN processing: a scope describing the
-/// concatenated columns and the joined rows.
-struct WorkingSet {
-  Scope scope;
-  std::vector<Row> rows;
-};
-
-/// Detects "a.x = b.y" where exactly one side references `new_qualifier`
-/// (the table being joined in) and the other resolves in the existing
-/// scope. Returns {existing_index, new_index} on success.
-struct EquiJoinKey {
-  size_t left_index;   // column index in the existing working row
-  size_t new_index;    // column index in the new table's row
-};
+namespace internal {
 
 std::optional<EquiJoinKey> DetectEquiJoin(const sql::Expr* on,
                                           const Scope& existing,
@@ -94,6 +65,178 @@ std::optional<EquiJoinKey> DetectEquiJoin(const sql::Expr* on,
   return std::nullopt;
 }
 
+std::string OutputName(const sql::SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == sql::Expr::Kind::kColumn) {
+    return item.expr->column_ref.column;
+  }
+  return sql::RenderExpr(*item.expr, sql::Dialect::For(sql::Vendor::kSqlite));
+}
+
+Status ExpandStars(const sql::SelectStmt& stmt, const Scope& scope,
+                   std::vector<sql::SelectItem>& items,
+                   std::vector<std::string>& names) {
+  for (const sql::SelectItem& item : stmt.items) {
+    if (item.expr->kind != sql::Expr::Kind::kStar) {
+      items.push_back({item.expr->Clone(), item.alias});
+      names.push_back(OutputName(item));
+      continue;
+    }
+    const std::string& qualifier = item.expr->column_ref.table;
+    if (qualifier.empty()) {
+      for (size_t i = 0; i < scope.size(); ++i) {
+        items.push_back(
+            {sql::MakeColumn(scope.qualifier(i), scope.column(i)), ""});
+        names.push_back(scope.column(i));
+      }
+    } else {
+      std::vector<size_t> columns = scope.ColumnsOf(qualifier);
+      if (columns.empty()) {
+        return NotFound("unknown table '" + qualifier + "' in " + qualifier +
+                        ".*");
+      }
+      for (size_t i : columns) {
+        items.push_back({sql::MakeColumn(qualifier, scope.column(i)), ""});
+        names.push_back(scope.column(i));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckDuplicateTables(const sql::SelectStmt& stmt) {
+  std::vector<const sql::TableRef*> tables = stmt.AllTables();
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (size_t j = i + 1; j < tables.size(); ++j) {
+      if (EqualsIgnoreCase(tables[i]->EffectiveName(),
+                           tables[j]->EffectiveName())) {
+        return InvalidArgument("duplicate table name/alias '" +
+                               tables[i]->EffectiveName() +
+                               "'; use aliases to disambiguate");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool StatementHasAggregate(const sql::SelectStmt& stmt,
+                           const std::vector<sql::SelectItem>& items) {
+  bool has = !stmt.group_by.empty() ||
+             (stmt.having && ContainsAggregate(*stmt.having));
+  for (const sql::SelectItem& item : items) {
+    if (ContainsAggregate(*item.expr)) has = true;
+  }
+  return has;
+}
+
+void DedupeRows(std::vector<Row>& rows) {
+  std::vector<Row> unique;
+  std::unordered_map<size_t, std::vector<size_t>> seen;
+  for (Row& row : rows) {
+    size_t h = storage::RowHasher{}(row);
+    bool duplicate = false;
+    for (size_t idx : seen[h]) {
+      const Row& other = unique[idx];
+      if (other.size() != row.size()) continue;
+      bool equal = true;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i].is_null() != other[i].is_null() ||
+            (!row[i].is_null() && row[i].Compare(other[i]) != 0)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen[h].push_back(unique.size());
+      unique.push_back(std::move(row));
+    }
+  }
+  rows = std::move(unique);
+}
+
+void ApplyOffsetLimit(const sql::SelectStmt& stmt, std::vector<Row>& rows) {
+  if (stmt.offset && *stmt.offset > 0) {
+    size_t skip = std::min<size_t>(rows.size(),
+                                   static_cast<size_t>(*stmt.offset));
+    rows.erase(rows.begin(), rows.begin() + static_cast<long>(skip));
+  }
+  if (stmt.limit && *stmt.limit >= 0 &&
+      rows.size() > static_cast<size_t>(*stmt.limit)) {
+    rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+}
+
+void SortRowsByKeys(const sql::SelectStmt& stmt,
+                    const std::vector<std::vector<Value>>& order_keys,
+                    std::vector<Row>& rows, std::optional<size_t> top_k) {
+  std::vector<size_t> permutation(rows.size());
+  for (size_t i = 0; i < permutation.size(); ++i) permutation[i] = i;
+  auto before = [&](size_t a, size_t b) {
+    for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+      int cmp = order_keys[a][k].Compare(order_keys[b][k]);
+      if (cmp != 0) {
+        return stmt.order_by[k].ascending ? cmp < 0 : cmp > 0;
+      }
+    }
+    return false;
+  };
+  if (top_k && *top_k < rows.size()) {
+    // Top-K selection: tie-break on the original index, which makes the
+    // order total and the selected prefix exactly the stable-sort prefix.
+    size_t k = *top_k;
+    std::partial_sort(permutation.begin(), permutation.begin() + k,
+                      permutation.end(), [&](size_t a, size_t b) {
+                        if (before(a, b)) return true;
+                        if (before(b, a)) return false;
+                        return a < b;
+                      });
+    permutation.resize(k);
+  } else {
+    std::stable_sort(permutation.begin(), permutation.end(), before);
+  }
+  std::vector<Row> sorted;
+  sorted.reserve(permutation.size());
+  for (size_t i : permutation) sorted.push_back(std::move(rows[i]));
+  rows = std::move(sorted);
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::EquiJoinKey;
+
+/// Row-batch cancellation probe: every kBatch-th Check() consults the
+/// token, the rest are a counter increment. Keeps the per-row overhead of
+/// cooperative cancellation negligible while still bounding how much work
+/// runs after a deadline expires or a client aborts.
+class BatchCancelCheck {
+ public:
+  explicit BatchCancelCheck(const CancelToken* cancel) : cancel_(cancel) {}
+
+  Status Check() {
+    if (cancel_ == nullptr || ++count_ % kBatch != 0) return Status::Ok();
+    return cancel_->Check();
+  }
+
+ private:
+  static constexpr size_t kBatch = 1024;
+  const CancelToken* cancel_;
+  size_t count_ = 0;
+};
+
+/// The working set during FROM/JOIN processing: a scope describing the
+/// concatenated columns and the joined rows.
+struct WorkingSet {
+  Scope scope;
+  std::vector<Row> rows;
+};
+
 Row ConcatRows(const Row& a, const Row& b) {
   Row out;
   out.reserve(a.size() + b.size());
@@ -114,14 +257,17 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
 
   std::vector<Row> joined;
 
-  // Hash path for single-equality inner/left joins.
+  // Hash path for single-equality inner/left joins. The build table maps
+  // key -> build-row indices in insertion order, so duplicate-key matches
+  // emit in build-row order — deterministic, and shared with the
+  // vectorized hash join so both paths emit identical row order.
   if (type != sql::JoinType::kCross) {
-    if (auto key = DetectEquiJoin(on, ws.scope, incoming_scope)) {
-      std::unordered_multimap<Value, size_t, storage::ValueHasher> hash;
+    if (auto key = internal::DetectEquiJoin(on, ws.scope, incoming_scope)) {
+      std::unordered_map<Value, std::vector<size_t>, storage::ValueHasher> hash;
       hash.reserve(incoming.rows.size());
       for (size_t r = 0; r < incoming.rows.size(); ++r) {
         const Value& v = incoming.rows[r][key->new_index];
-        if (!v.is_null()) hash.emplace(v, r);
+        if (!v.is_null()) hash[v].push_back(r);
       }
       size_t incoming_width = incoming.columns.size();
       joined.reserve(ws.rows.size());  // >= one output row per match/pad
@@ -130,17 +276,20 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
         const Value& probe = left[key->left_index];
         bool matched = false;
         if (!probe.is_null()) {
-          auto [begin, end] = hash.equal_range(probe);
-          for (auto it = begin; it != end; ++it) {
-            const Row& right = incoming.rows[it->second];
-            if (std::next(it) == end) {
-              // Last use of this probe row: its values move, only the
-              // build side is copied.
-              left.reserve(left.size() + right.size());
-              left.insert(left.end(), right.begin(), right.end());
-              joined.push_back(std::move(left));
-            } else {
-              joined.push_back(ConcatRows(left, right));
+          auto it = hash.find(probe);
+          if (it != hash.end()) {
+            const std::vector<size_t>& matches = it->second;
+            for (size_t m = 0; m < matches.size(); ++m) {
+              const Row& right = incoming.rows[matches[m]];
+              if (m + 1 == matches.size()) {
+                // Last use of this probe row: its values move, only the
+                // build side is copied.
+                left.reserve(left.size() + right.size());
+                left.insert(left.end(), right.begin(), right.end());
+                joined.push_back(std::move(left));
+              } else {
+                joined.push_back(ConcatRows(left, right));
+              }
             }
             matched = true;
           }
@@ -184,69 +333,15 @@ Status JoinInto(WorkingSet& ws, const std::string& qualifier,
   return Status::Ok();
 }
 
-/// Output column name for a select item.
-std::string OutputName(const sql::SelectItem& item) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr->kind == sql::Expr::Kind::kColumn) {
-    return item.expr->column_ref.column;
-  }
-  return sql::RenderExpr(*item.expr, sql::Dialect::For(sql::Vendor::kSqlite));
-}
-
-/// Expands SELECT * / t.* into concrete per-column items.
-Status ExpandStars(const sql::SelectStmt& stmt, const Scope& scope,
-                   std::vector<sql::SelectItem>& items,
-                   std::vector<std::string>& names) {
-  for (const sql::SelectItem& item : stmt.items) {
-    if (item.expr->kind != sql::Expr::Kind::kStar) {
-      items.push_back({item.expr->Clone(), item.alias});
-      names.push_back(OutputName(item));
-      continue;
-    }
-    const std::string& qualifier = item.expr->column_ref.table;
-    if (qualifier.empty()) {
-      for (size_t i = 0; i < scope.size(); ++i) {
-        items.push_back(
-            {sql::MakeColumn(scope.qualifier(i), scope.column(i)), ""});
-        names.push_back(scope.column(i));
-      }
-    } else {
-      std::vector<size_t> columns = scope.ColumnsOf(qualifier);
-      if (columns.empty()) {
-        return NotFound("unknown table '" + qualifier + "' in " + qualifier +
-                        ".*");
-      }
-      for (size_t i : columns) {
-        items.push_back({sql::MakeColumn(qualifier, scope.column(i)), ""});
-        names.push_back(scope.column(i));
-      }
-    }
-  }
-  return Status::Ok();
-}
-
 }  // namespace
 
-Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
-                                const TableSource& source,
-                                const CancelToken* cancel) {
+Result<ResultSet> ExecuteSelectReferenceRows(const sql::SelectStmt& stmt,
+                                             const TableSource& source,
+                                             const CancelToken* cancel) {
   if (stmt.from.empty()) return InvalidArgument("SELECT requires FROM");
   BatchCancelCheck cancel_check(cancel);
 
-  // Reject duplicate effective table names (t join t without aliases).
-  {
-    std::vector<const sql::TableRef*> tables = stmt.AllTables();
-    for (size_t i = 0; i < tables.size(); ++i) {
-      for (size_t j = i + 1; j < tables.size(); ++j) {
-        if (EqualsIgnoreCase(tables[i]->EffectiveName(),
-                             tables[j]->EffectiveName())) {
-          return InvalidArgument("duplicate table name/alias '" +
-                                 tables[i]->EffectiveName() +
-                                 "'; use aliases to disambiguate");
-        }
-      }
-    }
-  }
+  GRIDDB_RETURN_IF_ERROR(internal::CheckDuplicateTables(stmt));
 
   // Tables are borrowed in place when the source holds them materialized
   // (the federated merge path), skipping a whole-ResultSet copy per
@@ -304,13 +399,9 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
   // Expand stars now that the scope is known.
   std::vector<sql::SelectItem> items;
   std::vector<std::string> names;
-  GRIDDB_RETURN_IF_ERROR(ExpandStars(stmt, ws.scope, items, names));
+  GRIDDB_RETURN_IF_ERROR(internal::ExpandStars(stmt, ws.scope, items, names));
 
-  bool has_aggregate = !stmt.group_by.empty() ||
-                       (stmt.having && ContainsAggregate(*stmt.having));
-  for (const sql::SelectItem& item : items) {
-    if (ContainsAggregate(*item.expr)) has_aggregate = true;
-  }
+  bool has_aggregate = internal::StatementHasAggregate(stmt, items);
 
   ResultSet out;
   out.columns = names;
@@ -455,67 +546,43 @@ Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
 
   // ORDER BY: stable sort on the computed keys.
   if (has_order) {
-    std::vector<size_t> permutation(out.rows.size());
-    for (size_t i = 0; i < permutation.size(); ++i) permutation[i] = i;
-    std::stable_sort(
-        permutation.begin(), permutation.end(), [&](size_t a, size_t b) {
-          for (size_t k = 0; k < stmt.order_by.size(); ++k) {
-            int cmp = order_keys[a][k].Compare(order_keys[b][k]);
-            if (cmp != 0) {
-              return stmt.order_by[k].ascending ? cmp < 0 : cmp > 0;
-            }
-          }
-          return false;
-        });
-    std::vector<Row> sorted;
-    sorted.reserve(out.rows.size());
-    for (size_t i : permutation) sorted.push_back(std::move(out.rows[i]));
-    out.rows = std::move(sorted);
+    internal::SortRowsByKeys(stmt, order_keys, out.rows, std::nullopt);
   }
 
   // DISTINCT (preserves the post-sort order of first occurrences).
   if (stmt.distinct) {
-    std::vector<Row> unique;
-    std::unordered_map<size_t, std::vector<size_t>> seen;
-    for (Row& row : out.rows) {
-      size_t h = storage::RowHasher{}(row);
-      bool duplicate = false;
-      for (size_t idx : seen[h]) {
-        const Row& other = unique[idx];
-        if (other.size() != row.size()) continue;
-        bool equal = true;
-        for (size_t i = 0; i < row.size(); ++i) {
-          if (row[i].is_null() != other[i].is_null() ||
-              (!row[i].is_null() && row[i].Compare(other[i]) != 0)) {
-            equal = false;
-            break;
-          }
-        }
-        if (equal) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (!duplicate) {
-        seen[h].push_back(unique.size());
-        unique.push_back(std::move(row));
-      }
-    }
-    out.rows = std::move(unique);
+    internal::DedupeRows(out.rows);
   }
 
-  // OFFSET / LIMIT.
-  if (stmt.offset && *stmt.offset > 0) {
-    size_t skip = std::min<size_t>(out.rows.size(),
-                                   static_cast<size_t>(*stmt.offset));
-    out.rows.erase(out.rows.begin(), out.rows.begin() + static_cast<long>(skip));
-  }
-  if (stmt.limit && *stmt.limit >= 0 &&
-      out.rows.size() > static_cast<size_t>(*stmt.limit)) {
-    out.rows.resize(static_cast<size_t>(*stmt.limit));
-  }
+  internal::ApplyOffsetLimit(stmt, out.rows);
 
   return out;
+}
+
+Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                const TableSource& source,
+                                const ExecOptions& opts) {
+  if (!opts.use_vectorized) {
+    return ExecuteSelectReferenceRows(stmt, source, opts.cancel);
+  }
+  bool unsupported = false;
+  Result<ResultSet> result =
+      internal::ExecuteSelectVectorized(stmt, source, opts, unsupported);
+  if (unsupported) {
+    // The source yielded rows the columnar form cannot represent (ragged
+    // widths); the row path's semantics are access-dependent there, so it
+    // is authoritative.
+    return ExecuteSelectReferenceRows(stmt, source, opts.cancel);
+  }
+  return result;
+}
+
+Result<ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                const TableSource& source,
+                                const CancelToken* cancel) {
+  ExecOptions opts;
+  opts.cancel = cancel;
+  return ExecuteSelect(stmt, source, opts);
 }
 
 }  // namespace griddb::engine

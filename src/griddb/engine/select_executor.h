@@ -4,9 +4,21 @@
 // code runs in three places: inside each vendor engine, inside the Unity
 // driver's middleware-side join of per-mart partial results, and inside
 // warehouse view materialization.
+//
+// Two implementations share one contract (DESIGN.md §15): the default
+// vectorized executor processes columnar batches of ExecOptions::
+// batch_rows rows (typed ColumnVector payloads, hash join and hash
+// aggregation by gather, top-K ORDER BY under LIMIT), while
+// ExecuteSelectReferenceRows retains the row-at-a-time path as the
+// byte-identical reference for the parity suite, the speedup baseline
+// for bench_ext_vectorized, and the fallback for inputs the columnar
+// form cannot represent (ragged rows). ResultSet stays the wire-facing
+// boundary: fault-free outputs are byte-identical across both.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "griddb/sql/ast.h"
 #include "griddb/storage/result_set.h"
@@ -14,6 +26,14 @@
 #include "griddb/util/status.h"
 
 namespace griddb::engine {
+
+/// Borrowed view of a materialized table: column names plus a pointer to
+/// its rows, valid for the duration of the ExecuteSelect call. Lets the
+/// vectorized scan read rows in place instead of copying the whole table.
+struct TableView {
+  std::vector<std::string> columns;
+  const std::vector<storage::Row>* rows;
+};
 
 /// Provides the rows of a named table (or view) to the executor.
 class TableSource {
@@ -29,6 +49,15 @@ class TableSource {
     (void)name;
     return nullptr;
   }
+  /// Borrowing variant for sources whose tables are materialized but not
+  /// shaped as ResultSet (Database's storage tables). Defaults to
+  /// adapting FindTable.
+  virtual std::optional<TableView> BorrowTable(const std::string& name) const {
+    if (const storage::ResultSet* rs = FindTable(name)) {
+      return TableView{rs->columns, &rs->rows};
+    }
+    return std::nullopt;
+  }
 };
 
 /// Simple TableSource over pre-materialized result sets keyed by name
@@ -43,15 +72,36 @@ class MapTableSource : public TableSource {
   std::vector<std::pair<std::string, storage::ResultSet>> tables_;
 };
 
+/// Execution knobs.
+struct ExecOptions {
+  /// Checked once per batch inside scan/join/filter/group/projection
+  /// loops (the reference path checks every batch_rows-th row — same
+  /// cadence). Null keeps the loops check-free.
+  const CancelToken* cancel = nullptr;
+  /// Rows per columnar batch; also the cancellation-check cadence.
+  size_t batch_rows = 1024;
+  /// When false, runs the retained row-at-a-time reference path.
+  bool use_vectorized = true;
+};
+
 /// Executes a SELECT against `source`. Joins, WHERE, GROUP BY/HAVING,
 /// aggregates, DISTINCT, ORDER BY and LIMIT/OFFSET are all evaluated here.
-///
-/// `cancel`, when given, is checked at row-batch granularity inside the
-/// join/filter/group/projection loops: a cancelled token (deadline expiry
-/// or client abort) aborts execution within one batch instead of letting
-/// a runaway join run to completion. Null keeps the loops check-free.
 Result<storage::ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
                                          const TableSource& source,
-                                         const CancelToken* cancel = nullptr);
+                                         const ExecOptions& opts = {});
+
+/// Convenience overload preserved from the row-executor era: cancellation
+/// only, default batching.
+Result<storage::ResultSet> ExecuteSelect(const sql::SelectStmt& stmt,
+                                         const TableSource& source,
+                                         const CancelToken* cancel);
+
+/// The retained row-at-a-time executor. Kept as the parity reference and
+/// bench baseline; also the fallback when a source yields rows the
+/// columnar form cannot represent. Semantics are identical to the
+/// vectorized path on every fault-free input.
+Result<storage::ResultSet> ExecuteSelectReferenceRows(
+    const sql::SelectStmt& stmt, const TableSource& source,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace griddb::engine
