@@ -55,6 +55,12 @@ struct TestbedOptions {
   double default_deadline_ms = 0;
   bool partial_on_deadline = false;
   size_t worker_queue_limit = 0;
+  /// Wire codec the servers' outbound sub-query RPCs ask for ("" = the
+  /// GRIDDB_WIRE env default, "binary", "xmlrpc"); see rpc/wire.h. The
+  /// paper benches leave it "" with the env unset — plain XML-RPC.
+  std::string wire_protocol;
+  /// Flow-control window for streamed binary responses.
+  size_t stream_window = 4;
   /// RBAC grant catalog shared by both JClarens servers (one
   /// federation-wide grant set). Null — the default — disables RBAC.
   std::shared_ptr<core::RbacCatalog> rbac;
@@ -206,6 +212,8 @@ inline std::unique_ptr<Testbed> Testbed::Build(const TestbedOptions& options) {
     config.default_deadline_ms = options.default_deadline_ms;
     config.partial_on_deadline = options.partial_on_deadline;
     config.worker_queue_limit = options.worker_queue_limit;
+    config.wire_protocol = options.wire_protocol;
+    config.stream_window = options.stream_window;
     config.rbac = options.rbac;
     // The batch service runs on server A only (one journal per server;
     // benches drive a single coordinator).

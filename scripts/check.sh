@@ -30,6 +30,11 @@ cmake --build build -j"$(nproc)" >/dev/null
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure
 
+echo "== tier-1: ctest under GRIDDB_WIRE=binary =="
+# The whole suite doubles as cross-codec conformance: every RPC-backed
+# test must pass identically when clients negotiate the binary framing.
+GRIDDB_WIRE=binary ctest --test-dir build --output-on-failure
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "OK (fast mode: sanitizer + bench passes skipped)"
   exit 0
@@ -53,6 +58,14 @@ echo "== perf gate: vectorized executor bench =="
 # on every shape/batch size (results land in BENCH_vectorized.json).
 ./build/bench/bench_ext_vectorized BENCH_vectorized.json
 
+echo "== perf gate: wire protocol bench =="
+# Over the WAN the binary codec must move >= 3x fewer wire bytes and
+# finish the response leg >= 2x faster on the wide-ntuple shape, the
+# streamed path must land its first chunk before the full result, and
+# fault-free XML-RPC responses must stay byte-identical to the
+# tree-writer encoder (results land in BENCH_wire.json).
+./build/bench/bench_ext_wan BENCH_wire.json
+
 echo "== crash injection: batch journal recovery sweep =="
 # Kill the batch coordinator at every named point of its checkpoint
 # protocol (see BatchJobManager::CrashHook) and require restart recovery
@@ -70,13 +83,13 @@ cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
   stage_property_test query_cache_test overload_test \
   tenant_isolation_test batch_service_test \
-  vectorized_parity_test >/dev/null
+  vectorized_parity_test wire_codec_test >/dev/null
 
 echo "== asan: run =="
 for t in fault_tolerance_test etl_resume_test integrity_test \
          stage_property_test query_cache_test overload_test \
          tenant_isolation_test batch_service_test \
-         vectorized_parity_test; do
+         vectorized_parity_test wire_codec_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
@@ -86,10 +99,10 @@ cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
   query_cache_test concurrency_test overload_test \
   tenant_isolation_test batch_service_test \
-  vectorized_parity_test >/dev/null
+  vectorized_parity_test wire_codec_test >/dev/null
 for t in query_cache_test concurrency_test overload_test \
          tenant_isolation_test batch_service_test \
-         vectorized_parity_test; do
+         vectorized_parity_test wire_codec_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

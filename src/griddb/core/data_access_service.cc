@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <iterator>
 #include <optional>
 #include <set>
 
@@ -165,6 +166,70 @@ obs::Counter& CancelledSubqueriesCounter() {
       "griddb.admission.cancelled_subqueries");
   return *c;
 }
+obs::Histogram& StreamFirstChunkMs() {
+  static obs::Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "griddb.wire.stream_first_chunk_ms");
+  return *h;
+}
+
+/// Consumes streamed sub-query chunks as they arrive (DESIGN.md §16):
+/// the per-chunk credit returned to the client's flow-control window is
+/// the simulated merge-integration time, so a slow merge stalls the
+/// producer instead of buffering unboundedly. Memory accounting follows
+/// the same window: while the stream is in flight the sink holds a
+/// merge-memory lease sized to window x chunk bytes (not the whole
+/// result), which is the point of streaming — the full-result 2x merge
+/// lease is only taken later, once the rows exist anyway.
+class WindowLeaseSink : public rpc::wire::StreamSink {
+ public:
+  WindowLeaseSink(AdmissionController* admission, std::string tenant,
+                  size_t window, double integrate_per_row_ms)
+      : admission_(admission),
+        tenant_(std::move(tenant)),
+        window_(window < 1 ? 1 : window),
+        integrate_per_row_ms_(integrate_per_row_ms) {}
+
+  void OnRestart() override {
+    rows_.clear();
+    lease_ = {};
+  }
+
+  Result<double> OnChunk(storage::ResultSet&& chunk, size_t seq) override {
+    if (seq == 0) {
+      size_t chunk_bytes = 0;
+      for (const storage::Row& row : chunk.rows) {
+        chunk_bytes += storage::RowWireSize(row);
+      }
+      // Shed (kResourceExhausted) aborts the attempt; the client's
+      // RetryPolicy decides whether to come back.
+      GRIDDB_ASSIGN_OR_RETURN(
+          lease_, admission_->ReserveMergeMemory(window_ * chunk_bytes,
+                                                 tenant_));
+    }
+    used_ = true;
+    double credit_ms =
+        integrate_per_row_ms_ * static_cast<double>(chunk.rows.size());
+    rows_.insert(rows_.end(), std::make_move_iterator(chunk.rows.begin()),
+                 std::make_move_iterator(chunk.rows.end()));
+    return credit_ms;
+  }
+
+  bool used() const { return used_; }
+  /// Hands the accumulated rows to the caller and drops the window lease.
+  std::vector<storage::Row> TakeRows() {
+    lease_ = {};
+    return std::move(rows_);
+  }
+
+ private:
+  AdmissionController* admission_;
+  std::string tenant_;
+  size_t window_;
+  double integrate_per_row_ms_;
+  bool used_ = false;
+  std::vector<storage::Row> rows_;
+  AdmissionController::MemoryLease lease_;
+};
 
 /// Status codes under which an opted-in client would rather see a stale
 /// cached result than an error: the same transient set the replica
@@ -965,6 +1030,14 @@ rpc::RpcClient* DataAccessService::ClientFor(const std::string& server_url) {
   client->set_connect_cost_ms(0.0);
   client->set_retry_policy(config_.retry_policy);
   client->set_tracer(&tracer_);
+  // Wire-codec preference: "" inherits the client's GRIDDB_WIRE default,
+  // "binary" asks for the full capability set, "xmlrpc" pins text.
+  if (config_.wire_protocol == "binary") {
+    client->set_wire_preference(rpc::wire::kAllCaps);
+  } else if (config_.wire_protocol == "xmlrpc") {
+    client->set_wire_preference(0);
+  }
+  client->set_stream_window(config_.stream_window);
   auto [inserted, unused] =
       remote_clients_.emplace(server_url, std::move(client));
   (void)unused;
@@ -987,6 +1060,13 @@ Result<ResultSet> DataAccessService::RemoteQuery(
                                ? config_.server_url
                                : forward_path + " -> " + config_.server_url;
   rpc::CallStats call_stats;
+  // When the connection negotiated streaming, hand the client a sink so
+  // the merge-integration of each chunk overlaps the transfer of the
+  // next (and memory is leased per flow-control window, not per result).
+  WindowLeaseSink sink(&admission_, tenant, config_.stream_window,
+                       transport_->costs().integrate_per_row_ms);
+  rpc::wire::StreamSink* sink_ptr =
+      (client->wire_preference() & rpc::wire::kCapStream) ? &sink : nullptr;
   // The client stamps the token's remaining budget onto the request
   // (sparse <deadlineMs>) at send time, so the remote server inherits a
   // budget already shrunk by every hop and retry before it.
@@ -994,8 +1074,12 @@ Result<ResultSet> DataAccessService::RemoteQuery(
   // shares one cached client per remote URL across all tenants.
   Result<rpc::XmlRpcValue> response =
       client->Call("dataaccess.query", std::move(params), cost,
-                   forward_depth + 1, path, &call_stats, cancel, tenant);
+                   forward_depth + 1, path, &call_stats, cancel, tenant,
+                   sink_ptr);
   if (stats) stats->retries += static_cast<size_t>(call_stats.retries);
+  if (call_stats.first_chunk_ms >= 0) {
+    StreamFirstChunkMs().Observe(call_stats.first_chunk_ms);
+  }
   if (!response.ok() && span.active()) {
     span.SetError(response.status().ToString());
   }
@@ -1014,6 +1098,12 @@ Result<ResultSet> DataAccessService::RemoteQuery(
   GRIDDB_ASSIGN_OR_RETURN(const rpc::XmlRpcValue* result,
                           response->Member("result"));
   GRIDDB_ASSIGN_OR_RETURN(ResultSet rs, rpc::RpcToResultSet(*result));
+  if (sink.used()) {
+    // The streamed member of the envelope carries only the schema; the
+    // rows were consumed chunk-by-chunk (integration already charged via
+    // the window credit inside the response pipeline).
+    rs.rows = sink.TakeRows();
+  }
   if (stats) {
     auto remote_stats = response->Member("stats");
     if (remote_stats.ok()) {

@@ -118,6 +118,18 @@ struct DataAccessConfig {
   /// 0 = unbounded (seed behaviour).
   size_t worker_queue_limit = 0;
 
+  // Binary wire protocol (rpc/wire, DESIGN.md §16).
+  /// Codec outbound sub-query/forward RPCs ask for: "" (default) follows
+  /// the GRIDDB_WIRE environment toggle, "binary" requests the full
+  /// binary/lz4/stream capability set, "xmlrpc" pins the text codec. The
+  /// connect-time handshake still falls back to XML-RPC when the peer
+  /// does not agree, so this is a preference, not a requirement.
+  std::string wire_protocol;
+  /// Flow-control window for streamed responses: chunk frames in flight
+  /// before the next transfer waits for merge credit. Also sizes the
+  /// per-window merge-memory lease taken while a stream is in progress.
+  size_t stream_window = 4;
+
   // Multi-tenant isolation (core/rbac). Null = no RBAC: every tenant may
   // read every table, the seed behaviour.
   /// Grant catalog consulted at planning time: every referenced logical

@@ -130,7 +130,7 @@ void JClarensServer::RegisterMethods() {
         // so callers (local clients and forwarding servers) account for it.
         ctx.cost.AddMs(stats.simulated_ms);
         XmlRpcStruct out;
-        out["result"] = rpc::ResultSetToRpc(*rs);
+        out["result"] = rpc::ResultSetToRpc(std::move(*rs));
         out["stats"] = StatsToRpc(stats);
         if (span.active()) {
           const uint64_t trace_id = span.context().trace_id;
@@ -370,8 +370,8 @@ void JClarensServer::RegisterMethods() {
             batch_->Fetch(ctx.tenant, static_cast<uint64_t>(id),
                           static_cast<size_t>(page)));
         XmlRpcStruct out;
-        out["result"] = rpc::ResultSetToRpc(rs);
         out["rows"] = static_cast<int64_t>(rs.rows.size());
+        out["result"] = rpc::ResultSetToRpc(std::move(rs));
         return XmlRpcValue(std::move(out));
       });
 

@@ -170,6 +170,61 @@ Result<double> Network::WireTransferMs(const std::string& a,
   return link.TransferMs(bytes);
 }
 
+Result<double> Network::WireDeliverMs(const std::string& a,
+                                      const std::string& b,
+                                      std::string* payload,
+                                      bool first_message) const {
+  GRIDDB_ASSIGN_OR_RETURN(LinkSpec link, GetLink(a, b));
+  double base_ms = link.TransferMs(payload->size());
+  if (!first_message) base_ms -= link.latency_ms;
+  std::shared_ptr<FaultPlan> plan;
+  double now = 0;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    plan = fault_plan_;
+    now = clock_ms_;
+  }
+  if (!plan) return base_ms;
+
+  auto count = [this](size_t FaultCounters::* field) {
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      ++(fault_counters_.*field);
+    }
+    FaultMetric(field).Add(1);
+  };
+  if (plan->HostDownAt(a, now)) {
+    count(&FaultCounters::host_down);
+    return Unavailable("host '" + a + "' is down");
+  }
+  if (plan->HostDownAt(b, now)) {
+    count(&FaultCounters::host_down);
+    return Unavailable("host '" + b + "' is down");
+  }
+  double delay_ms = 0;
+  switch (plan->DrawMessageFate(a, b, &delay_ms)) {
+    case MessageFate::kDrop:
+      count(&FaultCounters::drops);
+      return Timeout("message " + a + " -> " + b + " lost in transit");
+    case MessageFate::kCorrupt: {
+      count(&FaultCounters::corruptions);
+      // Flip bytes at a few spread-out positions and deliver anyway; the
+      // frame digest on the receiving side is what notices.
+      for (size_t pos :
+           {payload->size() / 4, payload->size() / 2, payload->size() * 3 / 4}) {
+        if (pos < payload->size()) (*payload)[pos] ^= '\xa5';
+      }
+      return base_ms;
+    }
+    case MessageFate::kDelay:
+      count(&FaultCounters::delays);
+      return base_ms + delay_ms;
+    case MessageFate::kDeliver:
+      break;
+  }
+  return base_ms;
+}
+
 const ServiceCosts& ServiceCosts::Default() {
   static const ServiceCosts costs;
   return costs;

@@ -118,6 +118,16 @@ class Network {
   Result<double> WireTransferMs(const std::string& a, const std::string& b,
                                 size_t bytes) const;
 
+  /// Like WireTransferMs for a message whose bytes the caller holds in
+  /// hand (a binary frame): corruption DELIVERS the message with
+  /// `payload` damaged in place instead of failing the transfer, so the
+  /// receiver's integrity check (the frame digest) is what detects it —
+  /// the model the binary wire protocol needs. Follow-on frames of one
+  /// streamed response (`first_message` false) ride the same established
+  /// connection and do not re-pay the link latency term.
+  Result<double> WireDeliverMs(const std::string& a, const std::string& b,
+                               std::string* payload, bool first_message) const;
+
  private:
   static std::string PairKey(const std::string& a, const std::string& b) {
     return a < b ? a + "|" + b : b + "|" + a;

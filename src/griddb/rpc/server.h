@@ -17,6 +17,7 @@
 
 #include "griddb/net/network.h"
 #include "griddb/obs/trace.h"
+#include "griddb/rpc/wire.h"
 #include "griddb/rpc/xmlrpc_value.h"
 #include "griddb/util/cancellation.h"
 #include "griddb/util/rng.h"
@@ -82,6 +83,19 @@ struct CallStats {
   /// the retry loop stopped without burning backoff, e.g. on
   /// kPermissionDenied from a plan-time grant check.
   bool non_retryable = false;
+  /// Wire accounting of the call (accumulated across attempts for the
+  /// request; the response fields reflect the successful attempt).
+  size_t request_bytes = 0;
+  size_t response_bytes = 0;
+  /// Simulated ms the response spent on the wire (for a streamed response
+  /// this is the whole pipelined leg: transfers overlapped with chunk
+  /// consumption).
+  double response_transfer_ms = 0;
+  /// Chunk frames delivered on the streamed path (0 = not streamed).
+  int streamed_chunks = 0;
+  /// Call-relative virtual ms at which the first streamed chunk had been
+  /// transferred AND consumed; < 0 when the response did not stream.
+  double first_chunk_ms = -1;
 };
 
 /// Parsed service URL: scheme://host[:port]/path
@@ -188,6 +202,16 @@ class RpcServer {
                         int forward_depth = 0,
                         const std::string& forward_path = "");
 
+  /// Wire capabilities this server advertises at connect time (setup-time
+  /// knob; configure before serving). Defaults to everything this build
+  /// supports; 0 simulates an old XML-only server for the fallback matrix.
+  void set_wire_caps(uint32_t caps) { wire_caps_ = caps; }
+  uint32_t wire_caps() const { return wire_caps_; }
+
+  /// Rows per chunk frame on streamed binary responses (setup-time knob).
+  void set_stream_chunk_rows(size_t rows) { stream_chunk_rows_ = rows; }
+  size_t stream_chunk_rows() const { return stream_chunk_rows_; }
+
  private:
   std::string url_;
   std::string host_;
@@ -198,6 +222,8 @@ class RpcServer {
   std::map<std::string, std::string> user_tenants_;  // user -> bound tenant
   std::map<std::string, std::string> sessions_;  // token -> user
   int next_session_ = 1;
+  uint32_t wire_caps_ = wire::kAllCaps;
+  size_t stream_chunk_rows_ = 1024;
 };
 
 /// Client-side proxy. Connection setup (resolve + authenticate) happens
@@ -250,17 +276,40 @@ class RpcClient {
   /// header (overriding set_tenant's default); empty falls back to the
   /// client default. Per-call so fan-out paths can share one cached
   /// client per remote server across tenants.
+  /// `sink`, when given, consumes streamed chunk frames as they arrive
+  /// (the coordinator's early merge); the streamed member of the returned
+  /// envelope then carries only the column schema. Without a sink the
+  /// client reassembles the full result transparently. A retried attempt
+  /// calls sink->OnRestart() first.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params,
                            net::Cost* cost, int forward_depth = 0,
                            const std::string& forward_path = "",
                            CallStats* call_stats = nullptr,
                            const CancelToken* cancel = nullptr,
-                           const std::string& tenant = "");
+                           const std::string& tenant = "",
+                           wire::StreamSink* sink = nullptr);
 
   /// Default tenant identity stamped on every Call without an explicit
   /// per-call tenant. Empty (the default) sends no <tenant> header.
   void set_tenant(const std::string& tenant) { default_tenant_ = tenant; }
   const std::string& tenant() const { return default_tenant_; }
+
+  /// Wire capabilities this client ASKS for (setup-time knob; configure
+  /// before the first Call). Defaults to the GRIDDB_WIRE env toggle,
+  /// i.e. 0 = plain XML-RPC unless the environment opts in. The connect
+  /// handshake intersects this with what the server advertises.
+  void set_wire_preference(uint32_t caps) { wire_preference_ = caps; }
+  uint32_t wire_preference() const { return wire_preference_; }
+  /// Capabilities agreed at connect time (0 before Connect / when either
+  /// side stayed XML-only).
+  uint32_t negotiated_caps() const { return negotiated_caps_; }
+
+  /// Flow-control window: chunk frames in flight before the next transfer
+  /// waits for consumer credit (setup-time knob; minimum 1).
+  void set_stream_window(size_t window) {
+    stream_window_ = window < 1 ? 1 : window;
+  }
+  size_t stream_window() const { return stream_window_; }
 
   const std::string& server_url() const { return server_url_; }
 
@@ -274,7 +323,18 @@ class RpcClient {
                                const obs::SpanContext& trace_ctx,
                                double attempt_budget_ms,
                                double wire_deadline_ms,
-                               const std::string& tenant);
+                               const std::string& tenant,
+                               CallStats* call_stats, wire::StreamSink* sink);
+  /// Client side of a framed binary response: per-frame simulated
+  /// delivery under the flow-control window, digest checks, chunk
+  /// hand-off to `sink` (or transparent reassembly).
+  Result<XmlRpcValue> ReceiveBinary(
+      const std::string& server_host, std::string_view raw_response,
+      net::Cost* cost, CallStats* call_stats, wire::StreamSink* sink,
+      const std::function<bool(double)>& over_deadline,
+      const std::function<Status(const char*)>& abort_deadline,
+      const std::function<void(double)>& charge_leg,
+      const std::function<Status(const Status&)>& wait_out);
   /// Charges `ms` to `cost` (when non-null) and advances the virtual clock.
   void Charge(net::Cost* cost, double ms);
 
@@ -288,6 +348,10 @@ class RpcClient {
   double connect_cost_ms_ = -1.0;  ///< <0 = use transport default.
   std::string session_token_;
   std::string default_tenant_;
+  uint32_t wire_preference_ = wire::EnvWirePreference();
+  uint32_t negotiated_caps_ = 0;
+  std::string wire_accept_;  // CapsToString(negotiated_caps_), cached at Connect.
+  size_t stream_window_ = 4;
   RetryPolicy retry_policy_;
   obs::Tracer* tracer_ = nullptr;
   std::mutex jitter_mu_;           ///< Guards the jitter RNG stream.

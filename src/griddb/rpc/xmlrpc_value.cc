@@ -1,6 +1,7 @@
 #include "griddb/rpc/xmlrpc_value.h"
 
 #include <cstdio>
+#include <string_view>
 
 #include "griddb/util/strings.h"
 
@@ -8,6 +9,162 @@ namespace griddb::rpc {
 
 using storage::DataType;
 using storage::Value;
+
+namespace {
+
+/// The classic struct{columns,rows} boxing of a result set (what
+/// ResultSetToRpc produced before wrapped sets existed). The XML writer
+/// and the equality operator render wrapped sets through this shape, so
+/// the text wire format is oblivious to the wrapping.
+XmlRpcStruct ResultSetToStruct(const storage::ResultSet& rs) {
+  XmlRpcArray columns;
+  columns.reserve(rs.columns.size());
+  for (const std::string& c : rs.columns) columns.emplace_back(c);
+
+  XmlRpcArray rows;
+  rows.reserve(rs.rows.size());
+  for (const storage::Row& row : rs.rows) {
+    XmlRpcArray cells;
+    cells.reserve(row.size());
+    for (const Value& cell : row) {
+      switch (cell.type()) {
+        case DataType::kNull: cells.emplace_back(); break;
+        case DataType::kInt64: cells.emplace_back(cell.AsInt64Strict()); break;
+        case DataType::kDouble: cells.emplace_back(cell.AsDoubleStrict()); break;
+        case DataType::kBool: cells.emplace_back(cell.AsBoolStrict()); break;
+        case DataType::kString: cells.emplace_back(cell.AsStringStrict()); break;
+      }
+    }
+    rows.emplace_back(std::move(cells));
+  }
+  XmlRpcStruct out;
+  out["columns"] = std::move(columns);
+  out["rows"] = std::move(rows);
+  return out;
+}
+
+// ---- direct-to-string XML writer ----
+//
+// The text codec's hot path. Emits exactly what the Node-tree writer
+// emits in compact mode, but in one pass over a pre-sized buffer:
+// numeric cells append their digits raw (nothing to escape), and string
+// content takes a find_first_of fast path that bulk-appends when no
+// escapable character occurs.
+
+constexpr std::string_view kXmlSpecials = "&<>\"'";
+
+void AppendEscaped(std::string_view raw, std::string* out) {
+  size_t plain = raw.find_first_of(kXmlSpecials);
+  if (plain == std::string_view::npos) {
+    out->append(raw);
+    return;
+  }
+  out->append(raw, 0, plain);
+  for (size_t i = plain; i < raw.size(); ++i) {
+    switch (raw[i]) {
+      case '&': *out += "&amp;"; break;
+      case '<': *out += "&lt;"; break;
+      case '>': *out += "&gt;"; break;
+      case '"': *out += "&quot;"; break;
+      case '\'': *out += "&apos;"; break;
+      default: *out += raw[i];
+    }
+  }
+}
+
+void AppendCellXml(const Value& cell, std::string* out) {
+  switch (cell.type()) {
+    case DataType::kNull:
+      out->append("<value><nil/></value>");
+      break;
+    case DataType::kInt64: {
+      char buf[24];
+      int n = std::snprintf(buf, sizeof(buf), "%lld",
+                            static_cast<long long>(cell.AsInt64Strict()));
+      out->append("<value><i4>");
+      out->append(buf, static_cast<size_t>(n));
+      out->append("</i4></value>");
+      break;
+    }
+    case DataType::kDouble: {
+      char buf[40];
+      int n = std::snprintf(buf, sizeof(buf), "%.17g", cell.AsDoubleStrict());
+      out->append("<value><double>");
+      out->append(buf, static_cast<size_t>(n));
+      out->append("</double></value>");
+      break;
+    }
+    case DataType::kBool:
+      out->append(cell.AsBoolStrict() ? "<value><boolean>1</boolean></value>"
+                                      : "<value><boolean>0</boolean></value>");
+      break;
+    case DataType::kString: {
+      const std::string& s = cell.AsStringStrict();
+      if (s.empty()) {
+        out->append("<value><string/></value>");
+      } else {
+        out->append("<value><string>");
+        AppendEscaped(s, out);
+        out->append("</string></value>");
+      }
+      break;
+    }
+  }
+}
+
+void AppendResultSetXml(const storage::ResultSet& rs, std::string* out) {
+  // Identical bytes to ResultSetToStruct -> ToXml -> compact Write; the
+  // member order (columns < rows) matches std::map iteration.
+  out->append("<value><struct><member><name>columns</name><value><array>");
+  if (rs.columns.empty()) {
+    out->append("<data/>");
+  } else {
+    out->append("<data>");
+    for (const std::string& c : rs.columns) {
+      if (c.empty()) {
+        out->append("<value><string/></value>");
+      } else {
+        out->append("<value><string>");
+        AppendEscaped(c, out);
+        out->append("</string></value>");
+      }
+    }
+    out->append("</data>");
+  }
+  out->append("</array></value></member><member><name>rows</name>"
+              "<value><array>");
+  if (rs.rows.empty()) {
+    out->append("<data/>");
+  } else {
+    out->append("<data>");
+    for (const storage::Row& row : rs.rows) {
+      out->append("<value><array>");
+      if (row.empty()) {
+        out->append("<data/>");
+      } else {
+        out->append("<data>");
+        for (const Value& cell : row) AppendCellXml(cell, out);
+        out->append("</data>");
+      }
+      out->append("</array></value>");
+    }
+    out->append("</data>");
+  }
+  out->append("</array></value></member></struct></value>");
+}
+
+size_t EstimateCellXmlSize(const Value& cell) {
+  switch (cell.type()) {
+    case DataType::kNull: return 22;
+    case DataType::kInt64: return 38;
+    case DataType::kDouble: return 52;
+    case DataType::kBool: return 36;
+    case DataType::kString: return 34 + cell.AsStringStrict().size();
+  }
+  return 22;
+}
+
+}  // namespace
 
 Result<int64_t> XmlRpcValue::AsInt() const {
   if (const auto* v = std::get_if<int64_t>(&data_)) return *v;
@@ -50,6 +207,9 @@ Result<const XmlRpcValue*> XmlRpcValue::Member(const std::string& key) const {
 }
 
 xml::Node XmlRpcValue::ToXml() const {
+  if (const auto* rs = std::get_if<ResultSetPtr>(&data_)) {
+    return XmlRpcValue(ResultSetToStruct(**rs)).ToXml();
+  }
   xml::Node value_node("value");
   if (is_empty()) {
     value_node.AddChild("nil");
@@ -137,43 +297,125 @@ Result<XmlRpcValue> XmlRpcValue::FromXml(const xml::Node& value_node) {
   return ParseError("unknown XML-RPC type <" + tag + ">");
 }
 
+void XmlRpcValue::AppendXml(std::string* out) const {
+  if (is_empty()) {
+    out->append("<value><nil/></value>");
+  } else if (const auto* i = std::get_if<int64_t>(&data_)) {
+    char buf[24];
+    int n = std::snprintf(buf, sizeof(buf), "%lld",
+                          static_cast<long long>(*i));
+    out->append("<value><i4>");
+    out->append(buf, static_cast<size_t>(n));
+    out->append("</i4></value>");
+  } else if (const auto* d = std::get_if<double>(&data_)) {
+    char buf[40];
+    int n = std::snprintf(buf, sizeof(buf), "%.17g", *d);
+    out->append("<value><double>");
+    out->append(buf, static_cast<size_t>(n));
+    out->append("</double></value>");
+  } else if (const auto* b = std::get_if<bool>(&data_)) {
+    out->append(*b ? "<value><boolean>1</boolean></value>"
+                   : "<value><boolean>0</boolean></value>");
+  } else if (const auto* s = std::get_if<std::string>(&data_)) {
+    if (s->empty()) {
+      out->append("<value><string/></value>");
+    } else {
+      out->append("<value><string>");
+      AppendEscaped(*s, out);
+      out->append("</string></value>");
+    }
+  } else if (const auto* array = std::get_if<XmlRpcArray>(&data_)) {
+    out->append("<value><array>");
+    if (array->empty()) {
+      out->append("<data/>");
+    } else {
+      out->append("<data>");
+      for (const XmlRpcValue& item : *array) item.AppendXml(out);
+      out->append("</data>");
+    }
+    out->append("</array></value>");
+  } else if (const auto* record = std::get_if<XmlRpcStruct>(&data_)) {
+    if (record->empty()) {
+      out->append("<value><struct/></value>");
+    } else {
+      out->append("<value><struct>");
+      for (const auto& [key, member] : *record) {
+        if (key.empty()) {
+          out->append("<member><name/>");
+        } else {
+          out->append("<member><name>");
+          AppendEscaped(key, out);
+          out->append("</name>");
+        }
+        member.AppendXml(out);
+        out->append("</member>");
+      }
+      out->append("</struct></value>");
+    }
+  } else if (const auto* rs = std::get_if<ResultSetPtr>(&data_)) {
+    AppendResultSetXml(**rs, out);
+  }
+}
+
+size_t XmlRpcValue::EstimateXmlSize() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) {
+    return 34 + s->size() + s->size() / 8;
+  }
+  if (const auto* array = std::get_if<XmlRpcArray>(&data_)) {
+    size_t total = 30;
+    for (const XmlRpcValue& item : *array) total += item.EstimateXmlSize();
+    return total;
+  }
+  if (const auto* record = std::get_if<XmlRpcStruct>(&data_)) {
+    size_t total = 32;
+    for (const auto& [key, member] : *record) {
+      total += 30 + key.size() + member.EstimateXmlSize();
+    }
+    return total;
+  }
+  if (const auto* rs = std::get_if<ResultSetPtr>(&data_)) {
+    size_t total = 140;
+    for (const std::string& c : (*rs)->columns) total += 34 + c.size();
+    for (const storage::Row& row : (*rs)->rows) {
+      total += 30;
+      for (const Value& cell : row) total += EstimateCellXmlSize(cell);
+    }
+    return total;
+  }
+  return 52;  // nil / int / double / bool upper bound
+}
+
+bool XmlRpcValue::operator==(const XmlRpcValue& other) const {
+  if (!is_result_set() && !other.is_result_set()) {
+    return data_ == other.data_;
+  }
+  // A wrapped result set and its struct boxing are the same wire value;
+  // compare through the canonical serialization.
+  std::string a, b;
+  AppendXml(&a);
+  other.AppendXml(&b);
+  return a == b;
+}
+
 size_t XmlRpcValue::WireSize() const {
-  xml::WriteOptions options;
-  options.pretty = false;
-  options.declaration = false;
-  return xml::Write(ToXml(), options).size();
+  std::string out;
+  out.reserve(EstimateXmlSize());
+  AppendXml(&out);
+  return out.size();
 }
 
 // ---- ResultSet interop ----
 
 XmlRpcValue ResultSetToRpc(const storage::ResultSet& rs) {
-  XmlRpcArray columns;
-  columns.reserve(rs.columns.size());
-  for (const std::string& c : rs.columns) columns.emplace_back(c);
+  return XmlRpcValue(std::make_shared<storage::ResultSet>(rs));
+}
 
-  XmlRpcArray rows;
-  rows.reserve(rs.rows.size());
-  for (const storage::Row& row : rs.rows) {
-    XmlRpcArray cells;
-    cells.reserve(row.size());
-    for (const Value& cell : row) {
-      switch (cell.type()) {
-        case DataType::kNull: cells.emplace_back(); break;
-        case DataType::kInt64: cells.emplace_back(cell.AsInt64Strict()); break;
-        case DataType::kDouble: cells.emplace_back(cell.AsDoubleStrict()); break;
-        case DataType::kBool: cells.emplace_back(cell.AsBoolStrict()); break;
-        case DataType::kString: cells.emplace_back(cell.AsStringStrict()); break;
-      }
-    }
-    rows.emplace_back(std::move(cells));
-  }
-  XmlRpcStruct out;
-  out["columns"] = std::move(columns);
-  out["rows"] = std::move(rows);
-  return out;
+XmlRpcValue ResultSetToRpc(storage::ResultSet&& rs) {
+  return XmlRpcValue(std::make_shared<storage::ResultSet>(std::move(rs)));
 }
 
 Result<storage::ResultSet> RpcToResultSet(const XmlRpcValue& value) {
+  if (const storage::ResultSet* native = value.result_set()) return *native;
   storage::ResultSet rs;
   GRIDDB_ASSIGN_OR_RETURN(const XmlRpcValue* columns, value.Member("columns"));
   GRIDDB_ASSIGN_OR_RETURN(const XmlRpcArray* column_items, columns->AsArray());
@@ -258,6 +500,11 @@ std::string EncodeRequest(const RpcRequest& request) {
   if (!request.tenant.empty()) {
     root.AddTextChild("tenant", request.tenant);
   }
+  // Sparse: clients that never negotiated binary framing carry no
+  // wireAccept element at all (the byte-identity invariant again).
+  if (!request.wire_accept.empty()) {
+    root.AddTextChild("wireAccept", request.wire_accept);
+  }
   xml::Node& params = root.AddChild("params");
   for (const XmlRpcValue& param : request.params) {
     xml::Node& param_node = params.AddChild("param");
@@ -294,6 +541,7 @@ Result<RpcRequest> DecodeRequest(std::string_view raw) {
     }
   }
   request.tenant = doc->ChildText("tenant");
+  request.wire_accept = doc->ChildText("wireAccept");
   if (const xml::Node* params = doc->Child("params")) {
     for (const auto& param : params->children) {
       if (param->name != "param" || param->children.empty()) {
@@ -308,10 +556,18 @@ Result<RpcRequest> DecodeRequest(std::string_view raw) {
 }
 
 std::string EncodeResponse(const XmlRpcValue& value) {
-  xml::Node root("methodResponse");
-  xml::Node& param = root.AddChild("params").AddChild("param");
-  param.children.push_back(std::make_unique<xml::Node>(value.ToXml()));
-  return xml::Write(root, CompactXml());
+  // Single-pass, single-reserve encoder; byte-identical to serializing
+  // the Node tree in compact mode (guarded by wire_codec_test).
+  static constexpr std::string_view kPrefix =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<methodResponse><params><param>";
+  static constexpr std::string_view kSuffix = "</param></params></methodResponse>";
+  std::string out;
+  out.reserve(kPrefix.size() + kSuffix.size() + value.EstimateXmlSize());
+  out.append(kPrefix);
+  value.AppendXml(&out);
+  out.append(kSuffix);
+  return out;
 }
 
 std::string EncodeFault(const Status& status) {

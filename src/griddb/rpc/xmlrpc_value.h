@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -22,6 +23,13 @@ namespace griddb::rpc {
 class XmlRpcValue;
 using XmlRpcArray = std::vector<XmlRpcValue>;
 using XmlRpcStruct = std::map<std::string, XmlRpcValue>;
+/// Result sets ride inside XmlRpcValue unconverted (shared, so wrapping
+/// is O(1) and responses fanning out to several encoders share one
+/// copy). The XML writer renders a wrapped set exactly as the classic
+/// struct{columns,rows} form, so the text wire format is unchanged; the
+/// binary codec (rpc/wire) serializes the rows columnar without ever
+/// boxing cells into per-value variants.
+using ResultSetPtr = std::shared_ptr<storage::ResultSet>;
 
 class XmlRpcValue {
  public:
@@ -34,6 +42,7 @@ class XmlRpcValue {
   XmlRpcValue(const char* v) : data_(std::string(v)) {}  // NOLINT
   XmlRpcValue(XmlRpcArray v) : data_(std::move(v)) {}    // NOLINT
   XmlRpcValue(XmlRpcStruct v) : data_(std::move(v)) {}   // NOLINT
+  XmlRpcValue(ResultSetPtr v) : data_(std::move(v)) {}   // NOLINT
 
   bool is_empty() const { return std::holds_alternative<std::monostate>(data_); }
   bool is_int() const { return std::holds_alternative<int64_t>(data_); }
@@ -42,6 +51,9 @@ class XmlRpcValue {
   bool is_string() const { return std::holds_alternative<std::string>(data_); }
   bool is_array() const { return std::holds_alternative<XmlRpcArray>(data_); }
   bool is_struct() const { return std::holds_alternative<XmlRpcStruct>(data_); }
+  bool is_result_set() const {
+    return std::holds_alternative<ResultSetPtr>(data_);
+  }
 
   Result<int64_t> AsInt() const;
   Result<double> AsDouble() const;  ///< ints widen to double
@@ -53,24 +65,50 @@ class XmlRpcValue {
   /// Struct member access; error when not a struct or key absent.
   Result<const XmlRpcValue*> Member(const std::string& key) const;
 
+  /// The wrapped result set (nullptr unless is_result_set()).
+  const storage::ResultSet* result_set() const {
+    const auto* p = std::get_if<ResultSetPtr>(&data_);
+    return p ? p->get() : nullptr;
+  }
+  ResultSetPtr result_set_ptr() const {
+    const auto* p = std::get_if<ResultSetPtr>(&data_);
+    return p ? *p : nullptr;
+  }
+
   /// Serializes this value as a <value>...</value> element.
   xml::Node ToXml() const;
   static Result<XmlRpcValue> FromXml(const xml::Node& value_node);
 
+  /// Appends this value's compact <value>...</value> serialization to
+  /// `out` directly — no Node tree, no per-cell boxing, escaping only
+  /// where string content can need it. Byte-identical to
+  /// xml::Write(ToXml(), {pretty=false, declaration=false}).
+  void AppendXml(std::string* out) const;
+  /// Upper-bound-ish size estimate for AppendXml (single up-front
+  /// reserve; an underestimate merely costs a realloc).
+  size_t EstimateXmlSize() const;
+
   /// Approximate wire footprint: the serialized XML size.
   size_t WireSize() const;
 
-  bool operator==(const XmlRpcValue& other) const { return data_ == other.data_; }
+  /// Structural equality. A wrapped result set compares equal to the
+  /// classic struct{columns,rows} encoding of the same data (both sides
+  /// are compared via their canonical XML serialization when a wrapped
+  /// set is involved).
+  bool operator==(const XmlRpcValue& other) const;
 
  private:
   std::variant<std::monostate, int64_t, double, bool, std::string, XmlRpcArray,
-               XmlRpcStruct>
+               XmlRpcStruct, ResultSetPtr>
       data_;
 };
 
-// ---- storage interop: result sets cross the wire as struct{columns,rows}.
+// ---- storage interop: result sets cross the wire as struct{columns,rows}
+// on the XML codec, or as typed columns on the negotiated binary codec.
+// Both forms decode back via RpcToResultSet.
 
 XmlRpcValue ResultSetToRpc(const storage::ResultSet& rs);
+XmlRpcValue ResultSetToRpc(storage::ResultSet&& rs);
 Result<storage::ResultSet> RpcToResultSet(const XmlRpcValue& value);
 
 // ---- message codec ----
@@ -97,6 +135,12 @@ struct RpcRequest {
   /// <tenant> element, so untenanted traffic stays byte-identical to the
   /// pre-RBAC wire format.
   std::string tenant;
+  /// Wire capabilities the client accepts for THIS call's response
+  /// (rpc/wire.h caps string, e.g. "binary,lz4,stream"), the result of
+  /// the connect-time handshake. Encoded ONLY when non-empty, so a
+  /// client that never negotiated — or a server that never advertised —
+  /// keeps the request bytes identical to the XML-only wire format.
+  std::string wire_accept;
 };
 
 std::string EncodeRequest(const RpcRequest& request);

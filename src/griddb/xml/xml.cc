@@ -61,9 +61,14 @@ std::unique_ptr<Node> Node::Clone() const {
 }
 
 std::string Escape(std::string_view raw) {
+  // Most content (numbers, identifiers) has nothing to escape: one scan,
+  // no per-character appends.
+  size_t first = raw.find_first_of("&<>\"'");
+  if (first == std::string_view::npos) return std::string(raw);
   std::string out;
-  out.reserve(raw.size());
-  for (char c : raw) {
+  out.reserve(raw.size() + 8);
+  out.append(raw, 0, first);
+  for (char c : raw.substr(first)) {
     switch (c) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
