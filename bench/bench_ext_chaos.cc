@@ -1,0 +1,163 @@
+// Extension: whole-system chaos acceptance sweep (bench/chaos_harness.h).
+//
+// Runs the seeded chaos scenario — mixed interactive/batch/ETL/DDL
+// workload under composed storage faults, network faults and coordinator
+// kills — across a sweep of seeds, checking the full invariant set after
+// every run (see the harness header for the list). Two legs:
+//
+//   composed — >= 200 seeds with all three fault layers on. Gate: every
+//       seed green. A red seed prints its number: rerunning the binary
+//       (or tests/chaos_test with that seed) replays the identical fault
+//       schedule, which is the whole point of seeded injection.
+//
+//   enospc   — a slice of seeds in ENOSPC-only mode. Gates: zero failed
+//       jobs, zero re-executed durable checkpoints, >= 1 injected
+//       disk-full fault actually absorbed (the window must land).
+//
+// Emits machine-readable BENCH_chaos.json (path = argv[1]).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/chaos_harness.h"
+
+using namespace griddb;
+
+namespace {
+
+constexpr uint64_t kComposedSeeds = 200;
+constexpr uint64_t kEnospcSeeds = 24;
+
+struct SweepResult {
+  uint64_t seeds = 0;
+  uint64_t failed = 0;
+  std::vector<uint64_t> failing_seeds;
+  size_t crashes = 0;
+  size_t recoveries = 0;
+  size_t resubmits = 0;
+  size_t io_pauses = 0;
+  size_t reexecuted_chunks = 0;
+  size_t fs_faults = 0;
+  size_t enospc_hits = 0;
+  size_t net_faults = 0;
+  double wall_ms = 0;
+};
+
+SweepResult RunSweep(const char* name, uint64_t first_seed, uint64_t count,
+                     bool enospc_only, const std::string& root) {
+  SweepResult out;
+  for (uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    bench::ChaosOptions opt;
+    opt.enospc_only = enospc_only;
+    opt.scratch_root = root + "/" + name + "_" + std::to_string(seed);
+    bench::ChaosReport report = bench::RunChaosSeed(seed, opt);
+    ++out.seeds;
+    out.crashes += report.crashes;
+    out.recoveries += report.recoveries;
+    out.resubmits += report.resubmits;
+    out.io_pauses += report.io_pauses;
+    out.reexecuted_chunks += report.reexecuted_chunks;
+    out.fs_faults += report.fs_faults.total();
+    out.enospc_hits += report.fs_faults.enospc;
+    out.net_faults += report.net_faults.total();
+    out.wall_ms += report.wall_ms;
+    if (!report.ok) {
+      ++out.failed;
+      out.failing_seeds.push_back(seed);
+      std::fprintf(stderr, "CHAOS FAIL leg=%s seed=%llu (replay with this "
+                           "seed to reproduce the schedule)\n",
+                   name, static_cast<unsigned long long>(seed));
+      for (const std::string& violation : report.violations) {
+        std::fprintf(stderr, "  violation: %s\n", violation.c_str());
+      }
+    } else {
+      std::filesystem::remove_all(opt.scratch_root);
+    }
+    if ((seed - first_seed + 1) % 25 == 0) {
+      std::fprintf(stderr, "[%s] %llu/%llu seeds, %llu failed\n", name,
+                   static_cast<unsigned long long>(seed - first_seed + 1),
+                   static_cast<unsigned long long>(count),
+                   static_cast<unsigned long long>(out.failed));
+    }
+  }
+  return out;
+}
+
+void EmitJson(std::FILE* out, const SweepResult& composed,
+              const SweepResult& enospc, bool pass) {
+  auto sweep = [&](const char* name, const SweepResult& s, bool last) {
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"seeds\": %llu,\n"
+                 "    \"failed\": %llu,\n"
+                 "    \"crashes\": %zu,\n"
+                 "    \"recoveries\": %zu,\n"
+                 "    \"resubmits\": %zu,\n"
+                 "    \"io_pauses\": %zu,\n"
+                 "    \"reexecuted_chunks\": %zu,\n"
+                 "    \"fs_faults\": %zu,\n"
+                 "    \"enospc_hits\": %zu,\n"
+                 "    \"net_faults\": %zu,\n"
+                 "    \"wall_ms\": %.1f,\n"
+                 "    \"failing_seeds\": [",
+                 name, static_cast<unsigned long long>(s.seeds),
+                 static_cast<unsigned long long>(s.failed), s.crashes,
+                 s.recoveries, s.resubmits, s.io_pauses, s.reexecuted_chunks,
+                 s.fs_faults, s.enospc_hits, s.net_faults, s.wall_ms);
+    for (size_t i = 0; i < s.failing_seeds.size(); ++i) {
+      std::fprintf(out, "%s%llu", i ? ", " : "",
+                   static_cast<unsigned long long>(s.failing_seeds[i]));
+    }
+    std::fprintf(out, "]\n  }%s\n", last ? "" : ",");
+  };
+  std::fprintf(out, "{\n  \"bench\": \"chaos\",\n");
+  sweep("composed", composed, false);
+  sweep("enospc", enospc, false);
+  std::fprintf(out, "  \"pass\": %s\n}\n", pass ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string root = "/tmp/griddb_bench_chaos";
+  std::filesystem::remove_all(root);
+
+  SweepResult composed =
+      RunSweep("composed", 1, kComposedSeeds, /*enospc_only=*/false, root);
+  SweepResult enospc =
+      RunSweep("enospc", 1001, kEnospcSeeds, /*enospc_only=*/true, root);
+
+  bool pass = composed.failed == 0 && enospc.failed == 0;
+  // The gates must have teeth: a sweep where no fault ever fired proves
+  // nothing, and the ENOSPC leg exists to show pauses, not luck.
+  if (composed.fs_faults == 0 || composed.crashes == 0 ||
+      composed.net_faults == 0) {
+    std::fprintf(stderr, "FAIL: composed sweep injected no faults "
+                         "(fs=%zu crashes=%zu net=%zu)\n",
+                 composed.fs_faults, composed.crashes, composed.net_faults);
+    pass = false;
+  }
+  if (enospc.enospc_hits == 0 || enospc.io_pauses == 0) {
+    std::fprintf(stderr, "FAIL: enospc sweep never hit a full disk "
+                         "(hits=%zu pauses=%zu)\n",
+                 enospc.enospc_hits, enospc.io_pauses);
+    pass = false;
+  }
+  if (enospc.reexecuted_chunks != 0) {
+    std::fprintf(stderr, "FAIL: enospc sweep re-executed %zu checkpoints\n",
+                 enospc.reexecuted_chunks);
+    pass = false;
+  }
+
+  EmitJson(stdout, composed, enospc, pass);
+  if (argc > 1) {
+    if (std::FILE* f = std::fopen(argv[1], "w")) {
+      EmitJson(f, composed, enospc, pass);
+      std::fclose(f);
+    }
+  }
+  if (pass) std::filesystem::remove_all(root);
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,814 @@
+// Deterministic whole-system chaos harness (the storage-fault companion
+// to net::FaultPlan).
+//
+// One seed drives one complete scenario: a coordinator + marts testbed
+// runs a mixed workload — interactive queries, batch jobs, resumable ETL
+// runs, RBAC grant flips — while three fault layers compose on top of it:
+//
+//   storage   storage::FaultFs installed over the util::FileSystem seam:
+//             torn writes, lying fsyncs, op-indexed ENOSPC windows, read
+//             bit flips (scoped to stage files), rename/unlink failures;
+//   network   net::FaultPlan on the testbed LAN: message drops, detected
+//             corruptions, delays on every server-to-server sub-query;
+//   crashes   seeded kills of the batch coordinator at named checkpoint-
+//             protocol points (SimulateCrash), each followed by a page-
+//             cache drop (CrashDropUnsynced) and a journal recovery.
+//
+// Every fault fate is drawn from RNG streams keyed on the seed and the
+// operation order, so a failing seed replays: rerun the same seed and the
+// same schedule unfolds. After the workload drains, injection is turned
+// off (Quiesce) and the run is checked against a fault-free oracle pass
+// of the same workload:
+//
+//   - every batch job reaches kDone (storage faults pause, never fail)
+//     and its paged result is byte-identical to the oracle's;
+//   - checkpoints are exactly-once in ENOSPC-only runs and at-least-once
+//     with full coverage when crashes/lying fsyncs are in play;
+//   - the job journal replays cleanly with no torn tail left behind;
+//   - interactive results (served through the result cache) are byte-
+//     identical to the cache-less oracle;
+//   - RBAC never leaks: a never-granted tenant is denied on every probe,
+//     and grant/revoke flips take effect exactly when issued;
+//   - ETL target content matches the oracle digest and the staging
+//     directory drains to empty (no orphaned stage/manifest/tmp files);
+//   - the batch directory holds only the journal and stage files of jobs
+//     the harness actually submitted (no orphans).
+//
+// Used by tests/chaos_test.cc (a bounded seed subset in the tier-1 suite,
+// also under the ASan/TSan legs) and bench/bench_ext_chaos.cc (the >= 200
+// seed acceptance sweep). Progress metrics are published under
+// griddb.chaos.* (see docs/OPERATIONS.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/testbed.h"
+#include "griddb/core/batch/batch_service.h"
+#include "griddb/core/rbac.h"
+#include "griddb/net/fault.h"
+#include "griddb/obs/metrics.h"
+#include "griddb/storage/fault_fs.h"
+#include "griddb/storage/stage_file.h"
+#include "griddb/util/fs.h"
+#include "griddb/util/journal.h"
+#include "griddb/util/stopwatch.h"
+#include "griddb/warehouse/etl.h"
+
+namespace griddb::bench {
+
+struct ChaosOptions {
+  /// Testbed sizing — small enough that one seed runs in well under a
+  /// second fault-free; the chaos pass adds backoff waits on top.
+  size_t main_table_rows = 1200;
+  size_t chunk_tables = 12;
+
+  /// Workload mix per seed.
+  size_t batch_jobs = 3;
+  size_t interactive_queries = 6;
+  size_t grant_flips = 4;
+  size_t etl_runs = 2;
+  size_t batch_chunk_rows = 48;
+  /// Worker threads in the batch coordinator. 1 makes the coordinator's
+  /// file-op sequence deterministic (no cross-worker interleaving), which
+  /// the seed-replay test needs to compare realized fault counts.
+  size_t batch_workers = 2;
+
+  /// Fault intensity. Probabilities are per-operation; kills are whole-
+  /// coordinator crashes at seeded checkpoint-protocol points.
+  double storage_fault_rate = 0.02;  ///< torn / lying / rename / unlink.
+  double bit_flip_rate = 0.04;       ///< Stage-file reads only.
+  double net_fault_rate = 0.02;      ///< Drop and corrupt, each.
+  size_t max_crash_kills = 2;
+
+  /// ENOSPC-only mode: no other storage faults, no net faults, no kills —
+  /// the acceptance gate that a full disk pauses jobs without failing
+  /// them and without re-executing a single durable checkpoint.
+  bool enospc_only = false;
+
+  /// Scratch root for this seed's journal/stage/staging dirs. Created by
+  /// the harness; the caller removes it (after a failure it holds the
+  /// evidence: journal, stage files, manifests).
+  std::string scratch_root = "/tmp/griddb_chaos";
+
+  /// Wall-clock ceiling for the chaos pass (the oracle pass is fast).
+  double timeout_sec = 120.0;
+};
+
+struct ChaosReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  size_t crashes = 0;      ///< Coordinator kills fired.
+  size_t recoveries = 0;   ///< Successful journal recoveries after kills.
+  size_t resubmits = 0;    ///< Jobs whose submit record a crash swallowed.
+  size_t io_pauses = 0;    ///< Storage-fault pauses absorbed by jobs.
+  size_t reexecuted_chunks = 0;  ///< Checkpoints journaled more than once.
+  storage::FsFaultCounters fs_faults;
+  net::FaultCounters net_faults;
+  double wall_ms = 0;
+
+  void Violation(std::string what) {
+    ok = false;
+    violations.push_back(std::move(what));
+    obs::MetricsRegistry::Default()
+        .GetCounter("griddb.chaos.violations")
+        ->Add();
+  }
+};
+
+namespace chaos_detail {
+
+/// The per-seed workload: fixed SQL texts so the oracle and chaos passes
+/// run the identical mix. Thresholds are seeded so different seeds stress
+/// different predicates and row volumes.
+struct ChaosWorkload {
+  std::vector<std::string> batch_sql;
+  std::vector<std::string> interactive_sql;
+};
+
+inline ChaosWorkload MakeWorkload(uint64_t seed, const ChaosOptions& opt) {
+  ChaosWorkload w;
+  Rng rng(seed ^ 0xc4a05u);
+  // Pageable full-table scans over both hosts: my_a2/ms_a1 are local to
+  // the coordinator, my_b1/ms_b2 fan sub-queries across the faulty LAN.
+  const char* scans[4] = {"SELECT * FROM ntuple_my_a2",
+                          "SELECT * FROM ntuple_my_b1",
+                          "SELECT * FROM ntuple_ms_b2",
+                          "SELECT * FROM ntuple_ms_a1"};
+  for (size_t i = 0; i < opt.batch_jobs; ++i) {
+    w.batch_sql.push_back(scans[rng.UniformInt(0, 3)]);
+  }
+  for (size_t i = 0; i < opt.interactive_queries; ++i) {
+    std::ostringstream sql;
+    double cut = 0.05 * static_cast<double>(rng.UniformInt(1, 12));
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        sql << "SELECT COUNT(*) AS n, AVG(pt) AS avg_pt FROM ntuple_my_b1"
+            << " WHERE pt > " << cut;
+        break;
+      case 1:
+        sql << "SELECT COUNT(*) AS n, MAX(e_total) AS max_e"
+            << " FROM ntuple_ms_b2 WHERE pt > " << cut;
+        break;
+      default:
+        sql << "SELECT COUNT(*) AS n, AVG(e_total) AS avg_e"
+            << " FROM ntuple_my_a1 WHERE pt > " << cut;
+        break;
+    }
+    w.interactive_sql.push_back(sql.str());
+  }
+  return w;
+}
+
+/// Canonical bytes of a result set: header + the stage-file row codec.
+inline std::string Canonical(const storage::ResultSet& rs) {
+  std::string out;
+  for (const std::string& column : rs.columns) out += column + "|";
+  out += "\n";
+  out += storage::EncodeRowBlock(rs.rows);
+  return out;
+}
+
+/// Whole materialized batch result via the paged fetch surface.
+inline Result<std::string> FetchAll(core::BatchJobManager& mgr,
+                                    const std::string& tenant, uint64_t id) {
+  std::string out;
+  for (size_t page = 0;; ++page) {
+    auto rs = mgr.Fetch(tenant, id, page);
+    if (!rs.ok()) return rs.status();
+    if (page == 0) {
+      for (const std::string& column : rs->columns) out += column + "|";
+      out += "\n";
+    }
+    if (rs->rows.empty()) break;
+    out += storage::EncodeRowBlock(rs->rows);
+  }
+  return out;
+}
+
+/// Checkpoint-record count per chunk id for `job` in the on-disk journal.
+inline Result<std::map<size_t, int>> CheckpointCounts(
+    const std::string& journal_path, uint64_t job) {
+  std::map<size_t, int> counts;
+  auto replay = util::ReadJournal(journal_path);
+  if (!replay.ok()) return replay.status();
+  for (const std::string& record : replay->records) {
+    std::istringstream in(record);
+    std::string kind;
+    std::getline(in, kind);
+    if (kind != "checkpoint") continue;
+    uint64_t id = 0;
+    size_t chunk = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      std::istringstream fields(line);
+      std::string key;
+      fields >> key;
+      if (key == "id") fields >> id;
+      if (key == "chunk") fields >> chunk;
+    }
+    if (id == job) ++counts[chunk];
+  }
+  return counts;
+}
+
+inline std::shared_ptr<core::RbacCatalog> MakeRbac() {
+  auto rbac = std::make_shared<core::RbacCatalog>();
+  (void)rbac->CreateUser("physicist");
+  (void)rbac->GrantTable("physicist", core::RbacCatalog::kAllTables);
+  (void)rbac->CreateUser("flipper");
+  (void)rbac->CreateUser("intruder");
+  return rbac;
+}
+
+inline TestbedOptions MakeBedOptions(
+    uint64_t seed, const ChaosOptions& opt, bool chaos_pass,
+    std::shared_ptr<core::RbacCatalog> rbac) {
+  TestbedOptions bed_opt;
+  bed_opt.main_table_rows = opt.main_table_rows;
+  bed_opt.chunk_tables = opt.chunk_tables;
+  bed_opt.seed = 2005;  // Same dataset for every seed; faults vary instead.
+  bed_opt.rbac = std::move(rbac);
+  // The chaos pass serves interactive queries through the result cache
+  // (the byte-identity and RBAC-flip invariants must hold through it);
+  // the oracle pass stays cache-less so it cannot mask a cache bug.
+  bed_opt.query_cache = chaos_pass;
+  if (chaos_pass) {
+    // Generous transient-fault retries: the invariant is that retried
+    // queries converge to the oracle bytes, not that no retry happens.
+    bed_opt.retry_policy.max_attempts = 8;
+    bed_opt.retry_policy.initial_backoff_ms = 1.0;
+    bed_opt.retry_policy.max_backoff_ms = 50.0;
+  }
+  (void)seed;
+  return bed_opt;
+}
+
+inline core::BatchConfig MakeBatchConfig(const ChaosOptions& opt,
+                                         const std::string& dir) {
+  core::BatchConfig cfg;
+  cfg.journal_dir = dir;
+  cfg.chunk_rows = opt.batch_chunk_rows;
+  cfg.workers = opt.batch_workers;
+  cfg.autostart = false;
+  cfg.io_retry_backoff_ms = 2.0;
+  cfg.retry.max_attempts = 8;
+  cfg.retry.initial_backoff_ms = 1.0;
+  cfg.retry.max_backoff_ms = 50.0;
+  return cfg;
+}
+
+inline warehouse::EtlPipeline::Job MakeEtlJob(Testbed& bed,
+                                              engine::Database* target) {
+  warehouse::EtlPipeline::Job job;
+  job.source = bed.databases[0].get();  // my_a1 on pentium4-a
+  job.source_host = "pentium4-a";
+  job.extract_sql = "SELECT * FROM ntuple_my_a1";
+  job.target = target;
+  job.target_host = "pentium4-b";
+  job.target_table = "chaos_target";
+  job.create_target = true;
+  return job;
+}
+
+/// Oracle pass: the same workload with no faults installed. Returns the
+/// expected bytes/digest the chaos pass must converge to.
+struct ChaosOracle {
+  std::vector<std::string> batch;
+  std::vector<std::string> interactive;
+  storage::TableDigest etl;
+  bool ok = true;
+  std::string error;
+};
+
+inline ChaosOracle RunOracle(uint64_t seed, const ChaosOptions& opt,
+                             const ChaosWorkload& workload) {
+  ChaosOracle oracle;
+  auto fail = [&](const std::string& what) {
+    oracle.ok = false;
+    oracle.error = what;
+    return oracle;
+  };
+
+  auto bed = Testbed::Build(
+      MakeBedOptions(seed, opt, /*chaos_pass=*/false, MakeRbac()));
+  const std::string dir = opt.scratch_root + "/oracle";
+  std::filesystem::create_directories(dir + "/batch");
+  std::filesystem::create_directories(dir + "/staging");
+
+  core::BatchJobManager mgr(&bed->server_a->service(), &bed->catalog,
+                            MakeBatchConfig(opt, dir + "/batch"));
+  if (Status st = mgr.Recover(); !st.ok()) {
+    return fail("oracle recover: " + st.ToString());
+  }
+  mgr.Start();
+  std::vector<uint64_t> ids;
+  for (const std::string& sql : workload.batch_sql) {
+    auto id = mgr.Submit("physicist", sql);
+    if (!id.ok()) return fail("oracle submit: " + id.status().ToString());
+    ids.push_back(*id);
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!mgr.WaitForTerminal(ids[i], 120.0)) {
+      return fail("oracle batch job timed out");
+    }
+    auto bytes = FetchAll(mgr, "physicist", ids[i]);
+    if (!bytes.ok()) return fail("oracle fetch: " + bytes.status().ToString());
+    oracle.batch.push_back(*bytes);
+  }
+
+  for (const std::string& sql : workload.interactive_sql) {
+    QueryContext ctx;
+    ctx.tenant = "physicist";
+    auto rs = bed->server_a->service().Query(sql, nullptr, 0, "", ctx);
+    if (!rs.ok()) return fail("oracle query: " + rs.status().ToString());
+    oracle.interactive.push_back(Canonical(*rs));
+  }
+
+  engine::Database mart("chaos_mart", sql::Vendor::kMySql);
+  warehouse::EtlPipeline etl(&bed->network, net::ServiceCosts::Default(),
+                             warehouse::EtlCosts::Default(), "pentium4-a",
+                             dir + "/staging");
+  for (size_t i = 0; i < opt.etl_runs; ++i) {
+    warehouse::EtlPipeline::ResumeOptions ropt;
+    ropt.run_id = "chaos_run_" + std::to_string(i);
+    ropt.chunk_rows = 96;
+    auto stats = etl.RunResumable(MakeEtlJob(*bed, &mart), ropt);
+    if (!stats.ok()) return fail("oracle etl: " + stats.status().ToString());
+  }
+  if (opt.etl_runs > 0) {
+    auto digest = mart.ContentDigest("chaos_target");
+    if (!digest.ok()) {
+      return fail("oracle digest: " + digest.status().ToString());
+    }
+    oracle.etl = *digest;
+  }
+  mgr.Stop();
+  return oracle;
+}
+
+/// Seeded kill schedule: fire SimulateCrash after the Nth hook visit to a
+/// named checkpoint-protocol point. One shared countdown list; hooks fire
+/// on worker threads, the restart dance runs on the harness thread.
+struct KillSchedule {
+  struct Kill {
+    std::string point;
+    int countdown = 0;  ///< Matching hook visits before the kill fires.
+  };
+  std::mutex mu;
+  std::vector<Kill> pending;
+
+  void Install(core::BatchJobManager* mgr) {
+    mgr->set_crash_hook([this, mgr](const char* point, uint64_t, size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (pending.empty()) return;
+      if (pending.front().point != point) return;
+      if (--pending.front().countdown > 0) return;
+      pending.erase(pending.begin());
+      mgr->SimulateCrash();
+    });
+  }
+};
+
+}  // namespace chaos_detail
+
+/// Runs one complete chaos scenario for `seed`: oracle pass, chaos pass,
+/// quiesce, invariant checks. The report lists every violated invariant;
+/// `report.ok` is the pass/fail verdict for the seed.
+inline ChaosReport RunChaosSeed(uint64_t seed, const ChaosOptions& opt) {
+  using namespace chaos_detail;
+  ChaosReport report;
+  Stopwatch wall;
+  obs::MetricsRegistry::Default().GetCounter("griddb.chaos.seeds")
+      ->Add();
+  auto chaos_counter = [](const char* name) {
+    return obs::MetricsRegistry::Default().GetCounter(name);
+  };
+
+  const ChaosWorkload workload = MakeWorkload(seed, opt);
+  const ChaosOracle oracle = RunOracle(seed, opt, workload);
+  if (!oracle.ok) {
+    // The oracle is fault-free: a failure here is a harness/config bug,
+    // not a robustness finding — fail loudly either way.
+    report.Violation("oracle pass failed: " + oracle.error);
+    report.wall_ms = wall.ElapsedMs();
+    return report;
+  }
+
+  // ---- chaos pass ----
+  auto rbac = MakeRbac();
+  auto bed = Testbed::Build(
+      MakeBedOptions(seed, opt, /*chaos_pass=*/true, rbac));
+  const std::string dir = opt.scratch_root + "/chaos";
+  const std::string batch_dir = dir + "/batch";
+  const std::string staging_dir = dir + "/staging";
+  std::filesystem::create_directories(batch_dir);
+  std::filesystem::create_directories(staging_dir);
+
+  // Storage faults: scoped to this pass's scratch tree; bit flips only on
+  // stage files (the digest-quarantine path) — the journal's tear repair
+  // is exercised by torn writes + crash drops instead, so a flipped
+  // journal *read* cannot silently drop acked records and muddy the
+  // exactly-once accounting.
+  Rng rng(seed);
+  auto fault_fs = std::make_unique<storage::FaultFs>(seed);
+  fault_fs->SetPathFilter([dir](const std::string& path) {
+    return path.rfind(dir, 0) == 0;
+  });
+  fault_fs->SetBitFlipFilter([](const std::string& path) {
+    return path.size() >= 6 &&
+           path.compare(path.size() - 6, 6, ".stage") == 0;
+  });
+  storage::FsFaultSpec spec;
+  if (!opt.enospc_only) {
+    spec.torn_write_probability = opt.storage_fault_rate;
+    spec.lying_fsync_probability = opt.storage_fault_rate;
+    spec.bit_flip_probability = opt.bit_flip_rate;
+    spec.rename_fail_probability = opt.storage_fault_rate;
+    spec.unlink_fail_probability = opt.storage_fault_rate;
+  }
+  fault_fs->SetSpec(spec);
+  // Disk-full windows in op space (deterministic and escapable): one or
+  // two per seed, landing inside the batch checkpoint stream.
+  const int windows = opt.enospc_only ? 2 : 1;
+  for (int w = 0; w < windows; ++w) {
+    fault_fs->AddEnospcWindow(
+        static_cast<uint64_t>(rng.UniformInt(10, 120)) +
+            static_cast<uint64_t>(w) * 150,
+        static_cast<uint64_t>(rng.UniformInt(2, 6)));
+  }
+  util::FileSystem* prev_fs = util::SetFileSystem(fault_fs.get());
+
+  // Network faults on every LAN link (sub-queries, RLS lookups).
+  if (!opt.enospc_only && opt.net_fault_rate > 0) {
+    auto plan = std::make_shared<net::FaultPlan>(seed ^ 0x9e77u);
+    net::LinkFaultSpec link;
+    link.drop_probability = opt.net_fault_rate;
+    link.corrupt_probability = opt.net_fault_rate;
+    link.delay_probability = 0.05;
+    link.delay_ms = 3.0;
+    plan->SetDefaultLinkFaults(link);
+    bed->network.InstallFaultPlan(plan);
+  }
+
+  // Crash-kill schedule over the protocol's own named points.
+  KillSchedule kills;
+  if (!opt.enospc_only && opt.max_crash_kills > 0) {
+    const auto& points = core::BatchJobManager::CrashPointNames();
+    size_t n = static_cast<size_t>(
+        rng.UniformInt(1, static_cast<int64_t>(opt.max_crash_kills)));
+    for (size_t k = 0; k < n; ++k) {
+      KillSchedule::Kill kill;
+      kill.point = points[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1))];
+      kill.countdown = static_cast<int>(rng.UniformInt(2, 14));
+      kills.pending.push_back(kill);
+    }
+  }
+
+  auto mgr = std::make_unique<core::BatchJobManager>(
+      &bed->server_a->service(), &bed->catalog,
+      MakeBatchConfig(opt, batch_dir));
+  kills.Install(mgr.get());
+  (void)mgr->Recover();
+  mgr->Start();
+
+  // Submit the batch mix. Submit is durable-or-error; storage faults can
+  // reject it, so retry (the disk "coming back" is part of the story).
+  std::vector<uint64_t> ids(workload.batch_sql.size(), 0);
+  std::set<uint64_t> all_ids_ever;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(opt.timeout_sec);
+  auto submit = [&](size_t slot) -> bool {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (mgr->crashed()) return false;
+      auto id = mgr->Submit("physicist", workload.batch_sql[slot]);
+      if (id.ok()) {
+        ids[slot] = *id;
+        all_ids_ever.insert(*id);
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return false;
+  };
+  // The restart dance: what an operator's supervisor does after a power
+  // cut — drop unsynced page cache, start a fresh coordinator over the
+  // same journal dir, recover, resume.
+  auto restart = [&] {
+    mgr.reset();  // joins the crashed workers
+    fault_fs->CrashDropUnsynced();
+    ++report.crashes;
+    chaos_counter("griddb.chaos.crashes")->Add();
+    mgr = std::make_unique<core::BatchJobManager>(
+        &bed->server_a->service(), &bed->catalog,
+        MakeBatchConfig(opt, batch_dir));
+    kills.Install(mgr.get());
+    Status recovered = Status::Ok();
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      recovered = mgr->Recover();
+      if (recovered.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!recovered.ok()) {
+      report.Violation("recover failed after crash: " +
+                       recovered.ToString());
+      return;
+    }
+    ++report.recoveries;
+    chaos_counter("griddb.chaos.recoveries")->Add();
+    mgr->Start();
+    // A submit acked just before the kill can be gone if its journal
+    // record rode a lying fsync: detect and resubmit — the client-side
+    // half of the durability contract.
+    for (size_t slot = 0; slot < ids.size(); ++slot) {
+      if (ids[slot] == 0) continue;
+      auto info = mgr->Poll("physicist", ids[slot]);
+      if (!info.ok() && info.status().code() == StatusCode::kNotFound) {
+        ids[slot] = 0;
+        ++report.resubmits;
+        chaos_counter("griddb.chaos.resubmits")->Add();
+      }
+    }
+  };
+  for (size_t slot = 0; slot < ids.size(); ++slot) {
+    if (!submit(slot) && mgr->crashed()) restart();
+  }
+
+  // Resumable ETL runs ride alongside the batch lane through the same
+  // faulty filesystem and LAN. Each attempt that fails resumes from its
+  // own manifest; crashed coordinators are restarted between attempts.
+  engine::Database mart("chaos_mart", sql::Vendor::kMySql);
+  warehouse::EtlPipeline etl(&bed->network, net::ServiceCosts::Default(),
+                             warehouse::EtlCosts::Default(), "pentium4-a",
+                             staging_dir);
+  std::vector<bool> etl_done(opt.etl_runs, false);
+  auto etl_attempt = [&](size_t run) {
+    warehouse::EtlPipeline::ResumeOptions ropt;
+    ropt.run_id = "chaos_run_" + std::to_string(run);
+    ropt.chunk_rows = 96;
+    return etl.RunResumable(MakeEtlJob(*bed, &mart), ropt);
+  };
+  for (size_t run = 0; run < opt.etl_runs; ++run) {
+    for (int attempt = 0; attempt < 10 && !etl_done[run]; ++attempt) {
+      etl_done[run] = etl_attempt(run).ok();
+      if (mgr->crashed()) restart();
+    }
+  }
+
+  // Drain: interleave interactive traffic, grant flips and intruder
+  // probes with polling the batch lane to terminal, restarting the
+  // coordinator whenever a scheduled kill fires.
+  std::vector<std::string> interactive(workload.interactive_sql.size());
+  std::vector<bool> interactive_ok(workload.interactive_sql.size(), false);
+  size_t next_query = 0;
+  size_t flips_left = opt.grant_flips;
+  bool flipper_granted = false;
+  auto& service = bed->server_a->service();
+  auto probe = [&](const std::string& tenant, const std::string& sql) {
+    QueryContext ctx;
+    ctx.tenant = tenant;
+    return service.Query(sql, nullptr, 0, "", ctx);
+  };
+  bool timed_out = false;
+  while (true) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      timed_out = true;
+      report.Violation("chaos pass exceeded timeout_sec");
+      break;
+    }
+    if (mgr->crashed()) restart();
+    bool all_terminal = true;
+    for (size_t slot = 0; slot < ids.size(); ++slot) {
+      if (ids[slot] == 0) {
+        all_terminal = false;
+        if (!submit(slot)) continue;
+      }
+      auto info = mgr->Poll("physicist", ids[slot]);
+      if (!info.ok() || !core::IsTerminal(info->state)) all_terminal = false;
+    }
+    // One interactive query per lap, transient failures deferred to the
+    // post-quiesce sweep (the invariant is convergence, not zero noise).
+    if (next_query < workload.interactive_sql.size()) {
+      auto rs = probe("physicist", workload.interactive_sql[next_query]);
+      if (rs.ok()) {
+        interactive[next_query] = Canonical(*rs);
+        interactive_ok[next_query] = true;
+      }
+      ++next_query;
+    }
+    // Grant flips: RBAC is authoritative the moment the DDL returns, no
+    // matter what storage/network chaos is in flight — and no cached
+    // result may outlive a revoke.
+    if (flips_left > 0) {
+      if (flipper_granted) {
+        (void)rbac->RevokeTable("flipper", "chunk_my_a1_0");
+      } else {
+        (void)rbac->GrantTable("flipper", "chunk_my_a1_0");
+      }
+      flipper_granted = !flipper_granted;
+      --flips_left;
+      auto rs = probe("flipper", "SELECT id FROM chunk_my_a1_0");
+      if (flipper_granted && rs.status().code() ==
+                                 StatusCode::kPermissionDenied) {
+        report.Violation("rbac: granted tenant denied");
+      }
+      if (!flipper_granted && rs.ok()) {
+        report.Violation("rbac: revoked tenant served (leak)");
+      }
+    }
+    auto intruder = probe("intruder", "SELECT pt FROM ntuple_my_a1");
+    if (intruder.ok()) {
+      report.Violation("rbac: never-granted tenant served (leak)");
+    }
+    if (all_terminal && next_query >= workload.interactive_sql.size() &&
+        flips_left == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // ---- quiesce: all injection off, drain to steady state ----
+  fault_fs->Quiesce();
+  // Uninstalling the plan resets the network's fault counters, so bank
+  // them first — the sweep gates on faults having actually fired.
+  report.net_faults = bed->network.fault_counters();
+  bed->network.InstallFaultPlan(nullptr);
+  if (mgr->crashed()) restart();
+  if (!timed_out) {
+    for (size_t slot = 0; slot < ids.size(); ++slot) {
+      if (ids[slot] == 0 && !submit(slot)) {
+        report.Violation("submit never succeeded post-quiesce");
+      }
+      if (ids[slot] != 0 && !mgr->WaitForTerminal(ids[slot], 60.0)) {
+        report.Violation("batch job not terminal post-quiesce");
+      }
+    }
+  }
+
+  // ---- invariants ----
+  const std::string journal_path = batch_dir + "/batch_jobs.journal";
+  for (size_t slot = 0; slot < ids.size() && !timed_out; ++slot) {
+    if (ids[slot] == 0) continue;
+    auto info = mgr->Poll("physicist", ids[slot]);
+    if (!info.ok()) {
+      report.Violation("post-quiesce poll failed: " +
+                       info.status().ToString());
+      continue;
+    }
+    report.io_pauses += info->io_pauses;
+    if (info->state != core::BatchJobState::kDone) {
+      report.Violation(std::string("job ended ") +
+                       core::BatchJobStateName(info->state) +
+                       " (faults must pause, never fail)");
+      continue;
+    }
+    auto bytes = FetchAll(*mgr, "physicist", ids[slot]);
+    if (!bytes.ok()) {
+      report.Violation("batch fetch failed post-quiesce: " +
+                       bytes.status().ToString());
+    } else if (*bytes != oracle.batch[slot]) {
+      // Name the first divergent byte: equal-length mismatches are
+      // usually a row permutation or a single damaged cell, and the
+      // excerpt tells which without re-running the seed under a
+      // debugger.
+      size_t at = 0;
+      while (at < bytes->size() && at < oracle.batch[slot].size() &&
+             (*bytes)[at] == oracle.batch[slot][at]) {
+        ++at;
+      }
+      auto excerpt = [at](const std::string& s) {
+        const size_t from = at < 20 ? 0 : at - 20;
+        std::string out;
+        for (char c : s.substr(from, 60)) {
+          out += (c == '\n' || c == '\t') ? '.' : c;
+        }
+        return out;
+      };
+      std::ostringstream what;
+      what << "batch result differs from fault-free oracle (job "
+           << ids[slot] << ": got " << bytes->size() << " bytes, oracle "
+           << oracle.batch[slot].size() << "; first diff at byte " << at
+           << ": got \"" << excerpt(*bytes) << "\" oracle \""
+           << excerpt(oracle.batch[slot]) << "\")";
+      report.Violation(what.str());
+    }
+    auto counts = CheckpointCounts(journal_path, ids[slot]);
+    if (!counts.ok()) {
+      report.Violation("journal unreadable: " + counts.status().ToString());
+      continue;
+    }
+    if (counts->size() != info->chunks_done) {
+      report.Violation("checkpoint coverage incomplete");
+    }
+    for (const auto& [chunk, count] : *counts) {
+      if (count < 1) report.Violation("chunk with zero checkpoints");
+      if (count > 1) {
+        report.reexecuted_chunks += static_cast<size_t>(count - 1);
+      }
+    }
+  }
+  if (opt.enospc_only && report.reexecuted_chunks > 0) {
+    report.Violation("ENOSPC-only run re-executed durable checkpoints");
+  }
+  if (opt.enospc_only && report.resubmits > 0) {
+    report.Violation("ENOSPC-only run lost a submitted job");
+  }
+
+  // Journal replays cleanly: tears are repaired in-line (failed Append)
+  // or at recovery, so a quiesced system never leaves one behind.
+  if (auto replay = util::ReadJournal(journal_path); !replay.ok()) {
+    report.Violation("final journal read failed: " +
+                     replay.status().ToString());
+  } else if (replay->truncated) {
+    report.Violation("final journal has a torn tail");
+  }
+
+  // Interactive convergence: every query answers post-quiesce with the
+  // oracle's exact bytes (through the result cache).
+  for (size_t q = 0; q < workload.interactive_sql.size() && !timed_out;
+       ++q) {
+    auto rs = probe("physicist", workload.interactive_sql[q]);
+    if (!rs.ok()) {
+      report.Violation("interactive query failed post-quiesce: " +
+                       rs.status().ToString());
+      continue;
+    }
+    if (Canonical(*rs) != oracle.interactive[q]) {
+      report.Violation("interactive result differs from oracle");
+    }
+    if (interactive_ok[q] && interactive[q] != oracle.interactive[q]) {
+      report.Violation("mid-chaos interactive result differed from oracle");
+    }
+  }
+  if (auto final_intruder = probe("intruder", "SELECT pt FROM ntuple_my_a1");
+      final_intruder.status().code() != StatusCode::kPermissionDenied) {
+    report.Violation("rbac: intruder not denied post-quiesce");
+  }
+
+  // ETL: finish every run faultlessly (idempotent — already-loaded chunks
+  // dedupe via the target's chunk registry), then the mart must match the
+  // oracle digest and the staging directory must be fully drained.
+  for (size_t run = 0; run < opt.etl_runs; ++run) {
+    auto stats = etl_attempt(run);
+    if (!stats.ok()) {
+      report.Violation("etl run failed post-quiesce: " +
+                       stats.status().ToString());
+    }
+  }
+  if (opt.etl_runs > 0) {
+    if (auto digest = mart.ContentDigest("chaos_target");
+        !digest.ok() || !(*digest == oracle.etl)) {
+      report.Violation("etl mart content differs from oracle");
+    }
+  }
+  {
+    std::vector<std::string> leftovers;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(staging_dir)) {
+      leftovers.push_back(entry.path().filename().string());
+    }
+    if (!leftovers.empty()) {
+      std::string what = "etl staging dir not drained:";
+      for (const std::string& name : leftovers) what += " " + name;
+      report.Violation(what);
+    }
+  }
+
+  // Batch dir holds exactly the journal plus stage files of jobs this
+  // harness submitted — an unknown file is a leak (tmp droppings, stage
+  // files orphaned past recovery).
+  for (const auto& entry : std::filesystem::directory_iterator(batch_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "batch_jobs.journal") continue;
+    bool known = false;
+    for (uint64_t id : all_ids_ever) {
+      if (name == "job_" + std::to_string(id) + ".stage") {
+        known = true;
+        break;
+      }
+    }
+    if (!known) report.Violation("orphaned file in batch dir: " + name);
+  }
+
+  mgr->Stop();
+  report.fs_faults = fault_fs->counters();
+  mgr.reset();
+  bed.reset();
+  util::SetFileSystem(prev_fs);
+  report.wall_ms = wall.ElapsedMs();
+  return report;
+}
+
+}  // namespace griddb::bench

@@ -70,6 +70,10 @@ echo "== crash injection: batch journal recovery sweep =="
 # Kill the batch coordinator at every named point of its checkpoint
 # protocol (see BatchJobManager::CrashHook) and require restart recovery
 # to complete the job byte-identical with no re-executed checkpoints.
+# `list` first: the sweep below must name real points, so enumerate them
+# and fail loudly if the protocol grew one this list does not cover.
+GRIDDB_CRASH_POINT=list ./build/tests/batch_service_test \
+  --gtest_filter='*EnvDrivenCrashPointSweep*'
 for point in staged:0 staged:3 checkpoint:0 checkpoint:4 checkpoint:6 \
              total:7 terminal:7; do
   echo "-- GRIDDB_CRASH_POINT=$point"
@@ -77,19 +81,33 @@ for point in staged:0 staged:3 checkpoint:0 checkpoint:4 checkpoint:6 \
     --gtest_filter='*EnvDrivenCrashPointSweep*' >/dev/null
 done
 
+echo "== chaos: whole-system seed sweep =="
+# Composed storage faults + network faults + coordinator kills against a
+# fault-free oracle (bench/chaos_harness.h). The tier-1 ctest pass above
+# already ran the bounded tests/chaos_test seeds; the full >= 200 seed
+# acceptance sweep is bench_ext_chaos (BENCH_chaos.json). A failing seed
+# is printed by the runner — replaying it reproduces the exact schedule.
+./build/bench/bench_ext_chaos BENCH_chaos.json >/dev/null
+
 echo "== asan: build robustness suites =="
 cmake -B /tmp/griddb_asan -S . -DGRIDDB_SANITIZE=address >/dev/null
 cmake --build /tmp/griddb_asan -j"$(nproc)" --target \
   fault_tolerance_test etl_resume_test integrity_test \
   stage_property_test query_cache_test overload_test \
   tenant_isolation_test batch_service_test \
-  vectorized_parity_test wire_codec_test >/dev/null
+  vectorized_parity_test wire_codec_test \
+  fault_fs_test chaos_test >/dev/null
 
 echo "== asan: run =="
+# chaos_test is the bounded chaos seed sweep (tests/chaos_test.cc): the
+# same whole-system harness as bench_ext_chaos on a handful of seeds, so
+# the crash/recover/quarantine paths run under the sanitizer in bounded
+# time. A failing seed appears in the gtest SCOPED_TRACE output.
 for t in fault_tolerance_test etl_resume_test integrity_test \
          stage_property_test query_cache_test overload_test \
          tenant_isolation_test batch_service_test \
-         vectorized_parity_test wire_codec_test; do
+         vectorized_parity_test wire_codec_test \
+         fault_fs_test chaos_test; do
   echo "-- $t"
   /tmp/griddb_asan/tests/"$t" >/dev/null
 done
@@ -99,10 +117,10 @@ cmake -B /tmp/griddb_tsan -S . -DGRIDDB_SANITIZE=thread >/dev/null
 cmake --build /tmp/griddb_tsan -j"$(nproc)" --target \
   query_cache_test concurrency_test overload_test \
   tenant_isolation_test batch_service_test \
-  vectorized_parity_test wire_codec_test >/dev/null
+  vectorized_parity_test wire_codec_test chaos_test >/dev/null
 for t in query_cache_test concurrency_test overload_test \
          tenant_isolation_test batch_service_test \
-         vectorized_parity_test wire_codec_test; do
+         vectorized_parity_test wire_codec_test chaos_test; do
   echo "-- $t"
   /tmp/griddb_tsan/tests/"$t" >/dev/null
 done

@@ -9,6 +9,7 @@
 #include "griddb/sql/parser.h"
 #include "griddb/sql/render.h"
 #include "griddb/storage/stage_file.h"
+#include "griddb/util/fs.h"
 #include "griddb/util/logging.h"
 #include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
@@ -76,6 +77,16 @@ obs::Counter& FetchPagesCounter() {
 obs::Counter& JournalTruncatedCounter() {
   static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
       "griddb.batch.journal_truncated");
+  return *c;
+}
+obs::Counter& IoPausesCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("griddb.batch.io_pauses");
+  return *c;
+}
+obs::Counter& StageRepairsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.batch.stage_repairs");
   return *c;
 }
 obs::Gauge& QueueDepthGauge() {
@@ -229,8 +240,17 @@ void BatchJobManager::set_crash_hook(CrashHook hook) {
   crash_hook_ = std::move(hook);
 }
 
+const std::vector<std::string>& BatchJobManager::CrashPointNames() {
+  static const std::vector<std::string> names = {"checkpoint", "staged",
+                                                 "terminal", "total"};
+  return names;
+}
+
 void BatchJobManager::CrashPoint(const char* point, uint64_t job_id,
                                  size_t chunk) {
+  assert(std::find(CrashPointNames().begin(), CrashPointNames().end(),
+                   point) != CrashPointNames().end() &&
+         "crash point fired without being registered in CrashPointNames()");
   CrashHook hook;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -380,8 +400,7 @@ Status BatchJobManager::Recover() {
     if (job.info.state == BatchJobState::kDone) {
       // The scratch mart is an in-memory cache over the durable stage
       // file; rebuild it so fetches and follow-up queries work after the
-      // restart. A rebuild failure (e.g. damaged stage file) surfaces in
-      // the job's error field but cannot un-finish the job.
+      // restart.
       lock.unlock();
       Status rebuilt = [&]() -> Status {
         GRIDDB_ASSIGN_OR_RETURN(engine::Database * db,
@@ -396,8 +415,19 @@ Status BatchJobManager::Recover() {
       }();
       lock.lock();
       if (!rebuilt.ok()) {
+        // The stage file lost chunks the journal says were durable — an
+        // fsync that lied before a power cut, or media rot past the
+        // digest-quarantine repair. Serving the truncated result as
+        // "done" would be silent data loss; the SQL and per-chunk
+        // digests are journaled, so demote the job and re-execute from
+        // its last intact checkpoint instead.
         job.info.error = "scratch rebuild failed: " + rebuilt.ToString();
-        GRIDDB_LOG(Warn) << "batch job " << id << ": " << job.info.error;
+        GRIDDB_LOG(Warn) << "batch job " << id << ": " << job.info.error
+                         << " (requeued from last intact checkpoint)";
+        job.info.state = BatchJobState::kQueued;
+        job.info.recovered = true;
+        queue_.push_back(id);
+        RecoveredCounter().Add(1);
       }
       continue;
     }
@@ -626,6 +656,7 @@ void BatchJobManager::RunJob(uint64_t id) {
   Status result = RunScan(*job);
 
   size_t chunks_done = 0;
+  bool io_pause = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     RunningGauge().Set(RunningCount().fetch_sub(1) - 1);
@@ -656,22 +687,59 @@ void BatchJobManager::RunJob(uint64_t id) {
       return;
     }
     if (result.ok()) {
-      if (JournalTerminal(id, BatchJobState::kDone, "").ok()) {
+      if (Status t = JournalTerminal(id, BatchJobState::kDone, ""); t.ok()) {
         job->info.state = BatchJobState::kDone;
         CompletedCounter().Add(1);
+      } else {
+        // The work is all durably checkpointed; only the terminal record
+        // could not be written. Failing the job here would throw a
+        // finished result away because a disk hiccuped — park it instead
+        // and retry once storage recovers (the retry re-runs nothing: it
+        // restores every chunk and re-attempts only this append).
+        io_pause = true;
       }
+    } else if (result.code() == StatusCode::kIoError) {
+      // Storage failure (ENOSPC window, torn write, unwritable journal):
+      // graceful degradation is pause-and-retry, never job failure. The
+      // checkpointed prefix stays durable; the retry resumes after it.
+      io_pause = true;
     } else {
       job->info.error = result.ToString();
       if (JournalTerminal(id, BatchJobState::kFailed, job->info.error).ok()) {
         job->info.state = BatchJobState::kFailed;
         FailedCounter().Add(1);
+      } else {
+        // Can't even record the failure: park and re-derive it later.
+        job->info.error.clear();
+        io_pause = true;
       }
+    }
+    if (io_pause) {
+      job->info.state = BatchJobState::kQueued;
+      ++job->info.io_pauses;
+      IoPausesCounter().Add(1);
     }
     if (span.active()) {
       if (!result.ok()) span.SetError(result.ToString());
       span.End();
     }
     chunks_done = job->info.chunks_done;
+  }
+  if (io_pause) {
+    // Back off before requeueing so a persistent ENOSPC window does not
+    // spin the worker pool; the wait aborts early on stop/crash/cancel.
+    InterruptibleWait(*job, config_.io_retry_backoff_ms);
+    std::lock_guard<std::mutex> lock(mu_);
+    // Requeue even when the wait was cut short by Stop(): the queue
+    // survives Stop()/Start(), and a job parked outside it would be
+    // invisible to the next incarnation's workers. Cancellation flips
+    // the state away from queued, which skips the requeue.
+    if (job->info.state == BatchJobState::kQueued && !crashed()) {
+      queue_.push_back(id);
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      work_cv_.notify_one();
+    }
+    return;
   }
   // Outside mu_: CrashPoint re-locks it to read the hook.
   CrashPoint("terminal", id, chunks_done);
@@ -801,15 +869,31 @@ Result<size_t> BatchJobManager::MaterializeCheckpointed(
   }
   if (journaled.empty()) return size_t{0};
 
+  const std::string stage_path = StagePath(job.info.id);
   std::vector<size_t> corrupt;
-  auto staged = storage::ReadChunkedStageFileTolerant(StagePath(job.info.id),
-                                                      &corrupt);
+  storage::StageDamage damage;
+  auto staged =
+      storage::ReadChunkedStageFileTolerant(stage_path, &corrupt, &damage);
   if (!staged.ok()) {
-    // Missing or structurally damaged stage file: nothing restorable —
-    // the scan re-runs from chunk 0. (Checkpoints are journaled only
-    // after a durable stage append, so this means external damage, and
-    // re-running is the lossless answer.)
+    // Missing or unreadably damaged stage file: nothing restorable — the
+    // scan re-runs from chunk 0. Damaged (as opposed to missing) files
+    // must be removed first: stage appends land at the physical end of
+    // file, so frames written after unreadable bytes would be invisible
+    // to every later read and the job could never converge.
+    if (staged.status().code() != StatusCode::kNotFound) {
+      (void)util::Fs().Unlink(stage_path);
+      StageRepairsCounter().Add(1);
+    }
     return size_t{0};
+  }
+  if (damage.torn) {
+    // A tail torn by a crash, a torn write, or a lying fsync whose bytes
+    // a crash dropped. Cut the file back to its intact frames before any
+    // append, for the same reason Recover() truncates a torn journal.
+    GRIDDB_RETURN_IF_ERROR(
+        util::Fs().Truncate(stage_path, damage.intact_bytes));
+    GRIDDB_RETURN_IF_ERROR(util::Fs().Fsync(stage_path));
+    StageRepairsCounter().Add(1);
   }
   // Restore the dense prefix of chunks whose stage frame digest matches
   // the journaled checkpoint; stop at the first hole — LIMIT/OFFSET
@@ -873,7 +957,29 @@ Status BatchJobManager::RunScan(Job& job) {
   auto parsed = sql::ParseSelect(job.info.sql, ClientDialect());
   if (!parsed.ok()) return parsed.status();
   std::unique_ptr<sql::SelectStmt> stmt = std::move(*parsed);
-  const bool pageable = IsPageable(*stmt);
+  // Paging is per-chunk LIMIT/OFFSET, so every replica of every
+  // referenced table must provably live behind a dialect that can
+  // express the offset. TOP (MS-SQL) and ROWNUM (Oracle) renderings
+  // drop it, handing back the first chunk on every page — an
+  // unterminating scan. A table with no local binding executes on a
+  // peer server whose vendor this coordinator cannot see, so it gets
+  // the same conservative treatment: degrade to the single-shot path.
+  bool offset_ok = true;
+  for (const sql::TableRef* ref : stmt->AllTables()) {
+    auto bindings = service_->driver().dictionary().Locate(ref->table);
+    if (bindings.empty()) offset_ok = false;
+    for (const unity::TableBinding& binding : bindings) {
+      const size_t scheme = binding.connection.find("://");
+      auto vendor = sql::VendorFromName(
+          std::string_view(binding.connection)
+              .substr(0, scheme == std::string::npos ? 0 : scheme));
+      if (!vendor.ok() || sql::Dialect::For(*vendor).limit_style() !=
+                              sql::LimitStyle::kLimitOffset) {
+        offset_ok = false;
+      }
+    }
+  }
+  const bool pageable = IsPageable(*stmt) && offset_ok;
   const size_t chunk_rows = std::max<size_t>(job.chunk_rows, 1);
 
   // Materializes one chunk durably: stage frame first (fsync'd), then

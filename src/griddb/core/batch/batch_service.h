@@ -82,6 +82,11 @@ struct BatchConfig {
   /// shed carries no retry-after hint. Batch workers are real threads
   /// below the virtual clock, so these waits are wall-clock.
   double shed_backoff_ms = 2.0;
+  /// Real-time backoff (ms) before a job paused by a storage failure
+  /// (kIoError: ENOSPC, torn write, unwritable journal) is requeued.
+  /// Storage faults park jobs instead of failing them — disks fill and
+  /// come back; the work already checkpointed must not be thrown away.
+  double io_retry_backoff_ms = 5.0;
   /// Start workers inside the JClarensServer constructor (the production
   /// behaviour: recovered jobs resume with no client traffic). Tests and
   /// embedders that must register source databases first set this false
@@ -111,6 +116,10 @@ struct BatchJobInfo {
   std::string scratch_mart;  ///< Tenant scratch database name.
   std::string result_table;  ///< Logical result table ("batch_<id>").
   bool recovered = false;    ///< Resumed by Recover() after a restart.
+  /// Times the job was parked back to queued by a storage failure
+  /// (kIoError) instead of being failed. Never causes kFailed: storage
+  /// faults are ridden out, not surfaced to the submitter.
+  size_t io_pauses = 0;
 };
 
 class BatchJobManager {
@@ -184,6 +193,11 @@ class BatchJobManager {
   using CrashHook = std::function<void(const char* point, uint64_t job_id,
                                        size_t chunk)>;
   void set_crash_hook(CrashHook hook);
+  /// Every crash-point name CrashPoint() can fire, sorted. The single
+  /// registry chaos schedules, the GRIDDB_CRASH_POINT sweep and the
+  /// dataaccess.crashPoints debug RPC enumerate — so schedules and docs
+  /// cannot drift from the code (CrashPoint asserts membership).
+  static const std::vector<std::string>& CrashPointNames();
   void SimulateCrash() { crashed_.store(true, std::memory_order_release); }
   bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 

@@ -34,6 +34,7 @@ XmlRpcValue BatchInfoToRpc(const BatchJobInfo& info) {
   out["totalKnown"] = info.total_known;
   out["rows"] = static_cast<int64_t>(info.rows);
   out["recovered"] = info.recovered;
+  out["ioPauses"] = static_cast<int64_t>(info.io_pauses);
   out["scratchMart"] = info.scratch_mart;
   out["resultTable"] = info.result_table;
   if (!info.error.empty()) out["error"] = info.error;
@@ -373,6 +374,23 @@ void JClarensServer::RegisterMethods() {
         out["rows"] = static_cast<int64_t>(rs.rows.size());
         out["result"] = rpc::ResultSetToRpc(std::move(rs));
         return XmlRpcValue(std::move(out));
+      });
+
+  // Debug introspection: the crash points the batch checkpoint protocol
+  // can fire, straight from the code's own registry. Chaos schedules,
+  // the GRIDDB_CRASH_POINT CI sweep and the docs enumerate THIS list
+  // instead of hand-copying names that would drift.
+  (void)server_.RegisterMethod(
+      "dataaccess.crashPoints",
+      [](const XmlRpcArray& params,
+         rpc::CallContext& ctx) -> Result<XmlRpcValue> {
+        (void)params;
+        (void)ctx;
+        XmlRpcArray names;
+        for (const std::string& name : BatchJobManager::CrashPointNames()) {
+          names.emplace_back(name);
+        }
+        return XmlRpcValue(std::move(names));
       });
 
   (void)server_.RegisterMethod(

@@ -1,0 +1,289 @@
+#include "griddb/storage/fault_fs.h"
+
+#include <algorithm>
+
+#include "griddb/obs/metrics.h"
+
+namespace griddb::storage {
+
+namespace {
+
+void Count(const char* name) {
+  if (obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(name)) {
+    c->Add();
+  }
+}
+
+}  // namespace
+
+FaultFs::FaultFs(uint64_t seed) : rng_(seed) {}
+
+void FaultFs::SetSpec(FsFaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+}
+
+void FaultFs::AddEnospcWindow(uint64_t start_op, uint64_t length) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enospc_windows_.push_back({start_op, length});
+}
+
+void FaultFs::ArmEnospc(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_enospc_ += count;
+}
+
+void FaultFs::ArmTornWrite(uint64_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_torn_keep_ = static_cast<int64_t>(keep_bytes);
+}
+
+void FaultFs::ArmLyingFsync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_lying_fsync_ = true;
+}
+
+void FaultFs::SetPathFilter(std::function<bool(const std::string&)> filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_filter_ = std::move(filter);
+}
+
+void FaultFs::SetBitFlipFilter(std::function<bool(const std::string&)> filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bit_flip_filter_ = std::move(filter);
+}
+
+void FaultFs::Quiesce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  quiesced_ = true;
+}
+
+FsFaultCounters FaultFs::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint64_t FaultFs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_count_;
+}
+
+bool FaultFs::Matches(const std::string& path) const {
+  return !path_filter_ || path_filter_(path);
+}
+
+uint64_t FaultFs::NextOp() { return op_count_++; }
+
+bool FaultFs::InEnospc(uint64_t op) {
+  if (armed_enospc_ > 0) {
+    --armed_enospc_;
+    return true;
+  }
+  for (const Window& w : enospc_windows_) {
+    if (op >= w.start && op < w.start + w.length) return true;
+  }
+  return false;
+}
+
+uint64_t& FaultFs::DurableMark(const std::string& path) {
+  auto it = durable_.find(path);
+  if (it != durable_.end()) return it->second;
+  // Bytes that existed before injection began were presumably synced by
+  // whoever wrote them; treat the current size as the durable baseline.
+  auto size = FileSystem::FileSize(path);
+  return durable_[path] = size.ok() ? *size : 0;
+}
+
+void FaultFs::CrashDropUnsynced() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, durable] : durable_) {
+    auto size = FileSystem::FileSize(path);
+    if (!size.ok() || *size <= durable) continue;
+    (void)FileSystem::Truncate(path, durable);
+    ++counters_.crash_dropped_files;
+    Count("griddb.fsfault.crash_dropped_files");
+  }
+}
+
+Status FaultFs::Append(const std::string& path, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t op = NextOp();
+    if (!quiesced_ && Matches(path)) {
+      if (InEnospc(op)) {
+        ++counters_.enospc;
+        Count("griddb.fsfault.enospc");
+        return IoError("append '" + path + "': no space left on device (injected)");
+      }
+      bool torn = armed_torn_keep_ >= 0;
+      uint64_t keep = torn ? static_cast<uint64_t>(armed_torn_keep_) : 0;
+      if (torn) {
+        armed_torn_keep_ = -1;
+      } else if (spec_.torn_write_probability > 0 && !data.empty() &&
+                 rng_.NextDouble() < spec_.torn_write_probability) {
+        torn = true;
+        keep = static_cast<uint64_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+      }
+      if (torn) {
+        ++counters_.torn_writes;
+        Count("griddb.fsfault.torn_writes");
+        DurableMark(path);  // pin the pre-write durable baseline
+        (void)FileSystem::Append(path, data.substr(0, std::min<size_t>(
+                                           keep, data.size())));
+        return IoError("append '" + path + "': torn write (injected)");
+      }
+      DurableMark(path);  // pin the pre-write durable baseline
+      return FileSystem::Append(path, data);
+    }
+  }
+  return FileSystem::Append(path, data);
+}
+
+Status FaultFs::WriteTruncate(const std::string& path, std::string_view data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t op = NextOp();
+    if (!quiesced_ && Matches(path)) {
+      if (InEnospc(op)) {
+        ++counters_.enospc;
+        Count("griddb.fsfault.enospc");
+        return IoError("write '" + path + "': no space left on device (injected)");
+      }
+      bool torn = armed_torn_keep_ >= 0;
+      uint64_t keep = torn ? static_cast<uint64_t>(armed_torn_keep_) : 0;
+      if (torn) {
+        armed_torn_keep_ = -1;
+      } else if (spec_.torn_write_probability > 0 && !data.empty() &&
+                 rng_.NextDouble() < spec_.torn_write_probability) {
+        torn = true;
+        keep = static_cast<uint64_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(data.size()) - 1));
+      }
+      // A truncate-write replaces the content: whatever was durable
+      // before is gone from the new generation.
+      DurableMark(path) = 0;
+      if (torn) {
+        ++counters_.torn_writes;
+        Count("griddb.fsfault.torn_writes");
+        (void)FileSystem::WriteTruncate(
+            path, data.substr(0, std::min<size_t>(keep, data.size())));
+        return IoError("write '" + path + "': torn write (injected)");
+      }
+      return FileSystem::WriteTruncate(path, data);
+    }
+  }
+  return FileSystem::WriteTruncate(path, data);
+}
+
+Status FaultFs::Fsync(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NextOp();
+    if (!quiesced_ && Matches(path)) {
+      bool lie = armed_lying_fsync_;
+      armed_lying_fsync_ = false;
+      if (!lie && spec_.lying_fsync_probability > 0 &&
+          rng_.NextDouble() < spec_.lying_fsync_probability) {
+        lie = true;
+      }
+      if (lie) {
+        ++counters_.lying_fsyncs;
+        Count("griddb.fsfault.lying_fsyncs");
+        DurableMark(path);  // frozen at its pre-existing value
+        return Status::Ok();
+      }
+      Status st = FileSystem::Fsync(path);
+      if (st.ok()) {
+        auto size = FileSystem::FileSize(path);
+        if (size.ok()) durable_[path] = *size;
+      }
+      return st;
+    }
+  }
+  // Pass-through still advances the durable mark: an honest fsync makes
+  // the whole file durable whether or not injection is scoped to it.
+  Status st = FileSystem::Fsync(path);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto size = FileSystem::FileSize(path);
+    if (size.ok()) durable_[path] = *size;
+  }
+  return st;
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NextOp();
+    if (!quiesced_ && Matches(to) && spec_.rename_fail_probability > 0 &&
+        rng_.NextDouble() < spec_.rename_fail_probability) {
+      ++counters_.rename_fails;
+      Count("griddb.fsfault.rename_fails");
+      return IoError("rename '" + from + "' -> '" + to + "': injected failure");
+    }
+    Status st = FileSystem::Rename(from, to);
+    if (st.ok()) {
+      // The target inherits the source's durable mark: if the source's
+      // bytes never hit disk, a crash after the rename still loses them.
+      uint64_t mark = DurableMark(from);
+      durable_.erase(from);
+      durable_[to] = mark;
+    }
+    return st;
+  }
+}
+
+Status FaultFs::Unlink(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NextOp();
+    if (!quiesced_ && Matches(path) && spec_.unlink_fail_probability > 0 &&
+        rng_.NextDouble() < spec_.unlink_fail_probability) {
+      ++counters_.unlink_fails;
+      Count("griddb.fsfault.unlink_fails");
+      return IoError("unlink '" + path + "': injected failure");
+    }
+    Status st = FileSystem::Unlink(path);
+    if (st.ok()) durable_.erase(path);
+    return st;
+  }
+}
+
+Status FaultFs::Truncate(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NextOp();
+  Status st = FileSystem::Truncate(path, size);
+  if (st.ok()) {
+    uint64_t& mark = DurableMark(path);
+    mark = std::min(mark, size);
+  }
+  return st;
+}
+
+Result<std::string> FaultFs::ReadFile(const std::string& path) {
+  auto content = FileSystem::ReadFile(path);
+  std::lock_guard<std::mutex> lock(mu_);
+  NextOp();
+  if (content.ok() && !content->empty() && !quiesced_ && Matches(path) &&
+      (!bit_flip_filter_ || bit_flip_filter_(path)) &&
+      spec_.bit_flip_probability > 0 &&
+      rng_.NextDouble() < spec_.bit_flip_probability) {
+    size_t at = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(content->size()) - 1));
+    (*content)[at] = static_cast<char>((*content)[at] ^ 0x20);
+    ++counters_.bit_flips;
+    Count("griddb.fsfault.bit_flips");
+  }
+  return content;
+}
+
+Result<uint64_t> FaultFs::FileSize(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NextOp();
+  }
+  return FileSystem::FileSize(path);
+}
+
+}  // namespace griddb::storage

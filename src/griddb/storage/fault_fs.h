@@ -1,0 +1,163 @@
+// Deterministic storage fault injection for the util::FileSystem seam.
+//
+// The grid setting assumes storage nodes as unreliable as the WAN links
+// between them: disks fill mid-checkpoint, fsyncs acknowledge bytes the
+// page cache later drops, media rots under committed stage chunks. None
+// of that is reachable against a real disk deterministically, so FaultFs
+// subclasses the util::FileSystem seam every durable writer goes through
+// (util/journal, storage/stage_file, batch scratch marts, ETL manifests)
+// and injects those failures from a seeded RNG, mirroring the schedule
+// style of net::FaultPlan for the simulated network:
+//
+//   - torn writes: a prefix of the data lands, the call fails — the tail
+//     the journal/stage readers must survive;
+//   - lying fsyncs: the call returns OK but the file's durable mark does
+//     not advance; a later CrashDropUnsynced() truncates the real file to
+//     its durable mark, exactly what a power cut does to a page cache;
+//   - ENOSPC windows: write ops in a chosen global-op-count interval fail
+//     with kIoError, then space "comes back" — the degradation the batch
+//     service must ride out by pausing, not failing, jobs;
+//   - read bit flips: one byte of the returned content is flipped (the
+//     file itself is untouched) — what stage-chunk digests must catch;
+//   - rename/unlink failures for the atomic-replace and cleanup paths.
+//
+// Fates are drawn from one RNG stream keyed only on the global operation
+// order, so a given (seed, op sequence) replays identically. Injection is
+// scoped by an optional path filter; Quiesce() turns all injection off so
+// a chaos run can drain to a faultless steady state before checking
+// invariants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "griddb/util/fs.h"
+#include "griddb/util/rng.h"
+
+namespace griddb::storage {
+
+/// Per-operation fault probabilities. Each matching operation draws its
+/// fate independently from the shared RNG stream.
+struct FsFaultSpec {
+  double torn_write_probability = 0;   ///< Prefix lands, call fails kIoError.
+  double lying_fsync_probability = 0;  ///< OK returned, durable mark frozen.
+  double bit_flip_probability = 0;     ///< One byte of a read flipped.
+  double rename_fail_probability = 0;
+  double unlink_fail_probability = 0;
+
+  bool Faulty() const {
+    return torn_write_probability > 0 || lying_fsync_probability > 0 ||
+           bit_flip_probability > 0 || rename_fail_probability > 0 ||
+           unlink_fail_probability > 0;
+  }
+};
+
+/// Running totals of injected faults, surfaced for assertions.
+struct FsFaultCounters {
+  size_t torn_writes = 0;
+  size_t lying_fsyncs = 0;
+  size_t bit_flips = 0;
+  size_t enospc = 0;
+  size_t rename_fails = 0;
+  size_t unlink_fails = 0;
+  size_t crash_dropped_files = 0;  ///< Files truncated by CrashDropUnsynced.
+
+  size_t total() const {
+    return torn_writes + lying_fsyncs + bit_flips + enospc + rename_fails +
+           unlink_fails;
+  }
+};
+
+/// A fault-injecting util::FileSystem. Install with util::SetFileSystem;
+/// real I/O is delegated to the base-class POSIX implementation. Thread-
+/// safe; fates depend only on the global operation order (like
+/// net::FaultPlan's message order).
+class FaultFs : public util::FileSystem {
+ public:
+  explicit FaultFs(uint64_t seed = 2005);
+
+  void SetSpec(FsFaultSpec spec);
+
+  /// Write operations (Append / WriteTruncate) whose global op index
+  /// falls in [start_op, start_op + length) fail with kIoError ENOSPC.
+  /// Windows are in op space, not wall time, so a paused-and-retried
+  /// workload deterministically escapes them.
+  void AddEnospcWindow(uint64_t start_op, uint64_t length);
+
+  /// The next `count` matching write operations fail with ENOSPC
+  /// (counter-based arming for unit tests).
+  void ArmEnospc(uint64_t count);
+
+  /// The next matching write operation persists only the first
+  /// `keep_bytes` of its data and fails (one-shot torn write).
+  void ArmTornWrite(uint64_t keep_bytes);
+
+  /// The next matching Fsync lies (one-shot).
+  void ArmLyingFsync();
+
+  /// Injection applies only to paths the filter accepts (default: all).
+  void SetPathFilter(std::function<bool(const std::string&)> filter);
+
+  /// Bit flips additionally require this filter (default: all). Lets a
+  /// harness rot stage chunks while leaving the self-healing journal
+  /// alone so its invariants stay crisp.
+  void SetBitFlipFilter(std::function<bool(const std::string&)> filter);
+
+  /// Simulated power cut: every file touched through this instance is
+  /// truncated (for real, via the base class) to its durable mark — the
+  /// size last covered by an honest fsync. Call between "kill" and
+  /// "restart" in a crash schedule.
+  void CrashDropUnsynced();
+
+  /// Turns all injection off (pass-through). Counters keep their totals.
+  /// Used to drain a chaos workload to a faultless steady state.
+  void Quiesce();
+
+  FsFaultCounters counters() const;
+  uint64_t ops() const;
+
+  // util::FileSystem:
+  Status Append(const std::string& path, std::string_view data) override;
+  Status WriteTruncate(const std::string& path,
+                       std::string_view data) override;
+  Status Fsync(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Unlink(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+
+ private:
+  struct Window {
+    uint64_t start = 0;
+    uint64_t length = 0;
+  };
+
+  bool Matches(const std::string& path) const;  // callers hold mu_
+  uint64_t NextOp();                            // callers hold mu_
+  bool InEnospc(uint64_t op);                   // callers hold mu_
+  /// Durable mark of `path`, lazily initialised to the file's current
+  /// size (bytes that existed before injection began are durable).
+  uint64_t& DurableMark(const std::string& path);  // callers hold mu_
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  FsFaultSpec spec_;
+  std::vector<Window> enospc_windows_;
+  uint64_t armed_enospc_ = 0;
+  int64_t armed_torn_keep_ = -1;  ///< >= 0 when a torn write is armed.
+  bool armed_lying_fsync_ = false;
+  bool quiesced_ = false;
+  std::function<bool(const std::string&)> path_filter_;
+  std::function<bool(const std::string&)> bit_flip_filter_;
+  uint64_t op_count_ = 0;
+  std::map<std::string, uint64_t> durable_;
+  FsFaultCounters counters_;
+};
+
+}  // namespace griddb::storage

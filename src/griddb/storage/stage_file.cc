@@ -1,11 +1,9 @@
 #include "griddb/storage/stage_file.h"
 
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 
+#include "griddb/util/fs.h"
 #include "griddb/util/journal.h"
 #include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
@@ -186,20 +184,12 @@ Result<StagedData> DecodeStage(std::string_view buffer) {
 
 Status WriteStageFile(const std::string& path, const TableSchema& schema,
                       const std::vector<Row>& rows) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Unavailable("cannot open stage file '" + path + "' for write");
-  std::string encoded = EncodeStage(schema, rows);
-  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
-  if (!out) return Unavailable("short write to stage file '" + path + "'");
-  return Status::Ok();
+  return util::Fs().WriteTruncate(path, EncodeStage(schema, rows));
 }
 
 Result<StagedData> ReadStageFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Unavailable("cannot open stage file '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DecodeStage(buffer.str());
+  GRIDDB_ASSIGN_OR_RETURN(std::string content, util::Fs().ReadFile(path));
+  return DecodeStage(content);
 }
 
 // ---------- chunked (v2) stage files ----------
@@ -219,6 +209,10 @@ std::string EncodeSchemaHeader(const TableSchema& schema) {
     if (col.not_null) out += " notnull";
     out += '\n';
   }
+  // Frame digests cover row blocks only; without this line a flipped
+  // bit in a column name stays parseable and silently renames the
+  // column in every table rebuilt from the file.
+  out += "header_md5 " + Md5Hex(out) + '\n';
   return out;
 }
 
@@ -253,11 +247,13 @@ std::string EncodeRowBlock(const std::vector<Row>& rows) {
 Status AppendStageChunk(const std::string& path, const TableSchema& schema,
                         const StageChunk& chunk,
                         const std::string& encoded_rows) {
-  bool fresh = !std::filesystem::exists(path);
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) {
-    return Unavailable("cannot open stage file '" + path + "' for append");
+  // An empty file counts as fresh (a tear repaired by truncating to zero
+  // must get its magic + schema header back with the next frame).
+  auto size = util::Fs().FileSize(path);
+  if (!size.ok() && size.status().code() != StatusCode::kNotFound) {
+    return size.status();
   }
+  bool fresh = !size.ok() || *size == 0;
   std::string frame;
   if (fresh) {
     frame += kChunkedMagic;
@@ -267,10 +263,7 @@ Status AppendStageChunk(const std::string& path, const TableSchema& schema,
   frame += "chunk " + std::to_string(chunk.id) + " rows " +
            std::to_string(chunk.rows) + " md5 " + chunk.md5 + "\n";
   frame += encoded_rows;
-  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out) return Unavailable("short write to stage file '" + path + "'");
-  return Status::Ok();
+  return util::Fs().Append(path, frame);
 }
 
 namespace {
@@ -279,30 +272,109 @@ namespace {
 /// digest mismatch; tolerant mode collects the offending ids instead. An
 /// id counts as corrupt only when its LAST frame fails (a re-staged good
 /// frame supersedes an earlier corrupt one and vice versa).
+///
+/// With `damage` set, structural problems at the tail become survivable:
+/// parsing stops at the tear, the intact prefix is returned, and
+/// `damage->intact_bytes` tells the caller where to truncate before the
+/// next append. The prefix is measured in complete FRAMES: until one
+/// whole frame decodes structurally, the prefix is zero bytes — a tear
+/// inside the magic/schema header (which is written together with the
+/// first frame) wipes the file back to empty, so the next append rewrites
+/// a complete header instead of extending a half-written one.
 Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
-                                     std::vector<size_t>* corrupt_ids) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Unavailable("cannot open stage file '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string content = buffer.str();
-  std::vector<std::string> lines = Split(content, '\n');
+                                     std::vector<size_t>* corrupt_ids,
+                                     StageDamage* damage) {
+  GRIDDB_ASSIGN_OR_RETURN(std::string content, util::Fs().ReadFile(path));
 
-  size_t line_no = 0;
-  if (line_no >= lines.size() || lines[line_no++] != kChunkedMagic) {
+  // Positional scanner: byte offsets are tracked so a tear is reportable
+  // as a truncate length. Lines must be '\n'-terminated (every writer
+  // emits them that way); an unterminated tail is a torn write.
+  size_t pos = 0;
+  auto next_line = [&](std::string_view* line) -> bool {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) return false;
+    *line = std::string_view(content).substr(pos, eol - pos);
+    pos = eol + 1;
+    return true;
+  };
+  // End of the last structurally complete frame (0 until one exists).
+  uint64_t intact = 0;
+  auto torn_at_intact = [&]() -> bool {
+    if (damage == nullptr) return false;
+    damage->torn = true;
+    damage->intact_bytes = intact;
+    return true;
+  };
+
+  ChunkedStage empty_stage;  // what a header-torn file decodes to
+
+  if (content.empty()) {
+    // Exists but holds nothing: a tear repaired back to zero bytes. The
+    // next append treats it as fresh; nothing to report.
+    if (damage != nullptr) return empty_stage;
     return ParseError("bad chunked stage file magic");
   }
-  if (line_no >= lines.size() || !StartsWith(lines[line_no], "table ")) {
+
+  std::string_view line;
+  if (!next_line(&line) || line != kChunkedMagic) {
+    if (torn_at_intact()) return empty_stage;
+    return ParseError("bad chunked stage file magic");
+  }
+  const size_t schema_start = pos;
+  if (!next_line(&line) || !StartsWith(line, "table ")) {
+    if (torn_at_intact()) return empty_stage;
     return ParseError("expected 'table <name>' header");
   }
-  std::string table_name(Trim(std::string_view(lines[line_no++]).substr(6)));
+  std::string table_name(Trim(line.substr(6)));
 
   std::vector<ColumnDef> columns;
-  while (line_no < lines.size() && StartsWith(lines[line_no], "column ")) {
-    GRIDDB_ASSIGN_OR_RETURN(ColumnDef col, ParseColumnLine(lines[line_no++]));
-    columns.push_back(std::move(col));
+  while (pos < content.size()) {
+    size_t mark = pos;
+    if (!next_line(&line)) {
+      if (torn_at_intact()) return empty_stage;
+      return ParseError("unterminated header line in stage file");
+    }
+    if (!StartsWith(line, "column ")) {
+      pos = mark;  // first chunk frame; re-read below
+      break;
+    }
+    auto col = ParseColumnLine(line);
+    if (!col.ok()) {
+      if (torn_at_intact()) return empty_stage;
+      return col.status();
+    }
+    columns.push_back(std::move(*col));
   }
-  if (columns.empty()) return ParseError("stage file declares no columns");
+  if (columns.empty()) {
+    if (torn_at_intact()) return empty_stage;
+    return ParseError("stage file declares no columns");
+  }
+
+  // Header digest: frame digests cover row blocks only, so without
+  // this check a flipped bit in a column name stays parseable and
+  // every table rebuilt from the file silently carries the rotted
+  // schema. A rotted header poisons everything after it — treat it
+  // like a tear at byte zero: the caller truncates the file away and
+  // re-stages from the source. (Absence is tolerated: a file from a
+  // writer predating the digest line is accepted unverified.)
+  if (pos < content.size()) {
+    const size_t mark = pos;
+    if (next_line(&line) && StartsWith(line, "header_md5 ")) {
+      const std::string_view want = Trim(line.substr(11));
+      if (Md5Hex(std::string_view(content).substr(
+              schema_start, mark - schema_start)) != want) {
+        if (damage != nullptr) {
+          damage->torn = true;
+          damage->intact_bytes = 0;
+          return empty_stage;
+        }
+        return Corruption("stage header of '" + path +
+                          "' fails digest verification");
+      }
+    } else {
+      pos = mark;  // legacy header without a digest line
+    }
+  }
 
   // Frames, in file order; re-staged chunks supersede earlier frames
   // with the same id.
@@ -312,11 +384,13 @@ Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
   };
   std::map<size_t, Frame> frames;
   std::set<size_t> corrupt;
-  while (line_no < lines.size()) {
-    std::string_view line = lines[line_no];
-    if (line.empty() && line_no + 1 == lines.size()) break;  // trailing \n
-    ++line_no;
+  while (pos < content.size()) {
+    if (!next_line(&line)) {
+      if (torn_at_intact()) break;
+      return ParseError("unterminated frame in stage file '" + path + "'");
+    }
     if (!StartsWith(line, "chunk ")) {
+      if (torn_at_intact()) break;
       return ParseError("expected chunk frame header, got '" +
                         std::string(line) + "'");
     }
@@ -325,6 +399,7 @@ Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
     if (parts.size() != 6 || parts[2] != "rows" || parts[4] != "md5" ||
         !ParseInt64(parts[1], &id) || !ParseInt64(parts[3], &declared_rows) ||
         id < 0 || declared_rows < 0) {
+      if (torn_at_intact()) break;
       return ParseError("malformed chunk frame header");
     }
     Frame frame;
@@ -338,18 +413,25 @@ Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
     std::string block;
     std::vector<std::string_view> row_lines;
     row_lines.reserve(frame.chunk.rows);
+    bool torn_frame = false;
     for (size_t r = 0; r < frame.chunk.rows; ++r) {
-      if (line_no >= lines.size()) {
-        return ParseError("chunk " + std::to_string(id) +
-                          " truncated: expected " +
-                          std::to_string(declared_rows) + " rows, found " +
-                          std::to_string(r));
+      std::string_view row_line;
+      if (!next_line(&row_line)) {
+        torn_frame = true;
+        break;
       }
-      std::string_view row_line = lines[line_no++];
       block += row_line;
       block += '\n';
       row_lines.push_back(row_line);
     }
+    if (torn_frame) {
+      if (torn_at_intact()) break;
+      return ParseError("chunk " + std::to_string(id) +
+                        " truncated: expected " +
+                        std::to_string(declared_rows) + " rows, found " +
+                        std::to_string(row_lines.size()));
+    }
+    intact = pos;  // frame structurally complete, digest-good or not
     if (Md5Hex(block) != frame.chunk.md5) {
       if (corrupt_ids == nullptr) {
         return Corruption("chunk " + std::to_string(id) + " of '" + path +
@@ -397,12 +479,13 @@ Result<ChunkedStage> ReadChunkedImpl(const std::string& path,
 }  // namespace
 
 Result<ChunkedStage> ReadChunkedStageFile(const std::string& path) {
-  return ReadChunkedImpl(path, nullptr);
+  return ReadChunkedImpl(path, nullptr, nullptr);
 }
 
 Result<ChunkedStage> ReadChunkedStageFileTolerant(
-    const std::string& path, std::vector<size_t>* corrupt_ids) {
-  return ReadChunkedImpl(path, corrupt_ids);
+    const std::string& path, std::vector<size_t>* corrupt_ids,
+    StageDamage* damage) {
+  return ReadChunkedImpl(path, corrupt_ids, damage);
 }
 
 // ---------- manifest journal ----------
@@ -486,11 +569,8 @@ Status WriteManifestFile(const std::string& path,
 }
 
 Result<StageManifest> ReadManifestFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Unavailable("cannot open manifest '" + path + "'");
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DecodeManifest(buffer.str());
+  GRIDDB_ASSIGN_OR_RETURN(std::string content, util::Fs().ReadFile(path));
+  return DecodeManifest(content);
 }
 
 }  // namespace griddb::storage

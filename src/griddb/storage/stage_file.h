@@ -89,12 +89,29 @@ Status AppendStageChunk(const std::string& path, const TableSchema& schema,
 /// its declared one; a mismatch fails with kCorruption naming the chunk.
 Result<ChunkedStage> ReadChunkedStageFile(const std::string& path);
 
+/// Structural damage found (and survived) by the tolerant reader.
+struct StageDamage {
+  /// The file ends in bytes that do not decode as frames — a tail torn
+  /// by a crash or a lying fsync. Everything before `intact_bytes` was
+  /// parsed normally and is in the result.
+  bool torn = false;
+  /// Byte length of the intact prefix. The caller MUST truncate the file
+  /// to this length before appending again (appends are positioned at
+  /// the physical end of file, so new frames would otherwise land after
+  /// the tear, where readers — which stop at the tear — never see them).
+  uint64_t intact_bytes = 0;
+};
+
 /// Like ReadChunkedStageFile, but a frame whose digest fails is reported
 /// in `corrupt_ids` (and omitted from the result) instead of failing the
-/// whole read; an id is corrupt iff its LAST frame is. Structural damage
-/// (bad magic, truncated frames) still fails.
+/// whole read; an id is corrupt iff its LAST frame is. With `damage` set,
+/// structural damage at the tail (torn frame, unterminated line, even a
+/// torn magic/schema header) is also survived: the intact prefix is
+/// returned and `damage` reports where it ends. Without `damage`,
+/// structural problems fail with kParseError as before.
 Result<ChunkedStage> ReadChunkedStageFileTolerant(
-    const std::string& path, std::vector<size_t>* corrupt_ids);
+    const std::string& path, std::vector<size_t>* corrupt_ids,
+    StageDamage* damage = nullptr);
 
 /// Sidecar journal of a resumable ETL run.
 struct StageManifest {

@@ -1,0 +1,152 @@
+#include "griddb/util/fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace griddb::util {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  if (err == ENOENT) {
+    return NotFound(op + " '" + path + "': " + std::strerror(err));
+  }
+  return IoError(op + " '" + path + "': " + std::strerror(err));
+}
+
+/// Writes all of `data` to `fd`, retrying short writes / EINTR.
+Status WriteAllFd(int fd, std::string_view data, const std::string& path) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path, errno);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status OpenWriteClose(const std::string& path, int flags,
+                      std::string_view data) {
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  Status st = WriteAllFd(fd, data, path);
+  // close() errors matter on write paths: a deferred-write failure
+  // (NFS, quota, dying disk) can first surface here, and swallowing it
+  // would acknowledge bytes that never landed.
+  if (::close(fd) != 0 && st.ok()) st = ErrnoStatus("close", path, errno);
+  return st;
+}
+
+}  // namespace
+
+Status FileSystem::Append(const std::string& path, std::string_view data) {
+  return OpenWriteClose(path, O_WRONLY | O_CREAT | O_APPEND, data);
+}
+
+Status FileSystem::WriteTruncate(const std::string& path,
+                                 std::string_view data) {
+  return OpenWriteClose(path, O_WRONLY | O_CREAT | O_TRUNC, data);
+}
+
+Status FileSystem::Fsync(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  Status st = Status::Ok();
+  if (::fsync(fd) != 0) st = ErrnoStatus("fsync", path, errno);
+  if (::close(fd) != 0 && st.ok()) st = ErrnoStatus("close", path, errno);
+  return st;
+}
+
+Status FileSystem::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename", from + "' -> '" + to, errno);
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::Unlink(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("unlink", path, errno);
+  }
+  return Status::Ok();
+}
+
+Status FileSystem::Truncate(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path, errno);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> FileSystem::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("read", path, errno);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    content.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return content;
+}
+
+Result<uint64_t> FileSystem::FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoStatus("stat", path, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+void FileSystem::SyncParentDir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+namespace {
+
+FileSystem& RealFileSystem() {
+  static FileSystem fs;
+  return fs;
+}
+
+std::atomic<FileSystem*>& ActiveFileSystem() {
+  static std::atomic<FileSystem*> active{nullptr};
+  return active;
+}
+
+}  // namespace
+
+FileSystem& Fs() {
+  FileSystem* active = ActiveFileSystem().load(std::memory_order_acquire);
+  return active != nullptr ? *active : RealFileSystem();
+}
+
+FileSystem* SetFileSystem(FileSystem* fs) {
+  return ActiveFileSystem().exchange(fs, std::memory_order_acq_rel);
+}
+
+}  // namespace griddb::util

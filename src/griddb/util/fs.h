@@ -1,0 +1,80 @@
+// The file-system seam every durable writer goes through.
+//
+// griddb's durability story (util/journal, storage/stage_file, the batch
+// scratch marts, ETL manifests) is only as good as its handling of the
+// unhappy file-system paths: short writes, fsyncs that lie, ENOSPC,
+// rename failures, bit rot on read. Those paths cannot be exercised
+// against a real disk deterministically, so all durable file I/O funnels
+// through this one narrow interface. The default implementation is plain
+// POSIX; storage/fault_fs installs a seed-driven injecting implementation
+// (mirroring net::FaultPlan for the simulated network), which is how the
+// chaos harness composes storage faults with net faults and crash kills.
+//
+// The interface is deliberately path-based (no file-descriptor handles):
+// every operation is a complete open-act-close unit with its errors
+// checked, which keeps the injector's per-file durable-byte bookkeeping
+// trivial and makes call sites impossible to get half-checked. All
+// failures surface as typed kIoError Status (missing files as kNotFound),
+// never as ignored returns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "griddb/util/status.h"
+
+namespace griddb::util {
+
+/// Narrow file-system interface. The base class IS the real POSIX
+/// implementation; subclasses (storage::FaultFs) override to inject
+/// faults and delegate to the base for the actual I/O.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Appends `data` to `path`, creating it (0644) when absent. The bytes
+  /// are written but NOT fsync'd; pair with Fsync for durability.
+  virtual Status Append(const std::string& path, std::string_view data);
+
+  /// Replaces `path`'s content with `data` (truncate + write, create when
+  /// absent). Not fsync'd; pair with Fsync (AtomicWriteFile does).
+  virtual Status WriteTruncate(const std::string& path,
+                               std::string_view data);
+
+  /// fsyncs `path` in place. After OK the file's current bytes survive a
+  /// crash (modulo a lying injected fsync — which is the point).
+  virtual Status Fsync(const std::string& path);
+
+  /// Atomically renames `from` onto `to` (same filesystem).
+  virtual Status Rename(const std::string& from, const std::string& to);
+
+  /// Removes `path`. A missing file is kNotFound (callers that only need
+  /// best-effort cleanup ignore it).
+  virtual Status Unlink(const std::string& path);
+
+  /// Truncates `path` to its first `size` bytes.
+  virtual Status Truncate(const std::string& path, uint64_t size);
+
+  /// Whole-file read. Missing file is kNotFound; other failures kIoError.
+  virtual Result<std::string> ReadFile(const std::string& path);
+
+  /// Size in bytes. Missing file is kNotFound.
+  virtual Result<uint64_t> FileSize(const std::string& path);
+
+  /// Best-effort fsync of the directory containing `path`, so a freshly
+  /// created or renamed entry survives a crash of the directory itself.
+  virtual void SyncParentDir(const std::string& path);
+};
+
+/// The active file system all durable writers use. Defaults to the real
+/// POSIX implementation; SetFileSystem swaps in an injector.
+FileSystem& Fs();
+
+/// Installs `fs` as the active file system (nullptr restores the real
+/// one). Returns the previously active injector (nullptr = real). Not
+/// synchronized against in-flight operations: install before the writers
+/// under test start, uninstall after they stop.
+FileSystem* SetFileSystem(FileSystem* fs);
+
+}  // namespace griddb::util

@@ -1,15 +1,8 @@
 #include "griddb/util/journal.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "griddb/util/fs.h"
 #include "griddb/util/md5.h"
 
 namespace griddb::util {
@@ -18,122 +11,87 @@ namespace {
 
 constexpr std::string_view kMagic = "griddb-journal v1\n";
 
-Status Errno(const std::string& op, const std::string& path) {
-  return Unavailable(op + " '" + path + "': " + std::strerror(errno));
-}
-
-/// Writes all of `data` to `fd`, retrying short writes / EINTR.
-Status WriteAll(int fd, std::string_view data, const std::string& path) {
-  const char* p = data.data();
-  size_t left = data.size();
-  while (left > 0) {
-    ssize_t n = ::write(fd, p, left);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("write", path);
-    }
-    p += n;
-    left -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
-/// Best-effort fsync of the directory containing `path`, so a freshly
-/// created or renamed entry survives a crash of the directory itself.
-void SyncParentDir(const std::string& path) {
-  std::filesystem::path dir = std::filesystem::path(path).parent_path();
-  if (dir.empty()) dir = ".";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;
-  ::fsync(fd);
-  ::close(fd);
-}
-
 }  // namespace
 
 Status AtomicWriteFile(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("open", tmp);
-  Status st = WriteAll(fd, content, tmp);
-  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", tmp);
-  if (::close(fd) != 0 && st.ok()) st = Errno("close", tmp);
+  Status st = Fs().WriteTruncate(tmp, content);
+  if (st.ok()) st = Fs().Fsync(tmp);
   if (!st.ok()) {
-    ::unlink(tmp.c_str());
+    // Best-effort cleanup; the write/fsync error is what the caller needs.
+    (void)Fs().Unlink(tmp);
     return st;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    ::unlink(tmp.c_str());
-    return Unavailable("cannot rename '" + tmp + "' into place: " +
-                       ec.message());
+  st = Fs().Rename(tmp, path);
+  if (!st.ok()) {
+    (void)Fs().Unlink(tmp);
+    return st;
   }
-  SyncParentDir(path);
+  Fs().SyncParentDir(path);
   return Status::Ok();
 }
 
-Status FsyncFile(const std::string& path) {
-  int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) return Errno("open", path);
-  Status st = Status::Ok();
-  if (::fsync(fd) != 0) st = Errno("fsync", path);
-  ::close(fd);
-  return st;
-}
+Status FsyncFile(const std::string& path) { return Fs().Fsync(path); }
 
-JournalWriter::~JournalWriter() { Close(); }
+JournalWriter::~JournalWriter() = default;
 
 void JournalWriter::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Every Append is a complete open-append-fsync-close unit through the
+  // FileSystem seam, so there is no descriptor to release any more. Kept
+  // because crash tests call it to model "the process let go of the file".
 }
 
 Status JournalWriter::TruncateTo(uint64_t bytes) {
-  // O_APPEND positioning is per-write, so the open descriptor could be
-  // kept; close anyway so the repair path has no interaction with lazy
-  // reopen state.
-  Close();
-  if (::truncate(path_.c_str(), static_cast<off_t>(bytes)) != 0) {
-    if (errno == ENOENT) return Status::Ok();  // nothing to repair
-    return Errno("truncate", path_);
-  }
-  return FsyncFile(path_);
+  Status st = Fs().Truncate(path_, bytes);
+  if (st.code() == StatusCode::kNotFound) return Status::Ok();  // no repair
+  GRIDDB_RETURN_IF_ERROR(st);
+  return Fs().Fsync(path_);
 }
 
 Status JournalWriter::Append(std::string_view payload) {
-  if (fd_ < 0) {
-    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd_ < 0) return Errno("open", path_);
+  auto size = Fs().FileSize(path_);
+  bool fresh = false;
+  if (!size.ok()) {
+    if (size.status().code() != StatusCode::kNotFound) return size.status();
+    fresh = true;
+  } else {
+    fresh = *size == 0;
   }
-  struct stat st{};
-  if (::fstat(fd_, &st) != 0) return Errno("fstat", path_);
 
   std::string frame;
-  if (st.st_size == 0) frame.append(kMagic);
+  if (fresh) frame.append(kMagic);
   frame += "rec " + std::to_string(payload.size()) + " md5 " +
            Md5Hex(payload) + "\n";
   frame.append(payload);
   frame += "\n";
 
-  GRIDDB_RETURN_IF_ERROR(WriteAll(fd_, frame, path_));
-  if (::fsync(fd_) != 0) return Errno("fsync", path_);
-  if (st.st_size == 0) SyncParentDir(path_);
+  if (Status appended = Fs().Append(path_, frame); !appended.ok()) {
+    // The append may have torn: a prefix of the frame can be on disk
+    // (short write, ENOSPC mid-write). Appends are O_APPEND, so a
+    // retried record would land after those bytes — beyond where every
+    // replay stops — and be acknowledged yet invisible forever. Repair
+    // the tear now so the caller's retry lands on a decodable boundary.
+    if (auto replay = ReadJournal(path_);
+        replay.ok() && replay->truncated) {
+      (void)TruncateTo(replay->intact_bytes);
+    }
+    return appended;
+  }
+  GRIDDB_RETURN_IF_ERROR(Fs().Fsync(path_));
+  if (fresh) Fs().SyncParentDir(path_);
   return Status::Ok();
 }
 
 Result<JournalReplay> ReadJournal(const std::string& path) {
   JournalReplay replay;
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec)) return replay;  // empty journal
-    return Unavailable("cannot open journal '" + path + "'");
+  auto content_or = Fs().ReadFile(path);
+  if (!content_or.ok()) {
+    if (content_or.status().code() == StatusCode::kNotFound) {
+      return replay;  // empty journal
+    }
+    return content_or.status();
   }
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
+  const std::string& content = *content_or;
   if (content.empty()) return replay;  // created but never appended
   if (content.size() < kMagic.size() ||
       std::string_view(content).substr(0, kMagic.size()) != kMagic) {

@@ -65,8 +65,9 @@ class JournalWriter {
   /// returns OK. Writes the magic header first on a fresh file.
   Status Append(std::string_view payload);
 
-  /// Closes the underlying descriptor (reopened lazily by the next
-  /// Append). Used by crash tests to release the file.
+  /// Historical no-op: appends are complete open-append-fsync-close
+  /// units through util::Fs(), so no descriptor is kept between calls.
+  /// Retained because crash tests call it to model releasing the file.
   void Close();
 
   /// Truncates the journal to its first `bytes` bytes and fsyncs —
@@ -80,7 +81,6 @@ class JournalWriter {
 
  private:
   std::string path_;
-  int fd_ = -1;
 };
 
 /// Result of replaying a journal file.

@@ -19,6 +19,7 @@ const char* StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError: return "IO_ERROR";
   }
   return "UNKNOWN";
 }

@@ -32,6 +32,11 @@ enum class StatusCode {
   kCorruption,
   kDeadlineExceeded,
   kResourceExhausted,
+  /// A local durable-storage operation failed (write, fsync, rename,
+  /// ENOSPC, ...). Distinct from kUnavailable (a remote peer problem):
+  /// callers that own durability degrade differently — the batch service
+  /// pauses instead of failing jobs, journal writers fail-stop.
+  kIoError,
 };
 
 /// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
@@ -106,6 +111,9 @@ inline Status DeadlineExceeded(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+inline Status IoError(std::string msg) {
+  return {StatusCode::kIoError, std::move(msg)};
 }
 
 /// Value-or-Status. Access to value() on an error result asserts.

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "griddb/obs/metrics.h"
+#include "griddb/util/fs.h"
 #include "griddb/util/md5.h"
 #include "griddb/util/strings.h"
 
@@ -78,6 +79,22 @@ void RecordEtlMetrics(const EtlStats& stats) {
   chunks_deduped->Add(stats.chunks_deduped);
   extract_ms->Observe(stats.extract_ms);
   load_ms->Observe(stats.load_ms);
+}
+
+/// Committed manifest entries evicted because their stage frame is
+/// missing, torn away or digest-corrupt (the quarantine/re-stage path).
+obs::Counter& QuarantinedCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.warehouse.etl.chunks_quarantined");
+  return *c;
+}
+
+/// Unreadable manifests abandoned for a fresh run (the target-side chunk
+/// registry keeps the fresh run exactly-once).
+obs::Counter& ManifestResetsCounter() {
+  static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+      "griddb.warehouse.etl.manifest_resets");
+  return *c;
 }
 
 /// Removes a file on destruction: staging files must not outlive their
@@ -268,18 +285,72 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
       staging_dir_ + "/" + opts.run_id + ".manifest";
 
   storage::StageManifest manifest;
-  if (std::filesystem::exists(manifest_path)) {
-    GRIDDB_ASSIGN_OR_RETURN(manifest,
-                            storage::ReadManifestFile(manifest_path));
+  auto prior = storage::ReadManifestFile(manifest_path);
+  if (prior.ok()) {
+    manifest = std::move(*prior);
     stats.resumed = true;
-    stats.chunks_recovered = manifest.committed.size();
-    if (!std::filesystem::exists(stage_path)) {
+    if (!util::Fs().FileSize(stage_path).ok()) {
       // The stage file vanished out from under the manifest; whatever
       // was committed but not yet loaded must be re-staged.
       manifest.committed.clear();
-      stats.chunks_recovered = 0;
     }
+  } else if (prior.status().code() != StatusCode::kNotFound) {
+    // The manifest exists but does not decode — e.g. a crash dropped the
+    // un-synced bytes of its atomic replace. Fall back to a fresh run:
+    // safe, because re-staged frames supersede whatever the stage file
+    // holds (last frame per id wins) and the target-side chunk registry
+    // — not the manifest — is the authority that keeps loads
+    // exactly-once.
+    ManifestResetsCounter().Add(1);
+    stats.resumed = true;
+    manifest = storage::StageManifest{};
   }
+
+  // Reconcile the resumed manifest against what the stage file actually
+  // holds before trusting it: a crash (or a lying fsync whose bytes a
+  // crash dropped) can leave a committed entry whose frame is torn away,
+  // and bit rot can corrupt a frame under an intact entry. Evicting such
+  // entries here lets THIS run re-stage them; trusting them would fail
+  // the load hop forever.
+  if (!manifest.committed.empty()) {
+    std::vector<size_t> corrupt;
+    storage::StageDamage damage;
+    auto on_disk =
+        storage::ReadChunkedStageFileTolerant(stage_path, &corrupt, &damage);
+    if (!on_disk.ok()) {
+      // Unreadable beyond tear-repair (ReadChunkedStageFileTolerant with
+      // a damage sink survives any tail tear, so this is header-level
+      // damage): drop the file — appends land at the physical end, so
+      // frames written after unreadable bytes would never be visible.
+      (void)util::Fs().Unlink(stage_path);
+      QuarantinedCounter().Add(manifest.committed.size());
+      manifest.committed.clear();
+    } else {
+      if (damage.torn) {
+        GRIDDB_RETURN_IF_ERROR(
+            util::Fs().Truncate(stage_path, damage.intact_bytes));
+        GRIDDB_RETURN_IF_ERROR(util::Fs().Fsync(stage_path));
+      }
+      auto frame_md5 = [&](size_t id) -> const std::string* {
+        for (const storage::StageChunk& chunk : on_disk->chunks) {
+          if (chunk.id == id) return &chunk.md5;
+        }
+        return nullptr;
+      };
+      auto& committed = manifest.committed;
+      size_t before = committed.size();
+      committed.erase(
+          std::remove_if(committed.begin(), committed.end(),
+                         [&](const storage::StageChunk& chunk) {
+                           const std::string* md5 = frame_md5(chunk.id);
+                           return md5 == nullptr || *md5 != chunk.md5;
+                         }),
+          committed.end());
+      QuarantinedCounter().Add(before - committed.size());
+    }
+    GRIDDB_RETURN_IF_ERROR(storage::WriteManifestFile(manifest_path, manifest));
+  }
+  stats.chunks_recovered = manifest.committed.size();
 
   // Re-run the extraction query. The engines are deterministic, so a
   // resume sees the same rows in the same order — and hence the same
@@ -320,6 +391,10 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
     ChargeDisk(block.size(), etl_costs_.disk_write_mbps, &stats.extract_ms);
     GRIDDB_RETURN_IF_ERROR(
         storage::AppendStageChunk(stage_path, staged.schema, chunk, block));
+    // WAL ordering: the frame must be on disk before the manifest entry
+    // that vouches for it — a manifest that says "committed" about bytes
+    // still in the page cache would survive a crash the bytes don't.
+    GRIDDB_RETURN_IF_ERROR(util::Fs().Fsync(stage_path));
     manifest.committed.push_back(chunk);
     GRIDDB_RETURN_IF_ERROR(
         storage::WriteManifestFile(manifest_path, manifest));
@@ -346,6 +421,7 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
           committed.end());
       GRIDDB_RETURN_IF_ERROR(
           storage::WriteManifestFile(manifest_path, manifest));
+      QuarantinedCounter().Add(corrupt.size());
       return Corruption(std::to_string(corrupt.size()) +
                         " staged chunk(s) of run '" + opts.run_id +
                         "' fail digest verification; evicted from the "
@@ -436,10 +512,12 @@ Result<EtlStats> EtlPipeline::RunResumable(const Job& job,
   stats.load_ms += etl_costs_.commit_ms;
   network_->AdvanceClockMs(etl_costs_.commit_ms);
 
-  // Fully applied: the resume artifacts are no longer needed.
-  std::error_code ec;
-  std::filesystem::remove(stage_path, ec);
-  std::filesystem::remove(manifest_path, ec);
+  // Fully applied: the resume artifacts are no longer needed. Removal
+  // goes through the file-system seam so the chaos harness both injects
+  // unlink failures here and can account for every file it sees left
+  // behind (a failed removal is retried by the next run's fresh start).
+  (void)util::Fs().Unlink(stage_path);
+  (void)util::Fs().Unlink(manifest_path);
   RecordEtlMetrics(stats);
   return stats;
 }

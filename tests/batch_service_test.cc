@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -24,8 +27,10 @@
 
 #include "griddb/core/jclarens_server.h"
 #include "griddb/core/rbac.h"
+#include "griddb/storage/fault_fs.h"
 #include "griddb/storage/result_set.h"
 #include "griddb/storage/stage_file.h"
+#include "griddb/util/fs.h"
 #include "griddb/util/journal.h"
 #include "griddb/util/rng.h"
 
@@ -708,16 +713,34 @@ TEST_F(BatchCrashFixture, RecoverIsGuardedAgainstDoubleReplay) {
 
 // The CI crash sweep: scripts/check.sh sets GRIDDB_CRASH_POINT to
 // "<point>:<chunk>" and reruns just this test, sweeping the kill across
-// protocol points without recompiling. Unset, the test is skipped (the
-// fixed matrix above already runs in-process).
+// protocol points without recompiling. GRIDDB_CRASH_POINT=list instead
+// prints every registered crash-point name, one per line — the discovery
+// mode chaos schedules and scripts/check.sh use so their sweep lists
+// cannot drift from the code. Unset, the test is skipped (the fixed
+// matrix above already runs in-process).
 TEST_F(BatchCrashFixture, EnvDrivenCrashPointSweep) {
   const char* env = std::getenv("GRIDDB_CRASH_POINT");
   if (env == nullptr || *env == '\0') {
     GTEST_SKIP() << "GRIDDB_CRASH_POINT not set";
   }
   const std::string spec(env);
+  if (spec == "list") {
+    const std::vector<std::string>& names = BatchJobManager::CrashPointNames();
+    ASSERT_FALSE(names.empty());
+    for (const std::string& name : names) {
+      std::printf("crash-point %s\n", name.c_str());
+    }
+    // The enumeration is the registry the firing assertion checks
+    // against, so every point this very test file sweeps must be in it.
+    for (const char* swept : {"staged", "checkpoint", "total", "terminal"}) {
+      EXPECT_NE(std::find(names.begin(), names.end(), swept), names.end())
+          << "swept crash point '" << swept << "' is not enumerated";
+    }
+    return;
+  }
   const size_t colon = spec.find(':');
-  ASSERT_NE(colon, std::string::npos) << "want <point>:<chunk>, got " << spec;
+  ASSERT_NE(colon, std::string::npos)
+      << "want <point>:<chunk> or 'list', got " << spec;
   CrashCase cc;
   cc.point = spec.substr(0, colon);
   cc.chunk = static_cast<size_t>(std::stoul(spec.substr(colon + 1)));
@@ -726,6 +749,168 @@ TEST_F(BatchCrashFixture, EnvDrivenCrashPointSweep) {
   const std::string baseline = Baseline(sql);
   ASSERT_FALSE(baseline.empty());
   CrashAndRecover(sql, cc, baseline);
+}
+
+// ---------- graceful degradation under storage faults ----------
+
+/// Crash fixture plus a storage fault injector scoped (by path filter) to
+/// this test's journal directory, installed for the test's whole life.
+class BatchStorageFaultFixture : public BatchCrashFixture {
+ protected:
+  void SetUp() override {
+    BatchCrashFixture::SetUp();
+    fault_ = std::make_unique<storage::FaultFs>(20260809);
+    const std::string scope = (dir_ / "batch").string();
+    fault_->SetPathFilter([scope](const std::string& path) {
+      return path.rfind(scope, 0) == 0;
+    });
+    prev_ = util::SetFileSystem(fault_.get());
+  }
+
+  void TearDown() override {
+    util::SetFileSystem(prev_);
+    fault_.reset();
+    BatchCrashFixture::TearDown();
+  }
+
+  std::unique_ptr<storage::FaultFs> fault_;
+  util::FileSystem* prev_ = nullptr;
+};
+
+TEST_F(BatchStorageFaultFixture, EnospcMidCheckpointPausesNeverFailsAndResumesExactlyOnce) {
+  // The acceptance contract for disk-full degradation: an ENOSPC window
+  // opening mid-checkpoint must leave the job paused in a retryable
+  // queued state (never kFailed), and once space returns the job must
+  // complete with every durable checkpoint written EXACTLY once — the
+  // pause re-executed no journaled work.
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+  ASSERT_FALSE(baseline.empty());
+
+  BatchConfig cfg = BatchDefaults();
+  cfg.io_retry_backoff_ms = 2.0;  // keep the pause loop fast under test
+  MakeServer(cfg);
+
+  // Open the window just before chunk 3's journal checkpoint: the stage
+  // frame is durable, the checkpoint append hits ENOSPC. Armed once; the
+  // paused retry re-stages chunk 3 and must find space back.
+  std::atomic<bool> armed{false};
+  storage::FaultFs* fault = fault_.get();
+  batch().set_crash_hook(
+      [fault, &armed](const char* point, uint64_t, size_t chunk) {
+        if (std::string(point) == "staged" && chunk == 3 &&
+            !armed.exchange(true)) {
+          fault->ArmEnospc(1);
+        }
+      });
+
+  auto id = batch().Submit("atlas", sql);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_GE(info->io_pauses, 1u) << "the ENOSPC window never paused the job";
+  EXPECT_EQ(fault_->counters().enospc, 1u);
+  EXPECT_EQ(Canonical(FetchAll("atlas", *id)), baseline);
+
+  // Exactly-once: the window produced zero re-executed durable
+  // checkpoints (chunk 3 was never durably checkpointed before the
+  // pause, so its re-run lands its one and only record).
+  std::map<size_t, int> counts = CheckpointCounts(JournalDir(), *id);
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [chunk, count] : counts) {
+    EXPECT_EQ(count, 1) << "chunk " << chunk << " checkpointed " << count
+                        << " times across an ENOSPC pause";
+  }
+}
+
+TEST_F(BatchStorageFaultFixture, EnospcOnTerminalRecordPausesAndRetriesWithoutRerunningChunks) {
+  // The nastiest spot: every chunk is checkpointed, only the kDone
+  // terminal append hits the full disk. Failing the job would discard a
+  // finished result; the manager must park it and retry the one append.
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+
+  BatchConfig cfg = BatchDefaults();
+  cfg.io_retry_backoff_ms = 2.0;
+  MakeServer(cfg);
+
+  std::atomic<bool> armed{false};
+  storage::FaultFs* fault = fault_.get();
+  batch().set_crash_hook(
+      [fault, &armed](const char* point, uint64_t, size_t chunk) {
+        if (std::string(point) == "total" && chunk == 7 &&
+            !armed.exchange(true)) {
+          fault->ArmEnospc(1);  // the very next journal append is kDone
+        }
+      });
+
+  auto id = batch().Submit("atlas", sql);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(*id, 30.0));
+  auto info = batch().Poll("atlas", *id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_GE(info->io_pauses, 1u);
+  EXPECT_EQ(Canonical(FetchAll("atlas", *id)), baseline);
+  // The parked retry restored the checkpointed chunks and re-attempted
+  // only the terminal append: still exactly one checkpoint per chunk.
+  std::map<size_t, int> counts = CheckpointCounts(JournalDir(), *id);
+  EXPECT_EQ(counts.size(), 7u);
+  for (const auto& [chunk, count] : counts) {
+    EXPECT_EQ(count, 1) << "chunk " << chunk;
+  }
+}
+
+TEST_F(BatchStorageFaultFixture, BitRottedStageChunkIsReStagedWithCorrectBytes) {
+  // Media rot under a committed stage frame: the job is killed mid-scan,
+  // a byte in the durable stage file flips while the coordinator is
+  // down, and the restarted incarnation must detect the damaged frame by
+  // digest, re-stage from it, and still complete byte-identical.
+  const std::string sql = "SELECT ID, V FROM EVENTS";
+  const std::string baseline = Baseline(sql);
+  ASSERT_FALSE(baseline.empty());
+
+  BatchConfig fresh = BatchDefaults();
+  fresh.journal_dir = (dir_ / "batch").string();
+  MakeServer(fresh);
+  const uint64_t id = SubmitAndCrash(sql, {"checkpoint", 4});
+  ASSERT_NE(id, 0u);
+
+  // Rot one byte in the middle of the stage file while "down". Whether
+  // it lands in a row block (digest quarantine) or framing (torn-tail
+  // repair), recovery must converge to the same bytes.
+  const std::string stage_path =
+      fresh.journal_dir + "/job_" + std::to_string(id) + ".stage";
+  {
+    auto content = util::Fs().ReadFile(stage_path);
+    ASSERT_TRUE(content.ok()) << content.status().ToString();
+    ASSERT_GT(content->size(), 64u);
+    std::string rotted = *content;
+    rotted[rotted.size() / 2] ^= 0x20;
+    ASSERT_TRUE(util::Fs().WriteTruncate(stage_path, rotted).ok());
+  }
+
+  MakeServer(fresh);
+  auto info = batch().Poll("atlas", id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(batch().WaitForTerminal(id, 30.0));
+  info = batch().Poll("atlas", id);
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->state, BatchJobState::kDone) << info->error;
+  EXPECT_EQ(Canonical(FetchAll("atlas", id)), baseline);
+
+  // Rot forces legitimate re-execution of the damaged suffix, so the
+  // per-chunk guarantee weakens to at-least-once — but the journal must
+  // cover every chunk and another restart must serve identical bytes
+  // (the re-staged frames, not the rotted ones, win).
+  std::map<size_t, int> counts = CheckpointCounts(fresh.journal_dir, id);
+  ASSERT_TRUE(batch().Poll("atlas", id)->total_known);
+  EXPECT_EQ(counts.size(), batch().Poll("atlas", id)->total_chunks);
+  MakeServer(fresh);
+  EXPECT_EQ(batch().Poll("atlas", id)->state, BatchJobState::kDone);
+  EXPECT_EQ(Canonical(FetchAll("atlas", id)), baseline);
 }
 
 }  // namespace

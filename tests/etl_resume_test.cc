@@ -8,6 +8,7 @@
 
 #include "griddb/net/fault.h"
 #include "griddb/ntuple/ntuple.h"
+#include "griddb/obs/metrics.h"
 #include "griddb/warehouse/etl.h"
 #include "griddb/warehouse/warehouse.h"
 
@@ -225,27 +226,28 @@ TEST_F(EtlResumeFixture, CorruptChunkIsEvictedAndRestaged) {
   ASSERT_NE(digit, std::string::npos);
   content[digit] = content[digit] == '9' ? '0' : '9';
   WriteFile(stage_path, content);
+  const uint64_t quarantined_before =
+      obs::MetricsRegistry::Default()
+          .GetCounter("griddb.warehouse.etl.chunks_quarantined")
+          ->value();
 
-  // The next run detects the corruption at load time, evicts the chunk
-  // from the manifest, and fails with kCorruption.
+  // The next run reconciles the manifest against the on-disk frames
+  // BEFORE loading: the damaged chunk is quarantined (evicted from the
+  // committed set), re-staged in the same run — the appended frame
+  // supersedes the rotted one — and the run completes with the full,
+  // correct content. No second retry needed.
   auto attempt2 = pipeline.RunResumable(
       MakeJob(&mart, "caltech-tier2", "evt_cor"), opts);
-  ASSERT_FALSE(attempt2.ok());
-  EXPECT_EQ(attempt2.status().code(), StatusCode::kCorruption);
-  auto manifest = storage::ReadManifestFile(manifest_path);
-  ASSERT_TRUE(manifest.ok());
-  EXPECT_EQ(manifest->committed.size(), 6u);
-  EXPECT_EQ(manifest->FindCommitted(1), nullptr);
-
-  // The run after that re-stages chunk 1 (appended frame supersedes the
-  // damaged one) and completes with the full, correct content.
-  auto attempt3 = pipeline.RunResumable(
-      MakeJob(&mart, "caltech-tier2", "evt_cor"), opts);
-  ASSERT_TRUE(attempt3.ok()) << attempt3.status().ToString();
-  EXPECT_TRUE(attempt3->resumed);
-  EXPECT_EQ(attempt3->chunks_committed, 1u);
-  EXPECT_EQ(attempt3->chunks_loaded, 7u);
+  ASSERT_TRUE(attempt2.ok()) << attempt2.status().ToString();
+  EXPECT_TRUE(attempt2->resumed);
+  EXPECT_EQ(attempt2->chunks_recovered, 6u);  // chunk 1 no longer counts
+  EXPECT_EQ(attempt2->chunks_committed, 1u);  // the re-staged chunk 1
+  EXPECT_EQ(attempt2->chunks_loaded, 7u);
   EXPECT_EQ(mart.RowCount("evt_cor"), 200u);
+  EXPECT_GE(obs::MetricsRegistry::Default()
+                    .GetCounter("griddb.warehouse.etl.chunks_quarantined")
+                    ->value(),
+            quarantined_before + 1);
 
   auto reference = pipeline.Run(MakeJob(&wh.db(), "cern-tier1", "evt_ref2"));
   ASSERT_TRUE(reference.ok());

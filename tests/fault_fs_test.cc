@@ -1,0 +1,423 @@
+// Storage fault injection (storage/fault_fs) and the durability layers'
+// behaviour under it. The first half pins the injector's own contract —
+// torn writes persist a prefix and fail, lying fsyncs freeze the durable
+// mark that CrashDropUnsynced() later truncates to, ENOSPC windows are
+// op-indexed and deterministic, bit flips damage the read not the disk,
+// and one seed replays one fate sequence. The second half drives the
+// real journal and chunked-stage writers through the injector and checks
+// they repair every injected artefact: a torn journal append self-heals
+// so the retried record is visible to replay, and a torn stage tail is
+// reported with the exact intact length appends can resume from.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "griddb/storage/fault_fs.h"
+#include "griddb/storage/stage_file.h"
+#include "griddb/util/fs.h"
+#include "griddb/util/journal.h"
+#include "griddb/util/md5.h"
+
+namespace griddb::storage {
+namespace {
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("griddb_faultfs_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    fault_ = std::make_unique<FaultFs>(2026);
+    prev_ = util::SetFileSystem(fault_.get());
+  }
+
+  void TearDown() override {
+    util::SetFileSystem(prev_);
+    fault_.reset();
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Raw on-disk bytes, read behind the injector's back.
+  std::string DiskBytes(const std::string& path) const {
+    auto content = util::FileSystem().ReadFile(path);
+    return content.ok() ? *content : std::string("<unreadable>");
+  }
+
+  std::filesystem::path dir_;
+  std::unique_ptr<FaultFs> fault_;
+  util::FileSystem* prev_ = nullptr;
+};
+
+// ---------- the injector's own contract ----------
+
+TEST_F(FaultFsTest, PassThroughWhenNoFaultsConfigured) {
+  const std::string path = Path("plain");
+  ASSERT_TRUE(util::Fs().Append(path, "hello ").ok());
+  ASSERT_TRUE(util::Fs().Append(path, "world").ok());
+  ASSERT_TRUE(util::Fs().Fsync(path).ok());
+  auto content = util::Fs().ReadFile(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello world");
+  EXPECT_EQ(fault_->counters().total(), 0u);
+  EXPECT_GT(fault_->ops(), 0u);  // operations counted even when honest
+}
+
+TEST_F(FaultFsTest, ArmedTornWritePersistsPrefixAndFails) {
+  const std::string path = Path("torn");
+  fault_->ArmTornWrite(4);
+  Status st = util::Fs().Append(path, "0123456789");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_EQ(DiskBytes(path), "0123");  // the prefix landed, the tail did not
+  EXPECT_EQ(fault_->counters().torn_writes, 1u);
+  // One-shot: the retry goes through whole.
+  ASSERT_TRUE(util::Fs().Append(path, "retry").ok());
+  EXPECT_EQ(DiskBytes(path), "0123retry");
+}
+
+TEST_F(FaultFsTest, ArmedEnospcFailsWritesWithoutTouchingDisk) {
+  const std::string path = Path("full");
+  ASSERT_TRUE(util::Fs().Append(path, "base").ok());
+  fault_->ArmEnospc(2);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Status st = util::Fs().Append(path, "more");
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kIoError);
+    EXPECT_EQ(DiskBytes(path), "base");  // ENOSPC writes nothing
+  }
+  // Space is back: the next attempt succeeds.
+  ASSERT_TRUE(util::Fs().Append(path, "more").ok());
+  EXPECT_EQ(DiskBytes(path), "basemore");
+  EXPECT_EQ(fault_->counters().enospc, 2u);
+}
+
+TEST_F(FaultFsTest, EnospcWindowIsOpIndexedAndEscapable) {
+  const std::string path = Path("window");
+  // Two write ops' worth of window, starting one op from now: the next
+  // append is admitted, the two after it fail, the one after escapes.
+  fault_->AddEnospcWindow(fault_->ops() + 1, 2);
+  EXPECT_TRUE(util::Fs().Append(path, "a").ok());
+  EXPECT_EQ(util::Fs().Append(path, "b").code(), StatusCode::kIoError);
+  EXPECT_EQ(util::Fs().Append(path, "c").code(), StatusCode::kIoError);
+  EXPECT_TRUE(util::Fs().Append(path, "d").ok());
+  EXPECT_EQ(DiskBytes(path), "ad");
+  EXPECT_EQ(fault_->counters().enospc, 2u);
+}
+
+TEST_F(FaultFsTest, LyingFsyncFreezesDurableMarkUntilCrash) {
+  const std::string path = Path("lying");
+  ASSERT_TRUE(util::Fs().Append(path, "durable").ok());
+  ASSERT_TRUE(util::Fs().Fsync(path).ok());  // honest: 7 bytes safe
+  ASSERT_TRUE(util::Fs().Append(path, " volatile").ok());
+  fault_->ArmLyingFsync();
+  ASSERT_TRUE(util::Fs().Fsync(path).ok());  // lies: returns OK
+  EXPECT_EQ(fault_->counters().lying_fsyncs, 1u);
+  EXPECT_EQ(DiskBytes(path), "durable volatile");  // still whole pre-crash
+
+  fault_->CrashDropUnsynced();  // the power cut calls the bluff
+  EXPECT_EQ(DiskBytes(path), "durable");
+  EXPECT_EQ(fault_->counters().crash_dropped_files, 1u);
+}
+
+TEST_F(FaultFsTest, HonestFsyncMakesBytesSurviveCrash) {
+  const std::string path = Path("honest");
+  ASSERT_TRUE(util::Fs().Append(path, "kept").ok());
+  ASSERT_TRUE(util::Fs().Fsync(path).ok());
+  fault_->CrashDropUnsynced();
+  EXPECT_EQ(DiskBytes(path), "kept");
+  EXPECT_EQ(fault_->counters().crash_dropped_files, 0u);
+}
+
+TEST_F(FaultFsTest, RenameCarriesDurableMarkToTarget) {
+  const std::string from = Path("from");
+  const std::string to = Path("to");
+  // Never fsynced: the file's durable mark stays at its creation size 0.
+  ASSERT_TRUE(util::Fs().Append(from, "unsynced").ok());
+  ASSERT_TRUE(util::Fs().Rename(from, to).ok());
+  fault_->CrashDropUnsynced();
+  // The rename moved the name, not the page cache: the bytes die with it.
+  EXPECT_EQ(DiskBytes(to), "");
+}
+
+TEST_F(FaultFsTest, BitFlipCorruptsTheReadNotTheDisk) {
+  const std::string rot = Path("rot");
+  const std::string clean = Path("clean");
+  const std::string payload = "stable bytes on disk";
+  ASSERT_TRUE(util::Fs().Append(rot, payload).ok());
+  ASSERT_TRUE(util::Fs().Append(clean, payload).ok());
+
+  FsFaultSpec spec;
+  spec.bit_flip_probability = 1.0;
+  fault_->SetSpec(spec);
+  fault_->SetBitFlipFilter(
+      [rot](const std::string& path) { return path == rot; });
+
+  auto flipped = util::Fs().ReadFile(rot);
+  ASSERT_TRUE(flipped.ok());
+  ASSERT_EQ(flipped->size(), payload.size());
+  size_t differing = 0;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if ((*flipped)[i] != payload[i]) ++differing;
+  }
+  EXPECT_EQ(differing, 1u);  // exactly one byte rotted
+  EXPECT_EQ(fault_->counters().bit_flips, 1u);
+
+  // The filter scopes the rot; the disk never had it.
+  auto spared = util::Fs().ReadFile(clean);
+  ASSERT_TRUE(spared.ok());
+  EXPECT_EQ(*spared, payload);
+  fault_->Quiesce();
+  auto after = util::Fs().ReadFile(rot);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, payload);
+}
+
+TEST_F(FaultFsTest, UnlinkAndRenameFailuresAreInjected) {
+  const std::string path = Path("sticky");
+  ASSERT_TRUE(util::Fs().Append(path, "x").ok());
+  FsFaultSpec spec;
+  spec.unlink_fail_probability = 1.0;
+  spec.rename_fail_probability = 1.0;
+  fault_->SetSpec(spec);
+  EXPECT_EQ(util::Fs().Unlink(path).code(), StatusCode::kIoError);
+  EXPECT_EQ(DiskBytes(path), "x");  // the failed unlink removed nothing
+  EXPECT_EQ(util::Fs().Rename(path, Path("elsewhere")).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(DiskBytes(path), "x");
+  EXPECT_EQ(fault_->counters().unlink_fails, 1u);
+  EXPECT_EQ(fault_->counters().rename_fails, 1u);
+  fault_->Quiesce();
+  EXPECT_TRUE(util::Fs().Unlink(path).ok());
+}
+
+TEST_F(FaultFsTest, PathFilterScopesInjection) {
+  fault_->SetPathFilter([](const std::string& path) {
+    return path.find("victim") != std::string::npos;
+  });
+  fault_->ArmEnospc(1);
+  // The bystander is outside the filter: its write is admitted and does
+  // NOT consume the armed fault.
+  EXPECT_TRUE(util::Fs().Append(Path("bystander"), "ok").ok());
+  EXPECT_EQ(util::Fs().Append(Path("victim"), "no").code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(FaultFsTest, SameSeedReplaysTheSameFates) {
+  auto run = [this](const std::string& tag) {
+    FaultFs fs(777);
+    FsFaultSpec spec;
+    spec.torn_write_probability = 0.5;
+    fs.SetSpec(spec);
+    std::vector<bool> fates;
+    const std::string path = Path("replay_" + tag);
+    for (int i = 0; i < 64; ++i) {
+      fates.push_back(fs.Append(path, "record " + std::to_string(i)).ok());
+    }
+    return std::make_pair(fates, DiskBytes(path));
+  };
+  auto [fates_a, bytes_a] = run("a");
+  auto [fates_b, bytes_b] = run("b");
+  EXPECT_EQ(fates_a, fates_b);
+  EXPECT_EQ(bytes_a, bytes_b);
+  // Sanity: the 50% schedule actually injected both outcomes.
+  EXPECT_NE(std::count(fates_a.begin(), fates_a.end(), true), 0);
+  EXPECT_NE(std::count(fates_a.begin(), fates_a.end(), false), 0);
+}
+
+// ---------- the journal under injected faults ----------
+
+TEST_F(FaultFsTest, JournalTornAppendSelfRepairsSoRetryIsReplayable) {
+  // The regression: a torn append leaves partial frame bytes, appends
+  // are O_APPEND, so a naive retry lands the acknowledged record beyond
+  // the tear — where ReadJournal (which stops at the first undecodable
+  // frame) can never see it. Append's failure path must repair the tear
+  // in place.
+  util::JournalWriter journal(Path("j"));
+  ASSERT_TRUE(journal.Append("first").ok());
+  fault_->ArmTornWrite(7);
+  ASSERT_EQ(journal.Append("second").code(), StatusCode::kIoError);
+  ASSERT_TRUE(journal.Append("second").ok());  // the caller's retry
+
+  auto replay = util::ReadJournal(Path("j"));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->truncated);
+  ASSERT_EQ(replay->records.size(), 2u);
+  EXPECT_EQ(replay->records[0], "first");
+  EXPECT_EQ(replay->records[1], "second");
+}
+
+TEST_F(FaultFsTest, JournalEnospcAppendWritesNothingAndRetryLands) {
+  util::JournalWriter journal(Path("j"));
+  ASSERT_TRUE(journal.Append("first").ok());
+  fault_->ArmEnospc(1);
+  ASSERT_EQ(journal.Append("second").code(), StatusCode::kIoError);
+  ASSERT_TRUE(journal.Append("second").ok());
+  auto replay = util::ReadJournal(Path("j"));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->truncated);
+  ASSERT_EQ(replay->records.size(), 2u);
+}
+
+TEST_F(FaultFsTest, JournalCrashDroppingUnsyncedTailReplaysIntactPrefix) {
+  util::JournalWriter journal(Path("j"));
+  ASSERT_TRUE(journal.Append("durable").ok());
+  fault_->ArmLyingFsync();
+  ASSERT_TRUE(journal.Append("claimed but volatile").ok());
+  fault_->CrashDropUnsynced();
+  auto replay = util::ReadJournal(Path("j"));
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->records.size(), 1u);
+  EXPECT_EQ(replay->records[0], "durable");
+  // The drop cut at a frame boundary (the lying fsync covered the whole
+  // append), so nothing is torn — just honestly missing.
+  EXPECT_FALSE(replay->truncated);
+}
+
+// ---------- chunked stage files under injected faults ----------
+
+TableSchema StageSchema() {
+  return TableSchema("t", {{"id", DataType::kInt64, true, true},
+                           {"v", DataType::kString, false, false}});
+}
+
+StageChunk MakeChunk(size_t id, const std::string& encoded, size_t rows) {
+  StageChunk chunk;
+  chunk.id = id;
+  chunk.rows = rows;
+  chunk.md5 = Md5Hex(encoded);
+  return chunk;
+}
+
+std::string EncodedRows(size_t chunk, size_t rows) {
+  std::vector<Row> block;
+  for (size_t r = 0; r < rows; ++r) {
+    block.push_back({Value(static_cast<int64_t>(chunk * 100 + r)),
+                     Value("row" + std::to_string(r))});
+  }
+  return EncodeRowBlock(block);
+}
+
+TEST_F(FaultFsTest, StageTornTailIsReportedWithIntactLengthAndRepairable) {
+  const std::string path = Path("stage");
+  const std::string rows0 = EncodedRows(0, 3);
+  const std::string rows1 = EncodedRows(1, 3);
+  ASSERT_TRUE(
+      AppendStageChunk(path, StageSchema(), MakeChunk(0, rows0, 3), rows0)
+          .ok());
+  fault_->ArmTornWrite(9);  // chunk 1's frame tears mid-header
+  ASSERT_EQ(
+      AppendStageChunk(path, StageSchema(), MakeChunk(1, rows1, 3), rows1)
+          .code(),
+      StatusCode::kIoError);
+
+  std::vector<size_t> corrupt;
+  StageDamage damage;
+  auto staged = ReadChunkedStageFileTolerant(path, &corrupt, &damage);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_TRUE(damage.torn);
+  ASSERT_EQ(staged->chunks.size(), 1u);
+  EXPECT_EQ(staged->chunks[0].id, 0u);
+  EXPECT_TRUE(corrupt.empty());
+
+  // The repair protocol: truncate to the intact prefix, then append on.
+  ASSERT_TRUE(util::Fs().Truncate(path, damage.intact_bytes).ok());
+  ASSERT_TRUE(
+      AppendStageChunk(path, StageSchema(), MakeChunk(1, rows1, 3), rows1)
+          .ok());
+  auto whole = ReadChunkedStageFile(path);  // strict reader: no damage left
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_EQ(whole->chunks.size(), 2u);
+  EXPECT_EQ(whole->rows[1].size(), 3u);
+}
+
+TEST_F(FaultFsTest, StageHeaderTearWipesToEmptySoAppendRewritesSchema) {
+  // A fresh stage file's first append carries magic + schema header +
+  // frame in one write. Tearing inside the header must report intact=0:
+  // repairing to a half-written schema would let later bare frames land
+  // under a wrong column count.
+  const std::string path = Path("stage");
+  const std::string rows0 = EncodedRows(0, 2);
+  fault_->ArmTornWrite(11);
+  ASSERT_EQ(
+      AppendStageChunk(path, StageSchema(), MakeChunk(0, rows0, 2), rows0)
+          .code(),
+      StatusCode::kIoError);
+
+  std::vector<size_t> corrupt;
+  StageDamage damage;
+  auto staged = ReadChunkedStageFileTolerant(path, &corrupt, &damage);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_TRUE(damage.torn);
+  EXPECT_EQ(damage.intact_bytes, 0u);
+  EXPECT_TRUE(staged->chunks.empty());
+
+  ASSERT_TRUE(util::Fs().Truncate(path, 0).ok());
+  // An empty file counts as fresh: the append writes the header again.
+  ASSERT_TRUE(
+      AppendStageChunk(path, StageSchema(), MakeChunk(0, rows0, 2), rows0)
+          .ok());
+  auto whole = ReadChunkedStageFile(path);
+  ASSERT_TRUE(whole.ok()) << whole.status().ToString();
+  ASSERT_EQ(whole->chunks.size(), 1u);
+  EXPECT_EQ(whole->schema.columns().size(), 2u);
+}
+
+TEST_F(FaultFsTest, StageBitRotIsCaughtByDigestAndQuarantinedById) {
+  const std::string path = Path("stage");
+  for (size_t c = 0; c < 3; ++c) {
+    const std::string rows = EncodedRows(c, 4);
+    ASSERT_TRUE(
+        AppendStageChunk(path, StageSchema(), MakeChunk(c, rows, 4), rows)
+            .ok());
+  }
+  FsFaultSpec spec;
+  spec.bit_flip_probability = 1.0;
+  fault_->SetSpec(spec);
+
+  std::vector<size_t> corrupt;
+  StageDamage damage;
+  auto staged = ReadChunkedStageFileTolerant(path, &corrupt, &damage);
+  fault_->SetSpec(FsFaultSpec{});
+  // The flip landed somewhere: either inside a chunk's digested row block
+  // (that id is quarantined) or in framing/header bytes (reported torn).
+  // Nothing may be silently served wrong.
+  ASSERT_EQ(fault_->counters().bit_flips, 1u);
+  if (staged.ok() && corrupt.empty() && !damage.torn &&
+      staged->chunks.size() == 3) {
+    // The only way a flipped read decodes with every digest green is a
+    // flip in the undigested schema header — which then must show up as
+    // a different table or column name, never as silently identical.
+    auto clean_now = ReadChunkedStageFile(path);
+    ASSERT_TRUE(clean_now.ok());
+    bool header_differs = staged->schema.name() != clean_now->schema.name();
+    for (size_t c = 0; c < staged->schema.columns().size(); ++c) {
+      if (staged->schema.columns()[c].name !=
+          clean_now->schema.columns()[c].name) {
+        header_differs = true;
+      }
+    }
+    EXPECT_TRUE(header_differs) << "rotted read decoded as fully intact";
+  }
+  for (size_t id : corrupt) EXPECT_LT(id, 3u);
+  // The disk is undamaged: a clean read restores every chunk.
+  std::vector<size_t> corrupt_after;
+  auto clean = ReadChunkedStageFileTolerant(path, &corrupt_after, nullptr);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(corrupt_after.empty());
+  ASSERT_EQ(clean->chunks.size(), 3u);
+}
+
+}  // namespace
+}  // namespace griddb::storage

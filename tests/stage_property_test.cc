@@ -228,6 +228,60 @@ TEST_F(ChunkedStageFile, TolerantReaderReportsOnlyTheDamagedChunk) {
   EXPECT_EQ(healed->chunks.size(), 3u);
 }
 
+TEST_F(ChunkedStageFile, RottedHeaderIsDetectedNotSilentlyServed) {
+  const std::string path = Path("header_rot.stage");
+  ASSERT_TRUE(Append(path, 0, {{Value(int64_t{1}), Value("aaaa")}}).ok());
+
+  // Flip the case of a column NAME in the schema header. Frame digests
+  // cover row blocks only, and "column S STRING" still parses — without
+  // the header digest this silently renamed the column in every table
+  // rebuilt from the file (found by the chaos sweep as a served batch
+  // result whose header differed from the oracle by exactly one bit).
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  size_t pos = content.find("column s ");
+  ASSERT_NE(pos, std::string::npos);
+  content.replace(pos, 9, "column S ");
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+
+  // Strict reader: refused outright.
+  EXPECT_EQ(ReadChunkedStageFile(path).status().code(),
+            StatusCode::kCorruption);
+
+  // Tolerant reader: a rotted header poisons everything after it, so it
+  // reports a tear at byte zero — the caller truncates the file away and
+  // re-stages from the source, exactly like an unreadable file.
+  std::vector<size_t> corrupt;
+  StageDamage damage;
+  auto stage = ReadChunkedStageFileTolerant(path, &corrupt, &damage);
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_TRUE(damage.torn);
+  EXPECT_EQ(damage.intact_bytes, 0u);
+  EXPECT_TRUE(stage->chunks.empty());
+}
+
+TEST_F(ChunkedStageFile, LegacyHeaderWithoutDigestLineStillReads) {
+  // A file from a writer predating the header_md5 line must stay
+  // readable: the digest is verified when present, not required.
+  const std::string path = Path("legacy.stage");
+  std::vector<Row> rows = {{Value(int64_t{7}), Value("x")}};
+  std::string block = EncodeRowBlock(rows);
+  std::string content =
+      "# griddb-stage v2\n"
+      "table t\n"
+      "column id INT64 pk notnull\n"
+      "column s STRING\n";
+  content += "chunk 0 rows 1 md5 " + Md5Hex(block) + "\n" + block;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << content;
+
+  auto stage = ReadChunkedStageFile(path);
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  ASSERT_EQ(stage->chunks.size(), 1u);
+  EXPECT_EQ(stage->rows[0][0][1].AsStringStrict(), "x");
+}
+
 TEST_F(ChunkedStageFile, ChunkDigestsComposeWithTheTableDigest) {
   // Staging rows in chunks and digesting the reassembled rows must agree
   // with digesting the original rows directly — in any order.

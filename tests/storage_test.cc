@@ -285,9 +285,12 @@ TEST(StageFileTest, RejectsCellTypeMismatch) {
   EXPECT_FALSE(DecodeStage(buffer).ok());
 }
 
-TEST(StageFileTest, MissingFileIsUnavailable) {
+TEST(StageFileTest, MissingFileIsNotFound) {
+  // Stage I/O goes through the util::FileSystem seam, which types a
+  // missing file as kNotFound — recovery paths branch on it (a missing
+  // stage file restages from scratch; other I/O errors propagate).
   auto result = ReadStageFile("/nonexistent/griddb.stage");
-  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
 TEST(StageFileTest, EscapeCellRoundTrip) {
